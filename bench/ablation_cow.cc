@@ -1,0 +1,94 @@
+// Ablation: stop-and-copy vs speculative copy-on-write checkpointing.
+// CoW duplicates the dirty set locally (~0.7 us/page) and pushes it to the
+// replica in the background, so the *pause* — and with it the degradation —
+// collapses; client-visible latency barely moves because output commit
+// still waits for the background transfer to land.
+#include "bench/bench_util.h"
+#include "workload/sockperf.h"
+
+namespace {
+
+using namespace here;
+using namespace here::bench;
+
+struct Row {
+  double pause_ms;
+  double deg_pct;
+  double latency_ms;
+};
+
+Row run(bool cow, double load) {
+  rep::TestbedConfig tb;
+  tb.vm_spec = paper_vm(8.0);
+  tb.engine.mode = rep::EngineMode::kHere;
+  tb.engine.checkpoint_threads = 4;
+  tb.engine.period.t_max = sim::from_seconds(3);
+  tb.engine.speculative_cow = cow;
+  rep::Testbed bed(tb);
+
+  // Memory load + an echo server for the latency column.
+  class Mixed final : public hv::GuestProgram {
+   public:
+    explicit Mixed(double load) : mem_(wl::memory_microbench(load)) {}
+    void start(hv::GuestEnv& env) override {
+      mem_.start(env);
+      echo_.start(env);
+    }
+    void tick(hv::GuestEnv& env, sim::Duration dt) override {
+      mem_.tick(env, dt);
+      echo_.tick(env, dt);
+    }
+    void on_packet(hv::GuestEnv& env, const net::Packet& p) override {
+      echo_.on_packet(env, p);
+    }
+    [[nodiscard]] std::unique_ptr<GuestProgram> clone() const override {
+      return std::make_unique<Mixed>(*this);
+    }
+
+   private:
+    wl::SyntheticProgram mem_;
+    wl::SockperfServer echo_{1.0};
+  };
+
+  hv::Vm& vm = bed.create_vm(std::make_unique<Mixed>(load));
+  bed.protect(vm);
+  wl::SockperfClient::Config cc;
+  cc.packets_per_second = 100;
+  wl::SockperfClient client(bed.simulation(), bed.fabric(), cc);
+  client.attach(bed.add_client("c", {}), bed.engine().service_node());
+  bed.run_until_seeded();
+  client.run_for(sim::from_seconds(60));
+  bed.simulation().run_for(sim::from_seconds(65));
+
+  Row row{0, 0, 0};
+  const auto& cps = bed.engine().stats().checkpoints;
+  for (const auto& r : cps) {
+    row.pause_ms += sim::to_millis(r.pause);
+    row.deg_pct += r.degradation * 100.0;
+  }
+  row.pause_ms /= static_cast<double>(cps.size());
+  row.deg_pct /= static_cast<double>(cps.size());
+  row.latency_ms = client.latency_us().mean() / 1000.0;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  print_title("Ablation: stop-and-copy vs speculative CoW checkpointing "
+              "(8 GB VM, T = 3 s, P = 4)");
+  std::printf("%-10s %-14s %12s %10s %14s\n", "Load(%)", "mode", "t (ms)",
+              "deg (%)", "latency(ms)");
+  for (const double load : {10.0, 30.0, 60.0}) {
+    const Row plain = run(false, load);
+    const Row cow = run(true, load);
+    std::printf("%-10.0f %-14s %12.1f %10.2f %14.1f\n", load, "stop-and-copy",
+                plain.pause_ms, plain.deg_pct, plain.latency_ms);
+    std::printf("%-10.0f %-14s %12.1f %10.2f %14.1f\n", load, "cow",
+                cow.pause_ms, cow.deg_pct, cow.latency_ms);
+  }
+  std::printf("\nCoW trades primary-side memory (the local snapshot buffer)\n"
+              "for an order-of-magnitude smaller pause; buffering latency is\n"
+              "unchanged because commits still wait for the wire.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation: how much of HERE's improvement comes from multithreading?
+// Sweeps the migrator thread count P over the continuous-replication phase
+// (checkpoint transfer time + degradation at fixed period and load), and
+// over the seeding phase. P=1 with HERE's region scheme ~ Remus's single
+// thread; the paper evaluates P = #vCPUs = 4.
+#include "bench/bench_util.h"
+#include "replication/migrator.h"
+
+namespace {
+
+using namespace here;
+using namespace here::bench;
+
+void checkpoint_sweep() {
+  print_title("Ablation: checkpoint transfer vs migrator thread count "
+              "(8 GB VM, 30% load, T = 5 s)");
+  std::printf("%-10s %14s %10s %14s\n", "Threads", "t (ms)", "deg (%)",
+              "speedup");
+  double t1 = 0;
+  for (const std::uint32_t p : {1u, 2u, 4u, 8u}) {
+    rep::TestbedConfig tb;
+    tb.vm_spec = paper_vm(8.0, /*vcpus=*/8);
+    tb.engine.mode = rep::EngineMode::kHere;
+    tb.engine.checkpoint_threads = p;
+    tb.engine.period.t_max = sim::from_seconds(5);
+    rep::Testbed bed(tb);
+    hv::Vm& vm = bed.create_vm(
+        std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(30)));
+    bed.protect(vm);
+    bed.run_until_seeded();
+    bed.simulation().run_for(sim::from_seconds(60));
+
+    double t_ms = 0, deg = 0;
+    const auto& cps = bed.engine().stats().checkpoints;
+    for (const auto& r : cps) {
+      t_ms += sim::to_millis(r.pause);
+      deg += r.degradation;
+    }
+    t_ms /= static_cast<double>(cps.size());
+    deg /= static_cast<double>(cps.size());
+    if (p == 1) t1 = t_ms;
+    std::printf("%-10u %14.1f %10.2f %13.2fx\n", p, t_ms, deg * 100.0,
+                t1 / t_ms);
+  }
+}
+
+void seeding_sweep() {
+  print_title("Ablation: seeding time vs per-vCPU migrator threads "
+              "(8 GB VM, 30% load)");
+  std::printf("%-22s %12s\n", "Mode", "seed (s)");
+  for (const auto& [label, mode, vcpus] :
+       {std::tuple{"xen-single-thread", rep::SeedMode::kXenDefault, 4u},
+        std::tuple{"here-pml-2-vcpus", rep::SeedMode::kHereMultithreaded, 2u},
+        std::tuple{"here-pml-4-vcpus", rep::SeedMode::kHereMultithreaded, 4u},
+        std::tuple{"here-pml-8-vcpus", rep::SeedMode::kHereMultithreaded, 8u}}) {
+    rep::TestbedConfig tb;
+    tb.vm_spec = paper_vm(8.0, vcpus);
+    tb.engine.mode = rep::EngineMode::kRemus;
+    rep::Testbed bed(tb);
+    hv::Vm& vm = bed.create_vm(
+        std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(30)));
+    bed.simulation().run_for(sim::from_millis(500));
+
+    common::ThreadPool pool(vcpus);
+    rep::TimeModel model;
+    rep::SeedConfig seed_config;
+    seed_config.mode = mode;
+    rep::Migrator migrator(bed.simulation(), model, pool, bed.primary(),
+                           bed.secondary(), seed_config);
+    double seconds = -1;
+    migrator.migrate(vm, [&](const rep::MigrationResult& r) {
+      seconds = sim::to_seconds(r.seed.total_time);
+    });
+    bed.run_until([&] { return seconds >= 0; }, sim::from_seconds(3600));
+    std::printf("%-22s %12.2f\n", label, seconds);
+  }
+}
+
+}  // namespace
+
+int main() {
+  checkpoint_sweep();
+  seeding_sweep();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared experiment runners for the paper-reproduction benches.
+//
+// Every bench binary prints the same rows/series as its table or figure in
+// the paper. VM sizes are *modelled* sizes (1-20 GB); real allocations are
+// scaled down by VmSpec::model_scale with the time model operating on
+// modelled page counts (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "replication/testbed.h"
+#include "workload/sockperf.h"
+#include "workload/synthetic.h"
+#include "workload/ycsb.h"
+
+namespace here::bench {
+
+// Memory scale used for GB-class sweeps: 1/64 of the pages are backed.
+inline constexpr std::uint64_t kScale = 64;
+
+// The paper's protected-VM shape: 4 vCPUs, `gib` GB of RAM.
+[[nodiscard]] inline hv::VmSpec paper_vm(double gib, std::uint32_t vcpus = 4) {
+  return hv::make_vm_spec(
+      "vm", vcpus, static_cast<std::uint64_t>(gib * (1ULL << 30)), kScale);
+}
+
+// --- Continuous-replication experiment (Figs. 8, 9) ----------------------------
+
+struct CheckpointRunResult {
+  double mean_pause_ms = 0.0;       // t
+  double mean_degradation = 0.0;    // t / (t + T)
+  double mean_dirty_kpages = 0.0;   // modelled pages per checkpoint
+  std::size_t checkpoints = 0;
+  double resumption_ms = 0.0;       // replica activation after induced failure
+};
+
+struct CheckpointRunConfig {
+  rep::EngineMode mode = rep::EngineMode::kHere;
+  hv::VmSpec vm;
+  double load_percent = 0.0;               // memory microbenchmark load
+  rep::PeriodConfig period;
+  sim::Duration measure_for = sim::from_seconds(60);
+  bool fail_primary_at_end = false;        // to measure resumption (Fig. 7)
+  std::uint64_t seed = 42;
+};
+
+[[nodiscard]] CheckpointRunResult run_checkpoint_experiment(
+    const CheckpointRunConfig& config);
+
+// --- YCSB experiment (Figs. 10-13) ----------------------------------------------
+
+struct YcsbRunConfig {
+  wl::YcsbMix mix = wl::ycsb_a();
+  hv::VmSpec vm;
+  bool protect = true;
+  rep::EngineMode mode = rep::EngineMode::kHere;
+  rep::PeriodConfig period;
+  sim::Duration measure_for = sim::from_seconds(60);
+  // Extra settling time before measuring (dynamic-period configs need
+  // Algorithm 1 to converge from Tmax).
+  sim::Duration warmup = sim::Duration{0};
+  std::uint64_t seed = 42;
+};
+
+[[nodiscard]] double run_ycsb_kops(const YcsbRunConfig& config);
+
+// --- SPEC experiment (Figs. 14-16) -----------------------------------------------
+
+struct SpecRunConfig {
+  wl::SyntheticProfile profile = wl::spec_gcc();
+  hv::VmSpec vm;
+  bool protect = true;
+  rep::EngineMode mode = rep::EngineMode::kHere;
+  rep::PeriodConfig period;
+  sim::Duration measure_for = sim::from_seconds(120);
+  sim::Duration warmup = sim::Duration{0};
+  std::uint64_t seed = 42;
+};
+
+// Returns the achieved rate (ops/sec of the SPEC-style kernel).
+[[nodiscard]] double run_spec_rate(const SpecRunConfig& config);
+
+// --- Output helpers ---------------------------------------------------------------
+
+inline void print_title(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+[[nodiscard]] inline double degradation_pct(double baseline, double measured) {
+  return baseline > 0 ? 100.0 * (1.0 - measured / baseline) : 0.0;
+}
+
+}  // namespace here::bench

@@ -1,0 +1,44 @@
+// Figure 11: YCSB workloads A-F throughput under fixed-period replication —
+// unprotected Xen vs HERE(3s, D=0) / HERE(5s, D=0) vs Remus(3s) / Remus(5s).
+// Numbers in parentheses are the degradation vs baseline, as printed above
+// the bars in the paper.
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace here;
+using namespace here::bench;
+
+double run_config(const wl::YcsbMix& mix, bool protect, rep::EngineMode mode,
+                  double period_seconds) {
+  YcsbRunConfig config;
+  config.mix = mix;
+  config.vm = paper_vm(8.0);
+  config.protect = protect;
+  config.mode = mode;
+  config.period.t_max = sim::from_seconds(period_seconds);
+  config.period.target_degradation = 0.0;
+  config.measure_for = sim::from_seconds(60);
+  return run_ycsb_kops(config);
+}
+
+}  // namespace
+
+int main() {
+  print_title("Fig. 11: YCSB throughput (Kops/s), fixed checkpoint periods");
+  std::printf("%-10s %10s %16s %16s %16s %16s\n", "Workload", "Xen",
+              "HERE(3s,0%)", "HERE(5s,0%)", "Remus(3s)", "Remus(5s)");
+  for (const auto& mix : wl::all_ycsb_mixes()) {
+    const double base = run_config(mix, false, rep::EngineMode::kHere, 3);
+    const double here3 = run_config(mix, true, rep::EngineMode::kHere, 3);
+    const double here5 = run_config(mix, true, rep::EngineMode::kHere, 5);
+    const double remus3 = run_config(mix, true, rep::EngineMode::kRemus, 3);
+    const double remus5 = run_config(mix, true, rep::EngineMode::kRemus, 5);
+    std::printf(
+        "%-10s %10.1f %9.1f (%2.0f%%) %9.1f (%2.0f%%) %9.1f (%2.0f%%) %9.1f (%2.0f%%)\n",
+        mix.name, base, here3, degradation_pct(base, here3), here5,
+        degradation_pct(base, here5), remus3, degradation_pct(base, remus3),
+        remus5, degradation_pct(base, remus5));
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 12: YCSB throughput when HERE runs with a defined degradation
+// target and no period cap (Tmax = infinity): D = 20 %, 30 %, 40 %.
+// The dynamic period manager must hold the measured slowdown near D.
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace here;
+using namespace here::bench;
+
+double run_config(const wl::YcsbMix& mix, double degradation) {
+  YcsbRunConfig config;
+  config.mix = mix;
+  config.vm = paper_vm(8.0);
+  config.mode = rep::EngineMode::kHere;
+  // "Infinite" Tmax: a cap far above any period Algorithm 1 will pick.
+  config.period.t_max = sim::from_seconds(30);
+  config.period.target_degradation = degradation;
+  config.period.sigma = sim::from_seconds(2);
+  config.warmup = sim::from_seconds(240);  // let Algorithm 1 converge
+  config.measure_for = sim::from_seconds(120);
+  return run_ycsb_kops(config);
+}
+
+}  // namespace
+
+int main() {
+  print_title("Fig. 12: YCSB with defined degradation, Tmax = inf");
+  std::printf("%-10s %10s %16s %16s %16s\n", "Workload", "Xen",
+              "HERE(inf,20%)", "HERE(inf,30%)", "HERE(inf,40%)");
+  for (const auto& mix : wl::all_ycsb_mixes()) {
+    YcsbRunConfig base;
+    base.mix = mix;
+    base.vm = paper_vm(8.0);
+    base.protect = false;
+    const double xen = run_ycsb_kops(base);
+    const double d20 = run_config(mix, 0.20);
+    const double d30 = run_config(mix, 0.30);
+    const double d40 = run_config(mix, 0.40);
+    std::printf("%-10s %10.1f %9.1f (%2.0f%%) %9.1f (%2.0f%%) %9.1f (%2.0f%%)\n",
+                mix.name, xen, d20, degradation_pct(xen, d20), d30,
+                degradation_pct(xen, d30), d40, degradation_pct(xen, d40));
+  }
+  return 0;
+}

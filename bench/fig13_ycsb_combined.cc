@@ -1,0 +1,43 @@
+// Figure 13: YCSB with both a defined degradation target and a Tmax cap —
+// HERE(3s, 40%) and HERE(5s, 30%). The degradation target prevails over the
+// cap (which only bounds how *long* a period may grow).
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace here;
+using namespace here::bench;
+
+double run_config(const wl::YcsbMix& mix, double t_max_s, double degradation) {
+  YcsbRunConfig config;
+  config.mix = mix;
+  config.vm = paper_vm(8.0);
+  config.mode = rep::EngineMode::kHere;
+  config.period.t_max = sim::from_seconds(t_max_s);
+  config.period.target_degradation = degradation;
+  config.period.sigma = sim::from_millis(200);
+  config.warmup = sim::from_seconds(60);
+  config.measure_for = sim::from_seconds(120);
+  return run_ycsb_kops(config);
+}
+
+}  // namespace
+
+int main() {
+  print_title("Fig. 13: YCSB with defined degradation and Tmax");
+  std::printf("%-10s %10s %16s %16s\n", "Workload", "Xen", "HERE(3s,40%)",
+              "HERE(5s,30%)");
+  for (const auto& mix : wl::all_ycsb_mixes()) {
+    YcsbRunConfig base;
+    base.mix = mix;
+    base.vm = paper_vm(8.0);
+    base.protect = false;
+    const double xen = run_ycsb_kops(base);
+    const double c1 = run_config(mix, 3.0, 0.40);
+    const double c2 = run_config(mix, 5.0, 0.30);
+    std::printf("%-10s %10.1f %9.1f (%2.0f%%) %9.1f (%2.0f%%)\n", mix.name,
+                xen, c1, degradation_pct(xen, c1), c2,
+                degradation_pct(xen, c2));
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 14: SPEC CPU 2006 rates (gcc, cactuBSSN, namd, lbm) under
+// fixed-period replication — Xen baseline vs HERE(3s/5s) vs Remus(3s/5s).
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace here;
+using namespace here::bench;
+
+const std::vector<wl::SyntheticProfile>& spec_suite() {
+  static const std::vector<wl::SyntheticProfile> suite = {
+      wl::spec_gcc(), wl::spec_cactuBSSN(), wl::spec_namd(), wl::spec_lbm()};
+  return suite;
+}
+
+double run_config(const wl::SyntheticProfile& profile, bool protect,
+                  rep::EngineMode mode, double period_s) {
+  SpecRunConfig config;
+  config.profile = profile;
+  config.vm = paper_vm(8.0);
+  config.protect = protect;
+  config.mode = mode;
+  config.period.t_max = sim::from_seconds(period_s);
+  config.period.target_degradation = 0.0;
+  return run_spec_rate(config);
+}
+
+}  // namespace
+
+int main() {
+  print_title("Fig. 14: SPEC CPU rates, fixed checkpoint periods");
+  std::printf("%-12s %8s %16s %16s %16s %16s\n", "Benchmark", "Xen",
+              "HERE(3s,0%)", "HERE(5s,0%)", "Remus(3s)", "Remus(5s)");
+  for (const auto& profile : spec_suite()) {
+    const double base = run_config(profile, false, rep::EngineMode::kHere, 3);
+    const double here3 = run_config(profile, true, rep::EngineMode::kHere, 3);
+    const double here5 = run_config(profile, true, rep::EngineMode::kHere, 5);
+    const double remus3 = run_config(profile, true, rep::EngineMode::kRemus, 3);
+    const double remus5 = run_config(profile, true, rep::EngineMode::kRemus, 5);
+    std::printf(
+        "%-12s %8.2f %10.2f (%2.0f%%) %10.2f (%2.0f%%) %10.2f (%2.0f%%) %10.2f (%2.0f%%)\n",
+        profile.name.c_str(), base, here3, degradation_pct(base, here3), here5,
+        degradation_pct(base, here5), remus3, degradation_pct(base, remus3),
+        remus5, degradation_pct(base, remus5));
+  }
+  return 0;
+}

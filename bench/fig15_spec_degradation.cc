@@ -1,0 +1,43 @@
+// Figure 15: SPEC CPU rates with a defined degradation target (Tmax = inf):
+// D = 20 %, 30 %, 40 %.
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace here;
+using namespace here::bench;
+
+double run_config(const wl::SyntheticProfile& profile, double degradation) {
+  SpecRunConfig config;
+  config.profile = profile;
+  config.vm = paper_vm(8.0);
+  config.mode = rep::EngineMode::kHere;
+  config.period.t_max = sim::from_seconds(30);
+  config.period.target_degradation = degradation;
+  config.period.sigma = sim::from_seconds(2);
+  config.warmup = sim::from_seconds(240);
+  return run_spec_rate(config);
+}
+
+}  // namespace
+
+int main() {
+  print_title("Fig. 15: SPEC CPU with defined degradation, Tmax = inf");
+  std::printf("%-12s %8s %16s %16s %16s\n", "Benchmark", "Xen",
+              "HERE(inf,20%)", "HERE(inf,30%)", "HERE(inf,40%)");
+  for (const auto& profile :
+       {wl::spec_gcc(), wl::spec_cactuBSSN(), wl::spec_namd(), wl::spec_lbm()}) {
+    SpecRunConfig base;
+    base.profile = profile;
+    base.vm = paper_vm(8.0);
+    base.protect = false;
+    const double xen = run_spec_rate(base);
+    const double d20 = run_config(profile, 0.20);
+    const double d30 = run_config(profile, 0.30);
+    const double d40 = run_config(profile, 0.40);
+    std::printf("%-12s %8.2f %10.2f (%2.0f%%) %10.2f (%2.0f%%) %10.2f (%2.0f%%)\n",
+                profile.name.c_str(), xen, d20, degradation_pct(xen, d20), d30,
+                degradation_pct(xen, d30), d40, degradation_pct(xen, d40));
+  }
+  return 0;
+}

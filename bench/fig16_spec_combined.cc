@@ -1,0 +1,43 @@
+// Figure 16: SPEC CPU with both a defined degradation and a Tmax cap —
+// HERE(3s, 40%) and HERE(5s, 30%).
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace here;
+using namespace here::bench;
+
+double run_config(const wl::SyntheticProfile& profile, double t_max_s,
+                  double degradation) {
+  SpecRunConfig config;
+  config.profile = profile;
+  config.vm = paper_vm(8.0);
+  config.mode = rep::EngineMode::kHere;
+  config.period.t_max = sim::from_seconds(t_max_s);
+  config.period.target_degradation = degradation;
+  config.period.sigma = sim::from_millis(200);
+  config.warmup = sim::from_seconds(60);
+  return run_spec_rate(config);
+}
+
+}  // namespace
+
+int main() {
+  print_title("Fig. 16: SPEC CPU with defined degradation and Tmax");
+  std::printf("%-12s %8s %16s %16s\n", "Benchmark", "Xen", "HERE(3s,40%)",
+              "HERE(5s,30%)");
+  for (const auto& profile :
+       {wl::spec_gcc(), wl::spec_cactuBSSN(), wl::spec_namd(), wl::spec_lbm()}) {
+    SpecRunConfig base;
+    base.profile = profile;
+    base.vm = paper_vm(8.0);
+    base.protect = false;
+    const double xen = run_spec_rate(base);
+    const double c1 = run_config(profile, 3.0, 0.40);
+    const double c2 = run_config(profile, 5.0, 0.30);
+    std::printf("%-12s %8.2f %10.2f (%2.0f%%) %10.2f (%2.0f%%)\n",
+                profile.name.c_str(), xen, c1, degradation_pct(xen, c1), c2,
+                degradation_pct(xen, c2));
+  }
+  return 0;
+}

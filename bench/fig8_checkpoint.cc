@@ -1,0 +1,47 @@
+// Figure 8: checkpoint transfer times and resulting performance degradation
+// for idle VMs (a, c) and VMs under a 30 % memory load (b, d), comparing
+// Remus against HERE at a fixed replication period of 8 seconds, across VM
+// memory sizes of 1-20 GB.
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace here;
+using namespace here::bench;
+
+void run_panel(const char* label, double load_percent) {
+  print_title(std::string("Fig. 8: checkpoint transfer time & degradation, ") +
+              label + " (T = 8 s)");
+  std::printf("%-10s %16s %16s %10s | %12s %12s\n", "Mem(GB)", "Remus t(ms)",
+              "HERE t(ms)", "gain(%)", "Remus deg(%)", "HERE deg(%)");
+  for (const double gib : {1.0, 2.0, 4.0, 8.0, 16.0, 20.0}) {
+    CheckpointRunConfig config;
+    config.vm = paper_vm(gib);
+    config.load_percent = load_percent;
+    config.period.t_max = sim::from_seconds(8);
+    config.period.target_degradation = 0.0;  // fixed period
+    config.measure_for = sim::from_seconds(80);
+
+    config.mode = rep::EngineMode::kRemus;
+    const CheckpointRunResult remus = run_checkpoint_experiment(config);
+    config.mode = rep::EngineMode::kHere;
+    const CheckpointRunResult here_r = run_checkpoint_experiment(config);
+
+    const double gain =
+        remus.mean_pause_ms > 0
+            ? 100.0 * (1.0 - here_r.mean_pause_ms / remus.mean_pause_ms)
+            : 0.0;
+    std::printf("%-10.0f %16.2f %16.2f %10.1f | %12.3f %12.3f\n", gib,
+                remus.mean_pause_ms, here_r.mean_pause_ms, gain,
+                remus.mean_degradation * 100.0,
+                here_r.mean_degradation * 100.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  run_panel("idle VM (a, c)", 0.0);
+  run_panel("30% memory load (b, d)", 30.0);
+  return 0;
+}

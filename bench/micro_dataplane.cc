@@ -1,0 +1,154 @@
+// Data-plane microbenchmarks (google-benchmark): the real-work primitives
+// under the simulation's virtual-time shell — page copies, dirty-bitmap
+// scans, PML ring operations and the cross-hypervisor state translation.
+#include <benchmark/benchmark.h>
+
+#include "common/dirty_bitmap.h"
+#include "common/thread_pool.h"
+#include "hv/guest_memory.h"
+#include "hv/pml_ring.h"
+#include "kvmsim/kvm_state.h"
+#include "sim/rng.h"
+#include "workload/zipfian.h"
+#include "xensim/xen_state.h"
+#include "xensim/grant_table.h"
+#include "xensim/xenstore.h"
+#include "hv/disk.h"
+#include "xlate/translator.h"
+
+namespace {
+
+using namespace here;
+
+void BM_PageCopy(benchmark::State& state) {
+  const auto pages = static_cast<std::uint64_t>(state.range(0));
+  hv::GuestMemory src(pages, 1);
+  hv::GuestMemory dst(pages, 1);
+  for (common::Gfn g = 0; g < pages; ++g) src.write_u64(0, g, 0, g * 7919);
+  for (auto _ : state) {
+    for (common::Gfn g = 0; g < pages; ++g) dst.install_page(g, src.page(g));
+    benchmark::DoNotOptimize(dst.page(0).data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pages * common::kPageSize));
+}
+BENCHMARK(BM_PageCopy)->Arg(1024)->Arg(8192);
+
+void BM_DirtyBitmapScan(benchmark::State& state) {
+  const auto pages = static_cast<std::uint64_t>(state.range(0));
+  common::DirtyBitmap bitmap(pages);
+  sim::Rng rng(7);
+  for (std::uint64_t i = 0; i < pages / 10; ++i) bitmap.set(rng.uniform(pages));
+  std::vector<common::Gfn> out;
+  for (auto _ : state) {
+    out.clear();
+    bitmap.collect(0, pages, out, /*clear_found=*/false);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pages));
+}
+BENCHMARK(BM_DirtyBitmapScan)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PmlLogDrain(benchmark::State& state) {
+  hv::PmlRing ring;
+  ring.set_page_count(1 << 16);
+  sim::Rng rng(11);
+  std::vector<common::Gfn> out;
+  for (auto _ : state) {
+    for (int i = 0; i < 4096; ++i) ring.log(rng.uniform(1 << 16));
+    out.clear();
+    ring.drain(out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_PmlLogDrain);
+
+void BM_ParallelPageCopy(benchmark::State& state) {
+  const std::uint64_t pages = 8192;
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  hv::GuestMemory src(pages, 1);
+  hv::GuestMemory dst(pages, 1);
+  common::ThreadPool pool(threads);
+  for (auto _ : state) {
+    pool.parallel_for(pages, [&](std::size_t g) {
+      dst.install_page(g, src.page(g));
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pages * common::kPageSize));
+}
+BENCHMARK(BM_ParallelPageCopy)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_StateTranslationXenToKvm(benchmark::State& state) {
+  hv::GuestCpuContext cpu;
+  sim::Rng rng(3);
+  for (auto& g : cpu.gpr) g = rng.next_u64();
+  cpu.msrs = {{hv::kMsrLstar, rng.next_u64()}, {hv::kMsrStar, rng.next_u64()}};
+  xen::XenMachineState xen_state;
+  for (int i = 0; i < 4; ++i) {
+    xen_state.vcpus.push_back(xen::to_xen_context(cpu, 123456789));
+  }
+  xen_state.platform.host_tsc_at_save = 123456789;
+  const hv::CpuidPolicy kvm_policy;  // empty host policy: maximal masking
+  for (auto _ : state) {
+    auto kvm_state = xlate::xen_to_kvm(xen_state, kvm_policy);
+    benchmark::DoNotOptimize(kvm_state.vcpus.size());
+  }
+}
+BENCHMARK(BM_StateTranslationXenToKvm);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  wl::ScrambledZipfian zipf(1'000'000);
+  sim::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.next(rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_XenstoreWriteRead(benchmark::State& state) {
+  xen::XenStore store;
+  int i = 0;
+  for (auto _ : state) {
+    const std::string path = "/local/domain/1/k" + std::to_string(i++ % 512);
+    store.write(path, "v");
+    benchmark::DoNotOptimize(store.read(path));
+  }
+}
+BENCHMARK(BM_XenstoreWriteRead);
+
+void BM_XenbusHandshake(benchmark::State& state) {
+  std::uint32_t domid = 1;
+  for (auto _ : state) {
+    xen::XenStore store;
+    benchmark::DoNotOptimize(
+        xen::run_device_handshake(store, domid++, "vif", 0));
+  }
+}
+BENCHMARK(BM_XenbusHandshake);
+
+void BM_GrantMapUnmap(benchmark::State& state) {
+  xen::GrantTable table;
+  const xen::GrantRef ref = table.grant_access(0, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.map_grant(ref, 0));
+    table.unmap_grant(ref);
+  }
+}
+BENCHMARK(BM_GrantMapUnmap);
+
+void BM_DiskApply(benchmark::State& state) {
+  hv::VirtualDisk disk;
+  sim::Rng rng(17);
+  for (auto _ : state) {
+    disk.apply({rng.uniform(1 << 20), 8, rng.next_u64()});
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_DiskApply);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// §8.2 end-to-end security demonstration: a zero-day DoS exploit takes the
+// Xen primary down mid-workload; HERE fails over to the KVM replica; the
+// attacker re-launches the same exploit against the replica and gets
+// nothing (software diversity); the protected YCSB service keeps serving.
+// Also demonstrates §6's mitigation synergy: a control-hijack exploit is
+// downgraded to a crash by exploit mitigations, which HERE turns into a
+// mere failover instead of an outage.
+#include <cstdio>
+
+#include "replication/testbed.h"
+#include "security/exploit.h"
+#include "workload/ycsb.h"
+
+using namespace here;
+
+int main() {
+  rep::TestbedConfig tb;
+  tb.vm_spec = hv::make_vm_spec("db", 4, 256ULL << 20);
+  tb.engine.mode = rep::EngineMode::kHere;
+  tb.engine.period.t_max = sim::from_seconds(1);
+  rep::Testbed bed(tb);
+
+  wl::YcsbConfig ycsb;
+  ycsb.mix = wl::ycsb_a();
+  ycsb.record_count = 20'000;
+  ycsb.op_limit = ~0ULL;
+  wl::YcsbMonitor monitor;
+  hv::Vm& vm = bed.create_vm(nullptr);
+  bed.protect(vm);
+  ycsb.monitor = bed.add_client("client", [&](const net::Packet& p) {
+    monitor.on_packet(bed.simulation().now(), p);
+  });
+  vm.attach_program(std::make_unique<wl::YcsbProgram>(ycsb));
+  bed.run_until_seeded();
+  bed.simulation().run_for(sim::from_seconds(5));
+
+  std::printf("\n== §8.2: breaking a zero-day DoS exploit with heterogeneous "
+              "replication ==\n");
+  std::printf("t=%6.2fs  service on %s (%s), %llu ops served\n",
+              bed.simulation().now().seconds(), bed.primary().name().c_str(),
+              bed.primary().hypervisor().name().data(),
+              static_cast<unsigned long long>(monitor.ops_observed()));
+
+  // Zero-day DoS against the Xen primary, launched from a guest process.
+  sec::Exploit zero_day;
+  zero_day.cve_id = "CVE-ZERO-DAY (hypercall handler crash)";
+  zero_day.vulnerable_kind = hv::HvKind::kXen;
+  zero_day.outcome = hv::FaultKind::kCrash;
+  const sec::ExploitResult first = sec::launch_exploit(zero_day, bed.primary());
+  std::printf("t=%6.2fs  exploit vs primary: effect=%d -> primary %s\n",
+              bed.simulation().now().seconds(), static_cast<int>(first.effect),
+              bed.primary().alive() ? "alive" : "DOWN");
+
+  bed.run_until([&] { return bed.engine().failed_over(); },
+                sim::from_seconds(10));
+  std::printf("t=%6.2fs  failover complete in %.2f ms; service on %s (%s)\n",
+              bed.simulation().now().seconds(),
+              sim::to_millis(bed.engine().stats().resumption_time),
+              bed.secondary().name().c_str(),
+              bed.secondary().hypervisor().name().data());
+
+  const std::uint64_t ops_at_failover = monitor.ops_observed();
+  bed.simulation().run_for(sim::from_seconds(5));
+
+  // The same exploit against the heterogeneous replica: no effect.
+  const sec::ExploitResult retry = sec::launch_exploit(zero_day, bed.secondary());
+  bed.simulation().run_for(sim::from_seconds(5));
+  std::printf("t=%6.2fs  same exploit vs replica: %s; service %s, +%llu ops "
+              "since failover\n",
+              bed.simulation().now().seconds(),
+              retry.effect == sec::ExploitEffect::kNoEffect
+                  ? "NO EFFECT (different implementation)"
+                  : "EFFECT (unexpected!)",
+              bed.engine().service_available() ? "available" : "LOST",
+              static_cast<unsigned long long>(monitor.ops_observed() -
+                                              ops_at_failover));
+
+  // §6: exploit mitigation downgrades a hijack to a crash; with HERE that
+  // crash is just another covered failure.
+  std::printf("\n== §6: exploit mitigation + HERE ==\n");
+  rep::TestbedConfig tb2 = tb;
+  rep::Testbed bed2(tb2);
+  hv::Vm& vm2 = bed2.create_vm(std::make_unique<wl::YcsbProgram>([&] {
+    wl::YcsbConfig c;
+    c.mix = wl::ycsb_b();
+    c.record_count = 20'000;
+    c.op_limit = ~0ULL;
+    return c;
+  }()));
+  bed2.protect(vm2);
+  bed2.run_until_seeded();
+  bed2.simulation().run_for(sim::from_seconds(3));
+
+  sec::Exploit hijack;
+  hijack.cve_id = "CVE-HIJACK (control-flow)";
+  hijack.vulnerable_kind = hv::HvKind::kXen;
+  hijack.control_hijack = true;
+  const sec::ExploitResult mitigated =
+      sec::launch_exploit(hijack, bed2.primary(), /*mitigations_enabled=*/true);
+  bed2.run_until([&] { return bed2.engine().failed_over(); },
+                 sim::from_seconds(10));
+  std::printf("hijack exploit: %s; service %s after failover\n",
+              mitigated.effect == sec::ExploitEffect::kMitigated
+                  ? "downgraded to crash by mitigation"
+                  : "NOT mitigated",
+              bed2.engine().service_available() ? "available" : "LOST");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Scenario: a malicious guest holds a zero-day DoS exploit for the Xen
+// hypervisor. With classic homogeneous replication (Remus), the attacker
+// brings down the primary, waits for failover, and brings down the replica
+// with the *same* exploit — total outage. With HERE's heterogeneous
+// replication the second strike hits a KVM host and bounces off.
+//
+// Run: ./build/examples/dos_failover
+#include <cstdio>
+
+#include "replication/testbed.h"
+#include "security/exploit.h"
+#include "workload/synthetic.h"
+
+using namespace here;
+
+namespace {
+
+// Plays the full attack against a given replication mode; returns whether
+// the protected service is still up afterwards.
+bool play_attack(rep::EngineMode mode) {
+  rep::TestbedConfig config;
+  config.vm_spec = hv::make_vm_spec("victim", 2, 128ULL << 20);
+  config.engine.mode = mode;
+  config.engine.period.t_max = sim::from_seconds(1);
+  rep::Testbed bed(config);
+
+  hv::Vm& vm = bed.create_vm(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(15)));
+  bed.protect(vm);
+  bed.run_until_seeded();
+  bed.simulation().run_for(sim::from_seconds(3));
+
+  sec::Exploit zero_day;
+  zero_day.cve_id = "CVE-ZERO-DAY";
+  zero_day.vulnerable_kind = hv::HvKind::kXen;  // works only against Xen
+  zero_day.outcome = hv::FaultKind::kCrash;
+
+  std::printf("  strike 1 vs %s (%s): ", bed.primary().name().c_str(),
+              bed.primary().hypervisor().name().data());
+  sec::launch_exploit(zero_day, bed.primary());
+  std::printf("%s\n", bed.primary().alive() ? "survived" : "host DOWN");
+
+  bed.run_until([&] { return bed.engine().failed_over(); },
+                sim::from_seconds(10));
+  std::printf("  failover -> %s (%s) in %s\n", bed.secondary().name().c_str(),
+              bed.secondary().hypervisor().name().data(),
+              sim::format_duration(bed.engine().stats().resumption_time).c_str());
+
+  std::printf("  strike 2 vs %s (%s): ", bed.secondary().name().c_str(),
+              bed.secondary().hypervisor().name().data());
+  const sec::ExploitResult second =
+      sec::launch_exploit(zero_day, bed.secondary());
+  std::printf("%s\n", second.effect == sec::ExploitEffect::kNoEffect
+                          ? "NO EFFECT"
+                          : "host DOWN");
+
+  bed.simulation().run_for(sim::from_seconds(2));
+  return bed.engine().service_available();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Homogeneous replication (Remus: Xen -> Xen) ===\n");
+  const bool remus_up = play_attack(rep::EngineMode::kRemus);
+  std::printf("  service after double strike: %s\n\n",
+              remus_up ? "AVAILABLE" : "TOTAL OUTAGE");
+
+  std::printf("=== Heterogeneous replication (HERE: Xen -> KVM) ===\n");
+  const bool here_up = play_attack(rep::EngineMode::kHere);
+  std::printf("  service after double strike: %s\n\n",
+              here_up ? "AVAILABLE" : "TOTAL OUTAGE");
+
+  std::printf("Software diversity turned the second strike into a no-op: the\n"
+              "attacker now needs two simultaneous zero-days (paper §6).\n");
+  // Expected demonstration outcome: Remus succumbs, HERE survives.
+  return (!remus_up && here_up) ? 0 : 1;
+}

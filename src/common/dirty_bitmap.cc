@@ -1,0 +1,81 @@
+#include "common/dirty_bitmap.h"
+
+#include <bit>
+#include <cassert>
+
+namespace here::common {
+
+DirtyBitmap::DirtyBitmap(std::uint64_t pages)
+    : pages_(pages), words_((pages + kBits - 1) / kBits) {
+  for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+}
+
+void DirtyBitmap::set(Gfn gfn) {
+  assert(gfn < pages_);
+  words_[gfn / kBits].fetch_or(1ULL << (gfn % kBits), std::memory_order_relaxed);
+}
+
+bool DirtyBitmap::test(Gfn gfn) const {
+  assert(gfn < pages_);
+  return (words_[gfn / kBits].load(std::memory_order_relaxed) >>
+          (gfn % kBits)) & 1ULL;
+}
+
+bool DirtyBitmap::test_and_clear(Gfn gfn) {
+  assert(gfn < pages_);
+  const std::uint64_t mask = 1ULL << (gfn % kBits);
+  const std::uint64_t old =
+      words_[gfn / kBits].fetch_and(~mask, std::memory_order_relaxed);
+  return (old & mask) != 0;
+}
+
+void DirtyBitmap::clear() {
+  for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t DirtyBitmap::count() const {
+  std::uint64_t n = 0;
+  for (const auto& w : words_) {
+    n += static_cast<std::uint64_t>(
+        std::popcount(w.load(std::memory_order_relaxed)));
+  }
+  return n;
+}
+
+std::uint64_t DirtyBitmap::collect(Gfn first, Gfn last, std::vector<Gfn>& out,
+                                   bool clear_found) {
+  assert(first <= last && last <= pages_);
+  std::uint64_t found = 0;
+  Gfn gfn = first;
+  while (gfn < last) {
+    const std::uint64_t wi = gfn / kBits;
+    // Mask of bits within this word that fall in [gfn, last).
+    std::uint64_t mask = ~0ULL << (gfn % kBits);
+    const Gfn word_end = (wi + 1) * kBits;
+    if (word_end > last) mask &= (~0ULL >> (word_end - last));
+    std::uint64_t bits;
+    if (clear_found) {
+      bits = words_[wi].fetch_and(~mask, std::memory_order_relaxed) & mask;
+    } else {
+      bits = words_[wi].load(std::memory_order_relaxed) & mask;
+    }
+    while (bits) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      out.push_back(wi * kBits + static_cast<std::uint64_t>(b));
+      ++found;
+    }
+    gfn = word_end;
+  }
+  return found;
+}
+
+void DirtyBitmap::exchange_into(DirtyBitmap& scratch) {
+  assert(scratch.pages_ == pages_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    scratch.words_[i].store(words_[i].exchange(0, std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+  }
+}
+
+}  // namespace here::common

@@ -1,0 +1,58 @@
+// Concurrent dirty-page bitmap.
+//
+// This is the shared dirty log that Xen's shadow-paging path maintains and
+// that HERE's checkpoint migrator threads scan concurrently (each thread owns
+// a disjoint set of 2 MiB regions, but guest vCPUs set bits concurrently with
+// the scan during the live phase, so all accesses are atomic).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace here::common {
+
+class DirtyBitmap {
+ public:
+  explicit DirtyBitmap(std::uint64_t pages);
+
+  DirtyBitmap(const DirtyBitmap&) = delete;
+  DirtyBitmap& operator=(const DirtyBitmap&) = delete;
+
+  [[nodiscard]] std::uint64_t size_pages() const { return pages_; }
+
+  // Marks `gfn` dirty. Safe to call concurrently with any other member.
+  void set(Gfn gfn);
+
+  // Returns whether `gfn` is dirty.
+  [[nodiscard]] bool test(Gfn gfn) const;
+
+  // Atomically tests and clears one page; returns the previous value.
+  bool test_and_clear(Gfn gfn);
+
+  // Clears the whole bitmap.
+  void clear();
+
+  // Number of set bits (O(words)).
+  [[nodiscard]] std::uint64_t count() const;
+
+  // Appends all dirty gfns in [first, last) to `out`, clearing them if
+  // `clear_found`. Returns how many were found. This is the scan primitive
+  // each migrator thread runs over its assigned regions.
+  std::uint64_t collect(Gfn first, Gfn last, std::vector<Gfn>& out,
+                        bool clear_found = true);
+
+  // Atomically swaps this bitmap's contents into `scratch` (which must be the
+  // same size) and clears this one, word by word. Used at checkpoint pause to
+  // capture the epoch's dirty set while new dirtying starts a fresh epoch.
+  void exchange_into(DirtyBitmap& scratch);
+
+ private:
+  static constexpr std::uint64_t kBits = 64;
+  std::uint64_t pages_;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace here::common

@@ -1,0 +1,30 @@
+// Minimal leveled logger. Off by default so tests and benches stay quiet;
+// examples turn it on to narrate the replication lifecycle.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace here::common {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+std::string vformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+// Usage: HERE_LOG(kInfo, "checkpoint %zu took %.2f ms", n, ms);
+#define HERE_LOG(level, ...)                                              \
+  do {                                                                    \
+    if (::here::common::LogLevel::level >= ::here::common::log_level()) { \
+      ::here::common::detail::log_line(                                   \
+          ::here::common::LogLevel::level,                                \
+          ::here::common::detail::vformat(__VA_ARGS__));                  \
+    }                                                                     \
+  } while (0)
+
+}  // namespace here::common

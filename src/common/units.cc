@@ -1,0 +1,22 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace here::common {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  const auto b = static_cast<double>(bytes);
+  if (bytes >= 1_GiB) {
+    std::snprintf(buf, sizeof buf, "%.2f GiB", b / static_cast<double>(1_GiB));
+  } else if (bytes >= 1_MiB) {
+    std::snprintf(buf, sizeof buf, "%.2f MiB", b / static_cast<double>(1_MiB));
+  } else if (bytes >= 1_KiB) {
+    std::snprintf(buf, sizeof buf, "%.2f KiB", b / static_cast<double>(1_KiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace here::common

@@ -1,0 +1,34 @@
+// Memory units shared across the stack.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace here::common {
+
+// x86 base page size; both simulated hypervisors use 4 KiB guest frames.
+inline constexpr std::size_t kPageSize = 4096;
+// HERE's continuous-replication phase partitions guest memory into 2 MiB
+// regions assigned round-robin to migrator threads (paper Section 7.2).
+inline constexpr std::size_t kRegionSize = 2 << 20;
+inline constexpr std::size_t kPagesPerRegion = kRegionSize / kPageSize;
+
+// Guest frame number — index of a 4 KiB page within guest physical memory.
+using Gfn = std::uint64_t;
+
+inline constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+inline constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+inline constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+[[nodiscard]] inline constexpr std::uint64_t bytes_to_pages(std::uint64_t bytes) {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+[[nodiscard]] inline constexpr std::uint64_t pages_to_bytes(std::uint64_t pages) {
+  return pages * kPageSize;
+}
+
+// "1.50 GiB", "213.0 MiB", ...
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace here::common

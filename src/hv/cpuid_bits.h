@@ -1,0 +1,76 @@
+// Named CPUID feature bits used when building each hypervisor's default
+// guest policy. HERE reconciles the two policies to their intersection so a
+// VM booted on Xen can resume on KVM (§5.3, §7.4).
+#pragma once
+
+#include <cstdint>
+
+namespace here::hv::cpuid {
+
+// Leaf 1 ECX
+inline constexpr std::uint32_t kSse3 = 1u << 0;
+inline constexpr std::uint32_t kPclmul = 1u << 1;
+inline constexpr std::uint32_t kSsse3 = 1u << 9;
+inline constexpr std::uint32_t kFma = 1u << 12;
+inline constexpr std::uint32_t kCx16 = 1u << 13;
+inline constexpr std::uint32_t kSse41 = 1u << 19;
+inline constexpr std::uint32_t kSse42 = 1u << 20;
+inline constexpr std::uint32_t kX2Apic = 1u << 21;
+inline constexpr std::uint32_t kMovbe = 1u << 22;
+inline constexpr std::uint32_t kPopcnt = 1u << 23;
+inline constexpr std::uint32_t kAes = 1u << 25;
+inline constexpr std::uint32_t kXsave = 1u << 26;
+inline constexpr std::uint32_t kOsxsave = 1u << 27;
+inline constexpr std::uint32_t kAvx = 1u << 28;
+inline constexpr std::uint32_t kF16c = 1u << 29;
+inline constexpr std::uint32_t kRdrand = 1u << 30;
+
+// Leaf 1 EDX
+inline constexpr std::uint32_t kFpu = 1u << 0;
+inline constexpr std::uint32_t kTsc = 1u << 4;
+inline constexpr std::uint32_t kMsr = 1u << 5;
+inline constexpr std::uint32_t kPae = 1u << 6;
+inline constexpr std::uint32_t kCx8 = 1u << 8;
+inline constexpr std::uint32_t kApic = 1u << 9;
+inline constexpr std::uint32_t kSep = 1u << 11;
+inline constexpr std::uint32_t kPge = 1u << 13;
+inline constexpr std::uint32_t kCmov = 1u << 15;
+inline constexpr std::uint32_t kPat = 1u << 16;
+inline constexpr std::uint32_t kClfsh = 1u << 19;
+inline constexpr std::uint32_t kMmx = 1u << 23;
+inline constexpr std::uint32_t kFxsr = 1u << 24;
+inline constexpr std::uint32_t kSse = 1u << 25;
+inline constexpr std::uint32_t kSse2 = 1u << 26;
+inline constexpr std::uint32_t kHtt = 1u << 28;
+
+// Leaf 7 EBX
+inline constexpr std::uint32_t kFsgsbase = 1u << 0;
+inline constexpr std::uint32_t kBmi1 = 1u << 3;
+inline constexpr std::uint32_t kHle = 1u << 4;     // Xen exposes, KVM masks
+inline constexpr std::uint32_t kAvx2 = 1u << 5;
+inline constexpr std::uint32_t kSmep = 1u << 7;
+inline constexpr std::uint32_t kBmi2 = 1u << 8;
+inline constexpr std::uint32_t kErms = 1u << 9;
+inline constexpr std::uint32_t kInvpcid = 1u << 10;
+inline constexpr std::uint32_t kRtm = 1u << 11;    // Xen exposes, KVM masks
+inline constexpr std::uint32_t kMpx = 1u << 14;    // Xen exposes, KVM masks
+inline constexpr std::uint32_t kRdseed = 1u << 18;
+inline constexpr std::uint32_t kAdx = 1u << 19;
+inline constexpr std::uint32_t kSmap = 1u << 20;
+inline constexpr std::uint32_t kClflushopt = 1u << 23;
+
+// Leaf 7 ECX
+inline constexpr std::uint32_t kUmip = 1u << 2;    // KVM exposes, Xen masks
+inline constexpr std::uint32_t kPku = 1u << 3;     // KVM exposes, Xen masks
+inline constexpr std::uint32_t kRdpid = 1u << 22;
+
+// Extended leaf 0x80000001 ECX/EDX
+inline constexpr std::uint32_t kLahf64 = 1u << 0;
+inline constexpr std::uint32_t kAbm = 1u << 5;
+inline constexpr std::uint32_t k3dnowPrefetch = 1u << 8;
+inline constexpr std::uint32_t kNx = 1u << 20;
+inline constexpr std::uint32_t kPdpe1gb = 1u << 26;
+inline constexpr std::uint32_t kRdtscp = 1u << 27;
+inline constexpr std::uint32_t kLm = 1u << 29;
+
+}  // namespace here::hv::cpuid

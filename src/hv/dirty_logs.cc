@@ -1,0 +1,55 @@
+#include "hv/dirty_logs.h"
+
+namespace here::hv {
+
+common::DirtyBitmap& DirtyLogFacility::enable_bitmap(Vm& vm) {
+  Logs& logs = logs_[&vm];
+  if (!logs.bitmap) {
+    logs.bitmap = std::make_unique<common::DirtyBitmap>(vm.memory().pages());
+  }
+  vm.memory().enable_shadow_log(logs.bitmap.get());
+  return *logs.bitmap;
+}
+
+void DirtyLogFacility::disable_bitmap(Vm& vm) {
+  vm.memory().disable_shadow_log();
+}
+
+common::DirtyBitmap* DirtyLogFacility::bitmap(Vm& vm) {
+  auto it = logs_.find(&vm);
+  return it == logs_.end() ? nullptr : it->second.bitmap.get();
+}
+
+common::DirtyBitmap& DirtyLogFacility::scratch_bitmap(Vm& vm) {
+  Logs& logs = logs_[&vm];
+  if (!logs.scratch) {
+    logs.scratch = std::make_unique<common::DirtyBitmap>(vm.memory().pages());
+  }
+  return *logs.scratch;
+}
+
+std::span<PmlRing> DirtyLogFacility::enable_pml(Vm& vm) {
+  Logs& logs = logs_[&vm];
+  if (logs.rings.empty()) {
+    logs.rings = std::vector<PmlRing>(vm.spec().vcpus);
+    for (auto& ring : logs.rings) ring.set_page_count(vm.memory().pages());
+  }
+  vm.memory().enable_pml(logs.rings);
+  return logs.rings;
+}
+
+void DirtyLogFacility::disable_pml(Vm& vm) { vm.memory().disable_pml(); }
+
+std::span<PmlRing> DirtyLogFacility::pml(Vm& vm) {
+  auto it = logs_.find(&vm);
+  if (it == logs_.end()) return {};
+  return it->second.rings;
+}
+
+void DirtyLogFacility::drop(Vm& vm) {
+  disable_bitmap(vm);
+  disable_pml(vm);
+  logs_.erase(&vm);
+}
+
+}  // namespace here::hv

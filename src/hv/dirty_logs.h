@@ -1,0 +1,46 @@
+// Per-VM dirty-log bookkeeping shared by both hypervisor implementations.
+//
+// Xen offers both the classic global shadow-paging bitmap (what stock Remus
+// uses) and HERE's per-vCPU PML rings; the KVM model offers the bitmap only
+// (mirroring KVM_GET_DIRTY_LOG), which is sufficient for the reverse
+// replication direction.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+
+#include "common/dirty_bitmap.h"
+#include "hv/pml_ring.h"
+#include "hv/vm.h"
+
+namespace here::hv {
+
+class DirtyLogFacility {
+ public:
+  // Enables (or returns the existing) global dirty bitmap for `vm` and
+  // attaches it to the write path.
+  common::DirtyBitmap& enable_bitmap(Vm& vm);
+  void disable_bitmap(Vm& vm);
+  [[nodiscard]] common::DirtyBitmap* bitmap(Vm& vm);
+
+  // A same-sized scratch bitmap used by the checkpointer's epoch exchange.
+  common::DirtyBitmap& scratch_bitmap(Vm& vm);
+
+  // Enables per-vCPU PML rings (one per vCPU) and attaches them.
+  std::span<PmlRing> enable_pml(Vm& vm);
+  void disable_pml(Vm& vm);
+  [[nodiscard]] std::span<PmlRing> pml(Vm& vm);
+
+  void drop(Vm& vm);  // forget all logs (VM destroyed)
+
+ private:
+  struct Logs {
+    std::unique_ptr<common::DirtyBitmap> bitmap;
+    std::unique_ptr<common::DirtyBitmap> scratch;
+    std::vector<PmlRing> rings;
+  };
+  std::map<const Vm*, Logs> logs_;
+};
+
+}  // namespace here::hv

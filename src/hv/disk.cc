@@ -1,0 +1,33 @@
+#include "hv/disk.h"
+
+namespace here::hv {
+
+void VirtualDisk::apply(const DiskWrite& write) {
+  std::uint64_t sector = write.sector;
+  for (std::uint32_t i = 0; i < write.sectors; ++i, ++sector) {
+    if (sector >= total_sectors_) break;
+    stamps_[sector] = write.stamp + i;
+    ++sectors_written_;
+  }
+}
+
+std::uint64_t VirtualDisk::read_stamp(std::uint64_t sector) const {
+  auto it = stamps_.find(sector);
+  return it == stamps_.end() ? 0 : it->second;
+}
+
+std::uint64_t VirtualDisk::digest() const {
+  // Order-independent: XOR of per-sector mixes, so iteration order of the
+  // unordered_map does not matter.
+  std::uint64_t acc = 0;
+  for (const auto& [sector, stamp] : stamps_) {
+    std::uint64_t h = sector * 0x9e3779b97f4a7c15ULL ^ stamp;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    acc ^= h;
+  }
+  return acc;
+}
+
+}  // namespace here::hv

@@ -1,0 +1,51 @@
+// Host-side virtual disk backend.
+//
+// Remus-style replication must keep the replica's *disk* consistent with the
+// checkpointed memory image: a committed checkpoint that references disk
+// blocks the replica does not have is useless. The primary applies guest
+// writes to its local disk immediately (local I/O is not delayed by
+// replication); the same writes are shipped with the running epoch and
+// applied to the replica's disk atomically at commit.
+//
+// The disk stores one 8-byte stamp per written sector in a sparse map —
+// enough to byte-verify replica/primary consistency without gigabytes of
+// backing store.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace here::hv {
+
+struct DiskWrite {
+  std::uint64_t sector = 0;
+  std::uint32_t sectors = 1;
+  std::uint64_t stamp = 0;  // content fingerprint written to each sector
+};
+
+class VirtualDisk {
+ public:
+  explicit VirtualDisk(std::uint64_t total_sectors = 2ULL << 21)  // 2 TiB
+      : total_sectors_(total_sectors) {}
+
+  [[nodiscard]] std::uint64_t total_sectors() const { return total_sectors_; }
+
+  // Applies one write (clamps at the end of the disk).
+  void apply(const DiskWrite& write);
+
+  // Stamp of one sector (0 if never written).
+  [[nodiscard]] std::uint64_t read_stamp(std::uint64_t sector) const;
+
+  // Order-independent digest over all written sectors.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  [[nodiscard]] std::uint64_t sectors_written() const { return sectors_written_; }
+  [[nodiscard]] std::size_t distinct_sectors() const { return stamps_.size(); }
+
+ private:
+  std::uint64_t total_sectors_;
+  std::unordered_map<std::uint64_t, std::uint64_t> stamps_;
+  std::uint64_t sectors_written_ = 0;
+};
+
+}  // namespace here::hv

@@ -1,0 +1,156 @@
+// Architectural (hypervisor-neutral) guest CPU state.
+//
+// This is the ground truth the guest observes. Each hypervisor serializes it
+// in its own wire format (Xen's vcpu_guest_context vs KVM's kvm_regs /
+// kvm_sregs split — see xensim/xen_state.h and kvmsim/kvm_state.h); the state
+// translator's job (paper §5.3/§7.4) is to convert between those formats
+// without losing architectural state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace here::hv {
+
+// Canonical GPR order used by the neutral format (matches DWARF numbering).
+enum Gpr : std::size_t {
+  kRax, kRdx, kRcx, kRbx, kRsi, kRdi, kRbp, kRsp,
+  kR8, kR9, kR10, kR11, kR12, kR13, kR14, kR15,
+  kGprCount
+};
+
+struct SegmentRegister {
+  std::uint16_t selector = 0;
+  std::uint64_t base = 0;
+  std::uint32_t limit = 0;
+  // Raw attribute byte pair (type, s, dpl, p, avl, l, db, g) packed as in the
+  // VMCS access-rights encoding.
+  std::uint16_t attributes = 0;
+
+  friend bool operator==(const SegmentRegister&, const SegmentRegister&) = default;
+};
+
+struct DescriptorTable {
+  std::uint64_t base = 0;
+  std::uint16_t limit = 0;
+  friend bool operator==(const DescriptorTable&, const DescriptorTable&) = default;
+};
+
+struct MsrEntry {
+  std::uint32_t index = 0;
+  std::uint64_t value = 0;
+  friend bool operator==(const MsrEntry&, const MsrEntry&) = default;
+};
+
+// MSR indices both hypervisor formats care about.
+inline constexpr std::uint32_t kMsrStar = 0xC0000081;
+inline constexpr std::uint32_t kMsrLstar = 0xC0000082;
+inline constexpr std::uint32_t kMsrCstar = 0xC0000083;
+inline constexpr std::uint32_t kMsrSyscallMask = 0xC0000084;
+inline constexpr std::uint32_t kMsrFsBase = 0xC0000100;
+inline constexpr std::uint32_t kMsrGsBase = 0xC0000101;
+inline constexpr std::uint32_t kMsrKernelGsBase = 0xC0000102;
+inline constexpr std::uint32_t kMsrTscAux = 0xC0000103;
+
+// Local APIC state (subset sufficient for replication consistency).
+struct LapicState {
+  std::uint32_t id = 0;
+  std::uint32_t tpr = 0;          // task priority
+  std::uint32_t ldr = 0;          // logical destination
+  std::uint32_t svr = 0x1ff;      // spurious vector, APIC enabled
+  std::uint32_t lvt_timer = 0x10000;
+  std::uint32_t timer_icr = 0;    // initial count
+  std::uint32_t timer_ccr = 0;    // current count
+  std::uint32_t timer_divide = 0;
+  std::array<std::uint32_t, 8> irr{};  // pending interrupts
+  std::array<std::uint32_t, 8> isr{};  // in-service
+  friend bool operator==(const LapicState&, const LapicState&) = default;
+};
+
+// Full per-vCPU architectural state.
+struct GuestCpuContext {
+  std::array<std::uint64_t, kGprCount> gpr{};
+  std::uint64_t rip = 0xfff0;
+  std::uint64_t rflags = 0x2;
+  std::uint64_t cr0 = 0x60000010;
+  std::uint64_t cr2 = 0;
+  std::uint64_t cr3 = 0;
+  std::uint64_t cr4 = 0;
+  std::uint64_t cr8 = 0;
+  std::uint64_t efer = 0;
+  std::uint64_t xcr0 = 1;
+
+  // cs ss ds es fs gs
+  std::array<SegmentRegister, 6> segments{};
+  SegmentRegister tr;
+  SegmentRegister ldtr;
+  DescriptorTable gdt;
+  DescriptorTable idt;
+
+  std::vector<MsrEntry> msrs;
+
+  LapicState lapic;
+
+  // Absolute guest TSC value at save time (KVM convention; Xen stores an
+  // offset from host TSC — the translator reconciles the two, §7.4).
+  std::uint64_t tsc = 0;
+
+  bool halted = false;
+  // Pending (injected but undelivered) interrupt vector, or -1.
+  std::int32_t pending_interrupt = -1;
+
+  friend bool operator==(const GuestCpuContext&, const GuestCpuContext&) = default;
+};
+
+// CPUID feature words the two hypervisors may expose differently.
+// HERE masks the exposed features to the intersection so a VM started on Xen
+// can safely resume on KVM (§5.3: "virtualization compatibility").
+struct CpuidPolicy {
+  std::uint32_t leaf1_ecx = 0;   // SSE3..AVX etc.
+  std::uint32_t leaf1_edx = 0;   // FPU..SSE2 etc.
+  std::uint32_t leaf7_ebx = 0;   // AVX2, BMI, ...
+  std::uint32_t leaf7_ecx = 0;
+  std::uint32_t ext1_ecx = 0;    // LAHF64, ...
+  std::uint32_t ext1_edx = 0;    // NX, RDTSCP, 64-bit
+  std::uint32_t max_leaf = 0x16;
+  std::uint32_t max_ext_leaf = 0x80000008;
+
+  friend bool operator==(const CpuidPolicy&, const CpuidPolicy&) = default;
+
+  // Features available on both -> safe to expose to a replicated VM.
+  [[nodiscard]] CpuidPolicy intersect(const CpuidPolicy& other) const {
+    CpuidPolicy out;
+    out.leaf1_ecx = leaf1_ecx & other.leaf1_ecx;
+    out.leaf1_edx = leaf1_edx & other.leaf1_edx;
+    out.leaf7_ebx = leaf7_ebx & other.leaf7_ebx;
+    out.leaf7_ecx = leaf7_ecx & other.leaf7_ecx;
+    out.ext1_ecx = ext1_ecx & other.ext1_ecx;
+    out.ext1_edx = ext1_edx & other.ext1_edx;
+    out.max_leaf = max_leaf < other.max_leaf ? max_leaf : other.max_leaf;
+    out.max_ext_leaf =
+        max_ext_leaf < other.max_ext_leaf ? max_ext_leaf : other.max_ext_leaf;
+    return out;
+  }
+
+  [[nodiscard]] bool subset_of(const CpuidPolicy& other) const {
+    return (leaf1_ecx & ~other.leaf1_ecx) == 0 &&
+           (leaf1_edx & ~other.leaf1_edx) == 0 &&
+           (leaf7_ebx & ~other.leaf7_ebx) == 0 &&
+           (leaf7_ecx & ~other.leaf7_ecx) == 0 &&
+           (ext1_ecx & ~other.ext1_ecx) == 0 &&
+           (ext1_edx & ~other.ext1_edx) == 0;
+  }
+};
+
+// Guest-wide (non-per-vCPU) platform state.
+struct PlatformState {
+  CpuidPolicy cpuid;
+  // Paravirtual clock: guest boot epoch in ns of virtual time.
+  std::uint64_t boot_time_ns = 0;
+  // TSC frequency exposed to the guest (kHz); 2.1 GHz Xeon Gold 6130.
+  std::uint64_t tsc_khz = 2'100'000;
+  friend bool operator==(const PlatformState&, const PlatformState&) = default;
+};
+
+}  // namespace here::hv

@@ -1,0 +1,86 @@
+// Guest workload interface.
+//
+// A GuestProgram is the code "inside" the protected VM: it dirties guest
+// memory through the dirty-tracked write path and performs network I/O
+// through the VM's device models. The owning hypervisor calls tick() on a
+// fixed virtual-time cadence while the VM is running; checkpoint pauses and
+// DoS faults naturally suspend it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "simnet/packet.h"
+
+namespace here::hv {
+
+class Vm;
+
+// Execution environment handed to the program on every tick. Thin facade
+// over the VM so programs cannot reach host-side interfaces.
+class GuestEnv {
+ public:
+  GuestEnv(Vm& vm, sim::TimePoint now, sim::Rng& rng)
+      : vm_(vm), now_(now), rng_(rng) {}
+
+  [[nodiscard]] sim::TimePoint now() const { return now_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+
+  // Guest memory geometry.
+  [[nodiscard]] std::uint64_t memory_pages() const;
+
+  // Dirty-tracked store of 8 bytes into page `gfn` from vCPU `vcpu`.
+  void store(std::uint32_t vcpu, std::uint64_t gfn, std::uint32_t offset,
+             std::uint64_t value);
+  [[nodiscard]] std::uint64_t load(std::uint64_t gfn, std::uint32_t offset) const;
+  [[nodiscard]] std::uint32_t vcpus() const;
+
+  // Sends a packet out of the VM's network device (goes through the
+  // replication outbound buffer when the VM is protected).
+  void send_packet(net::NodeId dst, std::uint32_t size_bytes,
+                   std::uint32_t kind, std::uint64_t tag);
+
+  // Writes `sectors` 512-byte sectors stamped with `stamp` through the VM's
+  // block device (mirrored to the replica's disk when protected). No-op if
+  // the VM has no block device.
+  void disk_write(std::uint64_t sector, std::uint32_t sectors,
+                  std::uint64_t stamp);
+
+  // Models a guest-kernel panic (used by Table 2 "guest user / guest kernel"
+  // scenarios: replication cannot protect against the guest killing itself).
+  void panic_guest();
+
+ private:
+  Vm& vm_;
+  sim::TimePoint now_;
+  sim::Rng& rng_;
+};
+
+class GuestProgram {
+ public:
+  virtual ~GuestProgram() = default;
+
+  // Called once when the VM starts running.
+  virtual void start(GuestEnv& /*env*/) {}
+
+  // Runs `dt` of guest CPU time. Must scale its work with dt.
+  virtual void tick(GuestEnv& env, sim::Duration dt) = 0;
+
+  // Inbound packet delivered to the guest (already passed the net device).
+  virtual void on_packet(GuestEnv& /*env*/, const net::Packet& /*packet*/) {}
+
+  // Invoked by the guest agent after a failover device switch completed on
+  // the new host (HERE's in-guest kernel module, §7.3/§7.6).
+  virtual void on_device_switch(GuestEnv& /*env*/) {}
+
+  // Deep-copies the program's logical state. The replication engine snapshots
+  // the program at every checkpoint pause, alongside the memory image: in a
+  // real system this state lives in guest RAM and replicates with it; in the
+  // simulation it lives in the program object, so failover resumes from the
+  // clone taken at the last committed checkpoint (rollback semantics).
+  [[nodiscard]] virtual std::unique_ptr<GuestProgram> clone() const = 0;
+};
+
+}  // namespace here::hv

@@ -1,0 +1,37 @@
+#include "hv/host.h"
+
+namespace here::hv {
+
+Host::Host(std::string name, net::Fabric& fabric,
+           std::unique_ptr<Hypervisor> hypervisor)
+    : name_(std::move(name)), fabric_(fabric), hypervisor_(std::move(hypervisor)) {
+  eth_node_ = fabric_.add_node(
+      name_ + ".eth",
+      [this](const net::Packet& p) { on_packet(p, eth_handlers_); });
+  ic_node_ = fabric_.add_node(
+      name_ + ".ic", [this](const net::Packet& p) { on_packet(p, ic_handlers_); });
+}
+
+void Host::on_packet(const net::Packet& packet,
+                     const std::vector<PacketHandler>& handlers) {
+  if (!alive()) return;  // hung host: links up, nobody home
+  for (const auto& handler : handlers) {
+    if (handler) handler(packet);
+  }
+}
+
+void Host::inject_fault(FaultKind fault) {
+  hypervisor_->inject_fault(fault);
+  if (fault == FaultKind::kCrash) {
+    fabric_.set_node_down(eth_node_, true);
+    fabric_.set_node_down(ic_node_, true);
+  }
+}
+
+void Host::repair() {
+  hypervisor_->inject_fault(FaultKind::kNone);
+  fabric_.set_node_down(eth_node_, false);
+  fabric_.set_node_down(ic_node_, false);
+}
+
+}  // namespace here::hv

@@ -1,0 +1,85 @@
+// A physical host: one hypervisor plus its two network endpoints (guest
+// Ethernet and replication interconnect), resource accounting for §8.7, and
+// host-level fault injection.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hv/hypervisor.h"
+#include "sim/hardware_profile.h"
+#include "simnet/fabric.h"
+
+namespace here::hv {
+
+class Host {
+ public:
+  using PacketHandler = std::function<void(const net::Packet&)>;
+
+  // Registers eth/interconnect endpoints named "<name>.eth"/"<name>.ic".
+  Host(std::string name, net::Fabric& fabric,
+       std::unique_ptr<Hypervisor> hypervisor);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Hypervisor& hypervisor() { return *hypervisor_; }
+  [[nodiscard]] const Hypervisor& hypervisor() const { return *hypervisor_; }
+  [[nodiscard]] net::Fabric& fabric() { return fabric_; }
+
+  [[nodiscard]] net::NodeId eth_node() const { return eth_node_; }
+  [[nodiscard]] net::NodeId ic_node() const { return ic_node_; }
+
+  // Packet dispatch: replication engines install these (several engines may
+  // share a host pair, each protecting one VM, so handlers multicast). A
+  // crashed or hung host never invokes them.
+  void add_eth_handler(PacketHandler handler) {
+    eth_handlers_.push_back(std::move(handler));
+  }
+  void add_ic_handler(PacketHandler handler) {
+    ic_handlers_.push_back(std::move(handler));
+  }
+
+  // Injects a host-level DoS outcome. kCrash also takes the host's network
+  // endpoints down (the machine is gone); kHang leaves links up but the host
+  // stops responding; kStarvation degrades guest scheduling.
+  void inject_fault(FaultKind fault);
+  [[nodiscard]] FaultKind fault() const { return hypervisor_->fault(); }
+  [[nodiscard]] bool alive() const { return hypervisor_->operational(); }
+
+  // Recovery (reboot/repair) — restores an operational hypervisor. Guest
+  // state on this host is lost (fresh hypervisor), as after a real reboot.
+  void repair();
+
+  // --- §8.7 resource accounting ---------------------------------------------
+
+  // CPU-seconds consumed by host-side replication threads.
+  void account_replication_cpu(sim::Duration d) { replication_cpu_ += d; }
+  [[nodiscard]] sim::Duration replication_cpu() const { return replication_cpu_; }
+  // Peak resident bytes of replication buffers.
+  void account_replication_memory(std::uint64_t bytes) {
+    replication_mem_peak_ = std::max(replication_mem_peak_, bytes);
+  }
+  [[nodiscard]] std::uint64_t replication_memory_peak() const {
+    return replication_mem_peak_;
+  }
+
+ private:
+  void on_packet(const net::Packet& packet,
+                 const std::vector<PacketHandler>& handlers);
+
+  std::string name_;
+  net::Fabric& fabric_;
+  std::unique_ptr<Hypervisor> hypervisor_;
+  net::NodeId eth_node_;
+  net::NodeId ic_node_;
+  std::vector<PacketHandler> eth_handlers_;
+  std::vector<PacketHandler> ic_handlers_;
+  sim::Duration replication_cpu_{0};
+  std::uint64_t replication_mem_peak_ = 0;
+};
+
+}  // namespace here::hv

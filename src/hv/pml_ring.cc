@@ -1,0 +1,46 @@
+#include "hv/pml_ring.h"
+
+#include <algorithm>
+
+namespace here::hv {
+
+void PmlRing::log(common::Gfn gfn) {
+  std::lock_guard lock(mu_);
+  if (gfn < logged_.size()) {
+    if (logged_[gfn]) return;  // dirty bit already set: no new PML entry
+    logged_[gfn] = 1;
+  }
+  entries_.push_back(gfn);
+  if (++hw_fill_ >= kHardwareEntries) {
+    hw_fill_ = 0;
+    ++flush_vmexits_;
+  }
+}
+
+std::size_t PmlRing::drain(std::vector<common::Gfn>& out, std::size_t max) {
+  std::lock_guard lock(mu_);
+  const std::size_t n = std::min(entries_.size(), max);
+  for (std::size_t i = 0; i < n; ++i) {
+    const common::Gfn g = entries_[i];
+    out.push_back(g);
+    if (g < logged_.size()) logged_[g] = 0;  // re-arm dirty logging
+  }
+  entries_.erase(entries_.begin(), entries_.begin() + static_cast<std::ptrdiff_t>(n));
+  return n;
+}
+
+std::size_t PmlRing::pending() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+void PmlRing::clear() {
+  std::lock_guard lock(mu_);
+  for (const common::Gfn g : entries_) {
+    if (g < logged_.size()) logged_[g] = 0;
+  }
+  entries_.clear();
+  hw_fill_ = 0;
+}
+
+}  // namespace here::hv

@@ -1,0 +1,54 @@
+// Per-vCPU dirty-page ring, modelling HERE's Xen kernel extension (§7.2):
+// Intel Page Modification Logging fills a 512-entry hardware buffer per
+// vCPU; on overflow the hypervisor drains it into a software ring that a
+// migrator thread can consume *without interrupting other vCPUs*.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/units.h"
+
+namespace here::hv {
+
+class PmlRing {
+ public:
+  // Capacity of the hardware PML buffer before a vmexit flush is forced.
+  static constexpr std::size_t kHardwareEntries = 512;
+
+  PmlRing() = default;
+  PmlRing(const PmlRing&) = delete;
+  PmlRing& operator=(const PmlRing&) = delete;
+
+  // Sizes the once-per-page dedup filter. Real PML logs a page only on its
+  // dirty-bit 0->1 transition, i.e. once per page until the migrator clears
+  // it — not on every store.
+  void set_page_count(std::uint64_t pages) { logged_.assign(pages, 0); }
+
+  // Logs a guest write. Called from the vCPU execution path.
+  void log(common::Gfn gfn);
+
+  // Drains up to `max` logged gfns into `out` (appended). Returns the number
+  // drained. Called by this vCPU's migrator thread. Duplicate gfns may appear
+  // (PML logs every write granule); consumers dedupe via their send bitmap.
+  std::size_t drain(std::vector<common::Gfn>& out,
+                    std::size_t max = ~std::size_t{0});
+
+  [[nodiscard]] std::size_t pending() const;
+
+  // Number of simulated hardware-buffer-full vmexits so far; feeds the
+  // replication overhead model (a full PML buffer costs a vmexit).
+  [[nodiscard]] std::uint64_t flush_vmexits() const { return flush_vmexits_; }
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<common::Gfn> entries_;
+  std::vector<std::uint8_t> logged_;  // per-page "already logged" filter
+  std::size_t hw_fill_ = 0;  // entries since last simulated hardware flush
+  std::uint64_t flush_vmexits_ = 0;
+};
+
+}  // namespace here::hv

@@ -1,0 +1,120 @@
+// Shared hypervisor-neutral types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace here::hv {
+
+// Which hypervisor implementation a host runs. Heterogeneous replication is
+// exactly the case primary_kind != replica_kind.
+enum class HvKind : std::uint8_t { kXen, kKvm };
+
+[[nodiscard]] constexpr const char* to_string(HvKind kind) {
+  switch (kind) {
+    case HvKind::kXen: return "xen";
+    case HvKind::kKvm: return "kvm";
+  }
+  return "?";
+}
+
+enum class VmState : std::uint8_t {
+  kCreated,   // configured, never run
+  kRunning,
+  kPaused,    // checkpoint pause or admin pause
+  kCrashed,   // guest OS died (e.g. guest-kernel DoS)
+  kDestroyed,
+};
+
+[[nodiscard]] constexpr const char* to_string(VmState s) {
+  switch (s) {
+    case VmState::kCreated: return "created";
+    case VmState::kRunning: return "running";
+    case VmState::kPaused: return "paused";
+    case VmState::kCrashed: return "crashed";
+    case VmState::kDestroyed: return "destroyed";
+  }
+  return "?";
+}
+
+// Post-attack outcomes observed in the paper's vulnerability study (§8.2):
+// crash (target shut down), hang (stops responding), starvation (resource
+// exhaustion; target limps along).
+enum class FaultKind : std::uint8_t { kNone, kCrash, kHang, kStarvation };
+
+[[nodiscard]] constexpr const char* to_string(FaultKind f) {
+  switch (f) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kHang: return "hang";
+    case FaultKind::kStarvation: return "starvation";
+  }
+  return "?";
+}
+
+// Software components a virtualization stack is built from. Exploits target
+// components; two stacks share a vulnerability only if they share the
+// affected component — the software-diversity calculus of the paper's §8.2
+// ("since both Xen and QEMU-KVM hypervisors use QEMU to emulate their
+// device models, implementing HERE on them would not have protected the
+// guest from QEMU vulnerabilities").
+enum class SoftwareComponent : std::uint8_t {
+  kXenCore,       // the Xen hypervisor kernel
+  kXenToolstack,  // xl / libxl / libxc
+  kKvmModule,     // kvm.ko
+  kKvmtool,       // kvmtool userspace
+  kQemu,          // QEMU device emulation (shareable between stacks!)
+  kDom0Linux,     // the privileged control domain's kernel
+};
+
+[[nodiscard]] constexpr const char* to_string(SoftwareComponent c) {
+  switch (c) {
+    case SoftwareComponent::kXenCore: return "xen-core";
+    case SoftwareComponent::kXenToolstack: return "xen-toolstack";
+    case SoftwareComponent::kKvmModule: return "kvm.ko";
+    case SoftwareComponent::kKvmtool: return "kvmtool";
+    case SoftwareComponent::kQemu: return "qemu";
+    case SoftwareComponent::kDom0Linux: return "dom0-linux";
+  }
+  return "?";
+}
+
+// Static configuration of a guest VM.
+struct VmSpec {
+  std::string name = "vm";
+  std::uint32_t vcpus = 4;
+  // Real backing pages actually allocated (each 4 KiB, really written and
+  // really copied during replication).
+  std::uint64_t pages = common::bytes_to_pages(512ULL << 20);
+  // Timing multiplier: each real page stands for `model_scale` modelled
+  // pages, so 20 GB-class experiments run with a few hundred MB resident.
+  // All workloads are specified as fractions of VM memory, which makes the
+  // replication dynamics scale-invariant (see DESIGN.md §5).
+  std::uint64_t model_scale = 1;
+
+  [[nodiscard]] std::uint64_t real_bytes() const {
+    return common::pages_to_bytes(pages);
+  }
+  [[nodiscard]] std::uint64_t model_pages() const { return pages * model_scale; }
+  [[nodiscard]] std::uint64_t model_bytes() const {
+    return common::pages_to_bytes(model_pages());
+  }
+};
+
+// Convenience builder: a spec whose *modelled* size is `model_bytes`, backed
+// by real memory shrunk by `scale` (scale == 1 -> fully real).
+[[nodiscard]] inline VmSpec make_vm_spec(std::string name, std::uint32_t vcpus,
+                                         std::uint64_t model_bytes,
+                                         std::uint64_t scale = 1) {
+  VmSpec spec;
+  spec.name = std::move(name);
+  spec.vcpus = vcpus;
+  spec.model_scale = scale;
+  spec.pages = common::bytes_to_pages(model_bytes) / scale;
+  if (spec.pages == 0) spec.pages = 1;
+  return spec;
+}
+
+}  // namespace here::hv

@@ -1,0 +1,143 @@
+#include "hv/vm.h"
+
+#include <utility>
+
+namespace here::hv {
+
+Vm::Vm(VmSpec spec)
+    : spec_(std::move(spec)),
+      memory_(spec_.pages, spec_.vcpus),
+      cpus_(spec_.vcpus) {
+  // Give each vCPU a distinguishable boot state.
+  for (std::uint32_t i = 0; i < spec_.vcpus; ++i) {
+    cpus_[i].lapic.id = i;
+    cpus_[i].gpr[kRsp] = 0x7000 + 0x1000ULL * i;
+    cpus_[i].cr3 = 0x1000;
+  }
+}
+
+void Vm::add_device(std::unique_ptr<DeviceModel> device) {
+  devices_.push_back(std::move(device));
+}
+
+std::size_t Vm::clear_devices() {
+  const std::size_t n = devices_.size();
+  devices_.clear();
+  return n;
+}
+
+NetDevice* Vm::net_device() {
+  for (auto& d : devices_) {
+    if (d->kind() == DeviceKind::kNet) return static_cast<NetDevice*>(d.get());
+  }
+  return nullptr;
+}
+
+BlockDevice* Vm::block_device() {
+  for (auto& d : devices_) {
+    if (d->kind() == DeviceKind::kBlock) return static_cast<BlockDevice*>(d.get());
+  }
+  return nullptr;
+}
+
+void Vm::attach_program(std::unique_ptr<GuestProgram> program) {
+  program_ = std::move(program);
+  program_started_ = false;
+}
+
+void Vm::run_slice(sim::TimePoint now, sim::Duration dt, sim::Rng& rng) {
+  if (state_ != VmState::kRunning) return;
+  advance_architectural_state(dt, rng);
+  guest_time_ += dt;
+  if (program_) {
+    GuestEnv env(*this, now, rng);
+    if (!program_started_) {
+      program_started_ = true;
+      program_->start(env);
+    }
+    // Drain packets that arrived while the VM was paused (checkpoint) —
+    // they sat in the rx ring.
+    if (!pending_rx_.empty()) {
+      std::vector<net::Packet> queued;
+      queued.swap(pending_rx_);
+      for (const auto& p : queued) program_->on_packet(env, p);
+    }
+    program_->tick(env, dt);
+  }
+}
+
+void Vm::deliver_packet(sim::TimePoint now, sim::Rng& rng,
+                        const net::Packet& packet) {
+  if (state_ == VmState::kCrashed || state_ == VmState::kDestroyed) return;
+  if (NetDevice* dev = net_device()) dev->receive(packet);
+  if (!program_) return;
+  if (state_ == VmState::kRunning && program_started_) {
+    GuestEnv env(*this, now, rng);
+    program_->on_packet(env, packet);
+  } else if (state_ == VmState::kPaused || !program_started_) {
+    pending_rx_.push_back(packet);
+  }
+}
+
+void Vm::transmit(const net::Packet& packet) {
+  if (NetDevice* dev = net_device()) dev->transmit(packet);
+}
+
+void Vm::agent_notify_device_switch(sim::TimePoint now, sim::Rng& rng) {
+  if (program_) {
+    GuestEnv env(*this, now, rng);
+    program_->on_device_switch(env);
+  }
+}
+
+void Vm::panic() { state_ = VmState::kCrashed; }
+
+void Vm::advance_architectural_state(sim::Duration dt, sim::Rng& rng) {
+  const auto tsc_ticks = static_cast<std::uint64_t>(
+      sim::to_seconds(dt) * static_cast<double>(platform_.tsc_khz) * 1000.0);
+  for (auto& cpu : cpus_) {
+    cpu.tsc += tsc_ticks;
+    cpu.rip = 0xffffffff80000000ULL | (rng.next_u64() & 0xffffff);
+    cpu.gpr[kRax] = rng.next_u64();
+    cpu.gpr[kRcx] = rng.next_u64();
+    cpu.gpr[kRsi] += 8;
+    cpu.rflags = 0x2 | ((rng.next_u64() & 1) << 6);  // toggle ZF
+    cpu.lapic.timer_ccr = static_cast<std::uint32_t>(rng.next_u64());
+  }
+}
+
+// --- GuestEnv ---------------------------------------------------------------
+
+std::uint64_t GuestEnv::memory_pages() const { return vm_.memory().pages(); }
+
+void GuestEnv::store(std::uint32_t vcpu, std::uint64_t gfn, std::uint32_t offset,
+                     std::uint64_t value) {
+  vm_.memory().write_u64(vcpu, gfn, offset, value);
+}
+
+std::uint64_t GuestEnv::load(std::uint64_t gfn, std::uint32_t offset) const {
+  return vm_.memory().read_u64(gfn, offset);
+}
+
+std::uint32_t GuestEnv::vcpus() const { return vm_.spec().vcpus; }
+
+void GuestEnv::send_packet(net::NodeId dst, std::uint32_t size_bytes,
+                           std::uint32_t kind, std::uint64_t tag) {
+  net::Packet packet;
+  packet.dst = dst;
+  packet.size_bytes = size_bytes;
+  packet.kind = kind;
+  packet.tag = tag;
+  vm_.transmit(packet);
+}
+
+void GuestEnv::disk_write(std::uint64_t sector, std::uint32_t sectors,
+                          std::uint64_t stamp) {
+  if (BlockDevice* blk = vm_.block_device()) {
+    blk->submit_write(sector, sectors, stamp);
+  }
+}
+
+void GuestEnv::panic_guest() { vm_.panic(); }
+
+}  // namespace here::hv

@@ -1,0 +1,95 @@
+// The guest virtual machine: memory + vCPU contexts + devices + workload.
+//
+// A Vm object is hypervisor-neutral; the owning hypervisor implementation
+// (xensim / kvmsim) decides which device family it gets, how its state is
+// serialized and how its dirty logs are configured.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hv/device.h"
+#include "hv/guest_cpu.h"
+#include "hv/guest_memory.h"
+#include "hv/guest_program.h"
+#include "hv/types.h"
+#include "sim/rng.h"
+
+namespace here::hv {
+
+class Vm {
+ public:
+  explicit Vm(VmSpec spec);
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  [[nodiscard]] const VmSpec& spec() const { return spec_; }
+  [[nodiscard]] GuestMemory& memory() { return memory_; }
+  [[nodiscard]] const GuestMemory& memory() const { return memory_; }
+
+  [[nodiscard]] std::vector<GuestCpuContext>& cpus() { return cpus_; }
+  [[nodiscard]] const std::vector<GuestCpuContext>& cpus() const { return cpus_; }
+  [[nodiscard]] PlatformState& platform() { return platform_; }
+  [[nodiscard]] const PlatformState& platform() const { return platform_; }
+
+  [[nodiscard]] VmState state() const { return state_; }
+  void set_state(VmState s) { state_ = s; }
+  [[nodiscard]] bool runnable() const { return state_ == VmState::kRunning; }
+
+  // --- Devices --------------------------------------------------------------
+
+  void add_device(std::unique_ptr<DeviceModel> device);
+  // Removes all devices (failover unplug step). Returns how many were removed.
+  std::size_t clear_devices();
+  [[nodiscard]] const std::vector<std::unique_ptr<DeviceModel>>& devices() const {
+    return devices_;
+  }
+  // First net/block device, or nullptr.
+  [[nodiscard]] NetDevice* net_device();
+  [[nodiscard]] BlockDevice* block_device();
+
+  // --- Workload ---------------------------------------------------------------
+
+  void attach_program(std::unique_ptr<GuestProgram> program);
+  [[nodiscard]] GuestProgram* program() { return program_.get(); }
+
+  // Runs one execution slice: advances architectural state and ticks the
+  // program. Called only by the owning hypervisor while kRunning.
+  void run_slice(sim::TimePoint now, sim::Duration dt, sim::Rng& rng);
+
+  // Inbound packet path (net device -> program). While the VM is paused
+  // (checkpoint) packets queue in the rx ring and are processed at resume.
+  void deliver_packet(sim::TimePoint now, sim::Rng& rng, const net::Packet& packet);
+
+  // Outbound packet path used by GuestEnv.
+  void transmit(const net::Packet& packet);
+
+  // Guest agent (HERE's in-guest module): notifies the program that devices
+  // were switched to a new family after failover.
+  void agent_notify_device_switch(sim::TimePoint now, sim::Rng& rng);
+
+  // Guest kernel panic (guest-originated DoS; Table 2 rows 2-3).
+  void panic();
+
+  // Cumulative guest CPU time executed (for throughput accounting).
+  [[nodiscard]] sim::Duration guest_time() const { return guest_time_; }
+
+ private:
+  // Mutates vCPU registers/TSC so successive checkpoints carry different
+  // architectural state (gives the state translator real work).
+  void advance_architectural_state(sim::Duration dt, sim::Rng& rng);
+
+  VmSpec spec_;
+  GuestMemory memory_;
+  std::vector<GuestCpuContext> cpus_;
+  PlatformState platform_;
+  VmState state_ = VmState::kCreated;
+  std::vector<std::unique_ptr<DeviceModel>> devices_;
+  std::unique_ptr<GuestProgram> program_;
+  std::vector<net::Packet> pending_rx_;  // queued while paused
+  sim::Duration guest_time_{0};
+  bool program_started_ = false;
+};
+
+}  // namespace here::hv

@@ -1,0 +1,150 @@
+#include "kvmsim/kvm_hypervisor.h"
+
+#include "hv/cpuid_bits.h"
+#include "kvmsim/virtio_devices.h"
+
+namespace here::kvm {
+
+namespace c = hv::cpuid;
+
+KvmHypervisor::KvmHypervisor(sim::Simulation& simulation, sim::Rng rng,
+                             KvmUserspace userspace)
+    : Hypervisor(simulation, rng), userspace_(userspace) {}
+
+std::vector<hv::SoftwareComponent> KvmHypervisor::components() const {
+  std::vector<hv::SoftwareComponent> c = {hv::SoftwareComponent::kKvmModule,
+                                          hv::SoftwareComponent::kDom0Linux};
+  c.push_back(userspace_ == KvmUserspace::kQemu
+                  ? hv::SoftwareComponent::kQemu
+                  : hv::SoftwareComponent::kKvmtool);
+  return c;
+}
+
+hv::CpuidPolicy KvmHypervisor::default_cpuid() const {
+  hv::CpuidPolicy p;
+  p.leaf1_ecx = c::kSse3 | c::kPclmul | c::kSsse3 | c::kFma | c::kCx16 |
+                c::kSse41 | c::kSse42 | c::kX2Apic | c::kMovbe | c::kPopcnt |
+                c::kAes | c::kXsave | c::kOsxsave | c::kAvx | c::kF16c |
+                c::kRdrand;
+  p.leaf1_edx = c::kFpu | c::kTsc | c::kMsr | c::kPae | c::kCx8 | c::kApic |
+                c::kSep | c::kPge | c::kCmov | c::kPat | c::kClfsh | c::kMmx |
+                c::kFxsr | c::kSse | c::kSse2 | c::kHtt;
+  // KVM masks HLE/RTM/MPX but exposes UMIP/PKU, unlike the Xen model.
+  p.leaf7_ebx = c::kFsgsbase | c::kBmi1 | c::kAvx2 | c::kSmep | c::kBmi2 |
+                c::kErms | c::kInvpcid | c::kRdseed | c::kAdx | c::kSmap |
+                c::kClflushopt;
+  p.leaf7_ecx = c::kUmip | c::kPku | c::kRdpid;
+  p.ext1_ecx = c::kLahf64 | c::kAbm;
+  p.ext1_edx = c::kNx | c::kPdpe1gb | c::kRdtscp | c::kLm;
+  p.max_leaf = 0x1f;
+  p.max_ext_leaf = 0x8000000a;
+  return p;
+}
+
+hv::HvCostProfile KvmHypervisor::cost_profile() const {
+  if (userspace_ == KvmUserspace::kQemu) {
+    // Full QEMU: machine model construction and device realization are an
+    // order of magnitude heavier than kvmtool's static wiring.
+    return hv::HvCostProfile{
+        .vm_pause = sim::from_micros(200),
+        .vm_resume = sim::from_micros(400),
+        .create_vm_base = sim::from_millis(60),
+        .per_device_setup = sim::from_millis(4),
+        .state_load = sim::from_millis(3),
+    };
+  }
+  // kvmtool is a single small binary: VM construction is a few mmap+ioctl
+  // calls, devices are statically wired — the fast-resume property Fig. 7
+  // credits for ~ms failovers.
+  return hv::HvCostProfile{
+      .vm_pause = sim::from_micros(120),
+      .vm_resume = sim::from_micros(150),
+      .create_vm_base = sim::from_millis(2),
+      .per_device_setup = sim::from_micros(300),
+      .state_load = sim::from_micros(800),
+  };
+}
+
+void KvmHypervisor::configure_vm(hv::Vm& vm) {
+  // kvmtool's setup sequence: KVM_CREATE_VM, one memory slot, one vCPU fd
+  // per vCPU, then statically wired virtio devices.
+  count_ioctl(Ioctl::kCreateVm);
+  count_ioctl(Ioctl::kSetUserMemoryRegion);
+  for (std::uint32_t i = 0; i < vm.spec().vcpus; ++i) {
+    count_ioctl(Ioctl::kCreateVcpu);
+  }
+  vm.add_device(std::make_unique<VirtioNetDevice>());
+  vm.add_device(std::make_unique<VirtioBlkDevice>());
+  vm.add_device(std::make_unique<VirtioConsoleDevice>());
+}
+
+std::uint64_t KvmHypervisor::total_ioctls() const {
+  std::uint64_t total = 0;
+  for (const auto& [op, n] : ioctls_) total += n;
+  return total;
+}
+
+KvmMachineState KvmHypervisor::save_kvm_state(const hv::Vm& vm) const {
+  for (std::size_t i = 0; i < vm.cpus().size(); ++i) {
+    count_ioctl(Ioctl::kGetRegs);
+    count_ioctl(Ioctl::kGetSregs);
+    count_ioctl(Ioctl::kGetMsrs);
+    count_ioctl(Ioctl::kGetLapic);
+  }
+  KvmMachineState state;
+  state.platform.cpuid = vm.platform().cpuid;
+  state.platform.tsc_khz = vm.platform().tsc_khz;
+  state.platform.kvmclock_boot_ns = vm.platform().boot_time_ns;
+  state.vcpus.reserve(vm.cpus().size());
+  for (const auto& cpu : vm.cpus()) {
+    state.vcpus.push_back(to_kvm_context(cpu));
+  }
+  for (const auto& dev : vm.devices()) {
+    state.devices.push_back(dev->save());
+  }
+  return state;
+}
+
+std::unique_ptr<hv::SavedMachineState> KvmHypervisor::save_machine_state(
+    const hv::Vm& vm) const {
+  return std::make_unique<KvmMachineState>(save_kvm_state(vm));
+}
+
+void KvmHypervisor::load_machine_state(hv::Vm& vm,
+                                       const hv::SavedMachineState& state) const {
+  const auto* kvm_state = dynamic_cast<const KvmMachineState*>(&state);
+  if (kvm_state == nullptr) {
+    throw hv::StateFormatMismatch(
+        "kvm cannot load machine state in format '" +
+        std::string(to_string(state.format())) + "'");
+  }
+  if (kvm_state->vcpus.size() != vm.cpus().size()) {
+    throw std::invalid_argument("vCPU count mismatch on state load");
+  }
+  // KVM refuses to set CPUID bits the host policy does not allow
+  // (KVM_SET_CPUID2 behaviour) — the translator must have masked them.
+  if (!kvm_state->platform.cpuid.subset_of(default_cpuid())) {
+    throw std::invalid_argument(
+        "guest CPUID policy requests features kvm does not expose");
+  }
+  for (std::size_t i = 0; i < vm.cpus().size(); ++i) {
+    count_ioctl(Ioctl::kSetRegs);
+    count_ioctl(Ioctl::kSetSregs);
+    count_ioctl(Ioctl::kSetMsrs);
+    count_ioctl(Ioctl::kSetLapic);
+    vm.cpus()[i] = from_kvm_context(kvm_state->vcpus[i]);
+  }
+  vm.platform().cpuid = kvm_state->platform.cpuid;
+  vm.platform().tsc_khz = kvm_state->platform.tsc_khz;
+  vm.platform().boot_time_ns = kvm_state->platform.kvmclock_boot_ns;
+  for (const auto& blob : kvm_state->devices) {
+    for (const auto& dev : vm.devices()) {
+      if (dev->kind() == blob.kind) {
+        dev->load(blob);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace here::kvm

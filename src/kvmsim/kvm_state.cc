@@ -1,0 +1,199 @@
+#include "kvmsim/kvm_state.h"
+
+namespace here::kvm {
+
+using hv::GuestCpuContext;
+using hv::LapicState;
+using hv::SegmentRegister;
+
+KvmSegment to_kvm_segment(const SegmentRegister& seg) {
+  // Unpack the VMCS-style attribute word:
+  // type[3:0] s[4] dpl[6:5] p[7] avl[8] l[9] db[10] g[11].
+  KvmSegment out;
+  out.base = seg.base;
+  out.limit = seg.limit;
+  out.selector = seg.selector;
+  out.type = seg.attributes & 0xf;
+  out.s = (seg.attributes >> 4) & 1;
+  out.dpl = (seg.attributes >> 5) & 3;
+  out.present = (seg.attributes >> 7) & 1;
+  out.avl = (seg.attributes >> 8) & 1;
+  out.l = (seg.attributes >> 9) & 1;
+  out.db = (seg.attributes >> 10) & 1;
+  out.g = (seg.attributes >> 11) & 1;
+  return out;
+}
+
+SegmentRegister from_kvm_segment(const KvmSegment& seg) {
+  SegmentRegister out;
+  out.base = seg.base;
+  out.limit = seg.limit;
+  out.selector = seg.selector;
+  out.attributes = static_cast<std::uint16_t>(
+      (seg.type & 0xf) | (seg.s & 1) << 4 | (seg.dpl & 3) << 5 |
+      (seg.present & 1) << 7 | (seg.avl & 1) << 8 | (seg.l & 1) << 9 |
+      (seg.db & 1) << 10 | (seg.g & 1) << 11);
+  return out;
+}
+
+KvmLapicState to_kvm_lapic(const LapicState& lapic) {
+  KvmLapicState out;
+  out.regs[KvmLapicState::kId] = lapic.id << 24;  // xAPIC ID is in bits 31:24
+  out.regs[KvmLapicState::kTpr] = lapic.tpr;
+  out.regs[KvmLapicState::kLdr] = lapic.ldr;
+  out.regs[KvmLapicState::kSvr] = lapic.svr;
+  for (std::size_t i = 0; i < 8; ++i) {
+    out.regs[KvmLapicState::kIsrBase + i] = lapic.isr[i];
+    out.regs[KvmLapicState::kIrrBase + i] = lapic.irr[i];
+  }
+  out.regs[KvmLapicState::kLvtTimer] = lapic.lvt_timer;
+  out.regs[KvmLapicState::kTmict] = lapic.timer_icr;
+  out.regs[KvmLapicState::kTmcct] = lapic.timer_ccr;
+  out.regs[KvmLapicState::kTdcr] = lapic.timer_divide;
+  return out;
+}
+
+LapicState from_kvm_lapic(const KvmLapicState& lapic) {
+  LapicState out;
+  out.id = lapic.regs[KvmLapicState::kId] >> 24;
+  out.tpr = lapic.regs[KvmLapicState::kTpr];
+  out.ldr = lapic.regs[KvmLapicState::kLdr];
+  out.svr = lapic.regs[KvmLapicState::kSvr];
+  for (std::size_t i = 0; i < 8; ++i) {
+    out.isr[i] = lapic.regs[KvmLapicState::kIsrBase + i];
+    out.irr[i] = lapic.regs[KvmLapicState::kIrrBase + i];
+  }
+  out.lvt_timer = lapic.regs[KvmLapicState::kLvtTimer];
+  out.timer_icr = lapic.regs[KvmLapicState::kTmict];
+  out.timer_ccr = lapic.regs[KvmLapicState::kTmcct];
+  out.timer_divide = lapic.regs[KvmLapicState::kTdcr];
+  return out;
+}
+
+KvmVcpuContext to_kvm_context(const GuestCpuContext& cpu) {
+  KvmVcpuContext kvm;
+
+  KvmRegs& r = kvm.regs;
+  r.rax = cpu.gpr[hv::kRax];
+  r.rbx = cpu.gpr[hv::kRbx];
+  r.rcx = cpu.gpr[hv::kRcx];
+  r.rdx = cpu.gpr[hv::kRdx];
+  r.rsi = cpu.gpr[hv::kRsi];
+  r.rdi = cpu.gpr[hv::kRdi];
+  r.rsp = cpu.gpr[hv::kRsp];
+  r.rbp = cpu.gpr[hv::kRbp];
+  r.r8 = cpu.gpr[hv::kR8];
+  r.r9 = cpu.gpr[hv::kR9];
+  r.r10 = cpu.gpr[hv::kR10];
+  r.r11 = cpu.gpr[hv::kR11];
+  r.r12 = cpu.gpr[hv::kR12];
+  r.r13 = cpu.gpr[hv::kR13];
+  r.r14 = cpu.gpr[hv::kR14];
+  r.r15 = cpu.gpr[hv::kR15];
+  r.rip = cpu.rip;
+  r.rflags = cpu.rflags;
+
+  KvmSregs& s = kvm.sregs;
+  // Neutral segment order: cs ss ds es fs gs.
+  s.cs = to_kvm_segment(cpu.segments[0]);
+  s.ss = to_kvm_segment(cpu.segments[1]);
+  s.ds = to_kvm_segment(cpu.segments[2]);
+  s.es = to_kvm_segment(cpu.segments[3]);
+  s.fs = to_kvm_segment(cpu.segments[4]);
+  s.gs = to_kvm_segment(cpu.segments[5]);
+  s.tr = to_kvm_segment(cpu.tr);
+  s.ldt = to_kvm_segment(cpu.ldtr);
+  s.gdt = {cpu.gdt.base, cpu.gdt.limit};
+  s.idt = {cpu.idt.base, cpu.idt.limit};
+  s.cr0 = cpu.cr0;
+  s.cr2 = cpu.cr2;
+  s.cr3 = cpu.cr3;
+  s.cr4 = cpu.cr4;
+  s.cr8 = cpu.cr8;
+  s.efer = cpu.efer;
+
+  kvm.xcr0 = cpu.xcr0;
+  kvm.lapic = to_kvm_lapic(cpu.lapic);
+
+  // The MSR list leads with the absolute TSC (KVM convention), then carries
+  // the neutral list through unchanged.
+  kvm.msrs.push_back({kMsrIa32Tsc, cpu.tsc});
+  for (const auto& m : cpu.msrs) kvm.msrs.push_back(m);
+
+  kvm.events.interrupt_injected = cpu.pending_interrupt >= 0 ? 1 : 0;
+  kvm.events.interrupt_nr = cpu.pending_interrupt >= 0
+                                ? static_cast<std::uint8_t>(cpu.pending_interrupt)
+                                : 0;
+  kvm.mp_state = cpu.halted ? KvmMpState::kHalted : KvmMpState::kRunnable;
+  return kvm;
+}
+
+GuestCpuContext from_kvm_context(const KvmVcpuContext& kvm) {
+  GuestCpuContext cpu;
+
+  const KvmRegs& r = kvm.regs;
+  cpu.gpr[hv::kRax] = r.rax;
+  cpu.gpr[hv::kRbx] = r.rbx;
+  cpu.gpr[hv::kRcx] = r.rcx;
+  cpu.gpr[hv::kRdx] = r.rdx;
+  cpu.gpr[hv::kRsi] = r.rsi;
+  cpu.gpr[hv::kRdi] = r.rdi;
+  cpu.gpr[hv::kRsp] = r.rsp;
+  cpu.gpr[hv::kRbp] = r.rbp;
+  cpu.gpr[hv::kR8] = r.r8;
+  cpu.gpr[hv::kR9] = r.r9;
+  cpu.gpr[hv::kR10] = r.r10;
+  cpu.gpr[hv::kR11] = r.r11;
+  cpu.gpr[hv::kR12] = r.r12;
+  cpu.gpr[hv::kR13] = r.r13;
+  cpu.gpr[hv::kR14] = r.r14;
+  cpu.gpr[hv::kR15] = r.r15;
+  cpu.rip = r.rip;
+  cpu.rflags = r.rflags;
+
+  const KvmSregs& s = kvm.sregs;
+  cpu.segments[0] = from_kvm_segment(s.cs);
+  cpu.segments[1] = from_kvm_segment(s.ss);
+  cpu.segments[2] = from_kvm_segment(s.ds);
+  cpu.segments[3] = from_kvm_segment(s.es);
+  cpu.segments[4] = from_kvm_segment(s.fs);
+  cpu.segments[5] = from_kvm_segment(s.gs);
+  cpu.tr = from_kvm_segment(s.tr);
+  cpu.ldtr = from_kvm_segment(s.ldt);
+  cpu.gdt = {s.gdt.base, s.gdt.limit};
+  cpu.idt = {s.idt.base, s.idt.limit};
+  cpu.cr0 = s.cr0;
+  cpu.cr2 = s.cr2;
+  cpu.cr3 = s.cr3;
+  cpu.cr4 = s.cr4;
+  cpu.cr8 = s.cr8;
+  cpu.efer = s.efer;
+
+  cpu.xcr0 = kvm.xcr0;
+  cpu.lapic = from_kvm_lapic(kvm.lapic);
+
+  for (const auto& m : kvm.msrs) {
+    if (m.index == kMsrIa32Tsc) {
+      cpu.tsc = m.value;
+    } else {
+      cpu.msrs.push_back(m);
+    }
+  }
+
+  cpu.pending_interrupt =
+      kvm.events.interrupt_injected ? kvm.events.interrupt_nr : -1;
+  cpu.halted = kvm.mp_state == KvmMpState::kHalted;
+  return cpu;
+}
+
+std::uint64_t KvmMachineState::wire_bytes() const {
+  // kvm_regs (144) + kvm_sregs (312) + lapic page (1 KiB) + events + msrs.
+  std::uint64_t bytes = 192;  // header + platform
+  for (const auto& cpu : vcpus) {
+    bytes += 144 + 312 + 1024 + 64 + cpu.msrs.size() * 16;
+  }
+  for (const auto& dev : devices) bytes += dev.wire_bytes();
+  return bytes;
+}
+
+}  // namespace here::kvm

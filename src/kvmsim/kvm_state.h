@@ -1,0 +1,135 @@
+// KVM's machine-state serialization format (the kvmtool save layout).
+//
+// Deliberately mirrors the real KVM ioctl structures, which differ from
+// Xen's format on every axis the state translator must bridge:
+//   * kvm_regs stores GPRs rax-first (Xen: r15-first);
+//   * kvm_segment unpacks each descriptor-attribute bit into its own byte
+//     (Xen: packed VMCS-style attribute word), and kvm_sregs orders the
+//     segments {cs, ds, es, fs, gs, ss};
+//   * the guest TSC is an absolute MSR value in the MSR list (Xen: signed
+//     offset from a host TSC reference);
+//   * EFER lives inside kvm_sregs; STAR/LSTAR/KERNEL_GS_BASE live in the
+//     generic MSR list (Xen: dedicated fields);
+//   * the local APIC is a raw 1 KiB register page (kvm_lapic_state), not
+//     named fields;
+//   * pending interrupts are plain vectors in kvm_vcpu_events.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hv/device.h"
+#include "hv/guest_cpu.h"
+#include "hv/hypervisor.h"
+
+namespace here::kvm {
+
+// MSR index of the absolute guest TSC (IA32_TIME_STAMP_COUNTER).
+inline constexpr std::uint32_t kMsrIa32Tsc = 0x10;
+
+struct KvmRegs {
+  std::uint64_t rax = 0, rbx = 0, rcx = 0, rdx = 0;
+  std::uint64_t rsi = 0, rdi = 0, rsp = 0, rbp = 0;
+  std::uint64_t r8 = 0, r9 = 0, r10 = 0, r11 = 0;
+  std::uint64_t r12 = 0, r13 = 0, r14 = 0, r15 = 0;
+  std::uint64_t rip = 0, rflags = 0;
+  friend bool operator==(const KvmRegs&, const KvmRegs&) = default;
+};
+
+// Unpacked segment descriptor (struct kvm_segment).
+struct KvmSegment {
+  std::uint64_t base = 0;
+  std::uint32_t limit = 0;
+  std::uint16_t selector = 0;
+  std::uint8_t type = 0;
+  std::uint8_t present = 0, dpl = 0, db = 0;
+  std::uint8_t s = 0, l = 0, g = 0, avl = 0;
+  friend bool operator==(const KvmSegment&, const KvmSegment&) = default;
+};
+
+struct KvmDtable {
+  std::uint64_t base = 0;
+  std::uint16_t limit = 0;
+  friend bool operator==(const KvmDtable&, const KvmDtable&) = default;
+};
+
+// struct kvm_sregs (segment order: cs, ds, es, fs, gs, ss).
+struct KvmSregs {
+  KvmSegment cs, ds, es, fs, gs, ss;
+  KvmSegment tr, ldt;
+  KvmDtable gdt, idt;
+  std::uint64_t cr0 = 0, cr2 = 0, cr3 = 0, cr4 = 0, cr8 = 0;
+  std::uint64_t efer = 0;
+  std::uint64_t apic_base = 0xfee00000;
+  friend bool operator==(const KvmSregs&, const KvmSregs&) = default;
+};
+
+// Raw local-APIC register page (kvm_lapic_state): 64 registers at 0x10-byte
+// strides; regs[offset >> 4].
+struct KvmLapicState {
+  std::array<std::uint32_t, 64> regs{};
+  friend bool operator==(const KvmLapicState&, const KvmLapicState&) = default;
+
+  // Register page offsets (divided by 0x10).
+  static constexpr std::size_t kId = 0x20 >> 4;
+  static constexpr std::size_t kTpr = 0x80 >> 4;
+  static constexpr std::size_t kLdr = 0xD0 >> 4;
+  static constexpr std::size_t kSvr = 0xF0 >> 4;
+  static constexpr std::size_t kIsrBase = 0x100 >> 4;  // 8 regs
+  static constexpr std::size_t kIrrBase = 0x200 >> 4;  // 8 regs
+  static constexpr std::size_t kLvtTimer = 0x320 >> 4;
+  static constexpr std::size_t kTmict = 0x380 >> 4;
+  static constexpr std::size_t kTmcct = 0x390 >> 4;
+  static constexpr std::size_t kTdcr = 0x3E0 >> 4;
+};
+
+// struct kvm_vcpu_events (interrupt subset).
+struct KvmVcpuEvents {
+  std::uint8_t interrupt_injected = 0;
+  std::uint8_t interrupt_nr = 0;
+  friend bool operator==(const KvmVcpuEvents&, const KvmVcpuEvents&) = default;
+};
+
+enum class KvmMpState : std::uint8_t { kRunnable = 0, kHalted = 3 };
+
+struct KvmVcpuContext {
+  KvmRegs regs;
+  KvmSregs sregs;
+  std::uint64_t xcr0 = 1;  // kvm_xcrs
+  KvmLapicState lapic;
+  std::vector<hv::MsrEntry> msrs;  // includes IA32_TSC
+  KvmVcpuEvents events;
+  KvmMpState mp_state = KvmMpState::kRunnable;
+  friend bool operator==(const KvmVcpuContext&, const KvmVcpuContext&) = default;
+};
+
+struct KvmPlatformRecord {
+  hv::CpuidPolicy cpuid;     // kvm_cpuid2 contents
+  std::uint64_t tsc_khz = 0; // KVM_GET_TSC_KHZ
+  std::uint64_t kvmclock_boot_ns = 0;
+  friend bool operator==(const KvmPlatformRecord&, const KvmPlatformRecord&) = default;
+};
+
+class KvmMachineState final : public hv::SavedMachineState {
+ public:
+  [[nodiscard]] hv::HvKind format() const override { return hv::HvKind::kKvm; }
+  [[nodiscard]] std::uint64_t wire_bytes() const override;
+
+  std::vector<KvmVcpuContext> vcpus;
+  KvmPlatformRecord platform;
+  std::vector<hv::DeviceStateBlob> devices;
+};
+
+// --- Converters between neutral architectural state and KVM format ----------
+
+[[nodiscard]] KvmVcpuContext to_kvm_context(const hv::GuestCpuContext& cpu);
+[[nodiscard]] hv::GuestCpuContext from_kvm_context(const KvmVcpuContext& kvm);
+
+[[nodiscard]] KvmSegment to_kvm_segment(const hv::SegmentRegister& seg);
+[[nodiscard]] hv::SegmentRegister from_kvm_segment(const KvmSegment& seg);
+
+[[nodiscard]] KvmLapicState to_kvm_lapic(const hv::LapicState& lapic);
+[[nodiscard]] hv::LapicState from_kvm_lapic(const KvmLapicState& lapic);
+
+}  // namespace here::kvm

@@ -1,0 +1,128 @@
+#include "kvmsim/virtio_devices.h"
+
+namespace here::kvm {
+
+using hv::DeviceFamilyMismatch;
+using hv::DeviceStateBlob;
+
+namespace {
+void check_family(const DeviceStateBlob& blob) {
+  if (blob.family != hv::DeviceFamily::kVirtio) {
+    throw DeviceFamilyMismatch("virtio device cannot load " +
+                               std::string(to_string(blob.family)) + " state");
+  }
+}
+}  // namespace
+
+// --- VirtioNetDevice ---------------------------------------------------------
+
+void VirtioNetDevice::transmit(const net::Packet& packet) {
+  ++vq1_avail_idx_;
+  forward_tx(packet);
+  ++vq1_used_idx_;
+}
+
+void VirtioNetDevice::receive(const net::Packet& /*packet*/) {
+  ++vq0_avail_idx_;
+  ++vq0_used_idx_;
+}
+
+DeviceStateBlob VirtioNetDevice::save() const {
+  DeviceStateBlob blob;
+  blob.family = hv::DeviceFamily::kVirtio;
+  blob.kind = hv::DeviceKind::kNet;
+  blob.model_name = std::string(name());
+  blob.set_field("mac", mac_);
+  blob.set_field("features", features_);
+  blob.set_field("status", status_);
+  blob.set_field("vq0_avail_idx", vq0_avail_idx_);
+  blob.set_field("vq0_used_idx", vq0_used_idx_);
+  blob.set_field("vq1_avail_idx", vq1_avail_idx_);
+  blob.set_field("vq1_used_idx", vq1_used_idx_);
+  return blob;
+}
+
+void VirtioNetDevice::load(const DeviceStateBlob& blob) {
+  check_family(blob);
+  mac_ = blob.field("mac");
+  features_ = blob.field("features");
+  status_ = blob.field("status");
+  vq0_avail_idx_ = blob.field("vq0_avail_idx");
+  vq0_used_idx_ = blob.field("vq0_used_idx");
+  vq1_avail_idx_ = blob.field("vq1_avail_idx");
+  vq1_used_idx_ = blob.field("vq1_used_idx");
+}
+
+void VirtioNetDevice::reset() {
+  vq0_avail_idx_ = vq0_used_idx_ = 0;
+  vq1_avail_idx_ = vq1_used_idx_ = 0;
+  status_ = kVirtioStatusDriverOk;
+}
+
+// --- VirtioBlkDevice ---------------------------------------------------------
+
+void VirtioBlkDevice::submit_write(std::uint64_t sector, std::uint32_t sectors,
+                                   std::uint64_t stamp) {
+  ++vq0_avail_idx_;
+  written_sectors_ += sectors;
+  forward_write(hv::DiskWrite{sector, sectors, stamp});
+  ++vq0_used_idx_;
+}
+
+void VirtioBlkDevice::flush() {
+  ++vq0_avail_idx_;
+  ++num_flushes_;
+  ++vq0_used_idx_;
+}
+
+DeviceStateBlob VirtioBlkDevice::save() const {
+  DeviceStateBlob blob;
+  blob.family = hv::DeviceFamily::kVirtio;
+  blob.kind = hv::DeviceKind::kBlock;
+  blob.model_name = std::string(name());
+  blob.set_field("features", features_);
+  blob.set_field("status", status_);
+  blob.set_field("vq0_avail_idx", vq0_avail_idx_);
+  blob.set_field("vq0_used_idx", vq0_used_idx_);
+  blob.set_field("written_sectors", written_sectors_);
+  blob.set_field("num_flushes", num_flushes_);
+  return blob;
+}
+
+void VirtioBlkDevice::load(const DeviceStateBlob& blob) {
+  check_family(blob);
+  features_ = blob.field("features");
+  status_ = blob.field("status");
+  vq0_avail_idx_ = blob.field("vq0_avail_idx");
+  vq0_used_idx_ = blob.field("vq0_used_idx");
+  written_sectors_ = blob.field("written_sectors");
+  num_flushes_ = blob.field("num_flushes");
+}
+
+void VirtioBlkDevice::reset() {
+  vq0_avail_idx_ = vq0_used_idx_ = 0;
+  written_sectors_ = 0;
+  num_flushes_ = 0;
+}
+
+// --- VirtioConsoleDevice -------------------------------------------------------
+
+DeviceStateBlob VirtioConsoleDevice::save() const {
+  DeviceStateBlob blob;
+  blob.family = hv::DeviceFamily::kVirtio;
+  blob.kind = hv::DeviceKind::kConsole;
+  blob.model_name = std::string(name());
+  blob.set_field("tx_used_idx", tx_used_idx_);
+  blob.set_field("rx_used_idx", rx_used_idx_);
+  return blob;
+}
+
+void VirtioConsoleDevice::load(const DeviceStateBlob& blob) {
+  check_family(blob);
+  tx_used_idx_ = blob.field("tx_used_idx");
+  rx_used_idx_ = blob.field("rx_used_idx");
+}
+
+void VirtioConsoleDevice::reset() { tx_used_idx_ = rx_used_idx_ = 0; }
+
+}  // namespace here::kvm

@@ -1,0 +1,99 @@
+// Virtio device models used by the KVM/kvmtool side (virtio-net, virtio-blk,
+// virtio-console). Serialized state uses virtqueue avail/used index naming —
+// a different vocabulary than Xen's PV ring counters, bridged by the state
+// translator.
+#pragma once
+
+#include <cstdint>
+
+#include "hv/device.h"
+
+namespace here::kvm {
+
+// Subset of virtio feature bits used in device state.
+inline constexpr std::uint64_t kVirtioNetFCsum = 1ULL << 0;
+inline constexpr std::uint64_t kVirtioNetFMac = 1ULL << 5;
+inline constexpr std::uint64_t kVirtioNetFMrgRxbuf = 1ULL << 15;
+inline constexpr std::uint64_t kVirtioBlkFFlush = 1ULL << 9;
+inline constexpr std::uint64_t kVirtioFVersion1 = 1ULL << 32;
+
+// Device status register bits.
+inline constexpr std::uint64_t kVirtioStatusDriverOk = 0x4;
+
+class VirtioNetDevice final : public hv::NetDevice {
+ public:
+  explicit VirtioNetDevice(std::uint64_t mac = 0x525400000001ULL) : mac_(mac) {}
+
+  [[nodiscard]] hv::DeviceFamily family() const override {
+    return hv::DeviceFamily::kVirtio;
+  }
+  [[nodiscard]] std::string_view name() const override { return "virtio-net"; }
+
+  void transmit(const net::Packet& packet) override;
+  void receive(const net::Packet& packet) override;
+
+  [[nodiscard]] hv::DeviceStateBlob save() const override;
+  void load(const hv::DeviceStateBlob& blob) override;
+  void reset() override;
+
+  [[nodiscard]] std::uint64_t tx_completed() const { return vq1_used_idx_; }
+  [[nodiscard]] std::uint64_t rx_delivered() const { return vq0_used_idx_; }
+  [[nodiscard]] std::uint64_t mac() const { return mac_; }
+
+ private:
+  std::uint64_t mac_;
+  std::uint64_t features_ =
+      kVirtioNetFCsum | kVirtioNetFMac | kVirtioNetFMrgRxbuf | kVirtioFVersion1;
+  std::uint64_t status_ = kVirtioStatusDriverOk;
+  // vq0 = rx, vq1 = tx (virtio-net queue numbering).
+  std::uint64_t vq0_avail_idx_ = 0, vq0_used_idx_ = 0;
+  std::uint64_t vq1_avail_idx_ = 0, vq1_used_idx_ = 0;
+};
+
+class VirtioBlkDevice final : public hv::BlockDevice {
+ public:
+  [[nodiscard]] hv::DeviceFamily family() const override {
+    return hv::DeviceFamily::kVirtio;
+  }
+  [[nodiscard]] std::string_view name() const override { return "virtio-blk"; }
+
+  void submit_write(std::uint64_t sector, std::uint32_t sectors,
+                    std::uint64_t stamp = 0) override;
+  void flush() override;
+
+  [[nodiscard]] hv::DeviceStateBlob save() const override;
+  void load(const hv::DeviceStateBlob& blob) override;
+  void reset() override;
+
+  [[nodiscard]] std::uint64_t sectors_written() const { return written_sectors_; }
+
+ private:
+  std::uint64_t features_ = kVirtioBlkFFlush | kVirtioFVersion1;
+  std::uint64_t status_ = kVirtioStatusDriverOk;
+  std::uint64_t vq0_avail_idx_ = 0, vq0_used_idx_ = 0;
+  std::uint64_t written_sectors_ = 0;
+  std::uint64_t num_flushes_ = 0;
+};
+
+class VirtioConsoleDevice final : public hv::DeviceModel {
+ public:
+  [[nodiscard]] hv::DeviceKind kind() const override {
+    return hv::DeviceKind::kConsole;
+  }
+  [[nodiscard]] hv::DeviceFamily family() const override {
+    return hv::DeviceFamily::kVirtio;
+  }
+  [[nodiscard]] std::string_view name() const override { return "virtio-console"; }
+
+  void write_char() { ++tx_used_idx_; }
+
+  [[nodiscard]] hv::DeviceStateBlob save() const override;
+  void load(const hv::DeviceStateBlob& blob) override;
+  void reset() override;
+
+ private:
+  std::uint64_t tx_used_idx_ = 0;
+  std::uint64_t rx_used_idx_ = 0;
+};
+
+}  // namespace here::kvm

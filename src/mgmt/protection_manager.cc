@@ -1,0 +1,127 @@
+#include "mgmt/protection_manager.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace here::mgmt {
+
+ProtectionManager::ProtectionManager(sim::Simulation& simulation,
+                                     net::Fabric& fabric,
+                                     rep::ReplicationConfig engine_defaults,
+                                     sim::HostProfile hardware)
+    : sim_(simulation),
+      fabric_(fabric),
+      defaults_(engine_defaults),
+      hardware_(hardware) {}
+
+void ProtectionManager::add_host(hv::Host& host) { pool_.push_back(&host); }
+
+void ProtectionManager::ensure_connected(hv::Host& a, hv::Host& b) {
+  for (const auto& [x, y] : connected_) {
+    if ((x == &a && y == &b) || (x == &b && y == &a)) return;
+  }
+  fabric_.connect(a.ic_node(), b.ic_node(), hardware_.interconnect);
+  connected_.emplace_back(&a, &b);
+}
+
+std::size_t ProtectionManager::load_of(const hv::Host& host) const {
+  std::size_t load = 0;
+  for (const auto& protection : protections_) {
+    if (protection->primary == &host || protection->secondary == &host) ++load;
+  }
+  return load;
+}
+
+hv::Host* ProtectionManager::pick_partner(const hv::Host& home) {
+  hv::Host* best = nullptr;
+  for (hv::Host* candidate : pool_) {
+    if (candidate == &home || !candidate->alive()) continue;
+    // Heterogeneity first (the whole point); then balance by load.
+    if (candidate->hypervisor().kind() == home.hypervisor().kind()) continue;
+    if (best == nullptr || load_of(*candidate) < load_of(*best)) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+rep::ReplicationEngine& ProtectionManager::protect(hv::Vm& vm, hv::Host& home) {
+  if (std::ranges::find(pool_, &home) == pool_.end()) {
+    throw std::invalid_argument("protect: home host not in the pool");
+  }
+  hv::Host* partner = pick_partner(home);
+  if (partner == nullptr) {
+    throw std::runtime_error(
+        "protect: no live heterogeneous partner host available");
+  }
+  ensure_connected(home, *partner);
+
+  auto protection = std::make_unique<Protection>();
+  protection->domain = vm.spec().name;
+  protection->primary = &home;
+  protection->secondary = partner;
+  protection->vm = &vm;
+  protection->engines.push_back(std::make_unique<rep::ReplicationEngine>(
+      sim_, fabric_, home, *partner, defaults_));
+  protection->engines.back()->protect(vm);
+  protections_.push_back(std::move(protection));
+  HERE_LOG(kInfo, "mgmt: protecting '%s' %s -> %s",
+           vm.spec().name.c_str(), home.name().c_str(),
+           partner->name().c_str());
+  return protections_.back()->engine();
+}
+
+void ProtectionManager::enable_auto_reprotect(sim::Duration poll) {
+  poll_ = poll;
+  if (!policy_enabled_) {
+    policy_enabled_ = true;
+    sim_.schedule_after(poll_, [this] { policy_tick(); }, "mgmt-policy");
+  }
+}
+
+void ProtectionManager::policy_tick() {
+  for (const auto& protection : protections_) {
+    rep::ReplicationEngine& engine = protection->engine();
+    if (!engine.failed_over()) continue;
+    hv::Host* failed = protection->primary;
+    hv::Host* survivor = protection->secondary;
+    if (!failed->alive() || !survivor->alive()) continue;  // not repaired yet
+    hv::Vm* replica = engine.replica_vm();
+    if (replica == nullptr || replica->state() != hv::VmState::kRunning) {
+      continue;
+    }
+    // Repaired: re-protect the survivor back toward the old primary.
+    protection->primary = survivor;
+    protection->secondary = failed;
+    protection->vm = replica;
+    ++protection->generation;
+    ++reprotections_;
+    protection->engines.push_back(std::make_unique<rep::ReplicationEngine>(
+        sim_, fabric_, *survivor, *failed, defaults_));
+    protection->engines.back()->protect(*replica);
+    HERE_LOG(kInfo, "mgmt: re-protecting '%s' %s -> %s (generation %u)",
+             protection->domain.c_str(), survivor->name().c_str(),
+             failed->name().c_str(), protection->generation);
+  }
+  sim_.schedule_after(poll_, [this] { policy_tick(); }, "mgmt-policy");
+}
+
+ProtectionManager::Protection* ProtectionManager::find(
+    const std::string& domain) {
+  for (const auto& protection : protections_) {
+    if (protection->domain == domain) return protection.get();
+  }
+  return nullptr;
+}
+
+std::size_t ProtectionManager::available_count() {
+  std::size_t n = 0;
+  for (const auto& protection : protections_) {
+    if (protection->engine().service_available()) ++n;
+  }
+  return n;
+}
+
+}  // namespace here::mgmt

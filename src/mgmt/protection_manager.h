@@ -1,0 +1,83 @@
+// Fleet-level protection policy (the §7.7 deployment story, automated):
+// pick a partner host running a *different* hypervisor for each protected
+// domain, start a replication engine, and — once a failover has happened and
+// the failed host has been repaired — automatically re-protect the surviving
+// replica in the reverse direction, restoring redundancy without operator
+// scripting.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "replication/replication_engine.h"
+#include "sim/hardware_profile.h"
+
+namespace here::mgmt {
+
+class ProtectionManager {
+ public:
+  ProtectionManager(sim::Simulation& simulation, net::Fabric& fabric,
+                    rep::ReplicationConfig engine_defaults = {},
+                    sim::HostProfile hardware = sim::grid5000_host());
+
+  // Adds a host to the pool. Interconnect links between host pairs are
+  // created lazily when a pairing is made.
+  void add_host(hv::Host& host);
+
+  // Protects `vm` (running on `home`, which must be in the pool): selects
+  // the least-loaded pool host with a different hypervisor kind as the
+  // partner and starts an engine. Returns the engine. Throws if no
+  // heterogeneous partner is available.
+  rep::ReplicationEngine& protect(hv::Vm& vm, hv::Host& home);
+
+  // Enables the re-protection policy loop: every `poll`, any protection
+  // whose engine failed over and whose old primary is alive again gets a
+  // new engine in the reverse direction (generation + 1).
+  void enable_auto_reprotect(sim::Duration poll = sim::from_seconds(1));
+
+  struct Protection {
+    std::string domain;
+    hv::Host* primary = nullptr;    // current primary
+    hv::Host* secondary = nullptr;  // current replica target
+    hv::Vm* vm = nullptr;           // current authoritative VM
+    std::uint32_t generation = 1;   // bumps on every re-protection
+    // All engines ever created for this domain; the last is current. Older
+    // generations stay alive because their service nodes keep routing
+    // clients that have not re-resolved yet.
+    std::vector<std::unique_ptr<rep::ReplicationEngine>> engines;
+
+    [[nodiscard]] rep::ReplicationEngine& engine() const {
+      return *engines.back();
+    }
+  };
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Protection>>& protections()
+      const {
+    return protections_;
+  }
+  [[nodiscard]] Protection* find(const std::string& domain);
+
+  // Fleet view: protected domains currently served by a live host.
+  [[nodiscard]] std::size_t available_count();
+  [[nodiscard]] std::uint64_t reprotections() const { return reprotections_; }
+
+ private:
+  void ensure_connected(hv::Host& a, hv::Host& b);
+  [[nodiscard]] hv::Host* pick_partner(const hv::Host& home);
+  [[nodiscard]] std::size_t load_of(const hv::Host& host) const;
+  void policy_tick();
+
+  sim::Simulation& sim_;
+  net::Fabric& fabric_;
+  rep::ReplicationConfig defaults_;
+  sim::HostProfile hardware_;
+  std::vector<hv::Host*> pool_;
+  std::vector<std::pair<const hv::Host*, const hv::Host*>> connected_;
+  std::vector<std::unique_ptr<Protection>> protections_;
+  sim::Duration poll_{};
+  bool policy_enabled_ = false;
+  std::uint64_t reprotections_ = 0;
+};
+
+}  // namespace here::mgmt

@@ -1,0 +1,47 @@
+#include "mgmt/virt.h"
+
+namespace here::mgmt {
+
+std::string VirtConnection::type() const {
+  switch (host_.hypervisor().kind()) {
+    case hv::HvKind::kXen: return "Xen";
+    case hv::HvKind::kKvm: return "QEMU/KVM";
+  }
+  return "unknown";
+}
+
+hv::Vm& VirtConnection::create_domain(const DomainConfig& config) {
+  hv::Vm& vm = host_.hypervisor().create_vm(
+      hv::make_vm_spec(config.name, config.vcpus, config.memory_bytes,
+                       config.model_scale));
+  if (config.autostart) host_.hypervisor().start(vm);
+  return vm;
+}
+
+DomainInfo VirtConnection::domain_info(const hv::Vm& vm) const {
+  DomainInfo info;
+  info.name = vm.spec().name;
+  info.state = vm.state();
+  info.vcpus = vm.spec().vcpus;
+  info.memory_bytes = vm.spec().model_bytes();
+  info.cpu_time = vm.guest_time();
+  info.hypervisor = std::string(host_.hypervisor().name());
+  return info;
+}
+
+std::vector<DomainInfo> VirtConnection::list_domains() const {
+  std::vector<DomainInfo> out;
+  for (const auto& vm : host_.hypervisor().vms()) {
+    out.push_back(domain_info(*vm));
+  }
+  return out;
+}
+
+hv::Vm* VirtConnection::lookup_domain(const std::string& name) {
+  for (const auto& vm : host_.hypervisor().vms()) {
+    if (vm->spec().name == name) return vm.get();
+  }
+  return nullptr;
+}
+
+}  // namespace here::mgmt

@@ -1,0 +1,63 @@
+// libvirt-flavoured management facade (paper §7.7: "virtualization systems
+// are very often administered by tools such as OpenStack which is based on
+// standard libraries such as libvirt which interfaces with all
+// hypervisors"). VirtConnection gives operators one vocabulary over both
+// hypervisor models — the integration surface HERE relies on to be
+// deployable in heterogeneous data centers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hv/host.h"
+
+namespace here::mgmt {
+
+// virDomainInfo-alike.
+struct DomainInfo {
+  std::string name;
+  hv::VmState state{};
+  std::uint32_t vcpus = 0;
+  std::uint64_t memory_bytes = 0;     // modelled size
+  sim::Duration cpu_time{};           // guest CPU time consumed
+  std::string hypervisor;             // "xen-4.12", "kvm/kvmtool", ...
+};
+
+struct DomainConfig {
+  std::string name = "domain";
+  std::uint32_t vcpus = 2;
+  std::uint64_t memory_bytes = 256ULL << 20;
+  std::uint64_t model_scale = 1;
+  bool autostart = true;
+};
+
+// One connection per host (virConnectOpen("xen:///system") etc.).
+class VirtConnection {
+ public:
+  explicit VirtConnection(hv::Host& host) : host_(host) {}
+
+  // virConnectGetType: the driver name, uniform across stacks.
+  [[nodiscard]] std::string type() const;
+  [[nodiscard]] const std::string& hostname() const { return host_.name(); }
+  [[nodiscard]] bool alive() const { return host_.alive(); }
+  [[nodiscard]] hv::Host& host() { return host_; }
+
+  // virDomainCreate: define + (optionally) start.
+  hv::Vm& create_domain(const DomainConfig& config);
+
+  // virConnectListAllDomains.
+  [[nodiscard]] std::vector<DomainInfo> list_domains() const;
+  [[nodiscard]] DomainInfo domain_info(const hv::Vm& vm) const;
+  [[nodiscard]] hv::Vm* lookup_domain(const std::string& name);
+
+  // virDomainSuspend / Resume / Destroy.
+  void suspend_domain(hv::Vm& vm) { host_.hypervisor().pause(vm); }
+  void resume_domain(hv::Vm& vm) { host_.hypervisor().resume(vm); }
+  void destroy_domain(hv::Vm& vm) { host_.hypervisor().destroy_vm(vm); }
+
+ private:
+  hv::Host& host_;
+};
+
+}  // namespace here::mgmt

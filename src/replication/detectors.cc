@@ -1,0 +1,31 @@
+#include "replication/detectors.h"
+
+namespace here::rep {
+
+StarvationDetector::StarvationDetector(const hv::Vm& vm, sim::Duration window,
+                                       double min_progress)
+    : vm_(vm), window_(window), min_progress_(min_progress) {}
+
+std::optional<std::string> StarvationDetector::check(sim::TimePoint now) {
+  if (!primed_) {
+    primed_ = true;
+    window_start_ = now;
+    guest_time_at_start_ = vm_.guest_time();
+    return std::nullopt;
+  }
+  const sim::Duration elapsed = now - window_start_;
+  if (elapsed < window_) return std::nullopt;
+
+  const double progress =
+      sim::to_seconds(vm_.guest_time() - guest_time_at_start_) /
+      sim::to_seconds(elapsed);
+  window_start_ = now;
+  guest_time_at_start_ = vm_.guest_time();
+  if (progress < min_progress_) {
+    return "guest starved: " + std::to_string(static_cast<int>(progress * 100)) +
+           "% CPU progress over the detection window";
+  }
+  return std::nullopt;
+}
+
+}  // namespace here::rep

@@ -1,0 +1,80 @@
+// Pluggable failure detectors.
+//
+// The heartbeat watchdog covers crash and hang outcomes (the host stops
+// answering). The remaining Table 5 outcome — resource starvation — and
+// environment-induced guest failures need an active detector; the paper
+// (§8.2) points at hypervisor intrusion-detection work [25, 31] and states
+// that "once an attack is detected, the affected hypervisor can safely
+// crash; control of the VM is then handed over to the second hypervisor".
+// Detectors registered with the engine are polled on the watchdog cadence
+// and can trigger that handover.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "hv/vm.h"
+#include "sim/time.h"
+
+namespace here::rep {
+
+class FailureDetector {
+ public:
+  virtual ~FailureDetector() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  // Polled periodically while protection is active. Returns a reason to
+  // fail over, or nullopt.
+  virtual std::optional<std::string> check(sim::TimePoint now) = 0;
+};
+
+// Detects resource-starvation DoS (Table 5's third outcome): the guest is
+// nominally running but starved of CPU. Compares the VM's accumulated guest
+// time against wall time over a sliding window; sustained progress below
+// `min_progress` (default 30 %, comfortably under normal checkpoint-pause
+// overhead but above a starved guest's ~10 %) trips the detector.
+class StarvationDetector final : public FailureDetector {
+ public:
+  explicit StarvationDetector(const hv::Vm& vm,
+                              sim::Duration window = sim::from_seconds(2),
+                              double min_progress = 0.3);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "starvation-detector";
+  }
+  std::optional<std::string> check(sim::TimePoint now) override;
+
+ private:
+  const hv::Vm& vm_;
+  sim::Duration window_;
+  double min_progress_;
+  sim::TimePoint window_start_{};
+  sim::Duration guest_time_at_start_{};
+  bool primed_ = false;
+};
+
+// Detects an *environment-induced* guest crash (Table 2's "accidents ->
+// guest failure: Yes" row): the guest OS stopped because of something
+// outside its replicated state, so failing over to the rolled-back replica
+// restores service.
+class GuestCrashDetector final : public FailureDetector {
+ public:
+  explicit GuestCrashDetector(const hv::Vm& vm) : vm_(vm) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "guest-crash-detector";
+  }
+  std::optional<std::string> check(sim::TimePoint) override {
+    if (vm_.state() == hv::VmState::kCrashed) {
+      return "guest OS crashed (watchdog)";
+    }
+    return std::nullopt;
+  }
+
+ private:
+  const hv::Vm& vm_;
+};
+
+}  // namespace here::rep

@@ -1,0 +1,35 @@
+#include "replication/io_buffer.h"
+
+namespace here::rep {
+
+void OutboundBuffer::capture(const net::Packet& packet, std::uint64_t epoch,
+                             sim::TimePoint now) {
+  held_.push_back(Held{packet, epoch, now});
+  pending_bytes_ += packet.size_bytes;
+  ++captured_;
+}
+
+std::size_t OutboundBuffer::release_up_to(std::uint64_t epoch,
+                                          sim::TimePoint now) {
+  std::size_t n = 0;
+  while (!held_.empty() && held_.front().epoch <= epoch) {
+    Held& h = held_.front();
+    delay_ms_.add(sim::to_millis(now - h.captured_at));
+    pending_bytes_ -= h.packet.size_bytes;
+    fabric_.send(h.packet);
+    held_.pop_front();
+    ++n;
+  }
+  released_ += n;
+  return n;
+}
+
+std::size_t OutboundBuffer::drop_all() {
+  const std::size_t n = held_.size();
+  pending_bytes_ = 0;
+  held_.clear();
+  dropped_ += n;
+  return n;
+}
+
+}  // namespace here::rep

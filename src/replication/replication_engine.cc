@@ -1,0 +1,496 @@
+#include "replication/replication_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "common/units.h"
+#include "xlate/translator.h"
+
+namespace here::rep {
+
+using common::kPagesPerRegion;
+
+ReplicationEngine::ReplicationEngine(sim::Simulation& simulation,
+                                     net::Fabric& fabric, hv::Host& primary,
+                                     hv::Host& secondary,
+                                     ReplicationConfig config)
+    : sim_(simulation),
+      fabric_(fabric),
+      primary_(primary),
+      secondary_(secondary),
+      config_(config),
+      model_(config.time_model),
+      pool_(config.mode == EngineMode::kRemus ? 1 : config.checkpoint_threads),
+      period_(config.period),
+      outbound_(fabric) {
+  if (config_.mode == EngineMode::kRemus &&
+      secondary_.hypervisor().kind() != primary_.hypervisor().kind()) {
+    throw std::invalid_argument("Remus baseline requires a homogeneous pair");
+  }
+  if (config_.mode == EngineMode::kRemus) {
+    config_.checkpoint_threads = 1;
+    config_.seed.mode = SeedMode::kXenDefault;
+  }
+  // Multithreaded PML seeding is the Xen model's extension; a KVM primary
+  // (reverse direction) seeds through its global dirty bitmap instead.
+  if (config_.seed.mode == SeedMode::kHereMultithreaded &&
+      !primary_.hypervisor().supports_pml_rings()) {
+    config_.seed.mode = SeedMode::kXenDefault;
+  }
+}
+
+ReplicationEngine::~ReplicationEngine() {
+  sim_.cancel(checkpoint_event_);
+  sim_.cancel(checkpoint_finish_event_);
+  sim_.cancel(heartbeat_event_);
+  sim_.cancel(watchdog_event_);
+}
+
+std::uint32_t ReplicationEngine::threads() const {
+  return config_.mode == EngineMode::kRemus ? 1 : config_.checkpoint_threads;
+}
+
+void ReplicationEngine::protect(hv::Vm& vm, std::function<void()> on_protected) {
+  if (vm_ != nullptr) throw std::logic_error("engine already protecting a VM");
+  if (vm.state() != hv::VmState::kRunning) {
+    throw std::logic_error("protect: VM must be running");
+  }
+  vm_ = &vm;
+  on_protected_ = std::move(on_protected);
+
+  // §5.3/§7.4: reconcile CPUID so the VM can resume on either hypervisor.
+  if (heterogeneous()) {
+    vm.platform().cpuid = primary_.hypervisor().default_cpuid().intersect(
+        secondary_.hypervisor().default_cpuid());
+  }
+
+  // Service endpoint: external clients reach the VM through this node.
+  if (service_node_ == net::kInvalidNode) {
+    service_node_ = fabric_.add_node(
+        "svc-" + vm.spec().name,
+        [this](const net::Packet& p) { on_service_packet(p); });
+  }
+
+  // Interpose the outbound buffer on the guest's network device.
+  if (hv::NetDevice* dev = vm.net_device()) {
+    dev->set_tx_hook([this](const net::Packet& p) { on_guest_tx(p); });
+  }
+  // Storage replication: local disk I/O completes immediately (Remus does
+  // not delay local writes) while a copy of each write travels with the
+  // running epoch to be applied on the replica at commit.
+  if (hv::BlockDevice* blk = vm.block_device()) {
+    hv::VirtualDisk& local = primary_.hypervisor().disk(vm);
+    blk->set_write_hook([this, &local](const hv::DiskWrite& w) {
+      local.apply(w);
+      epoch_disk_writes_.push_back(w);
+    });
+  }
+
+  staging_ = std::make_unique<ReplicaStaging>(vm.spec(), threads());
+  seeder_ = std::make_unique<Seeder>(sim_, model_, pool_,
+                                     primary_.hypervisor(), vm, *staging_,
+                                     config_.seed);
+
+  // Heartbeating starts with protection.
+  secondary_.add_ic_handler([this](const net::Packet& p) {
+    if (p.kind == 0xbeef) last_heartbeat_rx_ = sim_.now();
+  });
+  last_heartbeat_rx_ = sim_.now();
+  send_heartbeat();
+  watchdog_check();
+
+  seeder_->start([this](const SeedResult& result) { on_seeded(result); });
+}
+
+void ReplicationEngine::on_seeded(const SeedResult& result) {
+  stats_.seed = result;
+  // VM is paused and staging memory is byte-identical: commit epoch 0 with
+  // the full disk image, machine state and program snapshot, then enter the
+  // continuous phase.
+  staging_->seed_disk(primary_.hypervisor().disk(*vm_));
+  epoch_disk_writes_.clear();  // already contained in the full disk image
+  staging_->begin_epoch(0);
+  const sim::Duration state_cost = snapshot_state_and_program();
+  staging_->commit();
+
+  sim_.schedule_after(state_cost, [this] { commit_initial_checkpoint(); },
+                      "seed-state");
+}
+
+void ReplicationEngine::commit_initial_checkpoint() {
+  if (!primary_.alive()) return;  // died during seeding: never protected
+  seeded_ = true;
+  stats_.protected_at = sim_.now();
+  current_epoch_ = 1;
+  last_checkpoint_done_ = sim_.now();
+
+  // Continuous phase tracks dirtying through the shared bitmap (§7.2(2));
+  // PML rings were the seeding mechanism.
+  if (config_.seed.mode == SeedMode::kHereMultithreaded) {
+    primary_.hypervisor().disable_pml_rings(*vm_);
+  }
+
+  primary_.hypervisor().resume(*vm_);
+  schedule_checkpoint();
+
+  HERE_LOG(kInfo, "VM '%s' protected (%s -> %s), seed took %s",
+           vm_->spec().name.c_str(), primary_.name().c_str(),
+           secondary_.name().c_str(),
+           sim::format_duration(stats_.seed.total_time).c_str());
+  if (on_protected_) on_protected_();
+}
+
+sim::Duration ReplicationEngine::snapshot_state_and_program() {
+  std::unique_ptr<hv::SavedMachineState> saved =
+      primary_.hypervisor().save_machine_state(*vm_);
+  sim::Duration cost = model_.wire_time(saved->wire_bytes());
+
+  if (heterogeneous()) {
+    // Translate on receive so the committed state is already in the
+    // replica's native format — failover needs no translation step.
+    staging_->set_pending_state(
+        xlate::translate_machine_state(*saved, secondary_.hypervisor()));
+    cost += model_.config().state_translate_per_vcpu *
+            static_cast<std::int64_t>(vm_->cpus().size());
+  } else {
+    staging_->set_pending_state(std::move(saved));
+  }
+
+  if (hv::GuestProgram* program = vm_->program()) {
+    staging_->set_pending_program(program->clone());
+  }
+  // Checkpoint ACK round trip on the interconnect.
+  cost += sim::from_micros(10);
+  return cost;
+}
+
+void ReplicationEngine::schedule_checkpoint() {
+  const sim::Duration period = period_.current();
+  stats_.period_series.record(sim_.now(), sim::to_seconds(period));
+  checkpoint_event_ = sim_.schedule_after(
+      period, [this] { run_checkpoint(); }, "checkpoint");
+}
+
+void ReplicationEngine::run_checkpoint() {
+  if (!primary_.alive() || failover_in_progress_) return;
+  if (vm_ == nullptr || vm_->state() == hv::VmState::kDestroyed) return;
+
+  const sim::Duration period_used = sim_.now() - last_checkpoint_done_;
+  const std::uint64_t epoch = current_epoch_;
+
+  // (1) Pause the VM.
+  const bool was_running = vm_->state() == hv::VmState::kRunning;
+  if (was_running) primary_.hypervisor().pause(*vm_);
+
+  // (2) Capture this epoch's dirty set and copy it into staging.
+  //     HERE: disjoint 2 MiB regions round-robin across migrator threads;
+  //     Remus: one thread walks the whole bitmap.
+  common::DirtyBitmap& scratch = primary_.hypervisor().scratch_bitmap(*vm_);
+  primary_.hypervisor().dirty_bitmap(*vm_)->exchange_into(scratch);
+
+  const std::uint32_t p = threads();
+  const std::uint64_t pages = vm_->memory().pages();
+  const std::uint64_t regions = (pages + kPagesPerRegion - 1) / kPagesPerRegion;
+
+  staging_->begin_epoch(current_epoch_);
+  std::vector<std::uint64_t> per_worker_pages(p, 0);
+  std::vector<std::vector<common::Gfn>> found(p);
+  pool_.run_per_worker([&](std::size_t w) {
+    for (std::uint64_t r = w; r < regions; r += p) {
+      const common::Gfn first = r * kPagesPerRegion;
+      const common::Gfn last = std::min<common::Gfn>(first + kPagesPerRegion, pages);
+      scratch.collect(first, last, found[w]);
+    }
+    for (const common::Gfn g : found[w]) {
+      staging_->buffer_page(static_cast<std::uint32_t>(w), g,
+                            vm_->memory().page(g));
+    }
+    per_worker_pages[w] = found[w].size();
+  });
+
+  std::uint64_t captured = 0;
+  std::uint64_t max_worker = 0;
+  for (const std::uint64_t n : per_worker_pages) {
+    captured += n;
+    max_worker = std::max(max_worker, n);
+  }
+
+  // (3) The epoch's mirrored disk writes travel with the checkpoint.
+  std::uint64_t disk_bytes = 0;
+  for (const auto& w : epoch_disk_writes_) disk_bytes += w.sectors * 512ULL;
+  staging_->buffer_disk_writes(std::move(epoch_disk_writes_));
+  epoch_disk_writes_.clear();
+
+  // (4) vCPU + device states, translated when heterogeneous. Disk-mirror
+  // bytes ride along; note they are *not* multiplied by model_scale — guest
+  // programs issue disk writes at their modelled op rates, so the volume is
+  // already in model units (unlike page counts, which are real and scaled).
+  const sim::Duration state_cost =
+      snapshot_state_and_program() + model_.wire_time(disk_bytes);
+
+  // Pause duration t = f(N)/P + C (Eq. 3/4). Under speculative CoW the
+  // dirty set is only duplicated locally during the pause; the network push
+  // runs in the background after the VM resumes.
+  const std::uint64_t scale = vm_->spec().model_scale;
+  const sim::Duration scan_cost = model_.scan(pages * scale, p);
+  const sim::Duration copy_cost = model_.checkpoint_copy(
+      max_worker * scale, captured * scale, p, config_.compress_pages);
+  const sim::Duration constants =
+      model_.config().checkpoint_setup +
+      primary_.hypervisor().cost_profile().vm_pause +
+      primary_.hypervisor().cost_profile().vm_resume;
+  sim::Duration pause;
+  sim::Duration background{};
+  if (config_.speculative_cow) {
+    pause = constants + scan_cost + model_.cow_snapshot(max_worker * scale, p);
+    background = copy_cost + state_cost;
+    // The CoW buffer doubles the epoch's resident footprint on the primary.
+    primary_.account_replication_memory(
+        common::pages_to_bytes(captured * scale));
+  } else {
+    pause = constants + scan_cost + copy_cost + state_cost;
+  }
+
+  // §8.7: CPU-seconds burnt by the replication threads (work, not makespan).
+  const double copy_eff = TimeModel::efficiency(model_.config().copy_eff, p);
+  const sim::Duration cpu_work =
+      sim::Duration{static_cast<std::int64_t>(
+          static_cast<double>(model_.config().per_page_copy.count()) *
+          static_cast<double>(captured * scale) / copy_eff)} +
+      scan_cost * static_cast<std::int64_t>(p) + model_.config().checkpoint_setup;
+  stats_.replication_cpu += cpu_work;
+  primary_.account_replication_cpu(cpu_work);
+  primary_.account_replication_memory(staging_->peak_buffered_bytes() * scale);
+
+  checkpoint_finish_event_ = sim_.schedule_after(
+      pause,
+      [this, epoch, captured, period_used, pause, was_running, background] {
+        if (!primary_.alive() || failover_in_progress_) {
+          // Host died while the checkpoint was in flight: the replica
+          // discards the partial epoch and will activate the previous one.
+          staging_->abort_epoch();
+          return;
+        }
+        // A new execution epoch starts the moment the VM resumes; output
+        // produced from here on must wait for the *next* commit.
+        ++current_epoch_;
+        if (background == sim::Duration{}) {
+          finish_checkpoint(epoch, captured, period_used, pause);
+          if (was_running) primary_.hypervisor().resume(*vm_);
+          return;
+        }
+        // Speculative CoW: resume now; commit (and release epoch N's
+        // output) only when the background transfer lands.
+        if (was_running) primary_.hypervisor().resume(*vm_);
+        checkpoint_finish_event_ = sim_.schedule_after(
+            background,
+            [this, epoch, captured, period_used, pause] {
+              if (!primary_.alive() || failover_in_progress_) {
+                staging_->abort_epoch();
+                return;
+              }
+              finish_checkpoint(epoch, captured, period_used, pause);
+            },
+            "checkpoint-commit");
+      },
+      "checkpoint-done");
+}
+
+void ReplicationEngine::finish_checkpoint(std::uint64_t epoch,
+                                          std::uint64_t captured_real,
+                                          sim::Duration period_used,
+                                          sim::Duration pause) {
+  staging_->commit();
+
+  const std::uint64_t scale = vm_->spec().model_scale;
+  CheckpointRecord record;
+  record.epoch = epoch;
+  record.completed_at = sim_.now();
+  record.period_used = period_used;
+  record.pause = pause;
+  record.dirty_pages_model = captured_real * scale;
+  record.bytes_model = common::pages_to_bytes(record.dirty_pages_model);
+  record.degradation = sim::to_seconds(pause) /
+                       (sim::to_seconds(pause) + sim::to_seconds(period_used));
+  stats_.checkpoints.push_back(record);
+  stats_.total_pause += pause;
+  stats_.degradation_series.record(sim_.now(), record.degradation * 100.0);
+
+  // Output commit: packets of the epoch that just committed are released.
+  outbound_.release_up_to(epoch, sim_.now());
+
+  // Period policy input: measured pause, plus whether the epoch carried
+  // guest I/O (the Adaptive Remus baseline's trigger).
+  const std::uint64_t captured_now = outbound_.captured_total();
+  period_.observe_epoch(pause, captured_now > epoch_start_captured_);
+  epoch_start_captured_ = captured_now;
+  last_checkpoint_done_ = sim_.now();
+  schedule_checkpoint();
+}
+
+// --- Heartbeat / failover -----------------------------------------------------
+
+void ReplicationEngine::send_heartbeat() {
+  if (failover_in_progress_ || stats_.failed_over) return;
+  if (primary_.alive()) {
+    // Control message on the interconnect; a crashed host's packets drop, a
+    // hung host never reaches this point.
+    net::Packet hb;
+    hb.src = primary_.ic_node();
+    hb.dst = secondary_.ic_node();
+    hb.size_bytes = 64;
+    hb.kind = 0xbeef;
+    fabric_.send(hb);
+    ++stats_.heartbeats_sent;
+  }
+  heartbeat_event_ = sim_.schedule_after(config_.heartbeat_interval,
+                                         [this] { send_heartbeat(); },
+                                         "heartbeat");
+}
+
+void ReplicationEngine::add_detector(std::unique_ptr<FailureDetector> detector) {
+  detectors_.push_back(std::move(detector));
+}
+
+void ReplicationEngine::watchdog_check() {
+  if (stats_.failed_over) return;
+  if (secondary_.alive() && seeded_ && !failover_in_progress_) {
+    if (sim_.now() - last_heartbeat_rx_ > config_.heartbeat_timeout &&
+        config_.auto_failover) {
+      begin_failover("heartbeat timeout");
+      return;
+    }
+    // Active detectors (starvation, guest watchdog, intrusion detection):
+    // a hit hands the VM over to the clean hypervisor (§8.2).
+    for (const auto& detector : detectors_) {
+      if (const auto reason = detector->check(sim_.now())) {
+        begin_failover(std::string(detector->name()) + ": " + *reason);
+        return;
+      }
+    }
+  }
+  watchdog_event_ = sim_.schedule_after(config_.heartbeat_interval,
+                                        [this] { watchdog_check(); },
+                                        "watchdog");
+}
+
+void ReplicationEngine::trigger_failover(const std::string& reason) {
+  if (!failover_in_progress_ && !stats_.failed_over) begin_failover(reason);
+}
+
+void ReplicationEngine::begin_failover(const std::string& reason) {
+  if (!staging_ || !staging_->has_committed()) {
+    HERE_LOG(kWarn, "failover requested (%s) but no committed checkpoint",
+             reason.c_str());
+    return;
+  }
+  failover_in_progress_ = true;
+  stats_.failure_detected_at = sim_.now();
+  sim_.cancel(checkpoint_event_);
+  staging_->abort_epoch();
+  stats_.packets_dropped_at_failover = outbound_.drop_all();
+
+  HERE_LOG(kInfo, "failover: %s; activating replica on %s", reason.c_str(),
+           secondary_.name().c_str());
+
+  // kvmtool builds the VM around the already-resident replica memory:
+  // process setup + device plumbing + state load. No memory copy — which is
+  // why resumption time is flat in VM size (Fig. 7).
+  const hv::HvCostProfile& cost = secondary_.hypervisor().cost_profile();
+  const auto n_devices =
+      static_cast<std::int64_t>(staging_->committed_state() != nullptr ? 3 : 0);
+  sim::Duration d = cost.create_vm_base + cost.per_device_setup * n_devices +
+                    cost.state_load + cost.vm_resume;
+  // Scheduler/IRQ-routing jitter observed on real activations (Fig. 7 shows
+  // a 1-6 ms scatter that does not correlate with VM size).
+  d += sim::from_micros(
+      secondary_.hypervisor().rng().uniform_real(-600.0, 1800.0));
+  sim_.schedule_after(d, [this] { activate_replica(); }, "failover-activate");
+}
+
+void ReplicationEngine::activate_replica() {
+  hv::Hypervisor& target = secondary_.hypervisor();
+  hv::Vm& replica = target.create_vm(staging_->spec());
+
+  // Install the committed memory image (already resident in staging).
+  for (common::Gfn g = 0; g < staging_->memory().pages(); ++g) {
+    replica.memory().install_page(g, staging_->memory().page(g));
+  }
+  // The replica's disk is the committed mirror (already applied up to the
+  // last committed epoch).
+  target.disk(replica) = staging_->disk();
+  // Committed machine state is already in the target's format (translation
+  // happened on checkpoint receive).
+  target.load_machine_state(replica, *staging_->committed_state());
+
+  if (auto program = staging_->take_committed_program()) {
+    replica.attach_program(std::move(program));
+  }
+
+  // Direct egress from now on: the replica runs unprotected (re-protection
+  // in the opposite direction is future work, as in the paper).
+  if (hv::NetDevice* dev = replica.net_device()) {
+    dev->set_tx_hook([this](const net::Packet& p) {
+      net::Packet out = p;
+      out.src = service_node_;
+      fabric_.send(out);
+    });
+  }
+
+  stats_.replica_digest_at_activation = replica.memory().full_digest();
+  stats_.committed_digest_at_activation = staging_->memory().full_digest();
+  stats_.replica_disk_digest_at_activation = target.disk(replica).digest();
+  stats_.committed_disk_digest_at_activation = staging_->disk().digest();
+
+  replica_vm_ = &replica;
+  target.start(replica);
+  // Guest agent: unplug-old/plug-new device notification (§7.3).
+  replica.agent_notify_device_switch(sim_.now(), target.rng());
+
+  stats_.failed_over = true;
+  stats_.replica_active_at = sim_.now();
+  stats_.resumption_time = sim_.now() - stats_.failure_detected_at;
+  failover_in_progress_ = false;
+
+  HERE_LOG(kInfo, "replica active on %s after %s (epoch %llu)",
+           secondary_.name().c_str(),
+           sim::format_duration(stats_.resumption_time).c_str(),
+           static_cast<unsigned long long>(staging_->committed_epoch()));
+}
+
+// --- Packet paths ---------------------------------------------------------------
+
+void ReplicationEngine::on_guest_tx(const net::Packet& packet) {
+  net::Packet out = packet;
+  out.src = service_node_;
+  outbound_.capture(out, current_epoch_, sim_.now());
+}
+
+void ReplicationEngine::on_service_packet(const net::Packet& packet) {
+  if (stats_.failed_over) {
+    if (replica_vm_ != nullptr && secondary_.alive()) {
+      replica_vm_->deliver_packet(sim_.now(), secondary_.hypervisor().rng(),
+                                  packet);
+    }
+    return;
+  }
+  if (vm_ != nullptr && primary_.alive()) {
+    vm_->deliver_packet(sim_.now(), primary_.hypervisor().rng(), packet);
+  }
+}
+
+hv::Vm* ReplicationEngine::active_vm() {
+  return stats_.failed_over ? replica_vm_ : vm_;
+}
+
+bool ReplicationEngine::service_available() {
+  hv::Vm* vm = active_vm();
+  if (vm == nullptr) return false;
+  hv::Host& host = stats_.failed_over ? secondary_ : primary_;
+  if (!host.alive()) return false;
+  return vm->state() == hv::VmState::kRunning ||
+         vm->state() == hv::VmState::kPaused;  // paused = mid-checkpoint
+}
+
+}  // namespace here::rep

@@ -1,0 +1,214 @@
+// The HERE replication engine (paper §5): orchestrates seeding, continuous
+// multithreaded checkpointing, outbound I/O buffering, state translation,
+// heartbeat monitoring and failover of one protected VM from a primary host
+// to a secondary host — which may run a *different* hypervisor
+// (heterogeneous replication) or the same one (the Remus baseline).
+//
+// Lifecycle:
+//   protect(vm)
+//     -> seeding (live pre-copy, §7.2(1))
+//     -> epoch 0 committed (memory + translated machine state + program)
+//     -> continuous checkpoints every T (§7.2(2)), T driven by the dynamic
+//        period manager (§5.4) unless a fixed period is configured
+//     -> on primary failure (heartbeat loss or explicit trigger): the last
+//        committed checkpoint activates on the secondary hypervisor; the
+//        guest agent switches device families; unreleased outbound packets
+//        are dropped (never seen by clients — output commit).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/thread_pool.h"
+#include "hv/host.h"
+#include "kvmsim/kvm_hypervisor.h"
+#include "replication/detectors.h"
+#include "replication/io_buffer.h"
+#include "replication/period_manager.h"
+#include "replication/seeder.h"
+#include "replication/staging.h"
+#include "replication/time_model.h"
+#include "sim/stats.h"
+#include "xensim/xen_hypervisor.h"
+
+namespace here::rep {
+
+enum class EngineMode : std::uint8_t {
+  kRemus,  // baseline: single-threaded, same-hypervisor replica
+  kHere,   // multithreaded, heterogeneous replica, dynamic period
+};
+
+struct ReplicationConfig {
+  EngineMode mode = EngineMode::kHere;
+  // Migrator threads for the continuous phase (paper evaluates P = #vCPUs).
+  // Forced to 1 in Remus mode.
+  std::uint32_t checkpoint_threads = 4;
+  // Checkpoint period policy. target_degradation == 0 gives a fixed period
+  // T == t_max (both for Remus and the "HERE(T,0%)" configurations).
+  PeriodConfig period;
+  SeedConfig seed;
+  sim::Duration heartbeat_interval = sim::from_millis(25);
+  sim::Duration heartbeat_timeout = sim::from_millis(100);
+  TimeModelConfig time_model;
+  // Activate the replica automatically when the heartbeat lapses.
+  bool auto_failover = true;
+  // XBZRLE-style page compression on the replication stream (extension; see
+  // bench/ablation_compression for when it pays off).
+  bool compress_pages = false;
+  // Speculative copy-on-write checkpointing (the Remus paper's classic
+  // optimization, extension here): the dirty set is duplicated into a local
+  // buffer at memcpy speed, the VM resumes immediately, and the network
+  // transfer proceeds in the background. Slashes the pause t (and thus the
+  // degradation); output commit still waits for the background transfer, so
+  // client-visible latency is unchanged.
+  bool speculative_cow = false;
+};
+
+struct CheckpointRecord {
+  std::uint64_t epoch = 0;
+  sim::TimePoint completed_at{};
+  sim::Duration period_used{};  // T for the epoch that just ended
+  sim::Duration pause{};        // t: VM paused duration
+  std::uint64_t dirty_pages_model = 0;
+  std::uint64_t bytes_model = 0;
+  double degradation = 0.0;     // t / (t + T)
+};
+
+struct EngineStats {
+  SeedResult seed;
+  sim::TimePoint protected_at{};  // epoch 0 committed
+  std::vector<CheckpointRecord> checkpoints;
+  sim::TimeSeries period_series{"period_s"};
+  sim::TimeSeries degradation_series{"degradation_pct"};
+  std::uint64_t heartbeats_sent = 0;
+  sim::Duration total_pause{};
+  // Replication CPU-seconds consumed on the primary (§8.7).
+  sim::Duration replication_cpu{};
+
+  bool failed_over = false;
+  sim::TimePoint failure_detected_at{};
+  sim::TimePoint replica_active_at{};
+  // "Replica resumption time" as measured for Fig. 7: from the start of the
+  // failover process to the replica VM running.
+  sim::Duration resumption_time{};
+  std::uint64_t packets_dropped_at_failover = 0;
+  // Memory digests captured at the instant of replica activation (the
+  // replica image must equal the committed checkpoint byte-for-byte).
+  std::uint64_t replica_digest_at_activation = 0;
+  std::uint64_t committed_digest_at_activation = 0;
+  std::uint64_t replica_disk_digest_at_activation = 0;
+  std::uint64_t committed_disk_digest_at_activation = 0;
+};
+
+class ReplicationEngine {
+ public:
+  // The paper's prototype replicates Xen -> KVM; this implementation also
+  // supports the reverse direction (KVM primary -> Xen secondary, seeding
+  // via KVM's dirty bitmap instead of PML rings), which is what enables
+  // re-protection after a failover. Remus mode requires a homogeneous
+  // pair. Hosts must already be connected on the interconnect fabric.
+  ReplicationEngine(sim::Simulation& simulation, net::Fabric& fabric,
+                    hv::Host& primary, hv::Host& secondary,
+                    ReplicationConfig config);
+  ~ReplicationEngine();
+
+  ReplicationEngine(const ReplicationEngine&) = delete;
+  ReplicationEngine& operator=(const ReplicationEngine&) = delete;
+
+  // Starts protecting `vm` (owned by the primary's hypervisor; must be
+  // running). Reconciles the VM's CPUID policy across both hypervisors,
+  // interposes the outbound buffer, seeds the replica, then checkpoints
+  // continuously. `on_protected` fires when epoch 0 commits.
+  void protect(hv::Vm& vm, std::function<void()> on_protected = {});
+
+  // External clients address the protected service through this node; the
+  // engine re-points it at the replica on failover (IP takeover).
+  [[nodiscard]] net::NodeId service_node() const { return service_node_; }
+
+  // Force a failover now (e.g. an attack detector fired, §8.2).
+  void trigger_failover(const std::string& reason);
+
+  // Registers a failure detector, polled on the watchdog cadence once the
+  // VM is protected; a firing detector triggers failover.
+  void add_detector(std::unique_ptr<FailureDetector> detector);
+
+  [[nodiscard]] bool protecting() const { return vm_ != nullptr; }
+  [[nodiscard]] bool seeded() const { return seeded_; }
+  [[nodiscard]] bool failed_over() const { return stats_.failed_over; }
+
+  [[nodiscard]] hv::Vm* primary_vm() { return vm_; }
+  [[nodiscard]] hv::Vm* replica_vm() { return replica_vm_; }
+  // The VM currently responsible for the service.
+  [[nodiscard]] hv::Vm* active_vm();
+
+  // True when a running VM (primary or activated replica) can serve clients.
+  [[nodiscard]] bool service_available();
+
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  [[nodiscard]] EngineStats& mutable_stats() { return stats_; }
+  [[nodiscard]] OutboundBuffer& outbound() { return outbound_; }
+  [[nodiscard]] ReplicaStaging* staging() { return staging_.get(); }
+  [[nodiscard]] PeriodManager& period_manager() { return period_; }
+  [[nodiscard]] const TimeModel& time_model() const { return model_; }
+  [[nodiscard]] const ReplicationConfig& config() const { return config_; }
+
+  [[nodiscard]] bool heterogeneous() const {
+    return primary_.hypervisor().kind() != secondary_.hypervisor().kind();
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t threads() const;
+
+  void on_seeded(const SeedResult& result);
+  void commit_initial_checkpoint();
+  void schedule_checkpoint();
+  void run_checkpoint();
+  void finish_checkpoint(std::uint64_t epoch, std::uint64_t captured_real,
+                         sim::Duration period_used, sim::Duration pause);
+  // Saves + (if heterogeneous) translates machine state and program snapshot
+  // into staging's pending slot. Returns the time cost.
+  sim::Duration snapshot_state_and_program();
+
+  void send_heartbeat();
+  void watchdog_check();
+  void begin_failover(const std::string& reason);
+  void activate_replica();
+
+  void on_guest_tx(const net::Packet& packet);
+  void on_service_packet(const net::Packet& packet);
+
+  sim::Simulation& sim_;
+  net::Fabric& fabric_;
+  hv::Host& primary_;
+  hv::Host& secondary_;
+  ReplicationConfig config_;
+  TimeModel model_;
+  common::ThreadPool pool_;
+  PeriodManager period_;
+  OutboundBuffer outbound_;
+
+  net::NodeId service_node_ = net::kInvalidNode;
+  hv::Vm* vm_ = nullptr;
+  hv::Vm* replica_vm_ = nullptr;
+  std::unique_ptr<ReplicaStaging> staging_;
+  std::unique_ptr<Seeder> seeder_;
+  std::vector<std::unique_ptr<FailureDetector>> detectors_;
+  std::function<void()> on_protected_;
+
+  bool seeded_ = false;
+  bool failover_in_progress_ = false;
+  std::uint64_t current_epoch_ = 0;  // execution epoch being buffered
+  std::uint64_t epoch_start_captured_ = 0;  // outbound count at epoch start
+  std::vector<hv::DiskWrite> epoch_disk_writes_;  // storage mirror buffer
+  sim::TimePoint last_checkpoint_done_{};
+  sim::TimePoint last_heartbeat_rx_{};
+  sim::EventId checkpoint_event_;
+  sim::EventId checkpoint_finish_event_;
+  sim::EventId heartbeat_event_;
+  sim::EventId watchdog_event_;
+
+  EngineStats stats_;
+};
+
+}  // namespace here::rep

@@ -1,0 +1,93 @@
+#include "replication/staging.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace here::rep {
+
+using common::kPageSize;
+
+ReplicaStaging::ReplicaStaging(const hv::VmSpec& spec, std::uint32_t workers)
+    : spec_(spec),
+      memory_(spec.pages, spec.vcpus),
+      buffers_(std::max<std::uint32_t>(1, workers)) {}
+
+void ReplicaStaging::install_seed_page(common::Gfn gfn,
+                                       std::span<const std::uint8_t> bytes) {
+  memory_.install_page(gfn, bytes);
+  ++seeded_pages_;
+}
+
+void ReplicaStaging::begin_epoch(std::uint64_t epoch) {
+  open_epoch_ = epoch;
+  for (auto& b : buffers_) {
+    b.gfns.clear();
+    b.bytes.clear();
+  }
+}
+
+void ReplicaStaging::buffer_page(std::uint32_t worker, common::Gfn gfn,
+                                 std::span<const std::uint8_t> bytes) {
+  WorkerBuffer& buf = buffers_.at(worker);
+  buf.gfns.push_back(gfn);
+  const std::size_t off = buf.bytes.size();
+  buf.bytes.resize(off + kPageSize);
+  std::memcpy(buf.bytes.data() + off, bytes.data(), kPageSize);
+}
+
+void ReplicaStaging::buffer_disk_writes(std::vector<hv::DiskWrite> writes) {
+  pending_disk_writes_.insert(pending_disk_writes_.end(), writes.begin(),
+                              writes.end());
+}
+
+void ReplicaStaging::set_pending_state(
+    std::unique_ptr<hv::SavedMachineState> state) {
+  pending_state_ = std::move(state);
+}
+
+void ReplicaStaging::set_pending_program(
+    std::unique_ptr<hv::GuestProgram> program) {
+  pending_program_ = std::move(program);
+}
+
+std::uint64_t ReplicaStaging::buffered_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buffers_) total += b.bytes.size();
+  return total;
+}
+
+std::uint64_t ReplicaStaging::commit() {
+  peak_buffered_ = std::max(peak_buffered_, buffered_bytes());
+  std::uint64_t applied = 0;
+  for (auto& b : buffers_) {
+    for (std::size_t i = 0; i < b.gfns.size(); ++i) {
+      memory_.install_page(
+          b.gfns[i], {b.bytes.data() + i * kPageSize, kPageSize});
+      ++applied;
+    }
+    b.gfns.clear();
+    b.bytes.clear();
+  }
+  for (const auto& write : pending_disk_writes_) disk_.apply(write);
+  pending_disk_writes_.clear();
+  if (pending_state_) committed_state_ = std::move(pending_state_);
+  if (pending_program_) committed_program_ = std::move(pending_program_);
+  committed_epoch_ = open_epoch_;
+  return applied;
+}
+
+void ReplicaStaging::abort_epoch() {
+  for (auto& b : buffers_) {
+    b.gfns.clear();
+    b.bytes.clear();
+  }
+  pending_disk_writes_.clear();
+  pending_state_.reset();
+  pending_program_.reset();
+}
+
+std::unique_ptr<hv::GuestProgram> ReplicaStaging::take_committed_program() {
+  return std::move(committed_program_);
+}
+
+}  // namespace here::rep

@@ -1,0 +1,101 @@
+// Replica-side checkpoint staging.
+//
+// The replica never applies incoming pages directly to its VM image:
+// an epoch's pages are buffered and applied atomically when the whole
+// checkpoint has arrived (then ACKed). If the primary dies mid-transfer the
+// partial epoch is discarded and the replica activates the last *committed*
+// checkpoint — the rollback property of asynchronous state replication.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hv/disk.h"
+#include "hv/guest_memory.h"
+#include "hv/guest_program.h"
+#include "hv/hypervisor.h"
+#include "hv/types.h"
+
+namespace here::rep {
+
+class ReplicaStaging {
+ public:
+  // `workers` = number of migrator threads that may buffer concurrently.
+  ReplicaStaging(const hv::VmSpec& spec, std::uint32_t workers);
+
+  [[nodiscard]] const hv::VmSpec& spec() const { return spec_; }
+  [[nodiscard]] hv::GuestMemory& memory() { return memory_; }
+  [[nodiscard]] const hv::GuestMemory& memory() const { return memory_; }
+
+  // --- Seeding phase: pages land directly in the image -----------------------
+
+  void install_seed_page(common::Gfn gfn, std::span<const std::uint8_t> bytes);
+  [[nodiscard]] std::uint64_t seeded_pages() const { return seeded_pages_; }
+
+  // Clones the primary's full disk image (done at the seeding stop-and-copy
+  // point, with the guest quiescent).
+  void seed_disk(const hv::VirtualDisk& source) { disk_ = source; }
+
+  // --- Continuous phase: epoch buffering --------------------------------------
+
+  void begin_epoch(std::uint64_t epoch);
+  [[nodiscard]] std::uint64_t open_epoch() const { return open_epoch_; }
+
+  // Buffers one page for the open epoch. Thread-safe across distinct
+  // `worker` indices (each worker owns its buffer).
+  void buffer_page(std::uint32_t worker, common::Gfn gfn,
+                   std::span<const std::uint8_t> bytes);
+
+  // Disk writes issued by the guest during the open epoch; applied to the
+  // replica disk atomically with the memory image at commit.
+  void buffer_disk_writes(std::vector<hv::DiskWrite> writes);
+  [[nodiscard]] const hv::VirtualDisk& disk() const { return disk_; }
+
+  // Machine state / guest program snapshot accompanying the open epoch.
+  void set_pending_state(std::unique_ptr<hv::SavedMachineState> state);
+  void set_pending_program(std::unique_ptr<hv::GuestProgram> program);
+
+  // Atomically applies the open epoch. Returns pages applied.
+  std::uint64_t commit();
+
+  // Discards a partially received epoch (primary failed mid-checkpoint).
+  void abort_epoch();
+
+  [[nodiscard]] std::uint64_t committed_epoch() const { return committed_epoch_; }
+  [[nodiscard]] bool has_committed() const { return committed_state_ != nullptr; }
+  [[nodiscard]] const hv::SavedMachineState* committed_state() const {
+    return committed_state_.get();
+  }
+  // Transfers ownership of the committed program snapshot (failover).
+  [[nodiscard]] std::unique_ptr<hv::GuestProgram> take_committed_program();
+
+  // --- §8.7 accounting ---------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t peak_buffered_bytes() const { return peak_buffered_; }
+
+ private:
+  struct WorkerBuffer {
+    std::vector<common::Gfn> gfns;
+    std::vector<std::uint8_t> bytes;  // gfns.size() * kPageSize
+  };
+
+  [[nodiscard]] std::uint64_t buffered_bytes() const;
+
+  hv::VmSpec spec_;
+  hv::GuestMemory memory_;
+  hv::VirtualDisk disk_;
+  std::vector<hv::DiskWrite> pending_disk_writes_;
+  std::vector<WorkerBuffer> buffers_;
+  std::uint64_t seeded_pages_ = 0;
+  std::uint64_t open_epoch_ = 0;
+  std::uint64_t committed_epoch_ = 0;
+  std::unique_ptr<hv::SavedMachineState> pending_state_;
+  std::unique_ptr<hv::SavedMachineState> committed_state_;
+  std::unique_ptr<hv::GuestProgram> pending_program_;
+  std::unique_ptr<hv::GuestProgram> committed_program_;
+  std::uint64_t peak_buffered_ = 0;
+};
+
+}  // namespace here::rep

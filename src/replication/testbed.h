@@ -1,0 +1,71 @@
+// Ready-made two-host replication testbed: the paper's experimental setup
+// (Table 3) in one object. Used by tests, benches and examples.
+//
+//   host-a: Xen 4.12 model (primary)
+//   host-b: KVM/kvmtool model (HERE) or a second Xen (Remus baseline)
+//   100 Gbit/s interconnect between them; 10 GbE toward external clients.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "hv/host.h"
+#include "kvmsim/kvm_hypervisor.h"
+#include "replication/replication_engine.h"
+#include "sim/event_queue.h"
+#include "sim/hardware_profile.h"
+#include "simnet/fabric.h"
+#include "xensim/xen_hypervisor.h"
+
+namespace here::rep {
+
+struct TestbedConfig {
+  ReplicationConfig engine;
+  hv::VmSpec vm_spec = hv::make_vm_spec("protected", 4, 512ULL << 20);
+  std::uint64_t seed = 42;
+  sim::HostProfile hardware = sim::grid5000_host();
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] net::Fabric& fabric() { return fabric_; }
+  [[nodiscard]] hv::Host& primary() { return *primary_; }
+  [[nodiscard]] hv::Host& secondary() { return *secondary_; }
+  [[nodiscard]] xen::XenHypervisor& xen() {
+    return static_cast<xen::XenHypervisor&>(primary_->hypervisor());
+  }
+  [[nodiscard]] ReplicationEngine& engine() { return *engine_; }
+  [[nodiscard]] const TestbedConfig& config() const { return config_; }
+
+  // Creates the protected VM on the primary, attaches `program`, starts it.
+  hv::Vm& create_vm(std::unique_ptr<hv::GuestProgram> program);
+
+  // Starts protection and runs virtual time until the VM is seeded.
+  // Returns the protected VM.
+  void protect(hv::Vm& vm);
+  void run_until_seeded(sim::Duration limit = sim::from_seconds(3600));
+
+  // Registers an external client node and connects it to the service
+  // endpoint (10 GbE path). Must be called after protect().
+  net::NodeId add_client(const std::string& name, net::Fabric::Receiver receiver);
+
+  // Runs virtual time until `cond` holds (checking every `step`), or until
+  // `limit` elapses. Returns true if the condition was met.
+  bool run_until(const std::function<bool()>& cond,
+                 sim::Duration limit = sim::from_seconds(3600),
+                 sim::Duration step = sim::from_millis(50));
+
+ private:
+  TestbedConfig config_;
+  sim::Simulation sim_;
+  net::Fabric fabric_;
+  std::unique_ptr<hv::Host> primary_;
+  std::unique_ptr<hv::Host> secondary_;
+  std::unique_ptr<ReplicationEngine> engine_;
+};
+
+}  // namespace here::rep

@@ -1,0 +1,99 @@
+// Calibrated virtual-time cost model for replication operations.
+//
+// The data plane (page copies) runs for real on worker threads; the
+// *reported* durations come from this model, calibrated against the paper's
+// testbed (Table 3: Xeon Gold 6130, Omni-Path 100 Gbit/s):
+//
+//   * per_page_copy (~5.5 us) — single-threaded userspace cost to map a
+//     foreign page, memcpy it and push it into the migration stream. This
+//     reproduces Xen's ~29 s idle 20 GB migration (Fig. 6) and Remus's ~4 s
+//     checkpoint transfers under 30 % load (Fig. 8b). The wire itself is
+//     ~0.33 us/page at 100 Gbit/s, so replication is CPU-bound — which is
+//     exactly why HERE's multithreading pays off (§7.2).
+//   * per_page_scan (~8 ns) — log-dirty bitmap scan per *scanned* (not
+//     dirty) page; scanning 20 GB costs ~40 ms, the dominant term for idle
+//     VMs (Fig. 8a).
+//   * thread efficiency curves — sub-linear scaling from shared-bitmap and
+//     stream contention. Checkpoint copies scale ~2.2x at P=4 (the paper's
+//     49 % loaded improvement); seeding scales ~1.3x (25 % idle improvement,
+//     Fig. 6) because PML draining and problematic-page tracking add
+//     per-page work.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace here::rep {
+
+struct TimeModelConfig {
+  sim::Duration per_page_copy = sim::Duration{5500};   // 5.5 us
+  sim::Duration per_page_scan = sim::Duration{8};      // 8 ns
+  sim::Duration per_pml_entry = sim::Duration{60};     // PML ring drain
+  sim::Duration checkpoint_setup = sim::from_micros(200);
+  sim::Duration state_translate_per_vcpu = sim::from_micros(50);
+  // One-time cost to spin up per-vCPU migrator threads + PML (HERE seeding).
+  sim::Duration seed_setup = sim::from_millis(400);
+
+  // Per-thread efficiency at P = 1/2/4/8 (geometric interpolation between).
+  double copy_eff[4] = {1.0, 0.85, 0.55, 0.40};
+  double seed_eff[4] = {1.0, 0.50, 0.33, 0.25};
+  double scan_eff = 0.85;
+
+  // Interconnect (Omni-Path HFI 100).
+  double wire_bytes_per_second = 12.5e9;
+
+  // Optional XBZRLE-style page compression for the replication stream:
+  // extra CPU per page vs fewer bytes on the wire. Pays off on thin pipes
+  // (10 GbE), not on the paper's CPU-bound 100 Gbit/s setup — see
+  // bench/ablation_compression.
+  sim::Duration compression_cpu_per_page = sim::Duration{1000};  // 1 us (XOR+RLE)
+  double compression_ratio = 0.35;  // compressed bytes / raw bytes
+
+  // Local CoW page duplication (speculative checkpointing): a plain local
+  // memcpy, ~6 GB/s per thread.
+  sim::Duration per_page_cow = sim::Duration{700};  // 0.7 us
+};
+
+class TimeModel {
+ public:
+  explicit TimeModel(TimeModelConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] const TimeModelConfig& config() const { return config_; }
+
+  // Continuous-replication checkpoint copy: `max_worker_pages` is the
+  // largest per-thread share (the critical path), `total_pages` feeds the
+  // wire serialization term. Result = max(cpu critical path, wire time).
+  // With `compressed`, each page costs extra CPU but ships fewer bytes.
+  [[nodiscard]] sim::Duration checkpoint_copy(std::uint64_t max_worker_pages,
+                                              std::uint64_t total_pages,
+                                              std::uint32_t threads,
+                                              bool compressed = false) const;
+
+  // Seeding-phase (live migration) copy of one iteration.
+  [[nodiscard]] sim::Duration seed_copy(std::uint64_t max_worker_pages,
+                                        std::uint64_t total_pages,
+                                        std::uint32_t threads) const;
+
+  // Dirty-log scan over `pages_scanned` page slots with `threads` workers.
+  [[nodiscard]] sim::Duration scan(std::uint64_t pages_scanned,
+                                   std::uint32_t threads) const;
+
+  // Local copy-on-write snapshot of the dirty set (speculative checkpointing:
+  // pages are duplicated into a local buffer at memcpy speed so the VM can
+  // resume before the network transfer finishes).
+  [[nodiscard]] sim::Duration cow_snapshot(std::uint64_t max_worker_pages,
+                                           std::uint32_t threads) const;
+
+  // PML drain of `entries` logged writes (per-vCPU, no cross-vCPU stalls).
+  [[nodiscard]] sim::Duration pml_drain(std::uint64_t entries) const;
+
+  [[nodiscard]] sim::Duration wire_time(std::uint64_t bytes) const;
+
+  [[nodiscard]] static double efficiency(const double eff[4], std::uint32_t threads);
+
+ private:
+  TimeModelConfig config_;
+};
+
+}  // namespace here::rep

@@ -1,0 +1,49 @@
+// End-to-end Table 2 coverage scenarios: for each DoS source in the threat
+// model (§4.1), run a full two-host replication setup, inject the failure,
+// and observe whether the protected service survives. The outcomes
+// mechanically reproduce Table 2 — including the "No" cells: a guest-
+// originated guest failure is part of the replicated state, so the replica
+// re-crashes after failover.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace here::sec {
+
+enum class DosSource : std::uint8_t {
+  kAccident,         // HW/SW error on the host (or host-environment-induced)
+  kGuestUser,        // unprivileged process inside the protected guest
+  kGuestKernel,      // ring-0 code inside the protected guest
+  kOtherGuest,       // a co-located malicious guest
+  kExternalService,  // a network peer of the hypervisor host
+};
+
+[[nodiscard]] constexpr const char* to_string(DosSource s) {
+  switch (s) {
+    case DosSource::kAccident: return "Accidents; HW/SW errors";
+    case DosSource::kGuestUser: return "Guest user";
+    case DosSource::kGuestKernel: return "Guest kernel";
+    case DosSource::kOtherGuest: return "Other guests";
+    case DosSource::kExternalService: return "Other services";
+  }
+  return "?";
+}
+
+struct CoverageRow {
+  DosSource source{};
+  // Did the service survive when the failure manifested as a *guest*
+  // failure / as a *host* failure?
+  bool guest_failure_covered = false;
+  bool host_failure_covered = false;
+};
+
+// Runs both failure variants for one source. Deterministic given `seed`.
+[[nodiscard]] CoverageRow run_coverage_scenario(DosSource source,
+                                                std::uint64_t seed = 42);
+
+// The whole of Table 2.
+[[nodiscard]] std::vector<CoverageRow> run_all_coverage_scenarios(
+    std::uint64_t seed = 42);
+
+}  // namespace here::sec

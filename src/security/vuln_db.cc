@@ -1,0 +1,224 @@
+#include "security/vuln_db.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace here::sec {
+namespace {
+
+// Table 1 aggregates (NVD 2013-2020, as published).
+struct ProductAggregate {
+  Product product;
+  std::uint32_t cves, avail, dos;
+};
+constexpr ProductAggregate kAggregates[] = {
+    {Product::kXen, 312, 282, 152},   {Product::kKvm, 74, 68, 38},
+    {Product::kQemu, 308, 290, 192},  {Product::kEsxi, 70, 55, 16},
+    {Product::kHyperV, 116, 95, 44},
+};
+
+// Largest-remainder apportionment of `total` across `weights`.
+std::vector<std::uint32_t> apportion(std::uint32_t total,
+                                     std::span<const double> weights) {
+  std::vector<std::uint32_t> counts(weights.size());
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::uint32_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double exact = weights[i] * total;
+    counts[i] = static_cast<std::uint32_t>(exact);
+    assigned += counts[i];
+    remainders.emplace_back(exact - std::floor(exact), i);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t k = 0; assigned < total; ++k, ++assigned) {
+    ++counts[remainders[k % remainders.size()].second];
+  }
+  return counts;
+}
+
+std::string synth_id(Product product, std::uint32_t n) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s-RECON-%04u", to_string(product), n);
+  return buf;
+}
+
+}  // namespace
+
+VulnDatabase VulnDatabase::paper_dataset() {
+  VulnDatabase db;
+
+  for (const auto& agg : kAggregates) {
+    // DoS-only joint (target, outcome) quotas — published for Xen (Table 5);
+    // reused as the shape for other products (only Xen's are reported).
+    constexpr double kJointWeights[] = {
+        0.66,   // core/dom0/tools, crash
+        0.13,   // core/dom0/tools, hang
+        0.055,  // core/dom0/tools, starvation
+        0.10,   // guest OS, crash
+        0.025,  // guest OS, starvation
+        0.03,   // other software, crash
+    };
+    constexpr std::pair<TargetComponent, Outcome> kJointKeys[] = {
+        {TargetComponent::kHypervisorDom0Tools, Outcome::kCrash},
+        {TargetComponent::kHypervisorDom0Tools, Outcome::kHang},
+        {TargetComponent::kHypervisorDom0Tools, Outcome::kStarvation},
+        {TargetComponent::kGuestOs, Outcome::kCrash},
+        {TargetComponent::kGuestOs, Outcome::kStarvation},
+        {TargetComponent::kOtherSoftware, Outcome::kCrash},
+    };
+    // Attack-vector quotas (§8.2: 25/20/12/7/2/34 %).
+    constexpr double kVectorWeights[] = {0.25, 0.20, 0.12, 0.07, 0.02, 0.34};
+    constexpr AttackVector kVectorKeys[] = {
+        AttackVector::kVirtualDevice, AttackVector::kHypercall,
+        AttackVector::kVcpuManagement, AttackVector::kShadowPaging,
+        AttackVector::kVmExit,         AttackVector::kOther,
+    };
+    // "More than half" launchable from guest user space.
+    constexpr double kPrivWeights[] = {0.55, 0.45};
+
+    const auto joint = apportion(agg.dos, kJointWeights);
+    const auto vectors = apportion(agg.dos, kVectorWeights);
+    const auto privs = apportion(agg.dos, kPrivWeights);
+
+    std::vector<std::pair<TargetComponent, Outcome>> joint_seq;
+    for (std::size_t i = 0; i < joint.size(); ++i) {
+      joint_seq.insert(joint_seq.end(), joint[i], kJointKeys[i]);
+    }
+    std::vector<AttackVector> vector_seq;
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+      vector_seq.insert(vector_seq.end(), vectors[i], kVectorKeys[i]);
+    }
+    std::vector<Privilege> priv_seq;
+    priv_seq.insert(priv_seq.end(), privs[0], Privilege::kGuestUser);
+    priv_seq.insert(priv_seq.end(), privs[1], Privilege::kGuestKernel);
+
+    // Interleave the sequences (stride by a co-prime step) so the joint,
+    // vector and privilege attributes are not correlated by position.
+    for (std::uint32_t n = 0; n < agg.cves; ++n) {
+      CveRecord rec;
+      rec.product = agg.product;
+      rec.year = static_cast<std::uint16_t>(2013 + n % 8);
+      rec.id = synth_id(agg.product, n);
+      if (n < agg.dos) {
+        rec.dos_only = true;
+        rec.affects_availability = true;
+        const std::size_t j = (n * 7) % agg.dos;
+        rec.target = joint_seq[j].first;
+        rec.outcome = joint_seq[j].second;
+        rec.vector = vector_seq[(n * 11) % agg.dos];
+        rec.privilege = priv_seq[(n * 13) % agg.dos];
+      } else if (n < agg.avail) {
+        rec.affects_availability = true;  // availability + C/I impact
+      }
+      db.records_.push_back(std::move(rec));
+    }
+  }
+
+  // Curated real anchors (availability-relevant classics), replacing the
+  // first reconstructed slots of their products without changing totals.
+  auto curate = [&db](Product p, std::size_t slot_in_product, const char* id,
+                      bool dos_only) {
+    std::size_t seen = 0;
+    for (auto& rec : db.records_) {
+      if (rec.product != p) continue;
+      if (dos_only != rec.dos_only) continue;
+      if (seen++ == slot_in_product) {
+        rec.id = id;
+        rec.curated = true;
+        return;
+      }
+    }
+  };
+  curate(Product::kQemu, 0, "CVE-2015-3456", false);  // VENOM (escape)
+  curate(Product::kXen, 0, "CVE-2013-1918", true);    // page-table DoS
+  curate(Product::kXen, 1, "CVE-2015-7971", true);    // XENMEM ops DoS
+  curate(Product::kKvm, 0, "CVE-2019-7221", false);   // nVMX use-after-free
+  curate(Product::kHyperV, 0, "CVE-2018-0964", true); // Hyper-V DoS
+
+  return db;
+}
+
+ProductStats VulnDatabase::stats_for(Product product) const {
+  ProductStats stats;
+  stats.product = product;
+  for (const auto& rec : records_) {
+    if (rec.product != product) continue;
+    ++stats.cves;
+    if (rec.affects_availability) ++stats.avail;
+    if (rec.dos_only) ++stats.dos;
+  }
+  return stats;
+}
+
+std::vector<ProductStats> VulnDatabase::table1() const {
+  std::vector<ProductStats> rows;
+  for (const auto& agg : kAggregates) rows.push_back(stats_for(agg.product));
+  return rows;
+}
+
+std::vector<std::pair<AttackVector, double>> VulnDatabase::xen_vector_breakdown()
+    const {
+  std::array<std::uint32_t, 6> counts{};
+  std::uint32_t total = 0;
+  for (const auto& rec : records_) {
+    if (rec.product != Product::kXen || !rec.dos_only) continue;
+    ++counts[static_cast<std::size_t>(rec.vector)];
+    ++total;
+  }
+  std::vector<std::pair<AttackVector, double>> out;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out.emplace_back(static_cast<AttackVector>(i),
+                     total ? 100.0 * counts[i] / total : 0.0);
+  }
+  return out;
+}
+
+std::vector<DosBreakdownRow> VulnDatabase::table5() const {
+  struct Key {
+    TargetComponent target;
+    Outcome outcome;
+  };
+  constexpr Key kRows[] = {
+      {TargetComponent::kHypervisorDom0Tools, Outcome::kCrash},
+      {TargetComponent::kHypervisorDom0Tools, Outcome::kHang},
+      {TargetComponent::kHypervisorDom0Tools, Outcome::kStarvation},
+      {TargetComponent::kGuestOs, Outcome::kCrash},
+      {TargetComponent::kGuestOs, Outcome::kStarvation},
+      {TargetComponent::kOtherSoftware, Outcome::kCrash},
+  };
+  std::uint32_t total = 0;
+  std::array<std::uint32_t, std::size(kRows)> counts{};
+  for (const auto& rec : records_) {
+    if (rec.product != Product::kXen || !rec.dos_only) continue;
+    ++total;
+    for (std::size_t i = 0; i < std::size(kRows); ++i) {
+      if (rec.target == kRows[i].target && rec.outcome == kRows[i].outcome) {
+        ++counts[i];
+        break;
+      }
+    }
+  }
+  std::vector<DosBreakdownRow> rows;
+  for (std::size_t i = 0; i < std::size(kRows); ++i) {
+    rows.push_back(DosBreakdownRow{kRows[i].target, kRows[i].outcome,
+                                   total ? 100.0 * counts[i] / total : 0.0,
+                                   /*here_applicable=*/true});
+  }
+  return rows;
+}
+
+double VulnDatabase::xen_guest_user_fraction() const {
+  std::uint32_t total = 0, user = 0;
+  for (const auto& rec : records_) {
+    if (rec.product != Product::kXen || !rec.dos_only) continue;
+    ++total;
+    if (rec.privilege == Privilege::kGuestUser) ++user;
+  }
+  return total ? static_cast<double>(user) / total : 0.0;
+}
+
+}  // namespace here::sec

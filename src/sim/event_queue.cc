@@ -1,0 +1,61 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace here::sim {
+
+EventId Simulation::schedule_at(TimePoint t, EventFn fn, std::string label) {
+  if (t < now_) t = now_;
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(HeapEntry{t, seq});
+  bodies_.emplace(seq, Body{std::move(fn), std::move(label)});
+  return EventId{seq};
+}
+
+EventId Simulation::schedule_after(Duration d, EventFn fn, std::string label) {
+  if (d < Duration::zero()) d = Duration::zero();
+  return schedule_at(now_ + d, std::move(fn), std::move(label));
+}
+
+bool Simulation::cancel(EventId id) { return bodies_.erase(id.seq_) > 0; }
+
+void Simulation::skip_cancelled() {
+  while (!heap_.empty() && !bodies_.contains(heap_.top().seq)) heap_.pop();
+}
+
+bool Simulation::step() {
+  skip_cancelled();
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_.top();
+  heap_.pop();
+  auto it = bodies_.find(top.seq);
+  // skip_cancelled guarantees presence.
+  EventFn fn = std::move(it->second.fn);
+  bodies_.erase(it);
+  now_ = top.time;
+  ++executed_;
+  fn();
+  return true;
+}
+
+std::size_t Simulation::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Simulation::run_until(TimePoint t) {
+  std::size_t n = 0;
+  for (;;) {
+    skip_cancelled();
+    if (heap_.empty() || heap_.top().time > t) break;
+    step();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+std::size_t Simulation::run_for(Duration d) { return run_until(now_ + d); }
+
+}  // namespace here::sim

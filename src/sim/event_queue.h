@@ -1,0 +1,104 @@
+// Discrete-event simulation kernel.
+//
+// The whole HERE stack (hypervisors, network fabric, replication engine,
+// workloads, fault injection) is driven by one Simulation instance: every
+// asynchronous action is an event scheduled at a virtual TimePoint. Events at
+// equal times fire in scheduling order (FIFO), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace here::sim {
+
+// Opaque handle used to cancel a scheduled event.
+class EventId {
+ public:
+  constexpr EventId() = default;
+
+  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  friend constexpr bool operator==(EventId, EventId) = default;
+
+ private:
+  friend class Simulation;
+  constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+// Single-threaded discrete-event scheduler with a virtual clock.
+//
+// Invariants:
+//  * now() never decreases;
+//  * an event scheduled at time t runs with now() == t;
+//  * two events with the same time run in the order they were scheduled.
+class Simulation {
+ public:
+  using EventFn = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  // Schedules `fn` at absolute virtual time `t` (>= now(), else clamped to
+  // now()). The label is kept for diagnostics only.
+  EventId schedule_at(TimePoint t, EventFn fn, std::string label = {});
+
+  // Schedules `fn` after `d` (negative durations clamp to "immediately").
+  EventId schedule_after(Duration d, EventFn fn, std::string label = {});
+
+  // Cancels a pending event. Returns false if it already ran, was already
+  // cancelled, or never existed.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool pending(EventId id) const { return bodies_.contains(id.seq_); }
+  [[nodiscard]] std::size_t pending_count() const { return bodies_.size(); }
+  [[nodiscard]] bool empty() const { return bodies_.empty(); }
+
+  // Runs the next pending event; returns false if none remain.
+  bool step();
+
+  // Runs events until the queue drains; returns the number executed.
+  std::size_t run();
+
+  // Runs all events with time <= t, then advances the clock to exactly t.
+  std::size_t run_until(TimePoint t);
+
+  // Equivalent to run_until(now() + d).
+  std::size_t run_for(Duration d);
+
+  [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
+
+ private:
+  struct HeapEntry {
+    TimePoint time;
+    std::uint64_t seq = 0;
+    // Min-heap: earliest time first, FIFO within a time.
+    friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  struct Body {
+    EventFn fn;
+    std::string label;
+  };
+
+  // Pops heap entries whose bodies were cancelled.
+  void skip_cancelled();
+
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Body> bodies_;
+};
+
+}  // namespace here::sim

@@ -1,0 +1,50 @@
+// Simulated hardware profile — the encoding of the paper's Table 3.
+//
+// Two identical servers: 2x Xeon Gold 6130 (16c/32t each), 192 GB RAM,
+// Intel X710 10 GbE for guest/client traffic, Intel Omni-Path HFI 100
+// (100 Gbit/s) reserved for migration and replication, Debian 10, Xen dom0
+// with 10 GB reserved.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace here::sim {
+
+struct NicProfile {
+  // Link speed in bits per second.
+  double bits_per_second = 0.0;
+  // One-way propagation + stack latency per packet.
+  Duration latency{};
+  // Per-packet host CPU overhead (driver + interrupt path).
+  Duration per_packet_overhead{};
+
+  [[nodiscard]] double bytes_per_second() const { return bits_per_second / 8.0; }
+};
+
+struct HostProfile {
+  std::uint32_t physical_cores = 32;      // 2 sockets x 16 cores
+  std::uint64_t memory_bytes = 192ULL << 30;
+  std::uint64_t dom0_reserved_bytes = 10ULL << 30;
+  NicProfile ethernet;                    // guest <-> external clients
+  NicProfile interconnect;                // replication channel
+};
+
+// Table 3 hardware, as used for every experiment in Section 8.
+[[nodiscard]] inline HostProfile grid5000_host() {
+  HostProfile host;
+  host.ethernet = NicProfile{
+      .bits_per_second = 10e9,            // Intel X710 10GbE
+      .latency = 30us,
+      .per_packet_overhead = 2us,
+  };
+  host.interconnect = NicProfile{
+      .bits_per_second = 100e9,           // Intel Omni-Path HFI 100
+      .latency = 5us,
+      .per_packet_overhead = 500ns,
+  };
+  return host;
+}
+
+}  // namespace here::sim

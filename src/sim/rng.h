@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation.
+//
+// We implement xoshiro256** seeded via splitmix64 rather than relying on
+// std:: distributions, whose outputs are not specified bit-for-bit; every
+// experiment in this repo is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+
+namespace here::sim {
+
+// xoshiro256** (Blackman & Vigna, public domain reference algorithm).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Derives an independent child stream; used to give each subsystem its own
+  // generator so adding draws in one module does not perturb another.
+  [[nodiscard]] Rng fork();
+
+  std::uint64_t next_u64();
+  std::uint64_t operator()() { return next_u64(); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  // Uniform integer in [0, bound); bound must be > 0. Uses Lemire reduction.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform01();
+
+  // Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  // Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  // Gaussian via Box-Muller.
+  double normal(double mean, double stddev);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace here::sim

@@ -1,0 +1,91 @@
+// Lightweight metrics used by the benchmark harness and tests:
+// counters, running summaries, percentile histograms and time series.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace here::sim {
+
+// Streaming summary (count/mean/min/max/variance via Welford).
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Exact-percentile histogram: stores samples, sorts lazily on query.
+// Sample counts in this repo are small enough (<= a few million) that exact
+// quantiles are cheaper than maintaining sketch error bounds.
+class Histogram {
+ public:
+  void add(double x);
+  [[nodiscard]] std::uint64_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  // q in [0, 1]; e.g. 0.5 -> median, 0.99 -> p99. Returns 0 when empty.
+  [[nodiscard]] double percentile(double q) const;
+  void clear() { samples_.clear(); sorted_ = true; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+// A named (time, value) series, used to regenerate the paper's line plots
+// (Figs. 9 and 10).
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name = {}) : name_(std::move(name)) {}
+
+  void record(TimePoint t, double value) { points_.push_back({t, value}); }
+
+  struct Point {
+    TimePoint time;
+    double value;
+  };
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  // Mean of values with time in [from, to).
+  [[nodiscard]] double mean_in(TimePoint from, TimePoint to) const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+// Least-squares fit y = slope*x + intercept; used to verify the Fig. 5
+// linearity claim (t = alpha*N) in tests and benches.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+[[nodiscard]] LinearFit fit_linear(const std::vector<double>& xs,
+                                   const std::vector<double>& ys);
+
+}  // namespace here::sim

@@ -1,0 +1,24 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace here::sim {
+
+std::string format_duration(Duration d) {
+  const double ns = static_cast<double>(d.count());
+  const double abs_ns = std::fabs(ns);
+  char buf[64];
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fs", ns / 1e9);
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fms", ns / 1e6);
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fns", ns);
+  }
+  return buf;
+}
+
+}  // namespace here::sim

@@ -1,0 +1,73 @@
+// Virtual time primitives for the HERE simulation kernel.
+//
+// All replication experiments run in *virtual* time: durations are derived
+// from a calibrated cost model (see replication/time_model.h), never from the
+// wall clock, which makes every figure in the paper reproducible bit-for-bit
+// from a seed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace here::sim {
+
+// Durations are plain std::chrono::nanoseconds; TimePoint is a strong type so
+// that absolute virtual times and durations cannot be mixed accidentally.
+using Duration = std::chrono::nanoseconds;
+
+using namespace std::chrono_literals;  // NOLINT: intentional for 5ms etc.
+
+// A point in virtual time, measured from simulation start.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(Duration since_start) : since_start_(since_start) {}
+
+  [[nodiscard]] constexpr Duration since_start() const { return since_start_; }
+  [[nodiscard]] constexpr std::int64_t ns() const { return since_start_.count(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(since_start_).count();
+  }
+
+  constexpr TimePoint& operator+=(Duration d) {
+    since_start_ += d;
+    return *this;
+  }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.since_start_ + d};
+  }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return a.since_start_ - b.since_start_;
+  }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+ private:
+  Duration since_start_{0};
+};
+
+[[nodiscard]] constexpr double to_seconds(Duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+[[nodiscard]] constexpr double to_millis(Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+[[nodiscard]] constexpr double to_micros(Duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+[[nodiscard]] constexpr Duration from_seconds(double s) {
+  return std::chrono::duration_cast<Duration>(std::chrono::duration<double>(s));
+}
+[[nodiscard]] constexpr Duration from_millis(double ms) {
+  return std::chrono::duration_cast<Duration>(std::chrono::duration<double, std::milli>(ms));
+}
+[[nodiscard]] constexpr Duration from_micros(double us) {
+  return std::chrono::duration_cast<Duration>(std::chrono::duration<double, std::micro>(us));
+}
+
+// Human-readable rendering, e.g. "1.50s", "12.3ms", "870us", "15ns".
+[[nodiscard]] std::string format_duration(Duration d);
+
+}  // namespace here::sim

@@ -1,0 +1,122 @@
+#include "simnet/fabric.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace here::net {
+namespace {
+
+sim::Duration serialization_time(const sim::NicProfile& profile,
+                                 std::uint64_t bytes) {
+  const double seconds =
+      static_cast<double>(bytes) / profile.bytes_per_second();
+  return sim::from_seconds(seconds) + profile.per_packet_overhead;
+}
+
+}  // namespace
+
+NodeId Fabric::add_node(std::string name, Receiver receiver) {
+  nodes_.push_back(Node{std::move(name), std::move(receiver), false});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Fabric::set_receiver(NodeId node, Receiver receiver) {
+  nodes_.at(node).receiver = std::move(receiver);
+}
+
+void Fabric::connect(NodeId a, NodeId b, const sim::NicProfile& profile) {
+  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  directions_[{a, b}] = Direction{profile, sim::TimePoint{}};
+  directions_[{b, a}] = Direction{profile, sim::TimePoint{}};
+}
+
+Fabric::Direction* Fabric::direction(NodeId from, NodeId to) {
+  auto it = directions_.find({from, to});
+  return it == directions_.end() ? nullptr : &it->second;
+}
+
+const Fabric::Direction* Fabric::direction(NodeId from, NodeId to) const {
+  auto it = directions_.find({from, to});
+  return it == directions_.end() ? nullptr : &it->second;
+}
+
+sim::TimePoint Fabric::send(Packet packet) {
+  Direction* dir = direction(packet.src, packet.dst);
+  if (dir == nullptr) {
+    throw std::invalid_argument("Fabric::send: nodes not connected");
+  }
+  packet.sent_at = sim_.now();
+  if (dir->down) {
+    // Partitioned link: the packet leaves the NIC and vanishes.
+    ++dropped_;
+    return sim_.now() + dir->profile.latency;
+  }
+  const sim::TimePoint start = std::max(sim_.now(), dir->wire_free);
+  const sim::TimePoint wire_done =
+      start + serialization_time(dir->profile, packet.size_bytes);
+  dir->wire_free = wire_done;
+  const sim::TimePoint delivery = wire_done + dir->profile.latency;
+
+  const NodeId dst = packet.dst;
+  sim_.schedule_at(delivery, [this, packet = std::move(packet), dst] {
+    Node& node = nodes_[dst];
+    if (node.down || !node.receiver) {
+      ++dropped_;
+      return;
+    }
+    ++delivered_;
+    node.receiver(packet);
+  });
+  return delivery;
+}
+
+void Fabric::set_node_down(NodeId node, bool down) {
+  nodes_.at(node).down = down;
+}
+
+void Fabric::set_link_down(NodeId a, NodeId b, bool down) {
+  Direction* ab = direction(a, b);
+  Direction* ba = direction(b, a);
+  if (ab == nullptr || ba == nullptr) {
+    throw std::invalid_argument("Fabric::set_link_down: not connected");
+  }
+  ab->down = down;
+  ba->down = down;
+}
+
+bool Fabric::link_down(NodeId a, NodeId b) const {
+  const Direction* dir = direction(a, b);
+  return dir != nullptr && dir->down;
+}
+
+bool Fabric::node_down(NodeId node) const { return nodes_.at(node).down; }
+
+const std::string& Fabric::node_name(NodeId node) const {
+  return nodes_.at(node).name;
+}
+
+sim::Duration Fabric::estimate_transfer(NodeId a, NodeId b,
+                                        std::uint64_t bytes) const {
+  const Direction* dir = direction(a, b);
+  if (dir == nullptr) {
+    throw std::invalid_argument("Fabric::estimate_transfer: not connected");
+  }
+  sim::Duration queue{0};
+  if (dir->wire_free > sim_.now()) queue = dir->wire_free - sim_.now();
+  return queue + serialization_time(dir->profile, bytes) + dir->profile.latency;
+}
+
+sim::TimePoint Fabric::bulk_transfer(NodeId a, NodeId b, std::uint64_t bytes) {
+  Direction* dir = direction(a, b);
+  if (dir == nullptr) {
+    throw std::invalid_argument("Fabric::bulk_transfer: not connected");
+  }
+  const sim::TimePoint start = std::max(sim_.now(), dir->wire_free);
+  const sim::TimePoint wire_done = start + serialization_time(dir->profile, bytes);
+  dir->wire_free = wire_done;
+  return wire_done + dir->profile.latency;
+}
+
+}  // namespace here::net

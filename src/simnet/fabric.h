@@ -1,0 +1,93 @@
+// Point-to-point network fabric with bandwidth serialization and latency.
+//
+// Models both physical networks of the paper's testbed (Table 3): the
+// 10 GbE guest Ethernet and the 100 Gbit/s Omni-Path replication
+// interconnect. Each direction of a link serializes packets at line rate;
+// delivery happens `latency` after the last byte leaves the wire.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/hardware_profile.h"
+#include "simnet/packet.h"
+
+namespace here::net {
+
+class Fabric {
+ public:
+  using Receiver = std::function<void(const Packet&)>;
+
+  explicit Fabric(sim::Simulation& simulation) : sim_(simulation) {}
+
+  // Registers an endpoint; `receiver` runs (in virtual time) on delivery.
+  NodeId add_node(std::string name, Receiver receiver);
+
+  // Replaces a node's receiver (used when a replica VM takes over a service
+  // address after failover).
+  void set_receiver(NodeId node, Receiver receiver);
+
+  // Creates a duplex link between two nodes with the given NIC profile.
+  // At most one link per node pair.
+  void connect(NodeId a, NodeId b, const sim::NicProfile& profile);
+
+  // Sends `packet` (src/dst must be connected). Stamps sent_at, occupies the
+  // link for the serialization time and schedules delivery. Returns the
+  // delivery time. If the destination node is marked down, the packet is
+  // dropped (delivery time is still returned for accounting).
+  sim::TimePoint send(Packet packet);
+
+  // A node that is down drops all packets addressed to it (used to model a
+  // crashed host).
+  void set_node_down(NodeId node, bool down);
+  [[nodiscard]] bool node_down(NodeId node) const;
+
+  // Partitions (or heals) the link between two nodes: packets in both
+  // directions are silently lost while partitioned. Models an interconnect
+  // cable pull / switch failure — the split-brain scenario.
+  void set_link_down(NodeId a, NodeId b, bool down);
+  [[nodiscard]] bool link_down(NodeId a, NodeId b) const;
+
+  [[nodiscard]] const std::string& node_name(NodeId node) const;
+  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
+
+  // Pure time query: when would `bytes` complete if sent now on the a->b
+  // direction, *without* occupying the link. Used by the replication time
+  // model for bulk-transfer estimation.
+  [[nodiscard]] sim::Duration estimate_transfer(NodeId a, NodeId b,
+                                                std::uint64_t bytes) const;
+
+  // Occupies the a->b direction with a bulk transfer of `bytes` and returns
+  // its completion time (including latency). Bulk transfers share the wire
+  // with packets via the same serialization clock.
+  sim::TimePoint bulk_transfer(NodeId a, NodeId b, std::uint64_t bytes);
+
+ private:
+  struct Direction {
+    sim::NicProfile profile;
+    sim::TimePoint wire_free{};  // when the sender may put the next byte on the wire
+    bool down = false;
+  };
+
+  Direction* direction(NodeId from, NodeId to);
+  [[nodiscard]] const Direction* direction(NodeId from, NodeId to) const;
+
+  struct Node {
+    std::string name;
+    Receiver receiver;
+    bool down = false;
+  };
+
+  sim::Simulation& sim_;
+  std::vector<Node> nodes_;
+  std::map<std::pair<NodeId, NodeId>, Direction> directions_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace here::net

@@ -1,0 +1,27 @@
+// Network packet model shared by the guest Ethernet and the replication
+// interconnect.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace here::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = ~0u;
+
+// Packets carry no real payload bytes — the data plane for guest traffic is
+// modelled at the operation level (a KV reply, an echo response). `tag` lets
+// the sender correlate a reply with its request; `kind` is free-form for the
+// application protocol.
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint32_t size_bytes = 0;
+  std::uint32_t kind = 0;
+  std::uint64_t tag = 0;
+  sim::TimePoint sent_at{};
+};
+
+}  // namespace here::net

@@ -1,0 +1,98 @@
+#include "workload/kvstore.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/units.h"
+
+namespace here::wl {
+
+namespace {
+constexpr std::uint64_t kRecordBytes = 1024;
+constexpr std::uint64_t kRecordsPerPage = common::kPageSize / kRecordBytes;
+}  // namespace
+
+void KvStore::attach(hv::GuestEnv& env) {
+  if (attached()) return;
+  total_pages_ = env.memory_pages();
+  data_pages_ = static_cast<std::uint64_t>(
+      static_cast<double>(total_pages_) * config_.data_fraction);
+  wal_pages_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(total_pages_) *
+                                    config_.wal_fraction));
+  sst_pages_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(total_pages_) *
+                                    config_.sst_fraction));
+  cache_pages_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(total_pages_) *
+                                    config_.cache_fraction));
+  data_base_ = total_pages_ / 20;  // skip the "kernel" low pages
+  wal_base_ = data_base_ + data_pages_;
+  sst_base_ = wal_base_ + wal_pages_;
+  cache_base_ = sst_base_ + sst_pages_;
+  if (cache_base_ + cache_pages_ > total_pages_) {
+    throw std::invalid_argument("KvStore: regions exceed guest memory");
+  }
+  record_capacity_ =
+      std::min<std::uint64_t>(config_.record_count, data_pages_ * kRecordsPerPage);
+  if (record_capacity_ == 0) {
+    throw std::invalid_argument("KvStore: no room for records");
+  }
+}
+
+std::uint64_t KvStore::record_page(std::uint64_t key) const {
+  return data_base_ + (key % record_capacity_) / kRecordsPerPage;
+}
+
+std::uint32_t KvStore::record_offset(std::uint64_t key) const {
+  return static_cast<std::uint32_t>((key % record_capacity_) % kRecordsPerPage) *
+         static_cast<std::uint32_t>(kRecordBytes);
+}
+
+std::uint64_t KvStore::encode(std::uint64_t key, std::uint64_t version) {
+  std::uint64_t h = key * 0x9e3779b97f4a7c15ULL + version;
+  h ^= h >> 32;
+  return h;
+}
+
+void KvStore::put(hv::GuestEnv& env, std::uint32_t vcpu, std::uint64_t key,
+                  std::uint64_t value) {
+  if (!attached()) throw std::logic_error("KvStore::put before attach");
+  // Record write.
+  env.store(vcpu, record_page(key), record_offset(key), value);
+  // WAL append: 1 KiB per update -> one new WAL page every 4 updates.
+  const std::uint64_t wal_page = wal_base_ + (wal_cursor_ / common::kPageSize) % wal_pages_;
+  env.store(vcpu, wal_page,
+            static_cast<std::uint32_t>(wal_cursor_ % common::kPageSize & ~7ULL),
+            value ^ key);
+  // The WAL is durable: each append also hits the disk (2 sectors = 1 KiB),
+  // in a rotating log extent.
+  env.disk_write((wal_cursor_ / 512) % (1 << 20), 2, value ^ key);
+  wal_cursor_ += kRecordBytes;
+  // Amortized compaction: rewrite SST pages with a rotating cursor.
+  sst_debt_ += config_.compaction_pages_per_update;
+  while (sst_debt_ >= 1.0) {
+    sst_debt_ -= 1.0;
+    const std::uint64_t page = sst_base_ + sst_cursor_ % sst_pages_;
+    ++sst_cursor_;
+    env.store(vcpu, page, 0, value + sst_cursor_);
+    // Compaction output reaches the disk too (8 sectors = one 4 KiB page),
+    // in the SST extent above the log.
+    env.disk_write((1 << 20) + (sst_cursor_ * 8) % (8 << 20), 8,
+                   value + sst_cursor_);
+  }
+  ++updates_;
+}
+
+std::uint64_t KvStore::get(hv::GuestEnv& env, std::uint32_t vcpu,
+                           std::uint64_t key) {
+  if (!attached()) throw std::logic_error("KvStore::get before attach");
+  // Block-cache LRU bookkeeping: the read path mutates cache metadata, so
+  // even read-only workloads dirty pages at replication time.
+  const std::uint64_t cache_page =
+      cache_base_ + (key * 0x9e3779b97f4a7c15ULL >> 32) % cache_pages_;
+  env.store(vcpu, cache_page, static_cast<std::uint32_t>(key % 500) * 8, key);
+  return env.load(record_page(key), record_offset(key));
+}
+
+}  // namespace here::wl

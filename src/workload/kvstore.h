@@ -1,0 +1,77 @@
+// Embedded key-value store living inside guest memory — the RocksDB
+// stand-in for the YCSB experiments (§8.6).
+//
+// Layout (fractions of guest memory):
+//   [data region]  fixed-slot records, 1 KiB each, 4 per page;
+//   [wal region]   sequential append log, rotating;
+//   [sst region]   background compaction output, rotating cursor.
+//
+// Every update really writes the record's page, appends to the WAL and
+// (amortized) rewrites `compaction_pages_per_update` SST pages — the write
+// amplification that makes database workloads expensive to replicate.
+// Reads touch no dirty state.
+#pragma once
+
+#include <cstdint>
+
+#include "hv/guest_program.h"
+
+namespace here::wl {
+
+struct KvStoreConfig {
+  std::uint64_t record_count = 100'000;
+  // Fractions of guest memory given to each region (rest is "OS").
+  double data_fraction = 0.35;
+  double wal_fraction = 0.05;
+  double sst_fraction = 0.12;
+  // Block-cache region: reads dirty LRU/metadata pages here (why even
+  // read-mostly workloads like YCSB-C pay a replication cost).
+  double cache_fraction = 0.10;
+  // Background write amplification: SST pages rewritten per update
+  // (LSM compaction + index/bloom churn).
+  double compaction_pages_per_update = 4.0;
+};
+
+class KvStore {
+ public:
+  // Geometry is derived from the VM's memory size on first use.
+  explicit KvStore(KvStoreConfig config) : config_(config) {}
+
+  void attach(hv::GuestEnv& env);
+  [[nodiscard]] bool attached() const { return total_pages_ != 0; }
+
+  [[nodiscard]] std::uint64_t record_count() const { return record_capacity_; }
+
+  // Writes record `key` (update or insert). `vcpu` attributes the dirtying.
+  void put(hv::GuestEnv& env, std::uint32_t vcpu, std::uint64_t key,
+           std::uint64_t value);
+
+  // Returns the stored value word (0 if never written). Reads dirty one
+  // block-cache metadata page (LRU bookkeeping).
+  [[nodiscard]] std::uint64_t get(hv::GuestEnv& env, std::uint32_t vcpu,
+                                  std::uint64_t key);
+
+  // Value encoding used by put(); exposed so integrity checks can recompute
+  // the expected word for (key, version).
+  [[nodiscard]] static std::uint64_t encode(std::uint64_t key, std::uint64_t version);
+
+  [[nodiscard]] std::uint64_t updates() const { return updates_; }
+
+ private:
+  [[nodiscard]] std::uint64_t record_page(std::uint64_t key) const;
+  [[nodiscard]] std::uint32_t record_offset(std::uint64_t key) const;
+
+  KvStoreConfig config_;
+  std::uint64_t total_pages_ = 0;
+  std::uint64_t data_base_ = 0, data_pages_ = 0;
+  std::uint64_t wal_base_ = 0, wal_pages_ = 0;
+  std::uint64_t sst_base_ = 0, sst_pages_ = 0;
+  std::uint64_t cache_base_ = 0, cache_pages_ = 0;
+  std::uint64_t record_capacity_ = 0;
+  std::uint64_t wal_cursor_ = 0;       // bytes appended
+  double sst_debt_ = 0.0;              // fractional compaction pages owed
+  std::uint64_t sst_cursor_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace here::wl

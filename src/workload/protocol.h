@@ -1,0 +1,13 @@
+// Application-level packet kinds used by the workload generators.
+#pragma once
+
+#include <cstdint>
+
+namespace here::wl {
+
+inline constexpr std::uint32_t kYcsbReport = 1;  // tag = ops completed in batch
+inline constexpr std::uint32_t kYcsbDone = 2;    // tag = total ops completed
+inline constexpr std::uint32_t kSockPing = 3;    // tag = client sequence number
+inline constexpr std::uint32_t kSockPong = 4;    // tag echoes the ping
+
+}  // namespace here::wl

@@ -1,0 +1,69 @@
+#include "workload/sockperf.h"
+
+namespace here::wl {
+
+void SockperfServer::start(hv::GuestEnv& env) {
+  total_pages_ = env.memory_pages();
+}
+
+void SockperfServer::tick(hv::GuestEnv& env, sim::Duration dt) {
+  // Light background housekeeping: a trickle of kernel page writes.
+  const double seconds = sim::to_seconds(dt);
+  if (env.rng().bernoulli(seconds * 10.0)) {
+    env.store(0, env.rng().uniform(total_pages_ / 20 + 1), 0,
+              env.rng().next_u64());
+  }
+}
+
+void SockperfServer::on_packet(hv::GuestEnv& env, const net::Packet& packet) {
+  if (packet.kind != kSockPing) return;
+  ++pings_;
+  // Socket buffer churn: one page write per ~32 packets handled.
+  if (pings_ % 32 == 0) {
+    const std::uint64_t page =
+        total_pages_ / 20 + env.rng().uniform(total_pages_ / 100 + 1);
+    env.store(0, page, 0, packet.tag);
+  }
+  if (env.rng().bernoulli(reply_ratio_)) {
+    env.send_packet(packet.src, packet.size_bytes, kSockPong, packet.tag);
+    ++pongs_;
+  }
+}
+
+SockperfClient::SockperfClient(sim::Simulation& simulation, net::Fabric& fabric,
+                               Config config)
+    : sim_(simulation), fabric_(fabric), config_(config) {}
+
+void SockperfClient::attach(net::NodeId self, net::NodeId service) {
+  self_ = self;
+  service_ = service;
+  fabric_.set_receiver(self, [this](const net::Packet& p) { on_packet(p); });
+}
+
+void SockperfClient::run_for(sim::Duration duration) {
+  deadline_ = sim_.now() + duration;
+  send_ping();
+}
+
+void SockperfClient::send_ping() {
+  if (sim_.now() >= deadline_) return;
+  net::Packet packet;
+  packet.src = self_;
+  packet.dst = service_;
+  packet.size_bytes = config_.packet_bytes;
+  packet.kind = kSockPing;
+  packet.tag = next_seq_;
+  send_times_.push_back(sim_.now());
+  ++next_seq_;
+  fabric_.send(packet);
+  sim_.schedule_after(sim::from_seconds(1.0 / config_.packets_per_second),
+                      [this] { send_ping(); }, "sockperf-ping");
+}
+
+void SockperfClient::on_packet(const net::Packet& packet) {
+  if (packet.kind != kSockPong || packet.tag >= send_times_.size()) return;
+  const sim::Duration rtt = sim_.now() - send_times_[packet.tag];
+  latency_us_.add(sim::to_micros(rtt));
+}
+
+}  // namespace here::wl

@@ -1,0 +1,78 @@
+// Sockperf-like network latency benchmark in "under-load" mode (§8.6):
+// an external client streams pings at a fixed rate; the guest replies to a
+// configurable fraction. Replies traverse the replication engine's outbound
+// buffer, so client-observed latency is dominated by checkpoint buffering —
+// the effect Fig. 17 measures.
+#pragma once
+
+#include <functional>
+
+#include "hv/guest_program.h"
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+#include "simnet/fabric.h"
+#include "workload/protocol.h"
+
+namespace here::wl {
+
+// Guest-side echo server.
+class SockperfServer : public hv::GuestProgram {
+ public:
+  // Replies to every packet when reply_ratio == 1.0; sockperf under-load
+  // mode uses a smaller ratio.
+  explicit SockperfServer(double reply_ratio = 0.25) : reply_ratio_(reply_ratio) {}
+
+  void start(hv::GuestEnv& env) override;
+  void tick(hv::GuestEnv& env, sim::Duration dt) override;
+  void on_packet(hv::GuestEnv& env, const net::Packet& packet) override;
+  [[nodiscard]] std::unique_ptr<GuestProgram> clone() const override {
+    return std::make_unique<SockperfServer>(*this);
+  }
+
+  [[nodiscard]] std::uint64_t pings_received() const { return pings_; }
+  [[nodiscard]] std::uint64_t pongs_sent() const { return pongs_; }
+
+ private:
+  double reply_ratio_;
+  std::uint64_t pings_ = 0;
+  std::uint64_t pongs_ = 0;
+  std::uint64_t total_pages_ = 0;
+};
+
+// External client: paces pings on the virtual clock and records the latency
+// of each pong.
+class SockperfClient {
+ public:
+  struct Config {
+    double packets_per_second = 1000.0;
+    std::uint32_t packet_bytes = 64;  // "load a"=64, "load b"=1400, "load c"=8900
+  };
+
+  SockperfClient(sim::Simulation& simulation, net::Fabric& fabric, Config config);
+
+  // Registers this client's fabric node; pings go to `service`.
+  void attach(net::NodeId self, net::NodeId service);
+
+  // Starts pacing pings; stops automatically after `duration`.
+  void run_for(sim::Duration duration);
+
+  void on_packet(const net::Packet& packet);
+
+  [[nodiscard]] const sim::Histogram& latency_us() const { return latency_us_; }
+  [[nodiscard]] std::uint64_t pings_sent() const { return next_seq_; }
+
+ private:
+  void send_ping();
+
+  sim::Simulation& sim_;
+  net::Fabric& fabric_;
+  Config config_;
+  net::NodeId self_ = net::kInvalidNode;
+  net::NodeId service_ = net::kInvalidNode;
+  sim::TimePoint deadline_{};
+  std::uint64_t next_seq_ = 0;
+  std::vector<sim::TimePoint> send_times_;
+  sim::Histogram latency_us_;
+};
+
+}  // namespace here::wl

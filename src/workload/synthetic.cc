@@ -1,0 +1,88 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace here::wl {
+
+void SyntheticProgram::start(hv::GuestEnv& env) {
+  total_pages_ = env.memory_pages();
+  base_page_ = total_pages_ / 20;  // leave the low 5% as "kernel" pages
+}
+
+void SyntheticProgram::tick(hv::GuestEnv& env, sim::Duration dt) {
+  const double seconds = sim::to_seconds(dt);
+  ops_done_ += profile_.ops_per_second * seconds;
+
+  const auto usable = static_cast<double>(total_pages_ - base_page_);
+  const auto wss_pages = static_cast<std::uint64_t>(
+      std::clamp(profile_.wss_fraction, 0.0, 1.0) * usable);
+  if (wss_pages == 0 || profile_.rewrite_seconds <= 0.0) return;
+
+  write_debt_ +=
+      static_cast<double>(wss_pages) / profile_.rewrite_seconds * seconds;
+  auto writes = static_cast<std::uint64_t>(write_debt_);
+  write_debt_ -= static_cast<double>(writes);
+
+  sim::Rng& rng = env.rng();
+  const std::uint32_t vcpus = env.vcpus();
+  while (writes-- > 0) {
+    const std::uint64_t page = base_page_ + rng.uniform(wss_pages);
+    const std::uint32_t offset =
+        static_cast<std::uint32_t>(rng.uniform(4096 / 8)) * 8;
+    // Threaded programs mostly write thread-local data: attribute each page
+    // to its stripe's vCPU, with a small fraction of cross-thread sharing
+    // (which is what makes pages "problematic" for multithreaded seeding).
+    std::uint32_t vcpu;
+    if (rng.bernoulli(0.05)) {
+      vcpu = next_vcpu_;
+      next_vcpu_ = (next_vcpu_ + 1) % vcpus;
+    } else {
+      vcpu = static_cast<std::uint32_t>((page - base_page_) * vcpus / wss_pages);
+      if (vcpu >= vcpus) vcpu = vcpus - 1;
+    }
+    env.store(vcpu, page, offset, rng.next_u64());
+  }
+}
+
+SyntheticProfile memory_microbench(double load_percent,
+                                   double rewrite_seconds) {
+  SyntheticProfile p;
+  p.name = "membench-" + std::to_string(static_cast<int>(load_percent));
+  p.wss_fraction = load_percent / 100.0;
+  p.rewrite_seconds = rewrite_seconds;
+  p.ops_per_second = 1000.0;  // abstract write batches
+  return p;
+}
+
+SyntheticProfile spec_gcc() {
+  // Compiler: medium working set, allocation-heavy.
+  return {.name = "gcc", .wss_fraction = 0.25, .rewrite_seconds = 9.0,
+          .ops_per_second = 4.8};
+}
+
+SyntheticProfile spec_cactuBSSN() {
+  // Structured-grid relativity solver: large grids rewritten each sweep.
+  return {.name = "cactuBSSN", .wss_fraction = 0.50, .rewrite_seconds = 8.0,
+          .ops_per_second = 2.9};
+}
+
+SyntheticProfile spec_namd() {
+  // Molecular dynamics: compute-bound, compact particle state.
+  return {.name = "namd", .wss_fraction = 0.12, .rewrite_seconds = 4.0,
+          .ops_per_second = 6.1};
+}
+
+SyntheticProfile spec_lbm() {
+  // Lattice-Boltzmann: streaming writes over a large fluid grid.
+  return {.name = "lbm", .wss_fraction = 0.70, .rewrite_seconds = 28.0,
+          .ops_per_second = 3.6};
+}
+
+SyntheticProfile idle_guest() {
+  // Background kernel housekeeping: a few KB/s of timer/log pages.
+  return {.name = "idle", .wss_fraction = 0.002, .rewrite_seconds = 30.0,
+          .ops_per_second = 0.0};
+}
+
+}  // namespace here::wl

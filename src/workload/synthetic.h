@@ -1,0 +1,76 @@
+// Synthetic dirtying workloads:
+//   * the paper's memory microbenchmark ("write-intensive benchmark using a
+//     defined memory percentage", Table 4) with a runtime-adjustable load
+//     level (drives Figs. 5, 6, 8 and 9);
+//   * SPEC CPU 2006-like kernels (gcc, cactuBSSN, namd, lbm) with per-
+//     benchmark working-set and write-rate profiles (drives Figs. 14-16).
+//
+// A load level of L% means the working set spans L% of guest memory and is
+// rewritten about every kRewriteSeconds — uniform page picks inside the WSS
+// give the saturating unique-dirty-page curve real write-intensive programs
+// show.
+#pragma once
+
+#include <string>
+
+#include "hv/guest_program.h"
+
+namespace here::wl {
+
+struct SyntheticProfile {
+  std::string name = "synthetic";
+  // Working-set size as a fraction of guest memory.
+  double wss_fraction = 0.3;
+  // Page-write rate expressed as: the WSS is fully rewritten every
+  // `rewrite_seconds` of guest CPU time.
+  double rewrite_seconds = 12.0;
+  // Abstract application ops completed per second of guest CPU time (the
+  // figure-of-merit for SPEC-style rate reporting).
+  double ops_per_second = 1.0;
+};
+
+class SyntheticProgram : public hv::GuestProgram {
+ public:
+  explicit SyntheticProgram(SyntheticProfile profile)
+      : profile_(std::move(profile)) {}
+
+  void start(hv::GuestEnv& env) override;
+  void tick(hv::GuestEnv& env, sim::Duration dt) override;
+  [[nodiscard]] std::unique_ptr<GuestProgram> clone() const override {
+    return std::make_unique<SyntheticProgram>(*this);
+  }
+
+  // Changes the load level (WSS fraction) at runtime — the Fig. 9
+  // time-varying workload. Takes effect on the next tick.
+  void set_wss_fraction(double fraction) { profile_.wss_fraction = fraction; }
+  [[nodiscard]] double wss_fraction() const { return profile_.wss_fraction; }
+
+  [[nodiscard]] double ops_done() const { return ops_done_; }
+  [[nodiscard]] const SyntheticProfile& profile() const { return profile_; }
+
+ private:
+  SyntheticProfile profile_;
+  std::uint64_t total_pages_ = 0;
+  std::uint64_t base_page_ = 0;  // WSS starts above the "kernel" pages
+  double write_debt_ = 0.0;
+  double ops_done_ = 0.0;
+  std::uint32_t next_vcpu_ = 0;
+};
+
+// The paper's memory microbenchmark at a given load percentage (0-100).
+// `rewrite_seconds` sets the write intensity (how fast the working set is
+// rewritten); the default matches the Fig. 6/8 calibration, while the
+// dynamic-period experiments (Figs. 9/10) use a hotter writer.
+[[nodiscard]] SyntheticProfile memory_microbench(double load_percent,
+                                                 double rewrite_seconds = 12.0);
+
+// SPEC CPU 2006 benchmark profiles used in §8.6.
+[[nodiscard]] SyntheticProfile spec_gcc();
+[[nodiscard]] SyntheticProfile spec_cactuBSSN();
+[[nodiscard]] SyntheticProfile spec_namd();
+[[nodiscard]] SyntheticProfile spec_lbm();
+
+// An almost-idle guest (background OS housekeeping only).
+[[nodiscard]] SyntheticProfile idle_guest();
+
+}  // namespace here::wl

@@ -1,0 +1,141 @@
+#include "workload/ycsb.h"
+
+#include <stdexcept>
+
+namespace here::wl {
+
+YcsbMix ycsb_a() { return {"a", 0.50, 0.50, 0, 0, 0, YcsbDist::kZipfian}; }
+YcsbMix ycsb_b() { return {"b", 0.95, 0.05, 0, 0, 0, YcsbDist::kZipfian}; }
+YcsbMix ycsb_c() { return {"c", 1.00, 0, 0, 0, 0, YcsbDist::kZipfian}; }
+YcsbMix ycsb_d() { return {"d", 0.95, 0, 0.05, 0, 0, YcsbDist::kLatest}; }
+YcsbMix ycsb_e() { return {"e", 0, 0, 0.05, 0.95, 0, YcsbDist::kZipfian}; }
+YcsbMix ycsb_f() { return {"f", 0.50, 0, 0, 0, 0.50, YcsbDist::kZipfian}; }
+
+const std::vector<YcsbMix>& all_ycsb_mixes() {
+  static const std::vector<YcsbMix> mixes = {ycsb_a(), ycsb_b(), ycsb_c(),
+                                             ycsb_d(), ycsb_e(), ycsb_f()};
+  return mixes;
+}
+
+namespace {
+KvStoreConfig with_records(KvStoreConfig c, std::uint64_t records) {
+  c.record_count = records;
+  return c;
+}
+}  // namespace
+
+YcsbProgram::YcsbProgram(YcsbConfig config)
+    : config_(std::move(config)),
+      store_(with_records(config_.store, config_.record_count)) {}
+
+std::unique_ptr<hv::GuestProgram> YcsbProgram::clone() const {
+  auto copy = std::make_unique<YcsbProgram>(config_);
+  copy->store_ = store_;
+  if (zipf_) copy->zipf_ = std::make_unique<ScrambledZipfian>(*zipf_);
+  if (latest_) copy->latest_ = std::make_unique<LatestGenerator>(*latest_);
+  copy->inserted_ = inserted_;
+  copy->ops_completed_ = ops_completed_;
+  copy->batch_ = batch_;
+  copy->time_debt_seconds_ = time_debt_seconds_;
+  copy->next_vcpu_ = next_vcpu_;
+  copy->done_ = done_;
+  return copy;
+}
+
+void YcsbProgram::start(hv::GuestEnv& env) {
+  if (zipf_) return;  // resumed from a checkpoint clone: already loaded
+  store_.attach(env);
+  const std::uint64_t n = store_.record_count();
+  zipf_ = std::make_unique<ScrambledZipfian>(n);
+  latest_ = std::make_unique<LatestGenerator>(n);
+  inserted_ = n;
+  // Load phase: seed every record once (counts as warm data, not as ops).
+  for (std::uint64_t key = 0; key < n; ++key) {
+    store_.put(env, static_cast<std::uint32_t>(key % env.vcpus()), key,
+               KvStore::encode(key, 0));
+  }
+}
+
+std::uint64_t YcsbProgram::pick_key(sim::Rng& rng) {
+  switch (config_.mix.dist) {
+    case YcsbDist::kZipfian: return zipf_->next(rng);
+    case YcsbDist::kLatest: return latest_->next(rng, inserted_);
+    case YcsbDist::kUniform: return rng.uniform(store_.record_count());
+  }
+  return 0;
+}
+
+void YcsbProgram::run_one_op(hv::GuestEnv& env) {
+  sim::Rng& rng = env.rng();
+  const double p = rng.uniform01();
+  const YcsbMix& mix = config_.mix;
+  const std::uint32_t vcpu = next_vcpu_;
+  next_vcpu_ = (next_vcpu_ + 1) % env.vcpus();
+
+  double threshold = mix.read;
+  if (p < threshold) {
+    (void)store_.get(env, vcpu, pick_key(rng));
+    time_debt_seconds_ -= sim::to_seconds(config_.read_cost);
+  } else if (p < (threshold += mix.update)) {
+    const std::uint64_t key = pick_key(rng);
+    store_.put(env, vcpu, key, KvStore::encode(key, ops_completed_ + 1));
+    time_debt_seconds_ -= sim::to_seconds(config_.update_cost);
+  } else if (p < (threshold += mix.insert)) {
+    const std::uint64_t key = inserted_++;
+    store_.put(env, vcpu, key, KvStore::encode(key, 0));
+    time_debt_seconds_ -= sim::to_seconds(config_.insert_cost);
+  } else if (p < (threshold += mix.scan)) {
+    const std::uint64_t start = pick_key(rng);
+    for (std::uint64_t i = 0; i < 10; ++i) (void)store_.get(env, vcpu, start + i);
+    time_debt_seconds_ -= sim::to_seconds(config_.scan_cost);
+  } else {
+    const std::uint64_t key = pick_key(rng);
+    (void)store_.get(env, vcpu, key);
+    store_.put(env, vcpu, key, KvStore::encode(key, ops_completed_ + 1));
+    time_debt_seconds_ -= sim::to_seconds(config_.rmw_cost);
+  }
+  ++ops_completed_;
+  ++batch_;
+}
+
+void YcsbProgram::tick(hv::GuestEnv& env, sim::Duration dt) {
+  if (done_) return;
+  time_debt_seconds_ += sim::to_seconds(dt);
+  while (time_debt_seconds_ > 0 && ops_completed_ < config_.op_limit) {
+    run_one_op(env);
+  }
+  if (batch_ > 0 && config_.monitor != net::kInvalidNode) {
+    const auto bytes = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(batch_ * config_.bytes_per_op, 1u << 20));
+    env.send_packet(config_.monitor, bytes, kYcsbReport, batch_);
+    batch_ = 0;
+  }
+  if (ops_completed_ >= config_.op_limit && !done_) {
+    done_ = true;
+    if (config_.monitor != net::kInvalidNode) {
+      env.send_packet(config_.monitor, 64, kYcsbDone, ops_completed_);
+    }
+  }
+}
+
+void YcsbMonitor::on_packet(sim::TimePoint now, const net::Packet& packet) {
+  if (packet.kind == kYcsbReport) {
+    ops_observed_ += packet.tag;
+    if (!saw_any_) {
+      saw_any_ = true;
+      first_ = now;
+    }
+    last_ = now;
+  } else if (packet.kind == kYcsbDone) {
+    done_ = true;
+    last_ = now;
+  }
+}
+
+double YcsbMonitor::throughput() const {
+  const double seconds = sim::to_seconds(last_ - first_);
+  if (seconds <= 0.0 || ops_observed_ == 0) return 0.0;
+  return static_cast<double>(ops_observed_) / seconds;
+}
+
+}  // namespace here::wl

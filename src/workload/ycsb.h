@@ -1,0 +1,106 @@
+// YCSB core workloads A-F against the in-guest KV store (§8.6).
+//
+// The generator runs inside the protected VM (as in the paper's single-VM
+// setup) and streams completion reports to an external monitor over the
+// guest network; reports pass through the replication engine's outbound
+// buffer, so the monitor observes exactly what a real YCSB client would —
+// completions delayed until their checkpoint commits, and a throughput
+// reduced by checkpoint pauses.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hv/guest_program.h"
+#include "workload/kvstore.h"
+#include "workload/protocol.h"
+#include "workload/zipfian.h"
+
+namespace here::wl {
+
+enum class YcsbOp : std::uint8_t { kRead, kUpdate, kInsert, kScan, kReadModifyWrite };
+enum class YcsbDist : std::uint8_t { kZipfian, kLatest, kUniform };
+
+// Operation mix (proportions must sum to 1).
+struct YcsbMix {
+  const char* name = "custom";
+  double read = 0, update = 0, insert = 0, scan = 0, rmw = 0;
+  YcsbDist dist = YcsbDist::kZipfian;
+};
+
+[[nodiscard]] YcsbMix ycsb_a();  // 50/50 read/update, zipfian
+[[nodiscard]] YcsbMix ycsb_b();  // 95/5 read/update, zipfian
+[[nodiscard]] YcsbMix ycsb_c();  // 100 read, zipfian
+[[nodiscard]] YcsbMix ycsb_d();  // 95/5 read/insert, latest
+[[nodiscard]] YcsbMix ycsb_e();  // 95/5 scan/insert, zipfian
+[[nodiscard]] YcsbMix ycsb_f();  // 50/50 read/read-modify-write, zipfian
+[[nodiscard]] const std::vector<YcsbMix>& all_ycsb_mixes();
+
+struct YcsbConfig {
+  YcsbMix mix = ycsb_a();
+  std::uint64_t record_count = 100'000;  // paper: 1 M (scaled with memory)
+  std::uint64_t op_limit = 4'000'000;    // paper: 4 M operations
+  // Single-client-stream service times; the paper's baseline throughputs
+  // (tens of Kops/s) emerge from these.
+  sim::Duration read_cost = sim::from_micros(20);
+  sim::Duration update_cost = sim::from_micros(27);
+  sim::Duration insert_cost = sim::from_micros(30);
+  sim::Duration scan_cost = sim::from_micros(60);
+  sim::Duration rmw_cost = sim::from_micros(47);
+  // Bytes returned to the client per completed op.
+  std::uint32_t bytes_per_op = 1100;
+  KvStoreConfig store;
+  net::NodeId monitor = net::kInvalidNode;
+};
+
+class YcsbProgram : public hv::GuestProgram {
+ public:
+  explicit YcsbProgram(YcsbConfig config);
+
+  void start(hv::GuestEnv& env) override;
+  void tick(hv::GuestEnv& env, sim::Duration dt) override;
+  [[nodiscard]] std::unique_ptr<GuestProgram> clone() const override;
+
+  [[nodiscard]] std::uint64_t ops_completed() const { return ops_completed_; }
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] const KvStore& store() const { return store_; }
+
+ private:
+  void run_one_op(hv::GuestEnv& env);
+  [[nodiscard]] std::uint64_t pick_key(sim::Rng& rng);
+
+  YcsbConfig config_;
+  KvStore store_;
+  std::unique_ptr<ScrambledZipfian> zipf_;
+  std::unique_ptr<LatestGenerator> latest_;
+  std::uint64_t inserted_ = 0;  // insertion horizon for D/E
+  std::uint64_t ops_completed_ = 0;
+  std::uint64_t batch_ = 0;     // completions not yet reported
+  double time_debt_seconds_ = 0.0;
+  std::uint32_t next_vcpu_ = 0;
+  bool done_ = false;
+};
+
+// External YCSB client endpoint: tallies released completion reports.
+// Construct, then register its receiver on a fabric node.
+class YcsbMonitor {
+ public:
+  void on_packet(sim::TimePoint now, const net::Packet& packet);
+
+  [[nodiscard]] std::uint64_t ops_observed() const { return ops_observed_; }
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] sim::TimePoint first_report() const { return first_; }
+  [[nodiscard]] sim::TimePoint last_report() const { return last_; }
+
+  // Client-observed throughput (ops/sec) over the observation window.
+  [[nodiscard]] double throughput() const;
+
+ private:
+  std::uint64_t ops_observed_ = 0;
+  bool done_ = false;
+  bool saw_any_ = false;
+  sim::TimePoint first_{};
+  sim::TimePoint last_{};
+};
+
+}  // namespace here::wl

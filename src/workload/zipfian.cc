@@ -1,0 +1,52 @@
+#include "workload/zipfian.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace here::wl {
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  if (n == 0) throw std::invalid_argument("ZipfianGenerator: n == 0");
+  zetan_ = zeta(n, theta);
+  const double zeta2 = zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta);
+}
+
+double ZipfianGenerator::zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+std::uint64_t ZipfianGenerator::next(sim::Rng& rng) {
+  const double u = rng.uniform01();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_theta_) return 1;
+  const auto v = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+std::uint64_t ScrambledZipfian::next(sim::Rng& rng) {
+  const std::uint64_t raw = inner_.next(rng);
+  // FNV-style scramble, folded into [0, n).
+  std::uint64_t h = raw * 0xc6a4a7935bd1e995ULL;
+  h ^= h >> 47;
+  h *= 0xc6a4a7935bd1e995ULL;
+  return h % n_;
+}
+
+std::uint64_t LatestGenerator::next(sim::Rng& rng, std::uint64_t current_count) {
+  if (current_count == 0) return 0;
+  const std::uint64_t offset = zipf_.next(rng) % current_count;
+  return current_count - 1 - offset;
+}
+
+}  // namespace here::wl

@@ -1,0 +1,57 @@
+// Zipfian and "latest" request distributions, as specified by the YCSB
+// core workloads (Gray et al.'s rejection-free algorithm, theta = 0.99).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.h"
+
+namespace here::wl {
+
+class ZipfianGenerator {
+ public:
+  // Items in [0, n). theta in (0, 1); YCSB default 0.99.
+  explicit ZipfianGenerator(std::uint64_t n, double theta = 0.99);
+
+  [[nodiscard]] std::uint64_t next(sim::Rng& rng);
+  [[nodiscard]] std::uint64_t item_count() const { return n_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double half_pow_theta_;
+};
+
+// YCSB's scrambled-zipfian: spreads the hot items across the key space so
+// hotness is not clustered on adjacent keys (and thus adjacent pages).
+class ScrambledZipfian {
+ public:
+  explicit ScrambledZipfian(std::uint64_t n, double theta = 0.99)
+      : inner_(n, theta), n_(n) {}
+
+  [[nodiscard]] std::uint64_t next(sim::Rng& rng);
+
+ private:
+  ZipfianGenerator inner_;
+  std::uint64_t n_;
+};
+
+// "Latest" distribution (YCSB workload D): skewed toward recently inserted
+// items. `max` is the current insertion horizon.
+class LatestGenerator {
+ public:
+  explicit LatestGenerator(std::uint64_t initial_count, double theta = 0.99)
+      : zipf_(initial_count, theta) {}
+
+  [[nodiscard]] std::uint64_t next(sim::Rng& rng, std::uint64_t current_count);
+
+ private:
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace here::wl

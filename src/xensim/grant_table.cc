@@ -1,0 +1,107 @@
+#include "xensim/grant_table.h"
+
+namespace here::xen {
+
+// --- GrantTable ----------------------------------------------------------------
+
+GrantRef GrantTable::grant_access(std::uint32_t remote_domid, common::Gfn gfn,
+                                  bool readonly) {
+  const GrantRef ref = next_ref_++;
+  entries_[ref] = Entry{remote_domid, gfn, readonly, false};
+  return ref;
+}
+
+void GrantTable::end_access(GrantRef ref) {
+  auto it = entries_.find(ref);
+  if (it == entries_.end()) {
+    throw GrantTableError("end_access: unknown grant reference");
+  }
+  if (it->second.mapped) {
+    throw GrantTableError(
+        "end_access: grant still mapped by the remote domain");
+  }
+  entries_.erase(it);
+}
+
+common::Gfn GrantTable::map_grant(GrantRef ref, std::uint32_t mapper_domid) {
+  auto it = entries_.find(ref);
+  if (it == entries_.end()) {
+    throw GrantTableError("map_grant: unknown grant reference");
+  }
+  if (it->second.remote_domid != mapper_domid) {
+    throw GrantTableError("map_grant: grant not issued to this domain");
+  }
+  if (it->second.mapped) {
+    throw GrantTableError("map_grant: already mapped");
+  }
+  it->second.mapped = true;
+  ++total_maps_;
+  return it->second.gfn;
+}
+
+void GrantTable::unmap_grant(GrantRef ref) {
+  auto it = entries_.find(ref);
+  if (it == entries_.end()) {
+    throw GrantTableError("unmap_grant: unknown grant reference");
+  }
+  it->second.mapped = false;
+}
+
+const GrantTable::Entry& GrantTable::entry(GrantRef ref) const {
+  auto it = entries_.find(ref);
+  if (it == entries_.end()) {
+    throw GrantTableError("entry: unknown grant reference");
+  }
+  return it->second;
+}
+
+// --- EventChannelBus -------------------------------------------------------------
+
+EvtchnPort EventChannelBus::alloc_unbound(std::uint32_t domid,
+                                          std::uint32_t remote_domid) {
+  const EvtchnPort port = next_port_++;
+  channels_[port] = Channel{domid, remote_domid, false, {}, 0};
+  return port;
+}
+
+void EventChannelBus::bind_interdomain(EvtchnPort port,
+                                       std::uint32_t binder_domid) {
+  auto it = channels_.find(port);
+  if (it == channels_.end()) {
+    throw GrantTableError("bind_interdomain: unknown port");
+  }
+  if (it->second.remote_domid != binder_domid) {
+    throw GrantTableError("bind_interdomain: port reserved for another domain");
+  }
+  it->second.bound = true;
+}
+
+void EventChannelBus::set_handler(EvtchnPort port, Handler handler) {
+  auto it = channels_.find(port);
+  if (it == channels_.end()) {
+    throw GrantTableError("set_handler: unknown port");
+  }
+  it->second.handler = std::move(handler);
+}
+
+void EventChannelBus::notify(EvtchnPort port) {
+  auto it = channels_.find(port);
+  if (it == channels_.end()) {
+    throw GrantTableError("notify: unknown port");
+  }
+  ++notifications_;
+  if (it->second.bound && it->second.handler) {
+    it->second.handler(port);
+  } else {
+    ++it->second.pending;
+  }
+}
+
+void EventChannelBus::close(EvtchnPort port) { channels_.erase(port); }
+
+bool EventChannelBus::bound(EvtchnPort port) const {
+  auto it = channels_.find(port);
+  return it != channels_.end() && it->second.bound;
+}
+
+}  // namespace here::xen

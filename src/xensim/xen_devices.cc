@@ -1,0 +1,130 @@
+#include "xensim/xen_devices.h"
+
+namespace here::xen {
+
+using hv::DeviceFamilyMismatch;
+using hv::DeviceStateBlob;
+
+namespace {
+void check_family(const DeviceStateBlob& blob) {
+  if (blob.family != hv::DeviceFamily::kXenPv) {
+    throw DeviceFamilyMismatch("xen PV device cannot load " +
+                               std::string(to_string(blob.family)) + " state");
+  }
+}
+}  // namespace
+
+// --- XenNetDevice ------------------------------------------------------------
+
+void XenNetDevice::transmit(const net::Packet& packet) {
+  ++tx_req_prod_;
+  ++tx_req_cons_;   // backend consumes the request...
+  forward_tx(packet);
+  ++tx_resp_prod_;  // ...and completes it.
+}
+
+void XenNetDevice::receive(const net::Packet& /*packet*/) {
+  ++rx_req_prod_;   // guest had a posted buffer
+  ++rx_resp_prod_;  // backend filled it
+}
+
+DeviceStateBlob XenNetDevice::save() const {
+  DeviceStateBlob blob;
+  blob.family = hv::DeviceFamily::kXenPv;
+  blob.kind = hv::DeviceKind::kNet;
+  blob.model_name = std::string(name());
+  blob.set_field("mac", mac_);
+  blob.set_field("features", features_);
+  blob.set_field("tx_req_prod", tx_req_prod_);
+  blob.set_field("tx_req_cons", tx_req_cons_);
+  blob.set_field("tx_resp_prod", tx_resp_prod_);
+  blob.set_field("rx_req_prod", rx_req_prod_);
+  blob.set_field("rx_resp_prod", rx_resp_prod_);
+  blob.set_field("evtchn_tx", evtchn_tx_);
+  blob.set_field("evtchn_rx", evtchn_rx_);
+  return blob;
+}
+
+void XenNetDevice::load(const DeviceStateBlob& blob) {
+  check_family(blob);
+  mac_ = blob.field("mac");
+  features_ = blob.field("features");
+  tx_req_prod_ = blob.field("tx_req_prod");
+  tx_req_cons_ = blob.field("tx_req_cons");
+  tx_resp_prod_ = blob.field("tx_resp_prod");
+  rx_req_prod_ = blob.field("rx_req_prod");
+  rx_resp_prod_ = blob.field("rx_resp_prod");
+  evtchn_tx_ = static_cast<std::uint32_t>(blob.field("evtchn_tx"));
+  evtchn_rx_ = static_cast<std::uint32_t>(blob.field("evtchn_rx"));
+}
+
+void XenNetDevice::reset() {
+  tx_req_prod_ = tx_req_cons_ = tx_resp_prod_ = 0;
+  rx_req_prod_ = rx_resp_prod_ = 0;
+}
+
+// --- XenBlockDevice ------------------------------------------------------------
+
+void XenBlockDevice::submit_write(std::uint64_t sector, std::uint32_t sectors,
+                                  std::uint64_t stamp) {
+  ++ring_req_prod_;
+  sectors_written_ += sectors;
+  forward_write(hv::DiskWrite{sector, sectors, stamp});
+  ++ring_resp_prod_;
+}
+
+void XenBlockDevice::flush() {
+  ++ring_req_prod_;
+  ++flushes_;
+  ++ring_resp_prod_;
+}
+
+DeviceStateBlob XenBlockDevice::save() const {
+  DeviceStateBlob blob;
+  blob.family = hv::DeviceFamily::kXenPv;
+  blob.kind = hv::DeviceKind::kBlock;
+  blob.model_name = std::string(name());
+  blob.set_field("ring_req_prod", ring_req_prod_);
+  blob.set_field("ring_resp_prod", ring_resp_prod_);
+  blob.set_field("sectors_written", sectors_written_);
+  blob.set_field("flushes", flushes_);
+  blob.set_field("evtchn", evtchn_);
+  return blob;
+}
+
+void XenBlockDevice::load(const DeviceStateBlob& blob) {
+  check_family(blob);
+  ring_req_prod_ = blob.field("ring_req_prod");
+  ring_resp_prod_ = blob.field("ring_resp_prod");
+  sectors_written_ = blob.field("sectors_written");
+  flushes_ = blob.field("flushes");
+  evtchn_ = static_cast<std::uint32_t>(blob.field("evtchn"));
+}
+
+void XenBlockDevice::reset() {
+  ring_req_prod_ = ring_resp_prod_ = 0;
+  sectors_written_ = 0;
+  flushes_ = 0;
+}
+
+// --- XenConsoleDevice ---------------------------------------------------------
+
+DeviceStateBlob XenConsoleDevice::save() const {
+  DeviceStateBlob blob;
+  blob.family = hv::DeviceFamily::kXenPv;
+  blob.kind = hv::DeviceKind::kConsole;
+  blob.model_name = std::string(name());
+  blob.set_field("out_prod", out_prod_);
+  blob.set_field("out_cons", out_cons_);
+  return blob;
+}
+
+void XenConsoleDevice::load(const DeviceStateBlob& blob) {
+  check_family(blob);
+  out_prod_ = blob.field("out_prod");
+  out_cons_ = blob.field("out_cons");
+}
+
+void XenConsoleDevice::reset() { out_prod_ = out_cons_ = 0; }
+
+}  // namespace here::xen

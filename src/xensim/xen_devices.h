@@ -1,0 +1,97 @@
+// Xen paravirtual device models (netfront/netback, blkfront/blkback,
+// xenconsole). Their serialized state uses Xen ring-counter naming; the
+// virtio family (kvmsim) uses avail/used index naming — the device manager
+// and state translator bridge the two.
+#pragma once
+
+#include <cstdint>
+
+#include "hv/device.h"
+
+namespace here::xen {
+
+class XenNetDevice final : public hv::NetDevice {
+ public:
+  // Feature flags negotiated over xenstore.
+  static constexpr std::uint64_t kFeatureSg = 1u << 0;
+  static constexpr std::uint64_t kFeatureGsoTcp4 = 1u << 1;
+  static constexpr std::uint64_t kFeatureRxCopy = 1u << 2;
+
+  explicit XenNetDevice(std::uint64_t mac = 0x00163e000001ULL) : mac_(mac) {}
+
+  [[nodiscard]] hv::DeviceFamily family() const override {
+    return hv::DeviceFamily::kXenPv;
+  }
+  [[nodiscard]] std::string_view name() const override { return "xen-netfront"; }
+
+  void transmit(const net::Packet& packet) override;
+  void receive(const net::Packet& packet) override;
+
+  [[nodiscard]] hv::DeviceStateBlob save() const override;
+  void load(const hv::DeviceStateBlob& blob) override;
+  void reset() override;
+
+  [[nodiscard]] std::uint64_t tx_completed() const { return tx_resp_prod_; }
+  [[nodiscard]] std::uint64_t rx_delivered() const { return rx_resp_prod_; }
+  [[nodiscard]] std::uint64_t mac() const { return mac_; }
+
+ private:
+  std::uint64_t mac_;
+  std::uint64_t features_ = kFeatureSg | kFeatureGsoTcp4 | kFeatureRxCopy;
+  // Shared-ring producer/consumer counters (netif_tx/rx_front semantics).
+  std::uint64_t tx_req_prod_ = 0;
+  std::uint64_t tx_req_cons_ = 0;
+  std::uint64_t tx_resp_prod_ = 0;
+  std::uint64_t rx_req_prod_ = 0;
+  std::uint64_t rx_resp_prod_ = 0;
+  std::uint32_t evtchn_tx_ = 9;
+  std::uint32_t evtchn_rx_ = 10;
+};
+
+class XenBlockDevice final : public hv::BlockDevice {
+ public:
+  [[nodiscard]] hv::DeviceFamily family() const override {
+    return hv::DeviceFamily::kXenPv;
+  }
+  [[nodiscard]] std::string_view name() const override { return "xen-blkfront"; }
+
+  void submit_write(std::uint64_t sector, std::uint32_t sectors,
+                    std::uint64_t stamp = 0) override;
+  void flush() override;
+
+  [[nodiscard]] hv::DeviceStateBlob save() const override;
+  void load(const hv::DeviceStateBlob& blob) override;
+  void reset() override;
+
+  [[nodiscard]] std::uint64_t sectors_written() const { return sectors_written_; }
+
+ private:
+  std::uint64_t ring_req_prod_ = 0;
+  std::uint64_t ring_resp_prod_ = 0;
+  std::uint64_t sectors_written_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint32_t evtchn_ = 11;
+};
+
+class XenConsoleDevice final : public hv::DeviceModel {
+ public:
+  [[nodiscard]] hv::DeviceKind kind() const override {
+    return hv::DeviceKind::kConsole;
+  }
+  [[nodiscard]] hv::DeviceFamily family() const override {
+    return hv::DeviceFamily::kXenPv;
+  }
+  [[nodiscard]] std::string_view name() const override { return "xen-console"; }
+
+  void write_char() { ++out_prod_; }
+
+  [[nodiscard]] hv::DeviceStateBlob save() const override;
+  void load(const hv::DeviceStateBlob& blob) override;
+  void reset() override;
+
+ private:
+  std::uint64_t out_prod_ = 0;
+  std::uint64_t out_cons_ = 0;
+};
+
+}  // namespace here::xen

@@ -1,0 +1,203 @@
+#include "xensim/xen_hypervisor.h"
+
+#include "hv/cpuid_bits.h"
+#include "xensim/xen_devices.h"
+
+namespace here::xen {
+
+namespace c = hv::cpuid;
+
+XenHypervisor::XenHypervisor(sim::Simulation& simulation, sim::Rng rng,
+                             bool qemu_device_model)
+    : Hypervisor(simulation, rng), qemu_device_model_(qemu_device_model) {}
+
+std::vector<hv::SoftwareComponent> XenHypervisor::components() const {
+  std::vector<hv::SoftwareComponent> c = {hv::SoftwareComponent::kXenCore,
+                                          hv::SoftwareComponent::kXenToolstack,
+                                          hv::SoftwareComponent::kDom0Linux};
+  if (qemu_device_model_) c.push_back(hv::SoftwareComponent::kQemu);
+  return c;
+}
+
+hv::CpuidPolicy XenHypervisor::default_cpuid() const {
+  hv::CpuidPolicy p;
+  p.leaf1_ecx = c::kSse3 | c::kPclmul | c::kSsse3 | c::kFma | c::kCx16 |
+                c::kSse41 | c::kSse42 | c::kMovbe | c::kPopcnt | c::kAes |
+                c::kXsave | c::kOsxsave | c::kAvx | c::kF16c | c::kRdrand;
+  p.leaf1_edx = c::kFpu | c::kTsc | c::kMsr | c::kPae | c::kCx8 | c::kApic |
+                c::kSep | c::kPge | c::kCmov | c::kPat | c::kClfsh | c::kMmx |
+                c::kFxsr | c::kSse | c::kSse2 | c::kHtt;
+  // Xen 4.12 exposes HLE/RTM/MPX to HVM guests; KVM masks them.
+  p.leaf7_ebx = c::kFsgsbase | c::kBmi1 | c::kHle | c::kAvx2 | c::kSmep |
+                c::kBmi2 | c::kErms | c::kInvpcid | c::kRtm | c::kMpx |
+                c::kRdseed | c::kAdx | c::kSmap | c::kClflushopt;
+  p.leaf7_ecx = 0;  // no UMIP/PKU on this Xen
+  p.ext1_ecx = c::kLahf64 | c::kAbm | c::k3dnowPrefetch;
+  p.ext1_edx = c::kNx | c::kPdpe1gb | c::kRdtscp | c::kLm;
+  p.max_leaf = 0x16;
+  p.max_ext_leaf = 0x80000008;
+  return p;
+}
+
+hv::HvCostProfile XenHypervisor::cost_profile() const {
+  // Costs of the xl/libxl/libxc control plane: domain pauses go through a
+  // hypercall + scheduler round-trip; VM construction walks the whole
+  // xenstore handshake.
+  return hv::HvCostProfile{
+      .vm_pause = sim::from_micros(800),
+      .vm_resume = sim::from_micros(700),
+      .create_vm_base = sim::from_millis(300),
+      .per_device_setup = sim::from_millis(20),
+      .state_load = sim::from_millis(5),
+  };
+}
+
+void XenHypervisor::configure_vm(hv::Vm& vm) {
+  vm.add_device(std::make_unique<XenNetDevice>());
+  vm.add_device(std::make_unique<XenBlockDevice>());
+  vm.add_device(std::make_unique<XenConsoleDevice>());
+
+  // xl writes the domain's metadata and runs the xenbus device handshake:
+  // each PV device's frontend/backend pair must reach Connected.
+  const std::uint32_t domid = next_domid_++;
+  count_hypercall(HypercallOp::kDomctlCreate);
+  domids_[&vm] = domid;
+  const std::string dom = "/local/domain/" + std::to_string(domid);
+  xenstore_.write(dom + "/name", vm.spec().name);
+  xenstore_.write_int(dom + "/memory/target",
+                      static_cast<std::int64_t>(vm.spec().model_bytes() >> 10));
+  xenstore_.write_int(dom + "/cpu/count", vm.spec().vcpus);
+
+  // For each PV device: the frontend grants its ring page to dom0 and
+  // allocates an unbound event channel; the backend maps the grant and binds
+  // the channel; the xenbus handshake carries both numbers.
+  GrantTable& grants = grant_table(domid);
+  std::uint32_t index = 0;
+  for (const char* device : {"vif", "vbd", "console"}) {
+    const common::Gfn ring_gfn = 1 + index;  // low guest pages hold rings
+    count_hypercall(HypercallOp::kGnttabOp);
+    const GrantRef ref = grants.grant_access(/*remote_domid=*/0, ring_gfn);
+    count_hypercall(HypercallOp::kEvtchnOp);
+    const EvtchnPort port = evtchn_.alloc_unbound(domid, /*remote_domid=*/0);
+    if (!run_device_handshake(xenstore_, domid, device, 0, ref, port)) {
+      throw std::runtime_error(std::string("xenbus handshake failed for ") +
+                               device);
+    }
+    // Backend attach.
+    count_hypercall(HypercallOp::kGnttabOp);
+    grants.map_grant(ref, /*mapper_domid=*/0);
+    count_hypercall(HypercallOp::kEvtchnOp);
+    evtchn_.bind_interdomain(port, /*binder_domid=*/0);
+    wirings_[domid].push_back(DeviceWiring{ref, port});
+    ++index;
+  }
+}
+
+std::uint32_t XenHypervisor::domid_of(const hv::Vm& vm) const {
+  auto it = domids_.find(&vm);
+  return it == domids_.end() ? 0 : it->second;
+}
+
+void XenHypervisor::destroy_vm(hv::Vm& vm) {
+  auto it = domids_.find(&vm);
+  if (it != domids_.end()) {
+    const std::uint32_t domid = it->second;
+    count_hypercall(HypercallOp::kDomctlDestroy);
+    for (const char* device : {"vif", "vbd", "console"}) {
+      run_device_teardown(xenstore_, domid, device, 0);
+    }
+    // Backend detach: unmap grants, revoke them, close channels.
+    GrantTable& grants = grant_table(domid);
+    for (const DeviceWiring& wiring : wirings_[domid]) {
+      count_hypercall(HypercallOp::kGnttabOp);
+      grants.unmap_grant(wiring.ring_ref);
+      grants.end_access(wiring.ring_ref);
+      count_hypercall(HypercallOp::kEvtchnOp);
+      evtchn_.close(wiring.port);
+    }
+    wirings_.erase(domid);
+    xenstore_.remove("/local/domain/" + std::to_string(domid));
+    domids_.erase(it);
+  }
+  Hypervisor::destroy_vm(vm);
+}
+
+void XenHypervisor::pause(hv::Vm& vm) {
+  count_hypercall(HypercallOp::kDomctlPause);
+  Hypervisor::pause(vm);
+}
+
+void XenHypervisor::resume(hv::Vm& vm) {
+  count_hypercall(HypercallOp::kDomctlUnpause);
+  Hypervisor::resume(vm);
+}
+
+std::uint64_t XenHypervisor::total_hypercalls() const {
+  std::uint64_t total = 0;
+  for (const auto& [op, n] : hypercalls_) total += n;
+  return total;
+}
+
+std::uint64_t XenHypervisor::host_tsc() const {
+  // 2.1 GHz invariant TSC: ticks = ns * 2.1.
+  return static_cast<std::uint64_t>(
+      static_cast<double>(simulation().now().ns()) * 2.1);
+}
+
+XenMachineState XenHypervisor::save_xen_state(const hv::Vm& vm) const {
+  // One getcontext domctl per vCPU, as xc_domain_save performs.
+  for (std::size_t i = 0; i < vm.cpus().size(); ++i) {
+    count_hypercall(HypercallOp::kDomctlGetContext);
+  }
+  XenMachineState state;
+  const std::uint64_t tsc_ref = host_tsc();
+  state.platform.host_tsc_at_save = tsc_ref;
+  state.platform.cpuid_policy = vm.platform().cpuid;
+  state.platform.tsc_khz = vm.platform().tsc_khz;
+  state.platform.wallclock_ns = vm.platform().boot_time_ns;
+  state.vcpus.reserve(vm.cpus().size());
+  for (const auto& cpu : vm.cpus()) {
+    state.vcpus.push_back(to_xen_context(cpu, tsc_ref));
+  }
+  for (const auto& dev : vm.devices()) {
+    state.devices.push_back(dev->save());
+  }
+  return state;
+}
+
+std::unique_ptr<hv::SavedMachineState> XenHypervisor::save_machine_state(
+    const hv::Vm& vm) const {
+  return std::make_unique<XenMachineState>(save_xen_state(vm));
+}
+
+void XenHypervisor::load_machine_state(hv::Vm& vm,
+                                       const hv::SavedMachineState& state) const {
+  const auto* xen_state = dynamic_cast<const XenMachineState*>(&state);
+  if (xen_state == nullptr) {
+    throw hv::StateFormatMismatch(
+        "xen cannot load machine state in format '" +
+        std::string(to_string(state.format())) + "'");
+  }
+  if (xen_state->vcpus.size() != vm.cpus().size()) {
+    throw std::invalid_argument("vCPU count mismatch on state load");
+  }
+  for (std::size_t i = 0; i < vm.cpus().size(); ++i) {
+    count_hypercall(HypercallOp::kDomctlSetContext);
+    vm.cpus()[i] =
+        from_xen_context(xen_state->vcpus[i], xen_state->platform.host_tsc_at_save);
+  }
+  vm.platform().cpuid = xen_state->platform.cpuid_policy;
+  vm.platform().tsc_khz = xen_state->platform.tsc_khz;
+  vm.platform().boot_time_ns = xen_state->platform.wallclock_ns;
+  // Device state: apply to matching devices by kind (same family expected).
+  for (const auto& blob : xen_state->devices) {
+    for (const auto& dev : vm.devices()) {
+      if (dev->kind() == blob.kind) {
+        dev->load(blob);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace here::xen

@@ -1,0 +1,181 @@
+#include "xensim/xen_state.h"
+
+#include <algorithm>
+
+namespace here::xen {
+
+using hv::GuestCpuContext;
+using hv::MsrEntry;
+using hv::SegmentRegister;
+
+namespace {
+
+// Neutral segment array order is {cs, ss, ds, es, fs, gs}; Xen records use
+// {es, cs, ss, ds, fs, gs}. kXenSegFromNeutral[i] = neutral index of Xen slot i.
+constexpr std::size_t kXenSegFromNeutral[6] = {3, 0, 1, 2, 4, 5};
+
+bool is_dedicated_msr(std::uint32_t index) {
+  switch (index) {
+    case hv::kMsrStar:
+    case hv::kMsrLstar:
+    case hv::kMsrCstar:
+    case hv::kMsrSyscallMask:
+    case hv::kMsrKernelGsBase:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t find_msr(const std::vector<MsrEntry>& msrs, std::uint32_t index) {
+  for (const auto& m : msrs) {
+    if (m.index == index) return m.value;
+  }
+  return 0;
+}
+
+}  // namespace
+
+XenSegment to_xen_segment(const SegmentRegister& seg) {
+  return XenSegment{seg.selector, seg.attributes, seg.limit, seg.base};
+}
+
+SegmentRegister from_xen_segment(const XenSegment& seg) {
+  return SegmentRegister{seg.sel, seg.base, seg.limit, seg.attr};
+}
+
+XenVcpuContext to_xen_context(const GuestCpuContext& cpu,
+                              std::uint64_t host_tsc_at_save) {
+  XenVcpuContext xen;
+
+  XenUserRegs& r = xen.user_regs;
+  r.r15 = cpu.gpr[hv::kR15];
+  r.r14 = cpu.gpr[hv::kR14];
+  r.r13 = cpu.gpr[hv::kR13];
+  r.r12 = cpu.gpr[hv::kR12];
+  r.rbp = cpu.gpr[hv::kRbp];
+  r.rbx = cpu.gpr[hv::kRbx];
+  r.r11 = cpu.gpr[hv::kR11];
+  r.r10 = cpu.gpr[hv::kR10];
+  r.r9 = cpu.gpr[hv::kR9];
+  r.r8 = cpu.gpr[hv::kR8];
+  r.rax = cpu.gpr[hv::kRax];
+  r.rcx = cpu.gpr[hv::kRcx];
+  r.rdx = cpu.gpr[hv::kRdx];
+  r.rsi = cpu.gpr[hv::kRsi];
+  r.rdi = cpu.gpr[hv::kRdi];
+  r.rip = cpu.rip;
+  r.rflags = cpu.rflags;
+  r.rsp = cpu.gpr[hv::kRsp];
+
+  xen.ctrlreg[0] = cpu.cr0;
+  xen.ctrlreg[2] = cpu.cr2;
+  xen.ctrlreg[3] = cpu.cr3;
+  xen.ctrlreg[4] = cpu.cr4;
+  xen.ctrlreg[5] = cpu.cr8;
+  xen.xcr0 = cpu.xcr0;
+
+  for (std::size_t i = 0; i < 6; ++i) {
+    xen.segments[i] = to_xen_segment(cpu.segments[kXenSegFromNeutral[i]]);
+  }
+  xen.tr = to_xen_segment(cpu.tr);
+  xen.ldtr = to_xen_segment(cpu.ldtr);
+  xen.gdt_base = cpu.gdt.base;
+  xen.gdt_limit = cpu.gdt.limit;
+  xen.idt_base = cpu.idt.base;
+  xen.idt_limit = cpu.idt.limit;
+
+  xen.msr_efer = cpu.efer;
+  xen.msr_star = find_msr(cpu.msrs, hv::kMsrStar);
+  xen.msr_lstar = find_msr(cpu.msrs, hv::kMsrLstar);
+  xen.msr_cstar = find_msr(cpu.msrs, hv::kMsrCstar);
+  xen.msr_syscall_mask = find_msr(cpu.msrs, hv::kMsrSyscallMask);
+  xen.fs_base = cpu.segments[4].base;       // fs
+  xen.gs_base_user = cpu.segments[5].base;  // gs
+  xen.gs_base_kernel = find_msr(cpu.msrs, hv::kMsrKernelGsBase);
+  for (const auto& m : cpu.msrs) {
+    if (!is_dedicated_msr(m.index)) xen.extra_msrs.push_back(m);
+  }
+
+  xen.tsc_offset =
+      static_cast<std::int64_t>(cpu.tsc) - static_cast<std::int64_t>(host_tsc_at_save);
+  xen.vlapic = cpu.lapic;
+  xen.pending_event_port =
+      cpu.pending_interrupt < 0 ? -1 : cpu.pending_interrupt - kCallbackVectorBase;
+  xen.flags = cpu.halted ? 0 : 1;  // VGCF_online
+  return xen;
+}
+
+GuestCpuContext from_xen_context(const XenVcpuContext& xen,
+                                 std::uint64_t host_tsc_at_save) {
+  GuestCpuContext cpu;
+
+  const XenUserRegs& r = xen.user_regs;
+  cpu.gpr[hv::kR15] = r.r15;
+  cpu.gpr[hv::kR14] = r.r14;
+  cpu.gpr[hv::kR13] = r.r13;
+  cpu.gpr[hv::kR12] = r.r12;
+  cpu.gpr[hv::kRbp] = r.rbp;
+  cpu.gpr[hv::kRbx] = r.rbx;
+  cpu.gpr[hv::kR11] = r.r11;
+  cpu.gpr[hv::kR10] = r.r10;
+  cpu.gpr[hv::kR9] = r.r9;
+  cpu.gpr[hv::kR8] = r.r8;
+  cpu.gpr[hv::kRax] = r.rax;
+  cpu.gpr[hv::kRcx] = r.rcx;
+  cpu.gpr[hv::kRdx] = r.rdx;
+  cpu.gpr[hv::kRsi] = r.rsi;
+  cpu.gpr[hv::kRdi] = r.rdi;
+  cpu.gpr[hv::kRsp] = r.rsp;
+  cpu.rip = r.rip;
+  cpu.rflags = r.rflags;
+
+  cpu.cr0 = xen.ctrlreg[0];
+  cpu.cr2 = xen.ctrlreg[2];
+  cpu.cr3 = xen.ctrlreg[3];
+  cpu.cr4 = xen.ctrlreg[4];
+  cpu.cr8 = xen.ctrlreg[5];
+  cpu.xcr0 = xen.xcr0;
+
+  for (std::size_t i = 0; i < 6; ++i) {
+    cpu.segments[kXenSegFromNeutral[i]] = from_xen_segment(xen.segments[i]);
+  }
+  cpu.tr = from_xen_segment(xen.tr);
+  cpu.ldtr = from_xen_segment(xen.ldtr);
+  cpu.gdt = {xen.gdt_base, xen.gdt_limit};
+  cpu.idt = {xen.idt_base, xen.idt_limit};
+
+  cpu.efer = xen.msr_efer;
+  // Dedicated fields come back as MSR entries (in a fixed order) so the KVM
+  // side can serve them through its generic list; zero values are elided to
+  // keep neutral->xen->neutral an identity on typical states.
+  auto emit = [&cpu](std::uint32_t index, std::uint64_t value) {
+    if (value != 0) cpu.msrs.push_back({index, value});
+  };
+  emit(hv::kMsrStar, xen.msr_star);
+  emit(hv::kMsrLstar, xen.msr_lstar);
+  emit(hv::kMsrCstar, xen.msr_cstar);
+  emit(hv::kMsrSyscallMask, xen.msr_syscall_mask);
+  emit(hv::kMsrKernelGsBase, xen.gs_base_kernel);
+  for (const auto& m : xen.extra_msrs) cpu.msrs.push_back(m);
+
+  cpu.tsc = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(host_tsc_at_save) + xen.tsc_offset);
+  cpu.lapic = xen.vlapic;
+  cpu.pending_interrupt = xen.pending_event_port < 0
+                              ? -1
+                              : xen.pending_event_port + kCallbackVectorBase;
+  cpu.halted = (xen.flags & 1) == 0;
+  return cpu;
+}
+
+std::uint64_t XenMachineState::wire_bytes() const {
+  // hvm_hw_cpu record is ~1 KiB per vCPU; vlapic regs page adds 1 KiB.
+  std::uint64_t bytes = 256;  // stream header + platform record
+  bytes += vcpus.size() * (1024 + 1024);
+  for (const auto& cpu : vcpus) bytes += cpu.extra_msrs.size() * 16;
+  for (const auto& dev : devices) bytes += dev.wire_bytes();
+  return bytes;
+}
+
+}  // namespace here::xen

@@ -1,0 +1,120 @@
+// Xen's machine-state serialization format.
+//
+// Modelled on Xen's `hvm_hw_cpu` / `vcpu_guest_context` layout conventions,
+// which differ from KVM's in ways that make naive cross-loading impossible:
+//   * GPRs are stored r15-first (Xen's cpu_user_regs push order), not
+//     rax-first like KVM's kvm_regs;
+//   * segments are stored in {es, cs, ss, ds, fs, gs} order with *packed*
+//     VMCS-style attribute words (KVM unpacks every attribute bit into its
+//     own byte field);
+//   * the TSC is stored as a signed *offset* from the host TSC captured at
+//     save time (KVM saves the absolute guest TSC MSR);
+//   * a handful of MSRs (EFER, STAR/LSTAR/CSTAR, FS/GS bases) live in
+//     dedicated fields instead of the generic MSR list;
+//   * pending interrupts are recorded as Xen event-channel ports relative to
+//     the guest's callback vector.
+// The state translator (src/xlate) bridges every one of these differences.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hv/device.h"
+#include "hv/guest_cpu.h"
+#include "hv/hypervisor.h"
+
+namespace here::xen {
+
+// Base interrupt vector of the event-channel upcall; ports are delivered as
+// vector = kCallbackVectorBase + port.
+inline constexpr std::int32_t kCallbackVectorBase = 0x20;
+
+struct XenSegment {
+  std::uint16_t sel = 0;
+  std::uint16_t attr = 0;  // packed: type[3:0] s[4] dpl[6:5] p[7] avl[8] l[9] db[10] g[11]
+  std::uint32_t limit = 0;
+  std::uint64_t base = 0;
+  friend bool operator==(const XenSegment&, const XenSegment&) = default;
+};
+
+// GPR storage order mirrors Xen's struct cpu_user_regs.
+struct XenUserRegs {
+  std::uint64_t r15 = 0, r14 = 0, r13 = 0, r12 = 0;
+  std::uint64_t rbp = 0, rbx = 0;
+  std::uint64_t r11 = 0, r10 = 0, r9 = 0, r8 = 0;
+  std::uint64_t rax = 0, rcx = 0, rdx = 0, rsi = 0, rdi = 0;
+  std::uint64_t rip = 0, rflags = 0, rsp = 0;
+  friend bool operator==(const XenUserRegs&, const XenUserRegs&) = default;
+};
+
+// Per-vCPU record (hvm_hw_cpu analogue).
+struct XenVcpuContext {
+  XenUserRegs user_regs;
+  // cr0, cr2, cr3, cr4 at their own indices; cr8 in slot 5 (slots 1, 6, 7
+  // unused, as in Xen's 8-entry ctrlreg array).
+  std::array<std::uint64_t, 8> ctrlreg{};
+  std::uint64_t xcr0 = 1;
+  // es cs ss ds fs gs (Xen record order).
+  std::array<XenSegment, 6> segments{};
+  XenSegment tr, ldtr;
+  std::uint64_t gdt_base = 0, idt_base = 0;
+  std::uint16_t gdt_limit = 0, idt_limit = 0;
+
+  // Dedicated MSR fields, as in hvm_hw_cpu.
+  std::uint64_t msr_efer = 0;
+  std::uint64_t msr_star = 0, msr_lstar = 0, msr_cstar = 0, msr_syscall_mask = 0;
+  std::uint64_t fs_base = 0, gs_base_kernel = 0, gs_base_user = 0;
+  // Everything else.
+  std::vector<hv::MsrEntry> extra_msrs;
+
+  // Signed delta guest_tsc - host_tsc_at_save.
+  std::int64_t tsc_offset = 0;
+
+  // Xen vlapic record: named fields.
+  hv::LapicState vlapic;
+
+  // Pending event-channel port (>= 0) or -1; delivered as
+  // kCallbackVectorBase + port.
+  std::int32_t pending_event_port = -1;
+
+  std::uint8_t flags = 0;  // bit0: online(!halted) — Xen's VGCF_online
+
+  friend bool operator==(const XenVcpuContext&, const XenVcpuContext&) = default;
+};
+
+// Domain-wide platform record.
+struct XenPlatformRecord {
+  hv::CpuidPolicy cpuid_policy;
+  std::uint64_t host_tsc_at_save = 0;  // reference for tsc_offset
+  std::uint64_t tsc_khz = 0;
+  std::uint64_t wallclock_ns = 0;      // guest boot epoch
+  friend bool operator==(const XenPlatformRecord&, const XenPlatformRecord&) = default;
+};
+
+// Complete Xen-format machine state (everything but memory pages).
+class XenMachineState final : public hv::SavedMachineState {
+ public:
+  [[nodiscard]] hv::HvKind format() const override { return hv::HvKind::kXen; }
+  [[nodiscard]] std::uint64_t wire_bytes() const override;
+
+  std::vector<XenVcpuContext> vcpus;
+  XenPlatformRecord platform;
+  std::vector<hv::DeviceStateBlob> devices;
+};
+
+// --- Converters between the neutral architectural state and Xen format ------
+//
+// These are Xen's own import/export paths (what xc_domain_save/restore do);
+// the cross-hypervisor translator composes them with KVM's.
+
+[[nodiscard]] XenVcpuContext to_xen_context(const hv::GuestCpuContext& cpu,
+                                            std::uint64_t host_tsc_at_save);
+[[nodiscard]] hv::GuestCpuContext from_xen_context(const XenVcpuContext& xen,
+                                                   std::uint64_t host_tsc_at_save);
+
+[[nodiscard]] XenSegment to_xen_segment(const hv::SegmentRegister& seg);
+[[nodiscard]] hv::SegmentRegister from_xen_segment(const XenSegment& seg);
+
+}  // namespace here::xen

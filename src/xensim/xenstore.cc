@@ -1,0 +1,207 @@
+#include "xensim/xenstore.h"
+
+#include <charconv>
+
+namespace here::xen {
+
+namespace {
+
+bool is_prefix_of(const std::string& prefix, const std::string& path) {
+  if (path.size() < prefix.size()) return false;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  // "/a/b" covers "/a/b" and "/a/b/c" but not "/a/bc".
+  return path.size() == prefix.size() || path[prefix.size()] == '/' ||
+         prefix == "/";
+}
+
+}  // namespace
+
+void XenStore::write(const std::string& path, const std::string& value) {
+  // Create implicit parent directories (empty-valued nodes).
+  std::size_t pos = 1;
+  while ((pos = path.find('/', pos)) != std::string::npos) {
+    entries_.try_emplace(path.substr(0, pos), "");
+    ++pos;
+  }
+  entries_[path] = value;
+  ++writes_;
+  fire_watches(path);
+}
+
+void XenStore::write_int(const std::string& path, std::int64_t value) {
+  write(path, std::to_string(value));
+}
+
+void XenStore::write_state(const std::string& path, XenbusState state) {
+  write_int(path, static_cast<std::int64_t>(state));
+}
+
+std::optional<std::string> XenStore::read(const std::string& path) const {
+  auto it = entries_.find(path);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int64_t> XenStore::read_int(const std::string& path) const {
+  const auto value = read(path);
+  if (!value) return std::nullopt;
+  std::int64_t out = 0;
+  const auto* begin = value->data();
+  const auto* end = begin + value->size();
+  if (std::from_chars(begin, end, out).ec != std::errc{}) return std::nullopt;
+  return out;
+}
+
+XenbusState XenStore::read_state(const std::string& path) const {
+  const auto value = read_int(path);
+  if (!value || *value < 0 || *value > 6) return XenbusState::kUnknown;
+  return static_cast<XenbusState>(*value);
+}
+
+bool XenStore::exists(const std::string& path) const {
+  return entries_.contains(path);
+}
+
+std::vector<std::string> XenStore::list(const std::string& path) const {
+  std::vector<std::string> children;
+  const std::string prefix = path == "/" ? "/" : path + "/";
+  for (auto it = entries_.lower_bound(prefix);
+       it != entries_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    const std::string rest = it->first.substr(prefix.size());
+    if (rest.empty()) continue;
+    const std::size_t slash = rest.find('/');
+    const std::string child = slash == std::string::npos ? rest : rest.substr(0, slash);
+    if (children.empty() || children.back() != child) children.push_back(child);
+  }
+  return children;
+}
+
+std::size_t XenStore::remove(const std::string& path) {
+  std::vector<std::string> removed;
+  for (auto it = entries_.lower_bound(path);
+       it != entries_.end() && is_prefix_of(path, it->first);) {
+    removed.push_back(it->first);
+    it = entries_.erase(it);
+  }
+  for (const auto& p : removed) fire_watches(p);
+  return removed.size();
+}
+
+XenStore::WatchId XenStore::watch(const std::string& prefix, WatchFn fn) {
+  const WatchId id = next_watch_++;
+  watches_.emplace(id, Watch{prefix, std::move(fn)});
+  // Xenstore semantics: the watch fires once on registration.
+  watches_.at(id).fn(prefix);
+  return id;
+}
+
+void XenStore::unwatch(WatchId id) { watches_.erase(id); }
+
+void XenStore::fire_watches(const std::string& path) {
+  // Watch handlers often write back into the store (the handshake pattern);
+  // defer nested notifications so the callback stack stays bounded.
+  if (firing_) {
+    deferred_.push_back(path);
+    return;
+  }
+  firing_ = true;
+  std::vector<std::string> queue{path};
+  while (!queue.empty()) {
+    const std::string current = queue.front();
+    queue.erase(queue.begin());
+    // Snapshot ids: handlers may register/unregister watches.
+    std::vector<WatchId> ids;
+    for (const auto& [id, w] : watches_) {
+      if (is_prefix_of(w.prefix, current)) ids.push_back(id);
+    }
+    for (const WatchId id : ids) {
+      auto it = watches_.find(id);
+      if (it != watches_.end()) it->second.fn(current);
+    }
+    queue.insert(queue.end(), deferred_.begin(), deferred_.end());
+    deferred_.clear();
+  }
+  firing_ = false;
+}
+
+std::string frontend_path(std::uint32_t domid, const std::string& device,
+                          std::uint32_t index) {
+  return "/local/domain/" + std::to_string(domid) + "/device/" + device + "/" +
+         std::to_string(index);
+}
+
+std::string backend_path(std::uint32_t domid, const std::string& device,
+                         std::uint32_t index) {
+  return "/local/domain/0/backend/" + device + "/" + std::to_string(domid) +
+         "/" + std::to_string(index);
+}
+
+bool run_device_handshake(XenStore& store, std::uint32_t domid,
+                          const std::string& device, std::uint32_t index,
+                          std::uint64_t ring_ref, std::uint64_t event_channel) {
+  const std::string front = frontend_path(domid, device, index);
+  const std::string back = backend_path(domid, device, index);
+
+  // Cross-references, as xl writes them.
+  store.write(front + "/backend", back);
+  store.write(back + "/frontend", front);
+
+  // Backend reacts to frontend state transitions...
+  const auto back_watch = store.watch(front + "/state", [&](const std::string&) {
+    switch (store.read_state(front + "/state")) {
+      case XenbusState::kInitialising:
+        store.write_state(back + "/state", XenbusState::kInitWait);
+        break;
+      case XenbusState::kInitialised:
+        store.write_state(back + "/state", XenbusState::kConnected);
+        break;
+      case XenbusState::kConnected:
+      default:
+        break;
+    }
+  });
+  // ...and the frontend to backend transitions.
+  const auto front_watch = store.watch(back + "/state", [&](const std::string&) {
+    switch (store.read_state(back + "/state")) {
+      case XenbusState::kInitWait:
+        // Frontend publishes its ring grant + event channel, then declares
+        // readiness.
+        store.write_int(front + "/ring-ref",
+                        static_cast<std::int64_t>(
+                            ring_ref != 0 ? ring_ref : 0x100 + index));
+        store.write_int(front + "/event-channel",
+                        static_cast<std::int64_t>(
+                            event_channel != 0 ? event_channel : 9 + index));
+        store.write_state(front + "/state", XenbusState::kInitialised);
+        break;
+      case XenbusState::kConnected:
+        store.write_state(front + "/state", XenbusState::kConnected);
+        break;
+      default:
+        break;
+    }
+  });
+
+  // Kick off: the frontend announces itself.
+  store.write_state(front + "/state", XenbusState::kInitialising);
+
+  store.unwatch(back_watch);
+  store.unwatch(front_watch);
+  return store.read_state(front + "/state") == XenbusState::kConnected &&
+         store.read_state(back + "/state") == XenbusState::kConnected;
+}
+
+void run_device_teardown(XenStore& store, std::uint32_t domid,
+                         const std::string& device, std::uint32_t index) {
+  const std::string front = frontend_path(domid, device, index);
+  const std::string back = backend_path(domid, device, index);
+  store.write_state(front + "/state", XenbusState::kClosing);
+  store.write_state(back + "/state", XenbusState::kClosing);
+  store.write_state(front + "/state", XenbusState::kClosed);
+  store.write_state(back + "/state", XenbusState::kClosed);
+  store.remove(front);
+  store.remove(back);
+}
+
+}  // namespace here::xen

@@ -1,0 +1,117 @@
+// XenStore: Xen's hierarchical key-value control-plane bus.
+//
+// PV device frontends and backends discover each other and negotiate
+// through xenstore paths ("/local/domain/<id>/device/vif/0/..."), advancing
+// their XenbusState keys and reacting to each other via watches. The HERE
+// paper's Table 5 even lists Xenstore as its own attack-target category
+// ("other software"). This model implements the store semantics the device
+// handshake needs: path tree, reads/writes, subtree removal, and prefix
+// watches that fire on every mutation under the watched path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace here::xen {
+
+// States of the xenbus device handshake protocol.
+enum class XenbusState : int {
+  kUnknown = 0,
+  kInitialising = 1,
+  kInitWait = 2,
+  kInitialised = 3,
+  kConnected = 4,
+  kClosing = 5,
+  kClosed = 6,
+};
+
+[[nodiscard]] constexpr const char* to_string(XenbusState s) {
+  switch (s) {
+    case XenbusState::kUnknown: return "Unknown";
+    case XenbusState::kInitialising: return "Initialising";
+    case XenbusState::kInitWait: return "InitWait";
+    case XenbusState::kInitialised: return "Initialised";
+    case XenbusState::kConnected: return "Connected";
+    case XenbusState::kClosing: return "Closing";
+    case XenbusState::kClosed: return "Closed";
+  }
+  return "?";
+}
+
+class XenStore {
+ public:
+  using WatchId = std::uint64_t;
+  using WatchFn = std::function<void(const std::string& path)>;
+
+  // Writes `value` at `path` ("/a/b/c"); implicit parents are created.
+  // Fires watches whose prefix covers `path`.
+  void write(const std::string& path, const std::string& value);
+  void write_int(const std::string& path, std::int64_t value);
+  void write_state(const std::string& path, XenbusState state);
+
+  [[nodiscard]] std::optional<std::string> read(const std::string& path) const;
+  [[nodiscard]] std::optional<std::int64_t> read_int(const std::string& path) const;
+  [[nodiscard]] XenbusState read_state(const std::string& path) const;
+  [[nodiscard]] bool exists(const std::string& path) const;
+
+  // Immediate children names of `path` (directory listing).
+  [[nodiscard]] std::vector<std::string> list(const std::string& path) const;
+
+  // Removes `path` and its whole subtree; fires watches for each removed
+  // entry. Returns the number of entries removed.
+  std::size_t remove(const std::string& path);
+
+  // Registers a watch on `prefix`; `fn` fires for every write/removal at or
+  // under it. Per xenstore semantics the watch also fires once immediately
+  // upon registration (with the prefix itself).
+  WatchId watch(const std::string& prefix, WatchFn fn);
+  void unwatch(WatchId id);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t write_count() const { return writes_; }
+
+ private:
+  void fire_watches(const std::string& path);
+
+  std::map<std::string, std::string> entries_;
+  struct Watch {
+    std::string prefix;
+    WatchFn fn;
+  };
+  std::map<WatchId, Watch> watches_;
+  WatchId next_watch_ = 1;
+  std::uint64_t writes_ = 0;
+  bool firing_ = false;
+  std::vector<std::string> deferred_;  // mutations made by watch handlers
+};
+
+// Paths used by the PV device handshake.
+[[nodiscard]] std::string frontend_path(std::uint32_t domid,
+                                        const std::string& device,
+                                        std::uint32_t index);
+[[nodiscard]] std::string backend_path(std::uint32_t domid,
+                                       const std::string& device,
+                                       std::uint32_t index);
+
+// Runs the standard xenbus handshake for one device between a frontend
+// (guest) and backend (dom0) entry: both sides advance their "state" keys
+// through Initialising -> InitWait/Initialised -> Connected, each reacting
+// to the other via watches. `ring_ref`/`event_channel` are the grant
+// reference and event-channel port the frontend publishes (defaults stand in
+// when the caller has no grant-table/event-channel fabric). Returns true
+// when both sides reach Connected.
+bool run_device_handshake(XenStore& store, std::uint32_t domid,
+                          const std::string& device, std::uint32_t index,
+                          std::uint64_t ring_ref = 0,
+                          std::uint64_t event_channel = 0);
+
+// Tears a device down (Closing -> Closed on both sides), as the HERE guest
+// agent does during the failover device switch (§7.3).
+void run_device_teardown(XenStore& store, std::uint32_t domid,
+                         const std::string& device, std::uint32_t index);
+
+}  // namespace here::xen

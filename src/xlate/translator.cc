@@ -1,0 +1,254 @@
+#include "xlate/translator.h"
+
+#include <bit>
+
+#include "kvmsim/kvm_hypervisor.h"
+#include "kvmsim/virtio_devices.h"
+#include "xensim/xen_devices.h"
+#include "xensim/xen_hypervisor.h"
+
+namespace here::xlate {
+
+namespace {
+
+// Virtio offload feature bits used in the net-device mapping.
+constexpr std::uint64_t kVirtioNetFHostTso4 = 1ULL << 11;
+
+std::uint32_t popcount_diff(std::uint32_t policy, std::uint32_t host) {
+  return static_cast<std::uint32_t>(std::popcount(policy & ~host));
+}
+
+hv::DeviceStateBlob xen_net_to_virtio(const hv::DeviceStateBlob& in) {
+  hv::DeviceStateBlob out;
+  out.family = hv::DeviceFamily::kVirtio;
+  out.kind = hv::DeviceKind::kNet;
+  out.model_name = "virtio-net";
+  out.set_field("mac", in.field("mac"));
+  // Offload equivalences: netfront SG -> virtio CSUM; GSO-TCPv4 -> HOST_TSO4;
+  // RX copy mode -> mergeable RX buffers. Always VERSION_1 + MAC.
+  const std::uint64_t xen_features = in.field("features");
+  std::uint64_t features = kvm::kVirtioFVersion1 | kvm::kVirtioNetFMac;
+  if (xen_features & xen::XenNetDevice::kFeatureSg) {
+    features |= kvm::kVirtioNetFCsum;
+  }
+  if (xen_features & xen::XenNetDevice::kFeatureGsoTcp4) {
+    features |= kVirtioNetFHostTso4;
+  }
+  if (xen_features & xen::XenNetDevice::kFeatureRxCopy) {
+    features |= kvm::kVirtioNetFMrgRxbuf;
+  }
+  out.set_field("features", features);
+  out.set_field("status", kvm::kVirtioStatusDriverOk);
+  // Ring progress: requests submitted -> avail, responses produced -> used.
+  out.set_field("vq0_avail_idx", in.field("rx_req_prod"));
+  out.set_field("vq0_used_idx", in.field("rx_resp_prod"));
+  out.set_field("vq1_avail_idx", in.field("tx_req_prod"));
+  out.set_field("vq1_used_idx", in.field("tx_resp_prod"));
+  // Event channels have no virtio equivalent (irqfd/MSI-X set up fresh).
+  return out;
+}
+
+hv::DeviceStateBlob virtio_net_to_xen(const hv::DeviceStateBlob& in) {
+  hv::DeviceStateBlob out;
+  out.family = hv::DeviceFamily::kXenPv;
+  out.kind = hv::DeviceKind::kNet;
+  out.model_name = "xen-netfront";
+  out.set_field("mac", in.field("mac"));
+  const std::uint64_t vfeatures = in.field("features");
+  std::uint64_t features = xen::XenNetDevice::kFeatureRxCopy;
+  if (vfeatures & kvm::kVirtioNetFCsum) features |= xen::XenNetDevice::kFeatureSg;
+  if (vfeatures & kVirtioNetFHostTso4) {
+    features |= xen::XenNetDevice::kFeatureGsoTcp4;
+  }
+  out.set_field("features", features);
+  out.set_field("tx_req_prod", in.field("vq1_avail_idx"));
+  // Everything the backend completed was consumed: cons == used.
+  out.set_field("tx_req_cons", in.field("vq1_used_idx"));
+  out.set_field("tx_resp_prod", in.field("vq1_used_idx"));
+  out.set_field("rx_req_prod", in.field("vq0_avail_idx"));
+  out.set_field("rx_resp_prod", in.field("vq0_used_idx"));
+  // Fresh event channels allocated on plug.
+  out.set_field("evtchn_tx", 9);
+  out.set_field("evtchn_rx", 10);
+  return out;
+}
+
+hv::DeviceStateBlob xen_blk_to_virtio(const hv::DeviceStateBlob& in) {
+  hv::DeviceStateBlob out;
+  out.family = hv::DeviceFamily::kVirtio;
+  out.kind = hv::DeviceKind::kBlock;
+  out.model_name = "virtio-blk";
+  out.set_field("features", kvm::kVirtioBlkFFlush | kvm::kVirtioFVersion1);
+  out.set_field("status", kvm::kVirtioStatusDriverOk);
+  out.set_field("vq0_avail_idx", in.field("ring_req_prod"));
+  out.set_field("vq0_used_idx", in.field("ring_resp_prod"));
+  out.set_field("written_sectors", in.field("sectors_written"));
+  out.set_field("num_flushes", in.field("flushes"));
+  return out;
+}
+
+hv::DeviceStateBlob virtio_blk_to_xen(const hv::DeviceStateBlob& in) {
+  hv::DeviceStateBlob out;
+  out.family = hv::DeviceFamily::kXenPv;
+  out.kind = hv::DeviceKind::kBlock;
+  out.model_name = "xen-blkfront";
+  out.set_field("ring_req_prod", in.field("vq0_avail_idx"));
+  out.set_field("ring_resp_prod", in.field("vq0_used_idx"));
+  out.set_field("sectors_written", in.field("written_sectors"));
+  out.set_field("flushes", in.field("num_flushes"));
+  out.set_field("evtchn", 11);
+  return out;
+}
+
+hv::DeviceStateBlob xen_console_to_virtio(const hv::DeviceStateBlob& in) {
+  hv::DeviceStateBlob out;
+  out.family = hv::DeviceFamily::kVirtio;
+  out.kind = hv::DeviceKind::kConsole;
+  out.model_name = "virtio-console";
+  out.set_field("tx_used_idx", in.field("out_prod"));
+  out.set_field("rx_used_idx", 0);
+  return out;
+}
+
+hv::DeviceStateBlob virtio_console_to_xen(const hv::DeviceStateBlob& in) {
+  hv::DeviceStateBlob out;
+  out.family = hv::DeviceFamily::kXenPv;
+  out.kind = hv::DeviceKind::kConsole;
+  out.model_name = "xen-console";
+  const std::uint64_t produced = in.field("tx_used_idx");
+  out.set_field("out_prod", produced);
+  out.set_field("out_cons", produced);  // all output already drained
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<hv::SavedMachineState> translate_machine_state(
+    const hv::SavedMachineState& state, const hv::Hypervisor& target,
+    TranslationReport* report) {
+  if (state.format() == hv::HvKind::kXen && target.kind() == hv::HvKind::kKvm) {
+    const auto& xen_state = static_cast<const xen::XenMachineState&>(state);
+    return std::make_unique<kvm::KvmMachineState>(
+        xen_to_kvm(xen_state, target.default_cpuid(), report));
+  }
+  if (state.format() == hv::HvKind::kKvm && target.kind() == hv::HvKind::kXen) {
+    const auto& kvm_state = static_cast<const kvm::KvmMachineState&>(state);
+    const auto& xen_target = static_cast<const xen::XenHypervisor&>(target);
+    return std::make_unique<xen::XenMachineState>(kvm_to_xen(
+        kvm_state, target.default_cpuid(), xen_target.host_tsc(), report));
+  }
+  // Same-kind: pass a copy through unchanged.
+  if (state.format() == hv::HvKind::kXen) {
+    return std::make_unique<xen::XenMachineState>(
+        static_cast<const xen::XenMachineState&>(state));
+  }
+  if (state.format() == hv::HvKind::kKvm) {
+    return std::make_unique<kvm::KvmMachineState>(
+        static_cast<const kvm::KvmMachineState&>(state));
+  }
+  throw TranslationError("unsupported machine-state translation");
+}
+
+std::uint32_t count_unsupported_bits(const hv::CpuidPolicy& policy,
+                                     const hv::CpuidPolicy& host) {
+  return popcount_diff(policy.leaf1_ecx, host.leaf1_ecx) +
+         popcount_diff(policy.leaf1_edx, host.leaf1_edx) +
+         popcount_diff(policy.leaf7_ebx, host.leaf7_ebx) +
+         popcount_diff(policy.leaf7_ecx, host.leaf7_ecx) +
+         popcount_diff(policy.ext1_ecx, host.ext1_ecx) +
+         popcount_diff(policy.ext1_edx, host.ext1_edx);
+}
+
+hv::DeviceStateBlob translate_device(const hv::DeviceStateBlob& blob,
+                                     hv::DeviceFamily target) {
+  if (blob.family == target) return blob;
+  if (blob.family == hv::DeviceFamily::kXenPv &&
+      target == hv::DeviceFamily::kVirtio) {
+    switch (blob.kind) {
+      case hv::DeviceKind::kNet: return xen_net_to_virtio(blob);
+      case hv::DeviceKind::kBlock: return xen_blk_to_virtio(blob);
+      case hv::DeviceKind::kConsole: return xen_console_to_virtio(blob);
+    }
+  }
+  if (blob.family == hv::DeviceFamily::kVirtio &&
+      target == hv::DeviceFamily::kXenPv) {
+    switch (blob.kind) {
+      case hv::DeviceKind::kNet: return virtio_net_to_xen(blob);
+      case hv::DeviceKind::kBlock: return virtio_blk_to_xen(blob);
+      case hv::DeviceKind::kConsole: return virtio_console_to_xen(blob);
+    }
+  }
+  throw TranslationError("unsupported device translation: " +
+                         std::string(to_string(blob.family)) + " -> " +
+                         std::string(to_string(target)));
+}
+
+kvm::KvmMachineState xen_to_kvm(const xen::XenMachineState& state,
+                                const hv::CpuidPolicy& kvm_host_policy,
+                                TranslationReport* report) {
+  TranslationReport local;
+  kvm::KvmMachineState out;
+
+  // vCPUs: Xen format -> neutral architectural state -> KVM format. The TSC
+  // moves from offset representation to an absolute MSR value.
+  out.vcpus.reserve(state.vcpus.size());
+  for (const auto& xcpu : state.vcpus) {
+    const hv::GuestCpuContext neutral =
+        xen::from_xen_context(xcpu, state.platform.host_tsc_at_save);
+    kvm::KvmVcpuContext kcpu = kvm::to_kvm_context(neutral);
+    local.msrs_carried += static_cast<std::uint32_t>(kcpu.msrs.size());
+    out.vcpus.push_back(std::move(kcpu));
+  }
+  local.tsc_rebased = true;
+
+  // Platform: mask CPUID down to what the KVM host can honour.
+  local.cpuid_bits_dropped =
+      count_unsupported_bits(state.platform.cpuid_policy, kvm_host_policy);
+  out.platform.cpuid = state.platform.cpuid_policy.intersect(kvm_host_policy);
+  out.platform.tsc_khz = state.platform.tsc_khz;
+  out.platform.kvmclock_boot_ns = state.platform.wallclock_ns;
+
+  // Devices: PV -> virtio.
+  out.devices.reserve(state.devices.size());
+  for (const auto& dev : state.devices) {
+    out.devices.push_back(translate_device(dev, hv::DeviceFamily::kVirtio));
+    ++local.devices_translated;
+  }
+
+  if (report != nullptr) *report = local;
+  return out;
+}
+
+xen::XenMachineState kvm_to_xen(const kvm::KvmMachineState& state,
+                                const hv::CpuidPolicy& xen_host_policy,
+                                std::uint64_t host_tsc_ref,
+                                TranslationReport* report) {
+  TranslationReport local;
+  xen::XenMachineState out;
+
+  out.platform.host_tsc_at_save = host_tsc_ref;
+  out.vcpus.reserve(state.vcpus.size());
+  for (const auto& kcpu : state.vcpus) {
+    const hv::GuestCpuContext neutral = kvm::from_kvm_context(kcpu);
+    out.vcpus.push_back(xen::to_xen_context(neutral, host_tsc_ref));
+    local.msrs_carried += static_cast<std::uint32_t>(kcpu.msrs.size());
+  }
+  local.tsc_rebased = true;
+
+  local.cpuid_bits_dropped =
+      count_unsupported_bits(state.platform.cpuid, xen_host_policy);
+  out.platform.cpuid_policy = state.platform.cpuid.intersect(xen_host_policy);
+  out.platform.tsc_khz = state.platform.tsc_khz;
+  out.platform.wallclock_ns = state.platform.kvmclock_boot_ns;
+
+  out.devices.reserve(state.devices.size());
+  for (const auto& dev : state.devices) {
+    out.devices.push_back(translate_device(dev, hv::DeviceFamily::kXenPv));
+    ++local.devices_translated;
+  }
+
+  if (report != nullptr) *report = local;
+  return out;
+}
+
+}  // namespace here::xlate

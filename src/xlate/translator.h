@@ -1,0 +1,81 @@
+// Cross-hypervisor state translator (paper §5.3, §7.4).
+//
+// Converts a complete machine state saved in one hypervisor's format into
+// the other's, via the common architectural format: vCPU registers
+// (different GPR orders, packed vs unpacked segment attributes, offset vs
+// absolute TSC, dedicated vs listed MSRs), the local APIC (named fields vs
+// raw register page), pending interrupts (event-channel ports vs vectors),
+// platform/CPUID features, and virtual device states (Xen PV ring counters
+// vs virtio virtqueue indices).
+//
+// CPUID reconciliation: the produced state's feature policy is masked to the
+// intersection of the guest's current policy and the target hypervisor's
+// host policy; the report records which bits were dropped. HERE configures
+// protected VMs with the intersection from the start so the drop count is
+// normally zero.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "hv/device.h"
+#include "hv/guest_cpu.h"
+#include "kvmsim/kvm_state.h"
+#include "xensim/xen_state.h"
+
+namespace here::xlate {
+
+class TranslationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// What a translation had to adapt; useful for audits and tests.
+struct TranslationReport {
+  std::uint32_t cpuid_bits_dropped = 0;
+  std::uint32_t devices_translated = 0;
+  std::uint32_t msrs_carried = 0;
+  bool tsc_rebased = false;
+};
+
+// --- Whole-machine translation ------------------------------------------------
+
+// Xen-format -> KVM-format. `kvm_host_policy` is the target's host CPUID.
+[[nodiscard]] kvm::KvmMachineState xen_to_kvm(const xen::XenMachineState& state,
+                                              const hv::CpuidPolicy& kvm_host_policy,
+                                              TranslationReport* report = nullptr);
+
+// KVM-format -> Xen-format (reverse direction; extension beyond the paper's
+// prototype, which replicates Xen -> KVM). `host_tsc_ref` is the Xen host's
+// TSC at load time, used to re-derive the offset representation.
+[[nodiscard]] xen::XenMachineState kvm_to_xen(const kvm::KvmMachineState& state,
+                                              const hv::CpuidPolicy& xen_host_policy,
+                                              std::uint64_t host_tsc_ref,
+                                              TranslationReport* report = nullptr);
+
+// --- Format-dispatching translation ------------------------------------------
+
+// Translates a saved machine state into `target`'s native format. Same-kind
+// input is returned as a copy. The target hypervisor supplies its host CPUID
+// policy and (for a Xen target) the host TSC reference for the offset-based
+// representation. Throws TranslationError for unsupported pairs.
+[[nodiscard]] std::unique_ptr<hv::SavedMachineState> translate_machine_state(
+    const hv::SavedMachineState& state, const hv::Hypervisor& target,
+    TranslationReport* report = nullptr);
+
+// --- Device-state translation ---------------------------------------------------
+
+// Translates one device blob to the target family. Ring/queue progress
+// counters are mapped semantically (completed tx == completed tx); transport
+// details that have no equivalent (event-channel ports, virtio status) are
+// dropped or defaulted. Throws TranslationError for unsupported pairs.
+[[nodiscard]] hv::DeviceStateBlob translate_device(const hv::DeviceStateBlob& blob,
+                                                   hv::DeviceFamily target);
+
+// --- CPUID ----------------------------------------------------------------------
+
+// Number of feature bits in `policy` that `host` does not offer.
+[[nodiscard]] std::uint32_t count_unsupported_bits(const hv::CpuidPolicy& policy,
+                                                   const hv::CpuidPolicy& host);
+
+}  // namespace here::xlate

@@ -1,0 +1,185 @@
+// Unit and property tests for common utilities: units, the concurrent dirty
+// bitmap, and the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/dirty_bitmap.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+#include "sim/rng.h"
+
+namespace here::common {
+namespace {
+
+// --- Units ------------------------------------------------------------------------
+
+TEST(Units, LiteralsAndConversions) {
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(2_MiB, 2097152u);
+  EXPECT_EQ(1_GiB, 1073741824u);
+  EXPECT_EQ(bytes_to_pages(1), 1u);
+  EXPECT_EQ(bytes_to_pages(kPageSize), 1u);
+  EXPECT_EQ(bytes_to_pages(kPageSize + 1), 2u);
+  EXPECT_EQ(pages_to_bytes(3), 3 * kPageSize);
+  EXPECT_EQ(kPagesPerRegion, 512u);  // 2 MiB / 4 KiB
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3 * 1048576), "3.00 MiB");
+  EXPECT_EQ(format_bytes(5368709120ULL), "5.00 GiB");
+}
+
+// --- DirtyBitmap --------------------------------------------------------------------
+
+TEST(DirtyBitmap, SetTestClear) {
+  DirtyBitmap bm(200);
+  EXPECT_EQ(bm.count(), 0u);
+  bm.set(0);
+  bm.set(63);
+  bm.set(64);
+  bm.set(199);
+  EXPECT_TRUE(bm.test(0));
+  EXPECT_TRUE(bm.test(63));
+  EXPECT_TRUE(bm.test(64));
+  EXPECT_TRUE(bm.test(199));
+  EXPECT_FALSE(bm.test(1));
+  EXPECT_EQ(bm.count(), 4u);
+  bm.clear();
+  EXPECT_EQ(bm.count(), 0u);
+}
+
+TEST(DirtyBitmap, TestAndClear) {
+  DirtyBitmap bm(100);
+  bm.set(42);
+  EXPECT_TRUE(bm.test_and_clear(42));
+  EXPECT_FALSE(bm.test_and_clear(42));
+  EXPECT_FALSE(bm.test(42));
+}
+
+TEST(DirtyBitmap, CollectClearsAndReturnsSorted) {
+  DirtyBitmap bm(1000);
+  const std::set<Gfn> expect = {0, 1, 63, 64, 65, 512, 999};
+  for (const Gfn g : expect) bm.set(g);
+  std::vector<Gfn> out;
+  EXPECT_EQ(bm.collect(0, 1000, out), expect.size());
+  EXPECT_EQ(std::set<Gfn>(out.begin(), out.end()), expect);
+  EXPECT_EQ(bm.count(), 0u);
+}
+
+TEST(DirtyBitmap, CollectRespectsRangeBounds) {
+  DirtyBitmap bm(256);
+  for (Gfn g = 0; g < 256; ++g) bm.set(g);
+  std::vector<Gfn> out;
+  // Sub-word-aligned range [70, 130): exactly 60 pages.
+  EXPECT_EQ(bm.collect(70, 130, out), 60u);
+  for (const Gfn g : out) {
+    EXPECT_GE(g, 70u);
+    EXPECT_LT(g, 130u);
+  }
+  // The rest must still be set.
+  EXPECT_EQ(bm.count(), 256u - 60u);
+}
+
+TEST(DirtyBitmap, CollectWithoutClearing) {
+  DirtyBitmap bm(128);
+  bm.set(5);
+  std::vector<Gfn> out;
+  EXPECT_EQ(bm.collect(0, 128, out, /*clear_found=*/false), 1u);
+  EXPECT_TRUE(bm.test(5));
+}
+
+TEST(DirtyBitmap, ExchangeInto) {
+  DirtyBitmap bm(128), scratch(128);
+  bm.set(3);
+  bm.set(100);
+  scratch.set(50);  // stale content must be overwritten
+  bm.exchange_into(scratch);
+  EXPECT_EQ(bm.count(), 0u);
+  EXPECT_TRUE(scratch.test(3));
+  EXPECT_TRUE(scratch.test(100));
+  EXPECT_FALSE(scratch.test(50));
+}
+
+// Property: random dirty sets are recovered exactly (sweep over sizes that
+// hit word boundaries).
+class DirtyBitmapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DirtyBitmapProperty, RandomSetsRoundTrip) {
+  const std::uint64_t pages = GetParam();
+  DirtyBitmap bm(pages);
+  sim::Rng rng(pages * 31 + 7);
+  std::set<Gfn> expect;
+  for (std::uint64_t i = 0; i < pages / 3 + 1; ++i) {
+    const Gfn g = rng.uniform(pages);
+    expect.insert(g);
+    bm.set(g);
+  }
+  EXPECT_EQ(bm.count(), expect.size());
+  std::vector<Gfn> out;
+  bm.collect(0, pages, out);
+  EXPECT_EQ(std::set<Gfn>(out.begin(), out.end()), expect);
+  EXPECT_EQ(bm.count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DirtyBitmapProperty,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 1000,
+                                           4096, 100000));
+
+TEST(DirtyBitmap, ConcurrentSettersAreAllObserved) {
+  constexpr std::uint64_t kPages = 1 << 16;
+  DirtyBitmap bm(kPages);
+  ThreadPool pool(4);
+  pool.run_per_worker([&](std::size_t w) {
+    for (std::uint64_t g = w; g < kPages; g += 4) bm.set(g);
+  });
+  EXPECT_EQ(bm.count(), kPages);
+}
+
+// --- ThreadPool ---------------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversEachIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, RunPerWorkerGivesDistinctIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> seen(4);
+  pool.run_per_worker([&](std::size_t w) { seen[w].fetch_add(1); });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPool, SubmitReturnsUsableFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] {});
+  fut.get();  // must not block forever
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughParallelFor) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(10,
+                        [](std::size_t i) {
+                          if (i == 5) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace here::common

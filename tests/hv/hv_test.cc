@@ -1,0 +1,295 @@
+// Tests for the hypervisor-neutral substrate: guest memory + dirty logs,
+// PML rings, VM lifecycle and the base hypervisor execution loop.
+#include <gtest/gtest.h>
+
+#include "hv/dirty_logs.h"
+#include "hv/guest_memory.h"
+#include "hv/pml_ring.h"
+#include "hv/vm.h"
+#include "xensim/xen_hypervisor.h"
+
+namespace here::hv {
+namespace {
+
+// --- GuestMemory -------------------------------------------------------------------
+
+TEST(GuestMemory, ReadWriteRoundTrip) {
+  GuestMemory mem(16, 2);
+  mem.write_u64(0, 3, 128, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(mem.read_u64(3, 128), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(mem.read_u64(3, 136), 0u);  // zero-initialized
+  EXPECT_EQ(mem.store_count(), 1u);
+}
+
+TEST(GuestMemory, BoundsChecking) {
+  GuestMemory mem(4, 1);
+  EXPECT_THROW(mem.write_u64(0, 4, 0, 1), std::out_of_range);
+  EXPECT_THROW(mem.write_u64(0, 0, 4090, 1), std::out_of_range);  // straddles
+  EXPECT_THROW((void)mem.read_u64(4, 0), std::out_of_range);
+  EXPECT_THROW((void)mem.page(4), std::out_of_range);
+  EXPECT_THROW(GuestMemory(0, 1), std::invalid_argument);
+  EXPECT_THROW(GuestMemory(1, 0), std::invalid_argument);
+}
+
+TEST(GuestMemory, DigestReflectsContent) {
+  GuestMemory a(8, 1), b(8, 1);
+  EXPECT_EQ(a.full_digest(), b.full_digest());
+  a.write_u64(0, 2, 0, 77);
+  EXPECT_NE(a.full_digest(), b.full_digest());
+  EXPECT_NE(a.page_digest(2), b.page_digest(2));
+  EXPECT_EQ(a.page_digest(3), b.page_digest(3));
+  b.install_page(2, a.page(2));
+  EXPECT_EQ(a.full_digest(), b.full_digest());
+}
+
+TEST(GuestMemory, ShadowLogMarksWrites) {
+  GuestMemory mem(32, 2);
+  common::DirtyBitmap bitmap(32);
+  mem.enable_shadow_log(&bitmap);
+  mem.write_u64(1, 7, 0, 1);
+  EXPECT_TRUE(bitmap.test(7));
+  mem.disable_shadow_log();
+  mem.write_u64(1, 9, 0, 1);
+  EXPECT_FALSE(bitmap.test(9));
+}
+
+TEST(GuestMemory, InstallPageBypassesDirtyTracking) {
+  GuestMemory mem(8, 1);
+  common::DirtyBitmap bitmap(8);
+  mem.enable_shadow_log(&bitmap);
+  std::vector<std::uint8_t> page(common::kPageSize, 0xab);
+  mem.install_page(5, page);
+  EXPECT_FALSE(bitmap.test(5));
+  EXPECT_EQ(mem.page(5)[100], 0xab);
+}
+
+TEST(GuestMemory, PmlAttributesWritesToTheRightVcpu) {
+  GuestMemory mem(64, 4);
+  std::vector<PmlRing> rings(4);
+  for (auto& r : rings) r.set_page_count(64);
+  mem.enable_pml(rings);
+  mem.write_u64(2, 10, 0, 1);
+  mem.write_u64(0, 20, 0, 1);
+  EXPECT_EQ(rings[2].pending(), 1u);
+  EXPECT_EQ(rings[0].pending(), 1u);
+  EXPECT_EQ(rings[1].pending(), 0u);
+  EXPECT_THROW(mem.enable_pml(std::span<PmlRing>(rings.data(), 2)),
+               std::invalid_argument);
+}
+
+// --- PmlRing ------------------------------------------------------------------------
+
+TEST(PmlRing, LogsOncePerPageUntilDrained) {
+  PmlRing ring;
+  ring.set_page_count(100);
+  ring.log(5);
+  ring.log(5);  // dirty bit already set: suppressed
+  ring.log(6);
+  EXPECT_EQ(ring.pending(), 2u);
+
+  std::vector<common::Gfn> out;
+  EXPECT_EQ(ring.drain(out), 2u);
+  EXPECT_EQ(out, (std::vector<common::Gfn>{5, 6}));
+  // Draining re-arms logging.
+  ring.log(5);
+  EXPECT_EQ(ring.pending(), 1u);
+}
+
+TEST(PmlRing, DrainMaxRespectsLimit) {
+  PmlRing ring;
+  ring.set_page_count(100);
+  for (common::Gfn g = 0; g < 10; ++g) ring.log(g);
+  std::vector<common::Gfn> out;
+  EXPECT_EQ(ring.drain(out, 4), 4u);
+  EXPECT_EQ(ring.pending(), 6u);
+}
+
+TEST(PmlRing, HardwareFlushVmexits) {
+  PmlRing ring;  // no page-count filter: every log is an entry
+  for (std::size_t i = 0; i < PmlRing::kHardwareEntries * 3; ++i) {
+    ring.log(i);
+  }
+  EXPECT_EQ(ring.flush_vmexits(), 3u);
+}
+
+TEST(PmlRing, ClearRearmsFilter) {
+  PmlRing ring;
+  ring.set_page_count(10);
+  ring.log(3);
+  ring.clear();
+  EXPECT_EQ(ring.pending(), 0u);
+  ring.log(3);
+  EXPECT_EQ(ring.pending(), 1u);
+}
+
+// --- DirtyLogFacility ----------------------------------------------------------------
+
+TEST(DirtyLogFacility, BitmapLifecycle) {
+  Vm vm(make_vm_spec("t", 2, 1ULL << 20));
+  DirtyLogFacility logs;
+  EXPECT_EQ(logs.bitmap(vm), nullptr);
+  common::DirtyBitmap& bm = logs.enable_bitmap(vm);
+  EXPECT_EQ(&bm, logs.bitmap(vm));
+  EXPECT_TRUE(vm.memory().shadow_log_enabled());
+  vm.memory().write_u64(0, 1, 0, 1);
+  EXPECT_TRUE(bm.test(1));
+  logs.disable_bitmap(vm);
+  EXPECT_FALSE(vm.memory().shadow_log_enabled());
+  // Scratch matches geometry.
+  EXPECT_EQ(logs.scratch_bitmap(vm).size_pages(), vm.memory().pages());
+}
+
+// --- Vm ---------------------------------------------------------------------------
+
+TEST(Vm, InitialStatePerVcpu) {
+  Vm vm(make_vm_spec("t", 4, 1ULL << 20));
+  EXPECT_EQ(vm.cpus().size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(vm.cpus()[i].lapic.id, i);
+  }
+  EXPECT_EQ(vm.state(), VmState::kCreated);
+}
+
+class CountingProgram : public GuestProgram {
+ public:
+  void tick(GuestEnv&, sim::Duration dt) override { total += dt; }
+  void on_packet(GuestEnv&, const net::Packet&) override { ++packets; }
+  [[nodiscard]] std::unique_ptr<GuestProgram> clone() const override {
+    return std::make_unique<CountingProgram>(*this);
+  }
+  sim::Duration total{};
+  int packets = 0;
+};
+
+TEST(Vm, RunSliceAdvancesProgramAndArchState) {
+  Vm vm(make_vm_spec("t", 2, 1ULL << 20));
+  auto prog = std::make_unique<CountingProgram>();
+  auto* raw = prog.get();
+  vm.attach_program(std::move(prog));
+  vm.set_state(VmState::kRunning);
+  sim::Rng rng(1);
+  const std::uint64_t tsc_before = vm.cpus()[0].tsc;
+  vm.run_slice(sim::TimePoint{}, sim::from_millis(10), rng);
+  EXPECT_EQ(raw->total, sim::from_millis(10));
+  EXPECT_GT(vm.cpus()[0].tsc, tsc_before);
+  EXPECT_EQ(vm.guest_time(), sim::from_millis(10));
+}
+
+TEST(Vm, PausedPacketsQueueUntilResume) {
+  Vm vm(make_vm_spec("t", 1, 1ULL << 20));
+  auto prog = std::make_unique<CountingProgram>();
+  auto* raw = prog.get();
+  vm.attach_program(std::move(prog));
+  sim::Rng rng(1);
+  vm.set_state(VmState::kRunning);
+  vm.run_slice(sim::TimePoint{}, sim::from_millis(1), rng);  // starts program
+
+  vm.set_state(VmState::kPaused);
+  vm.deliver_packet(sim::TimePoint{}, rng, net::Packet{});
+  EXPECT_EQ(raw->packets, 0);  // held in the rx ring
+
+  vm.set_state(VmState::kRunning);
+  vm.run_slice(sim::TimePoint{}, sim::from_millis(1), rng);
+  EXPECT_EQ(raw->packets, 1);  // flushed on resume
+}
+
+TEST(Vm, CrashedVmIgnoresPackets) {
+  Vm vm(make_vm_spec("t", 1, 1ULL << 20));
+  vm.panic();
+  EXPECT_EQ(vm.state(), VmState::kCrashed);
+  sim::Rng rng(1);
+  vm.deliver_packet(sim::TimePoint{}, rng, net::Packet{});  // no crash
+}
+
+TEST(Vm, ClearDevicesRemovesAll) {
+  sim::Simulation s;
+  xen::XenHypervisor hv(s, sim::Rng(1));
+  Vm& vm = hv.create_vm(make_vm_spec("t", 1, 1ULL << 20));
+  EXPECT_EQ(vm.devices().size(), 3u);
+  EXPECT_NE(vm.net_device(), nullptr);
+  EXPECT_NE(vm.block_device(), nullptr);
+  EXPECT_EQ(vm.clear_devices(), 3u);
+  EXPECT_EQ(vm.net_device(), nullptr);
+}
+
+// --- Hypervisor base behaviour --------------------------------------------------------
+
+TEST(Hypervisor, LifecycleAndTicks) {
+  sim::Simulation s;
+  xen::XenHypervisor hv(s, sim::Rng(1));
+  Vm& vm = hv.create_vm(make_vm_spec("t", 2, 1ULL << 20));
+  auto prog = std::make_unique<CountingProgram>();
+  auto* raw = prog.get();
+  vm.attach_program(std::move(prog));
+
+  hv.start(vm);
+  EXPECT_EQ(vm.state(), VmState::kRunning);
+  s.run_for(sim::from_millis(100));
+  EXPECT_GE(raw->total, sim::from_millis(80));
+
+  hv.pause(vm);
+  const sim::Duration at_pause = raw->total;
+  s.run_for(sim::from_millis(100));
+  EXPECT_EQ(raw->total, at_pause);  // no progress while paused
+
+  hv.resume(vm);
+  s.run_for(sim::from_millis(100));
+  EXPECT_GT(raw->total, at_pause);
+}
+
+TEST(Hypervisor, StartFromWrongStateThrows) {
+  sim::Simulation s;
+  xen::XenHypervisor hv(s, sim::Rng(1));
+  Vm& vm = hv.create_vm(make_vm_spec("t", 1, 1ULL << 20));
+  hv.start(vm);
+  EXPECT_THROW(hv.start(vm), std::logic_error);
+}
+
+TEST(Hypervisor, StarvationSlowsGuest) {
+  sim::Simulation s;
+  xen::XenHypervisor hv(s, sim::Rng(1));
+  Vm& vm = hv.create_vm(make_vm_spec("t", 1, 1ULL << 20));
+  auto prog = std::make_unique<CountingProgram>();
+  auto* raw = prog.get();
+  vm.attach_program(std::move(prog));
+  hv.start(vm);
+
+  hv.inject_fault(FaultKind::kStarvation);
+  EXPECT_TRUE(hv.operational());  // degraded but alive
+  s.run_for(sim::from_seconds(1));
+  // Guest receives ~1/10 of its CPU time.
+  EXPECT_LT(raw->total, sim::from_millis(150));
+  EXPECT_GT(raw->total, sim::from_millis(50));
+}
+
+TEST(Hypervisor, CrashFreezesGuestsAndBlocksOperations) {
+  sim::Simulation s;
+  xen::XenHypervisor hv(s, sim::Rng(1));
+  Vm& vm = hv.create_vm(make_vm_spec("t", 1, 1ULL << 20));
+  auto prog = std::make_unique<CountingProgram>();
+  auto* raw = prog.get();
+  vm.attach_program(std::move(prog));
+  hv.start(vm);
+  s.run_for(sim::from_millis(50));
+
+  hv.inject_fault(FaultKind::kCrash);
+  EXPECT_FALSE(hv.operational());
+  const sim::Duration at_crash = raw->total;
+  s.run_for(sim::from_seconds(1));
+  EXPECT_EQ(raw->total, at_crash);
+  EXPECT_THROW(hv.create_vm(make_vm_spec("t2", 1, 1ULL << 20)),
+               std::runtime_error);
+}
+
+TEST(Hypervisor, DestroyVmCancelsTicks) {
+  sim::Simulation s;
+  xen::XenHypervisor hv(s, sim::Rng(1));
+  Vm& vm = hv.create_vm(make_vm_spec("t", 1, 1ULL << 20));
+  hv.start(vm);
+  hv.destroy_vm(vm);
+  EXPECT_TRUE(hv.vms().empty());
+  s.run();  // no dangling tick events firing into freed memory
+}
+
+}  // namespace
+}  // namespace here::hv

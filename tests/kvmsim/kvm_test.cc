@@ -1,0 +1,188 @@
+// Tests for the KVM/kvmtool hypervisor model: kvm_regs/sregs/lapic state
+// round-trips, virtio devices and machine-state handling.
+#include <gtest/gtest.h>
+
+#include "hv/cpuid_bits.h"
+#include "xensim/xen_hypervisor.h"
+#include "kvmsim/kvm_hypervisor.h"
+#include "kvmsim/kvm_state.h"
+#include "kvmsim/virtio_devices.h"
+#include "tests/state_test_util.h"
+#include "xensim/xen_state.h"
+
+namespace here::kvm {
+namespace {
+
+class KvmRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KvmRoundTrip, NeutralToKvmToNeutralIsIdentity) {
+  const hv::GuestCpuContext original = test::random_cpu_context(GetParam());
+  const KvmVcpuContext kvm_ctx = to_kvm_context(original);
+  const hv::GuestCpuContext back = from_kvm_context(kvm_ctx);
+  EXPECT_EQ(back, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvmRoundTrip, ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(KvmState, GprStorageOrderIsRaxFirst) {
+  hv::GuestCpuContext cpu;
+  cpu.gpr[hv::kRax] = 0xA;
+  cpu.gpr[hv::kR15] = 0xF15;
+  const KvmVcpuContext kvm_ctx = to_kvm_context(cpu);
+  EXPECT_EQ(kvm_ctx.regs.rax, 0xAu);
+  EXPECT_EQ(kvm_ctx.regs.r15, 0xF15u);
+}
+
+TEST(KvmState, SegmentAttributesUnpacked) {
+  hv::SegmentRegister seg;
+  seg.selector = 0x10;
+  seg.base = 0x1000;
+  seg.limit = 0xfffff;
+  // type=0xb, s=1, dpl=3, p=1, avl=1, l=1, db=0, g=1.
+  seg.attributes = 0xb | (1 << 4) | (3 << 5) | (1 << 7) | (1 << 8) | (1 << 9) |
+                   (0 << 10) | (1 << 11);
+  const KvmSegment kseg = to_kvm_segment(seg);
+  EXPECT_EQ(kseg.type, 0xb);
+  EXPECT_EQ(kseg.s, 1);
+  EXPECT_EQ(kseg.dpl, 3);
+  EXPECT_EQ(kseg.present, 1);
+  EXPECT_EQ(kseg.avl, 1);
+  EXPECT_EQ(kseg.l, 1);
+  EXPECT_EQ(kseg.db, 0);
+  EXPECT_EQ(kseg.g, 1);
+  EXPECT_EQ(from_kvm_segment(kseg), seg);
+}
+
+TEST(KvmState, LapicIsRawRegisterPage) {
+  hv::LapicState lapic;
+  lapic.id = 3;
+  lapic.tpr = 0x20;
+  lapic.irr[2] = 0xdeadbeef;
+  const KvmLapicState raw = to_kvm_lapic(lapic);
+  EXPECT_EQ(raw.regs[0x20 >> 4], 3u << 24);  // xAPIC ID in bits 31:24
+  EXPECT_EQ(raw.regs[0x80 >> 4], 0x20u);
+  EXPECT_EQ(raw.regs[(0x200 >> 4) + 2], 0xdeadbeefu);
+  EXPECT_EQ(from_kvm_lapic(raw), lapic);
+}
+
+TEST(KvmState, TscIsAbsoluteMsr) {
+  hv::GuestCpuContext cpu;
+  cpu.tsc = 0x1234567;
+  const KvmVcpuContext kvm_ctx = to_kvm_context(cpu);
+  ASSERT_FALSE(kvm_ctx.msrs.empty());
+  EXPECT_EQ(kvm_ctx.msrs[0].index, kMsrIa32Tsc);
+  EXPECT_EQ(kvm_ctx.msrs[0].value, 0x1234567u);
+}
+
+TEST(KvmState, EferLivesInSregs) {
+  hv::GuestCpuContext cpu;
+  cpu.efer = 0xd01;
+  const KvmVcpuContext kvm_ctx = to_kvm_context(cpu);
+  EXPECT_EQ(kvm_ctx.sregs.efer, 0xd01u);
+  for (const auto& msr : kvm_ctx.msrs) {
+    EXPECT_NE(msr.index, 0xC0000080u);  // EFER not duplicated in the list
+  }
+}
+
+TEST(KvmState, HaltedViaMpState) {
+  hv::GuestCpuContext cpu;
+  cpu.halted = true;
+  EXPECT_EQ(to_kvm_context(cpu).mp_state, KvmMpState::kHalted);
+  cpu.halted = false;
+  EXPECT_EQ(to_kvm_context(cpu).mp_state, KvmMpState::kRunnable);
+}
+
+// --- Virtio devices ---------------------------------------------------------------
+
+TEST(VirtioNetDevice, VirtqueueIndices) {
+  VirtioNetDevice dev;
+  int forwarded = 0;
+  dev.set_tx_hook([&](const net::Packet&) { ++forwarded; });
+  net::Packet p;
+  dev.transmit(p);
+  dev.receive(p);
+  dev.receive(p);
+  EXPECT_EQ(forwarded, 1);
+  const auto blob = dev.save();
+  EXPECT_EQ(blob.family, hv::DeviceFamily::kVirtio);
+  EXPECT_EQ(blob.field("vq1_used_idx"), 1u);  // tx queue
+  EXPECT_EQ(blob.field("vq0_used_idx"), 2u);  // rx queue
+  EXPECT_NE(blob.field("features") & kVirtioFVersion1, 0u);
+}
+
+TEST(VirtioNetDevice, RejectsXenState) {
+  VirtioNetDevice dev;
+  hv::DeviceStateBlob blob = dev.save();
+  blob.family = hv::DeviceFamily::kXenPv;
+  EXPECT_THROW(dev.load(blob), hv::DeviceFamilyMismatch);
+}
+
+TEST(VirtioBlkDevice, SaveLoadReset) {
+  VirtioBlkDevice dev;
+  dev.submit_write(10, 32);
+  dev.flush();
+  const auto blob = dev.save();
+  EXPECT_EQ(blob.field("written_sectors"), 32u);
+  EXPECT_EQ(blob.field("num_flushes"), 1u);
+  VirtioBlkDevice other;
+  other.load(blob);
+  EXPECT_EQ(other.sectors_written(), 32u);
+  other.reset();
+  EXPECT_EQ(other.sectors_written(), 0u);
+}
+
+// --- Hypervisor --------------------------------------------------------------------
+
+TEST(KvmHypervisor, ConfiguresVirtioDevices) {
+  sim::Simulation s;
+  KvmHypervisor hv(s, sim::Rng(1));
+  hv::Vm& vm = hv.create_vm(hv::make_vm_spec("t", 1, 1ULL << 20));
+  ASSERT_NE(vm.net_device(), nullptr);
+  EXPECT_EQ(vm.net_device()->family(), hv::DeviceFamily::kVirtio);
+  EXPECT_EQ(vm.net_device()->name(), "virtio-net");
+}
+
+TEST(KvmHypervisor, RejectsXenFormatState) {
+  sim::Simulation s;
+  KvmHypervisor kvm_hv(s, sim::Rng(1));
+  hv::Vm& vm = kvm_hv.create_vm(hv::make_vm_spec("t", 1, 1ULL << 20));
+  xen::XenMachineState xen_state;
+  xen_state.vcpus.resize(1);
+  EXPECT_THROW(kvm_hv.load_machine_state(vm, xen_state),
+               hv::StateFormatMismatch);
+}
+
+TEST(KvmHypervisor, RejectsCpuidBeyondHostPolicy) {
+  sim::Simulation s;
+  KvmHypervisor hv(s, sim::Rng(1));
+  hv::Vm& vm = hv.create_vm(hv::make_vm_spec("t", 1, 1ULL << 20));
+  KvmMachineState state = hv.save_kvm_state(vm);
+  state.platform.cpuid.leaf7_ebx |= hv::cpuid::kMpx;  // KVM masks MPX
+  EXPECT_THROW(hv.load_machine_state(vm, state), std::invalid_argument);
+}
+
+TEST(KvmHypervisor, SaveLoadRoundTrips) {
+  sim::Simulation s;
+  KvmHypervisor hv(s, sim::Rng(1));
+  hv::Vm& vm = hv.create_vm(hv::make_vm_spec("t", 2, 1ULL << 20));
+  vm.cpus()[0] = test::random_cpu_context(5);
+  vm.cpus()[1] = test::random_cpu_context(6);
+  const auto saved = hv.save_machine_state(vm);
+  const auto cpus_at_save = vm.cpus();
+  vm.cpus()[0].gpr[hv::kRax] ^= 0xffff;
+  hv.load_machine_state(vm, *saved);
+  EXPECT_EQ(vm.cpus(), cpus_at_save);
+}
+
+TEST(KvmHypervisor, FasterControlPlaneThanXen) {
+  sim::Simulation s;
+  KvmHypervisor kvm_hv(s, sim::Rng(1));
+  xen::XenHypervisor xen_hv(s, sim::Rng(2));
+  // kvmtool's lightweight userspace: the Fig. 7 fast-resume property.
+  EXPECT_LT(kvm_hv.cost_profile().create_vm_base,
+            xen_hv.cost_profile().create_vm_base / 10);
+  EXPECT_LT(kvm_hv.cost_profile().vm_resume, xen_hv.cost_profile().vm_resume);
+}
+
+}  // namespace
+}  // namespace here::kvm

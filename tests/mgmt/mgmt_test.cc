@@ -1,0 +1,203 @@
+// Tests for the management layer: the libvirt-flavoured facade and the
+// fleet protection policy (heterogeneous partner selection, auto
+// re-protection after repair).
+#include <gtest/gtest.h>
+
+#include "kvmsim/kvm_hypervisor.h"
+#include "mgmt/protection_manager.h"
+#include "mgmt/virt.h"
+#include "workload/synthetic.h"
+#include "xensim/xen_hypervisor.h"
+
+namespace here::mgmt {
+namespace {
+
+struct Fleet {
+  sim::Simulation sim;
+  net::Fabric fabric{sim};
+  std::vector<std::unique_ptr<hv::Host>> hosts;
+
+  hv::Host& add(const std::string& name, hv::HvKind kind) {
+    static std::uint64_t seed = 1;
+    std::unique_ptr<hv::Hypervisor> hypervisor;
+    if (kind == hv::HvKind::kXen) {
+      hypervisor = std::make_unique<xen::XenHypervisor>(sim, sim::Rng(seed++));
+    } else {
+      hypervisor = std::make_unique<kvm::KvmHypervisor>(sim, sim::Rng(seed++));
+    }
+    hosts.push_back(
+        std::make_unique<hv::Host>(name, fabric, std::move(hypervisor)));
+    return *hosts.back();
+  }
+
+  bool run_until(const std::function<bool()>& cond, double limit_s) {
+    const sim::TimePoint deadline = sim.now() + sim::from_seconds(limit_s);
+    while (sim.now() < deadline && !cond()) sim.run_for(sim::from_millis(50));
+    return cond();
+  }
+};
+
+rep::ReplicationConfig fast_engine() {
+  rep::ReplicationConfig config;
+  config.period.t_max = sim::from_millis(500);
+  return config;
+}
+
+// --- VirtConnection -----------------------------------------------------------
+
+TEST(VirtConnection, UniformApiOverBothStacks) {
+  Fleet fleet;
+  VirtConnection xen(fleet.add("x1", hv::HvKind::kXen));
+  VirtConnection kvm(fleet.add("k1", hv::HvKind::kKvm));
+  EXPECT_EQ(xen.type(), "Xen");
+  EXPECT_EQ(kvm.type(), "QEMU/KVM");
+
+  DomainConfig config;
+  config.name = "web";
+  config.vcpus = 2;
+  config.memory_bytes = 64ULL << 20;
+  hv::Vm& d1 = xen.create_domain(config);
+  config.name = "db";
+  hv::Vm& d2 = kvm.create_domain(config);
+  EXPECT_EQ(d1.state(), hv::VmState::kRunning);
+  EXPECT_EQ(d2.state(), hv::VmState::kRunning);
+
+  const auto domains = xen.list_domains();
+  ASSERT_EQ(domains.size(), 1u);
+  EXPECT_EQ(domains[0].name, "web");
+  EXPECT_EQ(domains[0].vcpus, 2u);
+  EXPECT_EQ(domains[0].hypervisor, "xen-4.12");
+
+  EXPECT_EQ(xen.lookup_domain("web"), &d1);
+  EXPECT_EQ(xen.lookup_domain("nope"), nullptr);
+
+  xen.suspend_domain(d1);
+  EXPECT_EQ(d1.state(), hv::VmState::kPaused);
+  xen.resume_domain(d1);
+  EXPECT_EQ(d1.state(), hv::VmState::kRunning);
+  xen.destroy_domain(d1);
+  EXPECT_TRUE(xen.list_domains().empty());
+}
+
+TEST(VirtConnection, CpuTimeAdvances) {
+  Fleet fleet;
+  VirtConnection conn(fleet.add("x1", hv::HvKind::kXen));
+  DomainConfig config;
+  config.memory_bytes = 16ULL << 20;
+  hv::Vm& vm = conn.create_domain(config);
+  fleet.sim.run_for(sim::from_seconds(1));
+  EXPECT_GT(conn.domain_info(vm).cpu_time, sim::from_millis(500));
+}
+
+// --- ProtectionManager -----------------------------------------------------------
+
+TEST(ProtectionManager, PicksHeterogeneousPartner) {
+  Fleet fleet;
+  hv::Host& xen1 = fleet.add("xen1", hv::HvKind::kXen);
+  hv::Host& xen2 = fleet.add("xen2", hv::HvKind::kXen);
+  hv::Host& kvm1 = fleet.add("kvm1", hv::HvKind::kKvm);
+  (void)xen2;
+
+  ProtectionManager manager(fleet.sim, fleet.fabric, fast_engine());
+  manager.add_host(xen1);
+  manager.add_host(xen2);
+  manager.add_host(kvm1);
+
+  VirtConnection conn(xen1);
+  DomainConfig config;
+  config.name = "svc";
+  config.memory_bytes = 32ULL << 20;
+  hv::Vm& vm = conn.create_domain(config);
+  rep::ReplicationEngine& engine = manager.protect(vm, xen1);
+  // The only valid partner is the KVM host — never the second Xen box.
+  EXPECT_TRUE(engine.heterogeneous());
+  ASSERT_TRUE(fleet.run_until([&] { return engine.seeded(); }, 600));
+}
+
+TEST(ProtectionManager, RefusesWithoutHeterogeneousPartner) {
+  Fleet fleet;
+  hv::Host& xen1 = fleet.add("xen1", hv::HvKind::kXen);
+  hv::Host& xen2 = fleet.add("xen2", hv::HvKind::kXen);
+  ProtectionManager manager(fleet.sim, fleet.fabric, fast_engine());
+  manager.add_host(xen1);
+  manager.add_host(xen2);
+  VirtConnection conn(xen1);
+  DomainConfig config;
+  config.memory_bytes = 16ULL << 20;
+  hv::Vm& vm = conn.create_domain(config);
+  EXPECT_THROW(manager.protect(vm, xen1), std::runtime_error);
+}
+
+TEST(ProtectionManager, BalancesLoadAcrossPartners) {
+  Fleet fleet;
+  hv::Host& xen1 = fleet.add("xen1", hv::HvKind::kXen);
+  hv::Host& kvm1 = fleet.add("kvm1", hv::HvKind::kKvm);
+  hv::Host& kvm2 = fleet.add("kvm2", hv::HvKind::kKvm);
+  ProtectionManager manager(fleet.sim, fleet.fabric, fast_engine());
+  manager.add_host(xen1);
+  manager.add_host(kvm1);
+  manager.add_host(kvm2);
+
+  VirtConnection conn(xen1);
+  DomainConfig config;
+  config.memory_bytes = 16ULL << 20;
+  config.name = "a";
+  manager.protect(conn.create_domain(config), xen1);
+  config.name = "b";
+  manager.protect(conn.create_domain(config), xen1);
+
+  // One domain per KVM host, not two on one.
+  EXPECT_NE(manager.find("a")->secondary, manager.find("b")->secondary);
+}
+
+TEST(ProtectionManager, AutoReprotectRestoresRedundancy) {
+  Fleet fleet;
+  hv::Host& xen1 = fleet.add("xen1", hv::HvKind::kXen);
+  hv::Host& kvm1 = fleet.add("kvm1", hv::HvKind::kKvm);
+  ProtectionManager manager(fleet.sim, fleet.fabric, fast_engine());
+  manager.add_host(xen1);
+  manager.add_host(kvm1);
+  manager.enable_auto_reprotect(sim::from_millis(500));
+
+  VirtConnection conn(xen1);
+  DomainConfig config;
+  config.name = "svc";
+  config.memory_bytes = 32ULL << 20;
+  hv::Vm& vm = conn.create_domain(config);
+  vm.attach_program(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(15)));
+  manager.protect(vm, xen1);
+  ASSERT_TRUE(fleet.run_until(
+      [&] { return manager.find("svc")->engine().seeded(); }, 600));
+  fleet.sim.run_for(sim::from_seconds(2));
+
+  // Failure #1: the Xen host dies; service moves to KVM.
+  xen1.inject_fault(hv::FaultKind::kCrash);
+  ASSERT_TRUE(fleet.run_until(
+      [&] { return manager.find("svc")->engines[0]->failed_over(); }, 30));
+  EXPECT_EQ(manager.available_count(), 1u);
+  EXPECT_EQ(manager.reprotections(), 0u);  // old primary still down
+
+  // Operator repairs the host; the policy loop re-protects automatically.
+  xen1.repair();
+  ASSERT_TRUE(fleet.run_until(
+      [&] { return manager.reprotections() == 1; }, 30));
+  ProtectionManager::Protection* protection = manager.find("svc");
+  EXPECT_EQ(protection->generation, 2u);
+  EXPECT_EQ(protection->primary, &kvm1);
+  EXPECT_EQ(protection->secondary, &xen1);
+  ASSERT_TRUE(fleet.run_until(
+      [&] { return protection->engine().seeded(); }, 600));
+  fleet.sim.run_for(sim::from_seconds(2));
+
+  // Failure #2: KVM dies; the generation-2 engine brings it home to Xen.
+  kvm1.inject_fault(hv::FaultKind::kCrash);
+  ASSERT_TRUE(fleet.run_until(
+      [&] { return protection->engine().failed_over(); }, 30));
+  EXPECT_TRUE(protection->engine().service_available());
+  EXPECT_EQ(protection->engine().replica_vm()->net_device()->family(),
+            hv::DeviceFamily::kXenPv);
+}
+
+}  // namespace
+}  // namespace here::mgmt

@@ -1,0 +1,161 @@
+// Gap-filling unit tests across modules: spec math, logging, enum renderers,
+// period policies, store capacity clamps, env guards.
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "hv/types.h"
+#include "hv/vm.h"
+#include "replication/period_manager.h"
+#include "sim/stats.h"
+#include "workload/kvstore.h"
+#include "workload/synthetic.h"
+
+namespace here {
+namespace {
+
+// --- VmSpec -----------------------------------------------------------------------
+
+TEST(VmSpec, ScaleMath) {
+  const hv::VmSpec spec = hv::make_vm_spec("x", 4, 8ULL << 30, 64);
+  EXPECT_EQ(spec.pages, (8ULL << 30) / 4096 / 64);
+  EXPECT_EQ(spec.model_pages(), (8ULL << 30) / 4096);
+  EXPECT_EQ(spec.model_bytes(), 8ULL << 30);
+  EXPECT_EQ(spec.real_bytes(), (8ULL << 30) / 64);
+}
+
+TEST(VmSpec, TinySpecsClampToOnePage) {
+  const hv::VmSpec spec = hv::make_vm_spec("x", 1, 1024, 64);
+  EXPECT_EQ(spec.pages, 1u);
+}
+
+TEST(HvTypes, EnumRenderers) {
+  EXPECT_STREQ(to_string(hv::HvKind::kXen), "xen");
+  EXPECT_STREQ(to_string(hv::HvKind::kKvm), "kvm");
+  EXPECT_STREQ(to_string(hv::VmState::kRunning), "running");
+  EXPECT_STREQ(to_string(hv::FaultKind::kStarvation), "starvation");
+  EXPECT_STREQ(to_string(hv::SoftwareComponent::kQemu), "qemu");
+  EXPECT_STREQ(to_string(hv::DeviceFamily::kVirtio), "virtio");
+  EXPECT_STREQ(to_string(hv::DeviceKind::kNet), "net");
+}
+
+// --- Logging ----------------------------------------------------------------------
+
+TEST(Log, LevelGate) {
+  const auto prev = common::log_level();
+  common::set_log_level(common::LogLevel::kOff);
+  HERE_LOG(kError, "must not crash even when gated %d", 1);
+  common::set_log_level(common::LogLevel::kError);
+  HERE_LOG(kDebug, "below the gate");
+  HERE_LOG(kError, "emitted to stderr %s", "ok");
+  common::set_log_level(prev);
+}
+
+TEST(Log, VformatFormats) {
+  EXPECT_EQ(common::detail::vformat("a=%d b=%s", 7, "x"), "a=7 b=x");
+  EXPECT_EQ(common::detail::vformat("%.2f", 1.005), "1.00");
+}
+
+// --- GuestEnv guards ----------------------------------------------------------------
+
+TEST(GuestEnv, DiskWriteWithoutBlockDeviceIsNoop) {
+  hv::Vm vm(hv::make_vm_spec("bare", 1, 1ULL << 20));
+  sim::Rng rng(1);
+  hv::GuestEnv env(vm, sim::TimePoint{}, rng);
+  env.disk_write(0, 4, 123);  // no device: silently ignored
+}
+
+TEST(GuestEnv, SendPacketWithoutNetDeviceIsNoop) {
+  hv::Vm vm(hv::make_vm_spec("bare", 1, 1ULL << 20));
+  sim::Rng rng(1);
+  hv::GuestEnv env(vm, sim::TimePoint{}, rng);
+  env.send_packet(0, 64, 1, 2);  // no device: dropped at the vm
+}
+
+// --- KvStore capacity ---------------------------------------------------------------
+
+TEST(KvStore, RecordCountClampedToDataRegion) {
+  hv::Vm vm(hv::make_vm_spec("kv", 1, 1ULL << 20));  // 256 pages
+  sim::Rng rng(1);
+  hv::GuestEnv env(vm, sim::TimePoint{}, rng);
+  wl::KvStore store(wl::KvStoreConfig{.record_count = 10'000'000});
+  store.attach(env);
+  // data region = 35% of 256 pages ~ 89 pages * 4 records.
+  EXPECT_LE(store.record_count(), 90u * 4u);
+  EXPECT_GT(store.record_count(), 0u);
+  // Keys beyond capacity alias into it rather than exploding.
+  store.put(env, 0, 9'999'999, 1);
+}
+
+TEST(KvStore, AttachIsIdempotent) {
+  hv::Vm vm(hv::make_vm_spec("kv", 1, 1ULL << 20));
+  sim::Rng rng(1);
+  hv::GuestEnv env(vm, sim::TimePoint{}, rng);
+  wl::KvStore store(wl::KvStoreConfig{.record_count = 100});
+  store.attach(env);
+  const auto n = store.record_count();
+  store.attach(env);
+  EXPECT_EQ(store.record_count(), n);
+}
+
+// --- Adaptive Remus policy (unit) -----------------------------------------------------
+
+TEST(AdaptiveRemus, SwitchesOnIoActivity) {
+  rep::PeriodConfig config;
+  config.policy = rep::PeriodPolicy::kAdaptiveRemus;
+  config.t_max = sim::from_seconds(4);
+  config.adaptive_remus_io_period = sim::from_millis(500);
+  rep::PeriodManager pm(config);
+  EXPECT_EQ(pm.current(), sim::from_seconds(4));
+
+  pm.observe_epoch(sim::from_millis(50), /*io_active=*/true);
+  EXPECT_EQ(pm.current(), sim::from_millis(500));
+  pm.observe_epoch(sim::from_millis(50), /*io_active=*/false);
+  EXPECT_EQ(pm.current(), sim::from_seconds(4));
+  EXPECT_TRUE(pm.adaptive());
+  EXPECT_EQ(pm.effective_policy(), rep::PeriodPolicy::kAdaptiveRemus);
+}
+
+TEST(AdaptiveRemus, IoPeriodNeverExceedsTmax) {
+  rep::PeriodConfig config;
+  config.policy = rep::PeriodPolicy::kAdaptiveRemus;
+  config.t_max = sim::from_millis(200);
+  config.adaptive_remus_io_period = sim::from_millis(500);
+  rep::PeriodManager pm(config);
+  pm.observe_epoch(sim::from_millis(10), true);
+  EXPECT_EQ(pm.current(), sim::from_millis(200));
+}
+
+TEST(PeriodPolicy, AutoResolvesFromTarget) {
+  rep::PeriodConfig fixed;
+  fixed.target_degradation = 0.0;
+  EXPECT_EQ(rep::PeriodManager(fixed).effective_policy(),
+            rep::PeriodPolicy::kFixed);
+  rep::PeriodConfig dynamic;
+  dynamic.target_degradation = 0.3;
+  EXPECT_EQ(rep::PeriodManager(dynamic).effective_policy(),
+            rep::PeriodPolicy::kDynamicHere);
+}
+
+// --- TimeSeries -------------------------------------------------------------------
+
+TEST(TimeSeries, NameAndEmptyWindow) {
+  sim::TimeSeries ts("throughput");
+  EXPECT_EQ(ts.name(), "throughput");
+  EXPECT_TRUE(ts.empty());
+  EXPECT_DOUBLE_EQ(ts.mean_in(sim::TimePoint{}, sim::TimePoint{}), 0.0);
+}
+
+// --- Synthetic profiles -----------------------------------------------------------
+
+TEST(SyntheticProfile, MicrobenchNamesEncodeLoad) {
+  EXPECT_EQ(wl::memory_microbench(35).name, "membench-35");
+  EXPECT_DOUBLE_EQ(wl::memory_microbench(35).wss_fraction, 0.35);
+  EXPECT_DOUBLE_EQ(wl::memory_microbench(35, 3.0).rewrite_seconds, 3.0);
+}
+
+TEST(SyntheticProfile, IdleGuestIsNearlyQuiet) {
+  EXPECT_LT(wl::idle_guest().wss_fraction, 0.01);
+}
+
+}  // namespace
+}  // namespace here

@@ -1,0 +1,99 @@
+// Tests for the failure detectors and their engine integration.
+#include <gtest/gtest.h>
+
+#include "replication/detectors.h"
+#include "replication/testbed.h"
+#include "workload/synthetic.h"
+
+namespace here::rep {
+namespace {
+
+TestbedConfig detector_config() {
+  TestbedConfig config;
+  config.vm_spec = hv::make_vm_spec("vm", 2, 64ULL << 20);
+  config.engine.mode = EngineMode::kHere;
+  config.engine.period.t_max = sim::from_seconds(1);
+  return config;
+}
+
+TEST(StarvationDetector, QuietOnHealthyGuest) {
+  Testbed bed(detector_config());
+  hv::Vm& vm = bed.create_vm(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(10)));
+  StarvationDetector detector(vm);
+  bed.simulation().run_for(sim::from_seconds(1));
+  EXPECT_FALSE(detector.check(bed.simulation().now()).has_value());  // prime
+  bed.simulation().run_for(sim::from_seconds(3));
+  EXPECT_FALSE(detector.check(bed.simulation().now()).has_value());
+}
+
+TEST(StarvationDetector, FiresOnStarvedGuest) {
+  Testbed bed(detector_config());
+  hv::Vm& vm = bed.create_vm(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(10)));
+  StarvationDetector detector(vm);
+  (void)detector.check(bed.simulation().now());  // prime
+
+  bed.primary().inject_fault(hv::FaultKind::kStarvation);
+  bed.simulation().run_for(sim::from_seconds(3));
+  const auto reason = detector.check(bed.simulation().now());
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("starved"), std::string::npos);
+}
+
+TEST(StarvationDetector, ToleratesCheckpointPauses) {
+  // Checkpoint pauses legitimately steal guest time; at moderate settings
+  // the detector must not misfire on a protected, healthy VM.
+  Testbed bed(detector_config());
+  hv::Vm& vm = bed.create_vm(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(20)));
+  bed.protect(vm);
+  bed.engine().add_detector(std::make_unique<StarvationDetector>(vm));
+  bed.run_until_seeded();
+  bed.simulation().run_for(sim::from_seconds(10));
+  EXPECT_FALSE(bed.engine().failed_over());
+}
+
+TEST(GuestCrashDetector, FiresOnlyOnCrash) {
+  Testbed bed(detector_config());
+  hv::Vm& vm = bed.create_vm(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(10)));
+  GuestCrashDetector detector(vm);
+  EXPECT_FALSE(detector.check(bed.simulation().now()).has_value());
+  vm.panic();
+  EXPECT_TRUE(detector.check(bed.simulation().now()).has_value());
+}
+
+TEST(EngineDetectors, StarvationAttackTriggersAutomaticFailover) {
+  // Table 5's starvation outcome, end to end: the host is degraded (not
+  // dead), heartbeats keep flowing, yet the detector hands the VM over.
+  Testbed bed(detector_config());
+  hv::Vm& vm = bed.create_vm(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(10)));
+  bed.protect(vm);
+  bed.engine().add_detector(std::make_unique<StarvationDetector>(vm));
+  bed.run_until_seeded();
+  bed.simulation().run_for(sim::from_seconds(2));
+
+  bed.primary().inject_fault(hv::FaultKind::kStarvation);
+  ASSERT_TRUE(bed.run_until([&] { return bed.engine().failed_over(); },
+                            sim::from_seconds(30)));
+  EXPECT_TRUE(bed.engine().service_available());
+  // The primary never stopped heartbeating: only the detector could have
+  // caused this failover.
+  EXPECT_TRUE(bed.primary().alive());
+}
+
+TEST(EngineDetectors, DetectorsInactiveBeforeSeeding) {
+  Testbed bed(detector_config());
+  hv::Vm& vm = bed.create_vm(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(10)));
+  bed.protect(vm);
+  bed.engine().add_detector(std::make_unique<GuestCrashDetector>(vm));
+  vm.panic();  // before any committed checkpoint exists
+  bed.simulation().run_for(sim::from_millis(200));
+  EXPECT_FALSE(bed.engine().failed_over());
+}
+
+}  // namespace
+}  // namespace here::rep

@@ -1,0 +1,114 @@
+// Several protected VMs sharing one host pair: one engine per VM, shared
+// heartbeat fabric, independent failover — plus KVM ioctl accounting.
+#include <gtest/gtest.h>
+
+#include "kvmsim/kvm_hypervisor.h"
+#include "replication/replication_engine.h"
+#include "sim/hardware_profile.h"
+#include "workload/synthetic.h"
+#include "xensim/xen_hypervisor.h"
+
+namespace here::rep {
+namespace {
+
+struct SharedPair {
+  sim::Simulation sim;
+  net::Fabric fabric{sim};
+  std::unique_ptr<hv::Host> primary;
+  std::unique_ptr<hv::Host> secondary;
+  std::vector<std::unique_ptr<ReplicationEngine>> engines;
+  std::vector<hv::Vm*> vms;
+
+  SharedPair(std::size_t n_vms) {
+    sim::Rng root(99);
+    primary = std::make_unique<hv::Host>(
+        "xen-a", fabric, std::make_unique<xen::XenHypervisor>(sim, root.fork()));
+    secondary = std::make_unique<hv::Host>(
+        "kvm-b", fabric, std::make_unique<kvm::KvmHypervisor>(sim, root.fork()));
+    fabric.connect(primary->ic_node(), secondary->ic_node(),
+                   sim::grid5000_host().interconnect);
+
+    for (std::size_t i = 0; i < n_vms; ++i) {
+      ReplicationConfig config;
+      config.mode = EngineMode::kHere;
+      config.period.t_max = sim::from_millis(600 + 100 * i);
+      engines.push_back(std::make_unique<ReplicationEngine>(
+          sim, fabric, *primary, *secondary, config));
+      hv::Vm& vm = primary->hypervisor().create_vm(
+          hv::make_vm_spec("vm" + std::to_string(i), 2, 32ULL << 20));
+      vm.attach_program(std::make_unique<wl::SyntheticProgram>(
+          wl::memory_microbench(10.0 + 10.0 * static_cast<double>(i))));
+      primary->hypervisor().start(vm);
+      vms.push_back(&vm);
+      engines.back()->protect(vm);
+    }
+  }
+
+  bool run_until(const std::function<bool()>& cond, double limit_s) {
+    const sim::TimePoint deadline = sim.now() + sim::from_seconds(limit_s);
+    while (sim.now() < deadline && !cond()) sim.run_for(sim::from_millis(50));
+    return cond();
+  }
+};
+
+TEST(MultiVm, ThreeVmsReplicateOverOneSharedPair) {
+  SharedPair pair(3);
+  ASSERT_TRUE(pair.run_until(
+      [&] {
+        return std::ranges::all_of(
+            pair.engines, [](const auto& e) { return e->seeded(); });
+      },
+      600));
+  pair.sim.run_for(sim::from_seconds(4));
+  for (const auto& engine : pair.engines) {
+    EXPECT_GT(engine->stats().checkpoints.size(), 2u);
+    EXPECT_FALSE(engine->failed_over());  // shared heartbeats work for all
+  }
+}
+
+TEST(MultiVm, HostCrashFailsOverEveryVm) {
+  SharedPair pair(3);
+  ASSERT_TRUE(pair.run_until(
+      [&] {
+        return std::ranges::all_of(
+            pair.engines, [](const auto& e) { return e->seeded(); });
+      },
+      600));
+  pair.sim.run_for(sim::from_seconds(3));
+
+  pair.primary->inject_fault(hv::FaultKind::kCrash);
+  ASSERT_TRUE(pair.run_until(
+      [&] {
+        return std::ranges::all_of(
+            pair.engines, [](const auto& e) { return e->failed_over(); });
+      },
+      30));
+  for (const auto& engine : pair.engines) {
+    EXPECT_TRUE(engine->service_available());
+    EXPECT_EQ(engine->stats().replica_digest_at_activation,
+              engine->stats().committed_digest_at_activation);
+  }
+  // The KVM host now runs all three replicas.
+  EXPECT_EQ(pair.secondary->hypervisor().vms().size(), 3u);
+}
+
+TEST(MultiVm, KvmIoctlTrafficAccounted) {
+  SharedPair pair(1);
+  ASSERT_TRUE(pair.run_until([&] { return pair.engines[0]->seeded(); }, 600));
+  pair.sim.run_for(sim::from_seconds(2));
+  pair.primary->inject_fault(hv::FaultKind::kCrash);
+  ASSERT_TRUE(
+      pair.run_until([&] { return pair.engines[0]->failed_over(); }, 30));
+
+  auto& kvm_hv = static_cast<kvm::KvmHypervisor&>(pair.secondary->hypervisor());
+  using Ioctl = kvm::KvmHypervisor::Ioctl;
+  EXPECT_EQ(kvm_hv.ioctl_count(Ioctl::kCreateVm), 1u);
+  EXPECT_EQ(kvm_hv.ioctl_count(Ioctl::kCreateVcpu), 2u);
+  // Failover loaded the translated state: one set per state class per vCPU.
+  EXPECT_EQ(kvm_hv.ioctl_count(Ioctl::kSetRegs), 2u);
+  EXPECT_EQ(kvm_hv.ioctl_count(Ioctl::kSetLapic), 2u);
+  EXPECT_GT(kvm_hv.total_ioctls(), 8u);
+}
+
+}  // namespace
+}  // namespace here::rep

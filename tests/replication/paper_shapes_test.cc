@@ -1,0 +1,188 @@
+// Regression tests for the paper's headline result *shapes*. The bench
+// binaries print the full tables; these tests pin the qualitative claims so
+// a calibration or engine regression cannot silently invert a result:
+//   * HERE's multithreaded checkpointing beats Remus at the same period;
+//   * longer periods degrade less than shorter ones;
+//   * the dynamic manager respects D and Tmax;
+//   * read-mostly YCSB is cheaper to protect than update-heavy;
+//   * buffering latency scales with the period, not the packet size;
+//   * kvmtool failover is milliseconds and flat in VM size.
+#include <gtest/gtest.h>
+
+#include "replication/testbed.h"
+#include "workload/sockperf.h"
+#include "workload/synthetic.h"
+#include "workload/ycsb.h"
+
+namespace here::rep {
+namespace {
+
+struct RunStats {
+  double mean_pause_ms = 0;
+  double mean_deg = 0;
+  std::size_t checkpoints = 0;
+};
+
+RunStats run_membench(EngineMode mode, double t_max_s, double d_target,
+                      double load, std::uint64_t scale = 32) {
+  TestbedConfig config;
+  config.vm_spec = hv::make_vm_spec("vm", 4, scale * (64ULL << 20), scale);
+  config.engine.mode = mode;
+  config.engine.checkpoint_threads = 4;
+  config.engine.period.t_max = sim::from_seconds(t_max_s);
+  config.engine.period.target_degradation = d_target;
+  config.engine.period.sigma = sim::from_millis(500);
+  Testbed bed(config);
+  hv::Vm& vm = bed.create_vm(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(load)));
+  bed.protect(vm);
+  bed.run_until_seeded();
+  bed.simulation().run_for(sim::from_seconds(40));
+
+  RunStats out;
+  const auto& cps = bed.engine().stats().checkpoints;
+  for (const auto& r : cps) {
+    out.mean_pause_ms += sim::to_millis(r.pause);
+    out.mean_deg += r.degradation;
+  }
+  out.checkpoints = cps.size();
+  if (!cps.empty()) {
+    out.mean_pause_ms /= static_cast<double>(cps.size());
+    out.mean_deg /= static_cast<double>(cps.size());
+  }
+  return out;
+}
+
+TEST(PaperShapes, HereCheckpointsFasterThanRemusAtSamePeriod) {
+  const RunStats remus = run_membench(EngineMode::kRemus, 3, 0, 30);
+  const RunStats here_run = run_membench(EngineMode::kHere, 3, 0, 30);
+  ASSERT_GT(remus.checkpoints, 3u);
+  ASSERT_GT(here_run.checkpoints, 3u);
+  // Paper: 49-70% lower checkpoint transfer times (Fig. 8).
+  EXPECT_LT(here_run.mean_pause_ms, remus.mean_pause_ms * 0.65);
+  EXPECT_LT(here_run.mean_deg, remus.mean_deg);
+}
+
+TEST(PaperShapes, LongerPeriodsDegradeLess) {
+  const RunStats t3 = run_membench(EngineMode::kHere, 3, 0, 30);
+  const RunStats t8 = run_membench(EngineMode::kHere, 8, 0, 30);
+  EXPECT_GT(t3.mean_deg, t8.mean_deg);
+}
+
+TEST(PaperShapes, HigherLoadDirtiesMoreAndDegradesMore) {
+  const RunStats light = run_membench(EngineMode::kHere, 3, 0, 10);
+  const RunStats heavy = run_membench(EngineMode::kHere, 3, 0, 60);
+  EXPECT_GT(heavy.mean_pause_ms, light.mean_pause_ms * 2);
+  EXPECT_GT(heavy.mean_deg, light.mean_deg);
+}
+
+TEST(PaperShapes, DynamicManagerRespectsTargetWhenReachable) {
+  // A hot workload where 30% is reachable: the manager should settle near
+  // (and never wildly beyond) the budget.
+  TestbedConfig config;
+  config.vm_spec = hv::make_vm_spec("vm", 4, 32 * (64ULL << 20), 32);
+  config.engine.checkpoint_threads = 4;
+  config.engine.period.t_max = sim::from_seconds(10);
+  config.engine.period.target_degradation = 0.30;
+  config.engine.period.sigma = sim::from_millis(500);
+  Testbed bed(config);
+  hv::Vm& vm = bed.create_vm(std::make_unique<wl::SyntheticProgram>(
+      wl::memory_microbench(60, /*rewrite_seconds=*/3.0)));
+  bed.protect(vm);
+  bed.run_until_seeded();
+  bed.simulation().run_for(sim::from_seconds(120));  // converge
+
+  const auto& cps = bed.engine().stats().checkpoints;
+  ASSERT_GT(cps.size(), 10u);
+  double tail_deg = 0;
+  std::size_t n = 0;
+  for (std::size_t i = cps.size() - 5; i < cps.size(); ++i, ++n) {
+    tail_deg += cps[i].degradation;
+  }
+  tail_deg /= static_cast<double>(n);
+  EXPECT_GT(tail_deg, 0.15);
+  EXPECT_LT(tail_deg, 0.40);
+  // Hard cap always honoured.
+  for (const auto& r : cps) {
+    EXPECT_LE(r.period_used, sim::from_seconds(10) + sim::from_millis(1));
+  }
+}
+
+TEST(PaperShapes, ReadMostlyYcsbIsCheaperToProtect) {
+  auto run_mix = [](const wl::YcsbMix& mix) {
+    TestbedConfig config;
+    config.vm_spec = hv::make_vm_spec("db", 4, 16 * (64ULL << 20), 16);
+    config.engine.checkpoint_threads = 4;
+    config.engine.period.t_max = sim::from_seconds(3);
+    Testbed bed(config);
+    wl::YcsbConfig ycsb;
+    ycsb.mix = mix;
+    ycsb.record_count = 20000;
+    ycsb.op_limit = ~0ULL;
+    hv::Vm& vm = bed.create_vm(nullptr);
+    bed.protect(vm);
+    vm.attach_program(std::make_unique<wl::YcsbProgram>(ycsb));
+    bed.run_until_seeded();
+    bed.simulation().run_for(sim::from_seconds(20));
+    double deg = 0;
+    const auto& cps = bed.engine().stats().checkpoints;
+    for (const auto& r : cps) deg += r.degradation;
+    return deg / static_cast<double>(cps.size());
+  };
+  const double deg_a = run_mix(wl::ycsb_a());  // 50% updates
+  const double deg_c = run_mix(wl::ycsb_c());  // read-only
+  EXPECT_LT(deg_c, deg_a * 0.8);
+}
+
+TEST(PaperShapes, BufferingLatencyScalesWithPeriodNotPacketSize) {
+  auto run_latency = [](double period_s, std::uint32_t bytes) {
+    TestbedConfig config;
+    config.vm_spec = hv::make_vm_spec("vm", 2, 64ULL << 20);
+    config.engine.period.t_max = sim::from_seconds(period_s);
+    Testbed bed(config);
+    hv::Vm& vm = bed.create_vm(std::make_unique<wl::SockperfServer>(1.0));
+    bed.protect(vm);
+    wl::SockperfClient::Config cc;
+    cc.packets_per_second = 200;
+    cc.packet_bytes = bytes;
+    wl::SockperfClient client(bed.simulation(), bed.fabric(), cc);
+    client.attach(bed.add_client("c", {}), bed.engine().service_node());
+    bed.run_until_seeded();
+    client.run_for(sim::from_seconds(10));
+    bed.simulation().run_for(sim::from_seconds(12));
+    return client.latency_us().mean();
+  };
+  const double small_1s = run_latency(1.0, 64);
+  const double large_1s = run_latency(1.0, 8900);
+  const double small_3s = run_latency(3.0, 64);
+  // Packet size: negligible. Period: dominant (~linear).
+  EXPECT_NEAR(large_1s / small_1s, 1.0, 0.1);
+  EXPECT_GT(small_3s / small_1s, 2.0);
+}
+
+TEST(PaperShapes, FailoverIsMillisecondsAndFlatInVmSize) {
+  auto resumption_ms = [](std::uint64_t scale) {
+    TestbedConfig config;
+    config.seed = 42 + scale;
+    config.vm_spec = hv::make_vm_spec("vm", 2, scale * (64ULL << 20), scale);
+    config.engine.period.t_max = sim::from_millis(500);
+    Testbed bed(config);
+    hv::Vm& vm = bed.create_vm(
+        std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(20)));
+    bed.protect(vm);
+    bed.run_until_seeded();
+    bed.simulation().run_for(sim::from_seconds(2));
+    bed.primary().inject_fault(hv::FaultKind::kCrash);
+    bed.run_until([&] { return bed.engine().failed_over(); },
+                  sim::from_seconds(10));
+    return sim::to_millis(bed.engine().stats().resumption_time);
+  };
+  const double small = resumption_ms(1);    // 64 MB
+  const double large = resumption_ms(64);   // "4 GB"
+  EXPECT_LT(small, 10.0);
+  EXPECT_LT(large, 10.0);
+  EXPECT_NEAR(large, small, 3.0);  // flat in VM size (plus jitter)
+}
+
+}  // namespace
+}  // namespace here::rep

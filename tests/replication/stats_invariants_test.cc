@@ -1,0 +1,93 @@
+// Invariants over the engine's reported statistics — the data every bench
+// builds its tables from had better be internally consistent.
+#include <gtest/gtest.h>
+
+#include "replication/testbed.h"
+#include "workload/synthetic.h"
+
+namespace here::rep {
+namespace {
+
+TEST(StatsInvariants, CheckpointRecordsAreWellFormed) {
+  TestbedConfig config;
+  config.vm_spec = hv::make_vm_spec("vm", 2, 64ULL << 20);
+  config.engine.period.t_max = sim::from_millis(700);
+  config.engine.period.target_degradation = 0.25;
+  config.engine.period.sigma = sim::from_millis(100);
+  Testbed bed(config);
+  hv::Vm& vm = bed.create_vm(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(25)));
+  bed.protect(vm);
+  bed.run_until_seeded();
+  bed.simulation().run_for(sim::from_seconds(20));
+
+  const auto& stats = bed.engine().stats();
+  ASSERT_GT(stats.checkpoints.size(), 5u);
+
+  sim::TimePoint last_time{};
+  std::uint64_t last_epoch = 0;
+  sim::Duration pause_sum{};
+  for (const auto& record : stats.checkpoints) {
+    // Monotone completion times and strictly increasing epochs.
+    EXPECT_GT(record.completed_at, last_time);
+    EXPECT_GT(record.epoch, last_epoch);
+    last_time = record.completed_at;
+    last_epoch = record.epoch;
+    // Period within policy bounds (+1ms slack for event rounding).
+    EXPECT_LE(record.period_used,
+              config.engine.period.t_max + sim::from_millis(1));
+    // Degradation consistent with its definition.
+    const double expect_deg =
+        sim::to_seconds(record.pause) /
+        (sim::to_seconds(record.pause) + sim::to_seconds(record.period_used));
+    EXPECT_NEAR(record.degradation, expect_deg, 1e-9);
+    EXPECT_EQ(record.bytes_model,
+              record.dirty_pages_model * common::kPageSize);
+    pause_sum += record.pause;
+  }
+  EXPECT_EQ(stats.total_pause, pause_sum);
+  // Replication CPU work is at least the critical-path pause copy time.
+  EXPECT_GT(stats.replication_cpu.count(), 0);
+  // Series lengths track checkpoint counts.
+  EXPECT_EQ(stats.degradation_series.points().size(),
+            stats.checkpoints.size());
+  EXPECT_GE(stats.period_series.points().size(), stats.checkpoints.size());
+}
+
+TEST(StatsInvariants, OutboundAccountingBalances) {
+  TestbedConfig config;
+  config.vm_spec = hv::make_vm_spec("vm", 2, 48ULL << 20);
+  config.engine.period.t_max = sim::from_millis(500);
+  Testbed bed(config);
+  hv::Vm& vm = bed.create_vm(std::make_unique<wl::SyntheticProgram>(
+      wl::memory_microbench(15)));
+  bed.protect(vm);
+  bed.run_until_seeded();
+  bed.simulation().run_for(sim::from_seconds(5));
+
+  const auto& outbound = bed.engine().outbound();
+  EXPECT_EQ(outbound.captured_total(),
+            outbound.released_total() + outbound.dropped_total() +
+                outbound.pending());
+
+  bed.primary().inject_fault(hv::FaultKind::kCrash);
+  bed.run_until([&] { return bed.engine().failed_over(); },
+                sim::from_seconds(10));
+  EXPECT_EQ(outbound.pending(), 0u);  // dropped at failover
+  EXPECT_EQ(bed.engine().stats().packets_dropped_at_failover,
+            outbound.dropped_total());
+}
+
+TEST(StatsInvariants, TestbedRunUntilRespectsLimit) {
+  TestbedConfig config;
+  config.vm_spec = hv::make_vm_spec("vm", 1, 16ULL << 20);
+  Testbed bed(config);
+  const sim::TimePoint before = bed.simulation().now();
+  EXPECT_FALSE(bed.run_until([] { return false; }, sim::from_seconds(2)));
+  EXPECT_GE(bed.simulation().now() - before, sim::from_seconds(2));
+  EXPECT_LE(bed.simulation().now() - before, sim::from_seconds(3));
+  EXPECT_TRUE(bed.run_until([] { return true; }, sim::from_seconds(1)));
+}
+
+}  // namespace
+}  // namespace here::rep

@@ -1,0 +1,193 @@
+// Tests for the security module: vulnerability database aggregates, exploit
+// semantics and the Table 2 coverage scenarios.
+#include <gtest/gtest.h>
+
+#include "replication/testbed.h"
+#include "security/exploit.h"
+#include "security/scenarios.h"
+#include "security/vuln_db.h"
+
+namespace here::sec {
+namespace {
+
+// --- VulnDatabase ------------------------------------------------------------------
+
+TEST(VulnDatabase, Table1MatchesPublishedAggregates) {
+  const auto db = VulnDatabase::paper_dataset();
+  const auto xen = db.stats_for(Product::kXen);
+  EXPECT_EQ(xen.cves, 312u);
+  EXPECT_EQ(xen.avail, 282u);
+  EXPECT_EQ(xen.dos, 152u);
+  EXPECT_NEAR(xen.avail_pct(), 90.4, 0.05);
+  EXPECT_NEAR(xen.dos_pct(), 48.7, 0.05);
+
+  const auto qemu = db.stats_for(Product::kQemu);
+  EXPECT_EQ(qemu.cves, 308u);
+  EXPECT_NEAR(qemu.dos_pct(), 62.3, 0.05);
+
+  const auto esxi = db.stats_for(Product::kEsxi);
+  EXPECT_NEAR(esxi.avail_pct(), 78.6, 0.05);
+  EXPECT_EQ(db.table1().size(), 5u);
+}
+
+TEST(VulnDatabase, DosRecordsAreMarkedAvailabilityAffecting) {
+  const auto db = VulnDatabase::paper_dataset();
+  for (const auto& rec : db.records()) {
+    if (rec.dos_only) {
+      EXPECT_TRUE(rec.affects_availability) << rec.id;
+    }
+  }
+}
+
+TEST(VulnDatabase, Table5SharesMatchPaper) {
+  const auto db = VulnDatabase::paper_dataset();
+  const auto rows = db.table5();
+  ASSERT_EQ(rows.size(), 6u);
+  double total = 0;
+  for (const auto& row : rows) {
+    total += row.percent;
+    EXPECT_TRUE(row.here_applicable);
+  }
+  EXPECT_NEAR(total, 100.0, 1e-9);
+  EXPECT_NEAR(rows[0].percent, 66.0, 0.7);   // core crash
+  EXPECT_NEAR(rows[1].percent, 13.0, 0.7);   // core hang
+  EXPECT_NEAR(rows[3].percent, 10.0, 0.7);   // guest crash
+}
+
+TEST(VulnDatabase, VectorBreakdownMatchesPaper) {
+  const auto db = VulnDatabase::paper_dataset();
+  const auto vectors = db.xen_vector_breakdown();
+  double total = 0;
+  for (const auto& [vector, pct] : vectors) total += pct;
+  EXPECT_NEAR(total, 100.0, 1e-9);
+  EXPECT_NEAR(vectors[0].second, 25.0, 0.7);  // virtual devices
+  EXPECT_NEAR(vectors[5].second, 34.0, 0.7);  // other
+}
+
+TEST(VulnDatabase, MajorityLaunchableFromGuestUser) {
+  const auto db = VulnDatabase::paper_dataset();
+  EXPECT_GT(db.xen_guest_user_fraction(), 0.5);
+}
+
+TEST(VulnDatabase, ContainsCuratedRealCves) {
+  const auto db = VulnDatabase::paper_dataset();
+  int curated = 0;
+  bool venom = false;
+  for (const auto& rec : db.records()) {
+    if (rec.curated) {
+      ++curated;
+      if (rec.id == "CVE-2015-3456") venom = true;
+    }
+  }
+  EXPECT_GE(curated, 4);
+  EXPECT_TRUE(venom);
+}
+
+// --- Exploits ----------------------------------------------------------------------
+
+struct HostsFixture {
+  rep::TestbedConfig config{[&] {
+    rep::TestbedConfig c;
+    c.vm_spec = hv::make_vm_spec("t", 1, 16ULL << 20);
+    c.engine.mode = rep::EngineMode::kHere;  // Xen primary + KVM secondary
+    return c;
+  }()};
+  rep::Testbed bed{config};
+};
+
+TEST(Exploit, OnlyAffectsMatchingImplementation) {
+  HostsFixture f;
+  Exploit exploit;
+  exploit.vulnerable_kind = hv::HvKind::kXen;
+  exploit.outcome = hv::FaultKind::kCrash;
+
+  const ExploitResult vs_kvm = launch_exploit(exploit, f.bed.secondary());
+  EXPECT_EQ(vs_kvm.effect, ExploitEffect::kNoEffect);
+  EXPECT_TRUE(f.bed.secondary().alive());
+
+  const ExploitResult vs_xen = launch_exploit(exploit, f.bed.primary());
+  EXPECT_EQ(vs_xen.effect, ExploitEffect::kDos);
+  EXPECT_FALSE(f.bed.primary().alive());
+}
+
+TEST(Exploit, HangAndStarvationOutcomes) {
+  HostsFixture f;
+  Exploit exploit;
+  exploit.vulnerable_kind = hv::HvKind::kXen;
+  exploit.outcome = hv::FaultKind::kStarvation;
+  EXPECT_EQ(launch_exploit(exploit, f.bed.primary()).induced,
+            hv::FaultKind::kStarvation);
+  EXPECT_TRUE(f.bed.primary().alive());  // starved, not down
+  EXPECT_EQ(f.bed.primary().fault(), hv::FaultKind::kStarvation);
+}
+
+TEST(Exploit, MitigationDowngradesHijackToCrash) {
+  HostsFixture f;
+  Exploit hijack;
+  hijack.vulnerable_kind = hv::HvKind::kXen;
+  hijack.control_hijack = true;
+
+  const ExploitResult mitigated =
+      launch_exploit(hijack, f.bed.primary(), /*mitigations_enabled=*/true);
+  EXPECT_EQ(mitigated.effect, ExploitEffect::kMitigated);
+  EXPECT_EQ(mitigated.induced, hv::FaultKind::kCrash);
+  EXPECT_FALSE(f.bed.primary().alive());
+}
+
+TEST(Exploit, WithoutMitigationHijackCompromises) {
+  HostsFixture f;
+  Exploit hijack;
+  hijack.vulnerable_kind = hv::HvKind::kXen;
+  hijack.control_hijack = true;
+  const ExploitResult result =
+      launch_exploit(hijack, f.bed.primary(), /*mitigations_enabled=*/false);
+  EXPECT_EQ(result.effect, ExploitEffect::kCompromised);
+  // Availability intact — but C/I lost, which replication cannot fix.
+  EXPECT_TRUE(f.bed.primary().alive());
+}
+
+TEST(Exploit, DownHostCannotBeExploitedAgain) {
+  HostsFixture f;
+  f.bed.primary().inject_fault(hv::FaultKind::kCrash);
+  Exploit exploit;
+  exploit.vulnerable_kind = hv::HvKind::kXen;
+  EXPECT_EQ(launch_exploit(exploit, f.bed.primary()).effect,
+            ExploitEffect::kNoEffect);
+}
+
+TEST(Exploit, FromCveRecordMapsFields) {
+  CveRecord rec;
+  rec.id = "CVE-X";
+  rec.product = Product::kXen;
+  rec.dos_only = true;
+  rec.affects_availability = true;
+  rec.outcome = Outcome::kHang;
+  rec.privilege = Privilege::kGuestKernel;
+  const Exploit exploit = exploit_from_cve(rec);
+  EXPECT_EQ(exploit.vulnerable_kind, hv::HvKind::kXen);
+  EXPECT_EQ(exploit.outcome, hv::FaultKind::kHang);
+  EXPECT_EQ(exploit.required_privilege, Privilege::kGuestKernel);
+  EXPECT_FALSE(exploit.control_hijack);
+}
+
+// --- Table 2 scenarios (full-system) -------------------------------------------------
+
+TEST(Scenarios, Table2MatchesPaper) {
+  const auto rows = run_all_coverage_scenarios(/*seed=*/7);
+  ASSERT_EQ(rows.size(), 5u);
+  const std::map<DosSource, std::pair<bool, bool>> expected = {
+      {DosSource::kAccident, {true, true}},
+      {DosSource::kGuestUser, {false, true}},
+      {DosSource::kGuestKernel, {false, true}},
+      {DosSource::kOtherGuest, {true, true}},
+      {DosSource::kExternalService, {true, true}},
+  };
+  for (const auto& row : rows) {
+    const auto& [guest, host] = expected.at(row.source);
+    EXPECT_EQ(row.guest_failure_covered, guest) << to_string(row.source);
+    EXPECT_EQ(row.host_failure_covered, host) << to_string(row.source);
+  }
+}
+
+}  // namespace
+}  // namespace here::sec

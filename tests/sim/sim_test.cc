@@ -1,0 +1,245 @@
+// Unit tests for the simulation kernel: virtual time, event queue, RNG,
+// statistics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace here::sim {
+namespace {
+
+// --- TimePoint / Duration ------------------------------------------------------
+
+TEST(Time, ArithmeticAndComparison) {
+  const TimePoint t0;
+  const TimePoint t1 = t0 + from_millis(5);
+  EXPECT_EQ((t1 - t0), from_millis(5));
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(t1.ns(), 5'000'000);
+  EXPECT_DOUBLE_EQ(t1.seconds(), 0.005);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(from_seconds(1.5), Duration{1'500'000'000});
+  EXPECT_EQ(from_millis(2.5), Duration{2'500'000});
+  EXPECT_EQ(from_micros(3.5), Duration{3'500});
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(0.25)), 0.25);
+  EXPECT_DOUBLE_EQ(to_millis(from_millis(12.0)), 12.0);
+  EXPECT_DOUBLE_EQ(to_micros(from_micros(7.0)), 7.0);
+}
+
+TEST(Time, FormatDuration) {
+  EXPECT_EQ(format_duration(from_seconds(1.5)), "1.500s");
+  EXPECT_EQ(format_duration(from_millis(12.345)), "12.345ms");
+  EXPECT_EQ(format_duration(from_micros(870)), "870.000us");
+  EXPECT_EQ(format_duration(Duration{15}), "15ns");
+}
+
+// --- Simulation / event queue ---------------------------------------------------
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_after(from_millis(30), [&] { order.push_back(3); });
+  sim.schedule_after(from_millis(10), [&] { order.push_back(1); });
+  sim.schedule_after(from_millis(20), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint{} + from_millis(30));
+}
+
+TEST(Simulation, SameTimeIsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(from_millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, ClockIsEventTimeDuringExecution) {
+  Simulation sim;
+  TimePoint seen;
+  sim.schedule_after(from_millis(7), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen.ns(), 7'000'000);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_after(from_millis(1), [&] {
+    ++fired;
+    sim.schedule_after(from_millis(1), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now().ns(), 2'000'000);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const EventId id = sim.schedule_after(from_millis(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.pending(id));
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double cancel
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulation, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulation sim;
+  sim.run_until(TimePoint{} + from_seconds(2));
+  EXPECT_EQ(sim.now().seconds(), 2.0);
+}
+
+TEST(Simulation, RunUntilExecutesOnlyDueEvents) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_after(from_millis(10), [&] { ++fired; });
+  sim.schedule_after(from_millis(100), [&] { ++fired; });
+  sim.run_until(TimePoint{} + from_millis(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ns(), 50'000'000);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, NegativeDelayClampsToNow) {
+  Simulation sim;
+  sim.run_until(TimePoint{} + from_seconds(1));
+  bool ran = false;
+  sim.schedule_after(from_seconds(-5), [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now().seconds(), 1.0);  // never goes backwards
+}
+
+TEST(Simulation, PendingCountTracksQueue) {
+  Simulation sim;
+  EXPECT_TRUE(sim.empty());
+  const EventId a = sim.schedule_after(from_millis(1), [] {});
+  sim.schedule_after(from_millis(2), [] {});
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_count(), 1u);
+  sim.run();
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.executed_count(), 1u);
+}
+
+// --- Rng -------------------------------------------------------------------------
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123), c(456);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) differs |= (a2.next_u64() != c.next_u64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(7);
+  Rng child = parent.fork();
+  // Child stream must differ from the parent's continuation.
+  bool differs = false;
+  for (int i = 0; i < 50; ++i) differs |= (child.next_u64() != parent.next_u64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+    const auto v = rng.uniform_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.uniform01();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, DistributionMeans) {
+  Rng rng(13);
+  Summary uni, expo, norm;
+  for (int i = 0; i < 200000; ++i) {
+    uni.add(rng.uniform01());
+    expo.add(rng.exponential(3.0));
+    norm.add(rng.normal(10.0, 2.0));
+  }
+  EXPECT_NEAR(uni.mean(), 0.5, 0.01);
+  EXPECT_NEAR(expo.mean(), 3.0, 0.05);
+  EXPECT_NEAR(norm.mean(), 10.0, 0.05);
+  EXPECT_NEAR(norm.stddev(), 2.0, 0.05);
+}
+
+// --- Stats -------------------------------------------------------------------------
+
+TEST(Stats, SummaryWelford) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, HistogramPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+  EXPECT_NEAR(h.percentile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(h.percentile(0.99), 99.01, 0.01);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(Stats, HistogramEmpty) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Stats, LinearFitExact) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.5 * i + 2.0);
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.5, 1e-9);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, TimeSeriesWindowMean) {
+  TimeSeries ts("x");
+  for (int i = 0; i < 10; ++i) {
+    ts.record(TimePoint{} + from_seconds(i), static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(
+      ts.mean_in(TimePoint{} + from_seconds(2), TimePoint{} + from_seconds(5)),
+      3.0);  // values 2,3,4
+  EXPECT_EQ(ts.points().size(), 10u);
+}
+
+}  // namespace
+}  // namespace here::sim

@@ -1,0 +1,141 @@
+// Tests for the simulated network fabric: serialization, latency, ordering,
+// node-down semantics and bulk transfers.
+#include <gtest/gtest.h>
+
+#include "simnet/fabric.h"
+
+namespace here::net {
+namespace {
+
+sim::NicProfile test_nic() {
+  return sim::NicProfile{
+      .bits_per_second = 8e9,  // 1 GB/s => 1 us per KB
+      .latency = sim::from_micros(10),
+      .per_packet_overhead = sim::from_micros(1),
+  };
+}
+
+struct TwoNodes {
+  sim::Simulation sim;
+  Fabric fabric{sim};
+  std::vector<Packet> received_a;
+  std::vector<Packet> received_b;
+  std::vector<sim::TimePoint> rx_times_b;
+  NodeId a;
+  NodeId b;
+
+  TwoNodes() {
+    a = fabric.add_node("a", [this](const Packet& p) { received_a.push_back(p); });
+    b = fabric.add_node("b", [this](const Packet& p) {
+      received_b.push_back(p);
+      rx_times_b.push_back(sim.now());
+    });
+    fabric.connect(a, b, test_nic());
+  }
+
+  Packet packet(std::uint32_t bytes, std::uint64_t tag = 0) const {
+    Packet p;
+    p.src = a;
+    p.dst = b;
+    p.size_bytes = bytes;
+    p.tag = tag;
+    return p;
+  }
+};
+
+TEST(Fabric, DeliveryTimeIsSerializationPlusLatency) {
+  TwoNodes t;
+  // 1000 bytes at 1 GB/s = 1 us, + 1 us per-packet overhead + 10 us latency.
+  const sim::TimePoint delivery = t.fabric.send(t.packet(1000));
+  EXPECT_EQ(delivery.ns(), 12'000);
+  t.sim.run();
+  ASSERT_EQ(t.received_b.size(), 1u);
+  EXPECT_EQ(t.rx_times_b[0].ns(), 12'000);
+}
+
+TEST(Fabric, BackToBackPacketsQueueOnTheWire) {
+  TwoNodes t;
+  t.fabric.send(t.packet(1000, 1));
+  const sim::TimePoint second = t.fabric.send(t.packet(1000, 2));
+  // Second waits for the first's 2 us serialization slot.
+  EXPECT_EQ(second.ns(), 2'000 + 2'000 + 10'000);
+  t.sim.run();
+  ASSERT_EQ(t.received_b.size(), 2u);
+  EXPECT_EQ(t.received_b[0].tag, 1u);
+  EXPECT_EQ(t.received_b[1].tag, 2u);  // FIFO per direction
+}
+
+TEST(Fabric, DirectionsAreIndependent) {
+  TwoNodes t;
+  t.fabric.send(t.packet(1'000'000));  // keeps a->b busy ~1 ms
+  Packet back;
+  back.src = t.b;
+  back.dst = t.a;
+  back.size_bytes = 100;
+  const sim::TimePoint rev = t.fabric.send(back);
+  EXPECT_LT(rev.ns(), 100'000);  // b->a not blocked by a->b traffic
+}
+
+TEST(Fabric, DownNodeDropsPackets) {
+  TwoNodes t;
+  t.fabric.set_node_down(t.b, true);
+  t.fabric.send(t.packet(100));
+  t.sim.run();
+  EXPECT_TRUE(t.received_b.empty());
+  EXPECT_EQ(t.fabric.dropped_count(), 1u);
+  EXPECT_EQ(t.fabric.delivered_count(), 0u);
+
+  t.fabric.set_node_down(t.b, false);
+  t.fabric.send(t.packet(100));
+  t.sim.run();
+  EXPECT_EQ(t.received_b.size(), 1u);
+}
+
+TEST(Fabric, SendBetweenUnconnectedNodesThrows) {
+  sim::Simulation sim;
+  Fabric fabric(sim);
+  const NodeId a = fabric.add_node("a", {});
+  const NodeId b = fabric.add_node("b", {});
+  Packet p;
+  p.src = a;
+  p.dst = b;
+  EXPECT_THROW(fabric.send(p), std::invalid_argument);
+}
+
+TEST(Fabric, SetReceiverRedirectsDelivery) {
+  TwoNodes t;
+  int redirected = 0;
+  t.fabric.set_receiver(t.b, [&](const Packet&) { ++redirected; });
+  t.fabric.send(t.packet(100));
+  t.sim.run();
+  EXPECT_EQ(redirected, 1);
+  EXPECT_TRUE(t.received_b.empty());
+}
+
+TEST(Fabric, BulkTransferOccupiesWire) {
+  TwoNodes t;
+  // 1 MB at 1 GB/s ~ 1 ms (+ overhead) then 10 us latency.
+  const sim::TimePoint done = t.fabric.bulk_transfer(t.a, t.b, 1'000'000);
+  EXPECT_NEAR(static_cast<double>(done.ns()), 1'011'000, 1'000);
+  // A packet right behind waits for the bulk.
+  const sim::TimePoint after = t.fabric.send(t.packet(1000));
+  EXPECT_GT(after.ns(), 1'001'000);
+}
+
+TEST(Fabric, EstimateDoesNotOccupy) {
+  TwoNodes t;
+  const sim::Duration est = t.fabric.estimate_transfer(t.a, t.b, 1'000'000);
+  EXPECT_GT(est.count(), 1'000'000);
+  // The estimate did not consume the wire: a real packet still goes now.
+  const sim::TimePoint delivery = t.fabric.send(t.packet(1000));
+  EXPECT_EQ(delivery.ns(), 12'000);
+}
+
+TEST(Fabric, NodeNames) {
+  TwoNodes t;
+  EXPECT_EQ(t.fabric.node_name(t.a), "a");
+  EXPECT_EQ(t.fabric.node_name(t.b), "b");
+}
+
+}  // namespace
+}  // namespace here::net

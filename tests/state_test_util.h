@@ -1,0 +1,74 @@
+// Shared helpers for machine-state round-trip tests.
+#pragma once
+
+#include <algorithm>
+
+#include "hv/guest_cpu.h"
+#include "sim/rng.h"
+
+namespace here::test {
+
+// A randomized but architecturally plausible vCPU state. MSR entries use
+// the canonical order the converters emit (dedicated MSRs first) so that
+// round-trips compare equal without sorting.
+inline hv::GuestCpuContext random_cpu_context(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  hv::GuestCpuContext cpu;
+  for (auto& g : cpu.gpr) g = rng.next_u64();
+  cpu.rip = 0xffffffff80000000ULL | (rng.next_u64() & 0xffffff);
+  cpu.rflags = 0x2 | (rng.next_u64() & 0xcd5);
+  cpu.cr0 = 0x80050033;
+  cpu.cr2 = rng.next_u64();
+  cpu.cr3 = rng.next_u64() & ~0xfffULL;
+  cpu.cr4 = 0x360670;
+  cpu.cr8 = rng.next_u64() & 0xf;
+  cpu.efer = 0xd01;
+  cpu.xcr0 = 0x7;
+
+  auto seg = [&rng](std::uint16_t sel) {
+    hv::SegmentRegister s;
+    s.selector = sel;
+    s.base = rng.next_u64() & 0xffffffffULL;
+    s.limit = 0xfffff;
+    s.attributes = static_cast<std::uint16_t>(rng.next_u64() & 0xfff);
+    return s;
+  };
+  for (std::size_t i = 0; i < 6; ++i) {
+    cpu.segments[i] = seg(static_cast<std::uint16_t>(0x10 * (i + 1) | 3));
+  }
+  cpu.tr = seg(0x40);
+  cpu.ldtr = seg(0x48);
+  cpu.gdt = {rng.next_u64() & 0xffffffffULL, 0x7f};
+  cpu.idt = {rng.next_u64() & 0xffffffffULL, 0xfff};
+
+  // Canonical MSR order: STAR, LSTAR, CSTAR, SFMASK, KERNEL_GS_BASE, extras.
+  cpu.msrs = {
+      {hv::kMsrStar, rng.next_u64() | 1},
+      {hv::kMsrLstar, rng.next_u64() | 1},
+      {hv::kMsrCstar, rng.next_u64() | 1},
+      {hv::kMsrSyscallMask, rng.next_u64() | 1},
+      {hv::kMsrKernelGsBase, rng.next_u64() | 1},
+      {hv::kMsrTscAux, rng.next_u64() & 0xff},
+  };
+
+  hv::LapicState& lapic = cpu.lapic;
+  lapic.id = static_cast<std::uint32_t>(seed % 4);
+  lapic.tpr = static_cast<std::uint32_t>(rng.next_u64() & 0xff);
+  lapic.ldr = static_cast<std::uint32_t>(rng.next_u64());
+  lapic.svr = 0x1ff;
+  lapic.lvt_timer = 0x200ee;
+  lapic.timer_icr = static_cast<std::uint32_t>(rng.next_u64());
+  lapic.timer_ccr = static_cast<std::uint32_t>(rng.next_u64());
+  lapic.timer_divide = 0xb;
+  for (auto& r : lapic.irr) r = static_cast<std::uint32_t>(rng.next_u64());
+  for (auto& r : lapic.isr) r = static_cast<std::uint32_t>(rng.next_u64());
+
+  cpu.tsc = rng.next_u64() >> 4;
+  cpu.halted = (seed % 5) == 0;
+  cpu.pending_interrupt = (seed % 3) == 0
+                              ? static_cast<std::int32_t>(0x20 + seed % 200)
+                              : -1;
+  return cpu;
+}
+
+}  // namespace here::test

@@ -1,0 +1,311 @@
+// Tests for the workload generators: request distributions, the in-guest KV
+// store, synthetic dirtying programs, YCSB and sockperf.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/dirty_bitmap.h"
+#include "hv/vm.h"
+#include "workload/kvstore.h"
+#include "workload/sockperf.h"
+#include "workload/synthetic.h"
+#include "workload/ycsb.h"
+#include "workload/zipfian.h"
+
+namespace here::wl {
+namespace {
+
+// Minimal harness to run a GuestProgram against a real VM without a
+// hypervisor: manual ticks with a dirty bitmap attached.
+struct ProgramHarness {
+  explicit ProgramHarness(std::uint64_t pages, std::uint32_t vcpus = 2)
+      : vm(hv::make_vm_spec("t", vcpus, pages * common::kPageSize)),
+        bitmap(pages),
+        rng(99) {
+    vm.memory().enable_shadow_log(&bitmap);
+    vm.set_state(hv::VmState::kRunning);
+  }
+
+  void tick(sim::Duration dt) {
+    vm.run_slice(now, dt, rng);
+    now += dt;
+  }
+
+  void run(sim::Duration total, sim::Duration step = sim::from_millis(10)) {
+    for (sim::Duration t{}; t < total; t += step) tick(step);
+  }
+
+  hv::Vm vm;
+  common::DirtyBitmap bitmap;
+  sim::Rng rng;
+  sim::TimePoint now;
+};
+
+// --- Zipfian -----------------------------------------------------------------------
+
+TEST(Zipfian, StaysInBounds) {
+  ZipfianGenerator zipf(1000);
+  sim::Rng rng(1);
+  for (int i = 0; i < 100000; ++i) EXPECT_LT(zipf.next(rng), 1000u);
+}
+
+TEST(Zipfian, IsSkewedTowardHeadItems) {
+  ZipfianGenerator zipf(10000, 0.99);
+  sim::Rng rng(2);
+  std::uint64_t head_hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.next(rng) < 100) ++head_hits;  // top 1% of items
+  }
+  // Under theta=0.99, the top 1% draws far more than 1% of requests.
+  EXPECT_GT(head_hits, kDraws / 5);
+}
+
+TEST(Zipfian, ScrambledSpreadsHotItems) {
+  ScrambledZipfian zipf(10000);
+  sim::Rng rng(3);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.next(rng)];
+  // The two hottest items must not be adjacent keys (scrambling).
+  auto hottest = std::max_element(counts.begin(), counts.end(),
+                                  [](auto& a, auto& b) { return a.second < b.second; });
+  EXPECT_GT(hottest->second, 1000);  // still very hot
+}
+
+TEST(Zipfian, LatestFavorsRecentItems) {
+  LatestGenerator latest(1000);
+  sim::Rng rng(4);
+  std::uint64_t recent = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (latest.next(rng, 1000) >= 900) ++recent;
+  }
+  EXPECT_GT(recent, 5000u);  // most draws in the newest 10%
+}
+
+TEST(Zipfian, ZeroItemsThrows) {
+  EXPECT_THROW(ZipfianGenerator(0), std::invalid_argument);
+}
+
+// --- KvStore -----------------------------------------------------------------------
+
+TEST(KvStore, PutGetRoundTrip) {
+  ProgramHarness h(4096);
+  KvStore store(KvStoreConfig{.record_count = 1000});
+  hv::GuestEnv env(h.vm, h.now, h.rng);
+  store.attach(env);
+  EXPECT_EQ(store.record_count(), 1000u);
+
+  store.put(env, 0, 42, KvStore::encode(42, 1));
+  EXPECT_EQ(store.get(env, 0, 42), KvStore::encode(42, 1));
+  store.put(env, 1, 42, KvStore::encode(42, 2));
+  EXPECT_EQ(store.get(env, 0, 42), KvStore::encode(42, 2));
+  EXPECT_EQ(store.updates(), 2u);
+}
+
+TEST(KvStore, WritesDirtyRecordWalAndSstPages) {
+  ProgramHarness h(4096);
+  KvStore store(KvStoreConfig{.record_count = 100});
+  hv::GuestEnv env(h.vm, h.now, h.rng);
+  store.attach(env);
+  h.bitmap.clear();
+  store.put(env, 0, 1, 123);
+  // One update dirties: record page + WAL page + >= compaction pages.
+  EXPECT_GE(h.bitmap.count(), 3u);
+}
+
+TEST(KvStore, ReadsDirtyCacheMetadata) {
+  ProgramHarness h(4096);
+  KvStore store(KvStoreConfig{.record_count = 100});
+  hv::GuestEnv env(h.vm, h.now, h.rng);
+  store.attach(env);
+  h.bitmap.clear();
+  (void)store.get(env, 0, 5);
+  EXPECT_EQ(h.bitmap.count(), 1u);  // block-cache LRU page
+}
+
+TEST(KvStore, UseBeforeAttachThrows) {
+  ProgramHarness h(128);
+  KvStore store(KvStoreConfig{});
+  hv::GuestEnv env(h.vm, h.now, h.rng);
+  EXPECT_THROW(store.put(env, 0, 1, 2), std::logic_error);
+  EXPECT_THROW((void)store.get(env, 0, 1), std::logic_error);
+}
+
+TEST(KvStore, EncodeDiffersByKeyAndVersion) {
+  EXPECT_NE(KvStore::encode(1, 1), KvStore::encode(1, 2));
+  EXPECT_NE(KvStore::encode(1, 1), KvStore::encode(2, 1));
+}
+
+// --- SyntheticProgram ----------------------------------------------------------------
+
+TEST(Synthetic, DirtyRateMatchesProfile) {
+  // WSS = 40% of 10000 usable pages, rewritten every 2 s -> ~1900 writes/s.
+  ProgramHarness h(10000);
+  SyntheticProfile profile;
+  profile.wss_fraction = 0.4;
+  profile.rewrite_seconds = 2.0;
+  h.vm.attach_program(std::make_unique<SyntheticProgram>(profile));
+  h.run(sim::from_seconds(1));
+  const std::uint64_t dirty = h.bitmap.count();
+  // Unique pages after 1 s of uniform writes into the WSS:
+  // WSS * (1 - e^-0.5) ~ 0.39 * WSS ~ 1495.
+  EXPECT_GT(dirty, 1100u);
+  EXPECT_LT(dirty, 1900u);
+}
+
+TEST(Synthetic, ZeroLoadDirtiesNothing) {
+  ProgramHarness h(1000);
+  h.vm.attach_program(
+      std::make_unique<SyntheticProgram>(memory_microbench(0)));
+  h.run(sim::from_seconds(1));
+  EXPECT_EQ(h.bitmap.count(), 0u);
+}
+
+TEST(Synthetic, LoadChangeTakesEffect) {
+  ProgramHarness h(10000);
+  auto program = std::make_unique<SyntheticProgram>(memory_microbench(5));
+  auto* raw = program.get();
+  h.vm.attach_program(std::move(program));
+  h.run(sim::from_seconds(1));
+  const std::uint64_t low = h.bitmap.count();
+  raw->set_wss_fraction(0.8);
+  h.bitmap.clear();
+  h.run(sim::from_seconds(1));
+  EXPECT_GT(h.bitmap.count(), low * 3);
+}
+
+TEST(Synthetic, OpsScaleWithTime) {
+  ProgramHarness h(1000);
+  auto program = std::make_unique<SyntheticProgram>(spec_gcc());
+  auto* raw = program.get();
+  h.vm.attach_program(std::move(program));
+  h.run(sim::from_seconds(10));
+  EXPECT_NEAR(raw->ops_done(), 48.0, 1.0);  // 4.8 ops/s * 10 s
+}
+
+TEST(Synthetic, SpecProfilesAreDistinct) {
+  EXPECT_LT(spec_namd().wss_fraction, spec_lbm().wss_fraction);
+  EXPECT_GT(spec_cactuBSSN().wss_fraction, spec_gcc().wss_fraction);
+}
+
+TEST(Synthetic, CloneCarriesProgress) {
+  ProgramHarness h(1000);
+  auto program = std::make_unique<SyntheticProgram>(spec_gcc());
+  auto* raw = program.get();
+  h.vm.attach_program(std::move(program));
+  h.run(sim::from_seconds(5));
+  const auto clone = raw->clone();
+  const auto* cloned = static_cast<const SyntheticProgram*>(clone.get());
+  EXPECT_DOUBLE_EQ(cloned->ops_done(), raw->ops_done());
+}
+
+// --- YCSB ------------------------------------------------------------------------------
+
+TEST(Ycsb, MixProportionsSumToOne) {
+  for (const auto& mix : all_ycsb_mixes()) {
+    EXPECT_NEAR(mix.read + mix.update + mix.insert + mix.scan + mix.rmw, 1.0,
+                1e-9)
+        << mix.name;
+  }
+}
+
+TEST(Ycsb, ThroughputMatchesServiceTimes) {
+  ProgramHarness h(16384, 4);
+  YcsbConfig config;
+  config.mix = ycsb_c();  // 100% reads at 20 us => 50 Kops/s
+  config.record_count = 10000;
+  config.op_limit = ~0ULL;
+  auto program = std::make_unique<YcsbProgram>(config);
+  auto* raw = program.get();
+  h.vm.attach_program(std::move(program));
+  h.run(sim::from_seconds(2));
+  EXPECT_NEAR(static_cast<double>(raw->ops_completed()), 100000.0, 2000.0);
+}
+
+TEST(Ycsb, StopsAtOpLimit) {
+  ProgramHarness h(16384, 2);
+  YcsbConfig config;
+  config.mix = ycsb_a();
+  config.record_count = 1000;
+  config.op_limit = 5000;
+  auto program = std::make_unique<YcsbProgram>(config);
+  auto* raw = program.get();
+  h.vm.attach_program(std::move(program));
+  h.run(sim::from_seconds(2));
+  EXPECT_EQ(raw->ops_completed(), 5000u);
+  EXPECT_TRUE(raw->done());
+}
+
+TEST(Ycsb, CloneResumesWithoutReload) {
+  ProgramHarness h(16384, 2);
+  YcsbConfig config;
+  config.mix = ycsb_a();
+  config.record_count = 1000;
+  config.op_limit = ~0ULL;
+  auto program = std::make_unique<YcsbProgram>(config);
+  auto* raw = program.get();
+  h.vm.attach_program(std::move(program));
+  h.run(sim::from_millis(500));
+  const std::uint64_t ops = raw->ops_completed();
+  ASSERT_GT(ops, 0u);
+
+  // Transplant the clone into a fresh VM (the failover path).
+  ProgramHarness h2(16384, 2);
+  auto clone = raw->clone();
+  h2.vm.attach_program(std::move(clone));
+  h2.bitmap.clear();
+  h2.run(sim::from_millis(500));
+  auto* resumed = static_cast<YcsbProgram*>(h2.vm.program());
+  EXPECT_GT(resumed->ops_completed(), ops);  // continued, not restarted
+}
+
+TEST(YcsbMonitor, TracksReportsAndThroughput) {
+  YcsbMonitor monitor;
+  net::Packet report;
+  report.kind = kYcsbReport;
+  report.tag = 500;
+  monitor.on_packet(sim::TimePoint{} + sim::from_seconds(1), report);
+  monitor.on_packet(sim::TimePoint{} + sim::from_seconds(2), report);
+  EXPECT_EQ(monitor.ops_observed(), 1000u);
+  EXPECT_DOUBLE_EQ(monitor.throughput(), 1000.0);
+  net::Packet done;
+  done.kind = kYcsbDone;
+  monitor.on_packet(sim::TimePoint{} + sim::from_seconds(3), done);
+  EXPECT_TRUE(monitor.done());
+}
+
+// --- Sockperf -----------------------------------------------------------------------
+
+TEST(Sockperf, ServerRepliesAtConfiguredRatio) {
+  ProgramHarness h(4096);
+  auto server = std::make_unique<SockperfServer>(1.0);
+  auto* raw = server.get();
+  h.vm.attach_program(std::move(server));
+  h.tick(sim::from_millis(1));  // start
+
+  // The bare harness VM has no net device; replies are observable via the
+  // server's pongs_sent counter.
+  net::Packet ping;
+  ping.kind = kSockPing;
+  for (int i = 0; i < 100; ++i) {
+    ping.tag = static_cast<std::uint64_t>(i);
+    h.vm.deliver_packet(h.now, h.rng, ping);
+  }
+  EXPECT_EQ(raw->pings_received(), 100u);
+  EXPECT_EQ(raw->pongs_sent(), 100u);  // ratio 1.0
+}
+
+TEST(Sockperf, UnderLoadModeRepliesToFraction) {
+  ProgramHarness h(4096);
+  auto server = std::make_unique<SockperfServer>(0.25);
+  auto* raw = server.get();
+  h.vm.attach_program(std::move(server));
+  h.tick(sim::from_millis(1));
+  net::Packet ping;
+  ping.kind = kSockPing;
+  for (int i = 0; i < 2000; ++i) h.vm.deliver_packet(h.now, h.rng, ping);
+  EXPECT_NEAR(static_cast<double>(raw->pongs_sent()), 500.0, 80.0);
+}
+
+}  // namespace
+}  // namespace here::wl

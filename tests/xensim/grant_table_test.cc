@@ -1,0 +1,181 @@
+// Tests for grant tables, event channels and hypercall accounting.
+#include <gtest/gtest.h>
+
+#include "xensim/grant_table.h"
+#include "xensim/xen_hypervisor.h"
+
+namespace here::xen {
+namespace {
+
+// --- GrantTable ---------------------------------------------------------------
+
+TEST(GrantTable, GrantMapUnmapLifecycle) {
+  GrantTable table;
+  const GrantRef ref = table.grant_access(0, 42);
+  EXPECT_EQ(table.active_grants(), 1u);
+  EXPECT_EQ(table.entry(ref).gfn, 42u);
+  EXPECT_FALSE(table.entry(ref).mapped);
+
+  EXPECT_EQ(table.map_grant(ref, 0), 42u);
+  EXPECT_TRUE(table.entry(ref).mapped);
+  EXPECT_EQ(table.total_maps(), 1u);
+
+  table.unmap_grant(ref);
+  table.end_access(ref);
+  EXPECT_EQ(table.active_grants(), 0u);
+}
+
+TEST(GrantTable, MapByWrongDomainRejected) {
+  GrantTable table;
+  const GrantRef ref = table.grant_access(/*remote_domid=*/0, 10);
+  EXPECT_THROW(table.map_grant(ref, /*mapper_domid=*/5), GrantTableError);
+}
+
+TEST(GrantTable, DoubleMapRejected) {
+  GrantTable table;
+  const GrantRef ref = table.grant_access(0, 10);
+  table.map_grant(ref, 0);
+  EXPECT_THROW(table.map_grant(ref, 0), GrantTableError);
+}
+
+TEST(GrantTable, EndAccessWhileMappedRejected) {
+  // The classic blkback unplug hazard: revoking a grant the backend still
+  // holds mapped must fail loudly.
+  GrantTable table;
+  const GrantRef ref = table.grant_access(0, 10);
+  table.map_grant(ref, 0);
+  EXPECT_THROW(table.end_access(ref), GrantTableError);
+  table.unmap_grant(ref);
+  EXPECT_NO_THROW(table.end_access(ref));
+}
+
+TEST(GrantTable, UnknownRefsRejected) {
+  GrantTable table;
+  EXPECT_THROW(table.map_grant(999, 0), GrantTableError);
+  EXPECT_THROW(table.unmap_grant(999), GrantTableError);
+  EXPECT_THROW(table.end_access(999), GrantTableError);
+  EXPECT_THROW((void)table.entry(999), GrantTableError);
+}
+
+TEST(GrantTable, RefsStartAboveReservedRange) {
+  GrantTable table;
+  EXPECT_GE(table.grant_access(0, 1), 8u);
+}
+
+// --- EventChannelBus -------------------------------------------------------------
+
+TEST(EventChannel, AllocBindNotify) {
+  EventChannelBus bus;
+  const EvtchnPort port = bus.alloc_unbound(/*domid=*/3, /*remote=*/0);
+  EXPECT_FALSE(bus.bound(port));
+
+  int kicks = 0;
+  bus.set_handler(port, [&](EvtchnPort) { ++kicks; });
+  bus.notify(port);  // unbound: pends, does not deliver
+  EXPECT_EQ(kicks, 0);
+
+  bus.bind_interdomain(port, /*binder_domid=*/0);
+  EXPECT_TRUE(bus.bound(port));
+  bus.notify(port);
+  bus.notify(port);
+  EXPECT_EQ(kicks, 2);
+  EXPECT_EQ(bus.notifications(), 3u);
+}
+
+TEST(EventChannel, BindByWrongDomainRejected) {
+  EventChannelBus bus;
+  const EvtchnPort port = bus.alloc_unbound(3, 0);
+  EXPECT_THROW(bus.bind_interdomain(port, 7), GrantTableError);
+}
+
+TEST(EventChannel, CloseInvalidatesPort) {
+  EventChannelBus bus;
+  const EvtchnPort port = bus.alloc_unbound(3, 0);
+  bus.close(port);
+  EXPECT_THROW(bus.notify(port), GrantTableError);
+  EXPECT_EQ(bus.open_ports(), 0u);
+}
+
+// --- Integration with the Xen model ------------------------------------------------
+
+TEST(XenLowLevel, DeviceRingsAreGrantedAndWired) {
+  sim::Simulation s;
+  XenHypervisor hv(s, sim::Rng(1));
+  hv::Vm& vm = hv.create_vm(hv::make_vm_spec("g", 2, 1ULL << 20));
+  const std::uint32_t domid = hv.domid_of(vm);
+
+  // Three devices -> three grants, each mapped by dom0, three bound ports.
+  EXPECT_EQ(hv.grant_table(domid).active_grants(), 3u);
+  EXPECT_EQ(hv.grant_table(domid).total_maps(), 3u);
+  EXPECT_EQ(hv.event_channels().open_ports(), 3u);
+
+  // The handshake published the real grant reference, not a placeholder.
+  const auto ring_ref =
+      hv.xenstore().read_int(frontend_path(domid, "vif", 0) + "/ring-ref");
+  ASSERT_TRUE(ring_ref.has_value());
+  EXPECT_NO_THROW(
+      (void)hv.grant_table(domid).entry(static_cast<GrantRef>(*ring_ref)));
+  const auto port =
+      hv.xenstore().read_int(frontend_path(domid, "vif", 0) + "/event-channel");
+  ASSERT_TRUE(port.has_value());
+  EXPECT_TRUE(hv.event_channels().bound(static_cast<EvtchnPort>(*port)));
+}
+
+TEST(XenLowLevel, DestroyReleasesGrantsAndPorts) {
+  sim::Simulation s;
+  XenHypervisor hv(s, sim::Rng(1));
+  hv::Vm& vm = hv.create_vm(hv::make_vm_spec("g", 1, 1ULL << 20));
+  const std::uint32_t domid = hv.domid_of(vm);
+  hv.destroy_vm(vm);
+  EXPECT_EQ(hv.grant_table(domid).active_grants(), 0u);
+  EXPECT_EQ(hv.event_channels().open_ports(), 0u);
+}
+
+TEST(XenLowLevel, HypercallsAreAccounted) {
+  sim::Simulation s;
+  XenHypervisor hv(s, sim::Rng(1));
+  hv::Vm& vm = hv.create_vm(hv::make_vm_spec("g", 2, 1ULL << 20));
+  using Op = XenHypervisor::HypercallOp;
+  EXPECT_EQ(hv.hypercall_count(Op::kDomctlCreate), 1u);
+  EXPECT_EQ(hv.hypercall_count(Op::kGnttabOp), 6u);   // grant + map, 3 devices
+  EXPECT_EQ(hv.hypercall_count(Op::kEvtchnOp), 6u);   // alloc + bind
+
+  hv.start(vm);
+  hv.pause(vm);
+  hv.resume(vm);
+  EXPECT_EQ(hv.hypercall_count(Op::kDomctlPause), 1u);
+  EXPECT_EQ(hv.hypercall_count(Op::kDomctlUnpause), 1u);
+
+  (void)hv.save_xen_state(vm);
+  EXPECT_EQ(hv.hypercall_count(Op::kDomctlGetContext), 2u);  // per vCPU
+
+  hv.enable_log_dirty(vm);
+  EXPECT_EQ(hv.hypercall_count(Op::kShadowOp), 1u);
+  EXPECT_GT(hv.total_hypercalls(), 15u);
+}
+
+TEST(XenLowLevel, ReplicationDrivesHypercallTraffic) {
+  // A protected VM's checkpoint loop is visible as pause/unpause +
+  // getcontext hypercall traffic — the control-plane surface the paper's
+  // vulnerability study classifies.
+  sim::Simulation* sim_ptr = nullptr;
+  (void)sim_ptr;
+  // (Covered end-to-end by engine tests; here we assert the per-checkpoint
+  // pattern using direct calls matching the engine's sequence.)
+  sim::Simulation s;
+  XenHypervisor hv(s, sim::Rng(1));
+  hv::Vm& vm = hv.create_vm(hv::make_vm_spec("g", 4, 1ULL << 20));
+  hv.start(vm);
+  using Op = XenHypervisor::HypercallOp;
+  const std::uint64_t pauses = hv.hypercall_count(Op::kDomctlPause);
+  for (int i = 0; i < 5; ++i) {  // five checkpoints
+    hv.pause(vm);
+    (void)hv.save_xen_state(vm);
+    hv.resume(vm);
+  }
+  EXPECT_EQ(hv.hypercall_count(Op::kDomctlPause), pauses + 5);
+  EXPECT_EQ(hv.hypercall_count(Op::kDomctlGetContext), 20u);  // 4 vCPUs x 5
+}
+
+}  // namespace
+}  // namespace here::xen

@@ -1,0 +1,208 @@
+// Tests for the Xen hypervisor model: state serialization round-trips,
+// PV device models and machine-state save/load.
+#include <gtest/gtest.h>
+
+#include "hv/cpuid_bits.h"
+#include "tests/state_test_util.h"
+#include "xensim/xen_devices.h"
+#include "xensim/xen_hypervisor.h"
+#include "xensim/xen_state.h"
+
+namespace here::xen {
+namespace {
+
+// --- vCPU context conversion (property-style sweep over random states) ----------
+
+class XenRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XenRoundTrip, NeutralToXenToNeutralIsIdentity) {
+  const hv::GuestCpuContext original = test::random_cpu_context(GetParam());
+  constexpr std::uint64_t kHostTsc = 0x123456789abcULL;
+  const XenVcpuContext xen_ctx = to_xen_context(original, kHostTsc);
+  const hv::GuestCpuContext back = from_xen_context(xen_ctx, kHostTsc);
+  EXPECT_EQ(back, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XenRoundTrip, ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(XenState, GprStorageOrderIsR15First) {
+  hv::GuestCpuContext cpu;
+  cpu.gpr[hv::kRax] = 0xA;
+  cpu.gpr[hv::kR15] = 0xF15;
+  cpu.gpr[hv::kRsp] = 0x50;
+  const XenVcpuContext xen_ctx = to_xen_context(cpu, 0);
+  EXPECT_EQ(xen_ctx.user_regs.r15, 0xF15u);
+  EXPECT_EQ(xen_ctx.user_regs.rax, 0xAu);
+  EXPECT_EQ(xen_ctx.user_regs.rsp, 0x50u);
+}
+
+TEST(XenState, SegmentRecordOrderIsEsFirst) {
+  hv::GuestCpuContext cpu;
+  cpu.segments[0].selector = 0x10;  // cs (neutral slot 0)
+  cpu.segments[3].selector = 0x3b;  // es (neutral slot 3)
+  const XenVcpuContext xen_ctx = to_xen_context(cpu, 0);
+  EXPECT_EQ(xen_ctx.segments[0].sel, 0x3b);  // Xen slot 0 = es
+  EXPECT_EQ(xen_ctx.segments[1].sel, 0x10);  // Xen slot 1 = cs
+}
+
+TEST(XenState, TscStoredAsSignedOffset) {
+  hv::GuestCpuContext cpu;
+  cpu.tsc = 1000;
+  const XenVcpuContext behind = to_xen_context(cpu, 5000);
+  EXPECT_EQ(behind.tsc_offset, -4000);
+  cpu.tsc = 9000;
+  const XenVcpuContext ahead = to_xen_context(cpu, 5000);
+  EXPECT_EQ(ahead.tsc_offset, 4000);
+  // Restoring against a *different* host TSC preserves the offset semantics.
+  const hv::GuestCpuContext back = from_xen_context(ahead, 100000);
+  EXPECT_EQ(back.tsc, 104000u);
+}
+
+TEST(XenState, DedicatedMsrFieldsExtracted) {
+  hv::GuestCpuContext cpu;
+  cpu.msrs = {{hv::kMsrStar, 111},
+              {hv::kMsrLstar, 222},
+              {hv::kMsrKernelGsBase, 333},
+              {hv::kMsrTscAux, 7}};
+  const XenVcpuContext xen_ctx = to_xen_context(cpu, 0);
+  EXPECT_EQ(xen_ctx.msr_star, 111u);
+  EXPECT_EQ(xen_ctx.msr_lstar, 222u);
+  EXPECT_EQ(xen_ctx.gs_base_kernel, 333u);
+  ASSERT_EQ(xen_ctx.extra_msrs.size(), 1u);
+  EXPECT_EQ(xen_ctx.extra_msrs[0].index, hv::kMsrTscAux);
+}
+
+TEST(XenState, PendingInterruptAsEventChannelPort) {
+  hv::GuestCpuContext cpu;
+  cpu.pending_interrupt = 0x30;
+  EXPECT_EQ(to_xen_context(cpu, 0).pending_event_port,
+            0x30 - kCallbackVectorBase);
+  cpu.pending_interrupt = -1;
+  EXPECT_EQ(to_xen_context(cpu, 0).pending_event_port, -1);
+}
+
+TEST(XenState, HaltedEncodedInOnlineFlag) {
+  hv::GuestCpuContext cpu;
+  cpu.halted = true;
+  EXPECT_EQ(to_xen_context(cpu, 0).flags & 1, 0);
+  cpu.halted = false;
+  EXPECT_EQ(to_xen_context(cpu, 0).flags & 1, 1);
+}
+
+TEST(XenState, WireBytesScaleWithVcpus) {
+  XenMachineState one, four;
+  one.vcpus.resize(1);
+  four.vcpus.resize(4);
+  EXPECT_GT(four.wire_bytes(), one.wire_bytes());
+  EXPECT_GT(one.wire_bytes(), 1000u);
+}
+
+// --- Devices -----------------------------------------------------------------------
+
+TEST(XenNetDevice, RingCountersTrackTraffic) {
+  XenNetDevice dev;
+  int forwarded = 0;
+  dev.set_tx_hook([&](const net::Packet&) { ++forwarded; });
+  net::Packet p;
+  dev.transmit(p);
+  dev.transmit(p);
+  dev.receive(p);
+  EXPECT_EQ(forwarded, 2);
+  EXPECT_EQ(dev.tx_completed(), 2u);
+  EXPECT_EQ(dev.rx_delivered(), 1u);
+
+  const hv::DeviceStateBlob blob = dev.save();
+  EXPECT_EQ(blob.family, hv::DeviceFamily::kXenPv);
+  EXPECT_EQ(blob.field("tx_resp_prod"), 2u);
+  EXPECT_EQ(blob.field("rx_resp_prod"), 1u);
+
+  XenNetDevice other;
+  other.load(blob);
+  EXPECT_EQ(other.tx_completed(), 2u);
+  EXPECT_EQ(other.mac(), dev.mac());
+}
+
+TEST(XenNetDevice, RejectsForeignFamilyState) {
+  XenNetDevice dev;
+  hv::DeviceStateBlob blob = dev.save();
+  blob.family = hv::DeviceFamily::kVirtio;
+  EXPECT_THROW(dev.load(blob), hv::DeviceFamilyMismatch);
+}
+
+TEST(XenBlockDevice, CountersAndReset) {
+  XenBlockDevice dev;
+  dev.submit_write(0, 8);
+  dev.submit_write(100, 16);
+  dev.flush();
+  EXPECT_EQ(dev.sectors_written(), 24u);
+  const auto blob = dev.save();
+  EXPECT_EQ(blob.field("flushes"), 1u);
+  dev.reset();
+  EXPECT_EQ(dev.sectors_written(), 0u);
+}
+
+TEST(XenConsoleDevice, SaveLoad) {
+  XenConsoleDevice dev;
+  dev.write_char();
+  dev.write_char();
+  const auto blob = dev.save();
+  EXPECT_EQ(blob.field("out_prod"), 2u);
+  XenConsoleDevice other;
+  other.load(blob);
+  EXPECT_EQ(other.save().field("out_prod"), 2u);
+}
+
+TEST(DeviceStateBlob, FieldAccess) {
+  hv::DeviceStateBlob blob;
+  blob.set_field("x", 1);
+  blob.set_field("x", 2);  // overwrite
+  EXPECT_EQ(blob.field("x"), 2u);
+  EXPECT_TRUE(blob.has_field("x"));
+  EXPECT_FALSE(blob.has_field("y"));
+  EXPECT_THROW((void)blob.field("y"), std::out_of_range);
+  EXPECT_GT(blob.wire_bytes(), 0u);
+}
+
+// --- Machine state save/load -----------------------------------------------------
+
+TEST(XenHypervisor, SaveLoadMachineStateRoundTrips) {
+  sim::Simulation s;
+  XenHypervisor hv(s, sim::Rng(1));
+  hv::Vm& vm = hv.create_vm(hv::make_vm_spec("t", 2, 1ULL << 20));
+  vm.cpus()[0] = test::random_cpu_context(1);
+  vm.cpus()[1] = test::random_cpu_context(2);
+  hv.start(vm);
+  s.run_for(sim::from_millis(50));
+
+  const auto saved = hv.save_machine_state(vm);
+  EXPECT_EQ(saved->format(), hv::HvKind::kXen);
+  const auto cpus_at_save = vm.cpus();
+
+  s.run_for(sim::from_millis(50));  // state keeps evolving
+  EXPECT_NE(vm.cpus()[0], cpus_at_save[0]);
+
+  hv.load_machine_state(vm, *saved);
+  EXPECT_EQ(vm.cpus()[0], cpus_at_save[0]);
+  EXPECT_EQ(vm.cpus()[1], cpus_at_save[1]);
+}
+
+TEST(XenHypervisor, DefaultCpuidExposesXenOnlyBits) {
+  sim::Simulation s;
+  XenHypervisor hv(s, sim::Rng(1));
+  const hv::CpuidPolicy policy = hv.default_cpuid();
+  EXPECT_NE(policy.leaf7_ebx & hv::cpuid::kMpx, 0u);
+  EXPECT_NE(policy.leaf7_ebx & hv::cpuid::kRtm, 0u);
+  EXPECT_EQ(policy.leaf7_ecx & hv::cpuid::kUmip, 0u);
+}
+
+TEST(XenHypervisor, HostTscAdvancesWithVirtualTime) {
+  sim::Simulation s;
+  XenHypervisor hv(s, sim::Rng(1));
+  const std::uint64_t t0 = hv.host_tsc();
+  s.run_until(sim::TimePoint{} + sim::from_seconds(1));
+  const std::uint64_t t1 = hv.host_tsc();
+  EXPECT_NEAR(static_cast<double>(t1 - t0), 2.1e9, 1e6);  // 2.1 GHz
+}
+
+}  // namespace
+}  // namespace here::xen

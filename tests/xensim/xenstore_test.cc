@@ -1,0 +1,165 @@
+// Tests for the XenStore control-plane bus and the xenbus device handshake.
+#include <gtest/gtest.h>
+
+#include "xensim/xen_hypervisor.h"
+#include "xensim/xenstore.h"
+
+namespace here::xen {
+namespace {
+
+TEST(XenStore, WriteReadRoundTrip) {
+  XenStore store;
+  store.write("/local/domain/1/name", "guest");
+  EXPECT_EQ(store.read("/local/domain/1/name"), "guest");
+  EXPECT_FALSE(store.read("/missing").has_value());
+  store.write("/local/domain/1/name", "renamed");  // overwrite
+  EXPECT_EQ(store.read("/local/domain/1/name"), "renamed");
+}
+
+TEST(XenStore, ImplicitParentsCreated) {
+  XenStore store;
+  store.write("/a/b/c/d", "x");
+  EXPECT_TRUE(store.exists("/a"));
+  EXPECT_TRUE(store.exists("/a/b"));
+  EXPECT_TRUE(store.exists("/a/b/c"));
+}
+
+TEST(XenStore, IntAndStateHelpers) {
+  XenStore store;
+  store.write_int("/x", -42);
+  EXPECT_EQ(store.read_int("/x"), -42);
+  store.write("/y", "not-a-number");
+  EXPECT_FALSE(store.read_int("/y").has_value());
+  store.write_state("/dev/state", XenbusState::kConnected);
+  EXPECT_EQ(store.read_state("/dev/state"), XenbusState::kConnected);
+  EXPECT_EQ(store.read_state("/missing"), XenbusState::kUnknown);
+  store.write_int("/bad", 99);
+  EXPECT_EQ(store.read_state("/bad"), XenbusState::kUnknown);
+}
+
+TEST(XenStore, ListChildren) {
+  XenStore store;
+  store.write("/dir/a", "1");
+  store.write("/dir/b/inner", "2");
+  store.write("/dir/c", "3");
+  store.write("/dirx/other", "4");  // must not appear ("/dir" != "/dirx")
+  EXPECT_EQ(store.list("/dir"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(store.list("/dir/a").empty());
+}
+
+TEST(XenStore, RemoveSubtree) {
+  XenStore store;
+  store.write("/d/1", "a");
+  store.write("/d/2/x", "b");
+  store.write("/dz", "keep");
+  EXPECT_GE(store.remove("/d"), 3u);  // /d, /d/1, /d/2, /d/2/x
+  EXPECT_FALSE(store.exists("/d/1"));
+  EXPECT_FALSE(store.exists("/d"));
+  EXPECT_TRUE(store.exists("/dz"));  // prefix-but-not-path survives
+}
+
+TEST(XenStore, WatchFiresOnRegistrationAndMutation) {
+  XenStore store;
+  std::vector<std::string> events;
+  const auto id = store.watch("/dev", [&](const std::string& p) {
+    events.push_back(p);
+  });
+  EXPECT_EQ(events, (std::vector<std::string>{"/dev"}));  // initial fire
+  store.write("/dev/state", "1");
+  store.write("/other", "x");  // outside the prefix
+  EXPECT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1], "/dev/state");
+  store.remove("/dev/state");
+  EXPECT_EQ(events.size(), 3u);
+  store.unwatch(id);
+  store.write("/dev/state", "2");
+  EXPECT_EQ(events.size(), 3u);
+}
+
+TEST(XenStore, WatchPrefixIsPathAware) {
+  XenStore store;
+  int fired = 0;
+  store.watch("/a/b", [&](const std::string&) { ++fired; });
+  fired = 0;  // discard the registration fire
+  store.write("/a/bc", "x");  // NOT under /a/b
+  EXPECT_EQ(fired, 0);
+  store.write("/a/b/c", "x");
+  EXPECT_EQ(fired, 1);
+  store.write("/a/b", "x");  // the node itself
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(XenStore, WatchHandlersMayWriteWithoutUnboundedRecursion) {
+  XenStore store;
+  int fired = 0;
+  store.watch("/ping", [&](const std::string&) {
+    if (++fired < 5) store.write("/ping/again", std::to_string(fired));
+  });
+  store.write("/ping/start", "go");
+  // Registration fire (1) chains 4 self-writes (2..5); the start write adds
+  // one more (6). Bounded: the deferral queue prevents unbounded recursion.
+  EXPECT_EQ(fired, 6);
+}
+
+TEST(XenStore, DeviceHandshakeReachesConnected) {
+  XenStore store;
+  EXPECT_TRUE(run_device_handshake(store, 3, "vif", 0));
+  const std::string front = frontend_path(3, "vif", 0);
+  const std::string back = backend_path(3, "vif", 0);
+  EXPECT_EQ(store.read_state(front + "/state"), XenbusState::kConnected);
+  EXPECT_EQ(store.read_state(back + "/state"), XenbusState::kConnected);
+  // The frontend published its ring grant and event channel on the way.
+  EXPECT_TRUE(store.read_int(front + "/ring-ref").has_value());
+  EXPECT_TRUE(store.read_int(front + "/event-channel").has_value());
+  // Cross-references in both directions.
+  EXPECT_EQ(store.read(front + "/backend"), back);
+  EXPECT_EQ(store.read(back + "/frontend"), front);
+}
+
+TEST(XenStore, DeviceTeardownRemovesNodes) {
+  XenStore store;
+  ASSERT_TRUE(run_device_handshake(store, 3, "vbd", 0));
+  run_device_teardown(store, 3, "vbd", 0);
+  EXPECT_FALSE(store.exists(frontend_path(3, "vbd", 0) + "/state"));
+  EXPECT_FALSE(store.exists(backend_path(3, "vbd", 0) + "/state"));
+}
+
+TEST(XenHypervisorStore, VmCreationPopulatesXenstore) {
+  sim::Simulation s;
+  XenHypervisor hv(s, sim::Rng(1));
+  hv::Vm& vm = hv.create_vm(hv::make_vm_spec("db", 2, 1ULL << 20));
+  const std::uint32_t domid = hv.domid_of(vm);
+  EXPECT_GE(domid, 1u);
+  const std::string dom = "/local/domain/" + std::to_string(domid);
+  EXPECT_EQ(hv.xenstore().read(dom + "/name"), "db");
+  EXPECT_EQ(hv.xenstore().read_int(dom + "/cpu/count"), 2);
+  // All three PV devices connected.
+  for (const char* device : {"vif", "vbd", "console"}) {
+    EXPECT_EQ(hv.xenstore().read_state(frontend_path(domid, device, 0) + "/state"),
+              XenbusState::kConnected)
+        << device;
+  }
+}
+
+TEST(XenHypervisorStore, DestroyTearsDownDomainSubtree) {
+  sim::Simulation s;
+  XenHypervisor hv(s, sim::Rng(1));
+  hv::Vm& vm = hv.create_vm(hv::make_vm_spec("gone", 1, 1ULL << 20));
+  const std::uint32_t domid = hv.domid_of(vm);
+  hv.destroy_vm(vm);
+  EXPECT_FALSE(
+      hv.xenstore().exists("/local/domain/" + std::to_string(domid) + "/name"));
+  EXPECT_FALSE(hv.xenstore().exists(frontend_path(domid, "vif", 0) + "/state"));
+}
+
+TEST(XenHypervisorStore, DomidsAreUniqueAndMonotonic) {
+  sim::Simulation s;
+  XenHypervisor hv(s, sim::Rng(1));
+  hv::Vm& a = hv.create_vm(hv::make_vm_spec("a", 1, 1ULL << 20));
+  hv::Vm& b = hv.create_vm(hv::make_vm_spec("b", 1, 1ULL << 20));
+  EXPECT_NE(hv.domid_of(a), hv.domid_of(b));
+  EXPECT_GT(hv.domid_of(b), hv.domid_of(a));
+}
+
+}  // namespace
+}  // namespace here::xen

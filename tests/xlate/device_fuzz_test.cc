@@ -1,0 +1,78 @@
+// Property fuzz for device-state translation: random ring/queue progress
+// values must survive the PV -> virtio -> PV round trip with all semantic
+// counters intact, and translated blobs must always load into a real device
+// of the target family.
+#include <gtest/gtest.h>
+
+#include "kvmsim/virtio_devices.h"
+#include "sim/rng.h"
+#include "xensim/xen_devices.h"
+#include "xlate/translator.h"
+
+namespace here::xlate {
+namespace {
+
+class DeviceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeviceFuzz, NetCountersSurviveRoundTrip) {
+  sim::Rng rng(GetParam() * 1337 + 7);
+  hv::DeviceStateBlob blob;
+  blob.family = hv::DeviceFamily::kXenPv;
+  blob.kind = hv::DeviceKind::kNet;
+  blob.model_name = "xen-netfront";
+  const std::uint64_t tx = rng.uniform(1u << 20);
+  const std::uint64_t rx = rng.uniform(1u << 20);
+  blob.set_field("mac", rng.next_u64() & 0xffffffffffffULL);
+  blob.set_field("features", rng.uniform(8));
+  blob.set_field("tx_req_prod", tx);
+  blob.set_field("tx_req_cons", tx);
+  blob.set_field("tx_resp_prod", tx);
+  blob.set_field("rx_req_prod", rx);
+  blob.set_field("rx_resp_prod", rx);
+  blob.set_field("evtchn_tx", rng.uniform(1024));
+  blob.set_field("evtchn_rx", rng.uniform(1024));
+
+  const auto virtio = translate_device(blob, hv::DeviceFamily::kVirtio);
+  const auto back = translate_device(virtio, hv::DeviceFamily::kXenPv);
+
+  // Semantic counters: completed tx/rx progress is preserved exactly.
+  EXPECT_EQ(back.field("tx_resp_prod"), tx);
+  EXPECT_EQ(back.field("rx_resp_prod"), rx);
+  EXPECT_EQ(back.field("tx_req_prod"), tx);
+  EXPECT_EQ(back.field("mac"), blob.field("mac"));
+
+  // The translated blob loads into a real virtio device without throwing.
+  kvm::VirtioNetDevice dev;
+  dev.load(virtio);
+  EXPECT_EQ(dev.tx_completed(), tx);
+  EXPECT_EQ(dev.rx_delivered(), rx);
+}
+
+TEST_P(DeviceFuzz, BlockCountersSurviveRoundTrip) {
+  sim::Rng rng(GetParam() * 7919 + 3);
+  hv::DeviceStateBlob blob;
+  blob.family = hv::DeviceFamily::kXenPv;
+  blob.kind = hv::DeviceKind::kBlock;
+  blob.model_name = "xen-blkfront";
+  const std::uint64_t requests = rng.uniform(1u << 24);
+  blob.set_field("ring_req_prod", requests);
+  blob.set_field("ring_resp_prod", requests);
+  blob.set_field("sectors_written", rng.next_u64() >> 20);
+  blob.set_field("flushes", rng.uniform(1u << 16));
+  blob.set_field("evtchn", rng.uniform(1024));
+
+  const auto virtio = translate_device(blob, hv::DeviceFamily::kVirtio);
+  const auto back = translate_device(virtio, hv::DeviceFamily::kXenPv);
+  EXPECT_EQ(back.field("sectors_written"), blob.field("sectors_written"));
+  EXPECT_EQ(back.field("flushes"), blob.field("flushes"));
+  EXPECT_EQ(back.field("ring_resp_prod"), requests);
+
+  kvm::VirtioBlkDevice dev;
+  dev.load(virtio);
+  EXPECT_EQ(dev.sectors_written(), blob.field("sectors_written"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeviceFuzz, ::testing::Range<std::uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace here::xlate

@@ -1,0 +1,226 @@
+// Tests for the cross-hypervisor state translator — the component that makes
+// heterogeneous replication possible.
+#include <gtest/gtest.h>
+
+#include "hv/cpuid_bits.h"
+#include "kvmsim/virtio_devices.h"
+#include "kvmsim/kvm_hypervisor.h"
+#include "tests/state_test_util.h"
+#include "xensim/xen_devices.h"
+#include "xensim/xen_hypervisor.h"
+#include "xlate/translator.h"
+
+namespace here::xlate {
+namespace {
+
+hv::CpuidPolicy permissive_policy() {
+  hv::CpuidPolicy p;
+  p.leaf1_ecx = p.leaf1_edx = p.leaf7_ebx = p.leaf7_ecx = ~0u;
+  p.ext1_ecx = p.ext1_edx = ~0u;
+  return p;
+}
+
+// Property sweep: for any vCPU state, Xen-format -> KVM-format preserves the
+// architectural state exactly (modulo representation).
+class CrossTranslation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossTranslation, XenToKvmPreservesArchitecturalState) {
+  const hv::GuestCpuContext truth = test::random_cpu_context(GetParam());
+  constexpr std::uint64_t kHostTsc = 0xabcdef01234ULL;
+
+  xen::XenMachineState xen_state;
+  xen_state.vcpus.push_back(xen::to_xen_context(truth, kHostTsc));
+  xen_state.platform.host_tsc_at_save = kHostTsc;
+  xen_state.platform.cpuid_policy = permissive_policy();
+  xen_state.platform.tsc_khz = 2'100'000;
+  xen_state.platform.wallclock_ns = 77;
+
+  TranslationReport report;
+  const kvm::KvmMachineState kvm_state =
+      xen_to_kvm(xen_state, permissive_policy(), &report);
+
+  ASSERT_EQ(kvm_state.vcpus.size(), 1u);
+  EXPECT_EQ(kvm::from_kvm_context(kvm_state.vcpus[0]), truth);
+  EXPECT_EQ(kvm_state.platform.tsc_khz, 2'100'000u);
+  EXPECT_EQ(kvm_state.platform.kvmclock_boot_ns, 77u);
+  EXPECT_TRUE(report.tsc_rebased);
+  EXPECT_EQ(report.cpuid_bits_dropped, 0u);
+}
+
+TEST_P(CrossTranslation, KvmToXenPreservesArchitecturalState) {
+  const hv::GuestCpuContext truth = test::random_cpu_context(GetParam() + 1000);
+
+  kvm::KvmMachineState kvm_state;
+  kvm_state.vcpus.push_back(kvm::to_kvm_context(truth));
+  kvm_state.platform.cpuid = permissive_policy();
+  kvm_state.platform.tsc_khz = 2'100'000;
+
+  constexpr std::uint64_t kNewHostTsc = 0x999999999ULL;
+  const xen::XenMachineState xen_state =
+      kvm_to_xen(kvm_state, permissive_policy(), kNewHostTsc);
+  ASSERT_EQ(xen_state.vcpus.size(), 1u);
+  EXPECT_EQ(xen::from_xen_context(xen_state.vcpus[0], kNewHostTsc), truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossTranslation,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+// --- CPUID reconciliation ------------------------------------------------------------
+
+TEST(Translator, MasksCpuidToTargetHostPolicy) {
+  sim::Simulation s;
+  xen::XenHypervisor xen_hv(s, sim::Rng(1));
+  kvm::KvmHypervisor kvm_hv(s, sim::Rng(2));
+
+  xen::XenMachineState xen_state;
+  xen_state.platform.cpuid_policy = xen_hv.default_cpuid();
+
+  TranslationReport report;
+  const kvm::KvmMachineState kvm_state =
+      xen_to_kvm(xen_state, kvm_hv.default_cpuid(), &report);
+
+  // Xen exposes HLE/RTM/MPX, which KVM masks: those bits must be dropped...
+  EXPECT_EQ(kvm_state.platform.cpuid.leaf7_ebx & hv::cpuid::kMpx, 0u);
+  EXPECT_EQ(kvm_state.platform.cpuid.leaf7_ebx & hv::cpuid::kRtm, 0u);
+  EXPECT_GE(report.cpuid_bits_dropped, 3u);
+  // ...and the result must be loadable by KVM (subset of its host policy).
+  EXPECT_TRUE(kvm_state.platform.cpuid.subset_of(kvm_hv.default_cpuid()));
+}
+
+TEST(Translator, ReconciledGuestNeedsNoDrops) {
+  sim::Simulation s;
+  xen::XenHypervisor xen_hv(s, sim::Rng(1));
+  kvm::KvmHypervisor kvm_hv(s, sim::Rng(2));
+  // HERE configures protected VMs with the intersection up front (§5.3).
+  const hv::CpuidPolicy reconciled =
+      xen_hv.default_cpuid().intersect(kvm_hv.default_cpuid());
+  xen::XenMachineState xen_state;
+  xen_state.platform.cpuid_policy = reconciled;
+  TranslationReport report;
+  (void)xen_to_kvm(xen_state, kvm_hv.default_cpuid(), &report);
+  EXPECT_EQ(report.cpuid_bits_dropped, 0u);
+}
+
+TEST(Translator, CountUnsupportedBits) {
+  hv::CpuidPolicy policy, host;
+  policy.leaf1_ecx = 0b1011;
+  host.leaf1_ecx = 0b0001;
+  policy.ext1_edx = 0b100;
+  host.ext1_edx = 0;
+  EXPECT_EQ(count_unsupported_bits(policy, host), 3u);
+}
+
+TEST(CpuidPolicy, IntersectIsCommutativeAndSubset) {
+  sim::Simulation s;
+  xen::XenHypervisor xen_hv(s, sim::Rng(1));
+  kvm::KvmHypervisor kvm_hv(s, sim::Rng(2));
+  const auto a = xen_hv.default_cpuid();
+  const auto b = kvm_hv.default_cpuid();
+  const auto ab = a.intersect(b);
+  EXPECT_EQ(ab, b.intersect(a));
+  EXPECT_TRUE(ab.subset_of(a));
+  EXPECT_TRUE(ab.subset_of(b));
+  EXPECT_FALSE(a.subset_of(b));  // heterogeneity is real
+  EXPECT_FALSE(b.subset_of(a));
+}
+
+// --- Device translation ----------------------------------------------------------------
+
+TEST(Translator, NetDeviceCountersMapSemantically) {
+  xen::XenNetDevice xen_dev;
+  net::Packet p;
+  for (int i = 0; i < 5; ++i) xen_dev.transmit(p);
+  for (int i = 0; i < 3; ++i) xen_dev.receive(p);
+
+  const hv::DeviceStateBlob virtio_blob =
+      translate_device(xen_dev.save(), hv::DeviceFamily::kVirtio);
+  EXPECT_EQ(virtio_blob.family, hv::DeviceFamily::kVirtio);
+  EXPECT_EQ(virtio_blob.model_name, "virtio-net");
+  EXPECT_EQ(virtio_blob.field("vq1_used_idx"), 5u);  // completed tx
+  EXPECT_EQ(virtio_blob.field("vq0_used_idx"), 3u);  // delivered rx
+  EXPECT_EQ(virtio_blob.field("mac"), xen_dev.mac());
+
+  // The translated blob loads into a real virtio device.
+  kvm::VirtioNetDevice virtio_dev;
+  virtio_dev.load(virtio_blob);
+  EXPECT_EQ(virtio_dev.tx_completed(), 5u);
+  EXPECT_EQ(virtio_dev.rx_delivered(), 3u);
+  EXPECT_EQ(virtio_dev.mac(), xen_dev.mac());
+}
+
+TEST(Translator, NetDeviceReverseDirection) {
+  kvm::VirtioNetDevice virtio_dev;
+  net::Packet p;
+  virtio_dev.transmit(p);
+  virtio_dev.receive(p);
+  const hv::DeviceStateBlob xen_blob =
+      translate_device(virtio_dev.save(), hv::DeviceFamily::kXenPv);
+  xen::XenNetDevice xen_dev;
+  xen_dev.load(xen_blob);
+  EXPECT_EQ(xen_dev.tx_completed(), 1u);
+  EXPECT_EQ(xen_dev.rx_delivered(), 1u);
+}
+
+TEST(Translator, BlockAndConsoleTranslation) {
+  xen::XenBlockDevice blk;
+  blk.submit_write(0, 64);
+  blk.flush();
+  const auto vblob = translate_device(blk.save(), hv::DeviceFamily::kVirtio);
+  EXPECT_EQ(vblob.field("written_sectors"), 64u);
+  EXPECT_EQ(vblob.field("num_flushes"), 1u);
+
+  xen::XenConsoleDevice console;
+  console.write_char();
+  const auto cblob = translate_device(console.save(), hv::DeviceFamily::kVirtio);
+  EXPECT_EQ(cblob.field("tx_used_idx"), 1u);
+}
+
+TEST(Translator, SameFamilyIsPassthrough) {
+  xen::XenNetDevice dev;
+  const auto blob = dev.save();
+  const auto same = translate_device(blob, hv::DeviceFamily::kXenPv);
+  EXPECT_EQ(same.fields, blob.fields);
+}
+
+TEST(Translator, UnsupportedTargetThrows) {
+  xen::XenNetDevice dev;
+  EXPECT_THROW(translate_device(dev.save(), hv::DeviceFamily::kEmulated),
+               TranslationError);
+}
+
+TEST(Translator, OffloadFeatureEquivalences) {
+  xen::XenNetDevice dev;
+  const auto blob = translate_device(dev.save(), hv::DeviceFamily::kVirtio);
+  const std::uint64_t features = blob.field("features");
+  EXPECT_NE(features & kvm::kVirtioNetFCsum, 0u);      // SG -> CSUM
+  EXPECT_NE(features & (1ULL << 11), 0u);              // GSO -> HOST_TSO4
+  EXPECT_NE(features & kvm::kVirtioNetFMrgRxbuf, 0u);  // rx-copy -> mrg-rxbuf
+}
+
+// --- End-to-end: translated machine state loads into a KVM VM --------------------------
+
+TEST(Translator, FullMachineStateLoadsAcrossHypervisors) {
+  sim::Simulation s;
+  xen::XenHypervisor xen_hv(s, sim::Rng(1));
+  kvm::KvmHypervisor kvm_hv(s, sim::Rng(2));
+
+  hv::Vm& source = xen_hv.create_vm(hv::make_vm_spec("src", 2, 1ULL << 20));
+  source.platform().cpuid =
+      xen_hv.default_cpuid().intersect(kvm_hv.default_cpuid());
+  source.cpus()[0] = test::random_cpu_context(11);
+  source.cpus()[1] = test::random_cpu_context(12);
+
+  const xen::XenMachineState xen_state = xen_hv.save_xen_state(source);
+  const kvm::KvmMachineState kvm_state =
+      xen_to_kvm(xen_state, kvm_hv.default_cpuid());
+
+  hv::Vm& dest = kvm_hv.create_vm(hv::make_vm_spec("dst", 2, 1ULL << 20));
+  kvm_hv.load_machine_state(dest, kvm_state);
+
+  EXPECT_EQ(dest.cpus()[0], source.cpus()[0]);
+  EXPECT_EQ(dest.cpus()[1], source.cpus()[1]);
+  EXPECT_EQ(dest.platform().cpuid, source.platform().cpuid);
+}
+
+}  // namespace
+}  // namespace here::xlate
