@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cow"
+  "../bench/ablation_cow.pdb"
+  "CMakeFiles/ablation_cow.dir/ablation_cow.cc.o"
+  "CMakeFiles/ablation_cow.dir/ablation_cow.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

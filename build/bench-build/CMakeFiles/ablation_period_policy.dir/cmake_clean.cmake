@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_period_policy"
+  "../bench/ablation_period_policy.pdb"
+  "CMakeFiles/ablation_period_policy.dir/ablation_period_policy.cc.o"
+  "CMakeFiles/ablation_period_policy.dir/ablation_period_policy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_period_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

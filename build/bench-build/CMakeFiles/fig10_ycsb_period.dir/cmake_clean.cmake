@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_ycsb_period"
+  "../bench/fig10_ycsb_period.pdb"
+  "CMakeFiles/fig10_ycsb_period.dir/fig10_ycsb_period.cc.o"
+  "CMakeFiles/fig10_ycsb_period.dir/fig10_ycsb_period.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ycsb_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

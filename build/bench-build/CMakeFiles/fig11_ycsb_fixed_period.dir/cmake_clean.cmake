@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_ycsb_fixed_period"
+  "../bench/fig11_ycsb_fixed_period.pdb"
+  "CMakeFiles/fig11_ycsb_fixed_period.dir/fig11_ycsb_fixed_period.cc.o"
+  "CMakeFiles/fig11_ycsb_fixed_period.dir/fig11_ycsb_fixed_period.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ycsb_fixed_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

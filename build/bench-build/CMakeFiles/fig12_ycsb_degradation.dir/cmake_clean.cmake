@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_ycsb_degradation"
+  "../bench/fig12_ycsb_degradation.pdb"
+  "CMakeFiles/fig12_ycsb_degradation.dir/fig12_ycsb_degradation.cc.o"
+  "CMakeFiles/fig12_ycsb_degradation.dir/fig12_ycsb_degradation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ycsb_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

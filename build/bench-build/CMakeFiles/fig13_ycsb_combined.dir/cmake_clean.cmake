@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_ycsb_combined"
+  "../bench/fig13_ycsb_combined.pdb"
+  "CMakeFiles/fig13_ycsb_combined.dir/fig13_ycsb_combined.cc.o"
+  "CMakeFiles/fig13_ycsb_combined.dir/fig13_ycsb_combined.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ycsb_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_spec_fixed_period"
+  "../bench/fig14_spec_fixed_period.pdb"
+  "CMakeFiles/fig14_spec_fixed_period.dir/fig14_spec_fixed_period.cc.o"
+  "CMakeFiles/fig14_spec_fixed_period.dir/fig14_spec_fixed_period.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_spec_fixed_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_spec_fixed_period.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_spec_degradation"
+  "../bench/fig15_spec_degradation.pdb"
+  "CMakeFiles/fig15_spec_degradation.dir/fig15_spec_degradation.cc.o"
+  "CMakeFiles/fig15_spec_degradation.dir/fig15_spec_degradation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_spec_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_spec_combined"
+  "../bench/fig16_spec_combined.pdb"
+  "CMakeFiles/fig16_spec_combined.dir/fig16_spec_combined.cc.o"
+  "CMakeFiles/fig16_spec_combined.dir/fig16_spec_combined.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_spec_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_sockperf"
+  "../bench/fig17_sockperf.pdb"
+  "CMakeFiles/fig17_sockperf.dir/fig17_sockperf.cc.o"
+  "CMakeFiles/fig17_sockperf.dir/fig17_sockperf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_sockperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

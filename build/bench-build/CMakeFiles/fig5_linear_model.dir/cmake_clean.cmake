@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_linear_model"
+  "../bench/fig5_linear_model.pdb"
+  "CMakeFiles/fig5_linear_model.dir/fig5_linear_model.cc.o"
+  "CMakeFiles/fig5_linear_model.dir/fig5_linear_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_linear_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_migration"
+  "../bench/fig6_migration.pdb"
+  "CMakeFiles/fig6_migration.dir/fig6_migration.cc.o"
+  "CMakeFiles/fig6_migration.dir/fig6_migration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

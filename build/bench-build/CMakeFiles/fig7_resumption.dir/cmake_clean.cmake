@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_resumption"
+  "../bench/fig7_resumption.pdb"
+  "CMakeFiles/fig7_resumption.dir/fig7_resumption.cc.o"
+  "CMakeFiles/fig7_resumption.dir/fig7_resumption.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_resumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_resumption.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_checkpoint"
+  "../bench/fig8_checkpoint.pdb"
+  "CMakeFiles/fig8_checkpoint.dir/fig8_checkpoint.cc.o"
+  "CMakeFiles/fig8_checkpoint.dir/fig8_checkpoint.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

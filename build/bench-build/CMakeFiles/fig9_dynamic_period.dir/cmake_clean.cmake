@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_dynamic_period"
+  "../bench/fig9_dynamic_period.pdb"
+  "CMakeFiles/fig9_dynamic_period.dir/fig9_dynamic_period.cc.o"
+  "CMakeFiles/fig9_dynamic_period.dir/fig9_dynamic_period.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dynamic_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

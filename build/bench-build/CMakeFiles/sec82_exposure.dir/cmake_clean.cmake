@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec82_exposure"
+  "../bench/sec82_exposure.pdb"
+  "CMakeFiles/sec82_exposure.dir/sec82_exposure.cc.o"
+  "CMakeFiles/sec82_exposure.dir/sec82_exposure.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec82_exposure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

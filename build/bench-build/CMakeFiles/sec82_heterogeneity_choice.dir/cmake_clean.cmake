@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec82_heterogeneity_choice"
+  "../bench/sec82_heterogeneity_choice.pdb"
+  "CMakeFiles/sec82_heterogeneity_choice.dir/sec82_heterogeneity_choice.cc.o"
+  "CMakeFiles/sec82_heterogeneity_choice.dir/sec82_heterogeneity_choice.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec82_heterogeneity_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec82_security"
+  "../bench/sec82_security.pdb"
+  "CMakeFiles/sec82_security.dir/sec82_security.cc.o"
+  "CMakeFiles/sec82_security.dir/sec82_security.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec82_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

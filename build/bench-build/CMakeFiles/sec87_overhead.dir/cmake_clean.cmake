@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec87_overhead"
+  "../bench/sec87_overhead.pdb"
+  "CMakeFiles/sec87_overhead.dir/sec87_overhead.cc.o"
+  "CMakeFiles/sec87_overhead.dir/sec87_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec87_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_coverage"
+  "../bench/table2_coverage.pdb"
+  "CMakeFiles/table2_coverage.dir/table2_coverage.cc.o"
+  "CMakeFiles/table2_coverage.dir/table2_coverage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

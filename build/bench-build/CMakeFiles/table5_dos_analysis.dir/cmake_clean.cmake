@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_dos_analysis"
+  "../bench/table5_dos_analysis.pdb"
+  "CMakeFiles/table5_dos_analysis.dir/table5_dos_analysis.cc.o"
+  "CMakeFiles/table5_dos_analysis.dir/table5_dos_analysis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_dos_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

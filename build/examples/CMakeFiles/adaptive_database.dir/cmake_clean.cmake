@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_database.dir/adaptive_database.cpp.o"
+  "CMakeFiles/adaptive_database.dir/adaptive_database.cpp.o.d"
+  "adaptive_database"
+  "adaptive_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

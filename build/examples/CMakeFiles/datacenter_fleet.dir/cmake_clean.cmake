@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_fleet.dir/datacenter_fleet.cpp.o"
+  "CMakeFiles/datacenter_fleet.dir/datacenter_fleet.cpp.o.d"
+  "datacenter_fleet"
+  "datacenter_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

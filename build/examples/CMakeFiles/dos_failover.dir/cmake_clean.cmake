@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dos_failover.dir/dos_failover.cpp.o"
+  "CMakeFiles/dos_failover.dir/dos_failover.cpp.o.d"
+  "dos_failover"
+  "dos_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dos_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

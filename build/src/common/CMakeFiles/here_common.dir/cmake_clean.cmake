@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/here_common.dir/dirty_bitmap.cc.o"
+  "CMakeFiles/here_common.dir/dirty_bitmap.cc.o.d"
+  "CMakeFiles/here_common.dir/log.cc.o"
+  "CMakeFiles/here_common.dir/log.cc.o.d"
+  "CMakeFiles/here_common.dir/thread_pool.cc.o"
+  "CMakeFiles/here_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/here_common.dir/units.cc.o"
+  "CMakeFiles/here_common.dir/units.cc.o.d"
+  "libhere_common.a"
+  "libhere_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/here_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/dirty_logs.cc" "src/hv/CMakeFiles/here_hv.dir/dirty_logs.cc.o" "gcc" "src/hv/CMakeFiles/here_hv.dir/dirty_logs.cc.o.d"
+  "/root/repo/src/hv/disk.cc" "src/hv/CMakeFiles/here_hv.dir/disk.cc.o" "gcc" "src/hv/CMakeFiles/here_hv.dir/disk.cc.o.d"
+  "/root/repo/src/hv/guest_memory.cc" "src/hv/CMakeFiles/here_hv.dir/guest_memory.cc.o" "gcc" "src/hv/CMakeFiles/here_hv.dir/guest_memory.cc.o.d"
+  "/root/repo/src/hv/host.cc" "src/hv/CMakeFiles/here_hv.dir/host.cc.o" "gcc" "src/hv/CMakeFiles/here_hv.dir/host.cc.o.d"
+  "/root/repo/src/hv/hypervisor.cc" "src/hv/CMakeFiles/here_hv.dir/hypervisor.cc.o" "gcc" "src/hv/CMakeFiles/here_hv.dir/hypervisor.cc.o.d"
+  "/root/repo/src/hv/pml_ring.cc" "src/hv/CMakeFiles/here_hv.dir/pml_ring.cc.o" "gcc" "src/hv/CMakeFiles/here_hv.dir/pml_ring.cc.o.d"
+  "/root/repo/src/hv/vm.cc" "src/hv/CMakeFiles/here_hv.dir/vm.cc.o" "gcc" "src/hv/CMakeFiles/here_hv.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/here_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/here_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/here_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

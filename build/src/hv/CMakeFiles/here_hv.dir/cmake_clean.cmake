@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/here_hv.dir/dirty_logs.cc.o"
+  "CMakeFiles/here_hv.dir/dirty_logs.cc.o.d"
+  "CMakeFiles/here_hv.dir/disk.cc.o"
+  "CMakeFiles/here_hv.dir/disk.cc.o.d"
+  "CMakeFiles/here_hv.dir/guest_memory.cc.o"
+  "CMakeFiles/here_hv.dir/guest_memory.cc.o.d"
+  "CMakeFiles/here_hv.dir/host.cc.o"
+  "CMakeFiles/here_hv.dir/host.cc.o.d"
+  "CMakeFiles/here_hv.dir/hypervisor.cc.o"
+  "CMakeFiles/here_hv.dir/hypervisor.cc.o.d"
+  "CMakeFiles/here_hv.dir/pml_ring.cc.o"
+  "CMakeFiles/here_hv.dir/pml_ring.cc.o.d"
+  "CMakeFiles/here_hv.dir/vm.cc.o"
+  "CMakeFiles/here_hv.dir/vm.cc.o.d"
+  "libhere_hv.a"
+  "libhere_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/here_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvmsim/kvm_hypervisor.cc" "src/kvmsim/CMakeFiles/here_kvmsim.dir/kvm_hypervisor.cc.o" "gcc" "src/kvmsim/CMakeFiles/here_kvmsim.dir/kvm_hypervisor.cc.o.d"
+  "/root/repo/src/kvmsim/kvm_state.cc" "src/kvmsim/CMakeFiles/here_kvmsim.dir/kvm_state.cc.o" "gcc" "src/kvmsim/CMakeFiles/here_kvmsim.dir/kvm_state.cc.o.d"
+  "/root/repo/src/kvmsim/virtio_devices.cc" "src/kvmsim/CMakeFiles/here_kvmsim.dir/virtio_devices.cc.o" "gcc" "src/kvmsim/CMakeFiles/here_kvmsim.dir/virtio_devices.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/here_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/here_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/here_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/here_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/here_kvmsim.dir/kvm_hypervisor.cc.o"
+  "CMakeFiles/here_kvmsim.dir/kvm_hypervisor.cc.o.d"
+  "CMakeFiles/here_kvmsim.dir/kvm_state.cc.o"
+  "CMakeFiles/here_kvmsim.dir/kvm_state.cc.o.d"
+  "CMakeFiles/here_kvmsim.dir/virtio_devices.cc.o"
+  "CMakeFiles/here_kvmsim.dir/virtio_devices.cc.o.d"
+  "libhere_kvmsim.a"
+  "libhere_kvmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/here_kvmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/here_mgmt.dir/protection_manager.cc.o"
+  "CMakeFiles/here_mgmt.dir/protection_manager.cc.o.d"
+  "CMakeFiles/here_mgmt.dir/virt.cc.o"
+  "CMakeFiles/here_mgmt.dir/virt.cc.o.d"
+  "libhere_mgmt.a"
+  "libhere_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/here_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

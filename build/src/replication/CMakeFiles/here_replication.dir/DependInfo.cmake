@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replication/detectors.cc" "src/replication/CMakeFiles/here_replication.dir/detectors.cc.o" "gcc" "src/replication/CMakeFiles/here_replication.dir/detectors.cc.o.d"
+  "/root/repo/src/replication/io_buffer.cc" "src/replication/CMakeFiles/here_replication.dir/io_buffer.cc.o" "gcc" "src/replication/CMakeFiles/here_replication.dir/io_buffer.cc.o.d"
+  "/root/repo/src/replication/migrator.cc" "src/replication/CMakeFiles/here_replication.dir/migrator.cc.o" "gcc" "src/replication/CMakeFiles/here_replication.dir/migrator.cc.o.d"
+  "/root/repo/src/replication/period_manager.cc" "src/replication/CMakeFiles/here_replication.dir/period_manager.cc.o" "gcc" "src/replication/CMakeFiles/here_replication.dir/period_manager.cc.o.d"
+  "/root/repo/src/replication/replication_engine.cc" "src/replication/CMakeFiles/here_replication.dir/replication_engine.cc.o" "gcc" "src/replication/CMakeFiles/here_replication.dir/replication_engine.cc.o.d"
+  "/root/repo/src/replication/seeder.cc" "src/replication/CMakeFiles/here_replication.dir/seeder.cc.o" "gcc" "src/replication/CMakeFiles/here_replication.dir/seeder.cc.o.d"
+  "/root/repo/src/replication/staging.cc" "src/replication/CMakeFiles/here_replication.dir/staging.cc.o" "gcc" "src/replication/CMakeFiles/here_replication.dir/staging.cc.o.d"
+  "/root/repo/src/replication/testbed.cc" "src/replication/CMakeFiles/here_replication.dir/testbed.cc.o" "gcc" "src/replication/CMakeFiles/here_replication.dir/testbed.cc.o.d"
+  "/root/repo/src/replication/time_model.cc" "src/replication/CMakeFiles/here_replication.dir/time_model.cc.o" "gcc" "src/replication/CMakeFiles/here_replication.dir/time_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xensim/CMakeFiles/here_xensim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvmsim/CMakeFiles/here_kvmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/xlate/CMakeFiles/here_xlate.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/here_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/here_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/here_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/here_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/here_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

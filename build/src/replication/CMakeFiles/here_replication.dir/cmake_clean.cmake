@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/here_replication.dir/detectors.cc.o"
+  "CMakeFiles/here_replication.dir/detectors.cc.o.d"
+  "CMakeFiles/here_replication.dir/io_buffer.cc.o"
+  "CMakeFiles/here_replication.dir/io_buffer.cc.o.d"
+  "CMakeFiles/here_replication.dir/migrator.cc.o"
+  "CMakeFiles/here_replication.dir/migrator.cc.o.d"
+  "CMakeFiles/here_replication.dir/period_manager.cc.o"
+  "CMakeFiles/here_replication.dir/period_manager.cc.o.d"
+  "CMakeFiles/here_replication.dir/replication_engine.cc.o"
+  "CMakeFiles/here_replication.dir/replication_engine.cc.o.d"
+  "CMakeFiles/here_replication.dir/seeder.cc.o"
+  "CMakeFiles/here_replication.dir/seeder.cc.o.d"
+  "CMakeFiles/here_replication.dir/staging.cc.o"
+  "CMakeFiles/here_replication.dir/staging.cc.o.d"
+  "CMakeFiles/here_replication.dir/testbed.cc.o"
+  "CMakeFiles/here_replication.dir/testbed.cc.o.d"
+  "CMakeFiles/here_replication.dir/time_model.cc.o"
+  "CMakeFiles/here_replication.dir/time_model.cc.o.d"
+  "libhere_replication.a"
+  "libhere_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/here_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

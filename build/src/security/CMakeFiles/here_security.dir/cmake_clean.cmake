@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/here_security.dir/exploit.cc.o"
+  "CMakeFiles/here_security.dir/exploit.cc.o.d"
+  "CMakeFiles/here_security.dir/scenarios.cc.o"
+  "CMakeFiles/here_security.dir/scenarios.cc.o.d"
+  "CMakeFiles/here_security.dir/vuln_db.cc.o"
+  "CMakeFiles/here_security.dir/vuln_db.cc.o.d"
+  "libhere_security.a"
+  "libhere_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/here_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/here_sim.dir/event_queue.cc.o"
+  "CMakeFiles/here_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/here_sim.dir/rng.cc.o"
+  "CMakeFiles/here_sim.dir/rng.cc.o.d"
+  "CMakeFiles/here_sim.dir/stats.cc.o"
+  "CMakeFiles/here_sim.dir/stats.cc.o.d"
+  "CMakeFiles/here_sim.dir/time.cc.o"
+  "CMakeFiles/here_sim.dir/time.cc.o.d"
+  "libhere_sim.a"
+  "libhere_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/here_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/here_simnet.dir/fabric.cc.o"
+  "CMakeFiles/here_simnet.dir/fabric.cc.o.d"
+  "libhere_simnet.a"
+  "libhere_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/here_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

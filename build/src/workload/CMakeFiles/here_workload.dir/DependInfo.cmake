@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/kvstore.cc" "src/workload/CMakeFiles/here_workload.dir/kvstore.cc.o" "gcc" "src/workload/CMakeFiles/here_workload.dir/kvstore.cc.o.d"
+  "/root/repo/src/workload/sockperf.cc" "src/workload/CMakeFiles/here_workload.dir/sockperf.cc.o" "gcc" "src/workload/CMakeFiles/here_workload.dir/sockperf.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/here_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/here_workload.dir/synthetic.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/workload/CMakeFiles/here_workload.dir/ycsb.cc.o" "gcc" "src/workload/CMakeFiles/here_workload.dir/ycsb.cc.o.d"
+  "/root/repo/src/workload/zipfian.cc" "src/workload/CMakeFiles/here_workload.dir/zipfian.cc.o" "gcc" "src/workload/CMakeFiles/here_workload.dir/zipfian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/here_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/here_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/here_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/here_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

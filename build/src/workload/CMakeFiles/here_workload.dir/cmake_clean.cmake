@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/here_workload.dir/kvstore.cc.o"
+  "CMakeFiles/here_workload.dir/kvstore.cc.o.d"
+  "CMakeFiles/here_workload.dir/sockperf.cc.o"
+  "CMakeFiles/here_workload.dir/sockperf.cc.o.d"
+  "CMakeFiles/here_workload.dir/synthetic.cc.o"
+  "CMakeFiles/here_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/here_workload.dir/ycsb.cc.o"
+  "CMakeFiles/here_workload.dir/ycsb.cc.o.d"
+  "CMakeFiles/here_workload.dir/zipfian.cc.o"
+  "CMakeFiles/here_workload.dir/zipfian.cc.o.d"
+  "libhere_workload.a"
+  "libhere_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/here_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xensim/grant_table.cc" "src/xensim/CMakeFiles/here_xensim.dir/grant_table.cc.o" "gcc" "src/xensim/CMakeFiles/here_xensim.dir/grant_table.cc.o.d"
+  "/root/repo/src/xensim/xen_devices.cc" "src/xensim/CMakeFiles/here_xensim.dir/xen_devices.cc.o" "gcc" "src/xensim/CMakeFiles/here_xensim.dir/xen_devices.cc.o.d"
+  "/root/repo/src/xensim/xen_hypervisor.cc" "src/xensim/CMakeFiles/here_xensim.dir/xen_hypervisor.cc.o" "gcc" "src/xensim/CMakeFiles/here_xensim.dir/xen_hypervisor.cc.o.d"
+  "/root/repo/src/xensim/xen_state.cc" "src/xensim/CMakeFiles/here_xensim.dir/xen_state.cc.o" "gcc" "src/xensim/CMakeFiles/here_xensim.dir/xen_state.cc.o.d"
+  "/root/repo/src/xensim/xenstore.cc" "src/xensim/CMakeFiles/here_xensim.dir/xenstore.cc.o" "gcc" "src/xensim/CMakeFiles/here_xensim.dir/xenstore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/here_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/here_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/here_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/here_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

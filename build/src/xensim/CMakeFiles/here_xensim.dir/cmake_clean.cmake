@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/here_xensim.dir/grant_table.cc.o"
+  "CMakeFiles/here_xensim.dir/grant_table.cc.o.d"
+  "CMakeFiles/here_xensim.dir/xen_devices.cc.o"
+  "CMakeFiles/here_xensim.dir/xen_devices.cc.o.d"
+  "CMakeFiles/here_xensim.dir/xen_hypervisor.cc.o"
+  "CMakeFiles/here_xensim.dir/xen_hypervisor.cc.o.d"
+  "CMakeFiles/here_xensim.dir/xen_state.cc.o"
+  "CMakeFiles/here_xensim.dir/xen_state.cc.o.d"
+  "CMakeFiles/here_xensim.dir/xenstore.cc.o"
+  "CMakeFiles/here_xensim.dir/xenstore.cc.o.d"
+  "libhere_xensim.a"
+  "libhere_xensim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/here_xensim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

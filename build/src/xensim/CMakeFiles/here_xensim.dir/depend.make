@@ -1,0 +1,2 @@
+# Empty dependencies file for here_xensim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/here_xlate.dir/translator.cc.o"
+  "CMakeFiles/here_xlate.dir/translator.cc.o.d"
+  "libhere_xlate.a"
+  "libhere_xlate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/here_xlate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

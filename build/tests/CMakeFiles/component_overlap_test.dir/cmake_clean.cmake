@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/component_overlap_test.dir/security/component_overlap_test.cc.o"
+  "CMakeFiles/component_overlap_test.dir/security/component_overlap_test.cc.o.d"
+  "component_overlap_test"
+  "component_overlap_test.pdb"
+  "component_overlap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/component_overlap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

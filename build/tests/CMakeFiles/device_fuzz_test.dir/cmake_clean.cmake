@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_fuzz_test.dir/xlate/device_fuzz_test.cc.o"
+  "CMakeFiles/device_fuzz_test.dir/xlate/device_fuzz_test.cc.o.d"
+  "device_fuzz_test"
+  "device_fuzz_test.pdb"
+  "device_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

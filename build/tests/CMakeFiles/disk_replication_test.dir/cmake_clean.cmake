@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_replication_test.dir/replication/disk_replication_test.cc.o"
+  "CMakeFiles/disk_replication_test.dir/replication/disk_replication_test.cc.o.d"
+  "disk_replication_test"
+  "disk_replication_test.pdb"
+  "disk_replication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

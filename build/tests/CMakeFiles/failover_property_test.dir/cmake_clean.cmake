@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_property_test.dir/replication/failover_property_test.cc.o"
+  "CMakeFiles/failover_property_test.dir/replication/failover_property_test.cc.o.d"
+  "failover_property_test"
+  "failover_property_test.pdb"
+  "failover_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

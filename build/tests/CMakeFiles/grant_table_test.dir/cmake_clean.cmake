@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grant_table_test.dir/xensim/grant_table_test.cc.o"
+  "CMakeFiles/grant_table_test.dir/xensim/grant_table_test.cc.o.d"
+  "grant_table_test"
+  "grant_table_test.pdb"
+  "grant_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grant_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvmsim_test.dir/kvmsim/kvm_test.cc.o"
+  "CMakeFiles/kvmsim_test.dir/kvmsim/kvm_test.cc.o.d"
+  "kvmsim_test"
+  "kvmsim_test.pdb"
+  "kvmsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvmsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_vm_test.dir/replication/multi_vm_test.cc.o"
+  "CMakeFiles/multi_vm_test.dir/replication/multi_vm_test.cc.o.d"
+  "multi_vm_test"
+  "multi_vm_test.pdb"
+  "multi_vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_components_test.dir/replication/components_test.cc.o"
+  "CMakeFiles/replication_components_test.dir/replication/components_test.cc.o.d"
+  "replication_components_test"
+  "replication_components_test.pdb"
+  "replication_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

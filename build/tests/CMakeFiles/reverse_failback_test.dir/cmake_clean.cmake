@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_failback_test.dir/replication/reverse_failback_test.cc.o"
+  "CMakeFiles/reverse_failback_test.dir/replication/reverse_failback_test.cc.o.d"
+  "reverse_failback_test"
+  "reverse_failback_test.pdb"
+  "reverse_failback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_failback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seeder_test.dir/replication/seeder_test.cc.o"
+  "CMakeFiles/seeder_test.dir/replication/seeder_test.cc.o.d"
+  "seeder_test"
+  "seeder_test.pdb"
+  "seeder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seeder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xensim_test.dir/xensim/xen_test.cc.o"
+  "CMakeFiles/xensim_test.dir/xensim/xen_test.cc.o.d"
+  "xensim_test"
+  "xensim_test.pdb"
+  "xensim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xensim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

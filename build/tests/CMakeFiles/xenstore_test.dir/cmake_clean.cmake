@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xenstore_test.dir/xensim/xenstore_test.cc.o"
+  "CMakeFiles/xenstore_test.dir/xensim/xenstore_test.cc.o.d"
+  "xenstore_test"
+  "xenstore_test.pdb"
+  "xenstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xenstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlate_test.dir/xlate/translator_test.cc.o"
+  "CMakeFiles/xlate_test.dir/xlate/translator_test.cc.o.d"
+  "xlate_test"
+  "xlate_test.pdb"
+  "xlate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
