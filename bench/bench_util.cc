@@ -1,6 +1,66 @@
 #include "bench/bench_util.h"
 
+#include <fstream>
+#include <string_view>
+
 namespace here::bench {
+
+ObsSession::ObsSession(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--trace-out=")) {
+      trace_path_ = arg.substr(std::string_view("--trace-out=").size());
+    } else if (arg.starts_with("--metrics-out=")) {
+      metrics_path_ = arg.substr(std::string_view("--metrics-out=").size());
+    }
+  }
+  if (!trace_path_.empty()) {
+    recorder_ = std::make_unique<obs::RingBufferRecorder>(1u << 20);
+    tracer_.set_sink(recorder_.get());
+  }
+  if (!metrics_path_.empty()) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+  }
+}
+
+void ObsSession::attach(rep::TestbedConfig& config) {
+  config.engine.tracer = tracer();
+  config.engine.metrics = metrics();
+}
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "obs: failed to write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ObsSession::finish() {
+  bool ok = true;
+  if (recorder_) {
+    const std::vector<obs::TraceEvent> events = recorder_->snapshot();
+    ok &= write_file(trace_path_, obs::to_jsonl(events));
+    ok &= write_file(trace_path_ + ".chrome.json", obs::to_chrome_trace(events));
+    if (recorder_->overwritten() > 0) {
+      std::fprintf(stderr,
+                   "obs: ring wrapped, oldest %llu events lost (capacity %zu)\n",
+                   static_cast<unsigned long long>(recorder_->overwritten()),
+                   recorder_->capacity());
+    }
+  }
+  if (metrics_) {
+    ok &= write_file(metrics_path_, metrics_->to_json() + "\n");
+  }
+  return ok;
+}
 
 namespace {
 
@@ -19,8 +79,11 @@ rep::TestbedConfig testbed_config(rep::EngineMode mode, const hv::VmSpec& vm,
 }  // namespace
 
 CheckpointRunResult run_checkpoint_experiment(const CheckpointRunConfig& config) {
-  rep::Testbed bed(
-      testbed_config(config.mode, config.vm, config.period, config.seed));
+  rep::TestbedConfig tb =
+      testbed_config(config.mode, config.vm, config.period, config.seed);
+  tb.engine.tracer = config.tracer;
+  tb.engine.metrics = config.metrics;
+  rep::Testbed bed(tb);
   hv::Vm& vm = bed.create_vm(std::make_unique<wl::SyntheticProgram>(
       wl::memory_microbench(config.load_percent)));
   bed.protect(vm);

@@ -8,14 +8,59 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "replication/testbed.h"
 #include "workload/sockperf.h"
 #include "workload/synthetic.h"
 #include "workload/ycsb.h"
 
 namespace here::bench {
+
+// --- Observability session --------------------------------------------------------
+//
+// Every bench binary accepts:
+//   --trace-out=FILE    write the run's trace as JSON-lines to FILE, plus a
+//                       Chrome trace_event version to FILE.chrome.json
+//                       (loadable in chrome://tracing / ui.perfetto.dev)
+//   --metrics-out=FILE  write the final metrics registry snapshot as JSON
+//
+// Usage in a bench main():
+//   ObsSession obs(argc, argv);
+//   rep::TestbedConfig tb; ...; obs.attach(tb);
+//   ... run the experiment ...
+//   obs.finish();   // writes the files (no-op when neither flag was given)
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv);
+
+  // Points the testbed's engine (and through it the seeder, outbound buffer
+  // and fabric) at this session's tracer/metrics. Call before Testbed
+  // construction. No-op when neither output flag was given.
+  void attach(rep::TestbedConfig& config);
+
+  [[nodiscard]] bool enabled() const { return recorder_ != nullptr; }
+  [[nodiscard]] obs::Tracer* tracer() {
+    return recorder_ ? &tracer_ : nullptr;
+  }
+  [[nodiscard]] obs::MetricsRegistry* metrics() {
+    return metrics_ ? metrics_.get() : nullptr;
+  }
+
+  // Writes the requested output files; returns false (after printing to
+  // stderr) if any write failed. Safe to call when disabled.
+  bool finish();
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<obs::RingBufferRecorder> recorder_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  obs::Tracer tracer_;
+};
 
 // Memory scale used for GB-class sweeps: 1/64 of the pages are backed.
 inline constexpr std::uint64_t kScale = 64;
@@ -44,6 +89,11 @@ struct CheckpointRunConfig {
   sim::Duration measure_for = sim::from_seconds(60);
   bool fail_primary_at_end = false;        // to measure resumption (Fig. 7)
   std::uint64_t seed = 42;
+  // Optional observability (borrowed; see ObsSession). Successive
+  // experiments append to the same trace/registry; each run's simulated
+  // clock restarts at 0.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 [[nodiscard]] CheckpointRunResult run_checkpoint_experiment(

@@ -9,7 +9,7 @@ namespace {
 using namespace here;
 using namespace here::bench;
 
-void run_panel(const char* label, double load_percent) {
+void run_panel(ObsSession& obs, const char* label, double load_percent) {
   print_title(std::string("Fig. 8: checkpoint transfer time & degradation, ") +
               label + " (T = 8 s)");
   std::printf("%-10s %16s %16s %10s | %12s %12s\n", "Mem(GB)", "Remus t(ms)",
@@ -21,6 +21,8 @@ void run_panel(const char* label, double load_percent) {
     config.period.t_max = sim::from_seconds(8);
     config.period.target_degradation = 0.0;  // fixed period
     config.measure_for = sim::from_seconds(80);
+    config.tracer = obs.tracer();
+    config.metrics = obs.metrics();
 
     config.mode = rep::EngineMode::kRemus;
     const CheckpointRunResult remus = run_checkpoint_experiment(config);
@@ -40,8 +42,9 @@ void run_panel(const char* label, double load_percent) {
 
 }  // namespace
 
-int main() {
-  run_panel("idle VM (a, c)", 0.0);
-  run_panel("30% memory load (b, d)", 30.0);
-  return 0;
+int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
+  run_panel(obs, "idle VM (a, c)", 0.0);
+  run_panel(obs, "30% memory load (b, d)", 30.0);
+  return obs.finish() ? 0 : 1;
 }

@@ -12,7 +12,12 @@ using namespace here::bench;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out=FILE emits per-epoch "epoch.commit" JSONL records carrying
+  // epoch/pause/period/degradation/dirty_pages/bytes, plus the
+  // "period.decide" stream showing Algorithm 1's inputs and outputs.
+  ObsSession obs(argc, argv);
+
   rep::TestbedConfig tb;
   tb.vm_spec = paper_vm(8.0);
   tb.engine.mode = rep::EngineMode::kHere;
@@ -20,6 +25,7 @@ int main() {
   tb.engine.period.t_max = sim::from_seconds(25);
   tb.engine.period.target_degradation = 0.30;
   tb.engine.period.sigma = sim::from_seconds(1);
+  obs.attach(tb);
   rep::Testbed bed(tb);
 
   auto program_owned = std::make_unique<wl::SyntheticProgram>(
@@ -61,5 +67,5 @@ int main() {
   std::printf(
       "\nExpected shape: period rises after the 80%% step, falls after the\n"
       "5%% step; degradation tracks the 30%% set-point between transients.\n");
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

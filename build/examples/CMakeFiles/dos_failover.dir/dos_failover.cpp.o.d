@@ -231,7 +231,10 @@ examples/CMakeFiles/dos_failover.dir/dos_failover.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/hardware_profile.h /root/repo/src/simnet/fabric.h \
- /root/repo/src/kvmsim/kvm_hypervisor.h /root/repo/src/kvmsim/kvm_state.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/json.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/trace.h /root/repo/src/kvmsim/kvm_hypervisor.h \
+ /root/repo/src/kvmsim/kvm_state.h \
  /root/repo/src/replication/replication_engine.h \
  /usr/include/c++/12/optional /root/repo/src/common/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \

@@ -230,4 +230,7 @@ src/hv/CMakeFiles/here_hv.dir/host.cc.o: /root/repo/src/hv/host.cc \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/hardware_profile.h /root/repo/src/simnet/fabric.h
+ /root/repo/src/sim/hardware_profile.h /root/repo/src/simnet/fabric.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/json.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/trace.h

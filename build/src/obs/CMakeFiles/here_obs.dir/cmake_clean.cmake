@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/here_obs.dir/json.cc.o"
+  "CMakeFiles/here_obs.dir/json.cc.o.d"
+  "CMakeFiles/here_obs.dir/metrics.cc.o"
+  "CMakeFiles/here_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/here_obs.dir/trace.cc.o"
+  "CMakeFiles/here_obs.dir/trace.cc.o.d"
+  "libhere_obs.a"
+  "libhere_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/here_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhere_obs.a"
+)

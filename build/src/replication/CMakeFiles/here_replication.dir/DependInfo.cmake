@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/kvmsim/CMakeFiles/here_kvmsim.dir/DependInfo.cmake"
   "/root/repo/build/src/xlate/CMakeFiles/here_xlate.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/here_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/here_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/hv/CMakeFiles/here_hv.dir/DependInfo.cmake"
   "/root/repo/build/src/simnet/CMakeFiles/here_simnet.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/here_common.dir/DependInfo.cmake"

@@ -241,7 +241,10 @@ src/replication/CMakeFiles/here_replication.dir/migrator.cc.o: \
  /root/repo/src/hv/guest_program.h /root/repo/src/sim/rng.h \
  /root/repo/src/hv/types.h /root/repo/src/sim/event_queue.h \
  /root/repo/src/sim/hardware_profile.h /root/repo/src/simnet/fabric.h \
- /root/repo/src/replication/seeder.h /root/repo/src/replication/staging.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/json.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/trace.h /root/repo/src/replication/seeder.h \
+ /root/repo/src/replication/staging.h \
  /root/repo/src/replication/time_model.h /root/repo/src/common/log.h \
  /root/repo/src/xlate/translator.h /root/repo/src/kvmsim/kvm_state.h \
  /root/repo/src/xensim/xen_state.h

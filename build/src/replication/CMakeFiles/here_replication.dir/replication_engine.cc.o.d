@@ -243,8 +243,10 @@ src/replication/CMakeFiles/here_replication.dir/replication_engine.cc.o: \
  /root/repo/src/hv/guest_program.h /root/repo/src/sim/rng.h \
  /root/repo/src/hv/types.h /root/repo/src/sim/event_queue.h \
  /root/repo/src/sim/hardware_profile.h /root/repo/src/simnet/fabric.h \
- /root/repo/src/kvmsim/kvm_hypervisor.h /root/repo/src/kvmsim/kvm_state.h \
- /root/repo/src/replication/detectors.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/json.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/trace.h /root/repo/src/kvmsim/kvm_hypervisor.h \
+ /root/repo/src/kvmsim/kvm_state.h /root/repo/src/replication/detectors.h \
  /root/repo/src/replication/io_buffer.h /root/repo/src/sim/stats.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

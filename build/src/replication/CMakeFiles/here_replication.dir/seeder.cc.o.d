@@ -225,15 +225,18 @@ src/replication/CMakeFiles/here_replication.dir/seeder.cc.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/json.h \
+ /root/repo/src/sim/time.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/replication/staging.h /usr/include/c++/12/span \
  /root/repo/src/hv/disk.h /root/repo/src/hv/guest_memory.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/common/dirty_bitmap.h /root/repo/src/common/units.h \
  /root/repo/src/hv/pml_ring.h /root/repo/src/hv/guest_program.h \
- /root/repo/src/sim/rng.h /root/repo/src/sim/time.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/simnet/packet.h \
+ /root/repo/src/sim/rng.h /root/repo/src/simnet/packet.h \
  /root/repo/src/hv/hypervisor.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/hv/dirty_logs.h \

@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/hv/CMakeFiles/here_hv.dir/DependInfo.cmake"
   "/root/repo/build/src/simnet/CMakeFiles/here_simnet.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/here_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/here_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/here_sim.dir/DependInfo.cmake"
   )
 

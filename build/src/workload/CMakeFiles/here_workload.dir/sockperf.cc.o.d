@@ -225,5 +225,7 @@ src/workload/CMakeFiles/here_workload.dir/sockperf.cc.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/simnet/fabric.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/json.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/trace.h \
  /root/repo/src/sim/hardware_profile.h /root/repo/src/workload/protocol.h

@@ -311,6 +311,8 @@ tests/CMakeFiles/component_overlap_test.dir/security/component_overlap_test.cc.o
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/kvmsim/kvm_state.h \
  /root/repo/src/security/exploit.h /root/repo/src/hv/host.h \
  /root/repo/src/sim/hardware_profile.h /root/repo/src/simnet/fabric.h \
- /root/repo/src/security/vuln_db.h /root/repo/src/xensim/xen_hypervisor.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/json.h \
+ /root/repo/src/obs/trace.h /root/repo/src/security/vuln_db.h \
+ /root/repo/src/xensim/xen_hypervisor.h \
  /root/repo/src/xensim/grant_table.h /root/repo/src/xensim/xen_state.h \
  /root/repo/src/xensim/xenstore.h

@@ -296,14 +296,15 @@ tests/CMakeFiles/replication_components_test.dir/replication/components_test.cc.
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/replication/io_buffer.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/stats.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/sim/time.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/json.h \
+ /root/repo/src/obs/trace.h /root/repo/src/sim/time.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/simnet/fabric.h \
- /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/ratio /root/repo/src/sim/stats.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/simnet/fabric.h /root/repo/src/sim/event_queue.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/hardware_profile.h /root/repo/src/simnet/packet.h \
  /root/repo/src/replication/period_manager.h \
  /root/repo/src/replication/staging.h /usr/include/c++/12/span \

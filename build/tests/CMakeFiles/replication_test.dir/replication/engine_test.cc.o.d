@@ -242,8 +242,10 @@ tests/CMakeFiles/replication_test.dir/replication/engine_test.cc.o: \
  /root/repo/src/hv/guest_program.h /root/repo/src/sim/rng.h \
  /root/repo/src/hv/types.h /root/repo/src/sim/event_queue.h \
  /root/repo/src/sim/hardware_profile.h /root/repo/src/simnet/fabric.h \
- /root/repo/src/kvmsim/kvm_hypervisor.h /root/repo/src/kvmsim/kvm_state.h \
- /root/repo/src/replication/detectors.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/json.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/trace.h /root/repo/src/kvmsim/kvm_hypervisor.h \
+ /root/repo/src/kvmsim/kvm_state.h /root/repo/src/replication/detectors.h \
  /root/repo/src/replication/io_buffer.h /root/repo/src/sim/stats.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
@@ -318,7 +320,6 @@ tests/CMakeFiles/replication_test.dir/replication/engine_test.cc.o: \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

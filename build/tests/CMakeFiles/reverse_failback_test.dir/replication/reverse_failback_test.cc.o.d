@@ -321,7 +321,8 @@ tests/CMakeFiles/reverse_failback_test.dir/replication/reverse_failback_test.cc.
  /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
  /usr/include/c++/12/thread /root/repo/src/hv/host.h \
  /root/repo/src/sim/hardware_profile.h /root/repo/src/simnet/fabric.h \
- /root/repo/src/replication/detectors.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/json.h \
+ /root/repo/src/obs/trace.h /root/repo/src/replication/detectors.h \
  /root/repo/src/replication/io_buffer.h /root/repo/src/sim/stats.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -318,8 +318,9 @@ tests/CMakeFiles/seeder_test.dir/replication/seeder_test.cc.o: \
  /usr/include/c++/12/cstring /root/repo/src/hv/guest_program.h \
  /root/repo/src/sim/rng.h /root/repo/src/hv/types.h \
  /root/repo/src/sim/event_queue.h /root/repo/src/sim/hardware_profile.h \
- /root/repo/src/simnet/fabric.h /root/repo/src/replication/seeder.h \
- /root/repo/src/replication/staging.h \
+ /root/repo/src/simnet/fabric.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/json.h /root/repo/src/obs/trace.h \
+ /root/repo/src/replication/seeder.h /root/repo/src/replication/staging.h \
  /root/repo/src/replication/time_model.h \
  /root/repo/src/replication/testbed.h \
  /root/repo/src/kvmsim/kvm_hypervisor.h /root/repo/src/kvmsim/kvm_state.h \

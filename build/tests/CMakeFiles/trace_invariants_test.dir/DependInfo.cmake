@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs/trace_invariants_test.cc" "tests/CMakeFiles/trace_invariants_test.dir/obs/trace_invariants_test.cc.o" "gcc" "tests/CMakeFiles/trace_invariants_test.dir/obs/trace_invariants_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mgmt/CMakeFiles/here_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/here_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/here_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/xlate/CMakeFiles/here_xlate.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/here_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/xensim/CMakeFiles/here_xensim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvmsim/CMakeFiles/here_kvmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/here_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/here_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/here_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/here_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/here_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_invariants_test.dir/obs/trace_invariants_test.cc.o"
+  "CMakeFiles/trace_invariants_test.dir/obs/trace_invariants_test.cc.o.d"
+  "trace_invariants_test"
+  "trace_invariants_test.pdb"
+  "trace_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -311,6 +311,8 @@ tests/CMakeFiles/workload_test.dir/workload/workload_test.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/simnet/fabric.h /root/repo/src/sim/hardware_profile.h \
- /root/repo/src/workload/protocol.h /root/repo/src/workload/synthetic.h \
- /root/repo/src/workload/ycsb.h /root/repo/src/workload/zipfian.h
+ /root/repo/src/simnet/fabric.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/json.h /root/repo/src/obs/trace.h \
+ /root/repo/src/sim/hardware_profile.h /root/repo/src/workload/protocol.h \
+ /root/repo/src/workload/synthetic.h /root/repo/src/workload/ycsb.h \
+ /root/repo/src/workload/zipfian.h

@@ -1,0 +1,447 @@
+#include "obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace here::obs {
+
+namespace {
+
+[[noreturn]] void bad_kind(const char* expected) {
+  throw std::logic_error(std::string("JsonValue: not a ") + expected);
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+template <typename T>
+void append_number(std::string& out, T value) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  (void)ec;  // 64 chars always suffice for int64/uint64/double
+  out.append(buf, ptr);
+}
+
+// Doubles keep a fraction/exponent marker even when integral (100.0 ->
+// "100.0", not "100") so the numeric *kind* survives a dump/parse round
+// trip — required for snapshot == parse(dump(snapshot)) in the tests.
+void append_double(std::string& out, double value) {
+  const std::size_t start = out.size();
+  append_number(out, value);
+  if (out.find_first_of(".eE", start) == std::string::npos) {
+    out += ".0";
+  }
+}
+
+// --- Parser -------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("json parse error at offset " +
+                                std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') { ++pos_; return obj; }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return obj;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') { ++pos_; return arr; }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') { out.push_back(c); continue; }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': append_codepoint(out, parse_hex4()); break;
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("short \\u escape");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    return v;
+  }
+
+  void append_codepoint(std::string& out, std::uint32_t cp) {
+    // Combine a surrogate pair if one follows.
+    if (cp >= 0xD800 && cp <= 0xDBFF && text_.substr(pos_, 2) == "\\u") {
+      pos_ += 2;
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("unpaired surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    }
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') { ++pos_; continue; }
+      if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("bad number");
+    const char* first = token.data();
+    const char* last = token.data() + token.size();
+    if (!is_double) {
+      if (token[0] == '-') {
+        std::int64_t v = 0;
+        if (auto [p, ec] = std::from_chars(first, last, v);
+            ec == std::errc() && p == last) {
+          return JsonValue(v);
+        }
+      } else {
+        std::uint64_t v = 0;
+        if (auto [p, ec] = std::from_chars(first, last, v);
+            ec == std::errc() && p == last) {
+          return v <= static_cast<std::uint64_t>(
+                          std::numeric_limits<std::int64_t>::max())
+                     ? JsonValue(static_cast<std::int64_t>(v))
+                     : JsonValue(v);
+        }
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    double d = 0.0;
+    if (auto [p, ec] = std::from_chars(first, last, d);
+        ec != std::errc() || p != last) {
+      fail("bad number");
+    }
+    return JsonValue(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) bad_kind("bool");
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int64() const {
+  if (kind_ == Kind::kInt) return int_;
+  if (kind_ == Kind::kUint &&
+      uint_ <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    return static_cast<std::int64_t>(uint_);
+  }
+  bad_kind("int64");
+}
+
+std::uint64_t JsonValue::as_uint64() const {
+  if (kind_ == Kind::kUint) return uint_;
+  if (kind_ == Kind::kInt && int_ >= 0) return static_cast<std::uint64_t>(int_);
+  bad_kind("uint64");
+}
+
+double JsonValue::as_double() const {
+  switch (kind_) {
+    case Kind::kDouble: return double_;
+    case Kind::kInt: return static_cast<double>(int_);
+    case Kind::kUint: return static_cast<double>(uint_);
+    default: bad_kind("number");
+  }
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) bad_kind("string");
+  return string_;
+}
+
+JsonValue& JsonValue::push_back(JsonValue value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  if (kind_ != Kind::kArray) bad_kind("array");
+  array_.push_back(std::move(value));
+  return array_.back();
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) bad_kind("array");
+  return array_;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  bad_kind("container");
+}
+
+const JsonValue& JsonValue::operator[](std::size_t index) const {
+  return items().at(index);
+}
+
+JsonValue& JsonValue::set(std::string_view key, JsonValue value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) bad_kind("object");
+  for (Member& m : object_) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return m.second;
+    }
+  }
+  object_.emplace_back(std::string(key), std::move(value));
+  return object_.back().second;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& m : object_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) {
+    throw std::out_of_range("JsonValue: missing key '" + std::string(key) + "'");
+  }
+  return *v;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  if (kind_ != Kind::kObject) bad_kind("object");
+  return object_;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  // Mixed-signedness integers compare by value.
+  if (kind_ != other.kind_) {
+    if (kind_ == Kind::kInt && other.kind_ == Kind::kUint) {
+      return int_ >= 0 && static_cast<std::uint64_t>(int_) == other.uint_;
+    }
+    if (kind_ == Kind::kUint && other.kind_ == Kind::kInt) {
+      return other == *this;
+    }
+    return false;
+  }
+  switch (kind_) {
+    case Kind::kNull: return true;
+    case Kind::kBool: return bool_ == other.bool_;
+    case Kind::kInt: return int_ == other.int_;
+    case Kind::kUint: return uint_ == other.uint_;
+    case Kind::kDouble: return double_ == other.double_;
+    case Kind::kString: return string_ == other.string_;
+    case Kind::kArray: return array_ == other.array_;
+    case Kind::kObject: return object_ == other.object_;
+  }
+  return false;
+}
+
+void JsonValue::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: append_number(out, int_); break;
+    case Kind::kUint: append_number(out, uint_); break;
+    case Kind::kDouble:
+      if (std::isfinite(double_)) {
+        append_double(out, double_);
+      } else {
+        out += "null";
+      }
+      break;
+    case Kind::kString: append_escaped(out, string_); break;
+    case Kind::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const JsonValue& v : array_) {
+        if (!first) out.push_back(',');
+        first = false;
+        v.dump_to(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const Member& m : object_) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_escaped(out, m.first);
+        out.push_back(':');
+        m.second.dump_to(out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace here::obs

@@ -1,0 +1,101 @@
+// Minimal deterministic JSON value: the serialization backbone of the
+// observability subsystem (trace export, metrics snapshots).
+//
+// Why not a third-party library: the container bakes in no JSON dependency,
+// and determinism is a hard requirement here — identical inputs must yield
+// byte-identical output so that traces can be compared with memcmp (the
+// trace-determinism test battery). Object members therefore keep insertion
+// order, and numbers are printed with std::to_chars (shortest round-trip
+// form, no locale).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace here::obs {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kUint,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+  JsonValue(std::nullptr_t) {}  // NOLINT: implicit by design
+  JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}          // NOLINT
+  JsonValue(std::int32_t value) : JsonValue(std::int64_t{value}) {}    // NOLINT
+  JsonValue(std::uint32_t value) : JsonValue(std::uint64_t{value}) {}  // NOLINT
+  JsonValue(std::int64_t value) : kind_(Kind::kInt), int_(value) {}    // NOLINT
+  JsonValue(std::uint64_t value) : kind_(Kind::kUint), uint_(value) {} // NOLINT
+  JsonValue(double value) : kind_(Kind::kDouble), double_(value) {}    // NOLINT
+  JsonValue(const char* value) : kind_(Kind::kString), string_(value) {}  // NOLINT
+  JsonValue(std::string_view value)                                    // NOLINT
+      : kind_(Kind::kString), string_(value) {}
+  JsonValue(std::string value)                                         // NOLINT
+      : kind_(Kind::kString), string_(std::move(value)) {}
+
+  [[nodiscard]] static JsonValue array();
+  [[nodiscard]] static JsonValue object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint || kind_ == Kind::kDouble;
+  }
+
+  // Accessors assume the matching kind (checked with a throw, not UB).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int64() const;
+  [[nodiscard]] std::uint64_t as_uint64() const;
+  [[nodiscard]] double as_double() const;  // any numeric kind
+  [[nodiscard]] const std::string& as_string() const;
+
+  // Array operations (promote a null value to an empty array on push_back).
+  JsonValue& push_back(JsonValue value);
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const JsonValue& operator[](std::size_t index) const;
+
+  // Object operations (insertion-ordered; set() replaces in place).
+  JsonValue& set(std::string_view key, JsonValue value);
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  // find() that throws on a missing key — for test/consumer convenience.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  [[nodiscard]] const std::vector<Member>& members() const;
+
+  // Semantic equality; kInt and kUint compare equal when they represent the
+  // same mathematical value (parsing does not preserve signedness).
+  [[nodiscard]] bool operator==(const JsonValue& other) const;
+
+  // Compact (no whitespace) deterministic serialization. Non-finite doubles
+  // serialize as null (JSON has no NaN/Inf).
+  [[nodiscard]] std::string dump() const;
+  void dump_to(std::string& out) const;
+
+  // Parses exactly one JSON document (trailing whitespace allowed). Throws
+  // std::invalid_argument with position info on malformed input.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<Member> object_;
+};
+
+}  // namespace here::obs

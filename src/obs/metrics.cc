@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace here::obs {
+
+FixedHistogram::FixedHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("FixedHistogram: bounds must be non-empty");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "FixedHistogram: bounds must be strictly ascending");
+    }
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void FixedHistogram::add(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double FixedHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = static_cast<double>(counts_[i]);
+    if (c == 0.0 || cum + c < target) {
+      cum += c;
+      continue;
+    }
+    // Rank `target` falls in bucket i: interpolate between its edges.
+    const double lo = (i == 0) ? min_ : bounds_[i - 1];
+    const double hi = (i < bounds_.size()) ? bounds_[i] : max_;
+    const double frac = c > 0.0 ? (target - cum) / c : 0.0;
+    return std::clamp(lo + frac * (hi - lo), min_, max_);
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  for (auto& [n, c] : counters_) {
+    if (n == name) return *c;
+  }
+  counters_.emplace_back(std::string(name), std::make_unique<Counter>());
+  return *counters_.back().second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  for (auto& [n, g] : gauges_) {
+    if (n == name) return *g;
+  }
+  gauges_.emplace_back(std::string(name), std::make_unique<Gauge>());
+  return *gauges_.back().second;
+}
+
+FixedHistogram& MetricsRegistry::histogram(std::string_view name,
+                                           std::vector<double> upper_bounds) {
+  for (auto& [n, h] : histograms_) {
+    if (n == name) return *h;
+  }
+  histograms_.emplace_back(
+      std::string(name),
+      std::make_unique<FixedHistogram>(std::move(upper_bounds)));
+  return *histograms_.back().second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  for (const auto& [n, c] : counters_) {
+    if (n == name) return c.get();
+  }
+  return nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  for (const auto& [n, g] : gauges_) {
+    if (n == name) return g.get();
+  }
+  return nullptr;
+}
+
+const FixedHistogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  for (const auto& [n, h] : histograms_) {
+    if (n == name) return h.get();
+  }
+  return nullptr;
+}
+
+JsonValue MetricsRegistry::snapshot() const {
+  JsonValue doc = JsonValue::object();
+
+  JsonValue& counters = doc.set("counters", JsonValue::object());
+  for (const auto& [name, c] : counters_) counters.set(name, c->value());
+
+  JsonValue& gauges = doc.set("gauges", JsonValue::object());
+  for (const auto& [name, g] : gauges_) gauges.set(name, g->value());
+
+  JsonValue& histograms = doc.set("histograms", JsonValue::object());
+  for (const auto& [name, h] : histograms_) {
+    JsonValue entry = JsonValue::object();
+    entry.set("count", h->count());
+    entry.set("sum", h->sum());
+    entry.set("min", h->min());
+    entry.set("max", h->max());
+    entry.set("mean", h->mean());
+    entry.set("p50", h->p50());
+    entry.set("p95", h->p95());
+    entry.set("p99", h->p99());
+    JsonValue& buckets = entry.set("buckets", JsonValue::array());
+    const auto& bounds = h->upper_bounds();
+    const auto& counts = h->counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      JsonValue bucket = JsonValue::object();
+      if (i < bounds.size()) {
+        bucket.set("le", bounds[i]);
+      } else {
+        bucket.set("le", "+inf");
+      }
+      bucket.set("count", counts[i]);
+      buckets.push_back(std::move(bucket));
+    }
+    histograms.set(name, std::move(entry));
+  }
+  return doc;
+}
+
+}  // namespace here::obs

@@ -1,0 +1,128 @@
+// Metrics registry: counters, gauges and fixed-bucket histograms with
+// deterministic JSON snapshots.
+//
+// Differences from sim::Histogram (exact, sample-storing): FixedHistogram is
+// O(1) per observation and O(buckets) memory, which is what a permanently-on
+// metrics layer wants on hot paths; quantiles are estimated by linear
+// interpolation inside the owning bucket (error bounded by bucket width).
+//
+// Registration order is preserved, so a snapshot of the same run is
+// byte-identical across executions — the same determinism contract as the
+// trace subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace here::obs {
+
+// Monotone event counter. Saturates at uint64 max instead of wrapping: a
+// pegged counter is an obvious "overflowed" signal, a wrapped one silently
+// lies (tested in tests/obs/metrics_test.cc).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+    value_ = (max - value_ < delta) ? max : value_ + delta;
+  }
+  void increment() { add(1); }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Last-value gauge.
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Histogram over fixed, strictly ascending upper bounds. Bucket i counts
+// observations x with bounds[i-1] < x <= bounds[i] (cumulative-"le"
+// semantics); an implicit overflow bucket catches x > bounds.back().
+class FixedHistogram {
+ public:
+  // `upper_bounds` must be non-empty and strictly ascending (throws
+  // std::invalid_argument otherwise).
+  explicit FixedHistogram(std::vector<double> upper_bounds);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  [[nodiscard]] const std::vector<double>& upper_bounds() const {
+    return bounds_;
+  }
+  // counts().size() == upper_bounds().size() + 1; the last entry is the
+  // overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+
+  // Quantile estimate for q in [0, 1]: linear interpolation inside the
+  // bucket holding the target rank, clamped to the observed [min, max].
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Named instrument registry. Instruments are find-or-create and returned by
+// stable reference (instruments never move once registered), so components
+// can cache the pointer and skip the name lookup on hot paths.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // On first use registers a histogram with `upper_bounds`; later calls with
+  // the same name return the existing instrument (bounds ignored).
+  FixedHistogram& histogram(std::string_view name,
+                            std::vector<double> upper_bounds);
+
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const FixedHistogram* find_histogram(
+      std::string_view name) const;
+
+  // Deterministic snapshot (registration order):
+  //   {"counters":{...},"gauges":{...},
+  //    "histograms":{name:{count,sum,min,max,mean,p50,p95,p99,
+  //                        buckets:[{"le":<bound|"+inf">,"count":n},...]}}}
+  [[nodiscard]] JsonValue snapshot() const;
+  [[nodiscard]] std::string to_json() const { return snapshot().dump(); }
+
+ private:
+  template <typename T>
+  using Entries = std::vector<std::pair<std::string, std::unique_ptr<T>>>;
+
+  Entries<Counter> counters_;
+  Entries<Gauge> gauges_;
+  Entries<FixedHistogram> histograms_;
+};
+
+}  // namespace here::obs

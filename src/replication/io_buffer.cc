@@ -2,11 +2,25 @@
 
 namespace here::rep {
 
+void OutboundBuffer::attach_obs(obs::Tracer* tracer,
+                                obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  if (metrics != nullptr) {
+    m_captured_ = &metrics->counter("rep.io.captured_packets");
+    m_released_ = &metrics->counter("rep.io.released_packets");
+    m_dropped_ = &metrics->counter("rep.io.dropped_packets");
+    m_delay_ms_ = &metrics->histogram(
+        "rep.io.delay_ms",
+        {0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000});
+  }
+}
+
 void OutboundBuffer::capture(const net::Packet& packet, std::uint64_t epoch,
                              sim::TimePoint now) {
   held_.push_back(Held{packet, epoch, now});
   pending_bytes_ += packet.size_bytes;
   ++captured_;
+  if (m_captured_ != nullptr) m_captured_->increment();
 }
 
 std::size_t OutboundBuffer::release_up_to(std::uint64_t epoch,
@@ -14,13 +28,20 @@ std::size_t OutboundBuffer::release_up_to(std::uint64_t epoch,
   std::size_t n = 0;
   while (!held_.empty() && held_.front().epoch <= epoch) {
     Held& h = held_.front();
-    delay_ms_.add(sim::to_millis(now - h.captured_at));
+    const double delay = sim::to_millis(now - h.captured_at);
+    delay_ms_.add(delay);
+    if (m_delay_ms_ != nullptr) m_delay_ms_->add(delay);
+    if (tracer_ != nullptr) {
+      tracer_->instant(now, "io.release", "io",
+                       {{"epoch", h.epoch}, {"bytes", h.packet.size_bytes}});
+    }
     pending_bytes_ -= h.packet.size_bytes;
     fabric_.send(h.packet);
     held_.pop_front();
     ++n;
   }
   released_ += n;
+  if (m_released_ != nullptr) m_released_->add(n);
   return n;
 }
 
@@ -29,6 +50,7 @@ std::size_t OutboundBuffer::drop_all() {
   pending_bytes_ = 0;
   held_.clear();
   dropped_ += n;
+  if (m_dropped_ != nullptr) m_dropped_->add(n);
   return n;
 }
 

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <deque>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/stats.h"
 #include "sim/time.h"
 #include "simnet/fabric.h"
@@ -40,6 +42,13 @@ class OutboundBuffer {
   // Distribution of buffering delays (ms), for the Fig. 17 analysis.
   [[nodiscard]] const sim::Histogram& delay_ms() const { return delay_ms_; }
 
+  // Observability hooks (src/obs); pointers are borrowed, either may be
+  // null. With a tracer attached, every released packet emits an "io.release"
+  // instant tagged with the packet's *own* epoch — the trace-level witness of
+  // the output-commit property (no release event may precede its epoch's
+  // commit event; checked by tests/obs/trace_invariants_test.cc).
+  void attach_obs(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
  private:
   struct Held {
     net::Packet packet;
@@ -54,6 +63,12 @@ class OutboundBuffer {
   std::uint64_t dropped_ = 0;
   std::uint64_t pending_bytes_ = 0;
   sim::Histogram delay_ms_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* m_captured_ = nullptr;
+  obs::Counter* m_released_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
+  obs::FixedHistogram* m_delay_ms_ = nullptr;
 };
 
 }  // namespace here::rep

@@ -36,12 +36,19 @@ void Migrator::migrate(hv::Vm& vm, DoneFn done) {
         destination_.hypervisor().default_cpuid());
   }
 
+  if (tracer_ != nullptr) {
+    tracer_->instant(sim_.now(), "migrate.start", "migrate",
+                     {{"vm", vm.spec().name},
+                      {"src", source_.name()},
+                      {"dst", destination_.name()}});
+  }
+
   staging_ = std::make_unique<ReplicaStaging>(
       vm.spec(),
       seed_config_.mode == SeedMode::kHereMultithreaded ? vm.spec().vcpus : 1);
   seeder_ = std::make_unique<Seeder>(sim_, model_, pool_,
                                      source_.hypervisor(), vm, *staging_,
-                                     seed_config_);
+                                     seed_config_, tracer_);
   seeder_->start([this](const SeedResult& result) {
     result_.seed = result;
     activate_on_destination();
@@ -91,6 +98,12 @@ void Migrator::activate_on_destination() {
     HERE_LOG(kInfo, "migration done in %s (downtime %s)",
              sim::format_duration(result_.total_time).c_str(),
              sim::format_duration(result_.downtime).c_str());
+    if (tracer_ != nullptr) {
+      tracer_->instant(sim_.now(), "migrate.done", "migrate",
+                       {{"total_ns", result_.total_time.count()},
+                        {"downtime_ns", result_.downtime.count()},
+                        {"translated", result_.translated}});
+    }
     if (done_) done_(result_);
   }, "migrate-activate");
 }

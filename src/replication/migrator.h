@@ -31,6 +31,11 @@ class Migrator {
            common::ThreadPool& pool, hv::Host& source, hv::Host& destination,
            SeedConfig seed_config);
 
+  // Optional observability: the tracer (borrowed, may be null) receives
+  // migrate.start/migrate.done instants plus the underlying Seeder's "seed"
+  // spans. Must be set before migrate().
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   // Migrates `vm` (owned by the source host's hypervisor; any kind). On
   // completion the source VM is destroyed and the destination VM is running.
   void migrate(hv::Vm& vm, DoneFn done);
@@ -46,6 +51,7 @@ class Migrator {
   hv::Host& source_;
   hv::Host& destination_;
   SeedConfig seed_config_;
+  obs::Tracer* tracer_ = nullptr;
 
   hv::Vm* vm_ = nullptr;
   hv::Vm* dest_vm_ = nullptr;

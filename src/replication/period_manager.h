@@ -52,6 +52,13 @@ struct PeriodConfig {
   sim::Duration adaptive_remus_io_period = sim::from_millis(500);
 };
 
+// Validates a PeriodConfig: throws std::invalid_argument on t_max <= 0,
+// sigma <= 0, target_degradation outside [0, 1), or a non-positive Adaptive
+// Remus I/O period. The ReplicationEngine calls this before any component is
+// built, so a bad config fails fast with a clear message instead of driving
+// Algorithm 1 (or the checkpoint scheduler) into undefined territory.
+void validate_period_config(const PeriodConfig& config);
+
 class PeriodManager {
  public:
   explicit PeriodManager(PeriodConfig config);

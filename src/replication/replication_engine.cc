@@ -11,6 +11,31 @@ namespace here::rep {
 
 using common::kPagesPerRegion;
 
+namespace {
+
+// Fail-fast validation, run in the constructor's init list *before* any
+// member that consumes the config is built (a zero thread count would
+// otherwise reach the ThreadPool constructor first).
+ReplicationConfig validated(ReplicationConfig config) {
+  validate_period_config(config.period);
+  if (config.checkpoint_threads == 0) {
+    throw std::invalid_argument(
+        "ReplicationConfig: checkpoint_threads must be >= 1");
+  }
+  if (config.heartbeat_interval <= sim::Duration::zero()) {
+    throw std::invalid_argument(
+        "ReplicationConfig: heartbeat_interval must be positive");
+  }
+  if (config.heartbeat_timeout <= config.heartbeat_interval) {
+    throw std::invalid_argument(
+        "ReplicationConfig: heartbeat_timeout must exceed "
+        "heartbeat_interval, or every missed beat is a false failover");
+  }
+  return config;
+}
+
+}  // namespace
+
 ReplicationEngine::ReplicationEngine(sim::Simulation& simulation,
                                      net::Fabric& fabric, hv::Host& primary,
                                      hv::Host& secondary,
@@ -19,10 +44,11 @@ ReplicationEngine::ReplicationEngine(sim::Simulation& simulation,
       fabric_(fabric),
       primary_(primary),
       secondary_(secondary),
-      config_(config),
-      model_(config.time_model),
-      pool_(config.mode == EngineMode::kRemus ? 1 : config.checkpoint_threads),
-      period_(config.period),
+      config_(validated(std::move(config))),
+      model_(config_.time_model),
+      pool_(config_.mode == EngineMode::kRemus ? 1
+                                               : config_.checkpoint_threads),
+      period_(config_.period),
       outbound_(fabric) {
   if (config_.mode == EngineMode::kRemus &&
       secondary_.hypervisor().kind() != primary_.hypervisor().kind()) {
@@ -38,6 +64,20 @@ ReplicationEngine::ReplicationEngine(sim::Simulation& simulation,
       !primary_.hypervisor().supports_pml_rings()) {
     config_.seed.mode = SeedMode::kXenDefault;
   }
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    m_epochs_ = &m.counter("rep.epochs_committed");
+    m_dirty_pages_ = &m.counter("rep.dirty_pages_total");
+    m_bytes_ = &m.counter("rep.bytes_total");
+    m_heartbeats_ = &m.counter("rep.heartbeats_sent");
+    m_pause_ms_ = &m.histogram(
+        "rep.pause_ms",
+        {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+    m_degradation_pct_ = &m.histogram(
+        "rep.degradation_pct", {1, 2, 5, 10, 15, 20, 30, 40, 50, 75, 90, 100});
+    m_period_s_ = &m.gauge("rep.period_s");
+  }
+  outbound_.attach_obs(config_.tracer, config_.metrics);
 }
 
 ReplicationEngine::~ReplicationEngine() {
@@ -58,6 +98,14 @@ void ReplicationEngine::protect(hv::Vm& vm, std::function<void()> on_protected) 
   }
   vm_ = &vm;
   on_protected_ = std::move(on_protected);
+
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(
+        sim_.now(), "engine.protect", "engine",
+        {{"vm", vm.spec().name},
+         {"mode", config_.mode == EngineMode::kRemus ? "remus" : "here"},
+         {"heterogeneous", heterogeneous()}});
+  }
 
   // §5.3/§7.4: reconcile CPUID so the VM can resume on either hypervisor.
   if (heterogeneous()) {
@@ -90,7 +138,7 @@ void ReplicationEngine::protect(hv::Vm& vm, std::function<void()> on_protected) 
   staging_ = std::make_unique<ReplicaStaging>(vm.spec(), threads());
   seeder_ = std::make_unique<Seeder>(sim_, model_, pool_,
                                      primary_.hypervisor(), vm, *staging_,
-                                     config_.seed);
+                                     config_.seed, config_.tracer);
 
   // Heartbeating starts with protection.
   secondary_.add_ic_handler([this](const net::Packet& p) {
@@ -134,6 +182,14 @@ void ReplicationEngine::commit_initial_checkpoint() {
   primary_.hypervisor().resume(*vm_);
   schedule_checkpoint();
 
+  // Deliberately not an "epoch.commit": epoch 0 has no pause/period split,
+  // so a degradation value would be 0/0.
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "epoch.seeded", "ckpt",
+                            {{"pages_sent", stats_.seed.pages_sent},
+                             {"total_ns", stats_.seed.total_time.count()}});
+  }
+
   HERE_LOG(kInfo, "VM '%s' protected (%s -> %s), seed took %s",
            vm_->spec().name.c_str(), primary_.name().c_str(),
            secondary_.name().c_str(),
@@ -168,6 +224,7 @@ sim::Duration ReplicationEngine::snapshot_state_and_program() {
 void ReplicationEngine::schedule_checkpoint() {
   const sim::Duration period = period_.current();
   stats_.period_series.record(sim_.now(), sim::to_seconds(period));
+  if (m_period_s_ != nullptr) m_period_s_->set(sim::to_seconds(period));
   checkpoint_event_ = sim_.schedule_after(
       period, [this] { run_checkpoint(); }, "checkpoint");
 }
@@ -252,6 +309,32 @@ void ReplicationEngine::run_checkpoint() {
     pause = constants + scan_cost + copy_cost + state_cost;
   }
 
+  if (config_.tracer != nullptr) {
+    const sim::TimePoint pause_begin = sim_.now();
+    config_.tracer->complete(pause_begin, pause, "ckpt.pause", "ckpt", 0,
+                             {{"epoch", epoch},
+                              {"dirty_pages", captured * scale},
+                              {"threads", p}});
+    // One span per migrator thread, on its own tid (tid 0 is the
+    // coordinator). Worker w's share of the copy is proportional to its
+    // page count, so the span never outlasts the aggregate copy cost —
+    // which keeps spans on one tid disjoint across epochs.
+    const sim::TimePoint copy_begin =
+        pause_begin + primary_.hypervisor().cost_profile().vm_pause +
+        scan_cost;
+    for (std::uint32_t w = 0; w < p; ++w) {
+      if (per_worker_pages[w] == 0 || max_worker == 0) continue;
+      const auto share = static_cast<std::int64_t>(
+          static_cast<double>(copy_cost.count()) *
+          static_cast<double>(per_worker_pages[w]) /
+          static_cast<double>(max_worker));
+      config_.tracer->complete(copy_begin, sim::Duration{share},
+                               "migrator.copy", "ckpt", w + 1,
+                               {{"epoch", epoch},
+                                {"pages", per_worker_pages[w] * scale}});
+    }
+  }
+
   // §8.7: CPU-seconds burnt by the replication threads (work, not makespan).
   const double copy_eff = TimeModel::efficiency(model_.config().copy_eff, p);
   const sim::Duration cpu_work =
@@ -317,6 +400,26 @@ void ReplicationEngine::finish_checkpoint(std::uint64_t epoch,
   stats_.total_pause += pause;
   stats_.degradation_series.record(sim_.now(), record.degradation * 100.0);
 
+  // The commit event precedes the release of the epoch's buffered output:
+  // in stream order no "io.release" tagged with epoch N may appear before
+  // "epoch.commit" N (the output-commit invariant the obs tests check).
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "epoch.commit", "ckpt",
+                            {{"epoch", record.epoch},
+                             {"pause", record.pause.count()},
+                             {"period", record.period_used.count()},
+                             {"degradation", record.degradation},
+                             {"dirty_pages", record.dirty_pages_model},
+                             {"bytes", record.bytes_model}});
+  }
+  if (m_epochs_ != nullptr) {
+    m_epochs_->add(1);
+    m_dirty_pages_->add(record.dirty_pages_model);
+    m_bytes_->add(record.bytes_model);
+    m_pause_ms_->add(sim::to_seconds(pause) * 1e3);
+    m_degradation_pct_->add(record.degradation * 100.0);
+  }
+
   // Output commit: packets of the epoch that just committed are released.
   outbound_.release_up_to(epoch, sim_.now());
 
@@ -325,6 +428,18 @@ void ReplicationEngine::finish_checkpoint(std::uint64_t epoch,
   const std::uint64_t captured_now = outbound_.captured_total();
   period_.observe_epoch(pause, captured_now > epoch_start_captured_);
   epoch_start_captured_ = captured_now;
+  if (config_.tracer != nullptr) {
+    // Algorithm 1's decision with its inputs (t, N, P) and output (next T).
+    config_.tracer->instant(
+        sim_.now(), "period.decide", "period",
+        {{"epoch", record.epoch},
+         {"t_pause_ns", record.pause.count()},
+         {"dirty_pages", record.dirty_pages_model},
+         {"threads", threads()},
+         {"degradation", period_.last_degradation()},
+         {"t_next_ns", period_.current().count()},
+         {"t_max_ns", config_.period.t_max.count()}});
+  }
   last_checkpoint_done_ = sim_.now();
   schedule_checkpoint();
 }
@@ -343,6 +458,7 @@ void ReplicationEngine::send_heartbeat() {
     hb.kind = 0xbeef;
     fabric_.send(hb);
     ++stats_.heartbeats_sent;
+    if (m_heartbeats_ != nullptr) m_heartbeats_->add(1);
   }
   heartbeat_event_ = sim_.schedule_after(config_.heartbeat_interval,
                                          [this] { send_heartbeat(); },
@@ -389,7 +505,18 @@ void ReplicationEngine::begin_failover(const std::string& reason) {
   stats_.failure_detected_at = sim_.now();
   sim_.cancel(checkpoint_event_);
   staging_->abort_epoch();
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "failover.begin", "fo",
+                            {{"reason", reason}});
+  }
   stats_.packets_dropped_at_failover = outbound_.drop_all();
+  if (config_.tracer != nullptr) {
+    // Emitted here rather than in OutboundBuffer::drop_all (which has no
+    // notion of the current time): uncommitted output dies with the primary.
+    config_.tracer->instant(
+        sim_.now(), "io.drop", "io",
+        {{"dropped", stats_.packets_dropped_at_failover}});
+  }
 
   HERE_LOG(kInfo, "failover: %s; activating replica on %s", reason.c_str(),
            secondary_.name().c_str());
@@ -452,6 +579,14 @@ void ReplicationEngine::activate_replica() {
   stats_.replica_active_at = sim_.now();
   stats_.resumption_time = sim_.now() - stats_.failure_detected_at;
   failover_in_progress_ = false;
+
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(
+        sim_.now(), "failover.replica_active", "fo",
+        {{"epoch", staging_->committed_epoch()},
+         {"resumption_ns", stats_.resumption_time.count()},
+         {"packets_dropped", stats_.packets_dropped_at_failover}});
+  }
 
   HERE_LOG(kInfo, "replica active on %s after %s (epoch %llu)",
            secondary_.name().c_str(),

@@ -23,6 +23,8 @@
 #include "common/thread_pool.h"
 #include "hv/host.h"
 #include "kvmsim/kvm_hypervisor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "replication/detectors.h"
 #include "replication/io_buffer.h"
 #include "replication/period_manager.h"
@@ -63,6 +65,13 @@ struct ReplicationConfig {
   // degradation); output commit still waits for the background transfer, so
   // client-visible latency is unchanged.
   bool speculative_cow = false;
+  // Observability (src/obs): borrowed pointers, either may be null, both
+  // must outlive the engine. The engine (and the components it drives:
+  // seeder, outbound buffer, period decisions) emits spans/instants through
+  // `tracer` and keeps counters/histograms in `metrics`; with both null the
+  // hot paths skip all event construction. Event schema: docs/observability.md.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct CheckpointRecord {
@@ -207,6 +216,15 @@ class ReplicationEngine {
   sim::EventId checkpoint_finish_event_;
   sim::EventId heartbeat_event_;
   sim::EventId watchdog_event_;
+
+  // Cached metric instruments (all null when config_.metrics is null).
+  obs::Counter* m_epochs_ = nullptr;
+  obs::Counter* m_dirty_pages_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_heartbeats_ = nullptr;
+  obs::FixedHistogram* m_pause_ms_ = nullptr;
+  obs::FixedHistogram* m_degradation_pct_ = nullptr;
+  obs::Gauge* m_period_s_ = nullptr;
 
   EngineStats stats_;
 };

@@ -10,7 +10,8 @@ namespace here::rep {
 
 Seeder::Seeder(sim::Simulation& simulation, const TimeModel& model,
                common::ThreadPool& pool, hv::Hypervisor& hypervisor,
-               hv::Vm& vm, ReplicaStaging& staging, SeedConfig config)
+               hv::Vm& vm, ReplicaStaging& staging, SeedConfig config,
+               obs::Tracer* tracer)
     : sim_(simulation),
       model_(model),
       pool_(pool),
@@ -18,6 +19,7 @@ Seeder::Seeder(sim::Simulation& simulation, const TimeModel& model,
       vm_(vm),
       staging_(staging),
       config_(config),
+      tracer_(tracer),
       problematic_(std::make_unique<common::DirtyBitmap>(vm.memory().pages())) {}
 
 std::uint32_t Seeder::workers() const {
@@ -79,6 +81,10 @@ void Seeder::run_full_pass() {
   HERE_LOG(kDebug, "seed: full pass of %llu pages in %s",
            static_cast<unsigned long long>(n_model),
            sim::format_duration(d).c_str());
+  if (tracer_ != nullptr) {
+    tracer_->complete(sim_.now(), d, "seed.full_pass", "seed", 0,
+                      {{"pages", n_model}});
+  }
   sim_.schedule_after(d, [this] { run_iteration(); }, "seed-iter");
 }
 
@@ -167,6 +173,11 @@ void Seeder::run_iteration() {
   HERE_LOG(kDebug, "seed: iteration %u sent %llu pages in %s", iteration_,
            static_cast<unsigned long long>(captured),
            sim::format_duration(d).c_str());
+  if (tracer_ != nullptr) {
+    tracer_->complete(sim_.now(), d, "seed.iteration", "seed", 0,
+                      {{"iteration", iteration_},
+                       {"pages", model_pages(captured)}});
+  }
   sim_.schedule_after(d, [this] { run_iteration(); }, "seed-iter");
 }
 
@@ -204,11 +215,22 @@ void Seeder::final_stop_copy() {
   result_.stop_copy_time = d;
   HERE_LOG(kDebug, "seed: stop-and-copy of %zu pages in %s", remaining.size(),
            sim::format_duration(d).c_str());
+  if (tracer_ != nullptr) {
+    tracer_->complete(sim_.now(), d, "seed.stop_copy", "seed", 0,
+                      {{"pages", n_model},
+                       {"problematic", result_.problematic_pages}});
+  }
 
   sim_.schedule_after(d, [this] {
     if (!hv_.operational()) return;
     result_.total_time = sim_.now() - started_at_;
     finished_ = true;
+    if (tracer_ != nullptr) {
+      tracer_->instant(sim_.now(), "seed.done", "seed",
+                       {{"total_ns", result_.total_time.count()},
+                        {"pages_sent", result_.pages_sent},
+                        {"iterations", result_.iterations}});
+    }
     if (done_) done_(result_);
   }, "seed-done");
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "replication/staging.h"
 #include "replication/time_model.h"
 #include "sim/event_queue.h"
@@ -53,9 +54,12 @@ class Seeder {
   // kHereMultithreaded requires a hypervisor with per-vCPU PML support
   // (the Xen model); kXenDefault works with any dirty-bitmap-capable
   // hypervisor, which is how the reverse (KVM-primary) direction seeds.
+  // `tracer` (optional, borrowed) receives "seed" category spans: one per
+  // pre-copy round plus the final stop-and-copy, keyed on simulated time.
   Seeder(sim::Simulation& simulation, const TimeModel& model,
          common::ThreadPool& pool, hv::Hypervisor& hypervisor, hv::Vm& vm,
-         ReplicaStaging& staging, SeedConfig config);
+         ReplicaStaging& staging, SeedConfig config,
+         obs::Tracer* tracer = nullptr);
 
   // Begins seeding (asynchronous in virtual time). The VM must be running.
   void start(DoneFn done);
@@ -86,6 +90,7 @@ class Seeder {
   hv::Vm& vm_;
   ReplicaStaging& staging_;
   SeedConfig config_;
+  obs::Tracer* tracer_;
 
   DoneFn done_;
   SeedResult result_;

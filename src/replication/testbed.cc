@@ -28,6 +28,12 @@ Testbed::Testbed(TestbedConfig config)
   fabric_.connect(primary_->eth_node(), secondary_->eth_node(),
                   config_.hardware.ethernet);
 
+  // Observability rides the engine's config pointers: the fabric shares the
+  // same tracer/metrics so net.* events interleave with the engine's.
+  if (config_.engine.tracer != nullptr || config_.engine.metrics != nullptr) {
+    fabric_.attach_obs(config_.engine.tracer, config_.engine.metrics);
+  }
+
   engine_ = std::make_unique<ReplicationEngine>(sim_, fabric_, *primary_,
                                                 *secondary_, config_.engine);
 }

@@ -51,6 +51,7 @@ sim::TimePoint Fabric::send(Packet packet) {
   if (dir->down) {
     // Partitioned link: the packet leaves the NIC and vanishes.
     ++dropped_;
+    if (m_dropped_ != nullptr) m_dropped_->increment();
     return sim_.now() + dir->profile.latency;
   }
   const sim::TimePoint start = std::max(sim_.now(), dir->wire_free);
@@ -59,11 +60,26 @@ sim::TimePoint Fabric::send(Packet packet) {
   dir->wire_free = wire_done;
   const sim::TimePoint delivery = wire_done + dir->profile.latency;
 
+  const sim::Duration queueing = start - sim_.now();
+  if (m_packets_ != nullptr) {
+    m_packets_->increment();
+    m_bytes_->add(packet.size_bytes);
+    m_queue_us_->add(sim::to_micros(queueing));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->instant(sim_.now(), "net.send", "net",
+                     {{"src", packet.src},
+                      {"dst", packet.dst},
+                      {"bytes", packet.size_bytes},
+                      {"queue_ns", queueing.count()}});
+  }
+
   const NodeId dst = packet.dst;
   sim_.schedule_at(delivery, [this, packet = std::move(packet), dst] {
     Node& node = nodes_[dst];
     if (node.down || !node.receiver) {
       ++dropped_;
+      if (m_dropped_ != nullptr) m_dropped_->increment();
       return;
     }
     ++delivered_;
@@ -116,7 +132,30 @@ sim::TimePoint Fabric::bulk_transfer(NodeId a, NodeId b, std::uint64_t bytes) {
   const sim::TimePoint start = std::max(sim_.now(), dir->wire_free);
   const sim::TimePoint wire_done = start + serialization_time(dir->profile, bytes);
   dir->wire_free = wire_done;
+  const sim::Duration queueing = start - sim_.now();
+  if (m_packets_ != nullptr) {
+    m_bytes_->add(bytes);
+    m_queue_us_->add(sim::to_micros(queueing));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->instant(sim_.now(), "net.bulk", "net",
+                     {{"src", a},
+                      {"dst", b},
+                      {"bytes", bytes},
+                      {"queue_ns", queueing.count()}});
+  }
   return wire_done + dir->profile.latency;
+}
+
+void Fabric::attach_obs(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  if (metrics != nullptr) {
+    m_packets_ = &metrics->counter("net.packets_sent");
+    m_bytes_ = &metrics->counter("net.bytes_sent");
+    m_dropped_ = &metrics->counter("net.packets_dropped");
+    m_queue_us_ = &metrics->histogram(
+        "net.queue_us", {1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 100000});
+  }
 }
 
 }  // namespace here::net

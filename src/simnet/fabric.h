@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/hardware_profile.h"
 #include "simnet/packet.h"
@@ -67,6 +69,12 @@ class Fabric {
   // with packets via the same serialization clock.
   sim::TimePoint bulk_transfer(NodeId a, NodeId b, std::uint64_t bytes);
 
+  // Observability hooks (src/obs): neither pointer is owned and either may
+  // be null. With a tracer, every send/bulk transfer emits a "net" event
+  // carrying bytes and queueing delay; with metrics, packet/byte/drop
+  // counters and a queueing-delay histogram are kept under "net.*".
+  void attach_obs(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
  private:
   struct Direction {
     sim::NicProfile profile;
@@ -88,6 +96,12 @@ class Fabric {
   std::map<std::pair<NodeId, NodeId>, Direction> directions_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* m_packets_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
+  obs::FixedHistogram* m_queue_us_ = nullptr;
 };
 
 }  // namespace here::net

@@ -1,0 +1,220 @@
+// Unit tests for the obs metrics layer (satellite of the tracing PR):
+// bucket boundary semantics, quantile estimates on known distributions,
+// counter overflow behaviour, and JSON snapshot round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace here::obs {
+namespace {
+
+// --- Counter ---------------------------------------------------------------------
+
+TEST(Counter, AccumulatesDeltas) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, SaturatesInsteadOfWrapping) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  Counter c;
+  c.add(max - 1);
+  c.add(5);  // would wrap to 3 under modular arithmetic
+  EXPECT_EQ(c.value(), max);
+  c.increment();  // stays pegged
+  EXPECT_EQ(c.value(), max);
+}
+
+TEST(Counter, SaturatesOnExactMaxDelta) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  Counter c;
+  c.add(1);
+  c.add(max);
+  EXPECT_EQ(c.value(), max);
+}
+
+// --- Gauge -----------------------------------------------------------------------
+
+TEST(Gauge, HoldsLastValue) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+// --- FixedHistogram --------------------------------------------------------------
+
+TEST(FixedHistogram, RejectsBadBounds) {
+  EXPECT_THROW(FixedHistogram({}), std::invalid_argument);
+  EXPECT_THROW(FixedHistogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(FixedHistogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(FixedHistogram, BucketBoundariesAreLessOrEqual) {
+  // Bucket i counts bounds[i-1] < x <= bounds[i] ("le" semantics), with an
+  // implicit overflow bucket past the last bound.
+  FixedHistogram h({1.0, 2.0, 5.0});
+  h.add(0.5);  // <= 1        -> bucket 0
+  h.add(1.0);  // == bound    -> bucket 0 (inclusive upper edge)
+  h.add(1.5);  //             -> bucket 1
+  h.add(2.0);  // == bound    -> bucket 1
+  h.add(5.0);  // == last     -> bucket 2
+  h.add(6.0);  // > last      -> overflow
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+}
+
+TEST(FixedHistogram, EmptySummariesAreZero) {
+  FixedHistogram h({1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+}
+
+TEST(FixedHistogram, SummariesTrackObservations) {
+  FixedHistogram h({10.0, 100.0});
+  h.add(2.0);
+  h.add(4.0);
+  h.add(6.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 6.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(FixedHistogram, QuantilesOnUniformDistribution) {
+  // 1..100 into decade buckets: the interpolated quantiles land exactly on
+  // the theoretical values because the distribution fills buckets uniformly.
+  FixedHistogram h(
+      {10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0});
+  for (int x = 1; x <= 100; ++x) h.add(static_cast<double>(x));
+  EXPECT_DOUBLE_EQ(h.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(h.p95(), 95.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 99.0);
+  // Extremes clamp to the observed range.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(FixedHistogram, QuantilesAreMonotoneAndBoundedByBucketWidth) {
+  FixedHistogram h({1.0, 2.0, 4.0, 8.0, 16.0});
+  // Skewed distribution: most mass in the (2, 4] bucket.
+  for (int i = 0; i < 90; ++i) h.add(3.0);
+  for (int i = 0; i < 10; ++i) h.add(12.0);
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+  // p50's rank falls in the (2, 4] bucket; the estimate can't leave it.
+  EXPECT_GE(h.p50(), 2.0);
+  EXPECT_LE(h.p50(), 4.0);
+  // p99 lands in (8, 16].
+  EXPECT_GE(h.p99(), 8.0);
+  EXPECT_LE(h.p99(), 16.0);
+}
+
+TEST(FixedHistogram, OverflowBucketQuantileClampsToMax) {
+  FixedHistogram h({10.0});
+  h.add(1e6);
+  h.add(2e6);
+  // Both samples overflow: quantiles interpolate inside [min, max], never
+  // report the (infinite) bucket edge.
+  EXPECT_GE(h.p50(), 1e6);
+  EXPECT_LE(h.p99(), 2e6);
+}
+
+// --- Registry + JSON -------------------------------------------------------------
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableInstruments) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  a.add(7);
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.find_counter("x")->value(), 7u);
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+
+  FixedHistogram& h1 = reg.histogram("h", {1.0, 2.0});
+  FixedHistogram& h2 = reg.histogram("h", {99.0});  // bounds ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.upper_bounds().size(), 2u);
+}
+
+TEST(MetricsRegistry, SnapshotJsonRoundTrips) {
+  MetricsRegistry reg;
+  reg.counter("req.total").add(1234);
+  reg.gauge("period_s").set(2.5);
+  FixedHistogram& h = reg.histogram("lat_ms", {1.0, 5.0, 25.0});
+  h.add(0.5);
+  h.add(3.0);
+  h.add(100.0);  // overflow
+
+  const std::string text = reg.to_json();
+  const JsonValue parsed = JsonValue::parse(text);
+  EXPECT_EQ(parsed, reg.snapshot());
+  // Formatting is canonical: dump(parse(x)) == x.
+  EXPECT_EQ(parsed.dump(), text);
+
+  EXPECT_EQ(parsed.at("counters").at("req.total").as_uint64(), 1234u);
+  EXPECT_DOUBLE_EQ(parsed.at("gauges").at("period_s").as_double(), 2.5);
+  const JsonValue& lat = parsed.at("histograms").at("lat_ms");
+  EXPECT_EQ(lat.at("count").as_uint64(), 3u);
+  const auto& buckets = lat.at("buckets").items();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[3].at("le").as_string(), "+inf");
+  EXPECT_EQ(buckets[3].at("count").as_uint64(), 1u);
+}
+
+// --- JsonValue parser units -------------------------------------------------------
+
+TEST(JsonValue, ParsesScalarsAndStructures) {
+  EXPECT_EQ(JsonValue::parse("null"), JsonValue());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("-42").as_int64(), -42);
+  EXPECT_EQ(JsonValue::parse("18446744073709551615").as_uint64(),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("0.1").as_double(), 0.1);
+  EXPECT_EQ(JsonValue::parse("\"a\\u00e9\\n\"").as_string(), "a\xc3\xa9\n");
+
+  const JsonValue v = JsonValue::parse(R"({"a":[1,2.5,"x"],"b":{"c":false}})");
+  EXPECT_EQ(v.at("a").items().size(), 3u);
+  EXPECT_EQ(v.at("b").at("c").as_bool(), false);
+}
+
+TEST(JsonValue, DumpParseRoundTripPreservesValueAndOrder) {
+  JsonValue v = JsonValue::object();
+  v.set("z", 1);
+  v.set("a", JsonValue::array());
+  v.set("neg", -0.125);
+  const JsonValue back = JsonValue::parse(v.dump());
+  EXPECT_EQ(back, v);
+  // Member order survives the round trip (required for byte-stable dumps).
+  EXPECT_EQ(back.members()[0].first, "z");
+  EXPECT_EQ(back.dump(), v.dump());
+}
+
+TEST(JsonValue, ParseRejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("{"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("12 34"), std::invalid_argument);  // trailing
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace here::obs

@@ -209,5 +209,57 @@ TEST(EngineEdge, AdaptiveRemusPolicySwitchesOnIoActivity) {
   EXPECT_EQ(bed.engine().period_manager().current(), sim::from_millis(500));
 }
 
+// --- Config validation (fail-fast, before any component is built) ----------------
+
+TEST(EngineConfigValidation, RejectsZeroOrNegativeTmax) {
+  TestbedConfig config = base_config();
+  config.engine.period.t_max = sim::Duration{0};
+  EXPECT_THROW(Testbed{config}, std::invalid_argument);
+  config.engine.period.t_max = sim::from_seconds(-1);
+  EXPECT_THROW(Testbed{config}, std::invalid_argument);
+}
+
+TEST(EngineConfigValidation, RejectsZeroCheckpointThreads) {
+  TestbedConfig config = base_config();
+  config.engine.checkpoint_threads = 0;
+  EXPECT_THROW(Testbed{config}, std::invalid_argument);
+}
+
+TEST(EngineConfigValidation, RejectsHeartbeatTimeoutNotAboveInterval) {
+  TestbedConfig config = base_config();
+  config.engine.heartbeat_interval = sim::from_millis(50);
+  config.engine.heartbeat_timeout = sim::from_millis(50);  // == interval
+  EXPECT_THROW(Testbed{config}, std::invalid_argument);
+  config.engine.heartbeat_timeout = sim::from_millis(20);  // < interval
+  EXPECT_THROW(Testbed{config}, std::invalid_argument);
+  config.engine.heartbeat_interval = sim::Duration{0};
+  config.engine.heartbeat_timeout = sim::from_millis(100);
+  EXPECT_THROW(Testbed{config}, std::invalid_argument);  // zero interval
+}
+
+TEST(EngineConfigValidation, RejectsBadPeriodPolicyParameters) {
+  TestbedConfig config = base_config();
+  config.engine.period.sigma = sim::Duration{0};
+  EXPECT_THROW(Testbed{config}, std::invalid_argument);
+
+  config = base_config();
+  config.engine.period.target_degradation = 1.0;  // must stay in [0, 1)
+  EXPECT_THROW(Testbed{config}, std::invalid_argument);
+  config.engine.period.target_degradation = -0.1;
+  EXPECT_THROW(Testbed{config}, std::invalid_argument);
+
+  config = base_config();
+  config.engine.period.policy = PeriodPolicy::kAdaptiveRemus;
+  config.engine.period.adaptive_remus_io_period = sim::Duration{0};
+  EXPECT_THROW(Testbed{config}, std::invalid_argument);
+}
+
+TEST(EngineConfigValidation, ValidatePeriodConfigAcceptsDefaults) {
+  EXPECT_NO_THROW(validate_period_config(PeriodConfig{}));
+  PeriodConfig period;
+  period.target_degradation = 0.30;
+  EXPECT_NO_THROW(validate_period_config(period));
+}
+
 }  // namespace
 }  // namespace here::rep
