@@ -1,0 +1,147 @@
+// Chaos failover sweep: service availability and failover quality as the
+// replication interconnect degrades.
+//
+// Two sweeps over a protected YCSB-class memory workload with the hardened
+// engine (checkpoint abort+retry, fencing, probe classification):
+//   1. packet loss:   steady loss probability on the interconnect
+//   2. partitions:    periodic link partitions of growing duration
+// Each cell runs a fixed virtual-time window under the impairment (sampling
+// service availability), then crashes the primary and reports the replica
+// resumption time plus the hardening counters (aborted epochs, seed
+// attempts). Availability is the fraction of 50 ms samples during the
+// impaired window where the engine could serve clients.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
+
+namespace here::bench {
+namespace {
+
+struct ChaosResult {
+  double availability_pct = 0.0;
+  double resumption_ms = 0.0;
+  double mean_pause_ms = 0.0;  // loss/bandwidth penalties land here
+  std::uint64_t epochs_aborted = 0;
+  std::size_t checkpoints = 0;
+  bool failed_over = false;
+};
+
+struct ChaosCell {
+  double loss = 0.0;                 // steady interconnect loss probability
+  sim::Duration partition_hold{};    // per-blip partition duration (0 = none)
+  sim::Duration partition_every{};   // blip cadence
+};
+
+ChaosResult run_cell(const ChaosCell& cell, ObsSession& obs) {
+  rep::TestbedConfig config;
+  config.vm_spec = paper_vm(1.0);
+  config.engine.mode = rep::EngineMode::kHere;
+  config.engine.period.t_max = sim::from_millis(500);
+  config.engine.ft.checkpoint_timeout = sim::from_seconds(5);
+  config.engine.ft.probe_on_heartbeat_loss = true;
+  config.engine.ft.fencing_window = sim::from_millis(250);
+  obs.attach(config);
+  rep::Testbed bed(config);
+
+  hv::Vm& vm = bed.create_vm(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(20)));
+  bed.protect(vm);
+  bed.run_until_seeded();
+
+  faults::FaultInjector injector(bed.simulation(), bed.fabric(), obs.tracer(),
+                                 obs.metrics());
+  injector.register_testbed(bed);
+
+  const sim::TimePoint t0 = bed.simulation().now();
+  const sim::Duration window = sim::from_seconds(20);
+  faults::FaultPlan plan;
+  if (cell.loss > 0.0) {
+    plan.link_loss("ic", t0 + sim::from_millis(100), cell.loss, window);
+  }
+  if (cell.partition_hold > sim::Duration{}) {
+    for (sim::Duration at = sim::from_millis(500); at < window;
+         at += cell.partition_every) {
+      plan.partition_link("ic", t0 + at, cell.partition_hold);
+    }
+  }
+  injector.arm(plan);
+
+  // Sample availability through the impaired window.
+  std::uint64_t samples = 0, available = 0;
+  const sim::TimePoint window_end = t0 + window;
+  while (bed.simulation().now() < window_end) {
+    bed.simulation().run_for(sim::from_millis(50));
+    ++samples;
+    if (bed.engine().service_available()) ++available;
+  }
+
+  ChaosResult result;
+  result.availability_pct =
+      samples ? 100.0 * static_cast<double>(available) /
+                    static_cast<double>(samples)
+              : 0.0;
+  result.epochs_aborted = bed.engine().stats().epochs_aborted;
+  result.checkpoints = bed.engine().stats().checkpoints.size();
+  if (result.checkpoints > 0) {
+    result.mean_pause_ms =
+        sim::to_millis(bed.engine().stats().total_pause) /
+        static_cast<double>(result.checkpoints);
+  }
+
+  // End of the window: kill the primary for real and measure resumption.
+  if (!bed.engine().failed_over()) {
+    bed.primary().inject_fault(hv::FaultKind::kCrash);
+    bed.run_until([&] { return bed.engine().failed_over(); },
+                  sim::from_seconds(60));
+  }
+  result.failed_over = bed.engine().failed_over();
+  result.resumption_ms = sim::to_millis(bed.engine().stats().resumption_time);
+  return result;
+}
+
+void print_row(const char* label, const ChaosResult& r) {
+  std::printf("  %-22s %12.2f %14.1f %11.2f %8llu %12zu %10s\n", label,
+              r.availability_pct, r.resumption_ms, r.mean_pause_ms,
+              static_cast<unsigned long long>(r.epochs_aborted), r.checkpoints,
+              r.failed_over ? "yes" : "NO");
+}
+
+void print_header() {
+  std::printf("  %-22s %12s %14s %11s %8s %12s %10s\n", "impairment",
+              "avail [%]", "resume [ms]", "pause [ms]", "aborts",
+              "checkpoints", "failover");
+}
+
+}  // namespace
+}  // namespace here::bench
+
+int main(int argc, char** argv) {
+  using namespace here;
+  using namespace here::bench;
+  ObsSession obs(argc, argv);
+
+  print_title("Chaos failover sweep: interconnect packet loss");
+  print_header();
+  for (const double loss : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+    ChaosCell cell;
+    cell.loss = loss;
+    char label[64];
+    std::snprintf(label, sizeof(label), "loss %.0f%%", 100.0 * loss);
+    print_row(label, run_cell(cell, obs));
+  }
+
+  print_title("Chaos failover sweep: periodic interconnect partitions");
+  print_header();
+  for (const int hold_ms : {50, 150, 400, 1000}) {
+    ChaosCell cell;
+    cell.partition_hold = sim::from_millis(hold_ms);
+    cell.partition_every = sim::from_seconds(2);
+    char label[64];
+    std::snprintf(label, sizeof(label), "partition %dms / 2s", hold_ms);
+    print_row(label, run_cell(cell, obs));
+  }
+
+  return obs.finish() ? 0 : 1;
+}

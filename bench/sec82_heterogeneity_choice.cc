@@ -43,7 +43,10 @@ bool run_pair(bool xen_uses_qemu, kvm::KvmUserspace kvm_userspace) {
   vm.attach_program(
       std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(15)));
   primary.hypervisor().start(vm);
-  engine.protect(vm);
+  if (const here::Status s = engine.start_protection(vm); !s.ok()) {
+    std::fprintf(stderr, "protect failed: %s\n", s.to_string().c_str());
+    std::exit(1);
+  }
   while (!engine.seeded()) simulation.run_for(sim::from_seconds(1));
   simulation.run_for(sim::from_seconds(3));
 

@@ -63,7 +63,10 @@ int main() {
         std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(loads[i])));
     cell.primary->hypervisor().start(vm);
     cell.vm = &vm;
-    cell.engine->protect(vm);
+    if (const here::Status s = cell.engine->start_protection(vm); !s.ok()) {
+      std::fprintf(stderr, "protect failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
   }
 
   // Seed all three services.

@@ -1,0 +1,135 @@
+// Typed error handling for the control plane.
+//
+// Control-plane operations (protecting a domain, creating a VM through the
+// management facade, validating an engine config) fail for reasons an
+// operator script must branch on — "no heterogeneous partner" wants a retry
+// on another host, "already protected" wants a no-op. Exceptions force every
+// caller into catch-by-type; `Status` / `Expected<T>` make the failure part
+// of the signature instead. Data-plane invariant violations (a VM handed to
+// the wrong hypervisor, a foreign state format) stay exceptions: those are
+// bugs, not outcomes.
+//
+// The taxonomy follows the canonical gRPC/absl set, trimmed to the codes the
+// control plane actually produces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace here {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,     // malformed config / request
+  kFailedPrecondition,  // valid request, wrong state (VM not running, ...)
+  kNotFound,            // named entity does not exist
+  kAlreadyExists,       // unique name collision
+  kUnavailable,         // transient resource shortage (no partner host, ...)
+  kDeadlineExceeded,    // operation timed out (seeding attempt, transfer)
+  kAborted,             // operation gave up after retries
+  kInternal,            // invariant violation surfaced as a status
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kFailedPrecondition: return "failed-precondition";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kAlreadyExists: return "already-exists";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kAborted: return "aborted";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+class Status {
+ public:
+  Status() = default;  // ok
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok_status() { return {}; }
+  [[nodiscard]] static Status invalid_argument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  [[nodiscard]] static Status failed_precondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  [[nodiscard]] static Status not_found(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  [[nodiscard]] static Status already_exists(std::string m) {
+    return {StatusCode::kAlreadyExists, std::move(m)};
+  }
+  [[nodiscard]] static Status unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  [[nodiscard]] static Status deadline_exceeded(std::string m) {
+    return {StatusCode::kDeadlineExceeded, std::move(m)};
+  }
+  [[nodiscard]] static Status aborted(std::string m) {
+    return {StatusCode::kAborted, std::move(m)};
+  }
+  [[nodiscard]] static Status internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  // "invalid-argument: checkpoint_threads must be >= 1"
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return "ok";
+    return std::string(here::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A value or the Status explaining its absence (StatusOr-style). Constructed
+// implicitly from either; the Status alternative must not be ok.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Status error) : rep_(std::move(error)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(rep_).ok()) {
+      rep_ = Status::internal("Expected constructed from an ok Status");
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(rep_); }
+  [[nodiscard]] bool has_value() const { return ok(); }
+  explicit operator bool() const { return ok(); }
+
+  // Callers must check ok() first; these throw std::bad_variant_access on
+  // the wrong alternative (a programming error, not a control-plane outcome).
+  [[nodiscard]] T& value() { return std::get<T>(rep_); }
+  [[nodiscard]] const T& value() const { return std::get<T>(rep_); }
+  [[nodiscard]] T& operator*() { return value(); }
+  [[nodiscard]] const T& operator*() const { return value(); }
+
+  // The ok status when a value is present.
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::ok_status() : std::get<Status>(rep_);
+  }
+  [[nodiscard]] StatusCode code() const { return status().code(); }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace here

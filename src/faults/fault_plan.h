@@ -1,0 +1,146 @@
+// Deterministic fault plans.
+//
+// A FaultPlan is pure data: a list of typed fault specifications stamped
+// with absolute virtual times. Plans are either scripted (builder methods)
+// or generated from a seed (FaultPlan::random) — in both cases the same
+// plan armed on the same simulation produces the identical event schedule,
+// which is what makes chaos experiments replayable bit-for-bit and lets the
+// fault tests golden-compare whole trace files.
+//
+// Targets are symbolic names ("host-a", "ic", "engine") resolved by the
+// FaultInjector at arm() time against its registry, so one plan can replay
+// against any compatible topology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace here::faults {
+
+enum class FaultType : std::uint8_t {
+  // Host faults (target: a registered host).
+  kHostCrash,       // fail-stop; endpoints go down. duration>0 auto-repairs.
+  kHostHang,        // stops responding, links stay up. duration>0 auto-repairs.
+  kHostRepair,      // explicit repair (for scripted crash/repair sequences)
+  // Link faults (target: a registered link).
+  kLinkPartition,   // both directions silently drop. duration>0 auto-heals.
+  kLinkHeal,        // explicit heal
+  kLinkLoss,        // magnitude = drop probability; duration>0 restores 0
+  kLinkLatency,     // amount = extra latency; duration>0 restores 0
+  kLinkBandwidth,   // magnitude = line-rate factor; duration>0 restores 1
+  // Disk faults (target: a registered host; applies to all its VM disks).
+  kDiskSlowdown,    // magnitude = write-cost multiplier; auto-clears
+  kDiskWriteErrors, // writes fail while active; auto-clears
+  // Engine faults (target: a registered engine).
+  kMigratorStall,   // amount = stall added to the next checkpoint pause
+};
+
+[[nodiscard]] constexpr std::string_view to_string(FaultType type) {
+  switch (type) {
+    case FaultType::kHostCrash: return "host-crash";
+    case FaultType::kHostHang: return "host-hang";
+    case FaultType::kHostRepair: return "host-repair";
+    case FaultType::kLinkPartition: return "link-partition";
+    case FaultType::kLinkHeal: return "link-heal";
+    case FaultType::kLinkLoss: return "link-loss";
+    case FaultType::kLinkLatency: return "link-latency";
+    case FaultType::kLinkBandwidth: return "link-bandwidth";
+    case FaultType::kDiskSlowdown: return "disk-slowdown";
+    case FaultType::kDiskWriteErrors: return "disk-write-errors";
+    case FaultType::kMigratorStall: return "migrator-stall";
+  }
+  return "unknown";
+}
+
+struct FaultSpec {
+  FaultType type{};
+  sim::TimePoint at{};       // injection time (absolute virtual time)
+  sim::Duration duration{};  // > 0: auto-clear at `at + duration`; 0: sticky
+  std::string target;        // symbolic host / link / engine name
+  double magnitude = 0.0;    // loss probability / bandwidth factor / slowdown
+  sim::Duration amount{};    // extra latency / stall length
+};
+
+// Knobs for seeded-random plan generation. Event times are uniform in
+// [start, end); transient faults hold for uniform [min_hold, max_hold).
+struct RandomPlanConfig {
+  sim::TimePoint start{sim::from_seconds(1)};
+  sim::TimePoint end{sim::from_seconds(30)};
+  std::uint32_t events = 8;
+  std::vector<std::string> hosts;    // crash/hang/disk targets
+  std::vector<std::string> links;    // partition/loss/latency/bw targets
+  std::vector<std::string> engines;  // migrator-stall targets
+  // Fault-class toggles (a class with no eligible target is skipped too).
+  bool host_faults = true;
+  bool link_faults = true;
+  bool disk_faults = true;
+  bool engine_faults = true;
+  sim::Duration min_hold = sim::from_millis(200);
+  sim::Duration max_hold = sim::from_seconds(2);
+  double max_loss = 0.4;             // kLinkLoss magnitude in (0, max_loss]
+  double min_bandwidth_factor = 0.1; // kLinkBandwidth in [min, 1)
+  double max_disk_slowdown = 8.0;    // kDiskSlowdown in (1, max]
+  sim::Duration max_latency_spike = sim::from_millis(5);
+  sim::Duration max_stall = sim::from_millis(50);
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // --- Scripted construction (each returns *this for chaining) ---------------
+
+  FaultPlan& add(FaultSpec spec);
+
+  FaultPlan& crash_host(std::string host, sim::TimePoint at,
+                        sim::Duration repair_after = {});
+  FaultPlan& hang_host(std::string host, sim::TimePoint at,
+                       sim::Duration repair_after = {});
+  FaultPlan& repair_host(std::string host, sim::TimePoint at);
+  FaultPlan& partition_link(std::string link, sim::TimePoint at,
+                            sim::Duration heal_after = {});
+  FaultPlan& heal_link(std::string link, sim::TimePoint at);
+  FaultPlan& link_loss(std::string link, sim::TimePoint at, double probability,
+                       sim::Duration clear_after = {});
+  FaultPlan& link_latency(std::string link, sim::TimePoint at,
+                          sim::Duration extra, sim::Duration clear_after = {});
+  FaultPlan& link_bandwidth(std::string link, sim::TimePoint at, double factor,
+                            sim::Duration clear_after = {});
+  FaultPlan& disk_slowdown(std::string host, sim::TimePoint at, double factor,
+                           sim::Duration clear_after = {});
+  FaultPlan& disk_write_errors(std::string host, sim::TimePoint at,
+                               sim::Duration clear_after = {});
+  FaultPlan& migrator_stall(std::string engine, sim::TimePoint at,
+                            sim::Duration stall);
+
+  // --- Seeded-random generation ----------------------------------------------
+
+  // Same (seed, config) => identical plan, independent of call context (the
+  // generator owns its Rng). Produced specs are already schedule-ordered.
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed,
+                                        const RandomPlanConfig& config);
+
+  // --- Inspection -------------------------------------------------------------
+
+  [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+  [[nodiscard]] bool empty() const { return specs_.empty(); }
+
+  // Injection-time-ordered view (stable: equal-time specs keep insertion
+  // order, mirroring the simulator's FIFO rule). This is the exact order the
+  // injector arms events in.
+  [[nodiscard]] std::vector<FaultSpec> schedule() const;
+
+  // One line per spec ("t=2.000s link-partition ic"), for logs and tests.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace here::faults

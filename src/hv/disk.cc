@@ -2,13 +2,18 @@
 
 namespace here::hv {
 
-void VirtualDisk::apply(const DiskWrite& write) {
+bool VirtualDisk::apply(const DiskWrite& write) {
+  if (fail_writes_) {
+    ++write_errors_;
+    return false;
+  }
   std::uint64_t sector = write.sector;
   for (std::uint32_t i = 0; i < write.sectors; ++i, ++sector) {
     if (sector >= total_sectors_) break;
     stamps_[sector] = write.stamp + i;
     ++sectors_written_;
   }
+  return true;
 }
 
 std::uint64_t VirtualDisk::read_stamp(std::uint64_t sector) const {

@@ -30,8 +30,10 @@ class VirtualDisk {
 
   [[nodiscard]] std::uint64_t total_sectors() const { return total_sectors_; }
 
-  // Applies one write (clamps at the end of the disk).
-  void apply(const DiskWrite& write);
+  // Applies one write (clamps at the end of the disk). Returns false — and
+  // changes nothing — while injected write failures are active; callers that
+  // mirror writes must not ship a write the local disk rejected.
+  bool apply(const DiskWrite& write);
 
   // Stamp of one sector (0 if never written).
   [[nodiscard]] std::uint64_t read_stamp(std::uint64_t sector) const;
@@ -42,10 +44,32 @@ class VirtualDisk {
   [[nodiscard]] std::uint64_t sectors_written() const { return sectors_written_; }
   [[nodiscard]] std::size_t distinct_sectors() const { return stamps_.size(); }
 
+  // --- Fault injection (src/faults drives these) ------------------------------
+
+  // Every write fails (media error) while set; failures are counted.
+  void set_write_failures(bool fail) { fail_writes_ = fail; }
+  [[nodiscard]] bool failing_writes() const { return fail_writes_; }
+  [[nodiscard]] std::uint64_t write_errors() const { return write_errors_; }
+
+  // Slows the replication mirror flush by this factor (>= 1). The data path
+  // is unaffected — local writes complete immediately as before — but the
+  // engine multiplies its per-epoch disk-mirror transfer cost by it.
+  void set_slowdown(double factor) { slowdown_ = factor < 1.0 ? 1.0 : factor; }
+  [[nodiscard]] double slowdown() const { return slowdown_; }
+
+  // Copies made of a faulted disk (replica seeding) start healthy.
+  void clear_faults() {
+    fail_writes_ = false;
+    slowdown_ = 1.0;
+  }
+
  private:
   std::uint64_t total_sectors_;
   std::unordered_map<std::uint64_t, std::uint64_t> stamps_;
   std::uint64_t sectors_written_ = 0;
+  std::uint64_t write_errors_ = 0;
+  bool fail_writes_ = false;
+  double slowdown_ = 1.0;
 };
 
 }  // namespace here::hv

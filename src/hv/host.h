@@ -50,8 +50,10 @@ class Host {
   [[nodiscard]] FaultKind fault() const { return hypervisor_->fault(); }
   [[nodiscard]] bool alive() const { return hypervisor_->operational(); }
 
-  // Recovery (reboot/repair) — restores an operational hypervisor. Guest
-  // state on this host is lost (fresh hypervisor), as after a real reboot.
+  // Recovery (reboot/repair) — restores an operational hypervisor and brings
+  // the network endpoints back up. Guests that were running when the fault
+  // hit resume executing (their memory survived the outage in this model —
+  // think suspend-to-RAM rather than a cold reboot).
   void repair();
 
   // --- §8.7 resource accounting ---------------------------------------------

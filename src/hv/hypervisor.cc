@@ -96,10 +96,18 @@ void Hypervisor::disable_pml_rings(Vm&) {}
 std::span<PmlRing> Hypervisor::pml_rings(Vm&) { return {}; }
 
 void Hypervisor::inject_fault(FaultKind fault) {
+  const bool was_operational = operational();
   fault_ = fault;
   if (!operational()) {
     for (auto& vm : vms_) {
       sim_.cancel(runtime_of(*vm).tick_event);
+    }
+  } else if (!was_operational) {
+    // Recovery: guests that were running when the fault hit lost their tick
+    // events; without rescheduling they would stay frozen forever even
+    // though their state says kRunning.
+    for (auto& vm : vms_) {
+      if (vm->state() == VmState::kRunning) schedule_tick(*vm);
     }
   }
 }

@@ -47,14 +47,25 @@ hv::Host* ProtectionManager::pick_partner(const hv::Host& home) {
   return best;
 }
 
-rep::ReplicationEngine& ProtectionManager::protect(hv::Vm& vm, hv::Host& home) {
+Expected<rep::ReplicationEngine*> ProtectionManager::protect(hv::Vm& vm,
+                                                             hv::Host& home) {
   if (std::ranges::find(pool_, &home) == pool_.end()) {
-    throw std::invalid_argument("protect: home host not in the pool");
+    return Status::invalid_argument("protect: home host '" + home.name() +
+                                    "' not in the pool");
+  }
+  if (const Status s = rep::validate_replication_config(defaults_); !s.ok()) {
+    return s;
+  }
+  if (defaults_.mode == rep::EngineMode::kRemus) {
+    return Status::invalid_argument(
+        "protect: ProtectionManager pairs heterogeneous hosts, which the "
+        "Remus baseline cannot replicate across");
   }
   hv::Host* partner = pick_partner(home);
   if (partner == nullptr) {
-    throw std::runtime_error(
-        "protect: no live heterogeneous partner host available");
+    return Status::unavailable(
+        "protect: no live heterogeneous partner host available for '" +
+        home.name() + "'");
   }
   ensure_connected(home, *partner);
 
@@ -65,12 +76,15 @@ rep::ReplicationEngine& ProtectionManager::protect(hv::Vm& vm, hv::Host& home) {
   protection->vm = &vm;
   protection->engines.push_back(std::make_unique<rep::ReplicationEngine>(
       sim_, fabric_, home, *partner, defaults_));
-  protection->engines.back()->protect(vm);
+  if (const Status s = protection->engines.back()->start_protection(vm);
+      !s.ok()) {
+    return s;  // the half-built Protection dies with this scope
+  }
   protections_.push_back(std::move(protection));
   HERE_LOG(kInfo, "mgmt: protecting '%s' %s -> %s",
            vm.spec().name.c_str(), home.name().c_str(),
            partner->name().c_str());
-  return protections_.back()->engine();
+  return &protections_.back()->engine();
 }
 
 void ProtectionManager::enable_auto_reprotect(sim::Duration poll) {
@@ -92,15 +106,23 @@ void ProtectionManager::policy_tick() {
     if (replica == nullptr || replica->state() != hv::VmState::kRunning) {
       continue;
     }
-    // Repaired: re-protect the survivor back toward the old primary.
+    // Repaired: re-protect the survivor back toward the old primary. The
+    // policy loop must never throw — a failed start is logged and retried
+    // on the next tick (the engine generation is rolled back).
+    protection->engines.push_back(std::make_unique<rep::ReplicationEngine>(
+        sim_, fabric_, *survivor, *failed, defaults_));
+    if (const Status s = protection->engines.back()->start_protection(*replica);
+        !s.ok()) {
+      protection->engines.pop_back();
+      HERE_LOG(kWarn, "mgmt: re-protecting '%s' failed: %s",
+               protection->domain.c_str(), s.to_string().c_str());
+      continue;
+    }
     protection->primary = survivor;
     protection->secondary = failed;
     protection->vm = replica;
     ++protection->generation;
     ++reprotections_;
-    protection->engines.push_back(std::make_unique<rep::ReplicationEngine>(
-        sim_, fabric_, *survivor, *failed, defaults_));
-    protection->engines.back()->protect(*replica);
     HERE_LOG(kInfo, "mgmt: re-protecting '%s' %s -> %s (generation %u)",
              protection->domain.c_str(), survivor->name().c_str(),
              failed->name().c_str(), protection->generation);

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "replication/replication_engine.h"
 #include "sim/hardware_profile.h"
 
@@ -27,9 +28,13 @@ class ProtectionManager {
 
   // Protects `vm` (running on `home`, which must be in the pool): selects
   // the least-loaded pool host with a different hypervisor kind as the
-  // partner and starts an engine. Returns the engine. Throws if no
-  // heterogeneous partner is available.
-  rep::ReplicationEngine& protect(hv::Vm& vm, hv::Host& home);
+  // partner and starts an engine. Control-plane errors are values:
+  // kInvalidArgument when `home` is not in the pool (or the engine defaults
+  // are invalid), kUnavailable when no live heterogeneous partner exists,
+  // and whatever Status the engine's start_protection returns otherwise. A
+  // failed start leaves no Protection entry behind.
+  [[nodiscard]] Expected<rep::ReplicationEngine*> protect(hv::Vm& vm,
+                                                          hv::Host& home);
 
   // Enables the re-protection policy loop: every `poll`, any protection
   // whose engine failed over and whose old primary is alive again gets a

@@ -10,12 +10,32 @@ std::string VirtConnection::type() const {
   return "unknown";
 }
 
-hv::Vm& VirtConnection::create_domain(const DomainConfig& config) {
+Expected<hv::Vm*> VirtConnection::create_domain(const DomainConfig& config) {
+  if (config.name.empty()) {
+    return Status::invalid_argument("create_domain: name must be non-empty");
+  }
+  if (config.vcpus == 0) {
+    return Status::invalid_argument("create_domain: vcpus must be >= 1");
+  }
+  if (config.memory_bytes == 0) {
+    return Status::invalid_argument(
+        "create_domain: memory_bytes must be positive");
+  }
+  if (!host_.alive()) {
+    return Status::failed_precondition("create_domain: host '" +
+                                       host_.name() + "' is not operational");
+  }
+  for (const auto& vm : host_.hypervisor().vms()) {
+    if (vm->spec().name == config.name) {
+      return Status::already_exists("create_domain: domain '" + config.name +
+                                    "' already defined on " + host_.name());
+    }
+  }
   hv::Vm& vm = host_.hypervisor().create_vm(
       hv::make_vm_spec(config.name, config.vcpus, config.memory_bytes,
                        config.model_scale));
   if (config.autostart) host_.hypervisor().start(vm);
-  return vm;
+  return &vm;
 }
 
 DomainInfo VirtConnection::domain_info(const hv::Vm& vm) const {
@@ -37,11 +57,12 @@ std::vector<DomainInfo> VirtConnection::list_domains() const {
   return out;
 }
 
-hv::Vm* VirtConnection::lookup_domain(const std::string& name) {
+Expected<hv::Vm*> VirtConnection::lookup_domain(const std::string& name) {
   for (const auto& vm : host_.hypervisor().vms()) {
     if (vm->spec().name == name) return vm.get();
   }
-  return nullptr;
+  return Status::not_found("lookup_domain: no domain named '" + name +
+                           "' on " + host_.name());
 }
 
 }  // namespace here::mgmt

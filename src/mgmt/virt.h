@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "hv/host.h"
 
 namespace here::mgmt {
@@ -43,13 +44,17 @@ class VirtConnection {
   [[nodiscard]] bool alive() const { return host_.alive(); }
   [[nodiscard]] hv::Host& host() { return host_; }
 
-  // virDomainCreate: define + (optionally) start.
-  hv::Vm& create_domain(const DomainConfig& config);
+  // virDomainCreate: define + (optionally) start. Control-plane errors are
+  // values, not exceptions: kInvalidArgument for a bad config (empty name,
+  // zero vcpus/memory), kFailedPrecondition when the host is down,
+  // kAlreadyExists for a duplicate domain name.
+  [[nodiscard]] Expected<hv::Vm*> create_domain(const DomainConfig& config);
 
   // virConnectListAllDomains.
   [[nodiscard]] std::vector<DomainInfo> list_domains() const;
   [[nodiscard]] DomainInfo domain_info(const hv::Vm& vm) const;
-  [[nodiscard]] hv::Vm* lookup_domain(const std::string& name);
+  // virDomainLookupByName: kNotFound when no such domain.
+  [[nodiscard]] Expected<hv::Vm*> lookup_domain(const std::string& name);
 
   // virDomainSuspend / Resume / Destroy.
   void suspend_domain(hv::Vm& vm) { host_.hypervisor().pause(vm); }

@@ -1,0 +1,67 @@
+// Listener interface for replication-engine lifecycle events.
+//
+// Replaces the engine's original ad-hoc `std::function on_protected` callback
+// (still available as a deprecated shim on protect()): management layers,
+// benches and tests register an observer once and receive the full lifecycle
+// instead of polling `failed_over()` / `stats()` on a timer. Observers are
+// borrowed pointers and must outlive the engine; callbacks run inline on the
+// simulated-time event that produced them, so they see a consistent engine
+// state and may not destroy the engine from within.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace here::hv {
+class Vm;
+}  // namespace here::hv
+
+namespace here::rep {
+
+// One continuous-phase checkpoint, as recorded in EngineStats.
+struct CheckpointRecord {
+  std::uint64_t epoch = 0;
+  sim::TimePoint completed_at{};
+  sim::Duration period_used{};  // T for the epoch that just ended
+  sim::Duration pause{};        // t: VM paused duration
+  std::uint64_t dirty_pages_model = 0;
+  std::uint64_t bytes_model = 0;
+  double degradation = 0.0;     // t / (t + T)
+};
+
+// Why the engine is running degraded (still protecting, but off the happy
+// path). Reported through EngineObserver::on_degraded.
+enum class DegradedKind : std::uint8_t {
+  kSeedRetry,          // a seeding attempt failed; retrying with backoff
+  kSeedAbandoned,      // seeding retries exhausted; VM left unprotected
+  kEpochAborted,       // a checkpoint was aborted (link down / too slow)
+  kFailoverFenced,     // primary heartbeats resumed; activation cancelled
+  kPartitionSuspected, // watchdog classified the outage as a partition
+  kMigratorStall,      // an injected migrator-thread stall was absorbed
+};
+
+struct DegradedEvent {
+  DegradedKind kind{};
+  sim::TimePoint at{};
+  std::string detail;
+};
+
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  // Epoch 0 committed: the VM survives a primary failure from here on.
+  virtual void on_protected(hv::Vm& /*vm*/) {}
+  // One continuous-phase checkpoint committed (its output was released).
+  virtual void on_checkpoint_committed(const CheckpointRecord& /*record*/) {}
+  // Failover initiated (watchdog, detector, or operator trigger).
+  virtual void on_failover_started(const std::string& /*reason*/) {}
+  // The replica VM is running and owns the service address.
+  virtual void on_replica_active(hv::Vm& /*replica*/) {}
+  // The engine absorbed a fault and degraded instead of wedging.
+  virtual void on_degraded(const DegradedEvent& /*event*/) {}
+};
+
+}  // namespace here::rep

@@ -73,10 +73,17 @@ void Migrator::activate_on_destination() {
   }
 
   const hv::HvCostProfile& cost = destination_.hypervisor().cost_profile();
-  const sim::Duration d = model_.wire_time(wire_bytes) +
-                          translate_cost + cost.create_vm_base +
-                          cost.per_device_setup * 3 + cost.state_load +
-                          cost.vm_resume;
+  sim::Duration d = model_.wire_time(wire_bytes) +
+                    translate_cost + cost.create_vm_base +
+                    cost.per_device_setup * 3 + cost.state_load +
+                    cost.vm_resume;
+  // An injected migrator stall holds the source paused and pushes the
+  // destination activation (and thus downtime) out by its duration.
+  if (pending_stall_ > sim::Duration::zero()) {
+    d += pending_stall_;
+    injected_stall_ += pending_stall_;
+    pending_stall_ = {};
+  }
 
   sim_.schedule_after(d, [this, to_load = std::shared_ptr<hv::SavedMachineState>(
                                     std::move(to_load))] {

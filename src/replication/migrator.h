@@ -40,6 +40,14 @@ class Migrator {
   // completion the source VM is destroyed and the destination VM is running.
   void migrate(hv::Vm& vm, DoneFn done);
 
+  // Fault-injection hook (src/faults): a wedged migrator thread delays the
+  // destination activation by `stall` (added to downtime). Accumulates if
+  // injected repeatedly before the stop-and-copy completes.
+  void inject_stall(sim::Duration stall) {
+    if (stall > sim::Duration::zero()) pending_stall_ += stall;
+  }
+  [[nodiscard]] sim::Duration injected_stall() const { return injected_stall_; }
+
   [[nodiscard]] hv::Vm* destination_vm() { return dest_vm_; }
 
  private:
@@ -59,6 +67,8 @@ class Migrator {
   std::unique_ptr<Seeder> seeder_;
   DoneFn done_;
   sim::TimePoint started_at_{};
+  sim::Duration pending_stall_{};   // injected, not yet paid
+  sim::Duration injected_stall_{};  // total paid so far
   MigrationResult result_;
 };
 

@@ -4,20 +4,27 @@
 
 namespace here::rep {
 
-void validate_period_config(const PeriodConfig& config) {
+Status check_period_config(const PeriodConfig& config) {
   if (config.t_max <= sim::Duration{0}) {
-    throw std::invalid_argument("PeriodConfig: t_max must be positive");
+    return Status::invalid_argument("PeriodConfig: t_max must be positive");
   }
   if (config.sigma <= sim::Duration{0}) {
-    throw std::invalid_argument("PeriodConfig: sigma must be positive");
+    return Status::invalid_argument("PeriodConfig: sigma must be positive");
   }
   if (config.target_degradation < 0.0 || config.target_degradation >= 1.0) {
-    throw std::invalid_argument(
+    return Status::invalid_argument(
         "PeriodConfig: target_degradation must be in [0, 1)");
   }
   if (config.adaptive_remus_io_period <= sim::Duration{0}) {
-    throw std::invalid_argument(
+    return Status::invalid_argument(
         "PeriodConfig: adaptive_remus_io_period must be positive");
+  }
+  return Status::ok_status();
+}
+
+void validate_period_config(const PeriodConfig& config) {
+  if (const Status s = check_period_config(config); !s.ok()) {
+    throw std::invalid_argument(s.message());
   }
 }
 

@@ -26,6 +26,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "common/status.h"
 #include "sim/time.h"
 
 namespace here::rep {
@@ -52,11 +53,16 @@ struct PeriodConfig {
   sim::Duration adaptive_remus_io_period = sim::from_millis(500);
 };
 
-// Validates a PeriodConfig: throws std::invalid_argument on t_max <= 0,
+// Typed validation of a PeriodConfig: kInvalidArgument on t_max <= 0,
 // sigma <= 0, target_degradation outside [0, 1), or a non-positive Adaptive
-// Remus I/O period. The ReplicationEngine calls this before any component is
-// built, so a bad config fails fast with a clear message instead of driving
-// Algorithm 1 (or the checkpoint scheduler) into undefined territory.
+// Remus I/O period. The ReplicationEngine checks this before any component
+// is built, so a bad config fails fast with a clear message instead of
+// driving Algorithm 1 (or the checkpoint scheduler) into undefined
+// territory.
+[[nodiscard]] Status check_period_config(const PeriodConfig& config);
+
+// Throwing wrapper kept for pre-Status callers: std::invalid_argument with
+// the same message.
 void validate_period_config(const PeriodConfig& config);
 
 class PeriodManager {

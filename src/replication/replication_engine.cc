@@ -11,27 +11,62 @@ namespace here::rep {
 
 using common::kPagesPerRegion;
 
+Status validate_replication_config(const ReplicationConfig& config) {
+  if (const Status s = check_period_config(config.period); !s.ok()) return s;
+  if (config.checkpoint_threads == 0) {
+    return Status::invalid_argument(
+        "ReplicationConfig: checkpoint_threads must be >= 1");
+  }
+  if (config.heartbeat_interval <= sim::Duration::zero()) {
+    return Status::invalid_argument(
+        "ReplicationConfig: heartbeat_interval must be positive");
+  }
+  if (config.heartbeat_timeout <= config.heartbeat_interval) {
+    return Status::invalid_argument(
+        "ReplicationConfig: heartbeat_timeout must exceed "
+        "heartbeat_interval, or every missed beat is a false failover");
+  }
+  const FaultToleranceConfig& ft = config.ft;
+  if (ft.seed_max_attempts == 0) {
+    return Status::invalid_argument(
+        "ReplicationConfig: ft.seed_max_attempts must be >= 1");
+  }
+  if (ft.seed_attempt_timeout < sim::Duration::zero() ||
+      ft.checkpoint_timeout < sim::Duration::zero() ||
+      ft.fencing_window < sim::Duration::zero()) {
+    return Status::invalid_argument(
+        "ReplicationConfig: ft timeouts/windows must be non-negative");
+  }
+  if (ft.seed_max_attempts > 1 &&
+      ft.seed_retry_backoff <= sim::Duration::zero()) {
+    return Status::invalid_argument(
+        "ReplicationConfig: ft.seed_retry_backoff must be positive when "
+        "seeding retries are enabled");
+  }
+  if (ft.probe_on_heartbeat_loss &&
+      ft.probe_timeout <= sim::Duration::zero()) {
+    return Status::invalid_argument(
+        "ReplicationConfig: ft.probe_timeout must be positive when "
+        "probe_on_heartbeat_loss is set");
+  }
+  return Status::ok_status();
+}
+
 namespace {
 
 // Fail-fast validation, run in the constructor's init list *before* any
 // member that consumes the config is built (a zero thread count would
 // otherwise reach the ThreadPool constructor first).
 ReplicationConfig validated(ReplicationConfig config) {
-  validate_period_config(config.period);
-  if (config.checkpoint_threads == 0) {
-    throw std::invalid_argument(
-        "ReplicationConfig: checkpoint_threads must be >= 1");
-  }
-  if (config.heartbeat_interval <= sim::Duration::zero()) {
-    throw std::invalid_argument(
-        "ReplicationConfig: heartbeat_interval must be positive");
-  }
-  if (config.heartbeat_timeout <= config.heartbeat_interval) {
-    throw std::invalid_argument(
-        "ReplicationConfig: heartbeat_timeout must exceed "
-        "heartbeat_interval, or every missed beat is a false failover");
+  if (const Status s = validate_replication_config(config); !s.ok()) {
+    throw std::invalid_argument(std::string(s.message()));
   }
   return config;
+}
+
+sim::Duration scaled(sim::Duration d, double factor) {
+  return sim::Duration{
+      static_cast<std::int64_t>(static_cast<double>(d.count()) * factor)};
 }
 
 }  // namespace
@@ -70,11 +105,16 @@ ReplicationEngine::ReplicationEngine(sim::Simulation& simulation,
     m_dirty_pages_ = &m.counter("rep.dirty_pages_total");
     m_bytes_ = &m.counter("rep.bytes_total");
     m_heartbeats_ = &m.counter("rep.heartbeats_sent");
+    m_seed_retries_ = &m.counter("rep.seed_retries");
+    m_epochs_aborted_ = &m.counter("rep.epochs_aborted");
+    m_failovers_fenced_ = &m.counter("rep.failovers_fenced");
     m_pause_ms_ = &m.histogram(
         "rep.pause_ms",
         {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
     m_degradation_pct_ = &m.histogram(
         "rep.degradation_pct", {1, 2, 5, 10, 15, 20, 30, 40, 50, 75, 90, 100});
+    m_mttr_ms_ = &m.histogram(
+        "rep.mttr_ms", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
     m_period_s_ = &m.gauge("rep.period_s");
   }
   outbound_.attach_obs(config_.tracer, config_.metrics);
@@ -85,19 +125,28 @@ ReplicationEngine::~ReplicationEngine() {
   sim_.cancel(checkpoint_finish_event_);
   sim_.cancel(heartbeat_event_);
   sim_.cancel(watchdog_event_);
+  sim_.cancel(seed_deadline_event_);
+  sim_.cancel(seed_retry_event_);
+  sim_.cancel(probe_event_);
+  sim_.cancel(failover_activate_event_);
 }
 
 std::uint32_t ReplicationEngine::threads() const {
   return config_.mode == EngineMode::kRemus ? 1 : config_.checkpoint_threads;
 }
 
-void ReplicationEngine::protect(hv::Vm& vm, std::function<void()> on_protected) {
-  if (vm_ != nullptr) throw std::logic_error("engine already protecting a VM");
+void ReplicationEngine::add_observer(EngineObserver* observer) {
+  if (observer != nullptr) observers_.push_back(observer);
+}
+
+Status ReplicationEngine::start_protection(hv::Vm& vm) {
+  if (vm_ != nullptr) {
+    return Status::failed_precondition("engine already protecting a VM");
+  }
   if (vm.state() != hv::VmState::kRunning) {
-    throw std::logic_error("protect: VM must be running");
+    return Status::failed_precondition("protect: VM must be running");
   }
   vm_ = &vm;
-  on_protected_ = std::move(on_protected);
 
   if (config_.tracer != nullptr) {
     config_.tracer->instant(
@@ -126,29 +175,128 @@ void ReplicationEngine::protect(hv::Vm& vm, std::function<void()> on_protected) 
   }
   // Storage replication: local disk I/O completes immediately (Remus does
   // not delay local writes) while a copy of each write travels with the
-  // running epoch to be applied on the replica at commit.
+  // running epoch to be applied on the replica at commit. A write the local
+  // disk rejected (injected write errors) is not mirrored either, keeping
+  // the two images digest-identical.
   if (hv::BlockDevice* blk = vm.block_device()) {
     hv::VirtualDisk& local = primary_.hypervisor().disk(vm);
     blk->set_write_hook([this, &local](const hv::DiskWrite& w) {
-      local.apply(w);
-      epoch_disk_writes_.push_back(w);
+      if (local.apply(w)) epoch_disk_writes_.push_back(w);
     });
   }
 
-  staging_ = std::make_unique<ReplicaStaging>(vm.spec(), threads());
-  seeder_ = std::make_unique<Seeder>(sim_, model_, pool_,
-                                     primary_.hypervisor(), vm, *staging_,
-                                     config_.seed, config_.tracer);
-
-  // Heartbeating starts with protection.
+  // Heartbeating starts with protection. A heartbeat arriving while a
+  // fenced failover is pending means the primary is back: cancel it.
   secondary_.add_ic_handler([this](const net::Packet& p) {
-    if (p.kind == 0xbeef) last_heartbeat_rx_ = sim_.now();
+    if (p.kind == kHeartbeatKind) {
+      last_heartbeat_rx_ = sim_.now();
+      if (failover_in_progress_ && fencing_armed_) fence_failover();
+    }
+  });
+  // Watchdog probes ride the management network, so an interconnect-only
+  // partition can be told apart from a dead host (which answers nothing).
+  primary_.add_eth_handler([this](const net::Packet& p) {
+    if (p.kind == kProbeRequestKind) {
+      net::Packet reply;
+      reply.src = primary_.eth_node();
+      reply.dst = p.src;
+      reply.size_bytes = 64;
+      reply.kind = kProbeReplyKind;
+      fabric_.send(reply);
+    }
+  });
+  secondary_.add_eth_handler([this](const net::Packet& p) {
+    if (p.kind == kProbeReplyKind) probe_reply_received_ = true;
   });
   last_heartbeat_rx_ = sim_.now();
   send_heartbeat();
   watchdog_check();
 
-  seeder_->start([this](const SeedResult& result) { on_seeded(result); });
+  begin_seed_attempt();
+  return Status::ok_status();
+}
+
+void ReplicationEngine::protect(hv::Vm& vm,
+                                std::function<void()> on_protected) {
+  on_protected_ = std::move(on_protected);
+  if (const Status s = start_protection(vm); !s.ok()) {
+    on_protected_ = nullptr;
+    throw std::logic_error(std::string(s.message()));
+  }
+}
+
+// --- Seeding (with retry) ----------------------------------------------------
+
+void ReplicationEngine::begin_seed_attempt() {
+  ++seed_attempt_;
+  ++stats_.seed_attempts;
+  if (vm_ == nullptr) return;
+  if (!primary_.alive()) {
+    schedule_seed_retry("primary down at attempt start");
+    return;
+  }
+  // A torn-down attempt may have left the VM paused mid-stop-copy.
+  if (vm_->state() == hv::VmState::kPaused) primary_.hypervisor().resume(*vm_);
+
+  if (config_.tracer != nullptr && seed_attempt_ > 1) {
+    config_.tracer->instant(sim_.now(), "seed.attempt", "seed",
+                            {{"attempt", seed_attempt_}});
+  }
+  seeder_.reset();  // cancel any stale in-flight seeding event first
+  staging_ = std::make_unique<ReplicaStaging>(vm_->spec(), threads());
+  seeder_ = std::make_unique<Seeder>(sim_, model_, pool_,
+                                     primary_.hypervisor(), *vm_, *staging_,
+                                     config_.seed, config_.tracer);
+  if (config_.ft.seed_attempt_timeout > sim::Duration::zero()) {
+    seed_deadline_event_ = sim_.schedule_after(
+        config_.ft.seed_attempt_timeout,
+        [this] { on_seed_attempt_timeout(); }, "seed-deadline");
+  }
+  seeder_->start([this](const SeedResult& result) {
+    sim_.cancel(seed_deadline_event_);
+    on_seeded(result);
+  });
+}
+
+void ReplicationEngine::on_seed_attempt_timeout() {
+  if (seeded_) return;
+  seeder_.reset();  // the destructor cancels the in-flight seeding event
+  if (primary_.alive() && vm_ != nullptr &&
+      vm_->state() == hv::VmState::kPaused) {
+    primary_.hypervisor().resume(*vm_);
+  }
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "seed.timeout", "seed",
+                            {{"attempt", seed_attempt_}});
+  }
+  schedule_seed_retry("attempt deadline exceeded");
+}
+
+void ReplicationEngine::schedule_seed_retry(const char* why) {
+  if (seed_attempt_ >= config_.ft.seed_max_attempts) {
+    HERE_LOG(kWarn, "seeding abandoned after %u attempt(s): %s",
+             seed_attempt_, why);
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(sim_.now(), "seed.abandoned", "seed",
+                              {{"attempts", seed_attempt_}});
+    }
+    notify_degraded(DegradedKind::kSeedAbandoned, why);
+    return;
+  }
+  const std::uint32_t shift = std::min<std::uint32_t>(seed_attempt_ - 1, 6);
+  const sim::Duration backoff =
+      config_.ft.seed_retry_backoff * (std::int64_t{1} << shift);
+  if (m_seed_retries_ != nullptr) m_seed_retries_->add(1);
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "seed.retry", "seed",
+                            {{"attempt", seed_attempt_},
+                             {"backoff_ns", backoff.count()}});
+  }
+  notify_degraded(DegradedKind::kSeedRetry, why);
+  HERE_LOG(kWarn, "seeding attempt %u failed (%s); retrying in %s",
+           seed_attempt_, why, sim::format_duration(backoff).c_str());
+  seed_retry_event_ = sim_.schedule_after(
+      backoff, [this] { begin_seed_attempt(); }, "seed-retry");
 }
 
 void ReplicationEngine::on_seeded(const SeedResult& result) {
@@ -167,7 +315,12 @@ void ReplicationEngine::on_seeded(const SeedResult& result) {
 }
 
 void ReplicationEngine::commit_initial_checkpoint() {
-  if (!primary_.alive()) return;  // died during seeding: never protected
+  if (!primary_.alive()) {
+    // Died between stop-and-copy and the epoch-0 ACK: the staged image is
+    // complete but the primary never learnt that. Retry from scratch.
+    schedule_seed_retry("primary died during epoch-0 commit");
+    return;
+  }
   seeded_ = true;
   stats_.protected_at = sim_.now();
   current_epoch_ = 1;
@@ -194,6 +347,7 @@ void ReplicationEngine::commit_initial_checkpoint() {
            vm_->spec().name.c_str(), primary_.name().c_str(),
            secondary_.name().c_str(),
            sim::format_duration(stats_.seed.total_time).c_str());
+  for (EngineObserver* o : observers_) o->on_protected(*vm_);
   if (on_protected_) on_protected_();
 }
 
@@ -229,9 +383,59 @@ void ReplicationEngine::schedule_checkpoint() {
       period, [this] { run_checkpoint(); }, "checkpoint");
 }
 
+void ReplicationEngine::restore_aborted_epoch() {
+  if (vm_ == nullptr) return;
+  if (common::DirtyBitmap* bm = primary_.hypervisor().dirty_bitmap(*vm_)) {
+    for (const common::Gfn g : last_epoch_gfns_) bm->set(g);
+  }
+  if (!last_epoch_disk_writes_.empty()) {
+    // Restore in issue order, ahead of anything the guest wrote since.
+    std::vector<hv::DiskWrite> restored = std::move(last_epoch_disk_writes_);
+    restored.insert(restored.end(), epoch_disk_writes_.begin(),
+                    epoch_disk_writes_.end());
+    epoch_disk_writes_ = std::move(restored);
+  }
+  last_epoch_gfns_.clear();
+  last_epoch_disk_writes_.clear();
+}
+
+void ReplicationEngine::note_epoch_abort(const char* reason) {
+  ++stats_.epochs_aborted;
+  ++abort_streak_;
+  if (m_epochs_aborted_ != nullptr) m_epochs_aborted_->add(1);
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "epoch.abort", "ckpt",
+                            {{"epoch", current_epoch_},
+                             {"reason", reason},
+                             {"streak", abort_streak_}});
+  }
+  notify_degraded(DegradedKind::kEpochAborted, reason);
+  const std::uint32_t shift = std::min<std::uint32_t>(abort_streak_ - 1, 6);
+  sim::Duration backoff =
+      config_.ft.checkpoint_retry_backoff * (std::int64_t{1} << shift);
+  backoff = std::min(backoff, config_.period.t_max);
+  if (backoff <= sim::Duration::zero()) backoff = config_.heartbeat_interval;
+  HERE_LOG(kWarn, "epoch %llu aborted (%s); retrying in %s",
+           static_cast<unsigned long long>(current_epoch_), reason,
+           sim::format_duration(backoff).c_str());
+  checkpoint_event_ = sim_.schedule_after(
+      backoff, [this] { run_checkpoint(); }, "checkpoint-retry");
+}
+
 void ReplicationEngine::run_checkpoint() {
   if (!primary_.alive() || failover_in_progress_) return;
   if (vm_ == nullptr || vm_->state() == hv::VmState::kDestroyed) return;
+
+  // Partition check before pausing: with the interconnect down no byte of
+  // this epoch could reach the replica, so don't stop the VM at all — abort
+  // the epoch and retry after backoff. Dirty tracking keeps accumulating and
+  // the epoch's output stays buffered (output commit holds across aborts).
+  const net::LinkQuality link =
+      fabric_.link_quality(primary_.ic_node(), secondary_.ic_node());
+  if (!link.connected || link.down) {
+    note_epoch_abort("interconnect down");
+    return;
+  }
 
   const sim::Duration period_used = sim_.now() - last_checkpoint_done_;
   const std::uint64_t epoch = current_epoch_;
@@ -273,6 +477,15 @@ void ReplicationEngine::run_checkpoint() {
     max_worker = std::max(max_worker, n);
   }
 
+  // Keep the captured epoch restorable until it commits: an abort (or a
+  // fenced failover) folds it back into the running epoch so the retry
+  // re-ships it.
+  last_epoch_gfns_.clear();
+  for (const auto& w : found) {
+    last_epoch_gfns_.insert(last_epoch_gfns_.end(), w.begin(), w.end());
+  }
+  last_epoch_disk_writes_ = epoch_disk_writes_;
+
   // (3) The epoch's mirrored disk writes travel with the checkpoint.
   std::uint64_t disk_bytes = 0;
   for (const auto& w : epoch_disk_writes_) disk_bytes += w.sectors * 512ULL;
@@ -283,16 +496,29 @@ void ReplicationEngine::run_checkpoint() {
   // bytes ride along; note they are *not* multiplied by model_scale — guest
   // programs issue disk writes at their modelled op rates, so the volume is
   // already in model units (unlike page counts, which are real and scaled).
-  const sim::Duration state_cost =
-      snapshot_state_and_program() + model_.wire_time(disk_bytes);
+  // A slowed-down primary disk (injected fault) stretches the mirror read.
+  sim::Duration disk_cost = model_.wire_time(disk_bytes);
+  const double disk_slow = primary_.hypervisor().disk(*vm_).slowdown();
+  if (disk_slow > 1.0) disk_cost = scaled(disk_cost, disk_slow);
+  sim::Duration state_cost = snapshot_state_and_program() + disk_cost;
 
   // Pause duration t = f(N)/P + C (Eq. 3/4). Under speculative CoW the
   // dirty set is only duplicated locally during the pause; the network push
   // runs in the background after the VM resumes.
   const std::uint64_t scale = vm_->spec().model_scale;
   const sim::Duration scan_cost = model_.scan(pages * scale, p);
-  const sim::Duration copy_cost = model_.checkpoint_copy(
+  sim::Duration copy_cost = model_.checkpoint_copy(
       max_worker * scale, captured * scale, p, config_.compress_pages);
+  // Impaired interconnect: lost checkpoint packets retransmit (1/(1-loss))
+  // and a throttled link stretches serialization (1/bandwidth_factor). The
+  // guard keeps fault-free runs bit-identical to the unimpaired engine.
+  double net_penalty = 1.0;
+  if (link.loss > 0.0) net_penalty /= (1.0 - link.loss);
+  if (link.bandwidth_factor < 1.0) net_penalty /= link.bandwidth_factor;
+  if (net_penalty > 1.0) {
+    copy_cost = scaled(copy_cost, net_penalty);
+    state_cost = scaled(state_cost, net_penalty);
+  }
   const sim::Duration constants =
       model_.config().checkpoint_setup +
       primary_.hypervisor().cost_profile().vm_pause +
@@ -307,6 +533,33 @@ void ReplicationEngine::run_checkpoint() {
         common::pages_to_bytes(captured * scale));
   } else {
     pause = constants + scan_cost + copy_cost + state_cost;
+  }
+  // An injected migrator stall holds the VM paused for its duration.
+  if (pending_stall_ > sim::Duration::zero()) {
+    pause += pending_stall_;
+    pending_stall_ = {};
+  }
+
+  // Abort-and-retry: a transfer that cannot land within the deadline would
+  // stretch the pause unboundedly (exactly the wedge HERE's watchdog would
+  // misread as a dead primary). Give up on this epoch, resume the guest
+  // after the scan it already paid for, and retry with backoff.
+  if (config_.ft.checkpoint_timeout > sim::Duration::zero() &&
+      pause + background > config_.ft.checkpoint_timeout) {
+    staging_->abort_epoch();
+    restore_aborted_epoch();
+    const sim::Duration abort_pause = constants + scan_cost;
+    checkpoint_finish_event_ = sim_.schedule_after(
+        abort_pause,
+        [this, was_running] {
+          if (!primary_.alive() || failover_in_progress_) return;
+          if (was_running && vm_->state() == hv::VmState::kPaused) {
+            primary_.hypervisor().resume(*vm_);
+          }
+        },
+        "checkpoint-abort");
+    note_epoch_abort("projected transfer exceeds checkpoint_timeout");
+    return;
   }
 
   if (config_.tracer != nullptr) {
@@ -352,7 +605,22 @@ void ReplicationEngine::run_checkpoint() {
         if (!primary_.alive() || failover_in_progress_) {
           // Host died while the checkpoint was in flight: the replica
           // discards the partial epoch and will activate the previous one.
+          // (If this failover is later fenced, restore_aborted_epoch folds
+          // the capture back in.)
           staging_->abort_epoch();
+          return;
+        }
+        // Link died while the epoch was being pushed: abort before the new
+        // execution epoch opens, keeping buffered output in the current one.
+        const net::LinkQuality q =
+            fabric_.link_quality(primary_.ic_node(), secondary_.ic_node());
+        if (!q.connected || q.down) {
+          staging_->abort_epoch();
+          restore_aborted_epoch();
+          if (was_running && vm_->state() == hv::VmState::kPaused) {
+            primary_.hypervisor().resume(*vm_);
+          }
+          note_epoch_abort("interconnect down at commit");
           return;
         }
         // A new execution epoch starts the moment the VM resumes; output
@@ -373,6 +641,14 @@ void ReplicationEngine::run_checkpoint() {
                 staging_->abort_epoch();
                 return;
               }
+              const net::LinkQuality bq = fabric_.link_quality(
+                  primary_.ic_node(), secondary_.ic_node());
+              if (!bq.connected || bq.down) {
+                staging_->abort_epoch();
+                restore_aborted_epoch();
+                note_epoch_abort("interconnect down in background transfer");
+                return;
+              }
               finish_checkpoint(epoch, captured, period_used, pause);
             },
             "checkpoint-commit");
@@ -385,6 +661,9 @@ void ReplicationEngine::finish_checkpoint(std::uint64_t epoch,
                                           sim::Duration period_used,
                                           sim::Duration pause) {
   staging_->commit();
+  last_epoch_gfns_.clear();
+  last_epoch_disk_writes_.clear();
+  abort_streak_ = 0;
 
   const std::uint64_t scale = vm_->spec().model_scale;
   CheckpointRecord record;
@@ -419,6 +698,7 @@ void ReplicationEngine::finish_checkpoint(std::uint64_t epoch,
     m_pause_ms_->add(sim::to_seconds(pause) * 1e3);
     m_degradation_pct_->add(record.degradation * 100.0);
   }
+  for (EngineObserver* o : observers_) o->on_checkpoint_committed(record);
 
   // Output commit: packets of the epoch that just committed are released.
   outbound_.release_up_to(epoch, sim_.now());
@@ -447,7 +727,10 @@ void ReplicationEngine::finish_checkpoint(std::uint64_t epoch,
 // --- Heartbeat / failover -----------------------------------------------------
 
 void ReplicationEngine::send_heartbeat() {
-  if (failover_in_progress_ || stats_.failed_over) return;
+  // Keep beating while a failover is merely *in progress*: a healed
+  // partition must be able to deliver the fencing signal. Only a completed
+  // failover (replica active) silences the primary for good.
+  if (stats_.failed_over) return;
   if (primary_.alive()) {
     // Control message on the interconnect; a crashed host's packets drop, a
     // hung host never reaches this point.
@@ -455,7 +738,7 @@ void ReplicationEngine::send_heartbeat() {
     hb.src = primary_.ic_node();
     hb.dst = secondary_.ic_node();
     hb.size_bytes = 64;
-    hb.kind = 0xbeef;
+    hb.kind = kHeartbeatKind;
     fabric_.send(hb);
     ++stats_.heartbeats_sent;
     if (m_heartbeats_ != nullptr) m_heartbeats_->add(1);
@@ -471,37 +754,103 @@ void ReplicationEngine::add_detector(std::unique_ptr<FailureDetector> detector) 
 
 void ReplicationEngine::watchdog_check() {
   if (stats_.failed_over) return;
-  if (secondary_.alive() && seeded_ && !failover_in_progress_) {
+  if (secondary_.alive() && seeded_ && !failover_in_progress_ &&
+      !probe_in_flight_) {
     if (sim_.now() - last_heartbeat_rx_ > config_.heartbeat_timeout &&
         config_.auto_failover) {
-      begin_failover("heartbeat timeout");
-      return;
-    }
-    // Active detectors (starvation, guest watchdog, intrusion detection):
-    // a hit hands the VM over to the clean hypervisor (§8.2).
-    for (const auto& detector : detectors_) {
-      if (const auto reason = detector->check(sim_.now())) {
-        begin_failover(std::string(detector->name()) + ": " + *reason);
-        return;
+      on_heartbeat_lost();
+    } else {
+      // Active detectors (starvation, guest watchdog, intrusion detection):
+      // a hit hands the VM over to the clean hypervisor (§8.2). Detector
+      // failovers are deliberate decisions, so they are never fenced.
+      for (const auto& detector : detectors_) {
+        if (const auto reason = detector->check(sim_.now())) {
+          begin_failover(std::string(detector->name()) + ": " + *reason,
+                         /*fence_on_heartbeat=*/false);
+          break;
+        }
       }
     }
+    // The watchdog loop parks while a failover or probe is pending; the
+    // fencing / probe-recovery paths restart it.
+    if (failover_in_progress_ || probe_in_flight_) return;
   }
   watchdog_event_ = sim_.schedule_after(config_.heartbeat_interval,
                                         [this] { watchdog_check(); },
                                         "watchdog");
 }
 
-void ReplicationEngine::trigger_failover(const std::string& reason) {
-  if (!failover_in_progress_ && !stats_.failed_over) begin_failover(reason);
+void ReplicationEngine::on_heartbeat_lost() {
+  if (config_.ft.probe_on_heartbeat_loss) {
+    if (fabric_.connected(secondary_.eth_node(), primary_.eth_node())) {
+      // Ask the primary over the management network. A partitioned-but-live
+      // host answers; a crashed or hung one cannot.
+      probe_in_flight_ = true;
+      probe_reply_received_ = false;
+      net::Packet probe;
+      probe.src = secondary_.eth_node();
+      probe.dst = primary_.eth_node();
+      probe.size_bytes = 64;
+      probe.kind = kProbeRequestKind;
+      fabric_.send(probe);
+      if (config_.tracer != nullptr) {
+        config_.tracer->instant(sim_.now(), "watchdog.probe", "fo",
+                                {{"timeout_ns", config_.ft.probe_timeout.count()}});
+      }
+      probe_event_ = sim_.schedule_after(
+          config_.ft.probe_timeout, [this] { finish_probe(); },
+          "watchdog-probe");
+      return;
+    }
+    // Both networks unreachable: indistinguishable from a dead machine.
+    stats_.failure_classification = "crash-suspected";
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(sim_.now(), "watchdog.classify", "fo",
+                              {{"classification", "crash-suspected"}});
+    }
+  }
+  begin_failover("heartbeat timeout", /*fence_on_heartbeat=*/true);
 }
 
-void ReplicationEngine::begin_failover(const std::string& reason) {
+void ReplicationEngine::finish_probe() {
+  probe_in_flight_ = false;
+  if (stats_.failed_over || failover_in_progress_) return;
+  if (sim_.now() - last_heartbeat_rx_ <= config_.heartbeat_timeout) {
+    watchdog_check();  // heartbeats recovered while probing; resume the loop
+    return;
+  }
+  const bool partition = probe_reply_received_;
+  stats_.failure_classification =
+      partition ? "partition-suspected" : "crash-suspected";
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(
+        sim_.now(), "watchdog.classify", "fo",
+        {{"classification", stats_.failure_classification}});
+  }
+  if (partition) {
+    notify_degraded(
+        DegradedKind::kPartitionSuspected,
+        "management network reachable while interconnect heartbeats lost");
+  }
+  begin_failover("heartbeat timeout", /*fence_on_heartbeat=*/true);
+}
+
+void ReplicationEngine::trigger_failover(const std::string& reason) {
+  if (!failover_in_progress_ && !stats_.failed_over) {
+    begin_failover(reason, /*fence_on_heartbeat=*/false);
+  }
+}
+
+void ReplicationEngine::begin_failover(const std::string& reason,
+                                       bool fence_on_heartbeat) {
   if (!staging_ || !staging_->has_committed()) {
     HERE_LOG(kWarn, "failover requested (%s) but no committed checkpoint",
              reason.c_str());
     return;
   }
   failover_in_progress_ = true;
+  fencing_armed_ =
+      fence_on_heartbeat && config_.ft.fencing_window > sim::Duration::zero();
   stats_.failure_detected_at = sim_.now();
   sim_.cancel(checkpoint_event_);
   staging_->abort_epoch();
@@ -509,14 +858,7 @@ void ReplicationEngine::begin_failover(const std::string& reason) {
     config_.tracer->instant(sim_.now(), "failover.begin", "fo",
                             {{"reason", reason}});
   }
-  stats_.packets_dropped_at_failover = outbound_.drop_all();
-  if (config_.tracer != nullptr) {
-    // Emitted here rather than in OutboundBuffer::drop_all (which has no
-    // notion of the current time): uncommitted output dies with the primary.
-    config_.tracer->instant(
-        sim_.now(), "io.drop", "io",
-        {{"dropped", stats_.packets_dropped_at_failover}});
-  }
+  for (EngineObserver* o : observers_) o->on_failover_started(reason);
 
   HERE_LOG(kInfo, "failover: %s; activating replica on %s", reason.c_str(),
            secondary_.name().c_str());
@@ -533,10 +875,55 @@ void ReplicationEngine::begin_failover(const std::string& reason) {
   // a 1-6 ms scatter that does not correlate with VM size).
   d += sim::from_micros(
       secondary_.hypervisor().rng().uniform_real(-600.0, 1800.0));
-  sim_.schedule_after(d, [this] { activate_replica(); }, "failover-activate");
+  // Fenced failovers hold activation for the fencing window: if the primary
+  // heartbeats again within it, the replica stands down (split-brain guard).
+  if (fencing_armed_) d += config_.ft.fencing_window;
+  failover_activate_event_ =
+      sim_.schedule_after(d, [this] { activate_replica(); },
+                          "failover-activate");
+}
+
+void ReplicationEngine::fence_failover() {
+  if (!failover_in_progress_ || stats_.failed_over) return;
+  sim_.cancel(failover_activate_event_);
+  sim_.cancel(checkpoint_finish_event_);
+  failover_in_progress_ = false;
+  fencing_armed_ = false;
+  ++stats_.failovers_fenced;
+  if (m_failovers_fenced_ != nullptr) m_failovers_fenced_->add(1);
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "failover.fenced", "fo",
+                            {{"fenced_total", stats_.failovers_fenced}});
+  }
+  notify_degraded(DegradedKind::kFailoverFenced,
+                  "primary heartbeats resumed within the fencing window");
+  // The epoch aborted at failover start folds back into the running epoch;
+  // its buffered output was never dropped (that happens only at activation),
+  // so the next commit releases it and clients see a gapless stream.
+  restore_aborted_epoch();
+  if (primary_.alive() && vm_ != nullptr &&
+      vm_->state() == hv::VmState::kPaused) {
+    primary_.hypervisor().resume(*vm_);
+  }
+  last_checkpoint_done_ = sim_.now();
+  schedule_checkpoint();
+  watchdog_check();
+  HERE_LOG(kInfo,
+           "failover fenced: primary heartbeats resumed; replication resumes");
 }
 
 void ReplicationEngine::activate_replica() {
+  fencing_armed_ = false;
+  // Output commit: uncommitted output dies with the primary — dropped at
+  // the moment the replica takes over the service address, not earlier (a
+  // fenced failover must leave the buffer intact for the next commit).
+  stats_.packets_dropped_at_failover = outbound_.drop_all();
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(
+        sim_.now(), "io.drop", "io",
+        {{"dropped", stats_.packets_dropped_at_failover}});
+  }
+
   hv::Hypervisor& target = secondary_.hypervisor();
   hv::Vm& replica = target.create_vm(staging_->spec());
 
@@ -579,6 +966,9 @@ void ReplicationEngine::activate_replica() {
   stats_.replica_active_at = sim_.now();
   stats_.resumption_time = sim_.now() - stats_.failure_detected_at;
   failover_in_progress_ = false;
+  if (m_mttr_ms_ != nullptr) {
+    m_mttr_ms_->add(sim::to_seconds(stats_.resumption_time) * 1e3);
+  }
 
   if (config_.tracer != nullptr) {
     config_.tracer->instant(
@@ -587,11 +977,34 @@ void ReplicationEngine::activate_replica() {
          {"resumption_ns", stats_.resumption_time.count()},
          {"packets_dropped", stats_.packets_dropped_at_failover}});
   }
+  for (EngineObserver* o : observers_) o->on_replica_active(replica);
 
   HERE_LOG(kInfo, "replica active on %s after %s (epoch %llu)",
            secondary_.name().c_str(),
            sim::format_duration(stats_.resumption_time).c_str(),
            static_cast<unsigned long long>(staging_->committed_epoch()));
+}
+
+// --- Fault hooks / observers ---------------------------------------------------
+
+void ReplicationEngine::inject_migrator_stall(sim::Duration stall) {
+  if (stall <= sim::Duration::zero()) return;
+  pending_stall_ += stall;
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "fault.migrator_stall", "ckpt",
+                            {{"stall_ns", stall.count()}});
+  }
+  notify_degraded(DegradedKind::kMigratorStall,
+                  "migrator threads stalled by fault injection");
+}
+
+void ReplicationEngine::notify_degraded(DegradedKind kind, std::string detail) {
+  if (observers_.empty()) return;
+  DegradedEvent event;
+  event.kind = kind;
+  event.at = sim_.now();
+  event.detail = std::move(detail);
+  for (EngineObserver* o : observers_) o->on_degraded(event);
 }
 
 // --- Packet paths ---------------------------------------------------------------

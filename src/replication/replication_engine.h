@@ -5,27 +5,40 @@
 // (heterogeneous replication) or the same one (the Remus baseline).
 //
 // Lifecycle:
-//   protect(vm)
-//     -> seeding (live pre-copy, §7.2(1))
+//   start_protection(vm)
+//     -> seeding (live pre-copy, §7.2(1)); failed attempts retry with
+//        exponential backoff up to ft.seed_max_attempts
 //     -> epoch 0 committed (memory + translated machine state + program)
 //     -> continuous checkpoints every T (§7.2(2)), T driven by the dynamic
-//        period manager (§5.4) unless a fixed period is configured
+//        period manager (§5.4) unless a fixed period is configured; an epoch
+//        whose transfer cannot complete (link down, or projected to exceed
+//        ft.checkpoint_timeout) is aborted and retried — its dirty pages and
+//        disk writes are folded back into the running epoch, so output
+//        commit is preserved across the abort
 //     -> on primary failure (heartbeat loss or explicit trigger): the last
 //        committed checkpoint activates on the secondary hypervisor; the
 //        guest agent switches device families; unreleased outbound packets
 //        are dropped (never seen by clients — output commit).
+//
+// Hardening knobs live in FaultToleranceConfig; every default preserves the
+// original fail-stop behaviour bit-for-bit, so fault-free runs are
+// unchanged. Lifecycle consumers implement EngineObserver
+// (engine_observer.h) instead of the deprecated protect() callback.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "hv/host.h"
 #include "kvmsim/kvm_hypervisor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "replication/detectors.h"
+#include "replication/engine_observer.h"
 #include "replication/io_buffer.h"
 #include "replication/period_manager.h"
 #include "replication/seeder.h"
@@ -39,6 +52,43 @@ namespace here::rep {
 enum class EngineMode : std::uint8_t {
   kRemus,  // baseline: single-threaded, same-hypervisor replica
   kHere,   // multithreaded, heterogeneous replica, dynamic period
+};
+
+// Control-message kinds on the replication interconnect / management
+// network. (Guest traffic uses kind 0.)
+inline constexpr std::uint32_t kHeartbeatKind = 0xbeef;
+inline constexpr std::uint32_t kProbeRequestKind = 0xbef0;
+inline constexpr std::uint32_t kProbeReplyKind = 0xbef1;
+
+// Engine-hardening knobs. Zero-valued durations disable the corresponding
+// mechanism; the defaults reproduce the original fail-stop engine exactly.
+struct FaultToleranceConfig {
+  // Seeding: total attempts (1 = the original single-shot behaviour). A
+  // failed attempt tears down its seeder/staging and rebuilds from scratch.
+  std::uint32_t seed_max_attempts = 1;
+  // Per-attempt deadline; 0 disables. Without a deadline a primary crash
+  // mid-seeding silently abandons protection (there is no completion event
+  // to observe), so retries only engage when this is set.
+  sim::Duration seed_attempt_timeout{};
+  // Backoff before attempt n+1: seed_retry_backoff << min(n-1, 6).
+  sim::Duration seed_retry_backoff = sim::from_millis(250);
+  // Abort a checkpoint whose projected pause + background transfer exceeds
+  // this; 0 disables. The epoch's state folds back into the running epoch.
+  sim::Duration checkpoint_timeout{};
+  // Backoff before re-attempting an aborted checkpoint (same exponential
+  // rule as seeding, capped at the period ceiling t_max).
+  sim::Duration checkpoint_retry_backoff = sim::from_millis(100);
+  // On heartbeat loss, ping the primary over the *management* network to
+  // distinguish an interconnect partition from a host crash before failing
+  // over (stats().failure_classification records the verdict).
+  bool probe_on_heartbeat_loss = false;
+  sim::Duration probe_timeout = sim::from_millis(50);
+  // Split-brain fencing: delay replica activation after a heartbeat-loss
+  // failover by this window; if primary heartbeats resume within it, the
+  // failover is cancelled ("fenced") and checkpointing restarts, so at most
+  // one VM ever serves the service address. 0 = activate immediately.
+  // Explicit trigger_failover()/detector failovers are never fenced.
+  sim::Duration fencing_window{};
 };
 
 struct ReplicationConfig {
@@ -65,6 +115,8 @@ struct ReplicationConfig {
   // degradation); output commit still waits for the background transfer, so
   // client-visible latency is unchanged.
   bool speculative_cow = false;
+  // Engine-hardening behaviour under injected faults (src/faults).
+  FaultToleranceConfig ft;
   // Observability (src/obs): borrowed pointers, either may be null, both
   // must outlive the engine. The engine (and the components it drives:
   // seeder, outbound buffer, period decisions) emits spans/instants through
@@ -74,15 +126,12 @@ struct ReplicationConfig {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
-struct CheckpointRecord {
-  std::uint64_t epoch = 0;
-  sim::TimePoint completed_at{};
-  sim::Duration period_used{};  // T for the epoch that just ended
-  sim::Duration pause{};        // t: VM paused duration
-  std::uint64_t dirty_pages_model = 0;
-  std::uint64_t bytes_model = 0;
-  double degradation = 0.0;     // t / (t + T)
-};
+// Typed fail-fast validation of the full engine config (period policy,
+// thread count, heartbeat cadence, fault-tolerance knobs). The constructor
+// rejects invalid configs with std::invalid_argument carrying the same
+// message; control-plane callers (src/mgmt) check this first and propagate
+// the Status instead of catching.
+[[nodiscard]] Status validate_replication_config(const ReplicationConfig& config);
 
 struct EngineStats {
   SeedResult seed;
@@ -94,6 +143,14 @@ struct EngineStats {
   sim::Duration total_pause{};
   // Replication CPU-seconds consumed on the primary (§8.7).
   sim::Duration replication_cpu{};
+
+  // Hardening counters (all zero on the fault-free path).
+  std::uint32_t seed_attempts = 0;    // begun attempts, incl. the first
+  std::uint64_t epochs_aborted = 0;   // checkpoints aborted and retried
+  std::uint64_t failovers_fenced = 0; // activations cancelled by fencing
+  // Watchdog verdict ("", "crash-suspected" or "partition-suspected");
+  // populated on heartbeat-loss failovers when probing is enabled.
+  std::string failure_classification;
 
   bool failed_over = false;
   sim::TimePoint failure_detected_at{};
@@ -128,23 +185,45 @@ class ReplicationEngine {
   // Starts protecting `vm` (owned by the primary's hypervisor; must be
   // running). Reconciles the VM's CPUID policy across both hypervisors,
   // interposes the outbound buffer, seeds the replica, then checkpoints
-  // continuously. `on_protected` fires when epoch 0 commits.
+  // continuously. Returns kFailedPrecondition if the engine is already
+  // protecting a VM or `vm` is not running. Lifecycle notifications
+  // (protection established, checkpoints, failover) go to registered
+  // EngineObservers.
+  [[nodiscard]] Status start_protection(hv::Vm& vm);
+
+  // Deprecated shim over start_protection(): `on_protected` fires when
+  // epoch 0 commits, and failures throw std::logic_error instead of
+  // returning. Kept so pre-Status callers compile; new code registers an
+  // EngineObserver and checks the returned Status.
+  [[deprecated("use start_protection() and add_observer()")]]
   void protect(hv::Vm& vm, std::function<void()> on_protected = {});
+
+  // Registers a lifecycle observer (borrowed; must outlive the engine).
+  void add_observer(EngineObserver* observer);
 
   // External clients address the protected service through this node; the
   // engine re-points it at the replica on failover (IP takeover).
   [[nodiscard]] net::NodeId service_node() const { return service_node_; }
 
-  // Force a failover now (e.g. an attack detector fired, §8.2).
+  // Force a failover now (e.g. an attack detector fired, §8.2). Operator
+  // failovers are deliberate: they bypass the fencing window.
   void trigger_failover(const std::string& reason);
 
   // Registers a failure detector, polled on the watchdog cadence once the
   // VM is protected; a firing detector triggers failover.
   void add_detector(std::unique_ptr<FailureDetector> detector);
 
+  // Fault-injection hook (src/faults): stalls the migrator threads, adding
+  // `stall` to the next checkpoint's pause (a wedged copy thread in the real
+  // system holds the VM paused exactly this way).
+  void inject_migrator_stall(sim::Duration stall);
+
   [[nodiscard]] bool protecting() const { return vm_ != nullptr; }
   [[nodiscard]] bool seeded() const { return seeded_; }
   [[nodiscard]] bool failed_over() const { return stats_.failed_over; }
+  [[nodiscard]] bool failover_in_progress() const {
+    return failover_in_progress_;
+  }
 
   [[nodiscard]] hv::Vm* primary_vm() { return vm_; }
   [[nodiscard]] hv::Vm* replica_vm() { return replica_vm_; }
@@ -169,8 +248,14 @@ class ReplicationEngine {
  private:
   [[nodiscard]] std::uint32_t threads() const;
 
+  // --- Seeding (with retry) --------------------------------------------------
+  void begin_seed_attempt();
+  void schedule_seed_retry(const char* why);
+  void on_seed_attempt_timeout();
   void on_seeded(const SeedResult& result);
   void commit_initial_checkpoint();
+
+  // --- Continuous checkpointing ---------------------------------------------
   void schedule_checkpoint();
   void run_checkpoint();
   void finish_checkpoint(std::uint64_t epoch, std::uint64_t captured_real,
@@ -178,14 +263,28 @@ class ReplicationEngine {
   // Saves + (if heterogeneous) translates machine state and program snapshot
   // into staging's pending slot. Returns the time cost.
   sim::Duration snapshot_state_and_program();
+  // Records an aborted epoch and schedules the retry (exponential backoff).
+  void note_epoch_abort(const char* reason);
+  // Folds the last captured-but-uncommitted epoch back into the running
+  // one: re-marks its pages dirty and restores its mirrored disk writes, so
+  // the retry (or a fenced failover's restart) re-ships them.
+  void restore_aborted_epoch();
 
+  // --- Heartbeat / failover --------------------------------------------------
   void send_heartbeat();
   void watchdog_check();
-  void begin_failover(const std::string& reason);
+  void on_heartbeat_lost();
+  void finish_probe();
+  // `fence_on_heartbeat`: arm split-brain fencing (heartbeat-loss failovers
+  // only; explicit triggers and detectors are deliberate and never fenced).
+  void begin_failover(const std::string& reason, bool fence_on_heartbeat);
+  void fence_failover();
   void activate_replica();
 
   void on_guest_tx(const net::Packet& packet);
   void on_service_packet(const net::Packet& packet);
+
+  void notify_degraded(DegradedKind kind, std::string detail);
 
   sim::Simulation& sim_;
   net::Fabric& fabric_;
@@ -203,27 +302,46 @@ class ReplicationEngine {
   std::unique_ptr<ReplicaStaging> staging_;
   std::unique_ptr<Seeder> seeder_;
   std::vector<std::unique_ptr<FailureDetector>> detectors_;
-  std::function<void()> on_protected_;
+  std::vector<EngineObserver*> observers_;
+  std::function<void()> on_protected_;  // legacy protect() callback
 
   bool seeded_ = false;
   bool failover_in_progress_ = false;
+  bool fencing_armed_ = false;
+  bool probe_in_flight_ = false;
+  bool probe_reply_received_ = false;
+  std::uint32_t seed_attempt_ = 0;
+  std::uint32_t abort_streak_ = 0;   // consecutive aborted checkpoints
+  sim::Duration pending_stall_{};    // injected migrator stall, not yet paid
   std::uint64_t current_epoch_ = 0;  // execution epoch being buffered
   std::uint64_t epoch_start_captured_ = 0;  // outbound count at epoch start
   std::vector<hv::DiskWrite> epoch_disk_writes_;  // storage mirror buffer
+  // Last captured epoch's content, kept until its commit so an abort (or a
+  // fenced failover) can fold it back into the running epoch.
+  std::vector<common::Gfn> last_epoch_gfns_;
+  std::vector<hv::DiskWrite> last_epoch_disk_writes_;
   sim::TimePoint last_checkpoint_done_{};
   sim::TimePoint last_heartbeat_rx_{};
   sim::EventId checkpoint_event_;
   sim::EventId checkpoint_finish_event_;
   sim::EventId heartbeat_event_;
   sim::EventId watchdog_event_;
+  sim::EventId seed_deadline_event_;
+  sim::EventId seed_retry_event_;
+  sim::EventId probe_event_;
+  sim::EventId failover_activate_event_;
 
   // Cached metric instruments (all null when config_.metrics is null).
   obs::Counter* m_epochs_ = nullptr;
   obs::Counter* m_dirty_pages_ = nullptr;
   obs::Counter* m_bytes_ = nullptr;
   obs::Counter* m_heartbeats_ = nullptr;
+  obs::Counter* m_seed_retries_ = nullptr;
+  obs::Counter* m_epochs_aborted_ = nullptr;
+  obs::Counter* m_failovers_fenced_ = nullptr;
   obs::FixedHistogram* m_pause_ms_ = nullptr;
   obs::FixedHistogram* m_degradation_pct_ = nullptr;
+  obs::FixedHistogram* m_mttr_ms_ = nullptr;
   obs::Gauge* m_period_s_ = nullptr;
 
   EngineStats stats_;

@@ -22,6 +22,8 @@ Seeder::Seeder(sim::Simulation& simulation, const TimeModel& model,
       tracer_(tracer),
       problematic_(std::make_unique<common::DirtyBitmap>(vm.memory().pages())) {}
 
+Seeder::~Seeder() { sim_.cancel(pending_event_); }
+
 std::uint32_t Seeder::workers() const {
   return config_.mode == SeedMode::kHereMultithreaded ? vm_.spec().vcpus : 1;
 }
@@ -85,7 +87,8 @@ void Seeder::run_full_pass() {
     tracer_->complete(sim_.now(), d, "seed.full_pass", "seed", 0,
                       {{"pages", n_model}});
   }
-  sim_.schedule_after(d, [this] { run_iteration(); }, "seed-iter");
+  pending_event_ = sim_.schedule_after(d, [this] { run_iteration(); },
+                                       "seed-iter");
 }
 
 std::uint64_t Seeder::capture_dirty(
@@ -178,7 +181,8 @@ void Seeder::run_iteration() {
                       {{"iteration", iteration_},
                        {"pages", model_pages(captured)}});
   }
-  sim_.schedule_after(d, [this] { run_iteration(); }, "seed-iter");
+  pending_event_ = sim_.schedule_after(d, [this] { run_iteration(); },
+                                       "seed-iter");
 }
 
 void Seeder::final_stop_copy() {
@@ -221,7 +225,7 @@ void Seeder::final_stop_copy() {
                        {"problematic", result_.problematic_pages}});
   }
 
-  sim_.schedule_after(d, [this] {
+  pending_event_ = sim_.schedule_after(d, [this] {
     if (!hv_.operational()) return;
     result_.total_time = sim_.now() - started_at_;
     finished_ = true;

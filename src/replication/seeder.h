@@ -61,6 +61,10 @@ class Seeder {
          ReplicaStaging& staging, SeedConfig config,
          obs::Tracer* tracer = nullptr);
 
+  // Destroying a seeder mid-flight cancels its pending event: the engine's
+  // seeding-retry path tears an attempt down and builds a fresh one.
+  ~Seeder();
+
   // Begins seeding (asynchronous in virtual time). The VM must be running.
   void start(DoneFn done);
 
@@ -97,6 +101,9 @@ class Seeder {
   sim::TimePoint started_at_{};
   std::uint32_t iteration_ = 0;
   bool finished_ = false;
+  // The single in-flight event (rounds are strictly sequential); cancelled
+  // on destruction so a torn-down attempt never fires into freed memory.
+  sim::EventId pending_event_;
 
   // Problematic-page tracking (HERE mode): pages sent by more than one
   // migrator thread within the same concurrent round, whose arrival order at

@@ -35,8 +35,12 @@ class ReplicaStaging {
   [[nodiscard]] std::uint64_t seeded_pages() const { return seeded_pages_; }
 
   // Clones the primary's full disk image (done at the seeding stop-and-copy
-  // point, with the guest quiescent).
-  void seed_disk(const hv::VirtualDisk& source) { disk_ = source; }
+  // point, with the guest quiescent). Injected fault state does not travel:
+  // the replica's mirror starts healthy even if the source disk is faulted.
+  void seed_disk(const hv::VirtualDisk& source) {
+    disk_ = source;
+    disk_.clear_faults();
+  }
 
   // --- Continuous phase: epoch buffering --------------------------------------
 

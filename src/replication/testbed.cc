@@ -45,7 +45,11 @@ hv::Vm& Testbed::create_vm(std::unique_ptr<hv::GuestProgram> program) {
   return vm;
 }
 
-void Testbed::protect(hv::Vm& vm) { engine_->protect(vm); }
+void Testbed::protect(hv::Vm& vm) {
+  if (const Status s = engine_->start_protection(vm); !s.ok()) {
+    throw std::runtime_error("testbed: " + s.to_string());
+  }
+}
 
 void Testbed::run_until_seeded(sim::Duration limit) {
   if (!run_until([this] { return engine_->seeded(); }, limit)) {

@@ -1,17 +1,20 @@
 #include "simnet/fabric.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace here::net {
 namespace {
 
 sim::Duration serialization_time(const sim::NicProfile& profile,
-                                 std::uint64_t bytes) {
-  const double seconds =
-      static_cast<double>(bytes) / profile.bytes_per_second();
+                                 std::uint64_t bytes,
+                                 double bandwidth_factor = 1.0) {
+  const double seconds = static_cast<double>(bytes) /
+                         (profile.bytes_per_second() * bandwidth_factor);
   return sim::from_seconds(seconds) + profile.per_packet_overhead;
 }
 
@@ -54,11 +57,22 @@ sim::TimePoint Fabric::send(Packet packet) {
     if (m_dropped_ != nullptr) m_dropped_->increment();
     return sim_.now() + dir->profile.latency;
   }
+  if (dir->loss > 0.0 && loss_rng_.uniform_real(0.0, 1.0) < dir->loss) {
+    // Random loss: the wire is not occupied (the frame corrupts in flight),
+    // matching how a receiver-side CRC failure looks to the sender.
+    ++dropped_;
+    ++lost_;
+    if (m_dropped_ != nullptr) m_dropped_->increment();
+    if (m_lost_ != nullptr) m_lost_->increment();
+    return sim_.now() + dir->profile.latency + dir->extra_latency;
+  }
   const sim::TimePoint start = std::max(sim_.now(), dir->wire_free);
   const sim::TimePoint wire_done =
-      start + serialization_time(dir->profile, packet.size_bytes);
+      start +
+      serialization_time(dir->profile, packet.size_bytes, dir->bandwidth_factor);
   dir->wire_free = wire_done;
-  const sim::TimePoint delivery = wire_done + dir->profile.latency;
+  const sim::TimePoint delivery =
+      wire_done + dir->profile.latency + dir->extra_latency;
 
   const sim::Duration queueing = start - sim_.now();
   if (m_packets_ != nullptr) {
@@ -107,6 +121,53 @@ bool Fabric::link_down(NodeId a, NodeId b) const {
   return dir != nullptr && dir->down;
 }
 
+Fabric::Direction& Fabric::impairable(NodeId a, NodeId b, const char* op) {
+  Direction* dir = direction(a, b);
+  if (dir == nullptr) {
+    throw std::invalid_argument(std::string("Fabric::") + op +
+                                ": not connected");
+  }
+  return *dir;
+}
+
+void Fabric::set_link_loss(NodeId a, NodeId b, double probability) {
+  const double p = std::clamp(probability, 0.0, 0.999);
+  impairable(a, b, "set_link_loss").loss = p;
+  impairable(b, a, "set_link_loss").loss = p;
+}
+
+void Fabric::set_link_extra_latency(NodeId a, NodeId b, sim::Duration extra) {
+  const sim::Duration e = std::max(extra, sim::Duration{0});
+  impairable(a, b, "set_link_extra_latency").extra_latency = e;
+  impairable(b, a, "set_link_extra_latency").extra_latency = e;
+}
+
+void Fabric::set_link_bandwidth_factor(NodeId a, NodeId b, double factor) {
+  const double f = std::clamp(factor, 1e-3, 1.0);
+  impairable(a, b, "set_link_bandwidth_factor").bandwidth_factor = f;
+  impairable(b, a, "set_link_bandwidth_factor").bandwidth_factor = f;
+}
+
+void Fabric::seed_impairments(std::uint64_t seed) {
+  loss_rng_ = sim::Rng(seed);
+}
+
+bool Fabric::connected(NodeId a, NodeId b) const {
+  return direction(a, b) != nullptr;
+}
+
+LinkQuality Fabric::link_quality(NodeId a, NodeId b) const {
+  const Direction* dir = direction(a, b);
+  if (dir == nullptr) return {};
+  LinkQuality q;
+  q.connected = true;
+  q.down = dir->down;
+  q.loss = dir->loss;
+  q.extra_latency = dir->extra_latency;
+  q.bandwidth_factor = dir->bandwidth_factor;
+  return q;
+}
+
 bool Fabric::node_down(NodeId node) const { return nodes_.at(node).down; }
 
 const std::string& Fabric::node_name(NodeId node) const {
@@ -121,7 +182,8 @@ sim::Duration Fabric::estimate_transfer(NodeId a, NodeId b,
   }
   sim::Duration queue{0};
   if (dir->wire_free > sim_.now()) queue = dir->wire_free - sim_.now();
-  return queue + serialization_time(dir->profile, bytes) + dir->profile.latency;
+  return queue + serialization_time(dir->profile, bytes, dir->bandwidth_factor) +
+         dir->profile.latency + dir->extra_latency;
 }
 
 sim::TimePoint Fabric::bulk_transfer(NodeId a, NodeId b, std::uint64_t bytes) {
@@ -130,7 +192,8 @@ sim::TimePoint Fabric::bulk_transfer(NodeId a, NodeId b, std::uint64_t bytes) {
     throw std::invalid_argument("Fabric::bulk_transfer: not connected");
   }
   const sim::TimePoint start = std::max(sim_.now(), dir->wire_free);
-  const sim::TimePoint wire_done = start + serialization_time(dir->profile, bytes);
+  const sim::TimePoint wire_done =
+      start + serialization_time(dir->profile, bytes, dir->bandwidth_factor);
   dir->wire_free = wire_done;
   const sim::Duration queueing = start - sim_.now();
   if (m_packets_ != nullptr) {
@@ -144,7 +207,7 @@ sim::TimePoint Fabric::bulk_transfer(NodeId a, NodeId b, std::uint64_t bytes) {
                       {"bytes", bytes},
                       {"queue_ns", queueing.count()}});
   }
-  return wire_done + dir->profile.latency;
+  return wire_done + dir->profile.latency + dir->extra_latency;
 }
 
 void Fabric::attach_obs(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
@@ -153,6 +216,7 @@ void Fabric::attach_obs(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
     m_packets_ = &metrics->counter("net.packets_sent");
     m_bytes_ = &metrics->counter("net.bytes_sent");
     m_dropped_ = &metrics->counter("net.packets_dropped");
+    m_lost_ = &metrics->counter("net.packets_lost");
     m_queue_us_ = &metrics->histogram(
         "net.queue_us", {1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 100000});
   }

@@ -16,9 +16,21 @@
 #include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/hardware_profile.h"
+#include "sim/rng.h"
 #include "simnet/packet.h"
 
 namespace here::net {
+
+// Snapshot of one direction's health, as seen by senders that must plan
+// around a degraded wire (the replication engine budgets checkpoint
+// transfers with this).
+struct LinkQuality {
+  bool connected = false;
+  bool down = false;
+  double loss = 0.0;              // per-packet drop probability in [0, 1)
+  sim::Duration extra_latency{};  // added to every delivery
+  double bandwidth_factor = 1.0;  // effective line rate multiplier in (0, 1]
+};
 
 class Fabric {
  public:
@@ -54,6 +66,29 @@ class Fabric {
   void set_link_down(NodeId a, NodeId b, bool down);
   [[nodiscard]] bool link_down(NodeId a, NodeId b) const;
 
+  // --- Link impairments (src/faults drives these) -----------------------------
+  //
+  // All setters apply to both directions of the link and throw
+  // std::invalid_argument when the nodes are not connected. Impairments
+  // compose: a lossy link can also be slow and latency-spiked.
+
+  // Independent per-packet drop probability (clamped to [0, 0.999]). Loss
+  // draws come from the fabric's own deterministic stream, consumed only
+  // while loss is non-zero — fault-free runs stay byte-identical.
+  void set_link_loss(NodeId a, NodeId b, double probability);
+  // Latency spike: added to every delivery (and to bulk completions).
+  void set_link_extra_latency(NodeId a, NodeId b, sim::Duration extra);
+  // Bandwidth degradation: effective line rate = profile rate * factor
+  // (factor clamped to (0, 1]; 1 restores full speed).
+  void set_link_bandwidth_factor(NodeId a, NodeId b, double factor);
+  // Reseeds the loss stream (same seed + same plan => same drops).
+  void seed_impairments(std::uint64_t seed);
+
+  [[nodiscard]] bool connected(NodeId a, NodeId b) const;
+  // All-zeros/connected=false when no link exists (never throws).
+  [[nodiscard]] LinkQuality link_quality(NodeId a, NodeId b) const;
+  [[nodiscard]] std::uint64_t lost_count() const { return lost_; }
+
   [[nodiscard]] const std::string& node_name(NodeId node) const;
   [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
   [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
@@ -80,6 +115,9 @@ class Fabric {
     sim::NicProfile profile;
     sim::TimePoint wire_free{};  // when the sender may put the next byte on the wire
     bool down = false;
+    double loss = 0.0;
+    sim::Duration extra_latency{};
+    double bandwidth_factor = 1.0;
   };
 
   Direction* direction(NodeId from, NodeId to);
@@ -91,16 +129,21 @@ class Fabric {
     bool down = false;
   };
 
+  Direction& impairable(NodeId a, NodeId b, const char* op);
+
   sim::Simulation& sim_;
   std::vector<Node> nodes_;
   std::map<std::pair<NodeId, NodeId>, Direction> directions_;
+  sim::Rng loss_rng_{0x10559eedULL};  // dedicated stream for loss draws
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t lost_ = 0;  // subset of dropped_: random loss, not partition
 
   obs::Tracer* tracer_ = nullptr;
   obs::Counter* m_packets_ = nullptr;
   obs::Counter* m_bytes_ = nullptr;
   obs::Counter* m_dropped_ = nullptr;
+  obs::Counter* m_lost_ = nullptr;
   obs::FixedHistogram* m_queue_us_ = nullptr;
 };
 

@@ -56,11 +56,23 @@ TEST(VirtConnection, UniformApiOverBothStacks) {
   config.name = "web";
   config.vcpus = 2;
   config.memory_bytes = 64ULL << 20;
-  hv::Vm& d1 = xen.create_domain(config);
+  Expected<hv::Vm*> r1 = xen.create_domain(config);
+  ASSERT_TRUE(r1.ok()) << r1.status().to_string();
+  hv::Vm& d1 = *r1.value();
   config.name = "db";
-  hv::Vm& d2 = kvm.create_domain(config);
+  Expected<hv::Vm*> r2 = kvm.create_domain(config);
+  ASSERT_TRUE(r2.ok()) << r2.status().to_string();
+  hv::Vm& d2 = *r2.value();
   EXPECT_EQ(d1.state(), hv::VmState::kRunning);
   EXPECT_EQ(d2.state(), hv::VmState::kRunning);
+
+  // The typed error taxonomy: duplicates, bad specs and misses are values.
+  config.name = "db";
+  EXPECT_EQ(kvm.create_domain(config).status().code(),
+            StatusCode::kAlreadyExists);
+  config.name = "";
+  EXPECT_EQ(kvm.create_domain(config).status().code(),
+            StatusCode::kInvalidArgument);
 
   const auto domains = xen.list_domains();
   ASSERT_EQ(domains.size(), 1u);
@@ -68,8 +80,8 @@ TEST(VirtConnection, UniformApiOverBothStacks) {
   EXPECT_EQ(domains[0].vcpus, 2u);
   EXPECT_EQ(domains[0].hypervisor, "xen-4.12");
 
-  EXPECT_EQ(xen.lookup_domain("web"), &d1);
-  EXPECT_EQ(xen.lookup_domain("nope"), nullptr);
+  EXPECT_EQ(xen.lookup_domain("web").value(), &d1);
+  EXPECT_EQ(xen.lookup_domain("nope").status().code(), StatusCode::kNotFound);
 
   xen.suspend_domain(d1);
   EXPECT_EQ(d1.state(), hv::VmState::kPaused);
@@ -84,7 +96,7 @@ TEST(VirtConnection, CpuTimeAdvances) {
   VirtConnection conn(fleet.add("x1", hv::HvKind::kXen));
   DomainConfig config;
   config.memory_bytes = 16ULL << 20;
-  hv::Vm& vm = conn.create_domain(config);
+  hv::Vm& vm = *conn.create_domain(config).value();
   fleet.sim.run_for(sim::from_seconds(1));
   EXPECT_GT(conn.domain_info(vm).cpu_time, sim::from_millis(500));
 }
@@ -107,8 +119,10 @@ TEST(ProtectionManager, PicksHeterogeneousPartner) {
   DomainConfig config;
   config.name = "svc";
   config.memory_bytes = 32ULL << 20;
-  hv::Vm& vm = conn.create_domain(config);
-  rep::ReplicationEngine& engine = manager.protect(vm, xen1);
+  hv::Vm& vm = *conn.create_domain(config).value();
+  Expected<rep::ReplicationEngine*> protect = manager.protect(vm, xen1);
+  ASSERT_TRUE(protect.ok()) << protect.status().to_string();
+  rep::ReplicationEngine& engine = *protect.value();
   // The only valid partner is the KVM host — never the second Xen box.
   EXPECT_TRUE(engine.heterogeneous());
   ASSERT_TRUE(fleet.run_until([&] { return engine.seeded(); }, 600));
@@ -124,8 +138,9 @@ TEST(ProtectionManager, RefusesWithoutHeterogeneousPartner) {
   VirtConnection conn(xen1);
   DomainConfig config;
   config.memory_bytes = 16ULL << 20;
-  hv::Vm& vm = conn.create_domain(config);
-  EXPECT_THROW(manager.protect(vm, xen1), std::runtime_error);
+  hv::Vm& vm = *conn.create_domain(config).value();
+  EXPECT_EQ(manager.protect(vm, xen1).status().code(),
+            StatusCode::kUnavailable);
 }
 
 TEST(ProtectionManager, BalancesLoadAcrossPartners) {
@@ -142,9 +157,9 @@ TEST(ProtectionManager, BalancesLoadAcrossPartners) {
   DomainConfig config;
   config.memory_bytes = 16ULL << 20;
   config.name = "a";
-  manager.protect(conn.create_domain(config), xen1);
+  ASSERT_TRUE(manager.protect(*conn.create_domain(config).value(), xen1).ok());
   config.name = "b";
-  manager.protect(conn.create_domain(config), xen1);
+  ASSERT_TRUE(manager.protect(*conn.create_domain(config).value(), xen1).ok());
 
   // One domain per KVM host, not two on one.
   EXPECT_NE(manager.find("a")->secondary, manager.find("b")->secondary);
@@ -163,10 +178,10 @@ TEST(ProtectionManager, AutoReprotectRestoresRedundancy) {
   DomainConfig config;
   config.name = "svc";
   config.memory_bytes = 32ULL << 20;
-  hv::Vm& vm = conn.create_domain(config);
+  hv::Vm& vm = *conn.create_domain(config).value();
   vm.attach_program(
       std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(15)));
-  manager.protect(vm, xen1);
+  ASSERT_TRUE(manager.protect(vm, xen1).ok());
   ASSERT_TRUE(fleet.run_until(
       [&] { return manager.find("svc")->engine().seeded(); }, 600));
   fleet.sim.run_for(sim::from_seconds(2));

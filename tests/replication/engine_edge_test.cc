@@ -21,18 +21,31 @@ TestbedConfig base_config() {
   return config;
 }
 
-TEST(EngineEdge, DoubleProtectThrows) {
+TEST(EngineEdge, DoubleProtectIsFailedPrecondition) {
   Testbed bed(base_config());
   hv::Vm& vm = bed.create_vm(
       std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(5)));
   bed.protect(vm);
-  EXPECT_THROW(bed.engine().protect(vm), std::logic_error);
+  EXPECT_EQ(bed.engine().start_protection(vm).code(),
+            StatusCode::kFailedPrecondition);
 }
 
 TEST(EngineEdge, ProtectRequiresRunningVm) {
   Testbed bed(base_config());
   hv::Vm& vm = bed.primary().hypervisor().create_vm(bed.config().vm_spec);
+  EXPECT_EQ(bed.engine().start_protection(vm).code(),
+            StatusCode::kFailedPrecondition);  // never started
+}
+
+// The deprecated callback API must stay source-compatible and keep its
+// throwing contract until removal (see docs/api_migration.md).
+TEST(EngineEdge, DeprecatedProtectShimStillThrows) {
+  Testbed bed(base_config());
+  hv::Vm& vm = bed.primary().hypervisor().create_vm(bed.config().vm_spec);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_THROW(bed.engine().protect(vm), std::logic_error);  // never started
+#pragma GCC diagnostic pop
 }
 
 TEST(EngineEdge, RemusWithHeterogeneousPairThrows) {

@@ -40,7 +40,9 @@ struct SharedPair {
           wl::memory_microbench(10.0 + 10.0 * static_cast<double>(i))));
       primary->hypervisor().start(vm);
       vms.push_back(&vm);
-      engines.back()->protect(vm);
+      if (!engines.back()->start_protection(vm).ok()) {
+        throw std::runtime_error("multi_vm: start_protection failed");
+      }
     }
   }
 

@@ -62,7 +62,7 @@ TEST(ReverseReplication, KvmPrimaryReplicatesToXen) {
       std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(20)));
   pair.kvm_host->hypervisor().start(vm);
 
-  pair.engine->protect(vm);
+  ASSERT_TRUE(pair.engine->start_protection(vm).ok());
   // PML seeding silently degrades to bitmap seeding on KVM.
   EXPECT_EQ(pair.engine->config().seed.mode, SeedMode::kXenDefault);
   ASSERT_TRUE(pair.run_until([&] { return pair.engine->seeded(); }, 600));
@@ -82,7 +82,7 @@ TEST(ReverseReplication, FailoverLandsOnXenWithPvDevices) {
   vm.attach_program(
       std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(20)));
   pair.kvm_host->hypervisor().start(vm);
-  pair.engine->protect(vm);
+  ASSERT_TRUE(pair.engine->start_protection(vm).ok());
   ASSERT_TRUE(pair.run_until([&] { return pair.engine->seeded(); }, 600));
   pair.sim.run_for(sim::from_seconds(3));
 
@@ -126,7 +126,7 @@ TEST(Failback, ReProtectionAfterFailoverSurvivesSecondFailure) {
   vm.attach_program(
       std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(20)));
   xen_host.hypervisor().start(vm);
-  engine1->protect(vm);
+  ASSERT_TRUE(engine1->start_protection(vm).ok());
   ASSERT_TRUE(run_until([&] { return engine1->seeded(); }, 600));
   sim.run_for(sim::from_seconds(3));
 
@@ -144,7 +144,7 @@ TEST(Failback, ReProtectionAfterFailoverSurvivesSecondFailure) {
   // the reverse direction.
   auto engine2 = std::make_unique<ReplicationEngine>(sim, fabric, kvm_host,
                                                      xen_host, fast_config());
-  engine2->protect(*replica);
+  ASSERT_TRUE(engine2->start_protection(*replica).ok());
   ASSERT_TRUE(run_until([&] { return engine2->seeded(); }, 600));
   sim.run_for(sim::from_seconds(3));
 
