@@ -34,6 +34,24 @@ struct ChaosCell {
   sim::Duration partition_every{};   // blip cadence
 };
 
+// With --metrics-out, each cell's results also land in the registry
+// snapshot as gauges (chaos_failover.<cell>.*), so sweeps are consumable by
+// tooling without scraping the table.
+void export_cell(ObsSession& obs, const std::string& slug,
+                 const ChaosResult& r) {
+  obs::MetricsRegistry* metrics = obs.metrics();
+  if (metrics == nullptr) return;
+  const std::string prefix = "chaos_failover." + slug + ".";
+  metrics->gauge(prefix + "availability_pct").set(r.availability_pct);
+  metrics->gauge(prefix + "resumption_ms").set(r.resumption_ms);
+  metrics->gauge(prefix + "mean_pause_ms").set(r.mean_pause_ms);
+  metrics->gauge(prefix + "epochs_aborted")
+      .set(static_cast<double>(r.epochs_aborted));
+  metrics->gauge(prefix + "checkpoints")
+      .set(static_cast<double>(r.checkpoints));
+  metrics->gauge(prefix + "failed_over").set(r.failed_over ? 1.0 : 0.0);
+}
+
 ChaosResult run_cell(const ChaosCell& cell, ObsSession& obs) {
   rep::TestbedConfig config;
   config.vm_spec = paper_vm(1.0);
@@ -129,7 +147,11 @@ int main(int argc, char** argv) {
     cell.loss = loss;
     char label[64];
     std::snprintf(label, sizeof(label), "loss %.0f%%", 100.0 * loss);
-    print_row(label, run_cell(cell, obs));
+    const ChaosResult r = run_cell(cell, obs);
+    char slug[64];
+    std::snprintf(slug, sizeof(slug), "loss_%.0fpct", 100.0 * loss);
+    export_cell(obs, slug, r);
+    print_row(label, r);
   }
 
   print_title("Chaos failover sweep: periodic interconnect partitions");
@@ -140,7 +162,11 @@ int main(int argc, char** argv) {
     cell.partition_every = sim::from_seconds(2);
     char label[64];
     std::snprintf(label, sizeof(label), "partition %dms / 2s", hold_ms);
-    print_row(label, run_cell(cell, obs));
+    const ChaosResult r = run_cell(cell, obs);
+    char slug[64];
+    std::snprintf(slug, sizeof(slug), "partition_%dms", hold_ms);
+    export_cell(obs, slug, r);
+    print_row(label, r);
   }
 
   return obs.finish() ? 0 : 1;

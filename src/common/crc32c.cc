@@ -1,0 +1,40 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace here::common {
+namespace {
+
+// 256-entry table for the reflected Castagnoli polynomial, generated once at
+// static-init time (bitwise algorithm, 8 steps per entry).
+constexpr std::uint32_t kPolyReflected = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c_update(std::uint32_t state,
+                            std::span<const std::uint8_t> data) {
+  for (const std::uint8_t byte : data) {
+    state = (state >> 8) ^ kTable[(state ^ byte) & 0xFFu];
+  }
+  return state;
+}
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data) {
+  return crc32c_final(crc32c_update(crc32c_init(), data));
+}
+
+}  // namespace here::common

@@ -30,6 +30,7 @@ enum class StatusCode : std::uint8_t {
   kUnavailable,         // transient resource shortage (no partner host, ...)
   kDeadlineExceeded,    // operation timed out (seeding attempt, transfer)
   kAborted,             // operation gave up after retries
+  kDataLoss,            // integrity check failed (checkpoint digest mismatch)
   kInternal,            // invariant violation surfaced as a status
 };
 
@@ -43,6 +44,7 @@ enum class StatusCode : std::uint8_t {
     case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
     case StatusCode::kAborted: return "aborted";
+    case StatusCode::kDataLoss: return "data-loss";
     case StatusCode::kInternal: return "internal";
   }
   return "unknown";
@@ -75,6 +77,9 @@ class Status {
   }
   [[nodiscard]] static Status aborted(std::string m) {
     return {StatusCode::kAborted, std::move(m)};
+  }
+  [[nodiscard]] static Status data_loss(std::string m) {
+    return {StatusCode::kDataLoss, std::move(m)};
   }
   [[nodiscard]] static Status internal(std::string m) {
     return {StatusCode::kInternal, std::move(m)};

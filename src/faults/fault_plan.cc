@@ -76,6 +76,45 @@ FaultPlan& FaultPlan::link_bandwidth(std::string link, sim::TimePoint at,
               .magnitude = factor});
 }
 
+FaultPlan& FaultPlan::link_bit_errors(std::string link, sim::TimePoint at,
+                                      double rate, sim::Duration clear_after) {
+  return add({.type = FaultType::kLinkBitErrors,
+              .at = at,
+              .duration = clear_after,
+              .target = std::move(link),
+              .magnitude = rate});
+}
+
+FaultPlan& FaultPlan::link_truncation(std::string link, sim::TimePoint at,
+                                      double probability,
+                                      sim::Duration clear_after) {
+  return add({.type = FaultType::kLinkTruncation,
+              .at = at,
+              .duration = clear_after,
+              .target = std::move(link),
+              .magnitude = probability});
+}
+
+FaultPlan& FaultPlan::link_duplication(std::string link, sim::TimePoint at,
+                                       double probability,
+                                       sim::Duration clear_after) {
+  return add({.type = FaultType::kLinkDuplication,
+              .at = at,
+              .duration = clear_after,
+              .target = std::move(link),
+              .magnitude = probability});
+}
+
+FaultPlan& FaultPlan::link_reordering(std::string link, sim::TimePoint at,
+                                      double probability,
+                                      sim::Duration clear_after) {
+  return add({.type = FaultType::kLinkReordering,
+              .at = at,
+              .duration = clear_after,
+              .target = std::move(link),
+              .magnitude = probability});
+}
+
 FaultPlan& FaultPlan::disk_slowdown(std::string host, sim::TimePoint at,
                                     double factor, sim::Duration clear_after) {
   return add({.type = FaultType::kDiskSlowdown,
@@ -169,6 +208,14 @@ FaultPlan FaultPlan::random(std::uint64_t seed,
   if (config.engine_faults && !config.engines.empty()) {
     candidates.push_back(FaultType::kMigratorStall);
   }
+  // Appended last (and opt-in) so plans generated before data faults existed
+  // keep their exact (seed, config) -> spec mapping.
+  if (config.data_faults && !config.links.empty()) {
+    candidates.push_back(FaultType::kLinkBitErrors);
+    candidates.push_back(FaultType::kLinkTruncation);
+    candidates.push_back(FaultType::kLinkDuplication);
+    candidates.push_back(FaultType::kLinkReordering);
+  }
   if (candidates.empty() || config.end <= config.start) return plan;
 
   for (std::uint32_t i = 0; i < config.events; ++i) {
@@ -209,6 +256,16 @@ FaultPlan FaultPlan::random(std::uint64_t seed,
         spec.target = pick(rng, config.engines);
         spec.amount = uniform_duration(rng, sim::Duration{1}, config.max_stall);
         spec.duration = {};  // one-shot, nothing to clear
+        break;
+      case FaultType::kLinkBitErrors:
+        spec.target = pick(rng, config.links);
+        spec.magnitude = rng.uniform01() * config.max_bit_error_rate;
+        break;
+      case FaultType::kLinkTruncation:
+      case FaultType::kLinkDuplication:
+      case FaultType::kLinkReordering:
+        spec.target = pick(rng, config.links);
+        spec.magnitude = rng.uniform01() * config.max_frame_fault_prob;
         break;
       case FaultType::kHostRepair:
       case FaultType::kLinkHeal:

@@ -33,6 +33,12 @@ enum class FaultType : std::uint8_t {
   kLinkLoss,        // magnitude = drop probability; duration>0 restores 0
   kLinkLatency,     // amount = extra latency; duration>0 restores 0
   kLinkBandwidth,   // magnitude = line-rate factor; duration>0 restores 1
+  // Data-plane link faults (target: a registered link). These corrupt
+  // checkpoint frame *content*; the wire layer's CRCs must catch them.
+  kLinkBitErrors,   // magnitude = per-bit flip probability; duration>0 restores 0
+  kLinkTruncation,  // magnitude = per-frame truncation prob; duration>0 restores 0
+  kLinkDuplication, // magnitude = per-frame duplicate prob; duration>0 restores 0
+  kLinkReordering,  // magnitude = per-frame reorder prob; duration>0 restores 0
   // Disk faults (target: a registered host; applies to all its VM disks).
   kDiskSlowdown,    // magnitude = write-cost multiplier; auto-clears
   kDiskWriteErrors, // writes fail while active; auto-clears
@@ -50,6 +56,10 @@ enum class FaultType : std::uint8_t {
     case FaultType::kLinkLoss: return "link-loss";
     case FaultType::kLinkLatency: return "link-latency";
     case FaultType::kLinkBandwidth: return "link-bandwidth";
+    case FaultType::kLinkBitErrors: return "link-bit-errors";
+    case FaultType::kLinkTruncation: return "link-truncation";
+    case FaultType::kLinkDuplication: return "link-duplication";
+    case FaultType::kLinkReordering: return "link-reordering";
     case FaultType::kDiskSlowdown: return "disk-slowdown";
     case FaultType::kDiskWriteErrors: return "disk-write-errors";
     case FaultType::kMigratorStall: return "migrator-stall";
@@ -80,6 +90,10 @@ struct RandomPlanConfig {
   bool link_faults = true;
   bool disk_faults = true;
   bool engine_faults = true;
+  // Data-plane corruption faults are opt-in: enabling them appends candidate
+  // types, which re-maps every (seed, config) pair — existing seeded plans
+  // stay stable as long as this is false.
+  bool data_faults = false;
   sim::Duration min_hold = sim::from_millis(200);
   sim::Duration max_hold = sim::from_seconds(2);
   double max_loss = 0.4;             // kLinkLoss magnitude in (0, max_loss]
@@ -87,6 +101,8 @@ struct RandomPlanConfig {
   double max_disk_slowdown = 8.0;    // kDiskSlowdown in (1, max]
   sim::Duration max_latency_spike = sim::from_millis(5);
   sim::Duration max_stall = sim::from_millis(50);
+  double max_bit_error_rate = 1e-6;  // kLinkBitErrors magnitude in (0, max]
+  double max_frame_fault_prob = 0.2; // truncation/dup/reorder prob in (0, max]
 };
 
 class FaultPlan {
@@ -111,6 +127,17 @@ class FaultPlan {
                           sim::Duration extra, sim::Duration clear_after = {});
   FaultPlan& link_bandwidth(std::string link, sim::TimePoint at, double factor,
                             sim::Duration clear_after = {});
+  FaultPlan& link_bit_errors(std::string link, sim::TimePoint at, double rate,
+                             sim::Duration clear_after = {});
+  FaultPlan& link_truncation(std::string link, sim::TimePoint at,
+                             double probability,
+                             sim::Duration clear_after = {});
+  FaultPlan& link_duplication(std::string link, sim::TimePoint at,
+                              double probability,
+                              sim::Duration clear_after = {});
+  FaultPlan& link_reordering(std::string link, sim::TimePoint at,
+                             double probability,
+                             sim::Duration clear_after = {});
   FaultPlan& disk_slowdown(std::string host, sim::TimePoint at, double factor,
                            sim::Duration clear_after = {});
   FaultPlan& disk_write_errors(std::string host, sim::TimePoint at,

@@ -82,6 +82,10 @@ void FaultInjector::arm(const FaultPlan& plan) {
       case FaultType::kLinkLoss:
       case FaultType::kLinkLatency:
       case FaultType::kLinkBandwidth:
+      case FaultType::kLinkBitErrors:
+      case FaultType::kLinkTruncation:
+      case FaultType::kLinkDuplication:
+      case FaultType::kLinkReordering:
         (void)link_for(spec);
         break;
       case FaultType::kMigratorStall:
@@ -146,6 +150,26 @@ void FaultInjector::apply(const FaultSpec& spec) {
       }
       break;
     }
+    case FaultType::kLinkBitErrors: {
+      const Link& link = link_for(spec);
+      fabric_.set_link_bit_error_rate(link.a, link.b, spec.magnitude);
+      break;
+    }
+    case FaultType::kLinkTruncation: {
+      const Link& link = link_for(spec);
+      fabric_.set_link_truncation(link.a, link.b, spec.magnitude);
+      break;
+    }
+    case FaultType::kLinkDuplication: {
+      const Link& link = link_for(spec);
+      fabric_.set_link_duplication(link.a, link.b, spec.magnitude);
+      break;
+    }
+    case FaultType::kLinkReordering: {
+      const Link& link = link_for(spec);
+      fabric_.set_link_reordering(link.a, link.b, spec.magnitude);
+      break;
+    }
     case FaultType::kMigratorStall:
       engine_for(spec).inject_migrator_stall(spec.amount);
       break;
@@ -177,6 +201,26 @@ void FaultInjector::clear(const FaultSpec& spec) {
     case FaultType::kLinkBandwidth: {
       const Link& link = link_for(spec);
       fabric_.set_link_bandwidth_factor(link.a, link.b, 1.0);
+      break;
+    }
+    case FaultType::kLinkBitErrors: {
+      const Link& link = link_for(spec);
+      fabric_.set_link_bit_error_rate(link.a, link.b, 0.0);
+      break;
+    }
+    case FaultType::kLinkTruncation: {
+      const Link& link = link_for(spec);
+      fabric_.set_link_truncation(link.a, link.b, 0.0);
+      break;
+    }
+    case FaultType::kLinkDuplication: {
+      const Link& link = link_for(spec);
+      fabric_.set_link_duplication(link.a, link.b, 0.0);
+      break;
+    }
+    case FaultType::kLinkReordering: {
+      const Link& link = link_for(spec);
+      fabric_.set_link_reordering(link.a, link.b, 0.0);
       break;
     }
     case FaultType::kDiskSlowdown: {

@@ -40,6 +40,8 @@ enum class DegradedKind : std::uint8_t {
   kFailoverFenced,     // primary heartbeats resumed; activation cancelled
   kPartitionSuspected, // watchdog classified the outage as a partition
   kMigratorStall,      // an injected migrator-thread stall was absorbed
+  kDataCorruption,     // repeated checkpoint-frame verification failures
+  kScrubRepair,        // scrub found post-commit divergence; re-send scheduled
 };
 
 struct DegradedEvent {

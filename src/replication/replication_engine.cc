@@ -1,6 +1,8 @@
 #include "replication/replication_engine.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
 #include <stdexcept>
 
 #include "common/log.h"
@@ -33,7 +35,8 @@ Status validate_replication_config(const ReplicationConfig& config) {
   }
   if (ft.seed_attempt_timeout < sim::Duration::zero() ||
       ft.checkpoint_timeout < sim::Duration::zero() ||
-      ft.fencing_window < sim::Duration::zero()) {
+      ft.fencing_window < sim::Duration::zero() ||
+      ft.scrub_interval < sim::Duration::zero()) {
     return Status::invalid_argument(
         "ReplicationConfig: ft timeouts/windows must be non-negative");
   }
@@ -108,6 +111,11 @@ ReplicationEngine::ReplicationEngine(sim::Simulation& simulation,
     m_seed_retries_ = &m.counter("rep.seed_retries");
     m_epochs_aborted_ = &m.counter("rep.epochs_aborted");
     m_failovers_fenced_ = &m.counter("rep.failovers_fenced");
+    m_regions_corrupted_ = &m.counter("rep.regions_corrupted");
+    m_retransmits_ = &m.counter("rep.retransmits");
+    m_commits_rejected_ = &m.counter("rep.commits_rejected");
+    m_scrub_runs_ = &m.counter("rep.scrub_runs");
+    m_scrub_repairs_ = &m.counter("rep.scrub_repairs");
     m_pause_ms_ = &m.histogram(
         "rep.pause_ms",
         {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
@@ -129,6 +137,7 @@ ReplicationEngine::~ReplicationEngine() {
   sim_.cancel(seed_retry_event_);
   sim_.cancel(probe_event_);
   sim_.cancel(failover_activate_event_);
+  sim_.cancel(scrub_event_);
 }
 
 std::uint32_t ReplicationEngine::threads() const {
@@ -334,6 +343,7 @@ void ReplicationEngine::commit_initial_checkpoint() {
 
   primary_.hypervisor().resume(*vm_);
   schedule_checkpoint();
+  schedule_scrub();
 
   // Deliberately not an "epoch.commit": epoch 0 has no pause/period split,
   // so a degradation value would be 0/0.
@@ -381,6 +391,62 @@ void ReplicationEngine::schedule_checkpoint() {
   if (m_period_s_ != nullptr) m_period_s_->set(sim::to_seconds(period));
   checkpoint_event_ = sim_.schedule_after(
       period, [this] { run_checkpoint(); }, "checkpoint");
+}
+
+void ReplicationEngine::schedule_scrub() {
+  if (config_.ft.scrub_interval <= sim::Duration::zero()) return;
+  scrub_event_ = sim_.schedule_after(config_.ft.scrub_interval,
+                                     [this] { run_scrub(); }, "scrub");
+}
+
+void ReplicationEngine::run_scrub() {
+  // The audit only makes sense while both sides are live and replicating;
+  // after a failover the staged image became the running replica.
+  if (stats_.failed_over || failover_in_progress_) return;
+  if (!primary_.alive() || vm_ == nullptr || !staging_) {
+    schedule_scrub();
+    return;
+  }
+  ++stats_.scrub_runs;
+  if (m_scrub_runs_ != nullptr) m_scrub_runs_->add(1);
+
+  // Compare the replica's image, region by region, against the per-region
+  // digests recorded at commit. A mismatch means the committed bytes changed
+  // *after* commit (bit rot, stray write): schedule a full re-send of the
+  // region by marking every one of its pages dirty on the primary — the next
+  // epoch ships the authoritative copy and refreshes the reference.
+  std::uint64_t repaired = 0;
+  common::DirtyBitmap* bm = primary_.hypervisor().dirty_bitmap(*vm_);
+  const std::uint64_t pages = vm_->memory().pages();
+  for (std::uint32_t r = 0; r < staging_->region_count(); ++r) {
+    const std::uint64_t reference = staging_->committed_region_digest(r);
+    if (reference == 0) continue;  // nothing committed for this region yet
+    if (staging_->live_region_digest(r) == reference) continue;
+    ++repaired;
+    ++stats_.scrub_repairs;
+    if (m_scrub_repairs_ != nullptr) m_scrub_repairs_->add(1);
+    if (bm != nullptr) {
+      const common::Gfn first = std::uint64_t{r} * kPagesPerRegion;
+      const common::Gfn last =
+          std::min<common::Gfn>(first + kPagesPerRegion, pages);
+      for (common::Gfn g = first; g < last; ++g) bm->set(g);
+    }
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(sim_.now(), "scrub.repair", "ckpt",
+                              {{"region", r}});
+    }
+  }
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "scrub.run", "ckpt",
+                            {{"regions", staging_->region_count()},
+                             {"repairs", repaired}});
+  }
+  if (repaired > 0) {
+    notify_degraded(DegradedKind::kScrubRepair,
+                    "scrub found " + std::to_string(repaired) +
+                        " divergent region(s); full re-send scheduled");
+  }
+  schedule_scrub();
 }
 
 void ReplicationEngine::restore_aborted_epoch() {
@@ -457,15 +523,14 @@ void ReplicationEngine::run_checkpoint() {
   staging_->begin_epoch(current_epoch_);
   std::vector<std::uint64_t> per_worker_pages(p, 0);
   std::vector<std::vector<common::Gfn>> found(p);
+  std::vector<std::vector<common::Gfn>> region_gfns(regions);
   pool_.run_per_worker([&](std::size_t w) {
     for (std::uint64_t r = w; r < regions; r += p) {
       const common::Gfn first = r * kPagesPerRegion;
       const common::Gfn last = std::min<common::Gfn>(first + kPagesPerRegion, pages);
-      scratch.collect(first, last, found[w]);
-    }
-    for (const common::Gfn g : found[w]) {
-      staging_->buffer_page(static_cast<std::uint32_t>(w), g,
-                            vm_->memory().page(g));
+      scratch.collect(first, last, region_gfns[r]);
+      found[w].insert(found[w].end(), region_gfns[r].begin(),
+                      region_gfns[r].end());
     }
     per_worker_pages[w] = found[w].size();
   });
@@ -485,6 +550,36 @@ void ReplicationEngine::run_checkpoint() {
     last_epoch_gfns_.insert(last_epoch_gfns_.end(), w.begin(), w.end());
   }
   last_epoch_disk_writes_ = epoch_disk_writes_;
+
+  // Frame the epoch for the wire: one frame per dirty 2 MiB region, sequence
+  // numbers in ascending region order, each sealed with a CRC32C over its
+  // page payload, the whole set committed to by the epoch header's rolling
+  // digest. The replica verifies each frame on arrival and will refuse the
+  // commit unless everything checks out.
+  std::vector<wire::RegionFrame> frames;
+  std::uint64_t digest = wire::digest_init();
+  for (std::uint64_t r = 0; r < regions; ++r) {
+    if (region_gfns[r].empty()) continue;
+    wire::RegionFrame f;
+    f.epoch = current_epoch_;
+    f.seq = frames.size();
+    f.region = static_cast<std::uint32_t>(r);
+    f.gfns = std::move(region_gfns[r]);
+    f.bytes.reserve(f.gfns.size() * common::kPageSize);
+    for (const common::Gfn g : f.gfns) {
+      const auto page = vm_->memory().page(g);
+      f.bytes.insert(f.bytes.end(), page.begin(), page.end());
+    }
+    wire::seal_frame(f);
+    digest = wire::digest_fold(digest, f);
+    frames.push_back(std::move(f));
+  }
+  staging_->expect_epoch(
+      {current_epoch_, static_cast<std::uint64_t>(frames.size()), digest});
+
+  bool retransmits_exhausted = false;
+  const std::uint64_t retransmit_pages =
+      transmit_epoch_frames(frames, retransmits_exhausted);
 
   // (3) The epoch's mirrored disk writes travel with the checkpoint.
   std::uint64_t disk_bytes = 0;
@@ -509,6 +604,12 @@ void ReplicationEngine::run_checkpoint() {
   const sim::Duration scan_cost = model_.scan(pages * scale, p);
   sim::Duration copy_cost = model_.checkpoint_copy(
       max_worker * scale, captured * scale, p, config_.compress_pages);
+  // Selective retransmissions re-ship their regions' payloads: the repair
+  // happens inside the epoch's transfer window, inflating it.
+  if (retransmit_pages > 0) {
+    copy_cost +=
+        model_.wire_time(common::pages_to_bytes(retransmit_pages * scale));
+  }
   // Impaired interconnect: lost checkpoint packets retransmit (1/(1-loss))
   // and a throttled link stretches serialization (1/bandwidth_factor). The
   // guard keeps fault-free runs bit-identical to the unimpaired engine.
@@ -538,6 +639,26 @@ void ReplicationEngine::run_checkpoint() {
   if (pending_stall_ > sim::Duration::zero()) {
     pause += pending_stall_;
     pending_stall_ = {};
+  }
+
+  // Integrity fallback: retransmission rounds exhausted with regions still
+  // failing verification — this epoch can never commit. Fold it back into
+  // the running epoch and retry with backoff (output commit holds: the
+  // epoch's buffered output is released only by a later successful commit).
+  if (retransmits_exhausted) {
+    staging_->abort_epoch();
+    restore_aborted_epoch();
+    checkpoint_finish_event_ = sim_.schedule_after(
+        pause,
+        [this, was_running] {
+          if (!primary_.alive() || failover_in_progress_) return;
+          if (was_running && vm_->state() == hv::VmState::kPaused) {
+            primary_.hypervisor().resume(*vm_);
+          }
+        },
+        "checkpoint-abort");
+    note_epoch_abort("retransmit budget exhausted with corrupt regions");
+    return;
   }
 
   // Abort-and-retry: a transfer that cannot land within the deadline would
@@ -656,11 +777,106 @@ void ReplicationEngine::run_checkpoint() {
       "checkpoint-done");
 }
 
+std::uint64_t ReplicationEngine::transmit_epoch_frames(
+    const std::vector<wire::RegionFrame>& frames, bool& exhausted) {
+  exhausted = false;
+  std::uint64_t retransmit_pages = 0;
+  bool saw_corruption = false;
+  const net::NodeId src = primary_.ic_node();
+  const net::NodeId dst = secondary_.ic_node();
+
+  auto offer = [&](const wire::RegionFrame& rx, bool count) {
+    if (staging_->receive_frame(rx) == FrameVerdict::kCorrupt && count) {
+      saw_corruption = true;
+      ++stats_.regions_corrupted;
+      if (m_regions_corrupted_ != nullptr) m_regions_corrupted_->add(1);
+    }
+  };
+
+  // First pass: every frame crosses the data plane once. Reordered frames
+  // arrive after their peers, duplicates are offered twice — the staging
+  // area absorbs both by seq.
+  std::vector<wire::RegionFrame> late;
+  for (const wire::RegionFrame& f : frames) {
+    wire::RegionFrame rx = f;
+    const net::FrameFate fate = fabric_.transmit_frame(src, dst, rx.bytes);
+    if (fate.lost) continue;  // commit() will refuse the incomplete epoch
+    if (fate.truncated) rx.bytes.resize(fate.delivered_bytes);
+    if (fate.reordered) {
+      late.push_back(std::move(rx));
+      continue;
+    }
+    offer(rx, /*count=*/true);
+    if (fate.duplicated) offer(rx, /*count=*/false);
+  }
+  for (const wire::RegionFrame& rx : late) offer(rx, /*count=*/true);
+
+  // NACK loop: re-ship only the corrupt regions' pristine frames, up to the
+  // budget. A retransmit crosses the same impaired wire, so it can corrupt
+  // again and eat another round.
+  std::map<std::uint32_t, const wire::RegionFrame*> by_region;
+  for (const wire::RegionFrame& f : frames) by_region[f.region] = &f;
+  std::uint32_t round = 0;
+  while (!staging_->corrupt_regions().empty() &&
+         round < config_.ft.retransmit_budget) {
+    ++round;
+    const std::set<std::uint32_t> nack = staging_->corrupt_regions();
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(sim_.now(), "wire.nack", "ckpt",
+                              {{"epoch", current_epoch_},
+                               {"regions", nack.size()},
+                               {"round", round}});
+    }
+    for (const std::uint32_t region : nack) {
+      const wire::RegionFrame* f = by_region.at(region);
+      ++stats_.retransmits;
+      if (m_retransmits_ != nullptr) m_retransmits_->add(1);
+      retransmit_pages += f->gfns.size();
+      wire::RegionFrame rx = *f;
+      const net::FrameFate fate = fabric_.transmit_frame(src, dst, rx.bytes);
+      if (fate.lost) continue;
+      if (fate.truncated) rx.bytes.resize(fate.delivered_bytes);
+      offer(rx, /*count=*/false);  // kOk repairs; kCorrupt re-marks
+    }
+  }
+  exhausted = !staging_->corrupt_regions().empty();
+
+  if (saw_corruption) {
+    ++corruption_streak_;
+    if (corruption_streak_ >= 3) {
+      notify_degraded(DegradedKind::kDataCorruption,
+                      "checkpoint frames failed verification in " +
+                          std::to_string(corruption_streak_) +
+                          " consecutive epochs");
+    }
+  } else {
+    corruption_streak_ = 0;
+  }
+  return retransmit_pages;
+}
+
 void ReplicationEngine::finish_checkpoint(std::uint64_t epoch,
                                           std::uint64_t captured_real,
                                           sim::Duration period_used,
                                           sim::Duration pause) {
-  staging_->commit();
+  const Expected<std::uint64_t> committed = staging_->commit();
+  if (!committed.ok()) {
+    // The replica refused the epoch: its verification state says the image
+    // would be corrupt. Same recovery as any abort — fold the capture back
+    // into the running epoch and retry; the epoch's buffered output stays
+    // held until a later commit actually releases it.
+    ++stats_.commits_rejected;
+    if (m_commits_rejected_ != nullptr) m_commits_rejected_->add(1);
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(sim_.now(), "epoch.commit_rejected", "ckpt",
+                              {{"epoch", epoch},
+                               {"status", committed.status().to_string()}});
+    }
+    staging_->abort_epoch();
+    restore_aborted_epoch();
+    note_epoch_abort("replica refused commit: integrity verification failed");
+    return;
+  }
   last_epoch_gfns_.clear();
   last_epoch_disk_writes_.clear();
   abort_streak_ = 0;

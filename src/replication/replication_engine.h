@@ -89,6 +89,15 @@ struct FaultToleranceConfig {
   // one VM ever serves the service address. 0 = activate immediately.
   // Explicit trigger_failover()/detector failovers are never fenced.
   sim::Duration fencing_window{};
+  // Checkpoint-stream integrity: rounds of selective retransmission for
+  // regions whose frames fail CRC verification, before the epoch falls back
+  // to abort-and-retry. Retransmitted bytes inflate the epoch's transfer
+  // cost, so repairs still land inside checkpoint_timeout (or trip it).
+  std::uint32_t retransmit_budget = 3;
+  // Background scrubbing: audit the replica's committed image against the
+  // per-region digests recorded at commit every `scrub_interval`, scheduling
+  // a full re-send of any region that diverged after commit. 0 disables.
+  sim::Duration scrub_interval{};
 };
 
 struct ReplicationConfig {
@@ -148,6 +157,13 @@ struct EngineStats {
   std::uint32_t seed_attempts = 0;    // begun attempts, incl. the first
   std::uint64_t epochs_aborted = 0;   // checkpoints aborted and retried
   std::uint64_t failovers_fenced = 0; // activations cancelled by fencing
+
+  // Checkpoint-stream integrity counters (zero on an unimpaired wire).
+  std::uint64_t regions_corrupted = 0;  // frames that failed verification
+  std::uint64_t retransmits = 0;        // frames selectively retransmitted
+  std::uint64_t commits_rejected = 0;   // epochs refused by the replica
+  std::uint64_t scrub_runs = 0;         // background audits completed
+  std::uint64_t scrub_repairs = 0;      // regions re-sent after divergence
   // Watchdog verdict ("", "crash-suspected" or "partition-suspected");
   // populated on heartbeat-loss failovers when probing is enabled.
   std::string failure_classification;
@@ -258,6 +274,14 @@ class ReplicationEngine {
   // --- Continuous checkpointing ---------------------------------------------
   void schedule_checkpoint();
   void run_checkpoint();
+  // Pushes the epoch's frames through the interconnect data plane, NACKing
+  // and selectively retransmitting corrupt regions up to ft.retransmit_budget
+  // rounds. Returns pages retransmitted; sets `exhausted` when corrupt
+  // regions remain (the caller falls back to abort-and-retry).
+  std::uint64_t transmit_epoch_frames(
+      const std::vector<wire::RegionFrame>& frames, bool& exhausted);
+  void schedule_scrub();
+  void run_scrub();
   void finish_checkpoint(std::uint64_t epoch, std::uint64_t captured_real,
                          sim::Duration period_used, sim::Duration pause);
   // Saves + (if heterogeneous) translates machine state and program snapshot
@@ -312,6 +336,7 @@ class ReplicationEngine {
   bool probe_reply_received_ = false;
   std::uint32_t seed_attempt_ = 0;
   std::uint32_t abort_streak_ = 0;   // consecutive aborted checkpoints
+  std::uint32_t corruption_streak_ = 0;  // consecutive epochs with bad frames
   sim::Duration pending_stall_{};    // injected migrator stall, not yet paid
   std::uint64_t current_epoch_ = 0;  // execution epoch being buffered
   std::uint64_t epoch_start_captured_ = 0;  // outbound count at epoch start
@@ -330,6 +355,7 @@ class ReplicationEngine {
   sim::EventId seed_retry_event_;
   sim::EventId probe_event_;
   sim::EventId failover_activate_event_;
+  sim::EventId scrub_event_;
 
   // Cached metric instruments (all null when config_.metrics is null).
   obs::Counter* m_epochs_ = nullptr;
@@ -339,6 +365,11 @@ class ReplicationEngine {
   obs::Counter* m_seed_retries_ = nullptr;
   obs::Counter* m_epochs_aborted_ = nullptr;
   obs::Counter* m_failovers_fenced_ = nullptr;
+  obs::Counter* m_regions_corrupted_ = nullptr;
+  obs::Counter* m_retransmits_ = nullptr;
+  obs::Counter* m_commits_rejected_ = nullptr;
+  obs::Counter* m_scrub_runs_ = nullptr;
+  obs::Counter* m_scrub_repairs_ = nullptr;
   obs::FixedHistogram* m_pause_ms_ = nullptr;
   obs::FixedHistogram* m_degradation_pct_ = nullptr;
   obs::FixedHistogram* m_mttr_ms_ = nullptr;

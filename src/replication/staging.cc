@@ -24,6 +24,10 @@ void ReplicaStaging::begin_epoch(std::uint64_t epoch) {
     b.gfns.clear();
     b.bytes.clear();
   }
+  expectation_armed_ = false;
+  expected_ = {};
+  frames_.clear();
+  corrupt_regions_.clear();
 }
 
 void ReplicaStaging::buffer_page(std::uint32_t worker, common::Gfn gfn,
@@ -50,29 +54,130 @@ void ReplicaStaging::set_pending_program(
   pending_program_ = std::move(program);
 }
 
+void ReplicaStaging::expect_epoch(const wire::EpochHeader& header) {
+  expectation_armed_ = true;
+  expected_ = header;
+}
+
+FrameVerdict ReplicaStaging::receive_frame(const wire::RegionFrame& frame) {
+  if (frame.epoch != open_epoch_) return FrameVerdict::kWrongEpoch;
+  if (frames_.contains(frame.seq)) return FrameVerdict::kDuplicate;
+  if (!wire::frame_intact(frame)) {
+    corrupt_regions_.insert(frame.region);
+    return FrameVerdict::kCorrupt;
+  }
+  corrupt_regions_.erase(frame.region);
+  frames_.emplace(frame.seq, frame);
+  return FrameVerdict::kOk;
+}
+
 std::uint64_t ReplicaStaging::buffered_bytes() const {
   std::uint64_t total = 0;
   for (const auto& b : buffers_) total += b.bytes.size();
+  for (const auto& [seq, frame] : frames_) total += frame.bytes.size();
   return total;
 }
 
-std::uint64_t ReplicaStaging::commit() {
+std::uint32_t ReplicaStaging::region_count() const {
+  return static_cast<std::uint32_t>(
+      (spec_.pages + common::kPagesPerRegion - 1) / common::kPagesPerRegion);
+}
+
+std::uint64_t ReplicaStaging::committed_region_digest(
+    std::uint32_t region) const {
+  if (region >= committed_region_digests_.size()) return 0;
+  return committed_region_digests_[region];
+}
+
+std::uint64_t ReplicaStaging::live_region_digest(std::uint32_t region) const {
+  // FNV-1a fold of the region's page digests (same family as
+  // GuestMemory::full_digest, restricted to one 2 MiB region).
+  std::uint64_t acc = 1469598103934665603ULL;
+  const std::uint64_t first = std::uint64_t{region} * common::kPagesPerRegion;
+  const std::uint64_t last =
+      std::min(first + common::kPagesPerRegion, spec_.pages);
+  for (std::uint64_t gfn = first; gfn < last; ++gfn) {
+    std::uint64_t d = memory_.page_digest(common::Gfn{gfn});
+    for (int i = 0; i < 8; ++i) {
+      acc ^= (d >> (i * 8)) & 0xFFu;
+      acc *= 1099511628211ULL;
+    }
+  }
+  return acc;
+}
+
+void ReplicaStaging::refresh_region_digest(std::uint32_t region) {
+  if (committed_region_digests_.size() < region_count()) {
+    committed_region_digests_.resize(region_count(), 0);
+  }
+  committed_region_digests_[region] = live_region_digest(region);
+}
+
+Expected<std::uint64_t> ReplicaStaging::commit() {
   peak_buffered_ = std::max(peak_buffered_, buffered_bytes());
+  if (expectation_armed_) {
+    // Refuse-before-apply: a rejected epoch leaves the committed image
+    // untouched, exactly like an abort.
+    if (!corrupt_regions_.empty()) {
+      return Status::data_loss(
+          "epoch " + std::to_string(open_epoch_) + ": " +
+          std::to_string(corrupt_regions_.size()) +
+          " region(s) failed verification and were not repaired");
+    }
+    if (frames_.size() != expected_.frames) {
+      return Status::data_loss(
+          "epoch " + std::to_string(open_epoch_) + ": received " +
+          std::to_string(frames_.size()) + " of " +
+          std::to_string(expected_.frames) + " frames");
+    }
+    std::uint64_t digest = wire::digest_init();
+    for (const auto& [seq, frame] : frames_) {
+      digest = wire::digest_fold(digest, frame);
+    }
+    if (digest != expected_.digest) {
+      return Status::data_loss("epoch " + std::to_string(open_epoch_) +
+                               ": rolling digest mismatch");
+    }
+  }
   std::uint64_t applied = 0;
+  std::set<std::uint32_t> touched;
   for (auto& b : buffers_) {
     for (std::size_t i = 0; i < b.gfns.size(); ++i) {
       memory_.install_page(
           b.gfns[i], {b.bytes.data() + i * kPageSize, kPageSize});
+      touched.insert(
+          static_cast<std::uint32_t>(b.gfns[i] / common::kPagesPerRegion));
       ++applied;
     }
     b.gfns.clear();
     b.bytes.clear();
   }
+  // Seq order: a retransmitted frame (higher seq, same region) lands after
+  // the original, so the last writer wins deterministically.
+  for (const auto& [seq, frame] : frames_) {
+    for (std::size_t i = 0; i < frame.gfns.size(); ++i) {
+      memory_.install_page(
+          frame.gfns[i], {frame.bytes.data() + i * kPageSize, kPageSize});
+      ++applied;
+    }
+    touched.insert(frame.region);
+  }
+  frames_.clear();
+  expectation_armed_ = false;
+  expected_ = {};
   for (const auto& write : pending_disk_writes_) disk_.apply(write);
   pending_disk_writes_.clear();
   if (pending_state_) committed_state_ = std::move(pending_state_);
   if (pending_program_) committed_program_ = std::move(pending_program_);
   committed_epoch_ = open_epoch_;
+  if (committed_region_digests_.empty()) {
+    // First commit: baseline every region (covers the seeded image too).
+    for (std::uint32_t r = 0; r < region_count(); ++r) {
+      refresh_region_digest(r);
+    }
+  } else {
+    for (const std::uint32_t r : touched) refresh_region_digest(r);
+  }
   return applied;
 }
 
@@ -84,6 +189,10 @@ void ReplicaStaging::abort_epoch() {
   pending_disk_writes_.clear();
   pending_state_.reset();
   pending_program_.reset();
+  expectation_armed_ = false;
+  expected_ = {};
+  frames_.clear();
+  corrupt_regions_.clear();
 }
 
 std::unique_ptr<hv::GuestProgram> ReplicaStaging::take_committed_program() {

@@ -8,17 +8,29 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <set>
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "hv/disk.h"
 #include "hv/guest_memory.h"
 #include "hv/guest_program.h"
 #include "hv/hypervisor.h"
 #include "hv/types.h"
+#include "replication/wire.h"
 
 namespace here::rep {
+
+// Outcome of offering one wire frame to the staging area.
+enum class FrameVerdict : std::uint8_t {
+  kOk,          // verified and buffered (also: a retransmit that repaired)
+  kDuplicate,   // seq already verified this epoch; ignored
+  kCorrupt,     // CRC/length check failed; region queued for retransmission
+  kWrongEpoch,  // frame does not belong to the open epoch; ignored
+};
 
 class ReplicaStaging {
  public:
@@ -52,6 +64,30 @@ class ReplicaStaging {
   void buffer_page(std::uint32_t worker, common::Gfn gfn,
                    std::span<const std::uint8_t> bytes);
 
+  // --- Verified frame path (checkpoint wire format) ---------------------------
+  //
+  // The engine announces the epoch header, then offers frames as they come
+  // off the interconnect (in any order — duplicates and reordering are
+  // absorbed here). commit() refuses the epoch unless every expected frame
+  // verified and the recomputed rolling digest matches the header.
+
+  // Arms integrity verification for the open epoch. Reset by begin_epoch /
+  // abort_epoch.
+  void expect_epoch(const wire::EpochHeader& header);
+  [[nodiscard]] bool expectation_armed() const { return expectation_armed_; }
+
+  // Verifies and buffers one frame. A corrupt frame marks its region for
+  // selective retransmission; a later intact frame with the same seq repairs
+  // it (returns kOk).
+  FrameVerdict receive_frame(const wire::RegionFrame& frame);
+
+  // Regions whose frames failed verification and have not yet been repaired
+  // (the NACK set the primary retransmits from).
+  [[nodiscard]] const std::set<std::uint32_t>& corrupt_regions() const {
+    return corrupt_regions_;
+  }
+  [[nodiscard]] std::uint64_t frames_verified() const { return frames_.size(); }
+
   // Disk writes issued by the guest during the open epoch; applied to the
   // replica disk atomically with the memory image at commit.
   void buffer_disk_writes(std::vector<hv::DiskWrite> writes);
@@ -61,8 +97,12 @@ class ReplicaStaging {
   void set_pending_state(std::unique_ptr<hv::SavedMachineState> state);
   void set_pending_program(std::unique_ptr<hv::GuestProgram> program);
 
-  // Atomically applies the open epoch. Returns pages applied.
-  std::uint64_t commit();
+  // Atomically applies the open epoch and returns pages applied. With an
+  // expectation armed (verified frame path) the commit is refused — nothing
+  // applied, kDataLoss — when frames are missing or corrupt or the recomputed
+  // rolling digest disagrees with the epoch header. Without an expectation
+  // (legacy worker-buffer path) the commit is unconditional.
+  Expected<std::uint64_t> commit();
 
   // Discards a partially received epoch (primary failed mid-checkpoint).
   void abort_epoch();
@@ -75,6 +115,19 @@ class ReplicaStaging {
   // Transfers ownership of the committed program snapshot (failover).
   [[nodiscard]] std::unique_ptr<hv::GuestProgram> take_committed_program();
 
+  // --- Scrub support -----------------------------------------------------------
+  //
+  // Per-region digests of the image as of the last commit. The background
+  // scrubber compares these references against live_region_digest(); a
+  // mismatch means the replica image diverged *after* commit (bit rot, stray
+  // write) and the region needs a full re-send.
+
+  [[nodiscard]] std::uint32_t region_count() const;
+  // Reference recorded at commit (0 before the first commit).
+  [[nodiscard]] std::uint64_t committed_region_digest(std::uint32_t region) const;
+  // Digest of the region's bytes as they are right now.
+  [[nodiscard]] std::uint64_t live_region_digest(std::uint32_t region) const;
+
   // --- §8.7 accounting ---------------------------------------------------------
 
   [[nodiscard]] std::uint64_t peak_buffered_bytes() const { return peak_buffered_; }
@@ -86,6 +139,7 @@ class ReplicaStaging {
   };
 
   [[nodiscard]] std::uint64_t buffered_bytes() const;
+  void refresh_region_digest(std::uint32_t region);
 
   hv::VmSpec spec_;
   hv::GuestMemory memory_;
@@ -100,6 +154,15 @@ class ReplicaStaging {
   std::unique_ptr<hv::GuestProgram> pending_program_;
   std::unique_ptr<hv::GuestProgram> committed_program_;
   std::uint64_t peak_buffered_ = 0;
+
+  // Verified frame path. `frames_` is keyed by seq (ordered), so the digest
+  // recomputation and page application both run in sequence order regardless
+  // of arrival order.
+  bool expectation_armed_ = false;
+  wire::EpochHeader expected_;
+  std::map<std::uint64_t, wire::RegionFrame> frames_;
+  std::set<std::uint32_t> corrupt_regions_;
+  std::vector<std::uint64_t> committed_region_digests_;
 };
 
 }  // namespace here::rep

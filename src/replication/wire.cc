@@ -1,0 +1,37 @@
+#include "replication/wire.h"
+
+namespace here::rep::wire {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_u64(std::uint64_t acc, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    acc ^= (value >> (i * 8)) & 0xFFu;
+    acc *= kFnvPrime;
+  }
+  return acc;
+}
+
+}  // namespace
+
+void seal_frame(RegionFrame& frame) { frame.crc = common::crc32c(frame.bytes); }
+
+bool frame_intact(const RegionFrame& frame) {
+  if (frame.bytes.size() != frame.gfns.size() * common::kPageSize) {
+    return false;  // truncated (or padded) in flight
+  }
+  return common::crc32c(frame.bytes) == frame.crc;
+}
+
+std::uint64_t digest_init() { return kFnvOffset; }
+
+std::uint64_t digest_fold(std::uint64_t acc, const RegionFrame& frame) {
+  acc = fnv_u64(acc, frame.seq);
+  acc = fnv_u64(acc, frame.region);
+  acc = fnv_u64(acc, frame.gfns.size());
+  return fnv_u64(acc, frame.crc);
+}
+
+}  // namespace here::rep::wire

@@ -1,0 +1,64 @@
+// Checkpoint wire format: verified framing for the continuous-replication
+// data plane.
+//
+// PR 2 hardened the control plane; this layer stops trusting the
+// interconnect byte-for-byte. Each epoch ships as an *epoch header* plus one
+// frame per dirty 2 MiB region:
+//
+//   EpochHeader  { epoch, frame count, whole-epoch rolling digest }
+//   RegionFrame  { epoch, seq, region, gfn list, page bytes, CRC32C }
+//
+// The CRC32C covers the real page payload bytes; the rolling digest folds
+// every frame's (seq, region, page count, crc) in sequence order, so a
+// substituted, dropped or reordered-and-lost frame cannot commit. The
+// replica verifies each frame on arrival (ReplicaStaging::receive_frame),
+// NACKs corrupt regions for selective retransmission, and refuses to commit
+// an epoch whose recomputed digest does not match the header
+// (docs/ARCHITECTURE.md, "Checkpoint wire format").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/crc32c.h"
+#include "common/units.h"
+
+namespace here::rep::wire {
+
+// One 2 MiB region's dirty pages, framed for the interconnect. `bytes` holds
+// gfns.size() * kPageSize payload bytes in gfn-list order; a frame whose
+// byte count disagrees with its gfn count was truncated in flight.
+struct RegionFrame {
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;     // frame sequence number within the epoch
+  std::uint32_t region = 0;  // region index: first gfn / kPagesPerRegion
+  std::vector<common::Gfn> gfns;
+  std::vector<std::uint8_t> bytes;
+  std::uint32_t crc = 0;  // CRC32C over `bytes` as emitted by the primary
+
+  [[nodiscard]] std::uint64_t payload_bytes() const { return bytes.size(); }
+};
+
+// Epoch header, sent ahead of the frames. The digest commits the primary to
+// the exact frame sequence; the replica recomputes it from verified frames.
+struct EpochHeader {
+  std::uint64_t epoch = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t digest = 0;
+};
+
+// Stamps `frame.crc` from the current payload (done once, on the pristine
+// bytes, before the frame touches the wire).
+void seal_frame(RegionFrame& frame);
+
+// Frame-level verification: payload length must match the gfn count
+// (truncation) and the CRC32C must match the seal (bit errors).
+[[nodiscard]] bool frame_intact(const RegionFrame& frame);
+
+// Whole-epoch rolling digest (FNV-1a folding), order-sensitive in `seq`.
+[[nodiscard]] std::uint64_t digest_init();
+[[nodiscard]] std::uint64_t digest_fold(std::uint64_t acc,
+                                        const RegionFrame& frame);
+
+}  // namespace here::rep::wire

@@ -148,8 +148,91 @@ void Fabric::set_link_bandwidth_factor(NodeId a, NodeId b, double factor) {
   impairable(b, a, "set_link_bandwidth_factor").bandwidth_factor = f;
 }
 
+void Fabric::set_link_bit_error_rate(NodeId a, NodeId b, double rate) {
+  const double r = std::clamp(rate, 0.0, 0.01);
+  impairable(a, b, "set_link_bit_error_rate").bit_error_rate = r;
+  impairable(b, a, "set_link_bit_error_rate").bit_error_rate = r;
+}
+
+void Fabric::set_link_truncation(NodeId a, NodeId b, double probability) {
+  const double p = std::clamp(probability, 0.0, 1.0);
+  impairable(a, b, "set_link_truncation").truncate_prob = p;
+  impairable(b, a, "set_link_truncation").truncate_prob = p;
+}
+
+void Fabric::set_link_duplication(NodeId a, NodeId b, double probability) {
+  const double p = std::clamp(probability, 0.0, 1.0);
+  impairable(a, b, "set_link_duplication").duplicate_prob = p;
+  impairable(b, a, "set_link_duplication").duplicate_prob = p;
+}
+
+void Fabric::set_link_reordering(NodeId a, NodeId b, double probability) {
+  const double p = std::clamp(probability, 0.0, 1.0);
+  impairable(a, b, "set_link_reordering").reorder_prob = p;
+  impairable(b, a, "set_link_reordering").reorder_prob = p;
+}
+
+FrameFate Fabric::transmit_frame(NodeId a, NodeId b,
+                                 std::span<std::uint8_t> payload) {
+  Direction* dir = direction(a, b);
+  if (dir == nullptr) {
+    throw std::invalid_argument("Fabric::transmit_frame: not connected");
+  }
+  FrameFate fate;
+  fate.delivered_bytes = payload.size();
+  ++frames_sent_;
+  if (dir->down) {
+    fate.lost = true;
+    fate.delivered_bytes = 0;
+    return fate;
+  }
+  // Fixed draw order (bit errors, truncation, duplication, reordering); each
+  // knob's draws are consumed only while that knob is non-zero, so enabling
+  // one impairment never perturbs another's stream.
+  if (dir->bit_error_rate > 0.0 && !payload.empty()) {
+    // Geometric skipping: jump straight to the next flipped bit instead of
+    // drawing once per bit (a 2 MiB frame is ~16.8M bits).
+    const double log_keep = std::log1p(-dir->bit_error_rate);
+    const std::uint64_t total_bits = payload.size() * 8;
+    std::uint64_t bit = 0;
+    while (true) {
+      const double u = data_rng_.uniform01();
+      const double skip = std::floor(std::log1p(-u) / log_keep);
+      if (skip >= static_cast<double>(total_bits - bit)) break;
+      bit += static_cast<std::uint64_t>(skip);
+      payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      ++fate.bit_flips;
+      ++bit;
+      if (bit >= total_bits) break;
+    }
+  }
+  if (dir->truncate_prob > 0.0 && !payload.empty() &&
+      data_rng_.bernoulli(dir->truncate_prob)) {
+    fate.truncated = true;
+    fate.delivered_bytes = data_rng_.uniform(payload.size());
+  }
+  if (dir->duplicate_prob > 0.0 && data_rng_.bernoulli(dir->duplicate_prob)) {
+    fate.duplicated = true;
+  }
+  if (dir->reorder_prob > 0.0 && data_rng_.bernoulli(dir->reorder_prob)) {
+    fate.reordered = true;
+  }
+  if (fate.damaged()) {
+    ++frames_damaged_;
+    if (tracer_ != nullptr) {
+      tracer_->instant(sim_.now(), "net.frame_damaged", "net",
+                       {{"src", a},
+                        {"dst", b},
+                        {"bit_flips", fate.bit_flips},
+                        {"bytes", fate.delivered_bytes}});
+    }
+  }
+  return fate;
+}
+
 void Fabric::seed_impairments(std::uint64_t seed) {
   loss_rng_ = sim::Rng(seed);
+  data_rng_ = sim::Rng(seed ^ 0xda7ab17f5eedULL);
 }
 
 bool Fabric::connected(NodeId a, NodeId b) const {
@@ -165,6 +248,10 @@ LinkQuality Fabric::link_quality(NodeId a, NodeId b) const {
   q.loss = dir->loss;
   q.extra_latency = dir->extra_latency;
   q.bandwidth_factor = dir->bandwidth_factor;
+  q.bit_error_rate = dir->bit_error_rate;
+  q.truncate_prob = dir->truncate_prob;
+  q.duplicate_prob = dir->duplicate_prob;
+  q.reorder_prob = dir->reorder_prob;
   return q;
 }
 

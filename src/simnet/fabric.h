@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,24 @@ struct LinkQuality {
   double loss = 0.0;              // per-packet drop probability in [0, 1)
   sim::Duration extra_latency{};  // added to every delivery
   double bandwidth_factor = 1.0;  // effective line rate multiplier in (0, 1]
+  // Data-plane impairments (checkpoint frames; see transmit_frame).
+  double bit_error_rate = 0.0;    // per-bit flip probability in [0, 1)
+  double truncate_prob = 0.0;     // per-frame truncation probability
+  double duplicate_prob = 0.0;    // per-frame duplicate-delivery probability
+  double reorder_prob = 0.0;      // per-frame late-delivery probability
+};
+
+// What the wire did to one checkpoint frame (see Fabric::transmit_frame).
+// All-false means the frame arrived pristine, in order, exactly once.
+struct FrameFate {
+  bool lost = false;            // link down: no byte arrived
+  std::uint32_t bit_flips = 0;  // payload bits flipped in place
+  bool truncated = false;       // tail cut; `delivered_bytes` arrived
+  std::uint64_t delivered_bytes = 0;
+  bool duplicated = false;      // receiver sees the frame a second time
+  bool reordered = false;       // frame overtaken; arrives after its peers
+
+  [[nodiscard]] bool damaged() const { return bit_flips > 0 || truncated; }
 };
 
 class Fabric {
@@ -81,7 +100,36 @@ class Fabric {
   // Bandwidth degradation: effective line rate = profile rate * factor
   // (factor clamped to (0, 1]; 1 restores full speed).
   void set_link_bandwidth_factor(NodeId a, NodeId b, double factor);
-  // Reseeds the loss stream (same seed + same plan => same drops).
+
+  // --- Data-plane impairments (checkpoint frames) ------------------------------
+  //
+  // These corrupt frame *content* rather than dropping packets: the
+  // replication wire layer detects them with per-region CRCs and repairs via
+  // selective retransmission. All draws come from a dedicated deterministic
+  // stream, consumed only while the corresponding knob is non-zero.
+
+  // Independent per-bit flip probability (clamped to [0, 0.01]).
+  void set_link_bit_error_rate(NodeId a, NodeId b, double rate);
+  // Per-frame probability that the frame's tail is cut mid-payload.
+  void set_link_truncation(NodeId a, NodeId b, double probability);
+  // Per-frame probability of a duplicate delivery.
+  void set_link_duplication(NodeId a, NodeId b, double probability);
+  // Per-frame probability of the frame being overtaken (late delivery).
+  void set_link_reordering(NodeId a, NodeId b, double probability);
+
+  // Pushes one checkpoint frame's payload through the a->b data plane,
+  // applying bit errors / truncation in place and reporting duplication /
+  // reordering for the caller's delivery loop. Does NOT occupy the wire or
+  // advance time — the replication time model charges transfer costs
+  // separately. Throws std::invalid_argument when not connected.
+  FrameFate transmit_frame(NodeId a, NodeId b,
+                           std::span<std::uint8_t> payload);
+
+  [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
+  [[nodiscard]] std::uint64_t frames_damaged() const { return frames_damaged_; }
+
+  // Reseeds the loss + data-plane streams (same seed + same plan => same
+  // drops and same corruptions).
   void seed_impairments(std::uint64_t seed);
 
   [[nodiscard]] bool connected(NodeId a, NodeId b) const;
@@ -118,6 +166,10 @@ class Fabric {
     double loss = 0.0;
     sim::Duration extra_latency{};
     double bandwidth_factor = 1.0;
+    double bit_error_rate = 0.0;
+    double truncate_prob = 0.0;
+    double duplicate_prob = 0.0;
+    double reorder_prob = 0.0;
   };
 
   Direction* direction(NodeId from, NodeId to);
@@ -135,6 +187,9 @@ class Fabric {
   std::vector<Node> nodes_;
   std::map<std::pair<NodeId, NodeId>, Direction> directions_;
   sim::Rng loss_rng_{0x10559eedULL};  // dedicated stream for loss draws
+  sim::Rng data_rng_{0xda7ab17fULL};  // dedicated stream for data-plane faults
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_damaged_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t lost_ = 0;  // subset of dropped_: random loss, not partition

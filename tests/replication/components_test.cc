@@ -192,7 +192,9 @@ TEST(ReplicaStaging, EpochCommitIsAtomic) {
   staging.buffer_page(1, 6, filled_page(0x22));
   // Nothing applied before commit.
   EXPECT_EQ(staging.memory().page(5)[0], 0x00);
-  EXPECT_EQ(staging.commit(), 2u);
+  const auto applied = staging.commit();
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 2u);
   EXPECT_EQ(staging.memory().page(5)[0], 0x11);
   EXPECT_EQ(staging.memory().page(6)[0], 0x22);
   EXPECT_EQ(staging.committed_epoch(), 1u);

@@ -37,15 +37,20 @@ TEST(EngineEdge, ProtectRequiresRunningVm) {
             StatusCode::kFailedPrecondition);  // never started
 }
 
-// The deprecated callback API must stay source-compatible and keep its
-// throwing contract until removal (see docs/api_migration.md).
-TEST(EngineEdge, DeprecatedProtectShimStillThrows) {
+// start_protection() + EngineObserver is the supported surface (the
+// deprecated protect() shim is scheduled for removal; docs/api_migration.md).
+// A failed start reports its Status and fires no observer callbacks.
+TEST(EngineEdge, FailedStartProtectionFiresNoObserver) {
   Testbed bed(base_config());
   hv::Vm& vm = bed.primary().hypervisor().create_vm(bed.config().vm_spec);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_THROW(bed.engine().protect(vm), std::logic_error);  // never started
-#pragma GCC diagnostic pop
+  struct Recorder : EngineObserver {
+    int protected_calls = 0;
+    void on_protected(hv::Vm&) override { ++protected_calls; }
+  } recorder;
+  bed.engine().add_observer(&recorder);
+  EXPECT_EQ(bed.engine().start_protection(vm).code(),
+            StatusCode::kFailedPrecondition);  // never started
+  EXPECT_EQ(recorder.protected_calls, 0);
 }
 
 TEST(EngineEdge, RemusWithHeterogeneousPairThrows) {
