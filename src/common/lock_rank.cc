@@ -1,0 +1,176 @@
+#include "common/lock_rank.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace here::common {
+
+const char* to_string(LockRank rank) {
+  switch (rank) {
+    case LockRank::kThreadPoolQueue: return "thread_pool.queue";
+    case LockRank::kPmlRing: return "hv.pml_ring";
+    case LockRank::kStagingCommit: return "rep.staging_commit";
+    case LockRank::kTraceSink: return "obs.trace_sink";
+  }
+  return "unranked";
+}
+
+namespace {
+
+void default_handler(const LockRankViolation& v) {
+  std::fputs(v.report.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+std::atomic<LockRankViolationHandler> g_handler{&default_handler};
+std::atomic<bool> g_checking{true};
+
+// Acquisition-order graph, keyed by numeric rank. Guarded by its own plain
+// mutex, which is only ever held alone (never while calling back into
+// RankedMutex), so it cannot participate in any ordering cycle itself.
+struct OrderGraph {
+  std::mutex mu;
+  std::map<std::uint32_t, std::set<std::uint32_t>> edges;
+  std::map<std::uint32_t, const char*> names;
+};
+
+OrderGraph& graph() {
+  static OrderGraph g;
+  return g;
+}
+
+// Per-thread stack of held ranked mutexes, in acquisition order.
+thread_local std::vector<const RankedMutex*> t_held;
+
+// DFS for a path from -> to in the order graph. Caller holds graph().mu.
+bool find_path(const OrderGraph& g, std::uint32_t from, std::uint32_t to,
+               std::set<std::uint32_t>& visited,
+               std::vector<std::uint32_t>& path) {
+  if (!visited.insert(from).second) return false;
+  path.push_back(from);
+  if (from == to) return true;
+  auto it = g.edges.find(from);
+  if (it != g.edges.end()) {
+    for (const std::uint32_t next : it->second) {
+      if (find_path(g, next, to, visited, path)) return true;
+    }
+  }
+  path.pop_back();
+  return false;
+}
+
+std::string rank_label(const OrderGraph& g, std::uint32_t rank) {
+  auto it = g.names.find(rank);
+  const char* name = it != g.names.end() ? it->second : "?";
+  return std::string(name) + "(" + std::to_string(rank) + ")";
+}
+
+}  // namespace
+
+LockRankViolationHandler set_violation_handler(LockRankViolationHandler h) {
+  return g_handler.exchange(h != nullptr ? h : &default_handler);
+}
+
+void set_lock_rank_checking(bool enabled) { g_checking.store(enabled); }
+
+bool lock_rank_checking() { return g_checking.load(); }
+
+void reset_lock_order_graph_for_testing() {
+  OrderGraph& g = graph();
+  std::lock_guard lock(g.mu);
+  g.edges.clear();
+  g.names.clear();
+}
+
+#if defined(HERE_LOCK_RANK_DISABLED)
+
+void RankedMutex::lock() { mu_.lock(); }
+bool RankedMutex::try_lock() { return mu_.try_lock(); }
+void RankedMutex::unlock() { mu_.unlock(); }
+void RankedMutex::note_acquired() {}
+
+#else
+
+void RankedMutex::note_acquired() {
+  if (!g_checking.load(std::memory_order_relaxed)) {
+    t_held.push_back(this);
+    return;
+  }
+  if (!t_held.empty()) {
+    const RankedMutex* outer = t_held.back();
+    const auto outer_rank = static_cast<std::uint32_t>(outer->rank_);
+    const auto inner_rank = static_cast<std::uint32_t>(rank_);
+
+    std::string cycle;
+    {
+      OrderGraph& g = graph();
+      std::lock_guard lock(g.mu);
+      g.names[outer_rank] = outer->name_;
+      g.names[inner_rank] = name_;
+      g.edges[outer_rank].insert(inner_rank);
+      // A cycle exists iff the outer rank is reachable from the inner one
+      // through previously observed acquisition edges.
+      std::set<std::uint32_t> visited;
+      std::vector<std::uint32_t> path;
+      if (find_path(g, inner_rank, outer_rank, visited, path)) {
+        for (const std::uint32_t r : path) {
+          cycle += rank_label(g, r);
+          cycle += " -> ";
+        }
+        cycle += rank_label(g, inner_rank);  // close the loop
+      }
+    }
+
+    if (inner_rank <= outer_rank) {
+      LockRankViolation v;
+      v.held_rank = outer->rank_;
+      v.held_name = outer->name_;
+      v.acquiring_rank = rank_;
+      v.acquiring_name = name_;
+      v.cycle = cycle;
+      v.report = std::string("lock-rank violation: acquiring '") + name_ +
+                 "' (rank " + std::to_string(inner_rank) + ") while holding '" +
+                 outer->name_ + "' (rank " + std::to_string(outer_rank) +
+                 "); ranks must be strictly increasing";
+      if (!cycle.empty()) {
+        v.report += "\n  acquisition-order cycle: " + cycle;
+      }
+      g_handler.load()(v);
+    }
+  }
+  t_held.push_back(this);
+}
+
+void RankedMutex::lock() {
+  // Check *before* blocking: the whole point is to report the inversion
+  // instead of deadlocking inside mu_.lock().
+  note_acquired();
+  mu_.lock();
+}
+
+bool RankedMutex::try_lock() {
+  if (!mu_.try_lock()) return false;
+  // try_lock cannot deadlock, but a wrong-order try_lock is the same design
+  // bug; run the check after the fact so failure paths stay cheap.
+  note_acquired();
+  return true;
+}
+
+void RankedMutex::unlock() {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == this) {
+      t_held.erase(std::next(it).base());
+      break;
+    }
+  }
+  mu_.unlock();
+}
+
+#endif  // HERE_LOCK_RANK_DISABLED
+
+}  // namespace here::common

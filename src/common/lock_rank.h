@@ -1,0 +1,100 @@
+// Ranked mutexes: runtime lock-ordering discipline for the real threads in
+// the data plane.
+//
+// The simulation kernel is single-threaded, but the page-copy data plane is
+// not: migrator workers (common::ThreadPool) drain per-vCPU PML rings and
+// buffer pages into replica staging while the trace sink records events.
+// Every mutex in those paths is assigned a rank from the table below, and a
+// thread may only acquire a mutex whose rank is *strictly greater* than the
+// highest rank it already holds. Violations — the raw material of deadlocks —
+// are caught at the first wrong acquisition, deterministically, instead of
+// as a once-a-month hang under load.
+//
+// Alongside the strict rank check, the checker maintains a global
+// acquisition-order graph (an edge A -> B means "B was acquired while A was
+// held"). When a violation fires, the graph is searched for a cycle through
+// the offending edge and the full cycle path is included in the report, so
+// the diagnosis reads "pool.queue -> staging.commit -> pool.queue", not just
+// "rank went backwards".
+//
+// By default a violation prints a report to stderr and aborts. Tests install
+// a capturing handler instead (see set_violation_handler). Checking is
+// compiled out entirely with -DHERE_LOCK_RANK_DISABLED (CMake option
+// HERE_LOCK_RANK=OFF), leaving RankedMutex a zero-overhead std::mutex
+// wrapper.
+//
+// Rank table (documented in docs/static_analysis.md; keep in sync):
+//   100  thread_pool.queue   common::ThreadPool task queue
+//   200  hv.pml_ring         per-vCPU dirty ring (migrator drain path)
+//   300  rep.staging_commit  ReplicaStaging epoch commit path
+//   400  obs.trace_sink      RingBufferRecorder (leaf: always innermost)
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace here::common {
+
+enum class LockRank : std::uint32_t {
+  kThreadPoolQueue = 100,
+  kPmlRing = 200,
+  kStagingCommit = 300,
+  kTraceSink = 400,
+};
+
+[[nodiscard]] const char* to_string(LockRank rank);
+
+// Everything the violation handler needs for a diagnosis. `cycle` is empty
+// when the acquisition-order graph holds no cycle through the new edge (a
+// plain rank inversion caught before it ever deadlocked).
+struct LockRankViolation {
+  LockRank held_rank{};
+  const char* held_name = "";
+  LockRank acquiring_rank{};
+  const char* acquiring_name = "";
+  std::string cycle;   // "a -> b -> a", or empty
+  std::string report;  // full human-readable message
+};
+
+using LockRankViolationHandler = void (*)(const LockRankViolation&);
+
+// Installs a handler (nullptr restores the default print-and-abort one).
+// Returns the previous handler. The handler runs on the acquiring thread
+// before the lock is taken; if it returns, the acquisition proceeds.
+LockRankViolationHandler set_violation_handler(LockRankViolationHandler h);
+
+// Runtime kill-switch (default on). Benchmarks that want the discipline off
+// without a rebuild can disable it; the mutexes keep working.
+void set_lock_rank_checking(bool enabled);
+[[nodiscard]] bool lock_rank_checking();
+
+// Drops all recorded acquisition-order edges (test isolation only).
+void reset_lock_order_graph_for_testing();
+
+// A std::mutex that participates in the ranking discipline. Satisfies
+// Lockable, so std::lock_guard / std::unique_lock /
+// std::condition_variable_any work unchanged.
+class RankedMutex {
+ public:
+  RankedMutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
+
+  RankedMutex(const RankedMutex&) = delete;
+  RankedMutex& operator=(const RankedMutex&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+  [[nodiscard]] LockRank rank() const { return rank_; }
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  void note_acquired();
+
+  std::mutex mu_;
+  LockRank rank_;
+  const char* name_;  // must outlive the mutex (string literal)
+};
+
+}  // namespace here::common

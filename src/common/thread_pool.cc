@@ -36,7 +36,7 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock lock(mu_);
+      std::unique_lock<RankedMutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());

@@ -10,10 +10,11 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/lock_rank.h"
 
 namespace here::common {
 
@@ -45,8 +46,8 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  RankedMutex mu_{LockRank::kThreadPoolQueue, "thread_pool.queue"};
+  std::condition_variable_any cv_;
   bool stopping_ = false;
 };
 

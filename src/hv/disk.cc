@@ -25,6 +25,8 @@ std::uint64_t VirtualDisk::digest() const {
   // Order-independent: XOR of per-sector mixes, so iteration order of the
   // unordered_map does not matter.
   std::uint64_t acc = 0;
+  // detlint: allow(unordered-iter) -- XOR fold is commutative; the digest is
+  // identical for any iteration order.
   for (const auto& [sector, stamp] : stamps_) {
     std::uint64_t h = sector * 0x9e3779b97f4a7c15ULL ^ stamp;
     h ^= h >> 33;

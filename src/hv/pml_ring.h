@@ -8,6 +8,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/units.h"
 
 namespace here::hv {
@@ -44,7 +45,7 @@ class PmlRing {
   void clear();
 
  private:
-  mutable std::mutex mu_;
+  mutable common::RankedMutex mu_{common::LockRank::kPmlRing, "hv.pml_ring"};
   std::vector<common::Gfn> entries_;
   std::vector<std::uint8_t> logged_;  // per-page "already logged" filter
   std::size_t hw_fill_ = 0;  // entries since last simulated hardware flush

@@ -7,6 +7,7 @@ RingBufferRecorder::RingBufferRecorder(std::size_t capacity) {
 }
 
 void RingBufferRecorder::record(TraceEvent event) {
+  std::lock_guard lock(mu_);
   ring_[next_] = std::move(event);
   next_ = (next_ + 1) % ring_.size();
   if (size_ < ring_.size()) ++size_;
@@ -14,6 +15,7 @@ void RingBufferRecorder::record(TraceEvent event) {
 }
 
 std::vector<TraceEvent> RingBufferRecorder::snapshot() const {
+  std::lock_guard lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(size_);
   const std::size_t start = (next_ + ring_.size() - size_) % ring_.size();
@@ -24,6 +26,7 @@ std::vector<TraceEvent> RingBufferRecorder::snapshot() const {
 }
 
 void RingBufferRecorder::clear() {
+  std::lock_guard lock(mu_);
   next_ = 0;
   size_ = 0;
   total_ = 0;

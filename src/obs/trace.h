@@ -23,11 +23,13 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "obs/json.h"
 #include "sim/time.h"
 
@@ -64,7 +66,9 @@ class TraceSink {
 // Fixed-capacity ring recorder: keeps the newest `capacity` events,
 // overwriting the oldest. The ring is preallocated up front; recording an
 // event only moves it into its slot (the event's own arg vector is the one
-// allocation the caller already paid for).
+// allocation the caller already paid for). Recording is thread-safe under a
+// ranked mutex (obs.trace_sink, the highest rank): migrator workers may emit
+// while holding any other ranked lock, never the reverse.
 class RingBufferRecorder final : public TraceSink {
  public:
   explicit RingBufferRecorder(std::size_t capacity = 1u << 16);
@@ -76,13 +80,24 @@ class RingBufferRecorder final : public TraceSink {
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
 
   [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
-  [[nodiscard]] std::size_t size() const { return size_; }
-  [[nodiscard]] std::uint64_t recorded_total() const { return total_; }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return size_;
+  }
+  [[nodiscard]] std::uint64_t recorded_total() const {
+    std::lock_guard lock(mu_);
+    return total_;
+  }
   // Events lost to ring wrap-around (coverage gap indicator, never silent).
-  [[nodiscard]] std::uint64_t overwritten() const { return total_ - size_; }
+  [[nodiscard]] std::uint64_t overwritten() const {
+    std::lock_guard lock(mu_);
+    return total_ - size_;
+  }
   void clear();
 
  private:
+  mutable common::RankedMutex mu_{common::LockRank::kTraceSink,
+                                  "obs.trace_sink"};
   std::vector<TraceEvent> ring_;
   std::size_t next_ = 0;  // slot for the next event
   std::size_t size_ = 0;

@@ -317,7 +317,14 @@ void ReplicationEngine::on_seeded(const SeedResult& result) {
   epoch_disk_writes_.clear();  // already contained in the full disk image
   staging_->begin_epoch(0);
   const sim::Duration state_cost = snapshot_state_and_program();
-  staging_->commit();
+  // Epoch 0 commits without an armed expectation (the seed path byte-copied
+  // the image directly), so a refusal here means staging itself is broken —
+  // treat it like any other failed seeding attempt rather than ignoring it.
+  if (const Expected<std::uint64_t> committed = staging_->commit();
+      !committed.ok()) {
+    schedule_seed_retry(committed.status().message().c_str());
+    return;
+  }
 
   sim_.schedule_after(state_cost, [this] { commit_initial_checkpoint(); },
                       "seed-state");

@@ -19,6 +19,7 @@ void ReplicaStaging::install_seed_page(common::Gfn gfn,
 }
 
 void ReplicaStaging::begin_epoch(std::uint64_t epoch) {
+  std::lock_guard lock(commit_mu_);
   open_epoch_ = epoch;
   for (auto& b : buffers_) {
     b.gfns.clear();
@@ -55,11 +56,13 @@ void ReplicaStaging::set_pending_program(
 }
 
 void ReplicaStaging::expect_epoch(const wire::EpochHeader& header) {
+  std::lock_guard lock(commit_mu_);
   expectation_armed_ = true;
   expected_ = header;
 }
 
 FrameVerdict ReplicaStaging::receive_frame(const wire::RegionFrame& frame) {
+  std::lock_guard lock(commit_mu_);
   if (frame.epoch != open_epoch_) return FrameVerdict::kWrongEpoch;
   if (frames_.contains(frame.seq)) return FrameVerdict::kDuplicate;
   if (!wire::frame_intact(frame)) {
@@ -114,6 +117,7 @@ void ReplicaStaging::refresh_region_digest(std::uint32_t region) {
 }
 
 Expected<std::uint64_t> ReplicaStaging::commit() {
+  std::lock_guard lock(commit_mu_);
   peak_buffered_ = std::max(peak_buffered_, buffered_bytes());
   if (expectation_armed_) {
     // Refuse-before-apply: a rejected epoch leaves the committed image
@@ -182,6 +186,7 @@ Expected<std::uint64_t> ReplicaStaging::commit() {
 }
 
 void ReplicaStaging::abort_epoch() {
+  std::lock_guard lock(commit_mu_);
   for (auto& b : buffers_) {
     b.gfns.clear();
     b.bytes.clear();

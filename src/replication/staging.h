@@ -10,10 +10,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <span>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/status.h"
 #include "hv/disk.h"
 #include "hv/guest_memory.h"
@@ -102,7 +104,7 @@ class ReplicaStaging {
   // applied, kDataLoss — when frames are missing or corrupt or the recomputed
   // rolling digest disagrees with the epoch header. Without an expectation
   // (legacy worker-buffer path) the commit is unconditional.
-  Expected<std::uint64_t> commit();
+  [[nodiscard]] Expected<std::uint64_t> commit();
 
   // Discards a partially received epoch (primary failed mid-checkpoint).
   void abort_epoch();
@@ -140,6 +142,13 @@ class ReplicaStaging {
 
   [[nodiscard]] std::uint64_t buffered_bytes() const;
   void refresh_region_digest(std::uint32_t region);
+
+  // Serializes the epoch frame/commit path (receive_frame, commit,
+  // begin/abort_epoch) against itself; per-worker page buffers stay
+  // lock-free because each worker owns its own buffer. Ranked so any future
+  // nesting against the pool queue or PML rings is order-checked.
+  mutable common::RankedMutex commit_mu_{common::LockRank::kStagingCommit,
+                                         "rep.staging_commit"};
 
   hv::VmSpec spec_;
   hv::GuestMemory memory_;

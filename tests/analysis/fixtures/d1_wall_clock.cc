@@ -1,0 +1,19 @@
+// detlint fixture: D1 wall-clock violations. Never compiled, only scanned —
+// tests/analysis/detlint_test.cc asserts the exact findings.
+#include <chrono>
+#include <ctime>
+
+long long fixture_now_ns() {
+  auto t = std::chrono::steady_clock::now();  // D1: monotonic wall clock
+  return t.time_since_epoch().count();
+}
+
+long long fixture_epoch_seconds() {
+  return static_cast<long long>(time(nullptr));  // D1: C time()
+}
+
+long long fixture_suppressed() {
+  // detlint: allow(D1) -- fixture demonstrating an explained waiver
+  auto t = std::chrono::system_clock::now();
+  return t.time_since_epoch().count();
+}

@@ -1,0 +1,22 @@
+// detlint fixture: D2 ad-hoc RNG violations. Never compiled, only scanned.
+#include <cstdlib>
+#include <random>
+
+int fixture_engine() {
+  std::mt19937 gen(42);  // D2: unblessed engine
+  return static_cast<int>(gen());
+}
+
+int fixture_entropy() {
+  std::random_device rd;  // D2: nondeterministic seed source
+  return static_cast<int>(rd());
+}
+
+int fixture_legacy() {
+  return rand();  // D2: C rand()
+}
+
+int fixture_suppressed() {
+  std::mt19937 gen(7);  // detlint: allow(rng) -- fixture trailing-style waiver
+  return static_cast<int>(gen());
+}

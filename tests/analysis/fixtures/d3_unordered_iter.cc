@@ -1,0 +1,34 @@
+// detlint fixture: D3 unordered-container iteration in an emitter file.
+// The marker below opts this file into the emitter set (fixtures live
+// outside the built-in emitter path prefixes). Never compiled, only scanned.
+// detlint: emitter
+#include <string>
+#include <unordered_map>
+
+std::string fixture_dump() {
+  std::unordered_map<int, int> counts;
+  std::string out;
+  for (const auto& [k, v] : counts) {  // D3: range-for over unordered_map
+    out += std::to_string(k) + ":" + std::to_string(v);
+  }
+  return out;
+}
+
+int fixture_iter() {
+  std::unordered_map<int, int> counts;
+  int sum = 0;
+  for (auto it = counts.begin(); it != counts.end(); ++it) {  // D3: .begin()
+    sum += it->second;
+  }
+  return sum;
+}
+
+std::string fixture_suppressed_dump() {
+  std::unordered_map<int, int> counts;
+  std::string out;
+  // detlint: allow(unordered-iter) -- fixture: pretend order-independent fold
+  for (const auto& [k, v] : counts) {
+    out += std::to_string(k + v);
+  }
+  return out;
+}

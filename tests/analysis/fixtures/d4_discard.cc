@@ -1,0 +1,23 @@
+// detlint fixture: D4 discarded Status/Expected call results. Never
+// compiled, only scanned.
+namespace fixture {
+
+struct Staging {
+  int commit();
+};
+
+void fixture_discard(Staging& staging) {
+  staging.commit();  // D4: result discarded
+}
+
+void fixture_checked(Staging& staging) {
+  int rc = staging.commit();  // assigned: clean
+  (void)rc;
+}
+
+void fixture_suppressed(Staging& staging) {
+  // detlint: allow(D4) -- fixture: result intentionally unused
+  staging.commit();
+}
+
+}  // namespace fixture

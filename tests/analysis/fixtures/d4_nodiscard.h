@@ -1,0 +1,20 @@
+// detlint fixture: D4 header declarations returning Status/Expected without
+// [[nodiscard]]. Never compiled, only scanned.
+#pragma once
+
+namespace fixture {
+
+struct Api {
+  here::Status refresh();  // D4: missing [[nodiscard]]
+
+  [[nodiscard]] here::Status checked();  // clean
+
+  Expected<int> fetch();  // D4: missing [[nodiscard]]
+};
+
+Status validate_fixture(int value);  // D4: missing [[nodiscard]]
+
+// detlint: allow(discarded-status) -- fixture: waiver on a declaration
+Status waived_fixture(int value);
+
+}  // namespace fixture

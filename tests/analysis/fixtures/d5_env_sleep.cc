@@ -1,0 +1,18 @@
+// detlint fixture: D5 environment reads and real-time waits. Never
+// compiled, only scanned.
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+const char* fixture_env() {
+  return std::getenv("HERE_FIXTURE");  // D5: getenv
+}
+
+void fixture_nap() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // D5: real wait
+}
+
+void fixture_suppressed_nap() {
+  // detlint: allow(env-sleep) -- fixture: name-style waiver
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}

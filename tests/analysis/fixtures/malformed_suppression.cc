@@ -1,0 +1,12 @@
+// detlint fixture: directives that are themselves findings (SUP rule).
+// Never compiled, only scanned.
+
+int fixture_reasonless() {
+  // detlint: allow(D1)
+  return 1;
+}
+
+int fixture_unknown_rule() {
+  // detlint: allow(frobnicate) -- no such rule
+  return 2;
+}

@@ -1,0 +1,42 @@
+// detlint fixture: every rule violated once, every violation waived with a
+// reason. detlint must report ZERO findings for this file — this is the
+// suppression-mechanism regression test.
+// detlint: emitter
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <thread>
+#include <unordered_map>
+
+long long clean_clock() {
+  // detlint: allow(D1) -- fixture: comment-above waiver must silence D1
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int clean_rng() {
+  std::mt19937 gen(1);  // detlint: allow(D2) -- fixture: trailing waiver
+  return static_cast<int>(gen());
+}
+
+int clean_iter() {
+  std::unordered_map<int, int> counts;
+  int sum = 0;
+  // detlint: allow(unordered-iter) -- fixture: the sum is commutative, so
+  // iteration order cannot leak into any emitted byte (multi-line reason).
+  for (const auto& [k, v] : counts) sum += k + v;
+  return sum;
+}
+
+struct CleanStaging {
+  int commit();
+};
+
+void clean_discard(CleanStaging& staging) {
+  // detlint: allow(discarded-status) -- fixture: result intentionally unused
+  staging.commit();
+}
+
+void clean_sleep() {
+  // detlint: allow(env-sleep) -- fixture: name-style waiver
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}

@@ -1,0 +1,183 @@
+// Unit tests for the ranked-mutex discipline: correct nesting is silent,
+// 2-lock inversions are reported with held/acquiring detail, and 3-lock
+// inversions reconstruct the full acquisition-order cycle.
+#include "common/lock_rank.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace here::common {
+namespace {
+
+std::vector<LockRankViolation>& violations() {
+  static std::vector<LockRankViolation> v;
+  return v;
+}
+
+void capture_violation(const LockRankViolation& v) {
+  violations().push_back(v);
+}
+
+class LockRankTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    violations().clear();
+    reset_lock_order_graph_for_testing();
+    set_lock_rank_checking(true);
+    previous_ = set_violation_handler(&capture_violation);
+  }
+
+  void TearDown() override {
+    set_violation_handler(previous_);
+    set_lock_rank_checking(true);
+    reset_lock_order_graph_for_testing();
+  }
+
+  LockRankViolationHandler previous_ = nullptr;
+};
+
+TEST_F(LockRankTest, AscendingAcquisitionIsSilent) {
+  RankedMutex pool(LockRank::kThreadPoolQueue, "thread_pool.queue");
+  RankedMutex staging(LockRank::kStagingCommit, "rep.staging_commit");
+  RankedMutex sink(LockRank::kTraceSink, "obs.trace_sink");
+
+  pool.lock();
+  staging.lock();
+  sink.lock();
+  sink.unlock();
+  staging.unlock();
+  pool.unlock();
+
+  EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(LockRankTest, UnlockReleasesTheRankCeiling) {
+  RankedMutex staging(LockRank::kStagingCommit, "rep.staging_commit");
+  RankedMutex ring(LockRank::kPmlRing, "hv.pml_ring");
+
+  // Holding then fully releasing the higher rank must not poison later,
+  // lower-ranked acquisitions on the same thread.
+  staging.lock();
+  staging.unlock();
+  ring.lock();
+  ring.unlock();
+
+  EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(LockRankTest, TwoLockInversionFires) {
+#if defined(HERE_LOCK_RANK_DISABLED)
+  GTEST_SKIP() << "lock-rank checking compiled out";
+#endif
+  RankedMutex ring(LockRank::kPmlRing, "hv.pml_ring");
+  RankedMutex pool(LockRank::kThreadPoolQueue, "thread_pool.queue");
+
+  ring.lock();
+  pool.lock();  // rank 100 under rank 200: inversion
+  pool.unlock();
+  ring.unlock();
+
+  ASSERT_EQ(violations().size(), 1u);
+  const LockRankViolation& v = violations()[0];
+  EXPECT_EQ(v.held_rank, LockRank::kPmlRing);
+  EXPECT_STREQ(v.held_name, "hv.pml_ring");
+  EXPECT_EQ(v.acquiring_rank, LockRank::kThreadPoolQueue);
+  EXPECT_STREQ(v.acquiring_name, "thread_pool.queue");
+  EXPECT_NE(v.report.find("strictly increasing"), std::string::npos);
+  // A single inverted edge is not yet a cycle through prior acquisitions.
+  EXPECT_TRUE(v.cycle.empty());
+}
+
+TEST_F(LockRankTest, SameRankIsAnInversion) {
+#if defined(HERE_LOCK_RANK_DISABLED)
+  GTEST_SKIP() << "lock-rank checking compiled out";
+#endif
+  RankedMutex a(LockRank::kPmlRing, "hv.pml_ring.a");
+  RankedMutex b(LockRank::kPmlRing, "hv.pml_ring.b");
+
+  a.lock();
+  b.lock();
+  b.unlock();
+  a.unlock();
+
+  ASSERT_EQ(violations().size(), 1u);
+  EXPECT_EQ(violations()[0].acquiring_rank, LockRank::kPmlRing);
+}
+
+TEST_F(LockRankTest, ThreeLockInversionReportsTheFullCycle) {
+#if defined(HERE_LOCK_RANK_DISABLED)
+  GTEST_SKIP() << "lock-rank checking compiled out";
+#endif
+  // Arbitrary ranks (outside the production table) so the test exercises the
+  // order graph itself, not just the four named ranks.
+  RankedMutex a(static_cast<LockRank>(10), "fixture.a");
+  RankedMutex b(static_cast<LockRank>(20), "fixture.b");
+  RankedMutex c(static_cast<LockRank>(30), "fixture.c");
+
+  // Teach the graph a -> b and b -> c through legal nestings.
+  a.lock();
+  b.lock();
+  b.unlock();
+  a.unlock();
+  b.lock();
+  c.lock();
+  c.unlock();
+  b.unlock();
+  EXPECT_TRUE(violations().empty());
+
+  // Now close the loop: acquiring a under c is the classic 3-lock deadlock
+  // shape. The report must name every lock on the cycle.
+  c.lock();
+  a.lock();
+  a.unlock();
+  c.unlock();
+
+  ASSERT_EQ(violations().size(), 1u);
+  const LockRankViolation& v = violations()[0];
+  EXPECT_STREQ(v.held_name, "fixture.c");
+  EXPECT_STREQ(v.acquiring_name, "fixture.a");
+  EXPECT_NE(v.cycle.find("fixture.a(10)"), std::string::npos);
+  EXPECT_NE(v.cycle.find("fixture.b(20)"), std::string::npos);
+  EXPECT_NE(v.cycle.find("fixture.c(30)"), std::string::npos);
+  EXPECT_NE(v.report.find("acquisition-order cycle"), std::string::npos);
+}
+
+TEST_F(LockRankTest, TryLockIsChecked) {
+#if defined(HERE_LOCK_RANK_DISABLED)
+  GTEST_SKIP() << "lock-rank checking compiled out";
+#endif
+  RankedMutex sink(LockRank::kTraceSink, "obs.trace_sink");
+  RankedMutex pool(LockRank::kThreadPoolQueue, "thread_pool.queue");
+
+  sink.lock();
+  ASSERT_TRUE(pool.try_lock());
+  pool.unlock();
+  sink.unlock();
+
+  ASSERT_EQ(violations().size(), 1u);
+  EXPECT_EQ(violations()[0].acquiring_rank, LockRank::kThreadPoolQueue);
+}
+
+TEST_F(LockRankTest, DisabledCheckingIsSilent) {
+  set_lock_rank_checking(false);
+  RankedMutex ring(LockRank::kPmlRing, "hv.pml_ring");
+  RankedMutex pool(LockRank::kThreadPoolQueue, "thread_pool.queue");
+
+  ring.lock();
+  pool.lock();
+  pool.unlock();
+  ring.unlock();
+
+  EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(LockRankTest, HandlerInstallReturnsPrevious) {
+  // SetUp installed capture_violation; swapping again must hand it back.
+  LockRankViolationHandler prev = set_violation_handler(&capture_violation);
+  EXPECT_EQ(prev, &capture_violation);
+}
+
+}  // namespace
+}  // namespace here::common

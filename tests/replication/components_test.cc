@@ -204,7 +204,7 @@ TEST(ReplicaStaging, AbortDiscardsPartialEpoch) {
   ReplicaStaging staging(hv::make_vm_spec("t", 1, 1ULL << 20), 1);
   staging.begin_epoch(1);
   staging.buffer_page(0, 5, filled_page(0x11));
-  staging.commit();
+  EXPECT_TRUE(staging.commit().ok());
   staging.begin_epoch(2);
   staging.buffer_page(0, 5, filled_page(0x99));
   staging.abort_epoch();
@@ -214,7 +214,7 @@ TEST(ReplicaStaging, AbortDiscardsPartialEpoch) {
   // A later epoch still works.
   staging.begin_epoch(3);
   staging.buffer_page(0, 5, filled_page(0x33));
-  staging.commit();
+  EXPECT_TRUE(staging.commit().ok());
   EXPECT_EQ(staging.memory().page(5)[0], 0x33);
 }
 
@@ -223,7 +223,7 @@ TEST(ReplicaStaging, LastWriterWinsWithinEpoch) {
   staging.begin_epoch(1);
   staging.buffer_page(0, 7, filled_page(0x01));
   staging.buffer_page(0, 7, filled_page(0x02));
-  staging.commit();
+  EXPECT_TRUE(staging.commit().ok());
   EXPECT_EQ(staging.memory().page(7)[0], 0x02);
 }
 
@@ -232,7 +232,7 @@ TEST(ReplicaStaging, PeakBufferAccounting) {
   staging.begin_epoch(1);
   staging.buffer_page(0, 1, filled_page(1));
   staging.buffer_page(0, 2, filled_page(2));
-  staging.commit();
+  EXPECT_TRUE(staging.commit().ok());
   EXPECT_EQ(staging.peak_buffered_bytes(), 2 * common::kPageSize);
 }
 
@@ -247,7 +247,7 @@ TEST(ReplicaStaging, ProgramSnapshotHandover) {
   };
   staging.begin_epoch(1);
   staging.set_pending_program(std::make_unique<Dummy>());
-  staging.commit();
+  EXPECT_TRUE(staging.commit().ok());
   EXPECT_NE(staging.take_committed_program(), nullptr);
   EXPECT_EQ(staging.take_committed_program(), nullptr);  // moved out
 }

@@ -1,0 +1,707 @@
+#include "detlint/detlint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace detlint {
+
+namespace fs = std::filesystem;
+
+const char* rule_id(Rule rule) {
+  switch (rule) {
+    case Rule::kWallClock: return "D1";
+    case Rule::kRng: return "D2";
+    case Rule::kUnorderedIter: return "D3";
+    case Rule::kDiscard: return "D4";
+    case Rule::kEnvSleep: return "D5";
+    case Rule::kSuppression: return "SUP";
+  }
+  return "?";
+}
+
+const char* rule_name(Rule rule) {
+  switch (rule) {
+    case Rule::kWallClock: return "wall-clock";
+    case Rule::kRng: return "rng";
+    case Rule::kUnorderedIter: return "unordered-iter";
+    case Rule::kDiscard: return "discarded-status";
+    case Rule::kEnvSleep: return "env-sleep";
+    case Rule::kSuppression: return "suppression";
+  }
+  return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexical pre-pass: blank out comments, string and character literals so the
+// rule regexes only ever see code. Line structure is preserved exactly.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+std::string strip_non_code(const std::string& text) {
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  std::string out;
+  out.reserve(text.size());
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          // R"delim( — capture the delimiter up to '('.
+          std::size_t j = i + 2;
+          raw_delim.clear();
+          while (j < text.size() && text[j] != '(' && text[j] != '\n') {
+            raw_delim.push_back(text[j]);
+            ++j;
+          }
+          if (j < text.size() && text[j] == '(') {
+            state = State::kRawString;
+            for (std::size_t k = i; k <= j; ++k) {
+              out.push_back(text[k] == '\n' ? '\n' : ' ');
+            }
+            i = j;
+          } else {
+            out.push_back(c);
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          out.push_back(' ');
+        } else if (c == '\'') {
+          state = State::kChar;
+          out.push_back(' ');
+        } else {
+          out.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out.push_back('\n');
+        } else {
+          out.push_back(' ');
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out.push_back(' ');
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out.push_back(' ');
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+      case State::kRawString: {
+        // Close on )delim".
+        if (c == ')' && text.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            i + 1 + raw_delim.size() < text.size() &&
+            text[i + 1 + raw_delim.size()] == '"') {
+          const std::size_t end = i + 1 + raw_delim.size();
+          for (std::size_t k = i; k <= end; ++k) {
+            out.push_back(text[k] == '\n' ? '\n' : ' ');
+          }
+          i = end;
+          state = State::kCode;
+        } else {
+          out.push_back(c == '\n' ? '\n' : ' ');
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression comments.
+// ---------------------------------------------------------------------------
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::optional<Rule> parse_rule_token(const std::string& token) {
+  static const std::map<std::string, Rule> kTokens = {
+      {"d1", Rule::kWallClock},     {"wall-clock", Rule::kWallClock},
+      {"d2", Rule::kRng},           {"rng", Rule::kRng},
+      {"d3", Rule::kUnorderedIter}, {"unordered-iter", Rule::kUnorderedIter},
+      {"d4", Rule::kDiscard},       {"discarded-status", Rule::kDiscard},
+      {"d5", Rule::kEnvSleep},      {"env-sleep", Rule::kEnvSleep},
+  };
+  auto it = kTokens.find(lower(trim(token)));
+  if (it == kTokens.end()) return std::nullopt;
+  return it->second;
+}
+
+struct Suppressions {
+  std::map<int, std::set<Rule>> allow;  // 1-based line -> waived rules
+  bool emitter_marker = false;
+  std::vector<Finding> malformed;
+};
+
+bool blank(const std::string& s) {
+  return s.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+Suppressions parse_suppressions(const std::string& path,
+                                const std::vector<std::string>& raw_lines,
+                                const std::vector<std::string>& code_lines) {
+  static const std::regex kDirective(R"(//\s*detlint:\s*(.*))");
+  static const std::regex kAllow(R"(^allow\(([^)]*)\)(.*)$)");
+  Suppressions sup;
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    const int line = static_cast<int>(i) + 1;
+    std::smatch m;
+    if (!std::regex_search(raw_lines[i], m, kDirective)) continue;
+    const std::string body = trim(m[1].str());
+    if (body.rfind("emitter", 0) == 0) {
+      sup.emitter_marker = true;
+      continue;
+    }
+    std::smatch am;
+    if (!std::regex_match(body, am, kAllow)) {
+      sup.malformed.push_back(
+          {path, line, Rule::kSuppression,
+           "malformed detlint directive; expected "
+           "'detlint: allow(<rule>) -- <reason>' or 'detlint: emitter'"});
+      continue;
+    }
+    // The reason is not optional: an unexplained waiver is worthless in
+    // review and unauditable a year later. Reasons may continue onto the
+    // following comment line(s), so only the marker is required here.
+    const std::string rest = trim(am[2].str());
+    if (rest.rfind("--", 0) != 0 || trim(rest.substr(2)).empty()) {
+      sup.malformed.push_back({path, line, Rule::kSuppression,
+                               "suppression is missing a reason; write "
+                               "'allow(" + trim(am[1].str()) +
+                                   ") -- <why this is safe>'"});
+      continue;
+    }
+    std::set<Rule> rules;
+    std::stringstream tokens(am[1].str());
+    std::string token;
+    bool ok = true;
+    while (std::getline(tokens, token, ',')) {
+      if (const auto rule = parse_rule_token(token)) {
+        rules.insert(*rule);
+      } else {
+        sup.malformed.push_back({path, line, Rule::kSuppression,
+                                 "unknown rule '" + trim(token) +
+                                     "' in suppression (use D1-D5 or "
+                                     "wall-clock/rng/unordered-iter/"
+                                     "discarded-status/env-sleep)"});
+        ok = false;
+      }
+    }
+    if (ok && rules.empty()) {
+      sup.malformed.push_back({path, line, Rule::kSuppression,
+                               "empty rule list in suppression"});
+    }
+    if (!rules.empty()) {
+      sup.allow[line].insert(rules.begin(), rules.end());
+      // A directive on a comment-only line covers the next code-bearing
+      // line, even when the explanation wraps across several comment lines.
+      if (static_cast<std::size_t>(line) <= code_lines.size() &&
+          blank(code_lines[i])) {
+        std::size_t k = i + 1;
+        while (k < code_lines.size() && blank(code_lines[k])) ++k;
+        if (k < code_lines.size()) {
+          sup.allow[static_cast<int>(k) + 1].insert(rules.begin(),
+                                                    rules.end());
+        }
+      }
+    }
+  }
+  return sup;
+}
+
+bool is_suppressed(const Suppressions& sup, int line, Rule rule) {
+  // A waiver covers its own line (trailing comment) and the next line
+  // (comment-above style).
+  for (const int l : {line, line - 1}) {
+    auto it = sup.allow.find(l);
+    if (it != sup.allow.end() && it->second.count(rule) != 0) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Path classification.
+// ---------------------------------------------------------------------------
+
+bool has_prefix(const std::string& path, const std::string& prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+bool path_allowlisted(const std::string& path,
+                      const std::vector<std::string>& prefixes) {
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&](const std::string& p) { return has_prefix(path, p); });
+}
+
+// D1: the obs exporters may stamp export *metadata* with real time; nothing
+// else may observe a wall clock.
+const std::vector<std::string> kWallClockAllow = {"src/obs/"};
+// D2: the one blessed RNG implementation.
+const std::vector<std::string> kRngAllow = {"src/sim/rng"};
+// D5: the pool's internals are the only place real threads may block.
+const std::vector<std::string> kEnvSleepAllow = {"src/common/thread_pool"};
+
+// D3 emitter set: files that serialize state into wire frames, digests,
+// metrics JSON or trace events. bench/ is included wholesale — every bench
+// binary prints result JSON that EXPERIMENTS.md diffs across runs.
+const std::vector<std::string> kEmitterPrefixes = {
+    "src/obs/", "src/replication/", "src/common/crc32c", "src/hv/disk",
+    "bench/"};
+
+// ---------------------------------------------------------------------------
+// Rule implementations.
+// ---------------------------------------------------------------------------
+
+struct LineFinding {
+  int line;
+  Rule rule;
+  std::string message;
+};
+
+void match_simple(const std::vector<std::string>& code_lines,
+                  const std::regex& re, Rule rule, const char* what,
+                  const char* instead, std::vector<LineFinding>& out) {
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(code_lines[i], m, re)) {
+      out.push_back({static_cast<int>(i) + 1, rule,
+                     std::string(what) + " '" + m.str() + "' — " + instead});
+    }
+  }
+}
+
+void rule_wall_clock(const std::vector<std::string>& code_lines,
+                     std::vector<LineFinding>& out) {
+  static const std::regex kClocks(
+      R"(\b(system_clock|steady_clock|high_resolution_clock)\b)");
+  static const std::regex kPosix(
+      R"(\b(gettimeofday|clock_gettime|localtime|gmtime|strftime|mktime|ftime)\s*\()");
+  static const std::regex kTime(R"(\btime\s*\(\s*(nullptr|NULL|0)?\s*\))");
+  const char* instead =
+      "use simulated time (sim::TimePoint / Simulation::now())";
+  match_simple(code_lines, kClocks, Rule::kWallClock, "wall-clock read",
+               instead, out);
+  match_simple(code_lines, kPosix, Rule::kWallClock, "wall-clock call",
+               instead, out);
+  match_simple(code_lines, kTime, Rule::kWallClock, "wall-clock call",
+               instead, out);
+}
+
+void rule_rng(const std::vector<std::string>& code_lines,
+              std::vector<LineFinding>& out) {
+  // NB: bare `random(` is deliberately absent — FaultPlan::random() is the
+  // repo's *seeded* plan factory and the dominant user of that name.
+  static const std::regex kCalls(R"(\b(rand|srand|rand_r|srandom)\s*\()");
+  static const std::regex kDevice(R"(\brandom_device\b)");
+  static const std::regex kEngines(
+      R"(\b(mt19937|mt19937_64|minstd_rand0?|default_random_engine|ranlux24|ranlux48|knuth_b)\b)");
+  const char* instead =
+      "use a forked sim::Rng stream (src/sim/rng) so runs replay by seed";
+  match_simple(code_lines, kCalls, Rule::kRng, "ad-hoc RNG call", instead, out);
+  match_simple(code_lines, kDevice, Rule::kRng, "nondeterministic seed source",
+               instead, out);
+  match_simple(code_lines, kEngines, Rule::kRng, "unblessed RNG engine",
+               instead, out);
+}
+
+void rule_env_sleep(const std::vector<std::string>& code_lines,
+                    std::vector<LineFinding>& out) {
+  static const std::regex kEnv(
+      R"(\b(getenv|secure_getenv|setenv|putenv|unsetenv)\s*\()");
+  static const std::regex kSleep(
+      R"(\b(sleep_for|sleep_until)\b|\bthis_thread\b|\b(usleep|nanosleep|sleep)\s*\()");
+  match_simple(code_lines, kEnv, Rule::kEnvSleep, "environment access",
+               "configuration must flow through typed configs, not getenv",
+               out);
+  match_simple(code_lines, kSleep, Rule::kEnvSleep, "real-time wait",
+               "schedule a simulated event (Simulation::schedule_after) "
+               "instead of blocking a real thread",
+               out);
+}
+
+// Extracts identifiers declared with std::unordered_map/std::unordered_set.
+std::vector<std::string> collect_unordered_names(const std::string& code) {
+  std::vector<std::string> names;
+  static const std::string kTokens[] = {"unordered_map", "unordered_set"};
+  for (const std::string& token : kTokens) {
+    std::size_t pos = 0;
+    while ((pos = code.find(token, pos)) != std::string::npos) {
+      const std::size_t after = pos + token.size();
+      // Word boundary on both sides.
+      const bool left_ok =
+          pos == 0 || (!std::isalnum(static_cast<unsigned char>(code[pos - 1])) &&
+                       code[pos - 1] != '_');
+      pos = after;
+      if (!left_ok) continue;
+      std::size_t j = after;
+      while (j < code.size() && std::isspace(static_cast<unsigned char>(code[j]))) ++j;
+      if (j >= code.size() || code[j] != '<') continue;
+      int depth = 0;
+      while (j < code.size()) {
+        if (code[j] == '<') ++depth;
+        if (code[j] == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++j;
+      }
+      if (j >= code.size()) continue;
+      ++j;  // past '>'
+      while (j < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[j])) ||
+              code[j] == '&' || code[j] == '*')) {
+        ++j;
+      }
+      std::string name;
+      while (j < code.size() && (std::isalnum(static_cast<unsigned char>(code[j])) ||
+                                 code[j] == '_')) {
+        name.push_back(code[j]);
+        ++j;
+      }
+      if (name.empty()) continue;
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+  }
+  return names;
+}
+
+std::regex name_pattern(const std::vector<std::string>& names) {
+  std::string alt;
+  for (const std::string& n : names) {
+    if (!alt.empty()) alt += "|";
+    alt += n;  // identifiers: no regex metacharacters possible
+  }
+  return std::regex("\\b(" + alt + ")\\b");
+}
+
+void rule_unordered_iter(const std::string& display_path,
+                         const std::vector<std::string>& code_lines,
+                         const std::string& code_joined, bool emitter_marker,
+                         const FileContext& ctx,
+                         std::vector<LineFinding>& out) {
+  if (!emitter_marker && !is_emitter_path(display_path)) return;
+  std::vector<std::string> names = collect_unordered_names(code_joined);
+  names.insert(names.end(), ctx.sibling_unordered_names.begin(),
+               ctx.sibling_unordered_names.end());
+  static const std::regex kRangeFor(R"(for\s*\(([^)]*[^:]):([^:][^)]*)\))");
+  const std::optional<std::regex> name_re =
+      names.empty() ? std::nullopt : std::optional<std::regex>(name_pattern(names));
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& line = code_lines[i];
+    std::smatch m;
+    bool hit = false;
+    if (std::regex_search(line, m, kRangeFor)) {
+      const std::string range_expr = m[2].str();
+      if (range_expr.find("unordered_") != std::string::npos) hit = true;
+      if (!hit && name_re &&
+          std::regex_search(range_expr, *name_re)) {
+        hit = true;
+      }
+    }
+    if (!hit && name_re) {
+      // Explicit iterator loops over a known unordered container.
+      static const std::regex kBeginTail(R"(\s*\.\s*c?begin\s*\()");
+      std::smatch nm;
+      std::string rest = line;
+      std::size_t offset = 0;
+      while (std::regex_search(rest, nm, *name_re)) {
+        const std::size_t name_end =
+            offset + nm.position(0) + nm.length(0);
+        const std::string tail = line.substr(name_end);
+        if (std::regex_search(tail, kBeginTail,
+                              std::regex_constants::match_continuous)) {
+          hit = true;
+          break;
+        }
+        rest = nm.suffix().str();
+        offset = name_end;
+      }
+    }
+    if (hit) {
+      out.push_back(
+          {static_cast<int>(i) + 1, Rule::kUnorderedIter,
+           "iteration over an unordered container in an emitter file — "
+           "iteration order is unspecified, so emitted bytes would vary "
+           "across runs; use std::map/std::set, sort first, or prove the "
+           "fold order-independent and suppress"});
+    }
+  }
+}
+
+void rule_discard(const std::string& display_path,
+                  const std::vector<std::string>& code_lines,
+                  std::vector<LineFinding>& out) {
+  // (a) Bare-statement calls to known Status/Expected-returning APIs. The
+  // callee list is curated for this repo; receiver-type resolution is a
+  // compiler's job, not a token scanner's.
+  static const std::regex kBareCall(
+      R"(^\s*(?:[A-Za-z_]\w*\s*(?:\.|->|::)\s*)*)"
+      R"((commit|start_protection|create_domain|lookup_domain|validate_replication_config)\s*\(.*\)\s*;\s*$)");
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& line = code_lines[i];
+    if (line.find('=') != std::string::npos) continue;
+    if (std::regex_search(line, std::regex(R"(\breturn\b)"))) continue;
+    std::smatch m;
+    if (std::regex_match(line, m, kBareCall)) {
+      out.push_back({static_cast<int>(i) + 1, Rule::kDiscard,
+                     "result of '" + m[1].str() +
+                         "()' is discarded — it returns Status/Expected; "
+                         "check it or branch on it"});
+    }
+  }
+
+  // (b) Headers: Status/Expected-returning declarations need [[nodiscard]].
+  if (display_path.size() < 2 ||
+      (display_path.rfind(".h") != display_path.size() - 2 &&
+       (display_path.size() < 4 ||
+        display_path.rfind(".hpp") != display_path.size() - 4))) {
+    return;
+  }
+  static const std::regex kDecl(
+      R"(^\s*(?:(?:static|virtual|inline|constexpr|explicit|friend)\s+)*)"
+      R"((?:here::)?(?:Status|Expected\s*<[^;{}=]*>)\s+[A-Za-z_]\w*\s*\()");
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& line = code_lines[i];
+    if (!std::regex_search(line, kDecl)) continue;
+    if (line.find("[[nodiscard]]") != std::string::npos) continue;
+    if (i > 0 && code_lines[i - 1].find("[[nodiscard]]") != std::string::npos) {
+      continue;
+    }
+    out.push_back({static_cast<int>(i) + 1, Rule::kDiscard,
+                   "Status/Expected-returning declaration without "
+                   "[[nodiscard]] — discarding a control-plane outcome must "
+                   "not compile silently"});
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> unordered_names(const std::string& content) {
+  return collect_unordered_names(strip_non_code(content));
+}
+
+bool is_emitter_path(const std::string& display_path) {
+  return path_allowlisted(display_path, kEmitterPrefixes);
+}
+
+std::vector<Finding> scan_file(const std::string& display_path,
+                               const std::string& content,
+                               const FileContext& ctx) {
+  const std::vector<std::string> raw_lines = split_lines(content);
+  const std::string code = strip_non_code(content);
+  const std::vector<std::string> code_lines = split_lines(code);
+
+  Suppressions sup = parse_suppressions(display_path, raw_lines, code_lines);
+
+  std::vector<LineFinding> hits;
+  if (!path_allowlisted(display_path, kWallClockAllow)) {
+    rule_wall_clock(code_lines, hits);
+  }
+  if (!path_allowlisted(display_path, kRngAllow)) {
+    rule_rng(code_lines, hits);
+  }
+  if (!path_allowlisted(display_path, kEnvSleepAllow)) {
+    rule_env_sleep(code_lines, hits);
+  }
+  rule_unordered_iter(display_path, code_lines, code, sup.emitter_marker, ctx,
+                      hits);
+  rule_discard(display_path, code_lines, hits);
+
+  std::vector<Finding> findings = std::move(sup.malformed);
+  for (const LineFinding& h : hits) {
+    if (is_suppressed(sup, h.line, h.rule)) continue;
+    findings.push_back({display_path, h.line, h.rule, h.message});
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return static_cast<int>(a.rule) < static_cast<int>(b.rule);
+            });
+  return findings;
+}
+
+namespace {
+
+bool scannable_extension(const fs::path& p) {
+  static const std::set<std::string> kExts = {".h",  ".hh",  ".hpp",
+                                              ".cc", ".cpp", ".cxx"};
+  return kExts.count(p.extension().string()) != 0;
+}
+
+std::string normalize(std::string s) {
+  std::replace(s.begin(), s.end(), '\\', '/');
+  while (s.rfind("./", 0) == 0) s = s.substr(2);
+  return s;
+}
+
+std::optional<std::string> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void collect_files(const fs::path& dir, const std::string& display_prefix,
+                   const std::vector<std::string>& excludes,
+                   std::vector<std::pair<fs::path, std::string>>& out) {
+  std::vector<fs::directory_entry> entries;
+  for (const auto& e : fs::directory_iterator(dir)) entries.push_back(e);
+  std::sort(entries.begin(), entries.end(),
+            [](const fs::directory_entry& a, const fs::directory_entry& b) {
+              return a.path().filename().string() <
+                     b.path().filename().string();
+            });
+  for (const auto& e : entries) {
+    const std::string name = e.path().filename().string();
+    if (!name.empty() && name[0] == '.') continue;
+    const std::string display =
+        display_prefix.empty() ? name : display_prefix + "/" + name;
+    if (e.is_directory()) {
+      if (std::find(excludes.begin(), excludes.end(), display) !=
+          excludes.end()) {
+        continue;
+      }
+      if (name.rfind("build", 0) == 0) continue;
+      collect_files(e.path(), display, excludes, out);
+    } else if (e.is_regular_file() && scannable_extension(e.path())) {
+      out.emplace_back(e.path(), display);
+    }
+  }
+}
+
+}  // namespace
+
+ScanResult scan(const Options& options) {
+  ScanResult result;
+  const fs::path root(options.root);
+
+  std::vector<std::pair<fs::path, std::string>> files;
+  for (const std::string& target : options.targets) {
+    const fs::path p = fs::path(target).is_absolute() ? fs::path(target)
+                                                      : root / target;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      collect_files(p, normalize(target), options.recursion_excludes, files);
+    } else if (fs::is_regular_file(p, ec)) {
+      files.emplace_back(p, normalize(target));
+    } else {
+      result.errors.push_back("no such file or directory: " + p.string());
+    }
+  }
+
+  for (const auto& [path, display] : files) {
+    const auto content = read_file(path);
+    if (!content) {
+      result.errors.push_back("unreadable: " + path.string());
+      continue;
+    }
+    FileContext ctx;
+    // D3 needs member declarations: when scanning X.cc, fold in the
+    // unordered names declared in a sibling X.h.
+    const std::string ext = path.extension().string();
+    if (ext == ".cc" || ext == ".cpp" || ext == ".cxx") {
+      fs::path header = path;
+      header.replace_extension(".h");
+      if (const auto header_content = read_file(header)) {
+        ctx.sibling_unordered_names = unordered_names(*header_content);
+      }
+    }
+    ++result.files_scanned;
+    std::vector<Finding> f = scan_file(display, *content, ctx);
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(f.begin()),
+                           std::make_move_iterator(f.end()));
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return static_cast<int>(a.rule) < static_cast<int>(b.rule);
+            });
+  return result;
+}
+
+}  // namespace detlint

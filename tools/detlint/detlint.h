@@ -1,0 +1,99 @@
+// detlint — repo-specific determinism & concurrency lint for the HERE tree.
+//
+// The simulation's core contract is that every run is byte-identical per
+// seed: traces, metrics snapshots, wire digests and failover decisions all
+// assume it. The compiler does not check that contract; detlint does, at the
+// token/regex level, with rules tuned to this repository:
+//
+//   D1 wall-clock        no system_clock/steady_clock/time()/gettimeofday
+//                        outside the obs exporters allowlist — simulated
+//                        time (sim::TimePoint) is the only clock.
+//   D2 rng               no rand()/std::random_device/std::mt19937 outside
+//                        src/sim/rng — one seeded xoshiro stream per
+//                        subsystem, or reproducibility dies quietly.
+//   D3 unordered-iter    no iteration over std::unordered_map/set in files
+//                        that emit wire frames, digests, metrics JSON or
+//                        trace events (iteration order is unspecified, so
+//                        emission order would vary run to run).
+//   D4 discarded-status  no bare-statement calls to Status/Expected-
+//                        returning control-plane APIs, and no Status/
+//                        Expected-returning declaration without
+//                        [[nodiscard]] in headers.
+//   D5 env-sleep         no getenv / sleep_for / std::this_thread outside
+//                        common/thread_pool — hidden environment reads and
+//                        real-time waits are nondeterminism smuggled in
+//                        through the back door.
+//
+// Any finding can be waived in place, with a reason, via
+//   // detlint: allow(<rule>[,<rule>...]) -- <why>
+// on the offending line or the line directly above it. <rule> is the id
+// ("D3") or the name ("unordered-iter"). A suppression without a reason is
+// itself a finding. A file can opt into D3's emitter set with
+//   // detlint: emitter
+//
+// The scanner strips comments and string literals before matching, so prose
+// mentioning forbidden identifiers never fires.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+enum class Rule {
+  kWallClock,      // D1
+  kRng,            // D2
+  kUnorderedIter,  // D3
+  kDiscard,        // D4
+  kEnvSleep,       // D5
+  kSuppression,    // SUP — malformed "detlint:" comment
+};
+
+[[nodiscard]] const char* rule_id(Rule rule);    // "D1".."D5", "SUP"
+[[nodiscard]] const char* rule_name(Rule rule);  // "wall-clock", ...
+
+struct Finding {
+  std::string path;  // display path (repo-relative, forward slashes)
+  int line = 0;      // 1-based
+  Rule rule{};
+  std::string message;
+};
+
+// Extra context for one file's scan.
+struct FileContext {
+  // Identifiers declared as unordered containers in the file's sibling
+  // header (X.h next to X.cc) — D3 must see members, not just locals.
+  std::vector<std::string> sibling_unordered_names;
+};
+
+// Scans a single file's content. `display_path` drives the per-rule
+// allowlists and the emitter classification.
+[[nodiscard]] std::vector<Finding> scan_file(const std::string& display_path,
+                                             const std::string& content,
+                                             const FileContext& ctx = {});
+
+struct Options {
+  std::string root = ".";
+  // Files or directories, relative to root (or absolute).
+  std::vector<std::string> targets = {"src", "bench", "tests"};
+  // Skipped while *recursing* into directories. An explicitly named target
+  // is always scanned — that is how the fixture suite lints files that are
+  // intentionally in violation.
+  std::vector<std::string> recursion_excludes = {"tests/analysis/fixtures"};
+};
+
+struct ScanResult {
+  std::vector<Finding> findings;  // sorted by (path, line, rule)
+  int files_scanned = 0;
+  std::vector<std::string> errors;  // unreadable paths, bad targets
+};
+
+[[nodiscard]] ScanResult scan(const Options& options);
+
+// Exposed for tests: identifiers declared as std::unordered_{map,set} in
+// `content`, and whether a path belongs to D3's emitter set.
+[[nodiscard]] std::vector<std::string> unordered_names(
+    const std::string& content);
+[[nodiscard]] bool is_emitter_path(const std::string& display_path);
+
+}  // namespace detlint

@@ -1,0 +1,70 @@
+// detlint CLI. Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//
+//   detlint [--root DIR] [target ...]
+//
+// Targets default to src bench tests (relative to --root, default "."),
+// recursing into directories; tests/analysis/fixtures is skipped during
+// recursion but scanned when named explicitly (that is how the fixture
+// suite exercises the rules).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "detlint/detlint.h"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fputs(
+      "usage: detlint [--root DIR] [target ...]\n"
+      "  Determinism & concurrency lint for the HERE tree (rules D1-D5;\n"
+      "  see docs/static_analysis.md). Targets default to: src bench tests\n",
+      to);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  detlint::Options options;
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fputs("detlint: --root requires a directory\n", stderr);
+        usage(stderr);
+        return 2;
+      }
+      options.root = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "detlint: unknown option '%s'\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+    targets.push_back(arg);
+  }
+  if (!targets.empty()) options.targets = std::move(targets);
+
+  const detlint::ScanResult result = detlint::scan(options);
+
+  for (const std::string& err : result.errors) {
+    std::fprintf(stderr, "detlint: error: %s\n", err.c_str());
+  }
+  for (const detlint::Finding& f : result.findings) {
+    std::printf("%s:%d: [%s/%s] %s\n", f.path.c_str(), f.line,
+                detlint::rule_id(f.rule), detlint::rule_name(f.rule),
+                f.message.c_str());
+  }
+  std::printf("detlint: %zu finding(s) in %d file(s)\n",
+              result.findings.size(), result.files_scanned);
+
+  if (!result.errors.empty()) return 2;
+  return result.findings.empty() ? 0 : 1;
+}
