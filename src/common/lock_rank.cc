@@ -11,6 +11,7 @@ namespace here::common {
 
 const char* to_string(LockRank rank) {
   switch (rank) {
+    case LockRank::kMigratorSched: return "rep.migrator_sched";
     case LockRank::kThreadPoolQueue: return "thread_pool.queue";
     case LockRank::kPmlRing: return "hv.pml_ring";
     case LockRank::kStagingCommit: return "rep.staging_commit";
@@ -89,12 +90,71 @@ void reset_lock_order_graph_for_testing() {
 
 #if defined(HERE_LOCK_RANK_DISABLED)
 
+void note_condition_wait(const RankedMutex&) {}
+
 void RankedMutex::lock() { mu_.lock(); }
 bool RankedMutex::try_lock() { return mu_.try_lock(); }
 void RankedMutex::unlock() { mu_.unlock(); }
 void RankedMutex::note_acquired() {}
 
 #else
+
+void note_condition_wait(const RankedMutex& waiting_on) {
+  if (!g_checking.load(std::memory_order_relaxed)) return;
+  // Find the innermost *other* ranked mutex this thread still holds. The
+  // waited mutex itself is legitimately on the stack (the wait releases it).
+  const RankedMutex* other = nullptr;
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it != &waiting_on) {
+      other = *it;
+      break;
+    }
+  }
+  if (other == nullptr) return;
+
+  const auto held_rank = static_cast<std::uint32_t>(other->rank());
+  const auto wait_rank = static_cast<std::uint32_t>(waiting_on.rank());
+
+  // Record the wait edge in the order graph: held -> waited is an ordering
+  // dependency exactly like a nested acquisition (the re-lock after wakeup
+  // happens under `other`), so cross-thread cycles through waits show up in
+  // later reports too.
+  std::string cycle;
+  {
+    OrderGraph& g = graph();
+    std::lock_guard lock(g.mu);
+    g.names[held_rank] = other->name();
+    g.names[wait_rank] = waiting_on.name();
+    g.edges[held_rank].insert(wait_rank);
+    std::set<std::uint32_t> visited;
+    std::vector<std::uint32_t> path;
+    if (find_path(g, wait_rank, held_rank, visited, path)) {
+      for (const std::uint32_t r : path) {
+        cycle += rank_label(g, r);
+        cycle += " -> ";
+      }
+      cycle += rank_label(g, wait_rank);
+    }
+  }
+
+  LockRankViolation v;
+  v.held_rank = other->rank();
+  v.held_name = other->name();
+  v.acquiring_rank = waiting_on.rank();
+  v.acquiring_name = waiting_on.name();
+  v.cycle = cycle;
+  v.report = std::string(
+                 "lock-rank violation: condition-variable wait with '") +
+             waiting_on.name() + "' (rank " + std::to_string(wait_rank) +
+             ") while holding '" + other->name() + "' (rank " +
+             std::to_string(held_rank) +
+             "); a waiter must hold only the mutex it waits with, or the "
+             "notifier can never reach its notify";
+  if (!cycle.empty()) {
+    v.report += "\n  acquisition-order cycle: " + cycle;
+  }
+  g_handler.load()(v);
+}
 
 void RankedMutex::note_acquired() {
   if (!g_checking.load(std::memory_order_relaxed)) {

@@ -23,13 +23,23 @@
 // HERE_LOCK_RANK=OFF), leaving RankedMutex a zero-overhead std::mutex
 // wrapper.
 //
+// Condition variables participate too (RankedConditionVariable): a wait
+// releases and re-acquires its mutex, but the deadlock it can cause is
+// subtler than a rank inversion — a thread that waits while holding a
+// *second* ranked mutex parks until someone else runs the notify path, and
+// if that notifier needs the second mutex the wakeup never comes. The wait
+// check therefore demands that the waited mutex be the only ranked mutex
+// held at the wait.
+//
 // Rank table (documented in docs/static_analysis.md; keep in sync):
+//    50  rep.migrator_sched  MigratorPool fair-share scheduler state
 //   100  thread_pool.queue   common::ThreadPool task queue
 //   200  hv.pml_ring         per-vCPU dirty ring (migrator drain path)
 //   300  rep.staging_commit  ReplicaStaging epoch commit path
 //   400  obs.trace_sink      RingBufferRecorder (leaf: always innermost)
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -37,6 +47,7 @@
 namespace here::common {
 
 enum class LockRank : std::uint32_t {
+  kMigratorSched = 50,
   kThreadPoolQueue = 100,
   kPmlRing = 200,
   kStagingCommit = 300,
@@ -95,6 +106,31 @@ class RankedMutex {
   std::mutex mu_;
   LockRank rank_;
   const char* name_;  // must outlive the mutex (string literal)
+};
+
+// Checks a condition-variable wait edge: the calling thread is about to park
+// on `waiting_on`, so it must hold no *other* ranked mutex (the notifier may
+// need that mutex to reach its notify — the lost-wakeup deadlock). Fires the
+// violation handler when another ranked mutex is held; the wait proceeds if
+// the handler returns. No-op when checking is disabled or compiled out.
+void note_condition_wait(const RankedMutex& waiting_on);
+
+// A condition variable whose waits participate in the ranking discipline.
+// Pairs with RankedMutex; the re-acquisition after wakeup goes through
+// RankedMutex::lock(), so it is rank-checked like any other acquisition.
+class RankedConditionVariable {
+ public:
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  template <typename Predicate>
+  void wait(std::unique_lock<RankedMutex>& lock, Predicate pred) {
+    note_condition_wait(*lock.mutex());
+    cv_.wait(lock, std::move(pred));
+  }
+
+ private:
+  std::condition_variable_any cv_;
 };
 
 }  // namespace here::common

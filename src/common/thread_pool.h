@@ -6,7 +6,6 @@
 // time model.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
@@ -47,7 +46,8 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> tasks_;
   RankedMutex mu_{LockRank::kThreadPoolQueue, "thread_pool.queue"};
-  std::condition_variable_any cv_;
+  // Ranked CV: workers must wait holding only mu_ (lost-wakeup guard).
+  RankedConditionVariable cv_;
   bool stopping_ = false;
 };
 

@@ -47,14 +47,80 @@ hv::Host* ProtectionManager::pick_partner(const hv::Host& home) {
   return best;
 }
 
+void ProtectionManager::enable_fleet_scheduling(FleetConfig config) {
+  fleet_ = config;
+  fleet_enabled_ = true;
+  if (fleet_.adaptive_weights && !weight_loop_enabled_) {
+    weight_loop_enabled_ = true;
+    sim_.schedule_after(fleet_.weight_poll, [this] { weight_tick(); },
+                        "mgmt-weights");
+  }
+}
+
+rep::MigratorPool& ProtectionManager::pool_for(hv::Host& primary) {
+  for (auto& [host, pool] : pools_) {
+    if (host == &primary) return *pool;
+  }
+  pools_.emplace_back(&primary, std::make_unique<rep::MigratorPool>(
+                                    sim_, fleet_.migrator_workers));
+  return *pools_.back().second;
+}
+
+net::LinkArbiter& ProtectionManager::arbiter_for(hv::Host& secondary) {
+  for (auto& [host, arbiter] : arbiters_) {
+    if (host == &secondary) return *arbiter;
+  }
+  const double capacity = fleet_.link_bytes_per_second > 0.0
+                              ? fleet_.link_bytes_per_second
+                              : defaults_.time_model.wire_bytes_per_second;
+  arbiters_.emplace_back(&secondary,
+                         std::make_unique<net::LinkArbiter>(sim_, capacity));
+  return *arbiters_.back().second;
+}
+
+rep::MigratorPool* ProtectionManager::migrator_pool_of(const hv::Host& host) {
+  for (auto& [h, pool] : pools_) {
+    if (h == &host) return pool.get();
+  }
+  return nullptr;
+}
+
+net::LinkArbiter* ProtectionManager::link_arbiter_of(const hv::Host& host) {
+  for (auto& [h, arbiter] : arbiters_) {
+    if (h == &host) return arbiter.get();
+  }
+  return nullptr;
+}
+
+rep::ReplicationConfig ProtectionManager::config_for(const VmPolicy& policy,
+                                                     hv::Host& primary,
+                                                     hv::Host& secondary) {
+  rep::ReplicationConfig config = defaults_;
+  if (policy.target_degradation >= 0.0) {
+    config.period.target_degradation = policy.target_degradation;
+  }
+  if (policy.t_max > sim::Duration::zero()) config.period.t_max = policy.t_max;
+  if (policy.checkpoint_threads > 0) {
+    config.checkpoint_threads = policy.checkpoint_threads;
+  }
+  config.flow_weight = policy.flow_weight;
+  if (fleet_enabled_) {
+    config.migrator_pool = &pool_for(primary);
+    config.link_arbiter = &arbiter_for(secondary);
+  }
+  return config;
+}
+
 Expected<rep::ReplicationEngine*> ProtectionManager::protect(hv::Vm& vm,
                                                              hv::Host& home) {
+  return protect(vm, home, VmPolicy{});
+}
+
+Expected<rep::ReplicationEngine*> ProtectionManager::protect(
+    hv::Vm& vm, hv::Host& home, const VmPolicy& policy) {
   if (std::ranges::find(pool_, &home) == pool_.end()) {
     return Status::invalid_argument("protect: home host '" + home.name() +
                                     "' not in the pool");
-  }
-  if (const Status s = rep::validate_replication_config(defaults_); !s.ok()) {
-    return s;
   }
   if (defaults_.mode == rep::EngineMode::kRemus) {
     return Status::invalid_argument(
@@ -67,6 +133,12 @@ Expected<rep::ReplicationEngine*> ProtectionManager::protect(hv::Vm& vm,
         "protect: no live heterogeneous partner host available for '" +
         home.name() + "'");
   }
+  // Validate the *effective* config — defaults plus the per-VM policy —
+  // before anything is built, so a bad override fails as a value too.
+  const rep::ReplicationConfig config = config_for(policy, home, *partner);
+  if (const Status s = rep::validate_replication_config(config); !s.ok()) {
+    return s;
+  }
   ensure_connected(home, *partner);
 
   auto protection = std::make_unique<Protection>();
@@ -74,8 +146,9 @@ Expected<rep::ReplicationEngine*> ProtectionManager::protect(hv::Vm& vm,
   protection->primary = &home;
   protection->secondary = partner;
   protection->vm = &vm;
+  protection->policy = policy;
   protection->engines.push_back(std::make_unique<rep::ReplicationEngine>(
-      sim_, fabric_, home, *partner, defaults_));
+      sim_, fabric_, home, *partner, config));
   if (const Status s = protection->engines.back()->start_protection(vm);
       !s.ok()) {
     return s;  // the half-built Protection dies with this scope
@@ -108,9 +181,12 @@ void ProtectionManager::policy_tick() {
     }
     // Repaired: re-protect the survivor back toward the old primary. The
     // policy loop must never throw — a failed start is logged and retried
-    // on the next tick (the engine generation is rolled back).
+    // on the next tick (the engine generation is rolled back). The VM's
+    // policy follows it across generations; the reversed direction means
+    // the survivor's pool and the failed host's ingest arbiter now apply.
     protection->engines.push_back(std::make_unique<rep::ReplicationEngine>(
-        sim_, fabric_, *survivor, *failed, defaults_));
+        sim_, fabric_, *survivor, *failed,
+        config_for(protection->policy, *survivor, *failed)));
     if (const Status s = protection->engines.back()->start_protection(*replica);
         !s.ok()) {
       protection->engines.pop_back();
@@ -144,6 +220,70 @@ std::size_t ProtectionManager::available_count() {
     if (protection->engine().service_available()) ++n;
   }
   return n;
+}
+
+namespace {
+
+double mean_degradation_of(const rep::ReplicationEngine& engine) {
+  const auto& checkpoints = engine.stats().checkpoints;
+  if (checkpoints.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& record : checkpoints) sum += record.degradation;
+  return sum / static_cast<double>(checkpoints.size());
+}
+
+}  // namespace
+
+void ProtectionManager::weight_tick() {
+  for (const auto& protection : protections_) {
+    rep::ReplicationEngine& engine = protection->engine();
+    if (engine.failed_over()) continue;
+    net::LinkArbiter* arbiter = link_arbiter_of(*protection->secondary);
+    if (arbiter == nullptr) continue;
+    const double budget = engine.config().period.target_degradation;
+    if (!(budget > 0.0)) continue;  // fixed-period VMs keep their weight
+    // Overshooting VMs get more fabric share; comfortable VMs give it back.
+    const double ratio = mean_degradation_of(engine) / budget;
+    const double base = protection->policy.flow_weight;
+    const double weight = std::clamp(base * std::max(ratio, 0.0),
+                                     fleet_.min_weight, fleet_.max_weight);
+    arbiter->set_weight(engine.arbiter_flow(), weight);
+  }
+  sim_.schedule_after(fleet_.weight_poll, [this] { weight_tick(); },
+                      "mgmt-weights");
+}
+
+ProtectionManager::FleetReport ProtectionManager::fleet_report() {
+  FleetReport report;
+  for (const auto& protection : protections_) {
+    const rep::ReplicationEngine& engine = protection->engine();
+    VmReport row;
+    row.domain = protection->domain;
+    row.budget = engine.config().period.target_degradation;
+    row.mean_degradation = mean_degradation_of(engine);
+    row.epochs = engine.stats().checkpoints.size();
+    if (const net::LinkArbiter* arbiter =
+            link_arbiter_of(*protection->secondary)) {
+      const net::LinkArbiter::FlowStats& fs =
+          arbiter->stats(engine.arbiter_flow());
+      row.wire_bytes = fs.bytes;
+      row.queueing = fs.queueing;
+      row.weight = arbiter->flow_weight(engine.arbiter_flow());
+      if (fs.actual_time > sim::Duration::zero()) {
+        row.goodput_mbps = static_cast<double>(fs.bytes) * 8.0 / 1e6 /
+                           sim::to_seconds(fs.actual_time);
+      }
+    }
+    report.vms.push_back(std::move(row));
+  }
+  for (const auto& [host, arbiter] : arbiters_) {
+    report.link_capacity_bytes_per_s =
+        std::max(report.link_capacity_bytes_per_s, arbiter->capacity());
+    report.peak_reserved_bytes_per_s = std::max(
+        report.peak_reserved_bytes_per_s, arbiter->peak_reserved_rate());
+    report.total_wire_bytes += arbiter->total_bytes();
+  }
+  return report;
 }
 
 }  // namespace here::mgmt

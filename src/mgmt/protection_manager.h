@@ -4,6 +4,16 @@
 // the failed host has been repaired — automatically re-protect the surviving
 // replica in the reverse direction, restoring redundancy without operator
 // scripting.
+//
+// With fleet scheduling enabled, multi-VM protection becomes an arbitrated
+// subsystem instead of N independent engines: every primary host gets one
+// shared MigratorPool its engines draw checkpoint threads from, and every
+// secondary host gets one LinkArbiter rationing its ingest link across the
+// flows that funnel into it. Algorithm 1 still runs per VM, but it observes
+// *arbitrated* transfer rates — a neighbour's burst stretches this VM's
+// pause, Algorithm 1 widens this VM's period, and each VM's degradation
+// stays under its own budget D while the host never oversubscribes the
+// link (LinkArbiter::peak_reserved_rate() <= capacity by construction).
 #pragma once
 
 #include <memory>
@@ -11,8 +21,10 @@
 #include <vector>
 
 #include "common/status.h"
+#include "replication/migrator_pool.h"
 #include "replication/replication_engine.h"
 #include "sim/hardware_profile.h"
+#include "simnet/link_arbiter.h"
 
 namespace here::mgmt {
 
@@ -26,6 +38,39 @@ class ProtectionManager {
   // created lazily when a pairing is made.
   void add_host(hv::Host& host);
 
+  // Shared-resource scheduling for multi-VM fleets. Off by default: without
+  // it every engine keeps its private thread pool and dedicated-wire time
+  // model, byte-identical to the single-VM behaviour.
+  struct FleetConfig {
+    // Size of the migrator thread pool shared by all engines whose primary
+    // is the same host.
+    std::uint32_t migrator_workers = 4;
+    // Capacity of each secondary's ingest link; 0 means "use the engine
+    // defaults' wire rate" (time_model.wire_bytes_per_second).
+    double link_bytes_per_second = 0.0;
+    // Adaptive weight rebalancing: every `weight_poll`, a VM running over
+    // its degradation budget has its fabric weight raised in proportion to
+    // the overshoot (clamped to [min_weight, max_weight]); a VM comfortably
+    // under budget drifts back toward min_weight.
+    bool adaptive_weights = false;
+    sim::Duration weight_poll = sim::from_millis(500);
+    double min_weight = 1.0;
+    double max_weight = 8.0;
+  };
+
+  // Enables fleet scheduling for protections started *after* this call.
+  void enable_fleet_scheduling(FleetConfig config);
+  void enable_fleet_scheduling() { enable_fleet_scheduling(FleetConfig{}); }
+
+  // Per-VM overrides applied on top of the engine defaults. Sentinel values
+  // (negative budget, zero duration/threads) mean "keep the default".
+  struct VmPolicy {
+    double target_degradation = -1.0;   // Algorithm 1 budget D
+    sim::Duration t_max{};              // period cap Tmax
+    std::uint32_t checkpoint_threads = 0;
+    double flow_weight = 1.0;           // pool + fabric fair-share weight
+  };
+
   // Protects `vm` (running on `home`, which must be in the pool): selects
   // the least-loaded pool host with a different hypervisor kind as the
   // partner and starts an engine. Control-plane errors are values:
@@ -35,6 +80,8 @@ class ProtectionManager {
   // failed start leaves no Protection entry behind.
   [[nodiscard]] Expected<rep::ReplicationEngine*> protect(hv::Vm& vm,
                                                           hv::Host& home);
+  [[nodiscard]] Expected<rep::ReplicationEngine*> protect(
+      hv::Vm& vm, hv::Host& home, const VmPolicy& policy);
 
   // Enables the re-protection policy loop: every `poll`, any protection
   // whose engine failed over and whose old primary is alive again gets a
@@ -47,6 +94,7 @@ class ProtectionManager {
     hv::Host* secondary = nullptr;  // current replica target
     hv::Vm* vm = nullptr;           // current authoritative VM
     std::uint32_t generation = 1;   // bumps on every re-protection
+    VmPolicy policy{};              // carried across re-protections
     // All engines ever created for this domain; the last is current. Older
     // generations stay alive because their service nodes keep routing
     // clients that have not re-resolved yet.
@@ -67,11 +115,41 @@ class ProtectionManager {
   [[nodiscard]] std::size_t available_count();
   [[nodiscard]] std::uint64_t reprotections() const { return reprotections_; }
 
+  // The shared schedulers, for tests and reports. Null when the host never
+  // served in that role (or fleet scheduling is off).
+  [[nodiscard]] rep::MigratorPool* migrator_pool_of(const hv::Host& host);
+  [[nodiscard]] net::LinkArbiter* link_arbiter_of(const hv::Host& host);
+
+  struct VmReport {
+    std::string domain;
+    double budget = 0.0;            // Algorithm 1 target D in effect
+    double mean_degradation = 0.0;  // mean t/(t+T) over committed epochs
+    std::uint64_t epochs = 0;
+    std::uint64_t wire_bytes = 0;   // bytes pushed through the arbiter
+    double goodput_mbps = 0.0;      // wire_bytes over granted transfer time
+    sim::Duration queueing{};       // time lost to fabric contention
+    double weight = 1.0;            // current fabric weight
+  };
+  struct FleetReport {
+    std::vector<VmReport> vms;      // protection order (deterministic)
+    double link_capacity_bytes_per_s = 0.0;  // 0 when no arbiter exists
+    // max over arbiters; the invariant is peak <= capacity, always.
+    double peak_reserved_bytes_per_s = 0.0;
+    std::uint64_t total_wire_bytes = 0;
+  };
+  [[nodiscard]] FleetReport fleet_report();
+
  private:
   void ensure_connected(hv::Host& a, hv::Host& b);
   [[nodiscard]] hv::Host* pick_partner(const hv::Host& home);
   [[nodiscard]] std::size_t load_of(const hv::Host& host) const;
   void policy_tick();
+  void weight_tick();
+  [[nodiscard]] rep::MigratorPool& pool_for(hv::Host& primary);
+  [[nodiscard]] net::LinkArbiter& arbiter_for(hv::Host& secondary);
+  [[nodiscard]] rep::ReplicationConfig config_for(const VmPolicy& policy,
+                                                  hv::Host& primary,
+                                                  hv::Host& secondary);
 
   sim::Simulation& sim_;
   net::Fabric& fabric_;
@@ -79,9 +157,19 @@ class ProtectionManager {
   sim::HostProfile hardware_;
   std::vector<hv::Host*> pool_;
   std::vector<std::pair<const hv::Host*, const hv::Host*>> connected_;
+  // Shared schedulers are declared before protections_ so the engines that
+  // borrow them are destroyed first. Vectors keyed by host pointer with
+  // linear search: iteration order is creation order, never pointer order
+  // (pointer-keyed maps would make reports nondeterministic).
+  FleetConfig fleet_;
+  bool fleet_enabled_ = false;
+  std::vector<std::pair<hv::Host*, std::unique_ptr<rep::MigratorPool>>> pools_;
+  std::vector<std::pair<hv::Host*, std::unique_ptr<net::LinkArbiter>>>
+      arbiters_;
   std::vector<std::unique_ptr<Protection>> protections_;
   sim::Duration poll_{};
   bool policy_enabled_ = false;
+  bool weight_loop_enabled_ = false;
   std::uint64_t reprotections_ = 0;
 };
 

@@ -52,6 +52,10 @@ Status validate_replication_config(const ReplicationConfig& config) {
         "ReplicationConfig: ft.probe_timeout must be positive when "
         "probe_on_heartbeat_loss is set");
   }
+  if (!(config.flow_weight > 0.0)) {
+    return Status::invalid_argument(
+        "ReplicationConfig: flow_weight must be positive");
+  }
   return Status::ok_status();
 }
 
@@ -84,8 +88,12 @@ ReplicationEngine::ReplicationEngine(sim::Simulation& simulation,
       secondary_(secondary),
       config_(validated(std::move(config))),
       model_(config_.time_model),
-      pool_(config_.mode == EngineMode::kRemus ? 1
-                                               : config_.checkpoint_threads),
+      pool_(config_.migrator_pool != nullptr
+                ? nullptr
+                : std::make_unique<common::ThreadPool>(
+                      config_.mode == EngineMode::kRemus
+                          ? 1
+                          : config_.checkpoint_threads)),
       period_(config_.period),
       outbound_(fabric) {
   if (config_.mode == EngineMode::kRemus &&
@@ -144,6 +152,11 @@ std::uint32_t ReplicationEngine::threads() const {
   return config_.mode == EngineMode::kRemus ? 1 : config_.checkpoint_threads;
 }
 
+common::ThreadPool& ReplicationEngine::worker_pool() {
+  return config_.migrator_pool != nullptr ? config_.migrator_pool->workers()
+                                          : *pool_;
+}
+
 void ReplicationEngine::add_observer(EngineObserver* observer) {
   if (observer != nullptr) observers_.push_back(observer);
 }
@@ -156,6 +169,18 @@ Status ReplicationEngine::start_protection(hv::Vm& vm) {
     return Status::failed_precondition("protect: VM must be running");
   }
   vm_ = &vm;
+
+  // Fleet scheduling: enroll this engine with the host-shared migrator pool
+  // and the secondary's ingest-link arbiter. Both are per-protection, so a
+  // re-protected generation registers afresh.
+  if (config_.migrator_pool != nullptr) {
+    pool_client_ = config_.migrator_pool->register_client(
+        vm.spec().name, threads(), config_.flow_weight);
+  }
+  if (config_.link_arbiter != nullptr) {
+    arb_flow_ =
+        config_.link_arbiter->register_flow(vm.spec().name, config_.flow_weight);
+  }
 
   if (config_.tracer != nullptr) {
     config_.tracer->instant(
@@ -195,9 +220,11 @@ Status ReplicationEngine::start_protection(hv::Vm& vm) {
   }
 
   // Heartbeating starts with protection. A heartbeat arriving while a
-  // fenced failover is pending means the primary is back: cancel it.
+  // fenced failover is pending means the primary is back: cancel it. The
+  // source filter matters on a shared secondary: several engines listen on
+  // the same host, and a neighbour VM's heartbeat must not refresh ours.
   secondary_.add_ic_handler([this](const net::Packet& p) {
-    if (p.kind == kHeartbeatKind) {
+    if (p.kind == kHeartbeatKind && p.src == primary_.ic_node()) {
       last_heartbeat_rx_ = sim_.now();
       if (failover_in_progress_ && fencing_armed_) fence_failover();
     }
@@ -215,7 +242,9 @@ Status ReplicationEngine::start_protection(hv::Vm& vm) {
     }
   });
   secondary_.add_eth_handler([this](const net::Packet& p) {
-    if (p.kind == kProbeReplyKind) probe_reply_received_ = true;
+    if (p.kind == kProbeReplyKind && p.src == primary_.eth_node()) {
+      probe_reply_received_ = true;
+    }
   });
   last_heartbeat_rx_ = sim_.now();
   send_heartbeat();
@@ -253,7 +282,7 @@ void ReplicationEngine::begin_seed_attempt() {
   }
   seeder_.reset();  // cancel any stale in-flight seeding event first
   staging_ = std::make_unique<ReplicaStaging>(vm_->spec(), threads());
-  seeder_ = std::make_unique<Seeder>(sim_, model_, pool_,
+  seeder_ = std::make_unique<Seeder>(sim_, model_, worker_pool(),
                                      primary_.hypervisor(), *vm_, *staging_,
                                      config_.seed, config_.tracer);
   if (config_.ft.seed_attempt_timeout > sim::Duration::zero()) {
@@ -523,7 +552,22 @@ void ReplicationEngine::run_checkpoint() {
   common::DirtyBitmap& scratch = primary_.hypervisor().scratch_bitmap(*vm_);
   primary_.hypervisor().dirty_bitmap(*vm_)->exchange_into(scratch);
 
-  const std::uint32_t p = threads();
+  std::uint32_t p = threads();
+  // Shared migrator pool: admission may grant fewer threads than requested
+  // when other engines' bursts cover this instant. The grant shapes this
+  // epoch's parallelism (and therefore its copy/scan cost), which Algorithm 1
+  // then feeds back into the VM's period.
+  if (config_.migrator_pool != nullptr) {
+    const MigratorPool::Grant grant =
+        config_.migrator_pool->begin_burst(pool_client_);
+    p = std::min(p, grant.threads);
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(sim_.now(), "pool.grant", "ckpt",
+                              {{"epoch", current_epoch_},
+                               {"threads", p},
+                               {"contending", grant.contending}});
+    }
+  }
   const std::uint64_t pages = vm_->memory().pages();
   const std::uint64_t regions = (pages + kPagesPerRegion - 1) / kPagesPerRegion;
 
@@ -531,7 +575,7 @@ void ReplicationEngine::run_checkpoint() {
   std::vector<std::uint64_t> per_worker_pages(p, 0);
   std::vector<std::vector<common::Gfn>> found(p);
   std::vector<std::vector<common::Gfn>> region_gfns(regions);
-  pool_.run_per_worker([&](std::size_t w) {
+  const auto capture_shard = [&](std::size_t w) {
     for (std::uint64_t r = w; r < regions; r += p) {
       const common::Gfn first = r * kPagesPerRegion;
       const common::Gfn last = std::min<common::Gfn>(first + kPagesPerRegion, pages);
@@ -540,7 +584,15 @@ void ReplicationEngine::run_checkpoint() {
                       region_gfns[r].end());
     }
     per_worker_pages[w] = found[w].size();
-  });
+  };
+  if (config_.migrator_pool != nullptr) {
+    config_.migrator_pool->run_shards(
+        pool_client_, p, [&](std::uint32_t w) { capture_shard(w); });
+  } else {
+    pool_->run_per_worker([&](std::size_t w) {
+      if (w < p) capture_shard(w);
+    });
+  }
 
   std::uint64_t captured = 0;
   std::uint64_t max_worker = 0;
@@ -627,6 +679,24 @@ void ReplicationEngine::run_checkpoint() {
     copy_cost = scaled(copy_cost, net_penalty);
     state_cost = scaled(state_cost, net_penalty);
   }
+  // Shared-link arbitration: reserve this epoch's wire bytes on the
+  // secondary's ingest link. Contention shows up as actual > ideal; the
+  // difference stretches the transfer exactly like a slower dedicated wire
+  // would, so it folds into copy_cost (and from there into the pause or the
+  // background push). Uncontended grants have actual == ideal: zero stretch,
+  // byte-identical to the dedicated-wire model.
+  if (config_.link_arbiter != nullptr) {
+    double wire_raw =
+        static_cast<double>(common::pages_to_bytes(captured * scale));
+    if (config_.compress_pages) {
+      wire_raw *= model_.config().compression_ratio;
+    }
+    const auto wire_bytes =
+        static_cast<std::uint64_t>(wire_raw) + disk_bytes;
+    const net::LinkArbiter::Reservation res =
+        config_.link_arbiter->request(arb_flow_, wire_bytes);
+    if (res.actual > res.ideal) copy_cost += res.actual - res.ideal;
+  }
   const sim::Duration constants =
       model_.config().checkpoint_setup +
       primary_.hypervisor().cost_profile().vm_pause +
@@ -653,6 +723,9 @@ void ReplicationEngine::run_checkpoint() {
   // the running epoch and retry with backoff (output commit holds: the
   // epoch's buffered output is released only by a later successful commit).
   if (retransmits_exhausted) {
+    if (config_.migrator_pool != nullptr) {
+      config_.migrator_pool->commit_burst(pool_client_, pause);
+    }
     staging_->abort_epoch();
     restore_aborted_epoch();
     checkpoint_finish_event_ = sim_.schedule_after(
@@ -677,6 +750,9 @@ void ReplicationEngine::run_checkpoint() {
     staging_->abort_epoch();
     restore_aborted_epoch();
     const sim::Duration abort_pause = constants + scan_cost;
+    if (config_.migrator_pool != nullptr) {
+      config_.migrator_pool->commit_burst(pool_client_, abort_pause);
+    }
     checkpoint_finish_event_ = sim_.schedule_after(
         abort_pause,
         [this, was_running] {
@@ -688,6 +764,12 @@ void ReplicationEngine::run_checkpoint() {
         "checkpoint-abort");
     note_epoch_abort("projected transfer exceeds checkpoint_timeout");
     return;
+  }
+
+  // The burst's busy window covers the whole epoch transfer — pause plus any
+  // speculative background push — so overlapping engines see the contention.
+  if (config_.migrator_pool != nullptr) {
+    config_.migrator_pool->commit_burst(pool_client_, pause + background);
   }
 
   if (config_.tracer != nullptr) {

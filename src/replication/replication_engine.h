@@ -40,11 +40,13 @@
 #include "replication/detectors.h"
 #include "replication/engine_observer.h"
 #include "replication/io_buffer.h"
+#include "replication/migrator_pool.h"
 #include "replication/period_manager.h"
 #include "replication/seeder.h"
 #include "replication/staging.h"
 #include "replication/time_model.h"
 #include "sim/stats.h"
+#include "simnet/link_arbiter.h"
 #include "xensim/xen_hypervisor.h"
 
 namespace here::rep {
@@ -126,6 +128,18 @@ struct ReplicationConfig {
   bool speculative_cow = false;
   // Engine-hardening behaviour under injected faults (src/faults).
   FaultToleranceConfig ft;
+  // --- Multi-VM protection (fleet scheduling) --------------------------------
+  // Shared host migrator pool: when set (borrowed; must outlive the engine),
+  // checkpoint bursts draw fair-share thread grants from it instead of a
+  // private pool, so N engines on one host contend explicitly. Null keeps
+  // the original dedicated pool, byte-for-byte.
+  MigratorPool* migrator_pool = nullptr;
+  // Shared replication-link bandwidth arbiter: when set (borrowed), every
+  // epoch transfer reserves WFQ capacity and contention stretches the pause.
+  // Null models the wire as dedicated, unchanged.
+  net::LinkArbiter* link_arbiter = nullptr;
+  // Fair-share weight of this engine on the shared pool and link (> 0).
+  double flow_weight = 1.0;
   // Observability (src/obs): borrowed pointers, either may be null, both
   // must outlive the engine. The engine (and the components it drives:
   // seeder, outbound buffer, period decisions) emits spans/instants through
@@ -261,8 +275,20 @@ class ReplicationEngine {
     return primary_.hypervisor().kind() != secondary_.hypervisor().kind();
   }
 
+  // Fleet-scheduling identities (valid once start_protection ran; only
+  // meaningful when the corresponding config pointer is set).
+  [[nodiscard]] MigratorPool::ClientId pool_client() const {
+    return pool_client_;
+  }
+  [[nodiscard]] net::LinkArbiter::FlowId arbiter_flow() const {
+    return arb_flow_;
+  }
+
  private:
   [[nodiscard]] std::uint32_t threads() const;
+  // The real worker pool backing seeding and checkpoint copies: the shared
+  // host pool when fleet scheduling is on, the engine's own otherwise.
+  [[nodiscard]] common::ThreadPool& worker_pool();
 
   // --- Seeding (with retry) --------------------------------------------------
   void begin_seed_attempt();
@@ -316,9 +342,12 @@ class ReplicationEngine {
   hv::Host& secondary_;
   ReplicationConfig config_;
   TimeModel model_;
-  common::ThreadPool pool_;
+  // Private worker pool; null when a shared MigratorPool is configured.
+  std::unique_ptr<common::ThreadPool> pool_;
   PeriodManager period_;
   OutboundBuffer outbound_;
+  MigratorPool::ClientId pool_client_ = MigratorPool::kInvalidClient;
+  net::LinkArbiter::FlowId arb_flow_ = 0;
 
   net::NodeId service_node_ = net::kInvalidNode;
   hv::Vm* vm_ = nullptr;

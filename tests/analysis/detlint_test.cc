@@ -129,6 +129,50 @@ TEST(DetlintTest, UnorderedNamesExtraction) {
   EXPECT_EQ(names, (std::vector<std::string>{"by_name_", "live_"}));
 }
 
+TEST(DetlintTest, UnorderedNamesTrackAliases) {
+  const auto names = detlint::unordered_names(
+      "using PageMap = std::unordered_map<int, int>;\n"
+      "typedef std::unordered_set<int> GfnSet;\n"
+      "using LiveMap = PageMap;\n"  // alias of an alias
+      "PageMap pages_;\n"
+      "GfnSet live_;\n"
+      "LiveMap shadow_;\n"
+      "std::map<int, int> ordered_;\n");
+  // Discovery order: `using` aliases first (PageMap, then LiveMap through
+  // it), then typedefs — the set is what matters, the order is fixed.
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"pages_", "shadow_", "live_"}));
+}
+
+TEST(DetlintTest, TemplateAliasVariablesAreTracked) {
+  const auto names = detlint::unordered_names(
+      "template <typename V>\n"
+      "using ByName = std::unordered_map<std::string, V>;\n"
+      "ByName<int> counts_;\n");
+  EXPECT_EQ(names, (std::vector<std::string>{"counts_"}));
+}
+
+TEST(DetlintTest, OrderedAliasOfUnorderedValueIsNotTracked) {
+  // The *head* type decides: a std::map whose values are unordered maps
+  // iterates deterministically, so its variables must stay untracked.
+  const auto names = detlint::unordered_names(
+      "using PageMap = std::unordered_map<int, int>;\n"
+      "using SortedIndex = std::map<int, PageMap>;\n"
+      "SortedIndex index_;\n");
+  EXPECT_EQ(names, (std::vector<std::string>{}));
+}
+
+TEST(DetlintTest, AliasRangeForFiresInEmitterFile) {
+  const auto findings = detlint::scan_file(
+      "src/obs/foo.cc",
+      "using PageMap = std::unordered_map<int, int>;\n"
+      "PageMap pages_;\n"
+      "void dump() { for (const auto& e : pages_) { use(e); } }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, Rule::kUnorderedIter);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
 TEST(DetlintTest, SiblingHeaderMembersAreVisibleToD3) {
   detlint::FileContext ctx;
   ctx.sibling_unordered_names = {"by_id_"};

@@ -1,0 +1,66 @@
+// detlint fixture: D3 through typedefs/aliases. Unordered containers hiding
+// behind `using`/`typedef` names — including an alias of an alias and a
+// template alias — must still be tracked to the variables they declare.
+// Never compiled, only scanned.
+// detlint: emitter
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+using PageMap = std::unordered_map<int, int>;
+typedef std::unordered_set<int> GfnSet;
+using LiveMap = PageMap;  // alias of an alias: still unordered
+
+template <typename V>
+using ByName = std::unordered_map<std::string, V>;
+
+std::string fixture_alias_dump() {
+  PageMap pages;
+  std::string out;
+  for (const auto& [k, v] : pages) {  // D3: range-for via `using` alias
+    out += std::to_string(k) + ":" + std::to_string(v);
+  }
+  return out;
+}
+
+int fixture_typedef_iter() {
+  GfnSet live;
+  int sum = 0;
+  for (auto it = live.begin(); it != live.end(); ++it) {  // D3: .begin()
+    sum += *it;
+  }
+  return sum;
+}
+
+std::string fixture_transitive_alias() {
+  LiveMap live;
+  std::string out;
+  for (const auto& [k, v] : live) {  // D3: alias-of-alias range-for
+    out += std::to_string(k + v);
+  }
+  return out;
+}
+
+std::string fixture_template_alias() {
+  ByName<int> counts;
+  std::string out;
+  for (const auto& [name, n] : counts) {  // D3: template-alias range-for
+    out += name + std::to_string(n);
+  }
+  return out;
+}
+
+// Aliases whose head type is *ordered* must not be tracked, even when an
+// unordered type appears among the template arguments: iterating a std::map
+// of unordered values is deterministic.
+using SortedIndex = std::map<int, PageMap>;
+
+std::string fixture_ordered_alias_is_clean() {
+  SortedIndex index;
+  std::string out;
+  for (const auto& [k, v] : index) {  // clean: std::map iteration
+    out += std::to_string(k) + "#" + std::to_string(v.size());
+  }
+  return out;
+}

@@ -179,5 +179,72 @@ TEST_F(LockRankTest, HandlerInstallReturnsPrevious) {
   EXPECT_EQ(prev, &capture_violation);
 }
 
+TEST_F(LockRankTest, ConditionWaitHoldingOnlyTheWaitMutexIsSilent) {
+  RankedMutex sched(LockRank::kMigratorSched, "rep.migrator_sched");
+  RankedConditionVariable cv;
+
+  std::unique_lock lock(sched);
+  cv.wait(lock, [] { return true; });  // predicate already true: no block
+  lock.unlock();
+
+  EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(LockRankTest, ConditionWaitWhileHoldingAnotherMutexFires) {
+#if defined(HERE_LOCK_RANK_DISABLED)
+  GTEST_SKIP() << "lock-rank checking compiled out";
+#endif
+  // Nesting staging (300) then sink (400) is a legal acquisition order —
+  // but *waiting* with the sink while still holding staging is the
+  // lost-wakeup shape: the notifier may need staging to reach its notify.
+  RankedMutex staging(LockRank::kStagingCommit, "rep.staging_commit");
+  RankedMutex sink(LockRank::kTraceSink, "obs.trace_sink");
+  RankedConditionVariable cv;
+
+  staging.lock();
+  std::unique_lock lock(sink);
+  cv.wait(lock, [] { return true; });
+  lock.unlock();
+  staging.unlock();
+
+  ASSERT_EQ(violations().size(), 1u);
+  const LockRankViolation& v = violations()[0];
+  EXPECT_EQ(v.held_rank, LockRank::kStagingCommit);
+  EXPECT_STREQ(v.held_name, "rep.staging_commit");
+  EXPECT_EQ(v.acquiring_rank, LockRank::kTraceSink);
+  EXPECT_NE(v.report.find("condition-variable wait"), std::string::npos);
+}
+
+TEST_F(LockRankTest, EnginePoolInversionFires) {
+#if defined(HERE_LOCK_RANK_DISABLED)
+  GTEST_SKIP() << "lock-rank checking compiled out";
+#endif
+  // The shared-migrator-pool discipline: the scheduler mutex (rank 50)
+  // must be acquired before any engine-side lock. An engine path that
+  // reaches the pool while holding staging state is the deadlock seed the
+  // ranking exists to catch.
+  RankedMutex staging(LockRank::kStagingCommit, "rep.staging_commit");
+  RankedMutex sched(LockRank::kMigratorSched, "rep.migrator_sched");
+
+  staging.lock();
+  sched.lock();  // rank 50 under rank 300: inversion
+  sched.unlock();
+  staging.unlock();
+
+  ASSERT_EQ(violations().size(), 1u);
+  const LockRankViolation& v = violations()[0];
+  EXPECT_EQ(v.held_rank, LockRank::kStagingCommit);
+  EXPECT_EQ(v.acquiring_rank, LockRank::kMigratorSched);
+  EXPECT_STREQ(v.acquiring_name, "rep.migrator_sched");
+
+  // The legal direction is silent.
+  violations().clear();
+  sched.lock();
+  staging.lock();
+  staging.unlock();
+  sched.unlock();
+  EXPECT_TRUE(violations().empty());
+}
+
 }  // namespace
 }  // namespace here::common

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -398,11 +399,102 @@ void rule_env_sleep(const std::vector<std::string>& code_lines,
                out);
 }
 
-// Extracts identifiers declared with std::unordered_map/std::unordered_set.
+// True when `type` (the right-hand side of a using/typedef) resolves to an
+// unordered container: its head type — after peeling cv/typename keywords
+// and namespace qualifiers — is std::unordered_{map,set} or a known alias.
+// Requiring the *head* to match keeps `std::map<K, PageMap>` (an ordered
+// container of unordered values, iterated deterministically) out.
+bool type_head_is_unordered(const std::string& type,
+                            const std::vector<std::string>& aliases) {
+  std::string head = type;
+  const auto trim_front = [&head] {
+    std::size_t b = 0;
+    while (b < head.size() && std::isspace(static_cast<unsigned char>(head[b]))) ++b;
+    head.erase(0, b);
+  };
+  for (int guard = 0; guard < 32; ++guard) {
+    trim_front();
+    for (const char* kw : {"typename ", "const ", "volatile "}) {
+      if (head.rfind(kw, 0) == 0) head.erase(0, std::strlen(kw));
+    }
+    trim_front();
+    if (head.rfind("::", 0) == 0) head.erase(0, 2);
+    std::size_t n = 0;
+    while (n < head.size() && (std::isalnum(static_cast<unsigned char>(head[n])) ||
+                               head[n] == '_')) {
+      ++n;
+    }
+    if (n == 0) return false;
+    const std::string tok = head.substr(0, n);
+    if (tok == "unordered_map" || tok == "unordered_set" ||
+        std::find(aliases.begin(), aliases.end(), tok) != aliases.end()) {
+      return true;
+    }
+    // A qualifier (std::, here::, ...): peel it and look at the next token.
+    if (head.compare(n, 2, "::") == 0) {
+      head.erase(0, n + 2);
+      continue;
+    }
+    return false;
+  }
+  return false;
+}
+
+// Alias names introduced by `using X = <unordered type>;` or
+// `typedef <unordered type> X;`, resolved to a fixpoint so aliases of
+// aliases (and template aliases) are tracked transitively.
+std::vector<std::string> collect_unordered_aliases(const std::string& code) {
+  static const std::regex kUsing(
+      R"(\busing\s+([A-Za-z_]\w*)\s*=\s*([^;=]+);)");
+  static const std::regex kTypedef(
+      R"(\btypedef\s+([^;]+?)[\s>]([A-Za-z_]\w*)\s*;)");
+  std::vector<std::string> aliases;
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    const auto add = [&](const std::string& name, const std::string& rhs) {
+      if (std::find(aliases.begin(), aliases.end(), name) != aliases.end()) {
+        return;
+      }
+      if (!type_head_is_unordered(rhs, aliases)) return;
+      aliases.push_back(name);
+      grew = true;
+    };
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), kUsing);
+         it != std::sregex_iterator(); ++it) {
+      add((*it)[1].str(), (*it)[2].str());
+    }
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), kTypedef);
+         it != std::sregex_iterator(); ++it) {
+      // Re-attach the head separator the regex consumed (e.g. the '>' of
+      // `typedef std::unordered_map<K,V> X;`): only the head matters.
+      add((*it)[2].str(), (*it)[1].str());
+    }
+  }
+  return aliases;
+}
+
+// Extracts identifiers declared with std::unordered_map/std::unordered_set —
+// directly, or through a using/typedef alias of one (transitively).
 std::vector<std::string> collect_unordered_names(const std::string& code) {
   std::vector<std::string> names;
-  static const std::string kTokens[] = {"unordered_map", "unordered_set"};
-  for (const std::string& token : kTokens) {
+  const std::vector<std::string> aliases = collect_unordered_aliases(code);
+  std::vector<std::string> tokens = {"unordered_map", "unordered_set"};
+  tokens.insert(tokens.end(), aliases.begin(), aliases.end());
+  // `typedef std::unordered_set<int> GfnSet;` declares a *type*, not a
+  // variable — the identifier after the template args is the alias name,
+  // tracked by collect_unordered_aliases, not a container instance.
+  const auto in_typedef = [&code](std::size_t pos) {
+    std::size_t start = code.find_last_of(";{}", pos);
+    start = start == std::string::npos ? 0 : start + 1;
+    return code.find("typedef", start) < pos;
+  };
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    const std::string& token = tokens[t];
+    // The template argument list is mandatory for the std containers (which
+    // keeps `#include <unordered_map>` quiet) but optional for aliases,
+    // which are usually fully bound (`PageMap live_;`).
+    const bool template_args_required = t < 2;
     std::size_t pos = 0;
     while ((pos = code.find(token, pos)) != std::string::npos) {
       const std::size_t after = pos + token.size();
@@ -412,20 +504,28 @@ std::vector<std::string> collect_unordered_names(const std::string& code) {
                        code[pos - 1] != '_');
       pos = after;
       if (!left_ok) continue;
+      if (after < code.size() &&
+          (std::isalnum(static_cast<unsigned char>(code[after])) ||
+           code[after] == '_')) {
+        continue;
+      }
       std::size_t j = after;
       while (j < code.size() && std::isspace(static_cast<unsigned char>(code[j]))) ++j;
-      if (j >= code.size() || code[j] != '<') continue;
-      int depth = 0;
-      while (j < code.size()) {
-        if (code[j] == '<') ++depth;
-        if (code[j] == '>') {
-          --depth;
-          if (depth == 0) break;
+      if (j < code.size() && code[j] == '<') {
+        int depth = 0;
+        while (j < code.size()) {
+          if (code[j] == '<') ++depth;
+          if (code[j] == '>') {
+            --depth;
+            if (depth == 0) break;
+          }
+          ++j;
         }
-        ++j;
+        if (j >= code.size()) continue;
+        ++j;  // past '>'
+      } else if (template_args_required) {
+        continue;
       }
-      if (j >= code.size()) continue;
-      ++j;  // past '>'
       while (j < code.size() &&
              (std::isspace(static_cast<unsigned char>(code[j])) ||
               code[j] == '&' || code[j] == '*')) {
@@ -437,7 +537,7 @@ std::vector<std::string> collect_unordered_names(const std::string& code) {
         name.push_back(code[j]);
         ++j;
       }
-      if (name.empty()) continue;
+      if (name.empty() || in_typedef(after - token.size())) continue;
       if (std::find(names.begin(), names.end(), name) == names.end()) {
         names.push_back(name);
       }
