@@ -1,5 +1,6 @@
 #include "bench/bench_util.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <string_view>
 
@@ -12,6 +13,8 @@ ObsSession::ObsSession(int argc, char** argv) {
       trace_path_ = arg.substr(std::string_view("--trace-out=").size());
     } else if (arg.starts_with("--metrics-out=")) {
       metrics_path_ = arg.substr(std::string_view("--metrics-out=").size());
+    } else if (arg.starts_with("--bench-out=")) {
+      bench_path_ = arg.substr(std::string_view("--bench-out=").size());
     }
   }
   if (!trace_path_.empty()) {
@@ -26,6 +29,10 @@ ObsSession::ObsSession(int argc, char** argv) {
 void ObsSession::attach(rep::TestbedConfig& config) {
   config.engine.tracer = tracer();
   config.engine.metrics = metrics();
+}
+
+void ObsSession::bench_value(const std::string& name, double value) {
+  bench_values_.emplace_back(name, value);
 }
 
 namespace {
@@ -58,6 +65,17 @@ bool ObsSession::finish() {
   }
   if (metrics_) {
     ok &= write_file(metrics_path_, metrics_->to_json() + "\n");
+  }
+  if (!bench_path_.empty()) {
+    std::string json = "{\n";
+    for (std::size_t i = 0; i < bench_values_.size(); ++i) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6g", bench_values_[i].second);
+      json += "  \"" + bench_values_[i].first + "\": " + buf;
+      json += i + 1 < bench_values_.size() ? ",\n" : "\n";
+    }
+    json += "}\n";
+    ok &= write_file(bench_path_, json);
   }
   return ok;
 }
@@ -105,12 +123,21 @@ CheckpointRunResult run_checkpoint_experiment(const CheckpointRunConfig& config)
         static_cast<double>(record.dirty_pages_model) / 1000.0;
     ++result.checkpoints;
   }
-  if (result.checkpoints > 0) {
-    const auto n = static_cast<double>(result.checkpoints);
-    result.mean_pause_ms /= n;
-    result.mean_degradation /= n;
-    result.mean_dirty_kpages /= n;
+  if (result.checkpoints == 0) {
+    // A bench that measures a window with zero committed checkpoints is
+    // misconfigured (period longer than the window, or the engine stalled);
+    // reporting a mean of nothing would silently publish 0.0 as a result.
+    std::fprintf(stderr,
+                 "bench: no checkpoints committed in a %.1f s measure window "
+                 "(t_max = %.3f s) — refusing to report means of nothing\n",
+                 sim::to_seconds(config.measure_for),
+                 sim::to_seconds(config.period.t_max));
+    std::abort();
   }
+  const auto n = static_cast<double>(result.checkpoints);
+  result.mean_pause_ms /= n;
+  result.mean_degradation /= n;
+  result.mean_dirty_kpages /= n;
 
   if (config.fail_primary_at_end) {
     bed.primary().inject_fault(hv::FaultKind::kCrash);

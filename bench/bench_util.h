@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -27,6 +29,11 @@ namespace here::bench {
 //                       Chrome trace_event version to FILE.chrome.json
 //                       (loadable in chrome://tracing / ui.perfetto.dev)
 //   --metrics-out=FILE  write the final metrics registry snapshot as JSON
+//   --bench-out=FILE    write the scalars recorded via bench_value() as a
+//                       flat JSON object, insertion-ordered with fixed
+//                       formatting — the whole pipeline is deterministic
+//                       simulation, so CI runs a bench twice and requires
+//                       the two files byte-identical
 //
 // Usage in a bench main():
 //   ObsSession obs(argc, argv);
@@ -50,6 +57,12 @@ class ObsSession {
     return metrics_ ? metrics_.get() : nullptr;
   }
 
+  // Records one scalar result for --bench-out. Always recorded (cheap);
+  // finish() only writes them when the flag was given. Keys are emitted in
+  // insertion order with "%.6g" formatting, so a deterministic bench
+  // produces byte-identical files across runs.
+  void bench_value(const std::string& name, double value);
+
   // Writes the requested output files; returns false (after printing to
   // stderr) if any write failed. Safe to call when disabled.
   bool finish();
@@ -57,6 +70,8 @@ class ObsSession {
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  std::string bench_path_;
+  std::vector<std::pair<std::string, double>> bench_values_;
   std::unique_ptr<obs::RingBufferRecorder> recorder_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   obs::Tracer tracer_;

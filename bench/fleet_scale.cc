@@ -241,9 +241,14 @@ FailoverResult run_failover(std::size_t vm_count, ObsSession& obs) {
 // --- Reporting --------------------------------------------------------------------
 
 void export_steady(ObsSession& obs, const SteadyResult& r) {
+  const std::string prefix = "fleet_scale.n" + std::to_string(r.vms) + ".";
+  obs.bench_value(prefix + "goodput_mbps", r.aggregate_goodput_mbps);
+  obs.bench_value(prefix + "peak_reserved_mbps", r.peak_reserved_mbps);
+  obs.bench_value(prefix + "worst_degradation", r.worst_degradation);
+  obs.bench_value(prefix + "queueing_ms", r.total_queueing_ms);
+  obs.bench_value(prefix + "epochs", static_cast<double>(r.epochs));
   obs::MetricsRegistry* metrics = obs.metrics();
   if (metrics == nullptr) return;
-  const std::string prefix = "fleet_scale.n" + std::to_string(r.vms) + ".";
   metrics->gauge(prefix + "goodput_mbps").set(r.aggregate_goodput_mbps);
   metrics->gauge(prefix + "peak_reserved_mbps").set(r.peak_reserved_mbps);
   metrics->gauge(prefix + "worst_degradation").set(r.worst_degradation);
@@ -252,10 +257,13 @@ void export_steady(ObsSession& obs, const SteadyResult& r) {
 }
 
 void export_failover(ObsSession& obs, const FailoverResult& r) {
-  obs::MetricsRegistry* metrics = obs.metrics();
-  if (metrics == nullptr) return;
   const std::string prefix =
       "fleet_scale.failover_n" + std::to_string(r.vms) + ".";
+  obs.bench_value(prefix + "mttr_ms", r.mttr_ms);
+  obs.bench_value(prefix + "survivors_committing",
+                  static_cast<double>(r.survivors_committing));
+  obs::MetricsRegistry* metrics = obs.metrics();
+  if (metrics == nullptr) return;
   metrics->gauge(prefix + "mttr_ms").set(r.mttr_ms);
   metrics->gauge(prefix + "survivors_committing")
       .set(static_cast<double>(r.survivors_committing));

@@ -14,6 +14,7 @@ const char* to_string(LockRank rank) {
     case LockRank::kMigratorSched: return "rep.migrator_sched";
     case LockRank::kThreadPoolQueue: return "thread_pool.queue";
     case LockRank::kPmlRing: return "hv.pml_ring";
+    case LockRank::kEncoderState: return "rep.encoder_state";
     case LockRank::kStagingCommit: return "rep.staging_commit";
     case LockRank::kTraceSink: return "obs.trace_sink";
   }

@@ -35,6 +35,7 @@
 //    50  rep.migrator_sched  MigratorPool fair-share scheduler state
 //   100  thread_pool.queue   common::ThreadPool task queue
 //   200  hv.pml_ring         per-vCPU dirty ring (migrator drain path)
+//   250  rep.encoder_state   EncoderPipeline pending references / stats
 //   300  rep.staging_commit  ReplicaStaging epoch commit path
 //   400  obs.trace_sink      RingBufferRecorder (leaf: always innermost)
 #pragma once
@@ -50,6 +51,7 @@ enum class LockRank : std::uint32_t {
   kMigratorSched = 50,
   kThreadPoolQueue = 100,
   kPmlRing = 200,
+  kEncoderState = 250,
   kStagingCommit = 300,
   kTraceSink = 400,
 };

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "replication/encoder.h"
 #include "xlate/translator.h"
 
 namespace here::rep {
@@ -89,7 +90,12 @@ void Migrator::activate_on_destination() {
                                     std::move(to_load))] {
     hv::Vm& dest = destination_.hypervisor().create_vm(staging_->spec());
     for (common::Gfn g = 0; g < staging_->memory().pages(); ++g) {
-      dest.memory().install_page(g, staging_->memory().page(g));
+      // A fresh VM's memory is already zeroed; installing an all-zero page
+      // would be a no-op, so elide it (same trick as the wire encoder's
+      // zero-page elision, applied to the activation memcpy loop).
+      const auto page = staging_->memory().page(g);
+      if (is_zero_page(page)) continue;
+      dest.memory().install_page(g, page);
     }
     destination_.hypervisor().load_machine_state(dest, *to_load);
     destination_.hypervisor().start(dest);

@@ -72,15 +72,20 @@ void MigratorPool::commit_burst(ClientId client, sim::Duration busy_for) {
 }
 
 void MigratorPool::run_shards(ClientId client, std::uint32_t shards,
-                              const std::function<void(std::uint32_t)>& fn) {
+                              const std::function<void(std::uint32_t)>& fn,
+                              WorkKind kind) {
   if (shards == 0) return;
   // The shard accounting is touched from the worker threads; everything else
   // about the shard body belongs to the caller. mu_ (rank 50) is never held
   // across the submit into the pool queue (rank 100).
-  pool_.parallel_for(shards, [this, client, &fn](std::size_t shard) {
+  pool_.parallel_for(shards, [this, client, kind, &fn](std::size_t shard) {
     fn(static_cast<std::uint32_t>(shard));
     std::lock_guard lock(mu_);
-    if (client < clients_.size()) ++clients_[client].stats.shards_run;
+    if (client < clients_.size()) {
+      ClientStats& stats = clients_[client].stats;
+      ++stats.shards_run;
+      if (kind == WorkKind::kEncode) ++stats.encode_shards_run;
+    }
   });
 }
 

@@ -75,12 +75,18 @@ class MigratorPool {
   // ends.
   void commit_burst(ClientId client, sim::Duration busy_for);
 
+  // What a shard batch does, for the per-client accounting: dirty-set
+  // capture/copy work, or content-aware encode passes (the encoder stage is
+  // granted pool work like any other burst phase).
+  enum class WorkKind : std::uint8_t { kCopy, kEncode };
+
   // Runs fn(shard) for shard in [0, shards) on the real workers and blocks
-  // until all complete; shards are tagged to `client` in the accounting.
-  // `shards` is the burst's granted thread count, so distinct shard indices
-  // never alias (the engine partitions regions by shard index).
+  // until all complete; shards are tagged to `client` (and `kind`) in the
+  // accounting. `shards` is the burst's granted thread count, so distinct
+  // shard indices never alias (the engine partitions regions by shard index).
   void run_shards(ClientId client, std::uint32_t shards,
-                  const std::function<void(std::uint32_t)>& fn);
+                  const std::function<void(std::uint32_t)>& fn,
+                  WorkKind kind = WorkKind::kCopy);
 
   // The underlying real pool, for one-time work that is not a checkpoint
   // burst (the seeding phase drives this directly).
@@ -98,6 +104,7 @@ class MigratorPool {
     std::uint64_t granted_thread_sum = 0;  // sum of grants over bursts
     std::uint32_t min_grant = 0;           // smallest grant ever (0 = none yet)
     std::uint64_t shards_run = 0;
+    std::uint64_t encode_shards_run = 0;   // subset of shards: WorkKind::kEncode
     sim::TimePoint last_burst_end{};       // end of the latest busy window
   };
 

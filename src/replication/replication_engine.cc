@@ -56,6 +56,12 @@ Status validate_replication_config(const ReplicationConfig& config) {
     return Status::invalid_argument(
         "ReplicationConfig: flow_weight must be positive");
   }
+  if (config.compress_pages && config.encoders.any()) {
+    return Status::invalid_argument(
+        "ReplicationConfig: compress_pages and content-aware encoders are "
+        "mutually exclusive (the whole-stream compression model would "
+        "double-count the encoder's savings)");
+  }
   return Status::ok_status();
 }
 
@@ -124,6 +130,13 @@ ReplicationEngine::ReplicationEngine(sim::Simulation& simulation,
     m_commits_rejected_ = &m.counter("rep.commits_rejected");
     m_scrub_runs_ = &m.counter("rep.scrub_runs");
     m_scrub_repairs_ = &m.counter("rep.scrub_repairs");
+    if (config_.encoders.any()) {
+      m_enc_bytes_in_ = &m.counter("rep.enc_bytes_in");
+      m_enc_bytes_out_ = &m.counter("rep.enc_bytes_out");
+      m_enc_pages_zero_ = &m.counter("rep.enc_pages_zero");
+      m_enc_pages_delta_ = &m.counter("rep.enc_pages_delta");
+      m_enc_pages_skipped_ = &m.counter("rep.enc_pages_skipped");
+    }
     m_pause_ms_ = &m.histogram(
         "rep.pause_ms",
         {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
@@ -281,6 +294,7 @@ void ReplicationEngine::begin_seed_attempt() {
                             {{"attempt", seed_attempt_}});
   }
   seeder_.reset();  // cancel any stale in-flight seeding event first
+  encoder_.reset();  // references describe the old staging image, if any
   staging_ = std::make_unique<ReplicaStaging>(vm_->spec(), threads());
   seeder_ = std::make_unique<Seeder>(sim_, model_, worker_pool(),
                                      primary_.hypervisor(), *vm_, *staging_,
@@ -353,6 +367,15 @@ void ReplicationEngine::on_seeded(const SeedResult& result) {
       !committed.ok()) {
     schedule_seed_retry(committed.status().message().c_str());
     return;
+  }
+
+  // Baseline the encoder references now, while the VM is paused and the
+  // replica's committed image is byte-identical to primary memory: every
+  // page has a valid committed reference from epoch 1 on.
+  if (config_.encoders.any()) {
+    encoder_ = std::make_unique<EncoderPipeline>(config_.encoders,
+                                                 vm_->memory().pages());
+    encoder_->baseline(vm_->memory());
   }
 
   sim_.schedule_after(state_cost, [this] { commit_initial_checkpoint(); },
@@ -461,6 +484,11 @@ void ReplicationEngine::run_scrub() {
     ++repaired;
     ++stats_.scrub_repairs;
     if (m_scrub_repairs_ != nullptr) m_scrub_repairs_->add(1);
+    // The region's committed bytes rotted after commit, so the primary's
+    // encoder references no longer describe the replica's image: drop them
+    // and the repair epoch ships the region raw. (Without this, a delta
+    // against the rotten base would be refused every retry, forever.)
+    if (encoder_ != nullptr) encoder_->invalidate_region(r);
     if (bm != nullptr) {
       const common::Gfn first = std::uint64_t{r} * kPagesPerRegion;
       const common::Gfn last =
@@ -499,6 +527,11 @@ void ReplicationEngine::restore_aborted_epoch() {
   }
   last_epoch_gfns_.clear();
   last_epoch_disk_writes_.clear();
+}
+
+void ReplicationEngine::abort_staged_epoch() {
+  staging_->abort_epoch();
+  if (encoder_ != nullptr) encoder_->abort_epoch();
 }
 
 void ReplicationEngine::note_epoch_abort(const char* reason) {
@@ -612,32 +645,106 @@ void ReplicationEngine::run_checkpoint() {
 
   // Frame the epoch for the wire: one frame per dirty 2 MiB region, sequence
   // numbers in ascending region order, each sealed with a CRC32C over its
-  // page payload, the whole set committed to by the epoch header's rolling
-  // digest. The replica verifies each frame on arrival and will refuse the
-  // commit unless everything checks out.
+  // (possibly encoded) payload, the whole set committed to by the epoch
+  // header's rolling digest. The replica verifies each frame on arrival and
+  // will refuse the commit unless everything checks out. With encoders the
+  // stream runs at the negotiated version — the primary proposes
+  // min(capability, the replica's advertised maximum); without, version 0 is
+  // bit-identical to the un-encoded wire.
+  const std::uint64_t scale = vm_->spec().model_scale;
+  const std::uint16_t wire_version =
+      encoder_ != nullptr
+          ? std::min<std::uint16_t>(wire::kWireVersionEncoded,
+                                    ReplicaStaging::supported_wire_version())
+          : wire::kWireVersionRaw;
   std::vector<wire::RegionFrame> frames;
-  std::uint64_t digest = wire::digest_init();
   for (std::uint64_t r = 0; r < regions; ++r) {
     if (region_gfns[r].empty()) continue;
     wire::RegionFrame f;
     f.epoch = current_epoch_;
     f.seq = frames.size();
     f.region = static_cast<std::uint32_t>(r);
+    f.version = wire_version;
     f.gfns = std::move(region_gfns[r]);
-    f.bytes.reserve(f.gfns.size() * common::kPageSize);
-    for (const common::Gfn g : f.gfns) {
-      const auto page = vm_->memory().page(g);
-      f.bytes.insert(f.bytes.end(), page.begin(), page.end());
-    }
-    wire::seal_frame(f);
-    digest = wire::digest_fold(digest, f);
     frames.push_back(std::move(f));
   }
-  staging_->expect_epoch(
-      {current_epoch_, static_cast<std::uint64_t>(frames.size()), digest});
+  std::uint64_t encoded_bytes = 0;      // encoded payload, real bytes
+  std::uint64_t raw_pages_total = 0;    // pages that fell back to full copy
+  sim::Duration worker_cpu_critical{};  // slowest shard: raw copies + encode
+  sim::Duration encode_cpu_total{};     // all workers' encode cycles
+  if (encoder_ == nullptr) {
+    for (wire::RegionFrame& f : frames) {
+      f.bytes.reserve(f.gfns.size() * common::kPageSize);
+      for (const common::Gfn g : f.gfns) {
+        const auto page = vm_->memory().page(g);
+        f.bytes.insert(f.bytes.end(), page.begin(), page.end());
+      }
+    }
+  } else {
+    // Encode shards: worker w owns frames w, w+p, ... (disjoint), granted
+    // pool work tagged kEncode so fleet accounting sees the stage. The
+    // critical path is the slowest worker; the total is the §8.7 CPU work.
+    const EncodeStats enc_before = encoder_->stats();
+    std::vector<EncodeWork> enc_work(p);
+    const auto encode_shard = [&](std::uint32_t w) {
+      for (std::size_t i = w; i < frames.size(); i += p) {
+        encoder_->encode_region(vm_->memory(), frames[i], enc_work[w]);
+      }
+    };
+    if (config_.migrator_pool != nullptr) {
+      config_.migrator_pool->run_shards(pool_client_, p, encode_shard,
+                                        MigratorPool::WorkKind::kEncode);
+    } else {
+      pool_->run_per_worker([&](std::size_t w) {
+        if (w < p) encode_shard(static_cast<std::uint32_t>(w));
+      });
+    }
+    for (const EncodeWork& w : enc_work) {
+      const sim::Duration enc_cost = model_.encode_cpu(
+          w.zero_scans * scale, w.hashes * scale, w.delta_pages * scale);
+      worker_cpu_critical =
+          std::max(worker_cpu_critical,
+                   model_.encoded_shard_cpu(w.raw_pages * scale, p, enc_cost));
+      encode_cpu_total += enc_cost;
+      raw_pages_total += w.raw_pages;
+      encoded_bytes += w.bytes_out;
+    }
+    const EncodeStats enc_now = encoder_->stats();
+    if (m_enc_bytes_in_ != nullptr) {
+      m_enc_bytes_in_->add(enc_now.bytes_in - enc_before.bytes_in);
+      m_enc_bytes_out_->add(enc_now.bytes_out - enc_before.bytes_out);
+      m_enc_pages_zero_->add(enc_now.pages_zero - enc_before.pages_zero);
+      m_enc_pages_delta_->add(enc_now.pages_delta - enc_before.pages_delta);
+      m_enc_pages_skipped_->add(enc_now.pages_skipped -
+                                enc_before.pages_skipped);
+    }
+    if (config_.tracer != nullptr && captured > 0) {
+      config_.tracer->instant(
+          sim_.now(), "epoch.encode", "ckpt",
+          {{"epoch", current_epoch_},
+           {"pages_in", enc_now.pages_in - enc_before.pages_in},
+           {"pages_raw", enc_now.pages_raw - enc_before.pages_raw},
+           {"pages_zero", enc_now.pages_zero - enc_before.pages_zero},
+           {"pages_delta", enc_now.pages_delta - enc_before.pages_delta},
+           {"pages_skipped",
+            enc_now.pages_skipped - enc_before.pages_skipped},
+           {"bytes_in", enc_now.bytes_in - enc_before.bytes_in},
+           {"bytes_out", enc_now.bytes_out - enc_before.bytes_out}});
+    }
+  }
+  // Seal and fold serially, in seq order (the rolling digest is
+  // order-sensitive by design).
+  std::uint64_t digest = wire::digest_init();
+  for (wire::RegionFrame& f : frames) {
+    wire::seal_frame(f);
+    digest = wire::digest_fold(digest, f);
+  }
+  staging_->expect_epoch({current_epoch_,
+                          static_cast<std::uint64_t>(frames.size()), digest,
+                          wire_version});
 
   bool retransmits_exhausted = false;
-  const std::uint64_t retransmit_pages =
+  const std::uint64_t retransmit_bytes =
       transmit_epoch_frames(frames, retransmits_exhausted);
 
   // (3) The epoch's mirrored disk writes travel with the checkpoint.
@@ -658,16 +765,22 @@ void ReplicationEngine::run_checkpoint() {
 
   // Pause duration t = f(N)/P + C (Eq. 3/4). Under speculative CoW the
   // dirty set is only duplicated locally during the pause; the network push
-  // runs in the background after the VM resumes.
-  const std::uint64_t scale = vm_->spec().model_scale;
+  // runs in the background after the VM resumes. With encoders the wire term
+  // serializes the *encoded* bytes and the CPU term pays the encode cycles —
+  // the observed pause is the real cost of the cheaper stream, which is what
+  // PeriodManager/Algorithm 1 re-optimise T and P against.
   const sim::Duration scan_cost = model_.scan(pages * scale, p);
-  sim::Duration copy_cost = model_.checkpoint_copy(
-      max_worker * scale, captured * scale, p, config_.compress_pages);
-  // Selective retransmissions re-ship their regions' payloads: the repair
-  // happens inside the epoch's transfer window, inflating it.
-  if (retransmit_pages > 0) {
-    copy_cost +=
-        model_.wire_time(common::pages_to_bytes(retransmit_pages * scale));
+  sim::Duration copy_cost =
+      encoder_ != nullptr
+          ? model_.checkpoint_copy_encoded(worker_cpu_critical,
+                                           encoded_bytes * scale)
+          : model_.checkpoint_copy(max_worker * scale, captured * scale, p,
+                                   config_.compress_pages);
+  // Selective retransmissions re-ship their regions' payloads (as sealed,
+  // i.e. encoded when encoders are on): the repair happens inside the
+  // epoch's transfer window, inflating it.
+  if (retransmit_bytes > 0) {
+    copy_cost += model_.wire_time(retransmit_bytes * scale);
   }
   // Impaired interconnect: lost checkpoint packets retransmit (1/(1-loss))
   // and a throttled link stretches serialization (1/bandwidth_factor). The
@@ -686,10 +799,14 @@ void ReplicationEngine::run_checkpoint() {
   // background push). Uncontended grants have actual == ideal: zero stretch,
   // byte-identical to the dedicated-wire model.
   if (config_.link_arbiter != nullptr) {
-    double wire_raw =
-        static_cast<double>(common::pages_to_bytes(captured * scale));
-    if (config_.compress_pages) {
-      wire_raw *= model_.config().compression_ratio;
+    double wire_raw;
+    if (encoder_ != nullptr) {
+      wire_raw = static_cast<double>(encoded_bytes * scale);
+    } else {
+      wire_raw = static_cast<double>(common::pages_to_bytes(captured * scale));
+      if (config_.compress_pages) {
+        wire_raw *= model_.config().compression_ratio;
+      }
     }
     const auto wire_bytes =
         static_cast<std::uint64_t>(wire_raw) + disk_bytes;
@@ -726,7 +843,7 @@ void ReplicationEngine::run_checkpoint() {
     if (config_.migrator_pool != nullptr) {
       config_.migrator_pool->commit_burst(pool_client_, pause);
     }
-    staging_->abort_epoch();
+    abort_staged_epoch();
     restore_aborted_epoch();
     checkpoint_finish_event_ = sim_.schedule_after(
         pause,
@@ -747,7 +864,7 @@ void ReplicationEngine::run_checkpoint() {
   // after the scan it already paid for, and retry with backoff.
   if (config_.ft.checkpoint_timeout > sim::Duration::zero() &&
       pause + background > config_.ft.checkpoint_timeout) {
-    staging_->abort_epoch();
+    abort_staged_epoch();
     restore_aborted_epoch();
     const sim::Duration abort_pause = constants + scan_cost;
     if (config_.migrator_pool != nullptr) {
@@ -799,12 +916,18 @@ void ReplicationEngine::run_checkpoint() {
   }
 
   // §8.7: CPU-seconds burnt by the replication threads (work, not makespan).
+  // The encoder's cycles are work too — every worker's, not just the
+  // critical path's. With encoders on, only the raw-fallback pages did the
+  // full stream copy; collapsed pages' cycles are in encode_cpu_total.
   const double copy_eff = TimeModel::efficiency(model_.config().copy_eff, p);
+  const std::uint64_t copied_pages =
+      encoder_ != nullptr ? raw_pages_total : captured;
   const sim::Duration cpu_work =
       sim::Duration{static_cast<std::int64_t>(
           static_cast<double>(model_.config().per_page_copy.count()) *
-          static_cast<double>(captured * scale) / copy_eff)} +
-      scan_cost * static_cast<std::int64_t>(p) + model_.config().checkpoint_setup;
+          static_cast<double>(copied_pages * scale) / copy_eff)} +
+      scan_cost * static_cast<std::int64_t>(p) +
+      model_.config().checkpoint_setup + encode_cpu_total;
   stats_.replication_cpu += cpu_work;
   primary_.account_replication_cpu(cpu_work);
   primary_.account_replication_memory(staging_->peak_buffered_bytes() * scale);
@@ -817,7 +940,7 @@ void ReplicationEngine::run_checkpoint() {
           // discards the partial epoch and will activate the previous one.
           // (If this failover is later fenced, restore_aborted_epoch folds
           // the capture back in.)
-          staging_->abort_epoch();
+          abort_staged_epoch();
           return;
         }
         // Link died while the epoch was being pushed: abort before the new
@@ -825,7 +948,7 @@ void ReplicationEngine::run_checkpoint() {
         const net::LinkQuality q =
             fabric_.link_quality(primary_.ic_node(), secondary_.ic_node());
         if (!q.connected || q.down) {
-          staging_->abort_epoch();
+          abort_staged_epoch();
           restore_aborted_epoch();
           if (was_running && vm_->state() == hv::VmState::kPaused) {
             primary_.hypervisor().resume(*vm_);
@@ -848,13 +971,13 @@ void ReplicationEngine::run_checkpoint() {
             background,
             [this, epoch, captured, period_used, pause] {
               if (!primary_.alive() || failover_in_progress_) {
-                staging_->abort_epoch();
+                abort_staged_epoch();
                 return;
               }
               const net::LinkQuality bq = fabric_.link_quality(
                   primary_.ic_node(), secondary_.ic_node());
               if (!bq.connected || bq.down) {
-                staging_->abort_epoch();
+                abort_staged_epoch();
                 restore_aborted_epoch();
                 note_epoch_abort("interconnect down in background transfer");
                 return;
@@ -869,7 +992,7 @@ void ReplicationEngine::run_checkpoint() {
 std::uint64_t ReplicationEngine::transmit_epoch_frames(
     const std::vector<wire::RegionFrame>& frames, bool& exhausted) {
   exhausted = false;
-  std::uint64_t retransmit_pages = 0;
+  std::uint64_t retransmit_bytes = 0;
   bool saw_corruption = false;
   const net::NodeId src = primary_.ic_node();
   const net::NodeId dst = secondary_.ic_node();
@@ -920,7 +1043,7 @@ std::uint64_t ReplicationEngine::transmit_epoch_frames(
       const wire::RegionFrame* f = by_region.at(region);
       ++stats_.retransmits;
       if (m_retransmits_ != nullptr) m_retransmits_->add(1);
-      retransmit_pages += f->gfns.size();
+      retransmit_bytes += f->payload_bytes();
       wire::RegionFrame rx = *f;
       const net::FrameFate fate = fabric_.transmit_frame(src, dst, rx.bytes);
       if (fate.lost) continue;
@@ -941,7 +1064,7 @@ std::uint64_t ReplicationEngine::transmit_epoch_frames(
   } else {
     corruption_streak_ = 0;
   }
-  return retransmit_pages;
+  return retransmit_bytes;
 }
 
 void ReplicationEngine::finish_checkpoint(std::uint64_t epoch,
@@ -961,10 +1084,16 @@ void ReplicationEngine::finish_checkpoint(std::uint64_t epoch,
                               {{"epoch", epoch},
                                {"status", committed.status().to_string()}});
     }
-    staging_->abort_epoch();
+    abort_staged_epoch();
     restore_aborted_epoch();
     note_epoch_abort("replica refused commit: integrity verification failed");
     return;
+  }
+  // The replica committed: promote the encoder's staged references so the
+  // next epoch deltas/skips against what the replica now actually holds.
+  if (encoder_ != nullptr) {
+    encoder_->commit_epoch();
+    stats_.encode = encoder_->stats();
   }
   last_epoch_gfns_.clear();
   last_epoch_disk_writes_.clear();
@@ -1158,7 +1287,7 @@ void ReplicationEngine::begin_failover(const std::string& reason,
       fence_on_heartbeat && config_.ft.fencing_window > sim::Duration::zero();
   stats_.failure_detected_at = sim_.now();
   sim_.cancel(checkpoint_event_);
-  staging_->abort_epoch();
+  abort_staged_epoch();
   if (config_.tracer != nullptr) {
     config_.tracer->instant(sim_.now(), "failover.begin", "fo",
                             {{"reason", reason}});
@@ -1232,9 +1361,13 @@ void ReplicationEngine::activate_replica() {
   hv::Hypervisor& target = secondary_.hypervisor();
   hv::Vm& replica = target.create_vm(staging_->spec());
 
-  // Install the committed memory image (already resident in staging).
+  // Install the committed memory image (already resident in staging). A
+  // fresh VM's frames are zeroed, so all-zero pages need no install at all —
+  // the activation loop gets the same content-aware elision as the wire.
   for (common::Gfn g = 0; g < staging_->memory().pages(); ++g) {
-    replica.memory().install_page(g, staging_->memory().page(g));
+    const auto page = staging_->memory().page(g);
+    if (is_zero_page(page)) continue;
+    replica.memory().install_page(g, page);
   }
   // The replica's disk is the committed mirror (already applied up to the
   // last committed epoch).

@@ -38,6 +38,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "replication/detectors.h"
+#include "replication/encoder.h"
 #include "replication/engine_observer.h"
 #include "replication/io_buffer.h"
 #include "replication/migrator_pool.h"
@@ -119,6 +120,13 @@ struct ReplicationConfig {
   // XBZRLE-style page compression on the replication stream (extension; see
   // bench/ablation_compression for when it pays off).
   bool compress_pages = false;
+  // Content-aware checkpoint encoders (src/replication/encoder.h): shrink
+  // what reaches the migrator pool and the wire (zero elision, XOR-delta,
+  // content-hash skip) on wire version 1. All-off keeps the engine on wire
+  // version 0, byte-identical to the un-encoded stream. Mutually exclusive
+  // with compress_pages (the whole-stream model would double-count the
+  // encoder's savings).
+  EncoderConfig encoders;
   // Speculative copy-on-write checkpointing (the Remus paper's classic
   // optimization, extension here): the dirty set is duplicated into a local
   // buffer at memcpy speed, the VM resumes immediately, and the network
@@ -178,6 +186,11 @@ struct EngineStats {
   std::uint64_t commits_rejected = 0;   // epochs refused by the replica
   std::uint64_t scrub_runs = 0;         // background audits completed
   std::uint64_t scrub_repairs = 0;      // regions re-sent after divergence
+
+  // Content-aware encoder accounting (all zero with encoders off). Real
+  // (pre-model_scale) page counts and bytes, cumulative over encode passes
+  // including aborted epochs — it measures encode work done, not commits.
+  EncodeStats encode;
   // Watchdog verdict ("", "crash-suspected" or "partition-suspected");
   // populated on heartbeat-loss failovers when probing is enabled.
   std::string failure_classification;
@@ -302,7 +315,8 @@ class ReplicationEngine {
   void run_checkpoint();
   // Pushes the epoch's frames through the interconnect data plane, NACKing
   // and selectively retransmitting corrupt regions up to ft.retransmit_budget
-  // rounds. Returns pages retransmitted; sets `exhausted` when corrupt
+  // rounds. Retransmits re-ship the sealed (possibly encoded) frames as-is.
+  // Returns payload bytes retransmitted; sets `exhausted` when corrupt
   // regions remain (the caller falls back to abort-and-retry).
   std::uint64_t transmit_epoch_frames(
       const std::vector<wire::RegionFrame>& frames, bool& exhausted);
@@ -319,6 +333,10 @@ class ReplicationEngine {
   // one: re-marks its pages dirty and restores its mirrored disk writes, so
   // the retry (or a fenced failover's restart) re-ships them.
   void restore_aborted_epoch();
+  // Discards the in-flight epoch on both sides of the stream: the staging
+  // buffers *and* the encoder's staged reference updates (which must only
+  // ever promote when the replica actually commits).
+  void abort_staged_epoch();
 
   // --- Heartbeat / failover --------------------------------------------------
   void send_heartbeat();
@@ -353,6 +371,10 @@ class ReplicationEngine {
   hv::Vm* vm_ = nullptr;
   hv::Vm* replica_vm_ = nullptr;
   std::unique_ptr<ReplicaStaging> staging_;
+  // Content-aware encoder stage; null when config_.encoders is all-off (the
+  // engine then stays on wire version 0). Rebuilt with each seed attempt and
+  // baselined at the epoch-0 commit.
+  std::unique_ptr<EncoderPipeline> encoder_;
   std::unique_ptr<Seeder> seeder_;
   std::vector<std::unique_ptr<FailureDetector>> detectors_;
   std::vector<EngineObserver*> observers_;
@@ -399,6 +421,11 @@ class ReplicationEngine {
   obs::Counter* m_commits_rejected_ = nullptr;
   obs::Counter* m_scrub_runs_ = nullptr;
   obs::Counter* m_scrub_repairs_ = nullptr;
+  obs::Counter* m_enc_bytes_in_ = nullptr;
+  obs::Counter* m_enc_bytes_out_ = nullptr;
+  obs::Counter* m_enc_pages_zero_ = nullptr;
+  obs::Counter* m_enc_pages_delta_ = nullptr;
+  obs::Counter* m_enc_pages_skipped_ = nullptr;
   obs::FixedHistogram* m_pause_ms_ = nullptr;
   obs::FixedHistogram* m_degradation_pct_ = nullptr;
   obs::FixedHistogram* m_mttr_ms_ = nullptr;

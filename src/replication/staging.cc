@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "replication/encoder.h"
+
 namespace here::rep {
 
 using common::kPageSize;
@@ -65,6 +67,14 @@ FrameVerdict ReplicaStaging::receive_frame(const wire::RegionFrame& frame) {
   std::lock_guard lock(commit_mu_);
   if (frame.epoch != open_epoch_) return FrameVerdict::kWrongEpoch;
   if (frames_.contains(frame.seq)) return FrameVerdict::kDuplicate;
+  // Version discipline: a frame beyond this replica's decoder, or one that
+  // disagrees with the version the epoch header announced, can never decode
+  // — NACK it like any other damage.
+  if (frame.version > supported_wire_version() ||
+      (expectation_armed_ && frame.version != expected_.version)) {
+    corrupt_regions_.insert(frame.region);
+    return FrameVerdict::kCorrupt;
+  }
   if (!wire::frame_intact(frame)) {
     corrupt_regions_.insert(frame.region);
     return FrameVerdict::kCorrupt;
@@ -143,6 +153,21 @@ Expected<std::uint64_t> ReplicaStaging::commit() {
                                ": rolling digest mismatch");
     }
   }
+  // Decode encoded frames against the committed image *before* anything is
+  // applied: a delta/skip whose base hash disagrees with the image (stale
+  // reference, post-commit rot) refuses the whole epoch — refuse-before-apply
+  // extends to the encoder layer.
+  std::map<std::uint64_t, std::vector<std::uint8_t>> decoded;
+  for (const auto& [seq, frame] : frames_) {
+    if (frame.version == wire::kWireVersionRaw) continue;
+    Expected<std::vector<std::uint8_t>> d = decode_frame(frame, memory_);
+    if (!d.ok()) {
+      return Status::data_loss("epoch " + std::to_string(open_epoch_) +
+                               ": frame seq " + std::to_string(seq) +
+                               " refused: " + std::string(d.status().message()));
+    }
+    decoded.emplace(seq, std::move(*d));
+  }
   std::uint64_t applied = 0;
   std::set<std::uint32_t> touched;
   for (auto& b : buffers_) {
@@ -159,9 +184,12 @@ Expected<std::uint64_t> ReplicaStaging::commit() {
   // Seq order: a retransmitted frame (higher seq, same region) lands after
   // the original, so the last writer wins deterministically.
   for (const auto& [seq, frame] : frames_) {
+    const auto it = decoded.find(seq);
+    const std::uint8_t* payload =
+        it != decoded.end() ? it->second.data() : frame.bytes.data();
     for (std::size_t i = 0; i < frame.gfns.size(); ++i) {
-      memory_.install_page(
-          frame.gfns[i], {frame.bytes.data() + i * kPageSize, kPageSize});
+      memory_.install_page(frame.gfns[i],
+                           {payload + i * kPageSize, kPageSize});
       ++applied;
     }
     touched.insert(frame.region);

@@ -73,6 +73,12 @@ class ReplicaStaging {
   // absorbed here). commit() refuses the epoch unless every expected frame
   // verified and the recomputed rolling digest matches the header.
 
+  // Highest wire version this replica can decode; the primary proposes
+  // min(its own capability, this) when negotiating the stream version.
+  [[nodiscard]] static constexpr std::uint16_t supported_wire_version() {
+    return wire::kWireVersionEncoded;
+  }
+
   // Arms integrity verification for the open epoch. Reset by begin_epoch /
   // abort_epoch.
   void expect_epoch(const wire::EpochHeader& header);
@@ -101,9 +107,11 @@ class ReplicaStaging {
 
   // Atomically applies the open epoch and returns pages applied. With an
   // expectation armed (verified frame path) the commit is refused — nothing
-  // applied, kDataLoss — when frames are missing or corrupt or the recomputed
-  // rolling digest disagrees with the epoch header. Without an expectation
-  // (legacy worker-buffer path) the commit is unconditional.
+  // applied, kDataLoss — when frames are missing or corrupt, the recomputed
+  // rolling digest disagrees with the epoch header, or an encoded frame's
+  // delta/skip base disagrees with the committed image (version-1 frames are
+  // decoded *before* anything is applied). Without an expectation (legacy
+  // worker-buffer path) the commit is unconditional.
   [[nodiscard]] Expected<std::uint64_t> commit();
 
   // Discards a partially received epoch (primary failed mid-checkpoint).

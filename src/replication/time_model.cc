@@ -44,6 +44,27 @@ sim::Duration TimeModel::checkpoint_copy(std::uint64_t max_worker_pages,
   return std::max(cpu, wire_time(static_cast<std::uint64_t>(bytes)));
 }
 
+sim::Duration TimeModel::checkpoint_copy_encoded(
+    sim::Duration max_worker_cpu, std::uint64_t encoded_wire_bytes) const {
+  return std::max(max_worker_cpu, wire_time(encoded_wire_bytes));
+}
+
+sim::Duration TimeModel::encoded_shard_cpu(std::uint64_t raw_pages,
+                                           std::uint32_t threads,
+                                           sim::Duration encode_cpu) const {
+  const double eff = efficiency(config_.copy_eff, threads);
+  return scale_per_page(config_.per_page_copy, raw_pages, 1.0 / eff) +
+         encode_cpu;
+}
+
+sim::Duration TimeModel::encode_cpu(std::uint64_t zero_scans,
+                                    std::uint64_t hashes,
+                                    std::uint64_t delta_pages) const {
+  return scale_per_page(config_.encode_zero_scan_per_page, zero_scans, 1.0) +
+         scale_per_page(config_.encode_page_hash_per_page, hashes, 1.0) +
+         scale_per_page(config_.encode_delta_per_page, delta_pages, 1.0);
+}
+
 sim::Duration TimeModel::seed_copy(std::uint64_t max_worker_pages,
                                    std::uint64_t total_pages,
                                    std::uint32_t threads) const {

@@ -53,6 +53,17 @@ struct TimeModelConfig {
   // Local CoW page duplication (speculative checkpointing): a plain local
   // memcpy, ~6 GB/s per thread.
   sim::Duration per_page_cow = sim::Duration{700};  // 0.7 us
+
+  // Content-aware encoder stage (src/replication/encoder.h) cycle costs.
+  // Each encoder declares its per-page CPU here so the engine reports the
+  // *real* copy cost of the encoded stream to PeriodManager/Algorithm 1:
+  //   * zero_scan: read 4 KiB and compare against zero (~25 GB/s);
+  //   * page_hash: byte-wise FNV-1a over the page;
+  //   * delta_encode: XOR against the shadow + RLE emit (same ballpark as
+  //     the XBZRLE compression cost above).
+  sim::Duration encode_zero_scan_per_page = sim::Duration{160};   // 0.16 us
+  sim::Duration encode_page_hash_per_page = sim::Duration{400};   // 0.4 us
+  sim::Duration encode_delta_per_page = sim::Duration{1100};      // 1.1 us
 };
 
 class TimeModel {
@@ -69,6 +80,27 @@ class TimeModel {
                                               std::uint64_t total_pages,
                                               std::uint32_t threads,
                                               bool compressed = false) const;
+
+  // Encoded-stream variant: `max_worker_cpu` is the slowest worker's shard
+  // cost (price each worker with encoded_shard_cpu) and the wire term
+  // serializes the *encoded* bytes — the whole point of driving α down.
+  [[nodiscard]] sim::Duration checkpoint_copy_encoded(
+      sim::Duration max_worker_cpu, std::uint64_t encoded_wire_bytes) const;
+
+  // CPU cost of one worker's encoded shard. Only raw-fallback pages pay the
+  // full per-page stream copy: a collapsed page (zero/skip/delta) is read in
+  // place by the encoder — which holds a persistent mapping and its own
+  // shadow — and emits a header or a few delta bytes instead of the 4 KiB
+  // memcpy into the migration stream. Its cycles are `encode_cpu`, which
+  // rides on top.
+  [[nodiscard]] sim::Duration encoded_shard_cpu(std::uint64_t raw_pages,
+                                                std::uint32_t threads,
+                                                sim::Duration encode_cpu) const;
+
+  // Prices one worker's encoder work (model-scaled page counts).
+  [[nodiscard]] sim::Duration encode_cpu(std::uint64_t zero_scans,
+                                         std::uint64_t hashes,
+                                         std::uint64_t delta_pages) const;
 
   // Seeding-phase (live migration) copy of one iteration.
   [[nodiscard]] sim::Duration seed_copy(std::uint64_t max_worker_pages,

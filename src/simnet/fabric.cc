@@ -181,6 +181,10 @@ FrameFate Fabric::transmit_frame(NodeId a, NodeId b,
   FrameFate fate;
   fate.delivered_bytes = payload.size();
   ++frames_sent_;
+  frame_bytes_sent_ += payload.size();
+  if (m_frame_bytes_ != nullptr) {
+    m_frame_bytes_->add(static_cast<double>(payload.size()));
+  }
   if (dir->down) {
     fate.lost = true;
     fate.delivered_bytes = 0;
@@ -304,6 +308,7 @@ void Fabric::attach_obs(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
     m_bytes_ = &metrics->counter("net.bytes_sent");
     m_dropped_ = &metrics->counter("net.packets_dropped");
     m_lost_ = &metrics->counter("net.packets_lost");
+    m_frame_bytes_ = &metrics->counter("net.frame_bytes_sent");
     m_queue_us_ = &metrics->histogram(
         "net.queue_us", {1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 100000});
   }

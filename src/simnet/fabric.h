@@ -127,6 +127,12 @@ class Fabric {
 
   [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
   [[nodiscard]] std::uint64_t frames_damaged() const { return frames_damaged_; }
+  // Total checkpoint-frame payload bytes offered to the data plane (encoded
+  // bytes when the stream runs an encoder; retransmissions count again).
+  // This is what the encoder ablation reads to prove the wire got cheaper.
+  [[nodiscard]] std::uint64_t frame_bytes_sent() const {
+    return frame_bytes_sent_;
+  }
 
   // Reseeds the loss + data-plane streams (same seed + same plan => same
   // drops and same corruptions).
@@ -190,6 +196,7 @@ class Fabric {
   sim::Rng data_rng_{0xda7ab17fULL};  // dedicated stream for data-plane faults
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_damaged_ = 0;
+  std::uint64_t frame_bytes_sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t lost_ = 0;  // subset of dropped_: random loss, not partition
@@ -199,6 +206,7 @@ class Fabric {
   obs::Counter* m_bytes_ = nullptr;
   obs::Counter* m_dropped_ = nullptr;
   obs::Counter* m_lost_ = nullptr;
+  obs::Counter* m_frame_bytes_ = nullptr;
   obs::FixedHistogram* m_queue_us_ = nullptr;
 };
 

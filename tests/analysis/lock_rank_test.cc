@@ -215,6 +215,43 @@ TEST_F(LockRankTest, ConditionWaitWhileHoldingAnotherMutexFires) {
   EXPECT_NE(v.report.find("condition-variable wait"), std::string::npos);
 }
 
+TEST_F(LockRankTest, EncoderStateSlotsBetweenPmlRingAndStagingCommit) {
+#if defined(HERE_LOCK_RANK_DISABLED)
+  GTEST_SKIP() << "lock-rank checking compiled out";
+#endif
+  // Rank 250 (rep.encoder_state): encode workers take it as a leaf under the
+  // pool queue / PML ring, and the sim thread's commit path may touch it
+  // before staging — so the legal chain is 100 -> 200 -> 250 -> 300.
+  RankedMutex pool(LockRank::kThreadPoolQueue, "thread_pool.queue");
+  RankedMutex ring(LockRank::kPmlRing, "hv.pml_ring");
+  RankedMutex enc(LockRank::kEncoderState, "rep.encoder_state");
+  RankedMutex staging(LockRank::kStagingCommit, "rep.staging_commit");
+
+  pool.lock();
+  ring.lock();
+  enc.lock();
+  staging.lock();
+  staging.unlock();
+  enc.unlock();
+  ring.unlock();
+  pool.unlock();
+  EXPECT_TRUE(violations().empty());
+
+  // The inverse — reaching the encoder's pending stage while holding the
+  // staging commit lock (a decode path tempted to consult primary-side
+  // references) — is the deadlock seed the slot exists to catch.
+  staging.lock();
+  enc.lock();
+  enc.unlock();
+  staging.unlock();
+
+  ASSERT_EQ(violations().size(), 1u);
+  const LockRankViolation& v = violations()[0];
+  EXPECT_EQ(v.held_rank, LockRank::kStagingCommit);
+  EXPECT_EQ(v.acquiring_rank, LockRank::kEncoderState);
+  EXPECT_STREQ(v.acquiring_name, "rep.encoder_state");
+}
+
 TEST_F(LockRankTest, EnginePoolInversionFires) {
 #if defined(HERE_LOCK_RANK_DISABLED)
   GTEST_SKIP() << "lock-rank checking compiled out";
