@@ -16,6 +16,7 @@ const char* to_string(LockRank rank) {
     case LockRank::kPmlRing: return "hv.pml_ring";
     case LockRank::kEncoderState: return "rep.encoder_state";
     case LockRank::kStagingCommit: return "rep.staging_commit";
+    case LockRank::kDurableStore: return "rep.durable_store";
     case LockRank::kTraceSink: return "obs.trace_sink";
   }
   return "unranked";

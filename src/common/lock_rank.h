@@ -37,6 +37,8 @@
 //   200  hv.pml_ring         per-vCPU dirty ring (migrator drain path)
 //   250  rep.encoder_state   EncoderPipeline pending references / stats
 //   300  rep.staging_commit  ReplicaStaging epoch commit path
+//   350  rep.durable_store   DurableStore WAL/snapshot segments (called from
+//                            inside the staging commit, hence above 300)
 //   400  obs.trace_sink      RingBufferRecorder (leaf: always innermost)
 #pragma once
 
@@ -53,6 +55,7 @@ enum class LockRank : std::uint32_t {
   kPmlRing = 200,
   kEncoderState = 250,
   kStagingCommit = 300,
+  kDurableStore = 350,
   kTraceSink = 400,
 };
 

@@ -140,6 +140,30 @@ FaultPlan& FaultPlan::migrator_stall(std::string engine, sim::TimePoint at,
               .amount = stall});
 }
 
+FaultPlan& FaultPlan::secondary_crash(std::string engine, sim::TimePoint at,
+                                      sim::Duration reboot_after) {
+  return add({.type = FaultType::kSecondaryCrash,
+              .at = at,
+              .duration = reboot_after,
+              .target = std::move(engine)});
+}
+
+FaultPlan& FaultPlan::wal_torn_write(std::string engine, sim::TimePoint at,
+                                     std::uint64_t bytes) {
+  return add({.type = FaultType::kWalTornWrite,
+              .at = at,
+              .target = std::move(engine),
+              .magnitude = static_cast<double>(bytes)});
+}
+
+FaultPlan& FaultPlan::wal_truncation(std::string engine, sim::TimePoint at,
+                                     std::uint64_t bytes) {
+  return add({.type = FaultType::kWalTruncation,
+              .at = at,
+              .target = std::move(engine),
+              .magnitude = static_cast<double>(bytes)});
+}
+
 std::vector<FaultSpec> FaultPlan::schedule() const {
   std::vector<FaultSpec> out = specs_;
   std::stable_sort(out.begin(), out.end(),
@@ -216,6 +240,12 @@ FaultPlan FaultPlan::random(std::uint64_t seed,
     candidates.push_back(FaultType::kLinkDuplication);
     candidates.push_back(FaultType::kLinkReordering);
   }
+  // Durability faults append after the data faults, same stability argument.
+  if (config.durability_faults && !config.engines.empty()) {
+    candidates.push_back(FaultType::kSecondaryCrash);
+    candidates.push_back(FaultType::kWalTornWrite);
+    candidates.push_back(FaultType::kWalTruncation);
+  }
   if (candidates.empty() || config.end <= config.start) return plan;
 
   for (std::uint32_t i = 0; i < config.events; ++i) {
@@ -266,6 +296,16 @@ FaultPlan FaultPlan::random(std::uint64_t seed,
       case FaultType::kLinkReordering:
         spec.target = pick(rng, config.links);
         spec.magnitude = rng.uniform01() * config.max_frame_fault_prob;
+        break;
+      case FaultType::kSecondaryCrash:
+        spec.target = pick(rng, config.engines);
+        break;  // `duration` (drawn above) doubles as the reboot delay
+      case FaultType::kWalTornWrite:
+      case FaultType::kWalTruncation:
+        spec.target = pick(rng, config.engines);
+        spec.magnitude = static_cast<double>(
+            1 + rng.uniform(config.max_wal_damage_bytes));
+        spec.duration = {};  // one-shot, nothing to clear
         break;
       case FaultType::kHostRepair:
       case FaultType::kLinkHeal:

@@ -44,6 +44,14 @@ enum class FaultType : std::uint8_t {
   kDiskWriteErrors, // writes fail while active; auto-clears
   // Engine faults (target: a registered engine).
   kMigratorStall,   // amount = stall added to the next checkpoint pause
+  // Durability faults (target: a registered engine). The secondary host
+  // process dies and reboots after `duration` (0 means "stay down"); the
+  // engine rejoins from its DurableStore when one is attached, or falls
+  // back to a full resync. The WAL faults damage the durable log's tail so
+  // recovery must refuse the torn/truncated records.
+  kSecondaryCrash,  // duration = reboot delay; one-shot (engine self-heals)
+  kWalTornWrite,    // magnitude = bytes scribbled over the WAL tail
+  kWalTruncation,   // magnitude = bytes chopped off the WAL tail
 };
 
 [[nodiscard]] constexpr std::string_view to_string(FaultType type) {
@@ -63,6 +71,9 @@ enum class FaultType : std::uint8_t {
     case FaultType::kDiskSlowdown: return "disk-slowdown";
     case FaultType::kDiskWriteErrors: return "disk-write-errors";
     case FaultType::kMigratorStall: return "migrator-stall";
+    case FaultType::kSecondaryCrash: return "secondary-crash";
+    case FaultType::kWalTornWrite: return "wal-torn-write";
+    case FaultType::kWalTruncation: return "wal-truncation";
   }
   return "unknown";
 }
@@ -94,6 +105,9 @@ struct RandomPlanConfig {
   // types, which re-maps every (seed, config) pair — existing seeded plans
   // stay stable as long as this is false.
   bool data_faults = false;
+  // Durability faults (secondary crash/reboot, WAL tail damage) are opt-in
+  // for the same reason; their candidates append after the data faults.
+  bool durability_faults = false;
   sim::Duration min_hold = sim::from_millis(200);
   sim::Duration max_hold = sim::from_seconds(2);
   double max_loss = 0.4;             // kLinkLoss magnitude in (0, max_loss]
@@ -101,6 +115,7 @@ struct RandomPlanConfig {
   double max_disk_slowdown = 8.0;    // kDiskSlowdown in (1, max]
   sim::Duration max_latency_spike = sim::from_millis(5);
   sim::Duration max_stall = sim::from_millis(50);
+  std::uint64_t max_wal_damage_bytes = 4096;  // torn-write/truncation sizes
   double max_bit_error_rate = 1e-6;  // kLinkBitErrors magnitude in (0, max]
   double max_frame_fault_prob = 0.2; // truncation/dup/reorder prob in (0, max]
 };
@@ -144,6 +159,12 @@ class FaultPlan {
                                sim::Duration clear_after = {});
   FaultPlan& migrator_stall(std::string engine, sim::TimePoint at,
                             sim::Duration stall);
+  FaultPlan& secondary_crash(std::string engine, sim::TimePoint at,
+                             sim::Duration reboot_after);
+  FaultPlan& wal_torn_write(std::string engine, sim::TimePoint at,
+                            std::uint64_t bytes);
+  FaultPlan& wal_truncation(std::string engine, sim::TimePoint at,
+                            std::uint64_t bytes);
 
   // --- Seeded-random generation ----------------------------------------------
 

@@ -89,6 +89,9 @@ void FaultInjector::arm(const FaultPlan& plan) {
         (void)link_for(spec);
         break;
       case FaultType::kMigratorStall:
+      case FaultType::kSecondaryCrash:
+      case FaultType::kWalTornWrite:
+      case FaultType::kWalTruncation:
         (void)engine_for(spec);
         break;
     }
@@ -173,6 +176,17 @@ void FaultInjector::apply(const FaultSpec& spec) {
     case FaultType::kMigratorStall:
       engine_for(spec).inject_migrator_stall(spec.amount);
       break;
+    case FaultType::kSecondaryCrash:
+      engine_for(spec).inject_secondary_crash(spec.duration);
+      break;
+    case FaultType::kWalTornWrite:
+      engine_for(spec).inject_wal_torn_write(
+          static_cast<std::uint64_t>(spec.magnitude));
+      break;
+    case FaultType::kWalTruncation:
+      engine_for(spec).inject_wal_truncation(
+          static_cast<std::uint64_t>(spec.magnitude));
+      break;
   }
   record(spec, /*clear=*/false);
 }
@@ -240,6 +254,9 @@ void FaultInjector::clear(const FaultSpec& spec) {
     case FaultType::kHostRepair:
     case FaultType::kLinkHeal:
     case FaultType::kMigratorStall:
+    case FaultType::kSecondaryCrash:  // reboot is self-scheduled by the engine
+    case FaultType::kWalTornWrite:
+    case FaultType::kWalTruncation:
       return;  // one-shot faults have nothing to clear
   }
   record(spec, /*clear=*/true);

@@ -1,6 +1,19 @@
 #include "hv/disk.h"
 
+#include <algorithm>
+
 namespace here::hv {
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> VirtualDisk::sorted_stamps()
+    const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  out.reserve(stamps_.size());
+  // detlint: allow(unordered-iter) -- collected into a vector and sorted;
+  // the returned enumeration is deterministic for any iteration order.
+  for (const auto& [sector, stamp] : stamps_) out.emplace_back(sector, stamp);
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
 bool VirtualDisk::apply(const DiskWrite& write) {
   if (fail_writes_) {

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace here::hv {
 
@@ -43,6 +45,19 @@ class VirtualDisk {
 
   [[nodiscard]] std::uint64_t sectors_written() const { return sectors_written_; }
   [[nodiscard]] std::size_t distinct_sectors() const { return stamps_.size(); }
+
+  // --- Durable-store serialization (src/replication/durable_store) ------------
+
+  // Every written sector's stamp, ascending by sector — the deterministic
+  // enumeration the snapshot serializer needs.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  sorted_stamps() const;
+
+  // Reinstalls one stamp during recovery. Bypasses fault injection and the
+  // write counters: recovery reconstructs state, it does not perform I/O.
+  void restore_stamp(std::uint64_t sector, std::uint64_t stamp) {
+    stamps_[sector] = stamp;
+  }
 
   // --- Fault injection (src/faults drives these) ------------------------------
 

@@ -92,9 +92,7 @@ net::LinkArbiter* ProtectionManager::link_arbiter_of(const hv::Host& host) {
   return nullptr;
 }
 
-rep::ReplicationConfig ProtectionManager::config_for(const VmPolicy& policy,
-                                                     hv::Host& primary,
-                                                     hv::Host& secondary) {
+rep::ReplicationConfig ProtectionManager::config_for(const VmPolicy& policy) {
   rep::ReplicationConfig config = defaults_;
   if (policy.target_degradation >= 0.0) {
     config.period.target_degradation = policy.target_degradation;
@@ -104,11 +102,28 @@ rep::ReplicationConfig ProtectionManager::config_for(const VmPolicy& policy,
     config.checkpoint_threads = policy.checkpoint_threads;
   }
   config.flow_weight = policy.flow_weight;
-  if (fleet_enabled_) {
-    config.migrator_pool = &pool_for(primary);
-    config.link_arbiter = &arbiter_for(secondary);
-  }
   return config;
+}
+
+void ProtectionManager::enable_durable_replicas(rep::DurableStoreConfig config) {
+  durable_config_ = config;
+  durable_enabled_ = true;
+}
+
+rep::EngineEnv ProtectionManager::env_for(hv::Host& primary,
+                                          hv::Host& secondary,
+                                          Protection& protection) {
+  rep::EngineEnv env;
+  if (fleet_enabled_) {
+    env.migrator_pool = &pool_for(primary);
+    env.link_arbiter = &arbiter_for(secondary);
+  }
+  if (durable_enabled_) {
+    protection.stores.push_back(
+        std::make_unique<rep::DurableStore>(durable_config_));
+    env.durable_store = protection.stores.back().get();
+  }
+  return env;
 }
 
 Expected<rep::ReplicationEngine*> ProtectionManager::protect(hv::Vm& vm,
@@ -135,7 +150,7 @@ Expected<rep::ReplicationEngine*> ProtectionManager::protect(
   }
   // Validate the *effective* config — defaults plus the per-VM policy —
   // before anything is built, so a bad override fails as a value too.
-  const rep::ReplicationConfig config = config_for(policy, home, *partner);
+  const rep::ReplicationConfig config = config_for(policy);
   if (const Status s = rep::validate_replication_config(config); !s.ok()) {
     return s;
   }
@@ -148,7 +163,8 @@ Expected<rep::ReplicationEngine*> ProtectionManager::protect(
   protection->vm = &vm;
   protection->policy = policy;
   protection->engines.push_back(std::make_unique<rep::ReplicationEngine>(
-      sim_, fabric_, home, *partner, config));
+      sim_, fabric_, home, *partner, config,
+      env_for(home, *partner, *protection)));
   if (const Status s = protection->engines.back()->start_protection(vm);
       !s.ok()) {
     return s;  // the half-built Protection dies with this scope
@@ -185,11 +201,12 @@ void ProtectionManager::policy_tick() {
     // policy follows it across generations; the reversed direction means
     // the survivor's pool and the failed host's ingest arbiter now apply.
     protection->engines.push_back(std::make_unique<rep::ReplicationEngine>(
-        sim_, fabric_, *survivor, *failed,
-        config_for(protection->policy, *survivor, *failed)));
+        sim_, fabric_, *survivor, *failed, config_for(protection->policy),
+        env_for(*survivor, *failed, *protection)));
     if (const Status s = protection->engines.back()->start_protection(*replica);
         !s.ok()) {
       protection->engines.pop_back();
+      if (durable_enabled_) protection->stores.pop_back();
       HERE_LOG(kWarn, "mgmt: re-protecting '%s' failed: %s",
                protection->domain.c_str(), s.to_string().c_str());
       continue;

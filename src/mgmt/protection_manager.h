@@ -88,6 +88,12 @@ class ProtectionManager {
   // new engine in the reverse direction (generation + 1).
   void enable_auto_reprotect(sim::Duration poll = sim::from_seconds(1));
 
+  // Durable replica state for protections started *after* this call: each
+  // new engine generation gets its own DurableStore on its secondary, so a
+  // crashed secondary rejoins from snapshot+WAL with per-region delta
+  // resync instead of a full re-send (src/replication/durable_store.h).
+  void enable_durable_replicas(rep::DurableStoreConfig config = {});
+
   struct Protection {
     std::string domain;
     hv::Host* primary = nullptr;    // current primary
@@ -95,6 +101,10 @@ class ProtectionManager {
     hv::Vm* vm = nullptr;           // current authoritative VM
     std::uint32_t generation = 1;   // bumps on every re-protection
     VmPolicy policy{};              // carried across re-protections
+    // Durable stores, one per engine generation (a re-protection reverses
+    // direction, so the old secondary's store does not carry over).
+    // Declared before `engines` so each store outlives its borrower.
+    std::vector<std::unique_ptr<rep::DurableStore>> stores;
     // All engines ever created for this domain; the last is current. Older
     // generations stay alive because their service nodes keep routing
     // clients that have not re-resolved yet.
@@ -102,6 +112,9 @@ class ProtectionManager {
 
     [[nodiscard]] rep::ReplicationEngine& engine() const {
       return *engines.back();
+    }
+    [[nodiscard]] rep::DurableStore* store() const {
+      return stores.empty() ? nullptr : stores.back().get();
     }
   };
 
@@ -147,9 +160,12 @@ class ProtectionManager {
   void weight_tick();
   [[nodiscard]] rep::MigratorPool& pool_for(hv::Host& primary);
   [[nodiscard]] net::LinkArbiter& arbiter_for(hv::Host& secondary);
-  [[nodiscard]] rep::ReplicationConfig config_for(const VmPolicy& policy,
-                                                  hv::Host& primary,
-                                                  hv::Host& secondary);
+  [[nodiscard]] rep::ReplicationConfig config_for(const VmPolicy& policy);
+  // Builds the engine environment for one generation: fleet schedulers when
+  // enabled, plus a fresh per-generation DurableStore (owned by
+  // `protection`) when durable replicas are on.
+  [[nodiscard]] rep::EngineEnv env_for(hv::Host& primary, hv::Host& secondary,
+                                       Protection& protection);
 
   sim::Simulation& sim_;
   net::Fabric& fabric_;
@@ -163,6 +179,8 @@ class ProtectionManager {
   // (pointer-keyed maps would make reports nondeterministic).
   FleetConfig fleet_;
   bool fleet_enabled_ = false;
+  rep::DurableStoreConfig durable_config_;
+  bool durable_enabled_ = false;
   std::vector<std::pair<hv::Host*, std::unique_ptr<rep::MigratorPool>>> pools_;
   std::vector<std::pair<hv::Host*, std::unique_ptr<net::LinkArbiter>>>
       arbiters_;

@@ -1,0 +1,443 @@
+#include "replication/durable_store.h"
+
+#include <algorithm>
+#include <mutex>
+#include <string>
+
+#include "common/crc32c.h"
+#include "hv/guest_memory.h"
+#include "replication/staging.h"
+
+namespace here::rep {
+
+namespace {
+
+using common::kPageSize;
+
+constexpr std::uint32_t kRecordMagic = 0x31534448;  // 'HDS1' little-endian
+constexpr std::uint32_t kKindSnapshot = 1;
+constexpr std::uint32_t kKindWalEpoch = 2;
+// Framing overhead around every payload: magic + kind + len + crc.
+constexpr std::uint64_t kRecordOverhead = 4 + 4 + 8 + 4;
+
+// --- Little-endian serialization ---------------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+  }
+}
+
+void put_bytes(std::vector<std::uint8_t>& out,
+               std::span<const std::uint8_t> bytes) {
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+// Bounds-checked reader over one segment. Every get_* clears `ok` on
+// underrun instead of reading past the end — a truncated tail parses as
+// "damaged", never as garbage values.
+struct Reader {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  [[nodiscard]] bool need(std::size_t n) {
+    if (!ok || data.size() - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::uint8_t get_u8() {
+    if (!need(1)) return 0;
+    return data[pos++];
+  }
+  [[nodiscard]] std::uint16_t get_u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) v |= std::uint16_t{data[pos++]} << (i * 8);
+    return v;
+  }
+  [[nodiscard]] std::uint32_t get_u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{data[pos++]} << (i * 8);
+    return v;
+  }
+  [[nodiscard]] std::uint64_t get_u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{data[pos++]} << (i * 8);
+    return v;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> get_bytes(std::size_t n) {
+    if (!need(n)) return {};
+    const std::span<const std::uint8_t> s = data.subspan(pos, n);
+    pos += n;
+    return s;
+  }
+  [[nodiscard]] bool done() const { return ok && pos == data.size(); }
+};
+
+// Pulls one framed record off `r`. Returns false — without advancing past
+// recoverable state — when the framing or CRC is damaged.
+bool next_record(Reader& r, std::uint32_t& kind,
+                 std::span<const std::uint8_t>& payload) {
+  if (r.get_u32() != kRecordMagic) return false;
+  kind = r.get_u32();
+  const std::uint64_t len = r.get_u64();
+  payload = r.get_bytes(static_cast<std::size_t>(len));
+  const std::uint32_t crc = r.get_u32();
+  if (!r.ok) return false;
+  return common::crc32c(payload) == crc;
+}
+
+void serialize_frame(std::vector<std::uint8_t>& out,
+                     const wire::RegionFrame& frame) {
+  put_u64(out, frame.seq);
+  put_u32(out, frame.region);
+  put_u16(out, frame.version);
+  put_u32(out, static_cast<std::uint32_t>(frame.gfns.size()));
+  for (const common::Gfn gfn : frame.gfns) put_u64(out, gfn);
+  put_u32(out, static_cast<std::uint32_t>(frame.pages.size()));
+  for (const wire::PageMeta& meta : frame.pages) {
+    put_u8(out, static_cast<std::uint8_t>(meta.enc));
+    put_u32(out, meta.length);
+    put_u64(out, meta.aux);
+  }
+  put_u64(out, frame.bytes.size());
+  put_bytes(out, frame.bytes);
+  put_u32(out, frame.crc);
+}
+
+bool deserialize_frame(Reader& r, std::uint64_t epoch,
+                       wire::RegionFrame& frame) {
+  frame.epoch = epoch;
+  frame.seq = r.get_u64();
+  frame.region = r.get_u32();
+  frame.version = r.get_u16();
+  const std::uint32_t gfns = r.get_u32();
+  if (!r.need(std::size_t{gfns} * 8)) return false;
+  frame.gfns.reserve(gfns);
+  for (std::uint32_t i = 0; i < gfns; ++i) frame.gfns.push_back(r.get_u64());
+  const std::uint32_t metas = r.get_u32();
+  if (!r.need(std::size_t{metas} * 13)) return false;
+  frame.pages.reserve(metas);
+  for (std::uint32_t i = 0; i < metas; ++i) {
+    wire::PageMeta meta;
+    meta.enc = static_cast<wire::PageEncoding>(r.get_u8());
+    meta.length = r.get_u32();
+    meta.aux = r.get_u64();
+    frame.pages.push_back(meta);
+  }
+  const std::uint64_t payload = r.get_u64();
+  if (!r.need(static_cast<std::size_t>(payload))) return false;
+  const std::span<const std::uint8_t> bytes =
+      r.get_bytes(static_cast<std::size_t>(payload));
+  frame.bytes.assign(bytes.begin(), bytes.end());
+  frame.crc = r.get_u32();
+  return r.ok;
+}
+
+bool page_is_zero(std::span<const std::uint8_t> page) {
+  for (const std::uint8_t b : page) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DurableStore::DurableStore(DurableStoreConfig config) : config_(config) {}
+
+void DurableStore::append_record(std::vector<std::uint8_t>& segment,
+                                 std::uint32_t kind,
+                                 std::span<const std::uint8_t> payload) {
+  put_u32(segment, kRecordMagic);
+  put_u32(segment, kind);
+  put_u64(segment, payload.size());
+  put_bytes(segment, payload);
+  put_u32(segment, common::crc32c(payload));
+  stats_.bytes_appended += payload.size() + kRecordOverhead;
+}
+
+void DurableStore::write_snapshot(std::uint64_t epoch,
+                                  const hv::GuestMemory& memory,
+                                  const hv::VirtualDisk& disk) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, epoch);
+  const std::size_t count_at = payload.size();
+  put_u64(payload, 0);  // patched below with the stored-page count
+  std::uint64_t stored = 0;
+  for (std::uint64_t gfn = 0; gfn < memory.pages(); ++gfn) {
+    const std::span<const std::uint8_t> page = memory.page(common::Gfn{gfn});
+    if (page_is_zero(page)) continue;  // fresh frames are zeroed at recovery
+    put_u64(payload, gfn);
+    put_bytes(payload, page);
+    ++stored;
+  }
+  for (int i = 0; i < 8; ++i) {
+    payload[count_at + i] = static_cast<std::uint8_t>(stored >> (i * 8));
+  }
+  put_u64(payload, disk.total_sectors());
+  const auto stamps = disk.sorted_stamps();
+  put_u64(payload, stamps.size());
+  for (const auto& [sector, stamp] : stamps) {
+    put_u64(payload, sector);
+    put_u64(payload, stamp);
+  }
+
+  std::lock_guard lock(mu_);
+  // Atomic rotation: the fresh snapshot is fully serialized and CRC-sealed
+  // before it replaces the old segment; only then is the WAL cleared.
+  std::vector<std::uint8_t> segment;
+  append_record(segment, kKindSnapshot, payload);
+  snapshot_seg_ = std::move(segment);
+  wal_seg_.clear();
+  wal_records_ = 0;
+  ++stats_.snapshots;
+}
+
+void DurableStore::append_epoch(const WalRecord& record) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, record.epoch);
+  put_u16(payload, record.version);
+  put_u64(payload, record.header_digest);
+  put_u32(payload, static_cast<std::uint32_t>(record.frames.size()));
+  for (const wire::RegionFrame& frame : record.frames) {
+    serialize_frame(payload, frame);
+  }
+  put_u32(payload, static_cast<std::uint32_t>(record.disk_writes.size()));
+  for (const hv::DiskWrite& write : record.disk_writes) {
+    put_u64(payload, write.sector);
+    put_u32(payload, write.sectors);
+    put_u64(payload, write.stamp);
+  }
+  put_u32(payload, static_cast<std::uint32_t>(record.region_digests.size()));
+  for (const auto& [region, digest] : record.region_digests) {
+    put_u32(payload, region);
+    put_u64(payload, digest);
+  }
+
+  std::lock_guard lock(mu_);
+  append_record(wal_seg_, kKindWalEpoch, payload);
+  ++wal_records_;
+  ++stats_.wal_appends;
+}
+
+bool DurableStore::rotation_due() const {
+  std::lock_guard lock(mu_);
+  return wal_records_ >= config_.snapshot_interval_epochs;
+}
+
+Expected<DurableStore::Snapshot> DurableStore::read_snapshot() const {
+  std::lock_guard lock(mu_);
+  if (snapshot_seg_.empty()) {
+    return Status::not_found("durable store holds no snapshot");
+  }
+  Reader r{snapshot_seg_};
+  std::uint32_t kind = 0;
+  std::span<const std::uint8_t> payload;
+  if (!next_record(r, kind, payload) || kind != kKindSnapshot) {
+    return Status::data_loss("snapshot segment failed framing/CRC checks");
+  }
+  Reader p{payload};
+  Snapshot snap;
+  snap.epoch = p.get_u64();
+  const std::uint64_t pages = p.get_u64();
+  snap.pages.reserve(static_cast<std::size_t>(pages));
+  for (std::uint64_t i = 0; i < pages && p.ok; ++i) {
+    const std::uint64_t gfn = p.get_u64();
+    const std::span<const std::uint8_t> bytes = p.get_bytes(kPageSize);
+    if (!p.ok) break;
+    snap.pages.emplace_back(common::Gfn{gfn},
+                            std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+  }
+  snap.disk_total_sectors = p.get_u64();
+  const std::uint64_t stamps = p.get_u64();
+  snap.disk_stamps.reserve(static_cast<std::size_t>(stamps));
+  for (std::uint64_t i = 0; i < stamps && p.ok; ++i) {
+    const std::uint64_t sector = p.get_u64();
+    const std::uint64_t stamp = p.get_u64();
+    snap.disk_stamps.emplace_back(sector, stamp);
+  }
+  if (!p.done()) {
+    return Status::data_loss("snapshot payload malformed");
+  }
+  return snap;
+}
+
+DurableStore::Log DurableStore::read_log() const {
+  std::lock_guard lock(mu_);
+  Log log;
+  Reader r{wal_seg_};
+  while (r.ok && r.pos < wal_seg_.size()) {
+    const std::size_t record_start = r.pos;
+    std::uint32_t kind = 0;
+    std::span<const std::uint8_t> payload;
+    if (!next_record(r, kind, payload) || kind != kKindWalEpoch) {
+      log.damaged_tail = true;
+      r.pos = record_start;  // everything from here on is unusable
+      break;
+    }
+    Reader p{payload};
+    WalRecord record;
+    record.epoch = p.get_u64();
+    record.version = p.get_u16();
+    record.header_digest = p.get_u64();
+    const std::uint32_t frames = p.get_u32();
+    bool record_ok = p.ok;
+    record.frames.reserve(frames);
+    for (std::uint32_t i = 0; i < frames && record_ok; ++i) {
+      wire::RegionFrame frame;
+      record_ok = deserialize_frame(p, record.epoch, frame);
+      if (record_ok) record.frames.push_back(std::move(frame));
+    }
+    const std::uint32_t writes = record_ok ? p.get_u32() : 0;
+    for (std::uint32_t i = 0; i < writes && p.ok; ++i) {
+      hv::DiskWrite write;
+      write.sector = p.get_u64();
+      write.sectors = p.get_u32();
+      write.stamp = p.get_u64();
+      record.disk_writes.push_back(write);
+    }
+    const std::uint32_t digests = record_ok && p.ok ? p.get_u32() : 0;
+    for (std::uint32_t i = 0; i < digests && p.ok; ++i) {
+      const std::uint32_t region = p.get_u32();
+      const std::uint64_t digest = p.get_u64();
+      record.region_digests.emplace_back(region, digest);
+    }
+    if (!record_ok || !p.done()) {
+      log.damaged_tail = true;
+      break;
+    }
+    log.bytes_read = r.pos;
+    log.records.push_back(std::move(record));
+  }
+  if (log.damaged_tail) log.bytes_read = wal_seg_.size();
+  return log;
+}
+
+DurableStore::Stats DurableStore::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::uint64_t DurableStore::wal_bytes() const {
+  std::lock_guard lock(mu_);
+  return wal_seg_.size();
+}
+
+std::uint64_t DurableStore::snapshot_bytes() const {
+  std::lock_guard lock(mu_);
+  return snapshot_seg_.size();
+}
+
+std::uint64_t DurableStore::wal_record_count() const {
+  std::lock_guard lock(mu_);
+  return wal_records_;
+}
+
+void DurableStore::damage_wal_tail(std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t n = std::min<std::uint64_t>(bytes, wal_seg_.size());
+  for (std::uint64_t i = wal_seg_.size() - n; i < wal_seg_.size(); ++i) {
+    wal_seg_[i] ^= 0xA5;
+  }
+}
+
+void DurableStore::truncate_wal_tail(std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t n = std::min<std::uint64_t>(bytes, wal_seg_.size());
+  wal_seg_.resize(wal_seg_.size() - n);
+}
+
+Expected<RecoveryResult> RecoveryManager::recover(
+    ReplicaStaging& staging) const {
+  Expected<DurableStore::Snapshot> snap = store_.read_snapshot();
+  if (!snap.ok()) return snap.status();
+
+  RecoveryResult result;
+  result.snapshot_epoch = (*snap).epoch;
+  result.bytes_read = store_.snapshot_bytes();
+  for (const auto& [gfn, bytes] : (*snap).pages) {
+    staging.install_seed_page(gfn, bytes);
+    ++result.pages_restored;
+  }
+  hv::VirtualDisk disk((*snap).disk_total_sectors);
+  for (const auto& [sector, stamp] : (*snap).disk_stamps) {
+    disk.restore_stamp(sector, stamp);
+  }
+  staging.seed_disk(disk);
+  staging.adopt_recovered((*snap).epoch);
+  result.recovered_epoch = (*snap).epoch;
+
+  const DurableStore::Log log = store_.read_log();
+  result.bytes_read += log.bytes_read;
+  if (log.damaged_tail) ++result.wal_records_refused;
+  for (const WalRecord& record : log.records) {
+    if (record.epoch <= staging.committed_epoch()) continue;  // pre-rotation
+    // Replay through the live verified-frame path: expectation + frame CRCs
+    // + rolling digest + refuse-before-apply decode all re-run here.
+    staging.begin_epoch(record.epoch);
+    wire::EpochHeader header;
+    header.epoch = record.epoch;
+    header.frames = record.frames.size();
+    header.digest = record.header_digest;
+    header.version = record.version;
+    staging.expect_epoch(header);
+    bool frames_ok = true;
+    for (const wire::RegionFrame& frame : record.frames) {
+      if (staging.receive_frame(frame) != FrameVerdict::kOk) {
+        frames_ok = false;
+        break;
+      }
+    }
+    if (frames_ok) staging.buffer_disk_writes(record.disk_writes);
+    const Expected<std::uint64_t> applied =
+        frames_ok ? staging.commit()
+                  : Expected<std::uint64_t>(Status::data_loss(
+                        "WAL frame failed verification at replay"));
+    if (!applied.ok()) {
+      staging.abort_epoch();
+      ++result.wal_records_refused;
+      break;  // later records may delta against the refused epoch
+    }
+    // The record's per-region digests were captured at the original commit;
+    // the replayed image must agree region for region (same digest family
+    // the background scrubber uses).
+    bool digests_ok = true;
+    for (const auto& [region, digest] : record.region_digests) {
+      if (staging.committed_region_digest(region) != digest) {
+        digests_ok = false;
+        break;
+      }
+    }
+    if (!digests_ok) {
+      // The image no longer matches what was acked — stop here and let the
+      // engine's digest-diff resync repair the divergence by delta.
+      ++result.wal_records_refused;
+      break;
+    }
+    result.recovered_epoch = record.epoch;
+    ++result.wal_records_replayed;
+  }
+  return result;
+}
+
+}  // namespace here::rep

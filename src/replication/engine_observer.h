@@ -1,8 +1,9 @@
 // Listener interface for replication-engine lifecycle events.
 //
 // Replaces the engine's original ad-hoc `std::function on_protected` callback
-// (still available as a deprecated shim on protect()): management layers,
-// benches and tests register an observer once and receive the full lifecycle
+// (the legacy protect() shim that carried it is gone — see
+// docs/api_migration.md): management layers, benches and tests register an
+// observer once and receive the full lifecycle
 // instead of polling `failed_over()` / `stats()` on a timer. Observers are
 // borrowed pointers and must outlive the engine; callbacks run inline on the
 // simulated-time event that produced them, so they see a consistent engine
@@ -42,6 +43,8 @@ enum class DegradedKind : std::uint8_t {
   kMigratorStall,      // an injected migrator-thread stall was absorbed
   kDataCorruption,     // repeated checkpoint-frame verification failures
   kScrubRepair,        // scrub found post-commit divergence; re-send scheduled
+  kSecondaryCrash,     // replica staging lost; protection suspended
+  kSecondaryRejoined,  // secondary recovered; resync in flight until commit
 };
 
 struct DegradedEvent {

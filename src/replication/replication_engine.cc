@@ -87,14 +87,15 @@ sim::Duration scaled(sim::Duration d, double factor) {
 ReplicationEngine::ReplicationEngine(sim::Simulation& simulation,
                                      net::Fabric& fabric, hv::Host& primary,
                                      hv::Host& secondary,
-                                     ReplicationConfig config)
+                                     ReplicationConfig config, EngineEnv env)
     : sim_(simulation),
       fabric_(fabric),
       primary_(primary),
       secondary_(secondary),
       config_(validated(std::move(config))),
+      env_(env),
       model_(config_.time_model),
-      pool_(config_.migrator_pool != nullptr
+      pool_(env_.migrator_pool != nullptr
                 ? nullptr
                 : std::make_unique<common::ThreadPool>(
                       config_.mode == EngineMode::kRemus
@@ -137,6 +138,14 @@ ReplicationEngine::ReplicationEngine(sim::Simulation& simulation,
       m_enc_pages_delta_ = &m.counter("rep.enc_pages_delta");
       m_enc_pages_skipped_ = &m.counter("rep.enc_pages_skipped");
     }
+    if (env_.durable_store != nullptr) {
+      m_wal_appends_ = &m.counter("rep.wal_appends");
+      m_wal_replays_ = &m.counter("rep.wal_replays");
+      m_resync_regions_ = &m.counter("rep.resync_regions");
+      m_rejoin_ms_ = &m.histogram(
+          "rep.rejoin_ms",
+          {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000});
+    }
     m_pause_ms_ = &m.histogram(
         "rep.pause_ms",
         {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
@@ -159,6 +168,7 @@ ReplicationEngine::~ReplicationEngine() {
   sim_.cancel(probe_event_);
   sim_.cancel(failover_activate_event_);
   sim_.cancel(scrub_event_);
+  sim_.cancel(secondary_reboot_event_);
 }
 
 std::uint32_t ReplicationEngine::threads() const {
@@ -166,8 +176,8 @@ std::uint32_t ReplicationEngine::threads() const {
 }
 
 common::ThreadPool& ReplicationEngine::worker_pool() {
-  return config_.migrator_pool != nullptr ? config_.migrator_pool->workers()
-                                          : *pool_;
+  return env_.migrator_pool != nullptr ? env_.migrator_pool->workers()
+                                       : *pool_;
 }
 
 void ReplicationEngine::add_observer(EngineObserver* observer) {
@@ -186,13 +196,13 @@ Status ReplicationEngine::start_protection(hv::Vm& vm) {
   // Fleet scheduling: enroll this engine with the host-shared migrator pool
   // and the secondary's ingest-link arbiter. Both are per-protection, so a
   // re-protected generation registers afresh.
-  if (config_.migrator_pool != nullptr) {
-    pool_client_ = config_.migrator_pool->register_client(
+  if (env_.migrator_pool != nullptr) {
+    pool_client_ = env_.migrator_pool->register_client(
         vm.spec().name, threads(), config_.flow_weight);
   }
-  if (config_.link_arbiter != nullptr) {
+  if (env_.link_arbiter != nullptr) {
     arb_flow_ =
-        config_.link_arbiter->register_flow(vm.spec().name, config_.flow_weight);
+        env_.link_arbiter->register_flow(vm.spec().name, config_.flow_weight);
   }
 
   if (config_.tracer != nullptr) {
@@ -267,15 +277,6 @@ Status ReplicationEngine::start_protection(hv::Vm& vm) {
   return Status::ok_status();
 }
 
-void ReplicationEngine::protect(hv::Vm& vm,
-                                std::function<void()> on_protected) {
-  on_protected_ = std::move(on_protected);
-  if (const Status s = start_protection(vm); !s.ok()) {
-    on_protected_ = nullptr;
-    throw std::logic_error(std::string(s.message()));
-  }
-}
-
 // --- Seeding (with retry) ----------------------------------------------------
 
 void ReplicationEngine::begin_seed_attempt() {
@@ -296,6 +297,11 @@ void ReplicationEngine::begin_seed_attempt() {
   seeder_.reset();  // cancel any stale in-flight seeding event first
   encoder_.reset();  // references describe the old staging image, if any
   staging_ = std::make_unique<ReplicaStaging>(vm_->spec(), threads());
+  // Durable ack path: from epoch 0 on, every commit persists before the
+  // engine treats it as acked (the seed commit itself lands as a snapshot).
+  if (env_.durable_store != nullptr) {
+    staging_->attach_durable_store(env_.durable_store);
+  }
   seeder_ = std::make_unique<Seeder>(sim_, model_, worker_pool(),
                                      primary_.hypervisor(), *vm_, *staging_,
                                      config_.seed, config_.tracer);
@@ -369,6 +375,15 @@ void ReplicationEngine::on_seeded(const SeedResult& result) {
     return;
   }
 
+  // Baseline the engine-side digest mirror: should the secondary crash, the
+  // rejoin diff compares the recovered image against these references.
+  if (env_.durable_store != nullptr) {
+    committed_digest_mirror_.resize(staging_->region_count());
+    for (std::uint32_t r = 0; r < staging_->region_count(); ++r) {
+      committed_digest_mirror_[r] = staging_->committed_region_digest(r);
+    }
+  }
+
   // Baseline the encoder references now, while the VM is paused and the
   // replica's committed image is byte-identical to primary memory: every
   // page has a valid committed reference from epoch 1 on.
@@ -417,7 +432,6 @@ void ReplicationEngine::commit_initial_checkpoint() {
            secondary_.name().c_str(),
            sim::format_duration(stats_.seed.total_time).c_str());
   for (EngineObserver* o : observers_) o->on_protected(*vm_);
-  if (on_protected_) on_protected_();
 }
 
 sim::Duration ReplicationEngine::snapshot_state_and_program() {
@@ -590,9 +604,9 @@ void ReplicationEngine::run_checkpoint() {
   // when other engines' bursts cover this instant. The grant shapes this
   // epoch's parallelism (and therefore its copy/scan cost), which Algorithm 1
   // then feeds back into the VM's period.
-  if (config_.migrator_pool != nullptr) {
+  if (env_.migrator_pool != nullptr) {
     const MigratorPool::Grant grant =
-        config_.migrator_pool->begin_burst(pool_client_);
+        env_.migrator_pool->begin_burst(pool_client_);
     p = std::min(p, grant.threads);
     if (config_.tracer != nullptr) {
       config_.tracer->instant(sim_.now(), "pool.grant", "ckpt",
@@ -618,8 +632,8 @@ void ReplicationEngine::run_checkpoint() {
     }
     per_worker_pages[w] = found[w].size();
   };
-  if (config_.migrator_pool != nullptr) {
-    config_.migrator_pool->run_shards(
+  if (env_.migrator_pool != nullptr) {
+    env_.migrator_pool->run_shards(
         pool_client_, p, [&](std::uint32_t w) { capture_shard(w); });
   } else {
     pool_->run_per_worker([&](std::size_t w) {
@@ -691,9 +705,9 @@ void ReplicationEngine::run_checkpoint() {
         encoder_->encode_region(vm_->memory(), frames[i], enc_work[w]);
       }
     };
-    if (config_.migrator_pool != nullptr) {
-      config_.migrator_pool->run_shards(pool_client_, p, encode_shard,
-                                        MigratorPool::WorkKind::kEncode);
+    if (env_.migrator_pool != nullptr) {
+      env_.migrator_pool->run_shards(pool_client_, p, encode_shard,
+                                     MigratorPool::WorkKind::kEncode);
     } else {
       pool_->run_per_worker([&](std::size_t w) {
         if (w < p) encode_shard(static_cast<std::uint32_t>(w));
@@ -798,7 +812,7 @@ void ReplicationEngine::run_checkpoint() {
   // would, so it folds into copy_cost (and from there into the pause or the
   // background push). Uncontended grants have actual == ideal: zero stretch,
   // byte-identical to the dedicated-wire model.
-  if (config_.link_arbiter != nullptr) {
+  if (env_.link_arbiter != nullptr) {
     double wire_raw;
     if (encoder_ != nullptr) {
       wire_raw = static_cast<double>(encoded_bytes * scale);
@@ -811,8 +825,18 @@ void ReplicationEngine::run_checkpoint() {
     const auto wire_bytes =
         static_cast<std::uint64_t>(wire_raw) + disk_bytes;
     const net::LinkArbiter::Reservation res =
-        config_.link_arbiter->request(arb_flow_, wire_bytes);
+        env_.link_arbiter->request(arb_flow_, wire_bytes);
     if (res.actual > res.ideal) copy_cost += res.actual - res.ideal;
+  }
+  // Durable ack path: the replica WAL-appends the epoch before acking, so
+  // the local NVMe append rides the commit's critical path. Local to the
+  // secondary — deliberately outside the net_penalty scaling above.
+  if (env_.durable_store != nullptr) {
+    const std::uint64_t durable_bytes =
+        (encoder_ != nullptr ? encoded_bytes * scale
+                             : common::pages_to_bytes(captured * scale)) +
+        disk_bytes;
+    state_cost += model_.durable_append(durable_bytes);
   }
   const sim::Duration constants =
       model_.config().checkpoint_setup +
@@ -840,8 +864,8 @@ void ReplicationEngine::run_checkpoint() {
   // the running epoch and retry with backoff (output commit holds: the
   // epoch's buffered output is released only by a later successful commit).
   if (retransmits_exhausted) {
-    if (config_.migrator_pool != nullptr) {
-      config_.migrator_pool->commit_burst(pool_client_, pause);
+    if (env_.migrator_pool != nullptr) {
+      env_.migrator_pool->commit_burst(pool_client_, pause);
     }
     abort_staged_epoch();
     restore_aborted_epoch();
@@ -867,8 +891,8 @@ void ReplicationEngine::run_checkpoint() {
     abort_staged_epoch();
     restore_aborted_epoch();
     const sim::Duration abort_pause = constants + scan_cost;
-    if (config_.migrator_pool != nullptr) {
-      config_.migrator_pool->commit_burst(pool_client_, abort_pause);
+    if (env_.migrator_pool != nullptr) {
+      env_.migrator_pool->commit_burst(pool_client_, abort_pause);
     }
     checkpoint_finish_event_ = sim_.schedule_after(
         abort_pause,
@@ -885,8 +909,8 @@ void ReplicationEngine::run_checkpoint() {
 
   // The burst's busy window covers the whole epoch transfer — pause plus any
   // speculative background push — so overlapping engines see the contention.
-  if (config_.migrator_pool != nullptr) {
-    config_.migrator_pool->commit_burst(pool_client_, pause + background);
+  if (env_.migrator_pool != nullptr) {
+    env_.migrator_pool->commit_burst(pool_client_, pause + background);
   }
 
   if (config_.tracer != nullptr) {
@@ -1098,6 +1122,35 @@ void ReplicationEngine::finish_checkpoint(std::uint64_t epoch,
   last_epoch_gfns_.clear();
   last_epoch_disk_writes_.clear();
   abort_streak_ = 0;
+
+  // Durable ack path: the commit above WAL-appended exactly one record (or
+  // rotated into a snapshot) before returning. Re-mirror the replica's
+  // committed digests on the engine side — staging dies with a secondary
+  // crash, and the rejoin diff needs the last-acked references.
+  if (env_.durable_store != nullptr) {
+    if (m_wal_appends_ != nullptr) m_wal_appends_->add(1);
+    committed_digest_mirror_.resize(staging_->region_count());
+    for (std::uint32_t r = 0; r < staging_->region_count(); ++r) {
+      committed_digest_mirror_[r] = staging_->committed_region_digest(r);
+    }
+  }
+  // First commit after a secondary rejoin: the resynced image is acked and
+  // (if durable) persisted, so the VM survives a primary failure again.
+  if (rejoining_) {
+    rejoining_ = false;
+    stats_.last_rejoin_time = sim_.now() - secondary_crashed_at_;
+    if (m_rejoin_ms_ != nullptr) {
+      m_rejoin_ms_->add(sim::to_seconds(stats_.last_rejoin_time) * 1e3);
+    }
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(sim_.now(), "rejoin.protected", "fo",
+                              {{"epoch", epoch},
+                               {"rejoin_ns",
+                                stats_.last_rejoin_time.count()}});
+    }
+    HERE_LOG(kInfo, "secondary rejoined: protection restored after %s",
+             sim::format_duration(stats_.last_rejoin_time).c_str());
+  }
 
   const std::uint64_t scale = vm_->spec().model_scale;
   CheckpointRecord record;
@@ -1434,6 +1487,205 @@ void ReplicationEngine::inject_migrator_stall(sim::Duration stall) {
   }
   notify_degraded(DegradedKind::kMigratorStall,
                   "migrator threads stalled by fault injection");
+}
+
+void ReplicationEngine::inject_secondary_crash(sim::Duration reboot_after) {
+  if (vm_ == nullptr || !seeded_ || stats_.failed_over ||
+      failover_in_progress_ || secondary_down_) {
+    return;
+  }
+  if (reboot_after < sim::Duration::zero()) reboot_after = sim::Duration{};
+  ++stats_.secondary_crashes;
+  secondary_down_ = true;
+  rejoining_ = true;
+  secondary_crashed_at_ = sim_.now();
+  // The in-flight epoch (if any) dies with the replica's RAM: discard both
+  // sides of the stream and fold the capture back into the running epoch so
+  // the rejoin re-ships it. Output stays buffered — output commit holds
+  // across the outage, released by the first post-rejoin commit.
+  sim_.cancel(checkpoint_event_);
+  sim_.cancel(checkpoint_finish_event_);
+  sim_.cancel(scrub_event_);
+  if (staging_) abort_staged_epoch();
+  restore_aborted_epoch();
+  staging_.reset();
+  if (primary_.alive() && vm_->state() == hv::VmState::kPaused) {
+    primary_.hypervisor().resume(*vm_);
+  }
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "fault.secondary_crash", "fo",
+                            {{"reboot_after_ns", reboot_after.count()},
+                             {"durable", env_.durable_store != nullptr}});
+  }
+  notify_degraded(DegradedKind::kSecondaryCrash,
+                  "secondary crashed; replica staging lost — protection "
+                  "suspended until rejoin");
+  secondary_reboot_event_ = sim_.schedule_after(
+      reboot_after, [this] { on_secondary_rebooted(); }, "secondary-reboot");
+}
+
+void ReplicationEngine::on_secondary_rebooted() {
+  if (vm_ == nullptr || stats_.failed_over || failover_in_progress_) return;
+  secondary_down_ = false;
+  staging_ = std::make_unique<ReplicaStaging>(vm_->spec(), threads());
+  common::DirtyBitmap* bm = primary_.hypervisor().dirty_bitmap(*vm_);
+  const std::uint64_t pages = vm_->memory().pages();
+  const std::uint64_t scale = vm_->spec().model_scale;
+  const std::uint32_t regions = staging_->region_count();
+  const hv::VirtualDisk& primary_disk = primary_.hypervisor().disk(*vm_);
+  std::uint64_t resync = 0;
+  sim::Duration recovery_cost{};
+  bool recovered = false;
+
+  if (env_.durable_store != nullptr) {
+    const RecoveryManager recovery(*env_.durable_store);
+    if (const Expected<RecoveryResult> result = recovery.recover(*staging_);
+        result.ok()) {
+      recovered = true;
+      ++stats_.rejoins;
+      stats_.last_recovery = *result;
+      stats_.wal_records_replayed += (*result).wal_records_replayed;
+      if (m_wal_replays_ != nullptr) {
+        m_wal_replays_->add((*result).wal_records_replayed);
+      }
+      recovery_cost = model_.durable_replay((*result).bytes_read * scale,
+                                            (*result).wal_records_replayed);
+      // Digest diff, two levels. A region whose recovered digest agrees with
+      // the last-acked mirror is byte-identical: no re-send. For a divergent
+      // region (lost WAL tail, damaged record, never committed) the replica
+      // answers with its per-page digests — 8 bytes a page on the wire — and
+      // only the pages that actually disagree with the primary re-cross as
+      // part of the next epoch. Without the page-level pass a single torn
+      // epoch with scattered writes would re-ship every touched region
+      // whole, which is most of what the full reseed sends anyway.
+      std::uint64_t digest_pages = 0;
+      for (std::uint32_t r = 0; r < regions; ++r) {
+        const std::uint64_t want = r < committed_digest_mirror_.size()
+                                       ? committed_digest_mirror_[r]
+                                       : 0;
+        if (want != 0 && staging_->committed_region_digest(r) == want) {
+          continue;
+        }
+        ++resync;
+        // The encoder's shadow holds the primary's last committed content,
+        // which the recovered replica no longer matches — deltas against it
+        // would not apply, so the divergent pages go raw.
+        if (encoder_ != nullptr) encoder_->invalidate_region(r);
+        const common::Gfn first = std::uint64_t{r} * kPagesPerRegion;
+        const common::Gfn last =
+            std::min<common::Gfn>(first + kPagesPerRegion, pages);
+        digest_pages += last - first;
+        for (common::Gfn g = first; g < last; ++g) {
+          if (vm_->memory().page_digest(g) !=
+              staging_->memory().page_digest(g)) {
+            if (bm != nullptr) bm->set(g);
+            ++stats_.resync_pages;
+          }
+        }
+      }
+      // The page-digest exchange is wire traffic too: 8 bytes per modelled
+      // page of every divergent region, both directions.
+      recovery_cost += model_.wire_time(2 * digest_pages * 8ULL * scale);
+    } else if (config_.tracer != nullptr) {
+      config_.tracer->instant(
+          sim_.now(), "rejoin.recovery_failed", "fo",
+          {{"status", result.status().to_string()}});
+    }
+  }
+  if (!recovered) {
+    // No durable store (or an unusable snapshot): nothing survives locally,
+    // so every page is re-sent through the checkpoint path — the
+    // full-reseed-equivalent baseline bench/rejoin_resync compares against.
+    ++stats_.full_resyncs;
+    resync = regions;
+    for (std::uint32_t r = 0; r < regions; ++r) {
+      if (encoder_ != nullptr) encoder_->invalidate_region(r);
+    }
+    if (bm != nullptr) {
+      for (common::Gfn g = 0; g < pages; ++g) bm->set(g);
+    }
+  }
+
+  // Disk resync: the primary's mirror is authoritative. Sectors whose
+  // stamps survive recovery intact cost nothing; divergent (or, without
+  // recovery, all) sectors re-cross the wire. The re-mirrored disk may run
+  // ahead of the recovered memory by the open epoch's writes — harmless, as
+  // failover stays impossible until the next commit delivers machine state.
+  std::uint64_t divergent_sectors = 0;
+  {
+    const auto want = primary_disk.sorted_stamps();
+    const auto have = staging_->disk().sorted_stamps();
+    std::size_t i = 0;
+    for (const auto& [sector, stamp] : want) {
+      while (i < have.size() && have[i].first < sector) ++i;
+      const bool match =
+          i < have.size() && have[i].first == sector && have[i].second == stamp;
+      if (!match) ++divergent_sectors;
+    }
+  }
+  staging_->seed_disk(primary_disk);
+  stats_.resync_disk_sectors += divergent_sectors;
+  recovery_cost += model_.wire_time(divergent_sectors * 512ULL);
+
+  stats_.resync_regions += resync;
+  if (m_resync_regions_ != nullptr) m_resync_regions_->add(resync);
+
+  // Persist the recovered state as a fresh snapshot: a damaged WAL tail must
+  // not linger into the next crash. (Attach happens after recovery so replay
+  // never feeds back into the log.)
+  if (env_.durable_store != nullptr) {
+    staging_->attach_durable_store(env_.durable_store);
+    env_.durable_store->write_snapshot(staging_->committed_epoch(),
+                                       staging_->memory(), staging_->disk());
+  }
+
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "rejoin.begin", "fo",
+                            {{"recovered", recovered},
+                             {"resync_regions", resync},
+                             {"regions", regions},
+                             {"divergent_sectors", divergent_sectors},
+                             {"recovery_ns", recovery_cost.count()}});
+  }
+  notify_degraded(
+      DegradedKind::kSecondaryRejoined,
+      (recovered ? "secondary recovered from snapshot+WAL; resyncing " +
+                       std::to_string(resync) + " of " +
+                       std::to_string(regions) + " region(s) by delta"
+                 : "secondary rebooted without recoverable state; full "
+                   "resync of " + std::to_string(regions) + " region(s)"));
+
+  // Checkpointing resumes once the local replay has (in modelled time)
+  // finished; the first epoch then carries the resync set.
+  secondary_reboot_event_ = sim_.schedule_after(
+      recovery_cost,
+      [this] {
+        if (vm_ == nullptr || stats_.failed_over || failover_in_progress_) {
+          return;
+        }
+        last_checkpoint_done_ = sim_.now();
+        schedule_checkpoint();
+        schedule_scrub();
+      },
+      "rejoin-resume");
+}
+
+void ReplicationEngine::inject_wal_torn_write(std::uint64_t bytes) {
+  if (env_.durable_store == nullptr || bytes == 0) return;
+  env_.durable_store->damage_wal_tail(bytes);
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "fault.wal_torn_write", "fo",
+                            {{"bytes", bytes}});
+  }
+}
+
+void ReplicationEngine::inject_wal_truncation(std::uint64_t bytes) {
+  if (env_.durable_store == nullptr || bytes == 0) return;
+  env_.durable_store->truncate_wal_tail(bytes);
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "fault.wal_truncation", "fo",
+                            {{"bytes", bytes}});
+  }
 }
 
 void ReplicationEngine::notify_degraded(DegradedKind kind, std::string detail) {

@@ -23,10 +23,10 @@
 // Hardening knobs live in FaultToleranceConfig; every default preserves the
 // original fail-stop behaviour bit-for-bit, so fault-free runs are
 // unchanged. Lifecycle consumers implement EngineObserver
-// (engine_observer.h) instead of the deprecated protect() callback.
+// (engine_observer.h); the legacy protect() shim and its ad-hoc callback
+// were removed (docs/api_migration.md).
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -38,6 +38,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "replication/detectors.h"
+#include "replication/durable_store.h"
 #include "replication/encoder.h"
 #include "replication/engine_observer.h"
 #include "replication/io_buffer.h"
@@ -103,6 +104,29 @@ struct FaultToleranceConfig {
   sim::Duration scrub_interval{};
 };
 
+// Host-shared services the engine *borrows* from its environment, passed at
+// construction next to (not inside) ReplicationConfig: the config describes
+// policy knobs that are meaningful per engine, the environment names
+// longer-lived infrastructure that is owned elsewhere and must outlive the
+// engine. A default-constructed EngineEnv reproduces the standalone engine
+// byte-for-byte (private thread pool, dedicated wire, no durability).
+struct EngineEnv {
+  // Shared host migrator pool: when set, checkpoint bursts draw fair-share
+  // thread grants from it instead of a private pool, so N engines on one
+  // host contend explicitly. Null keeps the original dedicated pool.
+  MigratorPool* migrator_pool = nullptr;
+  // Shared replication-link bandwidth arbiter: when set, every epoch
+  // transfer reserves WFQ capacity and contention stretches the pause.
+  // Null models the wire as dedicated, unchanged.
+  net::LinkArbiter* link_arbiter = nullptr;
+  // Secondary-local durable store (durable_store.h): when set, every
+  // committed epoch is WAL-appended before the commit is acked, and a
+  // crashed secondary (inject_secondary_crash) rejoins from snapshot+WAL
+  // with per-region delta resync instead of a full re-send. Null means a
+  // secondary crash costs the full-reseed-equivalent resync.
+  DurableStore* durable_store = nullptr;
+};
+
 struct ReplicationConfig {
   EngineMode mode = EngineMode::kHere;
   // Migrator threads for the continuous phase (paper evaluates P = #vCPUs).
@@ -136,17 +160,8 @@ struct ReplicationConfig {
   bool speculative_cow = false;
   // Engine-hardening behaviour under injected faults (src/faults).
   FaultToleranceConfig ft;
-  // --- Multi-VM protection (fleet scheduling) --------------------------------
-  // Shared host migrator pool: when set (borrowed; must outlive the engine),
-  // checkpoint bursts draw fair-share thread grants from it instead of a
-  // private pool, so N engines on one host contend explicitly. Null keeps
-  // the original dedicated pool, byte-for-byte.
-  MigratorPool* migrator_pool = nullptr;
-  // Shared replication-link bandwidth arbiter: when set (borrowed), every
-  // epoch transfer reserves WFQ capacity and contention stretches the pause.
-  // Null models the wire as dedicated, unchanged.
-  net::LinkArbiter* link_arbiter = nullptr;
   // Fair-share weight of this engine on the shared pool and link (> 0).
+  // Only consulted when EngineEnv carries a pool or arbiter.
   double flow_weight = 1.0;
   // Observability (src/obs): borrowed pointers, either may be null, both
   // must outlive the engine. The engine (and the components it drives:
@@ -191,6 +206,17 @@ struct EngineStats {
   // (pre-model_scale) page counts and bytes, cumulative over encode passes
   // including aborted epochs — it measures encode work done, not commits.
   EncodeStats encode;
+
+  // Durable-rejoin accounting (all zero without secondary crashes).
+  std::uint64_t secondary_crashes = 0;  // injected secondary process crashes
+  std::uint64_t rejoins = 0;            // local snapshot+WAL recoveries
+  std::uint64_t full_resyncs = 0;       // rejoins that fell back to re-send-all
+  std::uint64_t wal_records_replayed = 0;
+  std::uint64_t resync_regions = 0;     // regions with any post-recovery divergence
+  std::uint64_t resync_pages = 0;       // real pages re-sent after page-digest diff
+  std::uint64_t resync_disk_sectors = 0;  // divergent sectors re-mirrored
+  sim::Duration last_rejoin_time{};     // crash -> first post-rejoin commit
+  RecoveryResult last_recovery;         // outcome of the last local recovery
   // Watchdog verdict ("", "crash-suspected" or "partition-suspected");
   // populated on heartbeat-loss failovers when probing is enabled.
   std::string failure_classification;
@@ -217,9 +243,12 @@ class ReplicationEngine {
   // via KVM's dirty bitmap instead of PML rings), which is what enables
   // re-protection after a failover. Remus mode requires a homogeneous
   // pair. Hosts must already be connected on the interconnect fabric.
+  // `env` aggregates the host-shared services the engine borrows (pool,
+  // link arbiter, durable store); the default EngineEnv is the standalone
+  // single-engine environment.
   ReplicationEngine(sim::Simulation& simulation, net::Fabric& fabric,
                     hv::Host& primary, hv::Host& secondary,
-                    ReplicationConfig config);
+                    ReplicationConfig config, EngineEnv env = {});
   ~ReplicationEngine();
 
   ReplicationEngine(const ReplicationEngine&) = delete;
@@ -233,13 +262,6 @@ class ReplicationEngine {
   // (protection established, checkpoints, failover) go to registered
   // EngineObservers.
   [[nodiscard]] Status start_protection(hv::Vm& vm);
-
-  // Deprecated shim over start_protection(): `on_protected` fires when
-  // epoch 0 commits, and failures throw std::logic_error instead of
-  // returning. Kept so pre-Status callers compile; new code registers an
-  // EngineObserver and checks the returned Status.
-  [[deprecated("use start_protection() and add_observer()")]]
-  void protect(hv::Vm& vm, std::function<void()> on_protected = {});
 
   // Registers a lifecycle observer (borrowed; must outlive the engine).
   void add_observer(EngineObserver* observer);
@@ -260,6 +282,26 @@ class ReplicationEngine {
   // `stall` to the next checkpoint's pause (a wedged copy thread in the real
   // system holds the VM paused exactly this way).
   void inject_migrator_stall(sim::Duration stall);
+
+  // Fault-injection hook (src/faults): the secondary's replication process
+  // crashes now and reboots after `reboot_after`. The staging area (replica
+  // RAM) is lost immediately; the in-flight epoch folds back into the
+  // running one and checkpointing stops. On reboot the engine rejoins:
+  // with a durable store it recovers locally from snapshot+WAL and re-sends
+  // only digest-divergent regions; without one every page is re-sent (the
+  // full-reseed-equivalent baseline). Protection (failover eligibility) is
+  // restored at the first post-rejoin commit. No-op before epoch 0 commits
+  // or after failover.
+  void inject_secondary_crash(sim::Duration reboot_after);
+
+  // Fault-injection hooks (src/faults): damage the durable WAL tail, as a
+  // torn write (XOR corruption) or a truncation (power cut mid-append).
+  // No-ops without a durable store.
+  void inject_wal_torn_write(std::uint64_t bytes);
+  void inject_wal_truncation(std::uint64_t bytes);
+
+  // True between a secondary reboot and the first post-rejoin commit.
+  [[nodiscard]] bool rejoining() const { return rejoining_; }
 
   [[nodiscard]] bool protecting() const { return vm_ != nullptr; }
   [[nodiscard]] bool seeded() const { return seeded_; }
@@ -283,13 +325,14 @@ class ReplicationEngine {
   [[nodiscard]] PeriodManager& period_manager() { return period_; }
   [[nodiscard]] const TimeModel& time_model() const { return model_; }
   [[nodiscard]] const ReplicationConfig& config() const { return config_; }
+  [[nodiscard]] const EngineEnv& env() const { return env_; }
 
   [[nodiscard]] bool heterogeneous() const {
     return primary_.hypervisor().kind() != secondary_.hypervisor().kind();
   }
 
   // Fleet-scheduling identities (valid once start_protection ran; only
-  // meaningful when the corresponding config pointer is set).
+  // meaningful when the corresponding EngineEnv pointer is set).
   [[nodiscard]] MigratorPool::ClientId pool_client() const {
     return pool_client_;
   }
@@ -349,6 +392,12 @@ class ReplicationEngine {
   void fence_failover();
   void activate_replica();
 
+  // --- Secondary crash / rejoin ----------------------------------------------
+  // Rebuilds staging on secondary reboot: local recovery (durable store) or
+  // full resync, then the digest-diff that schedules divergent regions for
+  // re-send. Checkpointing resumes after the modelled recovery time.
+  void on_secondary_rebooted();
+
   void on_guest_tx(const net::Packet& packet);
   void on_service_packet(const net::Packet& packet);
 
@@ -359,6 +408,7 @@ class ReplicationEngine {
   hv::Host& primary_;
   hv::Host& secondary_;
   ReplicationConfig config_;
+  EngineEnv env_;
   TimeModel model_;
   // Private worker pool; null when a shared MigratorPool is configured.
   std::unique_ptr<common::ThreadPool> pool_;
@@ -378,7 +428,6 @@ class ReplicationEngine {
   std::unique_ptr<Seeder> seeder_;
   std::vector<std::unique_ptr<FailureDetector>> detectors_;
   std::vector<EngineObserver*> observers_;
-  std::function<void()> on_protected_;  // legacy protect() callback
 
   bool seeded_ = false;
   bool failover_in_progress_ = false;
@@ -407,6 +456,16 @@ class ReplicationEngine {
   sim::EventId probe_event_;
   sim::EventId failover_activate_event_;
   sim::EventId scrub_event_;
+  sim::EventId secondary_reboot_event_;
+
+  // Secondary crash / rejoin state. The digest mirror tracks the replica's
+  // committed per-region digests on the *engine* side: staging dies with the
+  // secondary, and the rejoin diff needs the last-acked references to decide
+  // which regions the recovered image is missing.
+  bool rejoining_ = false;
+  bool secondary_down_ = false;
+  sim::TimePoint secondary_crashed_at_{};
+  std::vector<std::uint64_t> committed_digest_mirror_;
 
   // Cached metric instruments (all null when config_.metrics is null).
   obs::Counter* m_epochs_ = nullptr;
@@ -426,6 +485,10 @@ class ReplicationEngine {
   obs::Counter* m_enc_pages_zero_ = nullptr;
   obs::Counter* m_enc_pages_delta_ = nullptr;
   obs::Counter* m_enc_pages_skipped_ = nullptr;
+  obs::Counter* m_wal_appends_ = nullptr;
+  obs::Counter* m_wal_replays_ = nullptr;
+  obs::Counter* m_resync_regions_ = nullptr;
+  obs::FixedHistogram* m_rejoin_ms_ = nullptr;
   obs::FixedHistogram* m_pause_ms_ = nullptr;
   obs::FixedHistogram* m_degradation_pct_ = nullptr;
   obs::FixedHistogram* m_mttr_ms_ = nullptr;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "replication/durable_store.h"
 #include "replication/encoder.h"
 
 namespace here::rep {
@@ -168,6 +169,25 @@ Expected<std::uint64_t> ReplicaStaging::commit() {
     }
     decoded.emplace(seq, std::move(*d));
   }
+  // Durable capture: the verified frames, epoch header and disk writes are
+  // consumed by the apply below, so copy them out first. Only the verified
+  // frame path can be re-described as a WAL record; commits that carry
+  // worker-buffered pages (seeding, legacy path) persist as full snapshots.
+  bool worker_pages = false;
+  for (const auto& b : buffers_) worker_pages |= !b.gfns.empty();
+  const bool log_epoch =
+      durable_ != nullptr && expectation_armed_ && !worker_pages;
+  WalRecord durable_record;
+  if (log_epoch) {
+    durable_record.epoch = open_epoch_;
+    durable_record.version = expected_.version;
+    durable_record.header_digest = expected_.digest;
+    durable_record.frames.reserve(frames_.size());
+    for (const auto& [seq, frame] : frames_) {
+      durable_record.frames.push_back(frame);
+    }
+    durable_record.disk_writes = pending_disk_writes_;
+  }
   std::uint64_t applied = 0;
   std::set<std::uint32_t> touched;
   for (auto& b : buffers_) {
@@ -210,6 +230,24 @@ Expected<std::uint64_t> ReplicaStaging::commit() {
   } else {
     for (const std::uint32_t r : touched) refresh_region_digest(r);
   }
+  // Durable append before ack: the commit's return is what the engine acks,
+  // so by the time the primary hears "committed" the epoch is on (modelled)
+  // stable storage. Rotation folds the WAL into a fresh snapshot once
+  // enough epochs accumulate.
+  if (durable_ != nullptr) {
+    if (log_epoch) {
+      for (const std::uint32_t r : touched) {
+        durable_record.region_digests.emplace_back(
+            r, committed_region_digests_[r]);
+      }
+      durable_->append_epoch(durable_record);
+      if (durable_->rotation_due()) {
+        durable_->write_snapshot(committed_epoch_, memory_, disk_);
+      }
+    } else {
+      durable_->write_snapshot(committed_epoch_, memory_, disk_);
+    }
+  }
   return applied;
 }
 
@@ -230,6 +268,15 @@ void ReplicaStaging::abort_epoch() {
 
 std::unique_ptr<hv::GuestProgram> ReplicaStaging::take_committed_program() {
   return std::move(committed_program_);
+}
+
+void ReplicaStaging::adopt_recovered(std::uint64_t epoch) {
+  std::lock_guard lock(commit_mu_);
+  open_epoch_ = epoch;
+  committed_epoch_ = epoch;
+  // Baseline every region off the just-installed image so scrub comparisons
+  // and WAL-replay digest checks have references to verify against.
+  for (std::uint32_t r = 0; r < region_count(); ++r) refresh_region_digest(r);
 }
 
 }  // namespace here::rep

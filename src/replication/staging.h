@@ -26,6 +26,8 @@
 
 namespace here::rep {
 
+class DurableStore;
+
 // Outcome of offering one wire frame to the staging area.
 enum class FrameVerdict : std::uint8_t {
   kOk,          // verified and buffered (also: a retransmit that repaired)
@@ -119,6 +121,22 @@ class ReplicaStaging {
 
   [[nodiscard]] std::uint64_t committed_epoch() const { return committed_epoch_; }
   [[nodiscard]] bool has_committed() const { return committed_state_ != nullptr; }
+
+  // --- Durability (src/replication/durable_store.h) ----------------------------
+
+  // Attaches the secondary's durable store: every commit() appends the epoch
+  // to the WAL (or rotates to a fresh snapshot) *before* returning — i.e.
+  // before the engine acks the checkpoint. Null detaches; the store must
+  // outlive the staging area.
+  void attach_durable_store(DurableStore* store) { durable_ = store; }
+  [[nodiscard]] DurableStore* durable_store() const { return durable_; }
+
+  // Adopts a recovered image (RecoveryManager): marks `epoch` committed and
+  // baselines every region digest off the just-installed pages. The machine
+  // state is *not* recovered — has_committed() stays false until the first
+  // post-rejoin commit delivers one — so protection is reduced, not restored,
+  // until the primary's next checkpoint lands.
+  void adopt_recovered(std::uint64_t epoch);
   [[nodiscard]] const hv::SavedMachineState* committed_state() const {
     return committed_state_.get();
   }
@@ -161,6 +179,7 @@ class ReplicaStaging {
   hv::VmSpec spec_;
   hv::GuestMemory memory_;
   hv::VirtualDisk disk_;
+  DurableStore* durable_ = nullptr;
   std::vector<hv::DiskWrite> pending_disk_writes_;
   std::vector<WorkerBuffer> buffers_;
   std::uint64_t seeded_pages_ = 0;

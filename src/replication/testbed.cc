@@ -34,8 +34,14 @@ Testbed::Testbed(TestbedConfig config)
     fabric_.attach_obs(config_.engine.tracer, config_.engine.metrics);
   }
 
+  EngineEnv env;
+  if (config_.durable_replica) {
+    store_ = std::make_unique<DurableStore>(config_.durable);
+    env.durable_store = store_.get();
+  }
   engine_ = std::make_unique<ReplicationEngine>(sim_, fabric_, *primary_,
-                                                *secondary_, config_.engine);
+                                                *secondary_, config_.engine,
+                                                env);
 }
 
 hv::Vm& Testbed::create_vm(std::unique_ptr<hv::GuestProgram> program) {

@@ -25,6 +25,11 @@ struct TestbedConfig {
   hv::VmSpec vm_spec = hv::make_vm_spec("protected", 4, 512ULL << 20);
   std::uint64_t seed = 42;
   sim::HostProfile hardware = sim::grid5000_host();
+  // When set, the testbed owns a DurableStore on the secondary and wires it
+  // into the engine's EngineEnv: commits append to a WAL, and a crashed
+  // secondary rejoins from snapshot+WAL with per-region delta resync.
+  bool durable_replica = false;
+  DurableStoreConfig durable{};
 };
 
 class Testbed {
@@ -40,6 +45,8 @@ class Testbed {
   }
   [[nodiscard]] ReplicationEngine& engine() { return *engine_; }
   [[nodiscard]] const TestbedConfig& config() const { return config_; }
+  // Null unless config.durable_replica was set.
+  [[nodiscard]] DurableStore* durable_store() { return store_.get(); }
 
   // Creates the protected VM on the primary, attaches `program`, starts it.
   hv::Vm& create_vm(std::unique_ptr<hv::GuestProgram> program);
@@ -65,6 +72,7 @@ class Testbed {
   net::Fabric fabric_;
   std::unique_ptr<hv::Host> primary_;
   std::unique_ptr<hv::Host> secondary_;
+  std::unique_ptr<DurableStore> store_;  // before engine_: outlives borrower
   std::unique_ptr<ReplicationEngine> engine_;
 };
 

@@ -98,4 +98,18 @@ sim::Duration TimeModel::wire_time(std::uint64_t bytes) const {
                            config_.wire_bytes_per_second);
 }
 
+sim::Duration TimeModel::durable_append(std::uint64_t bytes) const {
+  return config_.durable_append_setup +
+         sim::from_seconds(static_cast<double>(bytes) /
+                           config_.durable_bytes_per_second);
+}
+
+sim::Duration TimeModel::durable_replay(std::uint64_t bytes,
+                                        std::uint64_t records) const {
+  sim::Duration setup{config_.durable_replay_setup.count() *
+                      static_cast<std::int64_t>(records)};
+  return setup + sim::from_seconds(static_cast<double>(bytes) /
+                                   config_.durable_bytes_per_second);
+}
+
 }  // namespace here::rep

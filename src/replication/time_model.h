@@ -64,6 +64,14 @@ struct TimeModelConfig {
   sim::Duration encode_zero_scan_per_page = sim::Duration{160};   // 0.16 us
   sim::Duration encode_page_hash_per_page = sim::Duration{400};   // 0.4 us
   sim::Duration encode_delta_per_page = sim::Duration{1100};      // 1.1 us
+
+  // Durable replica store (src/replication/durable_store.h): sequential
+  // append/replay bandwidth of the secondary's local NVMe plus per-record
+  // overheads. Appends overlap the network transfer on the secondary, so a
+  // WAL append only shows up in the pause when it outlasts the wire.
+  double durable_bytes_per_second = 2.0e9;
+  sim::Duration durable_append_setup = sim::from_micros(20);   // per record
+  sim::Duration durable_replay_setup = sim::from_micros(50);   // per record
 };
 
 class TimeModel {
@@ -121,6 +129,14 @@ class TimeModel {
   [[nodiscard]] sim::Duration pml_drain(std::uint64_t entries) const;
 
   [[nodiscard]] sim::Duration wire_time(std::uint64_t bytes) const;
+
+  // Durable WAL append of one epoch record (`bytes` on local storage).
+  [[nodiscard]] sim::Duration durable_append(std::uint64_t bytes) const;
+
+  // Recovery replay: sequential read of snapshot + WAL plus per-record
+  // verification/apply overhead.
+  [[nodiscard]] sim::Duration durable_replay(std::uint64_t bytes,
+                                             std::uint64_t records) const;
 
   [[nodiscard]] static double efficiency(const double eff[4], std::uint32_t threads);
 
