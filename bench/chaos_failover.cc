@@ -10,11 +10,27 @@
 // resumption time plus the hardening counters (aborted epochs, seed
 // attempts). Availability is the fraction of 50 ms samples during the
 // impaired window where the engine could serve clients.
+//
+// A third sweep covers the primary-recovery subsystem:
+//   3. recovery race: the crashed primary microreboots in place with a
+//      swept recovery latency, racing the secondary's failover; each cell
+//      reports which side won the resume arbitration and how long the
+//      episode took to resolve.
+//   4. cascade:       two sequential host faults across three heterogeneous
+//      hosts, re-protecting to N+1 each time; reports per-generation
+//      MTTR-to-reprotection and the delta-seed savings of the repaired
+//      host rejoining from its surviving durable store.
+// Sweeps 3 and 4 feed --bench-out (BENCH_chaos_mttr.json): the scenarios
+// are fully seeded, so the file is byte-identical across runs.
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "faults/fault_plan.h"
 #include "faults/injector.h"
+#include "kvmsim/kvm_hypervisor.h"
+#include "mgmt/protection_manager.h"
+#include "mgmt/virt.h"
+#include "xensim/xen_hypervisor.h"
 
 namespace here::bench {
 namespace {
@@ -119,6 +135,158 @@ ChaosResult run_cell(const ChaosCell& cell, ObsSession& obs) {
   return result;
 }
 
+// --- Recovery race sweep -----------------------------------------------------
+
+struct RaceResult {
+  bool primary_won = false;     // resume probe granted, protection continued
+  double resolution_ms = 0.0;   // fault injection -> arbitration resolved
+  std::uint64_t fenced = 0;     // armed activations cancelled by the probe
+};
+
+// One recovery-race episode: crash the primary, microreboot it in place
+// with the given window, and report which side of the protection pair won
+// the resume arbitration and how long the episode took to resolve.
+RaceResult run_race_cell(sim::Duration reboot_window) {
+  rep::TestbedConfig config;
+  config.vm_spec = paper_vm(0.25);
+  config.engine.period.t_max = sim::from_millis(500);
+  // A fencing window puts all three regimes in the sweep: recovery before
+  // detection (plain grant), recovery inside the armed window (the probe
+  // fences the activation, then grants), recovery after activation (deny).
+  config.engine.ft.fencing_window = sim::from_millis(250);
+  rep::Testbed bed(config);
+  hv::Vm& vm = bed.create_vm(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(15)));
+  bed.protect(vm);
+  bed.run_until_seeded();
+  bed.simulation().run_for(sim::from_seconds(2));
+
+  const sim::TimePoint t_fault = bed.simulation().now();
+  bed.primary().inject_fault(hv::FaultKind::kCrash);
+  bed.primary().begin_microreboot(reboot_window);
+  bed.run_until(
+      [&] {
+        const rep::EngineStats& s = bed.engine().stats();
+        return s.resume_grants + s.primary_demotions >= 1;
+      },
+      sim::from_seconds(30));
+
+  const rep::EngineStats& stats = bed.engine().stats();
+  RaceResult result;
+  result.primary_won = stats.resume_grants == 1;
+  result.fenced = stats.failovers_fenced;
+  if (result.primary_won) {
+    // Primary won: resolution is fault -> grant observed (sampled at the
+    // run_until granularity, deterministic per config).
+    result.resolution_ms = sim::to_millis(bed.simulation().now() - t_fault);
+  } else {
+    // Replica won: resolution is fault -> service resumed on the replica.
+    result.resolution_ms =
+        sim::to_millis(stats.failure_detected_at - t_fault) +
+        sim::to_millis(stats.resumption_time);
+  }
+  return result;
+}
+
+// --- Cascading re-protection -------------------------------------------------
+
+struct CascadeResult {
+  std::uint64_t generations = 0;
+  std::uint64_t reprotections = 0;
+  std::uint64_t delta_seeds = 0;
+  double delta_pages_pct = 0.0;  // delta-seed pages vs a full copy
+  // MTTR per re-protection generation: detection of the fault that killed
+  // generation g -> generation g+1 fully seeded. Indexed by generation.
+  std::vector<std::pair<std::uint32_t, double>> mttr_ms;
+  bool reprotected = true;
+};
+
+// The acceptance scenario: two sequential host faults across three
+// heterogeneous hosts (xen -> kvm -> xen), the second of which microreboots
+// and rejoins as the new secondary via a delta seed from its surviving
+// durable store.
+CascadeResult run_cascade_cell() {
+  sim::Simulation sim;
+  net::Fabric fabric(sim);
+  hv::Host xen1("xen1", fabric,
+                std::make_unique<xen::XenHypervisor>(sim, sim::Rng(1)));
+  hv::Host kvm1("kvm1", fabric,
+                std::make_unique<kvm::KvmHypervisor>(sim, sim::Rng(2)));
+  hv::Host xen2("xen2", fabric,
+                std::make_unique<xen::XenHypervisor>(sim, sim::Rng(3)));
+
+  rep::ReplicationConfig engine_config;
+  engine_config.period.t_max = sim::from_millis(500);
+  mgmt::ProtectionManager manager(sim, fabric, engine_config);
+  manager.add_host(xen1);
+  manager.add_host(kvm1);
+  manager.add_host(xen2);
+  manager.enable_durable_replicas();
+  manager.enable_auto_reprotect(sim::from_millis(100));
+
+  mgmt::VirtConnection conn(xen1);
+  mgmt::DomainConfig domain;
+  domain.name = "svc";
+  domain.vcpus = 2;
+  domain.memory_bytes = 64ULL << 20;
+  hv::Vm& vm = *conn.create_domain(domain).value();
+  vm.attach_program(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(15)));
+  (void)manager.protect(vm, xen1);
+  mgmt::ProtectionManager::Protection* protection = manager.find("svc");
+
+  const auto run_until = [&](const std::function<bool()>& cond,
+                             double limit_s) {
+    const sim::TimePoint deadline = sim.now() + sim::from_seconds(limit_s);
+    while (sim.now() < deadline && !cond()) sim.run_for(sim::from_millis(50));
+    return cond();
+  };
+
+  CascadeResult result;
+  if (!run_until([&] { return protection->engine().seeded(); }, 600)) {
+    result.reprotected = false;
+    return result;
+  }
+  sim.run_for(sim::from_seconds(2));
+
+  // Fault #1: the primary dies and stays down; redundancy must come back
+  // via the third host.
+  xen1.inject_fault(hv::FaultKind::kCrash);
+  result.reprotected &=
+      run_until([&] { return manager.reprotections() == 1; }, 30);
+  result.reprotected &=
+      run_until([&] { return protection->engine().seeded(); }, 600);
+  sim.run_for(sim::from_seconds(2));
+
+  // Fault #2, back to back: the new primary crashes and microreboots; the
+  // recovered host loses the race, demotes, and re-seeds from its
+  // surviving store.
+  kvm1.inject_fault(hv::FaultKind::kCrash);
+  kvm1.begin_microreboot(sim::from_millis(600));
+  result.reprotected &=
+      run_until([&] { return manager.reprotections() == 2; }, 30);
+  result.reprotected &=
+      run_until([&] { return protection->engine().seeded(); }, 600);
+  sim.run_for(sim::from_seconds(2));
+
+  const rep::EngineStats& gen3 = protection->engine().stats();
+  result.generations = protection->generation;
+  result.reprotections = manager.reprotections();
+  result.delta_seeds = gen3.delta_seeds;
+  const double full_pages =
+      static_cast<double>(domain.memory_bytes / common::kPageSize);
+  result.delta_pages_pct =
+      100.0 * static_cast<double>(gen3.seed.pages_sent) / full_pages;
+  for (const auto& row : manager.fleet_report().reprotect_mttr) {
+    if (!row.complete) {
+      result.reprotected = false;
+      continue;
+    }
+    result.mttr_ms.emplace_back(row.generation, sim::to_millis(row.mttr));
+  }
+  return result;
+}
+
 void print_row(const char* label, const ChaosResult& r) {
   std::printf("  %-22s %12.2f %14.1f %11.2f %8llu %12zu %10s\n", label,
               r.availability_pct, r.resumption_ms, r.mean_pause_ms,
@@ -167,6 +335,51 @@ int main(int argc, char** argv) {
     std::snprintf(slug, sizeof(slug), "partition_%dms", hold_ms);
     export_cell(obs, slug, r);
     print_row(label, r);
+  }
+
+  print_title("Recovery race: microreboot latency vs failover");
+  std::printf("  %-22s %10s %16s %8s\n", "reboot window", "winner",
+              "resolution [ms]", "fenced");
+  for (const int window_ms : {25, 60, 150, 350, 600, 1200}) {
+    const RaceResult r = run_race_cell(sim::from_millis(window_ms));
+    std::printf("  %-22d %10s %16.2f %8llu\n", window_ms,
+                r.primary_won ? "primary" : "replica", r.resolution_ms,
+                static_cast<unsigned long long>(r.fenced));
+    char key[64];
+    std::snprintf(key, sizeof(key), "chaos_mttr.race_%dms.", window_ms);
+    const std::string prefix(key);
+    obs.bench_value(prefix + "primary_won", r.primary_won ? 1.0 : 0.0);
+    obs.bench_value(prefix + "resolution_ms", r.resolution_ms);
+    obs.bench_value(prefix + "failovers_fenced",
+                    static_cast<double>(r.fenced));
+  }
+
+  print_title("Cascading re-protection: 2 faults across 3 hosts");
+  {
+    const CascadeResult r = run_cascade_cell();
+    std::printf("  generations %llu, reprotections %llu, delta seeds %llu, "
+                "delta pages %.2f%%, reprotected %s\n",
+                static_cast<unsigned long long>(r.generations),
+                static_cast<unsigned long long>(r.reprotections),
+                static_cast<unsigned long long>(r.delta_seeds),
+                r.delta_pages_pct, r.reprotected ? "yes" : "NO");
+    obs.bench_value("chaos_mttr.cascade.generations",
+                    static_cast<double>(r.generations));
+    obs.bench_value("chaos_mttr.cascade.reprotections",
+                    static_cast<double>(r.reprotections));
+    obs.bench_value("chaos_mttr.cascade.delta_seeds",
+                    static_cast<double>(r.delta_seeds));
+    obs.bench_value("chaos_mttr.cascade.delta_pages_pct", r.delta_pages_pct);
+    obs.bench_value("chaos_mttr.cascade.reprotected",
+                    r.reprotected ? 1.0 : 0.0);
+    for (const auto& [generation, mttr_ms] : r.mttr_ms) {
+      std::printf("  gen %u MTTR-to-reprotection: %.2f ms\n", generation,
+                  mttr_ms);
+      char key[64];
+      std::snprintf(key, sizeof(key), "chaos_mttr.cascade.gen%u_mttr_ms",
+                    generation);
+      obs.bench_value(key, mttr_ms);
+    }
   }
 
   return obs.finish() ? 0 : 1;

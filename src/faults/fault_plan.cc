@@ -164,6 +164,23 @@ FaultPlan& FaultPlan::wal_truncation(std::string engine, sim::TimePoint at,
               .magnitude = static_cast<double>(bytes)});
 }
 
+FaultPlan& FaultPlan::hypervisor_microreboot(std::string host,
+                                             sim::TimePoint at,
+                                             sim::Duration window) {
+  return add({.type = FaultType::kHypervisorMicroreboot,
+              .at = at,
+              .target = std::move(host),
+              .amount = window});
+}
+
+FaultPlan& FaultPlan::recovery_race(std::string host, sim::TimePoint at,
+                                    sim::Duration recovery_latency) {
+  return add({.type = FaultType::kRecoveryRace,
+              .at = at,
+              .target = std::move(host),
+              .amount = recovery_latency});
+}
+
 std::vector<FaultSpec> FaultPlan::schedule() const {
   std::vector<FaultSpec> out = specs_;
   std::stable_sort(out.begin(), out.end(),
@@ -246,6 +263,11 @@ FaultPlan FaultPlan::random(std::uint64_t seed,
     candidates.push_back(FaultType::kWalTornWrite);
     candidates.push_back(FaultType::kWalTruncation);
   }
+  // Recovery faults append after the durability faults, same argument again.
+  if (config.recovery_faults && !config.hosts.empty()) {
+    candidates.push_back(FaultType::kRecoveryRace);
+    candidates.push_back(FaultType::kHypervisorMicroreboot);
+  }
   if (candidates.empty() || config.end <= config.start) return plan;
 
   for (std::uint32_t i = 0; i < config.events; ++i) {
@@ -306,6 +328,13 @@ FaultPlan FaultPlan::random(std::uint64_t seed,
         spec.magnitude = static_cast<double>(
             1 + rng.uniform(config.max_wal_damage_bytes));
         spec.duration = {};  // one-shot, nothing to clear
+        break;
+      case FaultType::kRecoveryRace:
+      case FaultType::kHypervisorMicroreboot:
+        spec.target = pick(rng, config.hosts);
+        spec.amount = uniform_duration(rng, config.min_recovery_latency,
+                                       config.max_recovery_latency);
+        spec.duration = {};  // recovery completes itself; nothing to clear
         break;
       case FaultType::kHostRepair:
       case FaultType::kLinkHeal:

@@ -52,6 +52,11 @@ enum class FaultType : std::uint8_t {
   kSecondaryCrash,  // duration = reboot delay; one-shot (engine self-heals)
   kWalTornWrite,    // magnitude = bytes scribbled over the WAL tail
   kWalTruncation,   // magnitude = bytes chopped off the WAL tail
+  // Primary-recovery faults (target: a registered host). ReHype-style
+  // microreboot-in-place: the hypervisor restarts under its guests, which
+  // stay paused-but-preserved for the reboot window, then resume.
+  kHypervisorMicroreboot,  // amount = reboot window; host must already be failed
+  kRecoveryRace,    // crash + immediate microreboot; amount = recovery latency
 };
 
 [[nodiscard]] constexpr std::string_view to_string(FaultType type) {
@@ -74,6 +79,8 @@ enum class FaultType : std::uint8_t {
     case FaultType::kSecondaryCrash: return "secondary-crash";
     case FaultType::kWalTornWrite: return "wal-torn-write";
     case FaultType::kWalTruncation: return "wal-truncation";
+    case FaultType::kHypervisorMicroreboot: return "hypervisor-microreboot";
+    case FaultType::kRecoveryRace: return "recovery-race";
   }
   return "unknown";
 }
@@ -108,6 +115,9 @@ struct RandomPlanConfig {
   // Durability faults (secondary crash/reboot, WAL tail damage) are opt-in
   // for the same reason; their candidates append after the data faults.
   bool durability_faults = false;
+  // Primary-recovery faults (host microreboot / recovery race) are opt-in;
+  // their candidates append after the durability faults.
+  bool recovery_faults = false;
   sim::Duration min_hold = sim::from_millis(200);
   sim::Duration max_hold = sim::from_seconds(2);
   double max_loss = 0.4;             // kLinkLoss magnitude in (0, max_loss]
@@ -118,6 +128,13 @@ struct RandomPlanConfig {
   std::uint64_t max_wal_damage_bytes = 4096;  // torn-write/truncation sizes
   double max_bit_error_rate = 1e-6;  // kLinkBitErrors magnitude in (0, max]
   double max_frame_fault_prob = 0.2; // truncation/dup/reorder prob in (0, max]
+  // Seeded recovery-latency distribution for kRecoveryRace /
+  // kHypervisorMicroreboot: the microreboot window is uniform in
+  // [min_recovery_latency, max_recovery_latency]. The defaults straddle the
+  // failover decision boundary (heartbeat timeout + probe + activation
+  // delay), so random plans exercise both race outcomes.
+  sim::Duration min_recovery_latency = sim::from_millis(50);
+  sim::Duration max_recovery_latency = sim::from_millis(1500);
 };
 
 class FaultPlan {
@@ -165,6 +182,10 @@ class FaultPlan {
                             std::uint64_t bytes);
   FaultPlan& wal_truncation(std::string engine, sim::TimePoint at,
                             std::uint64_t bytes);
+  FaultPlan& hypervisor_microreboot(std::string host, sim::TimePoint at,
+                                    sim::Duration window);
+  FaultPlan& recovery_race(std::string host, sim::TimePoint at,
+                           sim::Duration recovery_latency);
 
   // --- Seeded-random generation ----------------------------------------------
 

@@ -75,6 +75,8 @@ void FaultInjector::arm(const FaultPlan& plan) {
       case FaultType::kHostRepair:
       case FaultType::kDiskSlowdown:
       case FaultType::kDiskWriteErrors:
+      case FaultType::kHypervisorMicroreboot:
+      case FaultType::kRecoveryRace:
         (void)host_for(spec);
         break;
       case FaultType::kLinkPartition:
@@ -187,6 +189,19 @@ void FaultInjector::apply(const FaultSpec& spec) {
       engine_for(spec).inject_wal_truncation(
           static_cast<std::uint64_t>(spec.magnitude));
       break;
+    case FaultType::kHypervisorMicroreboot:
+      // Only meaningful on an already-failed host; a no-op otherwise (the
+      // random generator can land one on a healthy host).
+      (void)host_for(spec).begin_microreboot(spec.amount);
+      break;
+    case FaultType::kRecoveryRace: {
+      // The paper-hard scenario: fail-stop crash with in-place recovery
+      // `amount` later, racing the secondary's failover decision.
+      hv::Host& host = host_for(spec);
+      host.inject_fault(hv::FaultKind::kCrash);
+      (void)host.begin_microreboot(spec.amount);
+      break;
+    }
   }
   record(spec, /*clear=*/false);
 }
@@ -257,6 +272,8 @@ void FaultInjector::clear(const FaultSpec& spec) {
     case FaultType::kSecondaryCrash:  // reboot is self-scheduled by the engine
     case FaultType::kWalTornWrite:
     case FaultType::kWalTruncation:
+    case FaultType::kHypervisorMicroreboot:  // recovery completes itself
+    case FaultType::kRecoveryRace:
       return;  // one-shot faults have nothing to clear
   }
   record(spec, /*clear=*/true);

@@ -22,6 +22,16 @@ void Host::on_packet(const net::Packet& packet,
 
 void Host::inject_fault(FaultKind fault) {
   hypervisor_->inject_fault(fault);
+  if (fault == FaultKind::kCrash || fault == FaultKind::kHang) {
+    // A fault landing mid-microreboot aborts the reboot: back to kFailed
+    // with the preserved VMs still paused (a later microreboot or repair
+    // picks them up).
+    if (microreboot_event_.valid()) {
+      hypervisor_->simulation().cancel(microreboot_event_);
+      microreboot_event_ = sim::EventId{};
+    }
+    recovery_state_ = RecoveryState::kFailed;
+  }
   if (fault == FaultKind::kCrash) {
     fabric_.set_node_down(eth_node_, true);
     fabric_.set_node_down(ic_node_, true);
@@ -29,9 +39,60 @@ void Host::inject_fault(FaultKind fault) {
 }
 
 void Host::repair() {
+  if (microreboot_event_.valid()) {
+    hypervisor_->simulation().cancel(microreboot_event_);
+    microreboot_event_ = sim::EventId{};
+  }
   hypervisor_->inject_fault(FaultKind::kNone);
   fabric_.set_node_down(eth_node_, false);
   fabric_.set_node_down(ic_node_, false);
+  // VMs paused by an aborted microreboot window would otherwise stay paused
+  // forever: inject_fault(kNone) only re-arms ticks for kRunning guests.
+  for (Vm* vm : microreboot_preserved_) {
+    if (vm->state() == VmState::kPaused) hypervisor_->resume(*vm);
+  }
+  microreboot_preserved_.clear();
+  recovery_state_ = RecoveryState::kOperational;
+  notify_recovered(/*microreboot=*/false);
+}
+
+bool Host::begin_microreboot(sim::Duration window) {
+  if (recovery_state_ != RecoveryState::kFailed) return false;
+  recovery_state_ = RecoveryState::kMicrorebooting;
+  // Preserve the guests: pause every running VM in place. pause() works on
+  // a non-operational hypervisor (the model's "memory survives" property),
+  // so this is legal while the host is still crashed.
+  for (const auto& vm : hypervisor_->vms()) {
+    if (vm->state() == VmState::kRunning) {
+      hypervisor_->pause(*vm);
+      microreboot_preserved_.push_back(vm.get());
+    }
+  }
+  microreboot_event_ = hypervisor_->simulation().schedule_after(
+      window, [this] { complete_microreboot(); }, name_ + ".microreboot");
+  return true;
+}
+
+void Host::complete_microreboot() {
+  microreboot_event_ = sim::EventId{};
+  // Order matters: resume() throws on a non-operational hypervisor, so the
+  // fault must clear before the preserved guests restart.
+  hypervisor_->inject_fault(FaultKind::kNone);
+  fabric_.set_node_down(eth_node_, false);
+  fabric_.set_node_down(ic_node_, false);
+  for (Vm* vm : microreboot_preserved_) {
+    if (vm->state() == VmState::kPaused) hypervisor_->resume(*vm);
+  }
+  microreboot_preserved_.clear();
+  recovery_state_ = RecoveryState::kOperational;
+  ++microreboots_;
+  notify_recovered(/*microreboot=*/true);
+}
+
+void Host::notify_recovered(bool microreboot) {
+  for (const auto& listener : recovery_listeners_) {
+    if (listener) listener(microreboot);
+  }
 }
 
 }  // namespace here::hv

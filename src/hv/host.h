@@ -56,6 +56,40 @@ class Host {
   // think suspend-to-RAM rather than a cold reboot).
   void repair();
 
+  // --- ReHype-style microreboot-in-place --------------------------------------
+  //
+  // Unlike repair() (operator-driven, instantaneous in model time), a
+  // microreboot restarts the failed hypervisor *under* its guests: VM memory
+  // and device state are preserved in place, vCPUs stay paused for the
+  // reboot window, and the host comes back `window` later with the same
+  // guests running. While rebooting the host is still dead to the outside
+  // world — endpoints stay down, packets are dropped — which is exactly what
+  // lets recovery race an in-flight failover on the other side.
+
+  enum class RecoveryState : std::uint8_t {
+    kOperational,     // healthy (or degraded-but-responsive, e.g. starvation)
+    kFailed,          // crashed/hung; only repair() or begin_microreboot() exit
+    kMicrorebooting,  // reboot window open; VMs paused-but-preserved
+  };
+
+  // Begins the microreboot window on a failed host. Returns false (no-op)
+  // unless the host is currently kFailed. Completion fires `window` later:
+  // the hypervisor fault clears, endpoints come back up, preserved VMs
+  // resume, and recovery listeners fire with microreboot=true.
+  bool begin_microreboot(sim::Duration window);
+
+  [[nodiscard]] RecoveryState recovery_state() const { return recovery_state_; }
+  [[nodiscard]] std::uint64_t microreboots() const { return microreboots_; }
+
+  // Called on every recovery completion; the flag distinguishes a completed
+  // microreboot (true) from a fail-stop repair() (false). Replication
+  // engines use this to learn "the primary is back" and start the
+  // resume-probe arbitration instead of silently resuming output commit.
+  using RecoveryListener = std::function<void(bool /*microreboot*/)>;
+  void add_recovery_listener(RecoveryListener listener) {
+    recovery_listeners_.push_back(std::move(listener));
+  }
+
   // --- §8.7 resource accounting ---------------------------------------------
 
   // CPU-seconds consumed by host-side replication threads.
@@ -72,6 +106,8 @@ class Host {
  private:
   void on_packet(const net::Packet& packet,
                  const std::vector<PacketHandler>& handlers);
+  void complete_microreboot();
+  void notify_recovered(bool microreboot);
 
   std::string name_;
   net::Fabric& fabric_;
@@ -82,6 +118,12 @@ class Host {
   std::vector<PacketHandler> ic_handlers_;
   sim::Duration replication_cpu_{0};
   std::uint64_t replication_mem_peak_ = 0;
+
+  RecoveryState recovery_state_ = RecoveryState::kOperational;
+  sim::EventId microreboot_event_;
+  std::vector<Vm*> microreboot_preserved_;  // VMs paused for the reboot window
+  std::uint64_t microreboots_ = 0;
+  std::vector<RecoveryListener> recovery_listeners_;
 };
 
 }  // namespace here::hv

@@ -86,6 +86,17 @@ class Hypervisor {
 
   [[nodiscard]] const std::vector<std::unique_ptr<Vm>>& vms() const { return vms_; }
 
+  // Pointer-identity liveness check: true while this hypervisor still owns
+  // `vm`. Lets holders of borrowed Vm pointers (e.g. an older replication
+  // generation whose replica twin a newer generation demoted and destroyed)
+  // validate before dereferencing instead of dangling.
+  [[nodiscard]] bool owns(const Vm& vm) const {
+    for (const auto& owned : vms_) {
+      if (owned.get() == &vm) return true;
+    }
+    return false;
+  }
+
   // --- Dirty logging ----------------------------------------------------------
   //
   // Every implementation offers a global dirty bitmap (Xen's shadow-paging

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "replication/durable_store.h"
+#include "replication/staging.h"
 
 namespace here::mgmt {
 
@@ -119,9 +121,16 @@ rep::EngineEnv ProtectionManager::env_for(hv::Host& primary,
     env.link_arbiter = &arbiter_for(secondary);
   }
   if (durable_enabled_) {
-    protection.stores.push_back(
-        std::make_unique<rep::DurableStore>(durable_config_));
-    env.durable_store = protection.stores.back().get();
+    // Host-keyed reuse: a host returning to secondary duty keeps the store
+    // it wrote last time, so the new engine's delta seed only ships what
+    // diverged since. First-time secondaries get a fresh (empty) store.
+    rep::DurableStore* existing = protection.store_on(&secondary);
+    if (existing == nullptr) {
+      protection.stores.push_back(
+          {&secondary, std::make_unique<rep::DurableStore>(durable_config_)});
+      existing = protection.stores.back().store.get();
+    }
+    env.durable_store = existing;
   }
   return env;
 }
@@ -187,38 +196,55 @@ void ProtectionManager::enable_auto_reprotect(sim::Duration poll) {
 void ProtectionManager::policy_tick() {
   for (const auto& protection : protections_) {
     rep::ReplicationEngine& engine = protection->engine();
+    // Close out the newest generation's MTTR clock once its engine commits
+    // epoch 0 (protection restored end to end).
+    if (!protection->mttr.empty() && !protection->mttr.back().complete &&
+        engine.seeded()) {
+      protection->mttr.back().reprotected_at = engine.stats().protected_at;
+      protection->mttr.back().complete = true;
+    }
     if (!engine.failed_over()) continue;
-    hv::Host* failed = protection->primary;
     hv::Host* survivor = protection->secondary;
-    if (!failed->alive() || !survivor->alive()) continue;  // not repaired yet
+    if (!survivor->alive()) continue;
     hv::Vm* replica = engine.replica_vm();
     if (replica == nullptr || replica->state() != hv::VmState::kRunning) {
       continue;
     }
-    // Repaired: re-protect the survivor back toward the old primary. The
-    // policy loop must never throw — a failed start is logged and retried
-    // on the next tick (the engine generation is rolled back). The VM's
-    // policy follows it across generations; the reversed direction means
-    // the survivor's pool and the failed host's ingest arbiter now apply.
+    // Re-protect the surviving replica toward the best live heterogeneous
+    // partner — the repaired old primary if it is back, or any third host
+    // (cascading N+1: two back-to-back faults across three hosts still end
+    // re-protected). The policy loop must never throw — a failed start is
+    // logged and retried on the next tick (the engine generation and any
+    // store created for it are rolled back). The VM's policy follows it
+    // across generations.
+    hv::Host* next = pick_partner(*survivor);
+    if (next == nullptr) continue;  // no live heterogeneous partner yet
+    ensure_connected(*survivor, *next);
+    const sim::TimePoint detected = engine.stats().failure_detected_at;
+    const std::size_t stores_before = protection->stores.size();
     protection->engines.push_back(std::make_unique<rep::ReplicationEngine>(
-        sim_, fabric_, *survivor, *failed, config_for(protection->policy),
-        env_for(*survivor, *failed, *protection)));
+        sim_, fabric_, *survivor, *next, config_for(protection->policy),
+        env_for(*survivor, *next, *protection)));
     if (const Status s = protection->engines.back()->start_protection(*replica);
         !s.ok()) {
       protection->engines.pop_back();
-      if (durable_enabled_) protection->stores.pop_back();
+      while (protection->stores.size() > stores_before) {
+        protection->stores.pop_back();
+      }
       HERE_LOG(kWarn, "mgmt: re-protecting '%s' failed: %s",
                protection->domain.c_str(), s.to_string().c_str());
       continue;
     }
     protection->primary = survivor;
-    protection->secondary = failed;
+    protection->secondary = next;
     protection->vm = replica;
     ++protection->generation;
     ++reprotections_;
+    protection->mttr.push_back(
+        {protection->generation, detected, sim::TimePoint{}, false});
     HERE_LOG(kInfo, "mgmt: re-protecting '%s' %s -> %s (generation %u)",
              protection->domain.c_str(), survivor->name().c_str(),
-             failed->name().c_str(), protection->generation);
+             next->name().c_str(), protection->generation);
   }
   sim_.schedule_after(poll_, [this] { policy_tick(); }, "mgmt-policy");
 }
@@ -276,6 +302,7 @@ ProtectionManager::FleetReport ProtectionManager::fleet_report() {
     const rep::ReplicationEngine& engine = protection->engine();
     VmReport row;
     row.domain = protection->domain;
+    row.generation = protection->generation;
     row.budget = engine.config().period.target_degradation;
     row.mean_degradation = mean_degradation_of(engine);
     row.epochs = engine.stats().checkpoints.size();
@@ -292,6 +319,16 @@ ProtectionManager::FleetReport ProtectionManager::fleet_report() {
       }
     }
     report.vms.push_back(std::move(row));
+    for (const MttrRecord& record : protection->mttr) {
+      MttrRow mrow;
+      mrow.domain = protection->domain;
+      mrow.generation = record.generation;
+      mrow.complete = record.complete;
+      if (record.complete) {
+        mrow.mttr = record.reprotected_at - record.failure_detected_at;
+      }
+      report.reprotect_mttr.push_back(std::move(mrow));
+    }
   }
   for (const auto& [host, arbiter] : arbiters_) {
     report.link_capacity_bytes_per_s =
@@ -300,6 +337,35 @@ ProtectionManager::FleetReport ProtectionManager::fleet_report() {
         report.peak_reserved_bytes_per_s, arbiter->peak_reserved_rate());
     report.total_wire_bytes += arbiter->total_bytes();
   }
+  return report;
+}
+
+Expected<ProtectionManager::RestoreReport> ProtectionManager::restore_to_epoch(
+    const std::string& domain, std::uint64_t epoch) {
+  Protection* protection = find(domain);
+  if (protection == nullptr) {
+    return Status::not_found("restore_to_epoch: unknown domain '" + domain +
+                             "'");
+  }
+  rep::DurableStore* store = protection->store();
+  if (store == nullptr) {
+    return Status::failed_precondition("restore_to_epoch: domain '" + domain +
+                                       "' has no durable store");
+  }
+  // Replay into a throwaway staging area sized like the protected VM; the
+  // live engine, its staging and the store itself are all left untouched
+  // (RecoveryManager only reads).
+  rep::ReplicaStaging staging(protection->vm->spec(), 1);
+  rep::RecoveryManager recovery(*store);
+  Expected<rep::RecoveryResult> result = recovery.recover(staging, epoch);
+  if (!result.ok()) return result.status();
+  RestoreReport report;
+  report.requested_epoch = epoch;
+  report.restored_epoch = (*result).recovered_epoch;
+  report.pages_restored = (*result).pages_restored;
+  report.wal_records_replayed = (*result).wal_records_replayed;
+  report.memory_digest = staging.memory().full_digest();
+  report.disk_digest = staging.disk().digest();
   return report;
 }
 

@@ -84,15 +84,32 @@ class ProtectionManager {
       hv::Vm& vm, hv::Host& home, const VmPolicy& policy);
 
   // Enables the re-protection policy loop: every `poll`, any protection
-  // whose engine failed over and whose old primary is alive again gets a
-  // new engine in the reverse direction (generation + 1).
+  // whose engine failed over and whose replica is authoritative gets a new
+  // engine toward the best live heterogeneous partner (generation + 1). The
+  // new secondary may be the repaired old primary *or* a third host, so
+  // protection chains cascade across the pool under back-to-back faults and
+  // redundancy is restored as long as N+1 heterogeneous hosts survive.
   void enable_auto_reprotect(sim::Duration poll = sim::from_seconds(1));
 
   // Durable replica state for protections started *after* this call: each
-  // new engine generation gets its own DurableStore on its secondary, so a
+  // engine generation gets a DurableStore on its secondary host, so a
   // crashed secondary rejoins from snapshot+WAL with per-region delta
   // resync instead of a full re-send (src/replication/durable_store.h).
+  // Stores are keyed by host and survive re-protection: when a cascade
+  // lands a later generation's replica back on a host that served as
+  // secondary before, the surviving store drives the engine's digest-diff
+  // delta seed instead of a full N-page copy.
   void enable_durable_replicas(rep::DurableStoreConfig config = {});
+
+  // One re-protection cycle's recovery clock: from the moment the previous
+  // generation's engine detected the primary failure to the moment the
+  // replacement generation committed epoch 0 (protection restored).
+  struct MttrRecord {
+    std::uint32_t generation = 0;          // generation that restored cover
+    sim::TimePoint failure_detected_at{};  // previous engine's detection
+    sim::TimePoint reprotected_at{};       // new engine's epoch-0 commit
+    bool complete = false;                 // reprotected_at is valid
+  };
 
   struct Protection {
     std::string domain;
@@ -101,20 +118,34 @@ class ProtectionManager {
     hv::Vm* vm = nullptr;           // current authoritative VM
     std::uint32_t generation = 1;   // bumps on every re-protection
     VmPolicy policy{};              // carried across re-protections
-    // Durable stores, one per engine generation (a re-protection reverses
-    // direction, so the old secondary's store does not carry over).
-    // Declared before `engines` so each store outlives its borrower.
-    std::vector<std::unique_ptr<rep::DurableStore>> stores;
+    // Durable stores, at most one per host that ever served as this
+    // domain's secondary. A host returning to secondary duty reuses its
+    // surviving store (delta rejoin); a first-time secondary gets a fresh
+    // one. Declared before `engines` so each store outlives its borrowers.
+    struct HostStore {
+      hv::Host* host = nullptr;
+      std::unique_ptr<rep::DurableStore> store;
+    };
+    std::vector<HostStore> stores;
     // All engines ever created for this domain; the last is current. Older
     // generations stay alive because their service nodes keep routing
     // clients that have not re-resolved yet.
     std::vector<std::unique_ptr<rep::ReplicationEngine>> engines;
+    // One record per re-protection, in generation order.
+    std::vector<MttrRecord> mttr;
 
     [[nodiscard]] rep::ReplicationEngine& engine() const {
       return *engines.back();
     }
+    // Store on the *current* secondary (null if none / durability off).
     [[nodiscard]] rep::DurableStore* store() const {
-      return stores.empty() ? nullptr : stores.back().get();
+      return store_on(secondary);
+    }
+    [[nodiscard]] rep::DurableStore* store_on(const hv::Host* host) const {
+      for (const auto& hs : stores) {
+        if (hs.host == host) return hs.store.get();
+      }
+      return nullptr;
     }
   };
 
@@ -135,6 +166,7 @@ class ProtectionManager {
 
   struct VmReport {
     std::string domain;
+    std::uint32_t generation = 1;   // current protection generation
     double budget = 0.0;            // Algorithm 1 target D in effect
     double mean_degradation = 0.0;  // mean t/(t+T) over committed epochs
     std::uint64_t epochs = 0;
@@ -143,14 +175,40 @@ class ProtectionManager {
     sim::Duration queueing{};       // time lost to fabric contention
     double weight = 1.0;            // current fabric weight
   };
+  // Per-generation time-to-reprotection, flattened across domains in
+  // protection order (deterministic).
+  struct MttrRow {
+    std::string domain;
+    std::uint32_t generation = 0;
+    sim::Duration mttr{};     // failure detection -> epoch-0 commit
+    bool complete = false;    // false while the re-seed is still in flight
+  };
   struct FleetReport {
     std::vector<VmReport> vms;      // protection order (deterministic)
+    std::vector<MttrRow> reprotect_mttr;
     double link_capacity_bytes_per_s = 0.0;  // 0 when no arbiter exists
     // max over arbiters; the invariant is peak <= capacity, always.
     double peak_reserved_bytes_per_s = 0.0;
     std::uint64_t total_wire_bytes = 0;
   };
   [[nodiscard]] FleetReport fleet_report();
+
+  // Point-in-time restore (read-only): replays `domain`'s current durable
+  // store — snapshot plus WAL records up to and including `epoch` — into a
+  // throwaway staging area and reports what the replica image looked like
+  // at that epoch. The live protection is untouched. kFailedPrecondition
+  // when the domain has no durable store or the store rotated past `epoch`;
+  // kNotFound for an unknown domain.
+  struct RestoreReport {
+    std::uint64_t requested_epoch = 0;
+    std::uint64_t restored_epoch = 0;  // <= requested (valid-prefix replay)
+    std::uint64_t pages_restored = 0;
+    std::uint64_t wal_records_replayed = 0;
+    std::uint64_t memory_digest = 0;   // full digest of the restored image
+    std::uint64_t disk_digest = 0;
+  };
+  [[nodiscard]] Expected<RestoreReport> restore_to_epoch(
+      const std::string& domain, std::uint64_t epoch);
 
  private:
   void ensure_connected(hv::Host& a, hv::Host& b);
@@ -162,8 +220,9 @@ class ProtectionManager {
   [[nodiscard]] net::LinkArbiter& arbiter_for(hv::Host& secondary);
   [[nodiscard]] rep::ReplicationConfig config_for(const VmPolicy& policy);
   // Builds the engine environment for one generation: fleet schedulers when
-  // enabled, plus a fresh per-generation DurableStore (owned by
-  // `protection`) when durable replicas are on.
+  // enabled, plus the secondary host's DurableStore (owned by `protection`,
+  // reused if the host served as secondary before, created otherwise) when
+  // durable replicas are on.
   [[nodiscard]] rep::EngineEnv env_for(hv::Host& primary, hv::Host& secondary,
                                        Protection& protection);
 

@@ -368,9 +368,14 @@ void DurableStore::truncate_wal_tail(std::uint64_t bytes) {
 }
 
 Expected<RecoveryResult> RecoveryManager::recover(
-    ReplicaStaging& staging) const {
+    ReplicaStaging& staging, std::uint64_t up_to_epoch) const {
   Expected<DurableStore::Snapshot> snap = store_.read_snapshot();
   if (!snap.ok()) return snap.status();
+  if ((*snap).epoch > up_to_epoch) {
+    return Status::failed_precondition(
+        "restore bound predates the snapshot: the store rotated past epoch " +
+        std::to_string(up_to_epoch));
+  }
 
   RecoveryResult result;
   result.snapshot_epoch = (*snap).epoch;
@@ -392,6 +397,7 @@ Expected<RecoveryResult> RecoveryManager::recover(
   if (log.damaged_tail) ++result.wal_records_refused;
   for (const WalRecord& record : log.records) {
     if (record.epoch <= staging.committed_epoch()) continue;  // pre-rotation
+    if (record.epoch > up_to_epoch) break;  // point-in-time restore bound
     // Replay through the live verified-frame path: expectation + frame CRCs
     // + rolling digest + refuse-before-apply decode all re-run here.
     staging.begin_epoch(record.epoch);

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <utility>
 #include <vector>
@@ -178,7 +179,16 @@ class RecoveryManager {
   // impossible and the caller must full-reseed. A damaged WAL *tail* is not
   // an error: replay stops at the last intact record and the divergence is
   // repaired by the engine's digest-diff resync.
-  [[nodiscard]] Expected<RecoveryResult> recover(ReplicaStaging& staging) const;
+  //
+  // `up_to_epoch` bounds the replay for point-in-time restore
+  // (ProtectionManager::restore_to_epoch): records above it are skipped
+  // (valid-prefix semantics still apply below the bound). Asking for an
+  // epoch older than the snapshot itself is kFailedPrecondition — the store
+  // rotated past it and the bytes no longer exist.
+  [[nodiscard]] Expected<RecoveryResult> recover(
+      ReplicaStaging& staging,
+      std::uint64_t up_to_epoch =
+          std::numeric_limits<std::uint64_t>::max()) const;
 
  private:
   const DurableStore& store_;

@@ -45,6 +45,7 @@ enum class DegradedKind : std::uint8_t {
   kScrubRepair,        // scrub found post-commit divergence; re-send scheduled
   kSecondaryCrash,     // replica staging lost; protection suspended
   kSecondaryRejoined,  // secondary recovered; resync in flight until commit
+  kPrimaryDemoted,     // recovered primary lost the resume arbitration
 };
 
 struct DegradedEvent {

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 #include <stdexcept>
+#include <string_view>
 
 #include "common/log.h"
 #include "common/units.h"
@@ -62,6 +63,11 @@ Status validate_replication_config(const ReplicationConfig& config) {
         "mutually exclusive (the whole-stream compression model would "
         "double-count the encoder's savings)");
   }
+  if (config.replica_max_wire_version > wire::kWireVersionEncoded) {
+    return Status::invalid_argument(
+        "ReplicationConfig: replica_max_wire_version exceeds the highest "
+        "implemented wire version");
+  }
   return Status::ok_status();
 }
 
@@ -80,6 +86,19 @@ ReplicationConfig validated(ReplicationConfig config) {
 sim::Duration scaled(sim::Duration d, double factor) {
   return sim::Duration{
       static_cast<std::int64_t>(static_cast<double>(d.count()) * factor)};
+}
+
+// Deterministic engine identity for the resume-probe arbitration, derived
+// from the VM name (FNV-1a) — never from pointers, which vary run to run.
+// Several engines share a host pair's interconnect; the token keeps one
+// engine's grant from resuming a neighbour's primary.
+std::uint64_t probe_token_for(std::string_view name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
 }
 
 }  // namespace
@@ -126,6 +145,8 @@ ReplicationEngine::ReplicationEngine(sim::Simulation& simulation,
     m_seed_retries_ = &m.counter("rep.seed_retries");
     m_epochs_aborted_ = &m.counter("rep.epochs_aborted");
     m_failovers_fenced_ = &m.counter("rep.failovers_fenced");
+    m_resume_probes_ = &m.counter("rep.resume_probes");
+    m_primary_demotions_ = &m.counter("rep.primary_demotions");
     m_regions_corrupted_ = &m.counter("rep.regions_corrupted");
     m_retransmits_ = &m.counter("rep.retransmits");
     m_commits_rejected_ = &m.counter("rep.commits_rejected");
@@ -169,6 +190,7 @@ ReplicationEngine::~ReplicationEngine() {
   sim_.cancel(failover_activate_event_);
   sim_.cancel(scrub_event_);
   sim_.cancel(secondary_reboot_event_);
+  sim_.cancel(resume_probe_event_);
 }
 
 std::uint32_t ReplicationEngine::threads() const {
@@ -252,6 +274,31 @@ Status ReplicationEngine::start_protection(hv::Vm& vm) {
       if (failover_in_progress_ && fencing_armed_) fence_failover();
     }
   });
+  // Resume-probe arbitration: the secondary answers a recovered primary's
+  // probe; this handler — serialized with every other event on the sim's
+  // queue — is the race's linearization point. The token filter keeps a
+  // neighbour engine's probe (same host pair, different VM) out.
+  probe_token_ = probe_token_for(vm.spec().name);
+  secondary_.add_ic_handler([this](const net::Packet& p) {
+    if (p.kind == kResumeProbeKind && p.src == primary_.ic_node() &&
+        p.tag == probe_token_) {
+      on_resume_probe(p);
+    }
+  });
+  primary_.add_ic_handler([this](const net::Packet& p) {
+    if (p.src != secondary_.ic_node() || p.tag != probe_token_) return;
+    if (p.kind == kResumeGrantKind) {
+      on_resume_grant();
+    } else if (p.kind == kResumeDenyKind) {
+      demote_primary("secondary denied resume (replica already active)");
+    }
+  });
+  // A completed microreboot means the primary is back with its guests
+  // preserved — but it must win the arbitration before any of them run.
+  // Fail-stop repair() keeps the legacy path (heartbeats resume -> fencing).
+  primary_.add_recovery_listener([this](bool microreboot) {
+    if (microreboot) on_primary_recovered();
+  });
   // Watchdog probes ride the management network, so an interconnect-only
   // partition can be told apart from a dead host (which answers nothing).
   primary_.add_eth_handler([this](const net::Packet& p) {
@@ -296,7 +343,14 @@ void ReplicationEngine::begin_seed_attempt() {
   }
   seeder_.reset();  // cancel any stale in-flight seeding event first
   encoder_.reset();  // references describe the old staging image, if any
+  delta_seeded_ = false;
   staging_ = std::make_unique<ReplicaStaging>(vm_->spec(), threads());
+  staging_->set_advertised_wire_version(config_.replica_max_wire_version);
+  // Delta re-seed (cascading re-protection): when the durable store already
+  // holds a snapshot+WAL — written by a previous engine generation whose
+  // secondary is now this engine's secondary — the replica recovers locally
+  // and only digest-divergent pages cross the wire.
+  if (try_delta_seed()) return;
   // Durable ack path: from epoch 0 on, every commit persists before the
   // engine treats it as acked (the seed commit itself lands as a snapshot).
   if (env_.durable_store != nullptr) {
@@ -386,8 +440,11 @@ void ReplicationEngine::on_seeded(const SeedResult& result) {
 
   // Baseline the encoder references now, while the VM is paused and the
   // replica's committed image is byte-identical to primary memory: every
-  // page has a valid committed reference from epoch 1 on.
-  if (config_.encoders.any()) {
+  // page has a valid committed reference from epoch 1 on. A replica pinned
+  // below wire v1 suppresses the stage entirely — encoded bytes can never
+  // travel in v0 frames, so the stream stays raw instead of NACK-looping.
+  if (config_.encoders.any() &&
+      staging_->advertised_wire_version() >= wire::kWireVersionEncoded) {
     encoder_ = std::make_unique<EncoderPipeline>(config_.encoders,
                                                  vm_->memory().pages());
     encoder_->baseline(vm_->memory());
@@ -406,12 +463,15 @@ void ReplicationEngine::commit_initial_checkpoint() {
   }
   seeded_ = true;
   stats_.protected_at = sim_.now();
-  current_epoch_ = 1;
+  // A fresh seed committed epoch 0 and runs from 1; a delta seed adopted the
+  // recovered epoch E, committed E+1, and runs from E+2 — older generations'
+  // WAL records stay strictly below anything this generation appends.
+  current_epoch_ = staging_->committed_epoch() + 1;
   last_checkpoint_done_ = sim_.now();
 
   // Continuous phase tracks dirtying through the shared bitmap (§7.2(2));
-  // PML rings were the seeding mechanism.
-  if (config_.seed.mode == SeedMode::kHereMultithreaded) {
+  // PML rings were the seeding mechanism (never enabled by a delta seed).
+  if (config_.seed.mode == SeedMode::kHereMultithreaded && !delta_seeded_) {
     primary_.hypervisor().disable_pml_rings(*vm_);
   }
 
@@ -432,6 +492,125 @@ void ReplicationEngine::commit_initial_checkpoint() {
            secondary_.name().c_str(),
            sim::format_duration(stats_.seed.total_time).c_str());
   for (EngineObserver* o : observers_) o->on_protected(*vm_);
+}
+
+bool ReplicationEngine::try_delta_seed() {
+  if (env_.durable_store == nullptr) return false;
+  const RecoveryManager recovery(*env_.durable_store);
+  const Expected<RecoveryResult> result = recovery.recover(*staging_);
+  if (!result.ok()) {
+    // Nothing usable in the store (or a damaged snapshot). Rebuild staging so
+    // the full-seed path never sees a half-populated image.
+    staging_ = std::make_unique<ReplicaStaging>(vm_->spec(), threads());
+    staging_->set_advertised_wire_version(config_.replica_max_wire_version);
+    return false;
+  }
+  stats_.last_recovery = *result;
+  stats_.wal_records_replayed += (*result).wal_records_replayed;
+  if (m_wal_replays_ != nullptr) {
+    m_wal_replays_->add((*result).wal_records_replayed);
+  }
+
+  // Stop-and-diff: pause the guest, install exactly the pages whose digests
+  // disagree with the recovered image, re-mirror the divergent disk sectors.
+  // Dirty tracking arms before the diff so writes from the resumed guest are
+  // caught by the first continuous epoch (PML rings stay off — this is the
+  // bitmap path, like a KVM-primary seed).
+  const bool was_running = vm_->state() == hv::VmState::kRunning;
+  if (was_running) primary_.hypervisor().pause(*vm_);
+  primary_.hypervisor().enable_dirty_bitmap(*vm_);
+  primary_.hypervisor().dirty_bitmap(*vm_)->clear();
+
+  const std::uint64_t pages = vm_->memory().pages();
+  const std::uint64_t scale = vm_->spec().model_scale;
+  std::uint64_t divergent = 0;
+  for (common::Gfn g = 0; g < pages; ++g) {
+    if (vm_->memory().page_digest(g) == staging_->memory().page_digest(g)) {
+      continue;
+    }
+    staging_->install_seed_page(g, vm_->memory().page(g));
+    ++divergent;
+  }
+  const hv::VirtualDisk& primary_disk = primary_.hypervisor().disk(*vm_);
+  std::uint64_t divergent_sectors = 0;
+  {
+    const auto want = primary_disk.sorted_stamps();
+    const auto have = staging_->disk().sorted_stamps();
+    std::size_t i = 0;
+    for (const auto& [sector, stamp] : want) {
+      while (i < have.size() && have[i].first < sector) ++i;
+      const bool match = i < have.size() && have[i].first == sector &&
+                         have[i].second == stamp;
+      if (!match) ++divergent_sectors;
+    }
+  }
+  staging_->seed_disk(primary_disk);
+  epoch_disk_writes_.clear();  // contained in the just-mirrored disk image
+
+  // Commit the reconciled image as a fresh epoch above everything the store
+  // already holds. The store re-attaches only *after* the commit — replay
+  // must never feed back into the log — and the explicit snapshot then
+  // supersedes the previous generation's WAL.
+  staging_->begin_epoch(staging_->committed_epoch() + 1);
+  const sim::Duration state_cost = snapshot_state_and_program();
+  if (const Expected<std::uint64_t> committed = staging_->commit();
+      !committed.ok()) {
+    staging_ = std::make_unique<ReplicaStaging>(vm_->spec(), threads());
+    staging_->set_advertised_wire_version(config_.replica_max_wire_version);
+    if (was_running && vm_->state() == hv::VmState::kPaused) {
+      primary_.hypervisor().resume(*vm_);
+    }
+    return false;
+  }
+  ++stats_.delta_seeds;
+  staging_->attach_durable_store(env_.durable_store);
+  env_.durable_store->write_snapshot(staging_->committed_epoch(),
+                                     staging_->memory(), staging_->disk());
+
+  committed_digest_mirror_.resize(staging_->region_count());
+  for (std::uint32_t r = 0; r < staging_->region_count(); ++r) {
+    committed_digest_mirror_[r] = staging_->committed_region_digest(r);
+  }
+  if (config_.encoders.any() &&
+      staging_->advertised_wire_version() >= wire::kWireVersionEncoded) {
+    encoder_ = std::make_unique<EncoderPipeline>(config_.encoders, pages);
+    encoder_->baseline(vm_->memory());
+  }
+
+  // Modelled cost: local snapshot+WAL replay, the both-ways page-digest
+  // exchange over the whole image (8 bytes a page each way), the divergent
+  // pages, and the divergent sectors; machine state + ack ride on top.
+  const sim::Duration cost =
+      model_.durable_replay((*result).bytes_read * scale,
+                            (*result).wal_records_replayed) +
+      model_.wire_time(2 * pages * 8ULL * scale) +
+      model_.wire_time(common::pages_to_bytes(divergent * scale)) +
+      model_.wire_time(divergent_sectors * 512ULL);
+
+  stats_.seed = SeedResult{};
+  stats_.seed.iterations = 1;
+  stats_.seed.pages_sent = divergent;
+  stats_.seed.bytes_sent = common::pages_to_bytes(divergent);
+  stats_.seed.total_time = cost + state_cost;
+  stats_.seed.stop_copy_time = cost + state_cost;
+
+  delta_seeded_ = true;
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "seed.delta", "seed",
+                            {{"recovered_epoch", (*result).recovered_epoch},
+                             {"divergent_pages", divergent},
+                             {"divergent_sectors", divergent_sectors},
+                             {"wal_records", (*result).wal_records_replayed}});
+  }
+  HERE_LOG(kInfo,
+           "delta seed from surviving store: recovered epoch %llu, "
+           "%llu divergent page(s), %llu divergent sector(s)",
+           static_cast<unsigned long long>((*result).recovered_epoch),
+           static_cast<unsigned long long>(divergent),
+           static_cast<unsigned long long>(divergent_sectors));
+  sim_.schedule_after(cost + state_cost,
+                      [this] { commit_initial_checkpoint(); }, "seed-delta");
+  return true;
 }
 
 sim::Duration ReplicationEngine::snapshot_state_and_program() {
@@ -669,7 +848,7 @@ void ReplicationEngine::run_checkpoint() {
   const std::uint16_t wire_version =
       encoder_ != nullptr
           ? std::min<std::uint16_t>(wire::kWireVersionEncoded,
-                                    ReplicaStaging::supported_wire_version())
+                                    staging_->advertised_wire_version())
           : wire::kWireVersionRaw;
   std::vector<wire::RegionFrame> frames;
   for (std::uint64_t r = 0; r < regions; ++r) {
@@ -1216,9 +1395,13 @@ void ReplicationEngine::finish_checkpoint(std::uint64_t epoch,
 void ReplicationEngine::send_heartbeat() {
   // Keep beating while a failover is merely *in progress*: a healed
   // partition must be able to deliver the fencing signal. Only a completed
-  // failover (replica active) silences the primary for good.
-  if (stats_.failed_over) return;
-  if (primary_.alive()) {
+  // failover (replica active) or a lost arbitration silences the primary
+  // for good.
+  if (stats_.failed_over || primary_demoted_) return;
+  if (primary_.alive() && !resume_probe_pending_) {
+    // While the resume probe is pending the recovered primary stays silent:
+    // a heartbeat would fence an in-progress failover *around* the
+    // arbitration, pre-empting the secondary's grant-or-deny decision.
     // Control message on the interconnect; a crashed host's packets drop, a
     // hung host never reaches this point.
     net::Packet hb;
@@ -1528,6 +1711,7 @@ void ReplicationEngine::on_secondary_rebooted() {
   if (vm_ == nullptr || stats_.failed_over || failover_in_progress_) return;
   secondary_down_ = false;
   staging_ = std::make_unique<ReplicaStaging>(vm_->spec(), threads());
+  staging_->set_advertised_wire_version(config_.replica_max_wire_version);
   common::DirtyBitmap* bm = primary_.hypervisor().dirty_bitmap(*vm_);
   const std::uint64_t pages = vm_->memory().pages();
   const std::uint64_t scale = vm_->spec().model_scale;
@@ -1670,6 +1854,169 @@ void ReplicationEngine::on_secondary_rebooted() {
       "rejoin-resume");
 }
 
+// --- Recovered-primary arbitration (ReHype microreboot race) -------------------
+
+void ReplicationEngine::on_primary_recovered() {
+  if (vm_ == nullptr || primary_demoted_ || resume_probe_pending_ || !seeded_) {
+    return;
+  }
+  if (stats_.failed_over) {
+    // The race is already over: the replica took the service address while
+    // the primary was rebooting. Nothing to probe.
+    demote_primary("replica already active at recovery");
+    return;
+  }
+  resume_probe_pending_ = true;
+  // The microreboot resumed the preserved guests, but the protected VM must
+  // not produce output until arbitration says this side still owns it (two
+  // running instances of the service is exactly the split brain to prevent).
+  if (vm_->state() == hv::VmState::kRunning) primary_.hypervisor().pause(*vm_);
+  // Nothing scheduled before the crash may fire mid-arbitration: a stale
+  // checkpoint-finish event would resume the VM (and commit a pre-crash
+  // epoch) behind the probe's back. The grant path folds the aborted epoch
+  // back in and restarts the loop.
+  sim_.cancel(checkpoint_event_);
+  sim_.cancel(checkpoint_finish_event_);
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "recovery.arbitrate", "fo",
+                            {{"vm", vm_->spec().name}});
+  }
+  send_resume_probe();
+}
+
+void ReplicationEngine::send_resume_probe() {
+  if (!resume_probe_pending_ || primary_demoted_) return;
+  if (!primary_.alive()) {
+    // Crashed again before winning: the arbitration attempt dies with the
+    // host; the next recovery starts a fresh one.
+    resume_probe_pending_ = false;
+    return;
+  }
+  ++stats_.resume_probes;
+  if (m_resume_probes_ != nullptr) m_resume_probes_->add(1);
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "resume.probe", "fo",
+                            {{"probes", stats_.resume_probes}});
+  }
+  // A dead secondary cannot arbitrate — and cannot have activated either, so
+  // the recovered primary is trivially authoritative (self-grant).
+  if (!secondary_.alive() && !failover_in_progress_ && !stats_.failed_over) {
+    on_resume_grant();
+    return;
+  }
+  net::Packet probe;
+  probe.src = primary_.ic_node();
+  probe.dst = secondary_.ic_node();
+  probe.size_bytes = 64;
+  probe.kind = kResumeProbeKind;
+  probe.tag = probe_token_;
+  fabric_.send(probe);
+  // Keep probing (partition, drop, hung secondary) until a verdict arrives.
+  const sim::Duration retry = config_.ft.probe_timeout > sim::Duration::zero()
+                                  ? config_.ft.probe_timeout
+                                  : config_.heartbeat_interval;
+  resume_probe_event_ = sim_.schedule_after(
+      retry, [this] { send_resume_probe(); }, "resume-probe");
+}
+
+void ReplicationEngine::on_resume_probe(const net::Packet& packet) {
+  if (secondary_down_) return;  // replication process dead; probe retries
+  // Linearization point: this handler runs atomically on the event queue, so
+  // the verdict below is consistent with any failover armed or completed.
+  // Once activation happened the answer is deny — forever; before it, the
+  // probe cancels an armed-but-unfired failover exactly like fencing does.
+  const bool deny = stats_.failed_over;
+  if (!deny) {
+    last_heartbeat_rx_ = sim_.now();
+    if (failover_in_progress_) {
+      sim_.cancel(failover_activate_event_);
+      sim_.cancel(checkpoint_finish_event_);
+      failover_in_progress_ = false;
+      fencing_armed_ = false;
+      ++stats_.failovers_fenced;
+      if (m_failovers_fenced_ != nullptr) m_failovers_fenced_->add(1);
+      if (config_.tracer != nullptr) {
+        config_.tracer->instant(sim_.now(), "failover.fenced", "fo",
+                                {{"fenced_total", stats_.failovers_fenced},
+                                 {"by", "resume-probe"}});
+      }
+      notify_degraded(DegradedKind::kFailoverFenced,
+                      "recovered primary probed before replica activation");
+      watchdog_check();  // the loop parked when the failover began
+    }
+  }
+  net::Packet reply;
+  reply.src = secondary_.ic_node();
+  reply.dst = packet.src;
+  reply.size_bytes = 64;
+  reply.kind = deny ? kResumeDenyKind : kResumeGrantKind;
+  reply.tag = probe_token_;
+  fabric_.send(reply);
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), deny ? "resume.deny" : "resume.grant",
+                            "fo", {{"failed_over", stats_.failed_over}});
+  }
+}
+
+void ReplicationEngine::on_resume_grant() {
+  if (!resume_probe_pending_ || primary_demoted_ || stats_.failed_over) return;
+  resume_probe_pending_ = false;
+  sim_.cancel(resume_probe_event_);
+  ++stats_.resume_grants;
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "resume.resumed", "fo",
+                            {{"grants", stats_.resume_grants}});
+  }
+  // The epoch that died with the crash folds back into the running one so
+  // the first post-recovery checkpoint re-ships it (output commit held: its
+  // buffered output was never dropped, only activation drops).
+  if (staging_) abort_staged_epoch();
+  restore_aborted_epoch();
+  if (primary_.alive() && vm_ != nullptr &&
+      vm_->state() == hv::VmState::kPaused) {
+    primary_.hypervisor().resume(*vm_);
+  }
+  if (staging_ && !secondary_down_ && seeded_) {
+    sim_.cancel(checkpoint_event_);
+    last_checkpoint_done_ = sim_.now();
+    schedule_checkpoint();
+  }
+  HERE_LOG(kInfo,
+           "recovered primary won arbitration; output commit resumes");
+}
+
+void ReplicationEngine::demote_primary(const char* reason) {
+  if (primary_demoted_) return;
+  primary_demoted_ = true;
+  resume_probe_pending_ = false;
+  sim_.cancel(resume_probe_event_);
+  sim_.cancel(checkpoint_event_);
+  sim_.cancel(checkpoint_finish_event_);
+  ++stats_.primary_demotions;
+  if (m_primary_demotions_ != nullptr) m_primary_demotions_->add(1);
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "primary.demoted", "fo",
+                            {{"reason", reason}});
+  }
+  // The stale instance must never run again: its state forked from the
+  // authoritative replica at the last committed epoch. Destroy it; the
+  // control plane re-seeds protection for the activated replica, using this
+  // host's surviving durable store for a delta seed where possible.
+  if (vm_ != nullptr) {
+    hv::Vm* stale = vm_;
+    vm_ = nullptr;
+    if (stale->state() == hv::VmState::kRunning) {
+      primary_.hypervisor().pause(*stale);
+    }
+    if (stale->state() != hv::VmState::kDestroyed) {
+      primary_.hypervisor().destroy_vm(*stale);
+    }
+  }
+  notify_degraded(DegradedKind::kPrimaryDemoted,
+                  std::string("recovered primary lost arbitration: ") + reason);
+  HERE_LOG(kInfo, "recovered primary demoted (%s); re-seed candidate", reason);
+}
+
 void ReplicationEngine::inject_wal_torn_write(std::uint64_t bytes) {
   if (env_.durable_store == nullptr || bytes == 0) return;
   env_.durable_store->damage_wal_tail(bytes);
@@ -1706,20 +2053,25 @@ void ReplicationEngine::on_guest_tx(const net::Packet& packet) {
 }
 
 void ReplicationEngine::on_service_packet(const net::Packet& packet) {
-  if (stats_.failed_over) {
-    if (replica_vm_ != nullptr && secondary_.alive()) {
-      replica_vm_->deliver_packet(sim_.now(), secondary_.hypervisor().rng(),
-                                  packet);
-    }
-    return;
-  }
-  if (vm_ != nullptr && primary_.alive()) {
-    vm_->deliver_packet(sim_.now(), primary_.hypervisor().rng(), packet);
+  hv::Vm* vm = active_vm();
+  hv::Host& host = stats_.failed_over ? secondary_ : primary_;
+  if (vm != nullptr && host.alive()) {
+    vm->deliver_packet(sim_.now(), host.hypervisor().rng(), packet);
   }
 }
 
 hv::Vm* ReplicationEngine::active_vm() {
-  return stats_.failed_over ? replica_vm_ : vm_;
+  hv::Vm* vm = stats_.failed_over ? replica_vm_ : vm_;
+  // An older generation's replica twin may have been destroyed by a newer
+  // generation demoting it (cascaded re-protection): validate the borrowed
+  // pointer against the owning hypervisor before anyone dereferences it.
+  // The engine stays routable — its service node lives on — but delivers
+  // nothing once the twin is gone.
+  if (vm != nullptr) {
+    hv::Host& host = stats_.failed_over ? secondary_ : primary_;
+    if (!host.hypervisor().owns(*vm)) return nullptr;
+  }
+  return vm;
 }
 
 bool ReplicationEngine::service_available() {

@@ -63,6 +63,12 @@ enum class EngineMode : std::uint8_t {
 inline constexpr std::uint32_t kHeartbeatKind = 0xbeef;
 inline constexpr std::uint32_t kProbeRequestKind = 0xbef0;
 inline constexpr std::uint32_t kProbeReplyKind = 0xbef1;
+// Resume-probe arbitration (recovered-primary / failover race). The tag
+// field carries the engine's probe token so multiple engines sharing a host
+// pair never cross wires.
+inline constexpr std::uint32_t kResumeProbeKind = 0xbef2;
+inline constexpr std::uint32_t kResumeGrantKind = 0xbef3;
+inline constexpr std::uint32_t kResumeDenyKind = 0xbef4;
 
 // Engine-hardening knobs. Zero-valued durations disable the corresponding
 // mechanism; the defaults reproduce the original fail-stop engine exactly.
@@ -163,6 +169,11 @@ struct ReplicationConfig {
   // Fair-share weight of this engine on the shared pool and link (> 0).
   // Only consulted when EngineEnv carries a pool or arbiter.
   double flow_weight = 1.0;
+  // Highest checkpoint wire version this engine's *replica* advertises
+  // (rolling-upgrade pinning). A v1-capable secondary pinned to v0 makes the
+  // primary negotiate the raw stream down — and suppresses the encoder stage
+  // entirely, since encoded bytes can never travel in v0 frames.
+  std::uint16_t replica_max_wire_version = wire::kWireVersionEncoded;
   // Observability (src/obs): borrowed pointers, either may be null, both
   // must outlive the engine. The engine (and the components it drives:
   // seeder, outbound buffer, period decisions) emits spans/instants through
@@ -217,6 +228,15 @@ struct EngineStats {
   std::uint64_t resync_disk_sectors = 0;  // divergent sectors re-mirrored
   sim::Duration last_rejoin_time{};     // crash -> first post-rejoin commit
   RecoveryResult last_recovery;         // outcome of the last local recovery
+
+  // Recovered-primary arbitration accounting (all zero without recovery
+  // faults). Exactly one of {resume_grants, primary_demotions} moves per
+  // race: the recovered side either wins (resumes output commit) or loses
+  // (demotes to a re-seed candidate) — never both.
+  std::uint64_t resume_probes = 0;      // probes sent by the recovered primary
+  std::uint64_t resume_grants = 0;      // arbitration won: output commit resumed
+  std::uint64_t primary_demotions = 0;  // arbitration lost: primary demoted
+  std::uint64_t delta_seeds = 0;        // re-seeds served from a surviving store
   // Watchdog verdict ("", "crash-suspected" or "partition-suspected");
   // populated on heartbeat-loss failovers when probing is enabled.
   std::string failure_classification;
@@ -303,6 +323,11 @@ class ReplicationEngine {
   // True between a secondary reboot and the first post-rejoin commit.
   [[nodiscard]] bool rejoining() const { return rejoining_; }
 
+  // True once this engine's primary lost the resume-probe arbitration: its
+  // stale VM was destroyed and the engine will never checkpoint again (the
+  // control plane re-protects the activated replica with a fresh engine).
+  [[nodiscard]] bool primary_demoted() const { return primary_demoted_; }
+
   [[nodiscard]] bool protecting() const { return vm_ != nullptr; }
   [[nodiscard]] bool seeded() const { return seeded_; }
   [[nodiscard]] bool failed_over() const { return stats_.failed_over; }
@@ -311,7 +336,15 @@ class ReplicationEngine {
   }
 
   [[nodiscard]] hv::Vm* primary_vm() { return vm_; }
-  [[nodiscard]] hv::Vm* replica_vm() { return replica_vm_; }
+  // Null once the twin no longer exists on the secondary (a newer engine
+  // generation demoted and destroyed it) — callers get a validated pointer,
+  // never a dangling one.
+  [[nodiscard]] hv::Vm* replica_vm() {
+    if (replica_vm_ != nullptr && !secondary_.hypervisor().owns(*replica_vm_)) {
+      return nullptr;
+    }
+    return replica_vm_;
+  }
   // The VM currently responsible for the service.
   [[nodiscard]] hv::Vm* active_vm();
 
@@ -398,6 +431,25 @@ class ReplicationEngine {
   // re-send. Checkpointing resumes after the modelled recovery time.
   void on_secondary_rebooted();
 
+  // --- Recovered-primary arbitration (ReHype microreboot race) ----------------
+  // A primary back from a microreboot must not silently resume output
+  // commit: the secondary may have failed over (or be mid-failover) while it
+  // was dark. The recovered side holds its VM paused and probes; the
+  // secondary's event-serialized packet handler is the linearization point
+  // — grant (cancelling any armed-but-unfired failover) or deny (it already
+  // activated). Exactly one side ends up authoritative.
+  void on_primary_recovered();
+  void send_resume_probe();
+  void on_resume_probe(const net::Packet& packet);  // secondary side
+  void on_resume_grant();                           // primary side, won
+  void demote_primary(const char* reason);          // primary side, lost
+  // Delta re-seed: when the environment's durable store already holds a
+  // snapshot+WAL for this VM (a previous engine generation wrote it), seed
+  // the replica from local recovery plus a digest diff instead of streaming
+  // every page. Returns false (caller full-seeds) when there is no store or
+  // recovery fails.
+  bool try_delta_seed();
+
   void on_guest_tx(const net::Packet& packet);
   void on_service_packet(const net::Packet& packet);
 
@@ -467,6 +519,15 @@ class ReplicationEngine {
   sim::TimePoint secondary_crashed_at_{};
   std::vector<std::uint64_t> committed_digest_mirror_;
 
+  // Recovered-primary arbitration state. The probe token fences this
+  // engine's probes from other engines on the same host pair (derived from
+  // the VM name, never from pointers — determinism).
+  bool resume_probe_pending_ = false;
+  bool primary_demoted_ = false;
+  bool delta_seeded_ = false;  // current seed came from a surviving store
+  std::uint64_t probe_token_ = 0;
+  sim::EventId resume_probe_event_;
+
   // Cached metric instruments (all null when config_.metrics is null).
   obs::Counter* m_epochs_ = nullptr;
   obs::Counter* m_dirty_pages_ = nullptr;
@@ -485,6 +546,8 @@ class ReplicationEngine {
   obs::Counter* m_enc_pages_zero_ = nullptr;
   obs::Counter* m_enc_pages_delta_ = nullptr;
   obs::Counter* m_enc_pages_skipped_ = nullptr;
+  obs::Counter* m_resume_probes_ = nullptr;
+  obs::Counter* m_primary_demotions_ = nullptr;
   obs::Counter* m_wal_appends_ = nullptr;
   obs::Counter* m_wal_replays_ = nullptr;
   obs::Counter* m_resync_regions_ = nullptr;

@@ -71,7 +71,7 @@ FrameVerdict ReplicaStaging::receive_frame(const wire::RegionFrame& frame) {
   // Version discipline: a frame beyond this replica's decoder, or one that
   // disagrees with the version the epoch header announced, can never decode
   // — NACK it like any other damage.
-  if (frame.version > supported_wire_version() ||
+  if (frame.version > advertised_version_ ||
       (expectation_armed_ && frame.version != expected_.version)) {
     corrupt_regions_.insert(frame.region);
     return FrameVerdict::kCorrupt;

@@ -7,6 +7,7 @@
 // checkpoint — the rollback property of asynchronous state replication.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -75,10 +76,21 @@ class ReplicaStaging {
   // absorbed here). commit() refuses the epoch unless every expected frame
   // verified and the recomputed rolling digest matches the header.
 
-  // Highest wire version this replica can decode; the primary proposes
-  // min(its own capability, this) when negotiating the stream version.
+  // Highest wire version this replica's *build* can decode.
   [[nodiscard]] static constexpr std::uint16_t supported_wire_version() {
     return wire::kWireVersionEncoded;
+  }
+
+  // Highest wire version this replica *instance* advertises (rolling-upgrade
+  // pinning: a v1-capable replica may rejoin a stream whose operator pinned
+  // it to v0). The primary proposes min(its capability, this); frames above
+  // it are NACKed by receive_frame, so an un-negotiated primary would loop —
+  // which is why the engine consults this instead of the build capability.
+  void set_advertised_wire_version(std::uint16_t version) {
+    advertised_version_ = std::min(version, supported_wire_version());
+  }
+  [[nodiscard]] std::uint16_t advertised_wire_version() const {
+    return advertised_version_;
   }
 
   // Arms integrity verification for the open epoch. Reset by begin_epoch /
@@ -195,6 +207,7 @@ class ReplicaStaging {
   // recomputation and page application both run in sequence order regardless
   // of arrival order.
   bool expectation_armed_ = false;
+  std::uint16_t advertised_version_ = wire::kWireVersionEncoded;
   wire::EpochHeader expected_;
   std::map<std::uint64_t, wire::RegionFrame> frames_;
   std::set<std::uint32_t> corrupt_regions_;

@@ -346,5 +346,71 @@ TEST(ChaosPlan, SeededLossPartitionCrashFailsOverWithOutputCommitIntact) {
   EXPECT_EQ(bed.engine().replica_vm()->state(), hv::VmState::kRunning);
 }
 
+// --- Primary-recovery faults --------------------------------------------------
+
+TEST(FaultPlan, RecoveryFaultsAreOptIn) {
+  RandomPlanConfig config = testbed_plan_config();
+  config.events = 64;
+  const auto has_recovery = [](const FaultPlan& plan) {
+    for (const FaultSpec& spec : plan.schedule()) {
+      if (spec.type == FaultType::kHypervisorMicroreboot ||
+          spec.type == FaultType::kRecoveryRace) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // Off (the default): no seed may produce a recovery fault — existing
+  // (seed, config) plans stay byte-stable.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    EXPECT_FALSE(has_recovery(FaultPlan::random(seed, config))) << seed;
+  }
+  // On: the appended candidates actually get drawn.
+  config.recovery_faults = true;
+  bool drawn = false;
+  for (std::uint64_t seed = 1; seed <= 8 && !drawn; ++seed) {
+    drawn = has_recovery(FaultPlan::random(seed, config));
+  }
+  EXPECT_TRUE(drawn);
+  // And the seeded latency lands inside the configured band.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (const FaultSpec& spec : FaultPlan::random(seed, config).schedule()) {
+      if (spec.type != FaultType::kRecoveryRace &&
+          spec.type != FaultType::kHypervisorMicroreboot) {
+        continue;
+      }
+      EXPECT_GE(spec.amount, config.min_recovery_latency);
+      EXPECT_LE(spec.amount, config.max_recovery_latency);
+    }
+  }
+}
+
+TEST(FaultInjector, RecoveryRaceCrashesThenMicroreboots) {
+  rep::Testbed bed(chaos_testbed_config());
+  hv::Vm& vm = bed.create_vm(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(20)));
+  bed.protect(vm);
+  bed.run_until_seeded();
+  bed.simulation().run_for(sim::from_seconds(1));
+
+  // One plan event = crash + immediate microreboot with the given latency.
+  // 40 ms is well under the heartbeat timeout: the recovered primary wins
+  // the arbitration and protection continues in place.
+  FaultPlan plan;
+  const sim::TimePoint t0 = bed.simulation().now();
+  plan.recovery_race("host-a", t0 + sim::from_millis(100),
+                     sim::from_millis(40));
+  FaultInjector injector(bed.simulation(), bed.fabric());
+  injector.register_testbed(bed);
+  injector.arm(plan);
+
+  ASSERT_TRUE(bed.run_until(
+      [&] { return bed.engine().stats().resume_grants == 1; },
+      sim::from_seconds(10)));
+  EXPECT_EQ(bed.primary().microreboots(), 1u);
+  EXPECT_FALSE(bed.engine().failed_over());
+  EXPECT_EQ(vm.state(), hv::VmState::kRunning);
+}
+
 }  // namespace
 }  // namespace here::faults

@@ -1,0 +1,293 @@
+// Cascading re-protection across a 3-host heterogeneous pool, and the
+// point-in-time restore API.
+//
+// The scenario under test is the paper's robustness story pushed one step
+// further: two sequential host faults, neither of which may leave the
+// domain unprotected for longer than one re-seed. The chain walks
+//
+//   gen 1  xen1 -> kvm1     (initial protection)
+//   fault  xen1 crashes (and stays down)
+//   gen 2  kvm1 -> xen2     (cascade to a *third* host: N+1 without repair)
+//   fault  kvm1 crashes, then microreboots; the recovered primary loses
+//          the resume arbitration (replica already active) and demotes
+//   gen 3  xen2 -> kvm1     (the repaired host re-seeds as the new
+//                            secondary — from its *surviving* durable
+//                            store, so only the divergence crosses the wire)
+//
+// Assertions cover generation bookkeeping, host-keyed store reuse (the
+// delta seed), per-generation MTTR records, old-generation routing safety
+// after the demotion destroyed their replica twin, and determinism of the
+// whole chain.
+#include <gtest/gtest.h>
+
+#include "kvmsim/kvm_hypervisor.h"
+#include "mgmt/protection_manager.h"
+#include "mgmt/virt.h"
+#include "workload/synthetic.h"
+#include "xensim/xen_hypervisor.h"
+
+namespace here::mgmt {
+namespace {
+
+struct Fleet {
+  sim::Simulation sim;
+  net::Fabric fabric{sim};
+  std::vector<std::unique_ptr<hv::Host>> hosts;
+  std::uint64_t next_seed = 1;  // per-instance: repeated runs are identical
+
+  hv::Host& add(const std::string& name, hv::HvKind kind) {
+    std::unique_ptr<hv::Hypervisor> hypervisor;
+    if (kind == hv::HvKind::kXen) {
+      hypervisor =
+          std::make_unique<xen::XenHypervisor>(sim, sim::Rng(next_seed++));
+    } else {
+      hypervisor =
+          std::make_unique<kvm::KvmHypervisor>(sim, sim::Rng(next_seed++));
+    }
+    hosts.push_back(
+        std::make_unique<hv::Host>(name, fabric, std::move(hypervisor)));
+    return *hosts.back();
+  }
+
+  bool run_until(const std::function<bool()>& cond, double limit_s) {
+    const sim::TimePoint deadline = sim.now() + sim::from_seconds(limit_s);
+    while (sim.now() < deadline && !cond()) sim.run_for(sim::from_millis(50));
+    return cond();
+  }
+};
+
+rep::ReplicationConfig fast_engine() {
+  rep::ReplicationConfig config;
+  config.period.t_max = sim::from_millis(500);
+  return config;
+}
+
+// Everything the determinism test needs to compare across two runs.
+struct CascadeOutcome {
+  std::uint32_t generation = 0;
+  std::uint64_t reprotections = 0;
+  std::uint64_t delta_seeds = 0;
+  std::uint64_t delta_pages_sent = 0;
+  std::uint64_t final_digest = 0;
+  std::vector<sim::Duration> mttr;
+};
+
+CascadeOutcome run_cascade() {
+  Fleet fleet;
+  hv::Host& xen1 = fleet.add("xen1", hv::HvKind::kXen);
+  hv::Host& kvm1 = fleet.add("kvm1", hv::HvKind::kKvm);
+  hv::Host& xen2 = fleet.add("xen2", hv::HvKind::kXen);
+
+  ProtectionManager manager(fleet.sim, fleet.fabric, fast_engine());
+  manager.add_host(xen1);
+  manager.add_host(kvm1);
+  manager.add_host(xen2);
+  manager.enable_durable_replicas();
+  manager.enable_auto_reprotect(sim::from_millis(100));
+
+  VirtConnection conn(xen1);
+  DomainConfig config;
+  config.name = "svc";
+  config.vcpus = 2;
+  config.memory_bytes = 48ULL << 20;
+  hv::Vm& vm = *conn.create_domain(config).value();
+  vm.attach_program(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(15)));
+  EXPECT_TRUE(manager.protect(vm, xen1).ok());
+  ProtectionManager::Protection* protection = manager.find("svc");
+  EXPECT_TRUE(
+      fleet.run_until([&] { return protection->engine().seeded(); }, 600));
+  fleet.sim.run_for(sim::from_seconds(2));
+
+  rep::DurableStore* kvm1_store = protection->store_on(&kvm1);
+  EXPECT_NE(kvm1_store, nullptr);
+
+  // Fault #1: xen1 dies and stays down. The cascade must not wait for it —
+  // redundancy comes back via the third host.
+  xen1.inject_fault(hv::FaultKind::kCrash);
+  EXPECT_TRUE(fleet.run_until(
+      [&] { return protection->engines[0]->failed_over(); }, 30));
+  EXPECT_TRUE(
+      fleet.run_until([&] { return manager.reprotections() == 1; }, 30));
+  EXPECT_EQ(protection->generation, 2u);
+  EXPECT_EQ(protection->primary, &kvm1);
+  EXPECT_EQ(protection->secondary, &xen2);
+  EXPECT_NE(protection->store_on(&xen2), nullptr);
+  EXPECT_TRUE(
+      fleet.run_until([&] { return protection->engine().seeded(); }, 600));
+  fleet.sim.run_for(sim::from_seconds(2));
+
+  // Fault #2, back to back: kvm1 crashes mid-service and microreboots. The
+  // reboot window dwarfs failover, so the recovered primary is demoted —
+  // its stale twin destroyed — and the policy loop re-seeds it as the new
+  // secondary instead.
+  kvm1.inject_fault(hv::FaultKind::kCrash);
+  EXPECT_TRUE(kvm1.begin_microreboot(sim::from_millis(600)));
+  rep::ReplicationEngine* gen2 = protection->engines[1].get();
+  EXPECT_TRUE(fleet.run_until([&] { return gen2->failed_over(); }, 30));
+  EXPECT_TRUE(fleet.run_until(
+      [&] { return gen2->stats().primary_demotions == 1; }, 30));
+  EXPECT_TRUE(gen2->primary_demoted());
+
+  EXPECT_TRUE(
+      fleet.run_until([&] { return manager.reprotections() == 2; }, 30));
+  EXPECT_EQ(protection->generation, 3u);
+  EXPECT_EQ(protection->primary, &xen2);
+  EXPECT_EQ(protection->secondary, &kvm1);
+  // Host-keyed reuse: gen 3 runs against the *same* store gen 1 wrote, and
+  // seeds as a digest-diff delta, not a full N-page copy.
+  EXPECT_EQ(protection->store_on(&kvm1), kvm1_store);
+  EXPECT_EQ(protection->stores.size(), 2u);
+  EXPECT_TRUE(
+      fleet.run_until([&] { return protection->engine().seeded(); }, 600));
+  const rep::EngineStats& gen3 = protection->engine().stats();
+  EXPECT_EQ(gen3.delta_seeds, 1u);
+  EXPECT_LT(gen3.seed.pages_sent, (48ULL << 20) / 4096);
+
+  // Settled fleet: one authoritative VM, N+1 protection restored, MTTR
+  // recorded for both re-protections.
+  fleet.sim.run_for(sim::from_seconds(2));
+  EXPECT_EQ(manager.available_count(), 1u);
+  EXPECT_FALSE(protection->engine().failed_over());
+  EXPECT_EQ(protection->vm->state(), hv::VmState::kRunning);
+  // Old generations survive for routing and are safe to query even though
+  // the demotion destroyed the VM their pointers referred to.
+  EXPECT_EQ(protection->engines.size(), 3u);
+  for (const auto& engine : protection->engines) {
+    (void)engine->service_available();
+    (void)engine->active_vm();
+  }
+  EXPECT_EQ(protection->engines[0]->replica_vm(), nullptr)
+      << "gen-1's twin was destroyed by the gen-2 demotion";
+
+  ProtectionManager::FleetReport report = manager.fleet_report();
+  EXPECT_EQ(report.vms.size(), 1u);
+  EXPECT_EQ(report.vms[0].generation, 3u);
+  EXPECT_EQ(report.reprotect_mttr.size(), 2u);
+  CascadeOutcome outcome;
+  for (const auto& row : report.reprotect_mttr) {
+    EXPECT_TRUE(row.complete) << "generation " << row.generation;
+    EXPECT_GT(row.mttr, sim::Duration::zero());
+    outcome.mttr.push_back(row.mttr);
+  }
+  outcome.generation = protection->generation;
+  outcome.reprotections = manager.reprotections();
+  outcome.delta_seeds = gen3.delta_seeds;
+  outcome.delta_pages_sent = gen3.seed.pages_sent;
+  outcome.final_digest = protection->vm->memory().full_digest();
+  return outcome;
+}
+
+TEST(Cascade, TwoFaultsAcrossThreeHostsEndReprotected) {
+  const CascadeOutcome outcome = run_cascade();
+  EXPECT_EQ(outcome.generation, 3u);
+  EXPECT_EQ(outcome.reprotections, 2u);
+  EXPECT_EQ(outcome.delta_seeds, 1u);
+}
+
+TEST(Cascade, ChainIsDeterministicPerSeed) {
+  const CascadeOutcome first = run_cascade();
+  const CascadeOutcome second = run_cascade();
+  EXPECT_EQ(first.generation, second.generation);
+  EXPECT_EQ(first.reprotections, second.reprotections);
+  EXPECT_EQ(first.delta_seeds, second.delta_seeds);
+  EXPECT_EQ(first.delta_pages_sent, second.delta_pages_sent);
+  EXPECT_EQ(first.final_digest, second.final_digest);
+  ASSERT_EQ(first.mttr.size(), second.mttr.size());
+  for (std::size_t i = 0; i < first.mttr.size(); ++i) {
+    EXPECT_EQ(first.mttr[i], second.mttr[i]) << "generation record " << i;
+  }
+}
+
+// --- restore_to_epoch --------------------------------------------------------
+
+TEST(RestoreToEpoch, ReplaysTheStoreToABoundedEpoch) {
+  Fleet fleet;
+  hv::Host& xen1 = fleet.add("xen1", hv::HvKind::kXen);
+  hv::Host& kvm1 = fleet.add("kvm1", hv::HvKind::kKvm);
+  ProtectionManager manager(fleet.sim, fleet.fabric, fast_engine());
+  manager.add_host(xen1);
+  manager.add_host(kvm1);
+  // A huge rotation interval keeps every epoch in the WAL, so any bound
+  // since the initial snapshot is restorable.
+  rep::DurableStoreConfig durable;
+  durable.snapshot_interval_epochs = 1000;
+  manager.enable_durable_replicas(durable);
+
+  VirtConnection conn(xen1);
+  DomainConfig config;
+  config.name = "svc";
+  config.memory_bytes = 32ULL << 20;
+  hv::Vm& vm = *conn.create_domain(config).value();
+  vm.attach_program(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(15)));
+  ASSERT_TRUE(manager.protect(vm, xen1).ok());
+  ProtectionManager::Protection* protection = manager.find("svc");
+  ASSERT_TRUE(
+      fleet.run_until([&] { return protection->engine().seeded(); }, 600));
+  ASSERT_TRUE(fleet.run_until(
+      [&] {
+        return protection->engine().staging()->committed_epoch() >= 6;
+      },
+      600));
+
+  const std::uint64_t committed =
+      protection->engine().staging()->committed_epoch();
+
+  // Unbounded restore reproduces the live committed image exactly.
+  Expected<ProtectionManager::RestoreReport> now =
+      manager.restore_to_epoch("svc", ~0ULL);
+  ASSERT_TRUE(now.ok()) << now.status().to_string();
+  EXPECT_EQ((*now).restored_epoch, committed);
+  EXPECT_GT((*now).pages_restored, 0u);
+  EXPECT_EQ((*now).memory_digest,
+            protection->engine().staging()->memory().full_digest());
+
+  // A mid-WAL bound stops replay exactly there, and the image differs from
+  // the present one (the workload kept dirtying pages).
+  Expected<ProtectionManager::RestoreReport> past =
+      manager.restore_to_epoch("svc", committed - 2);
+  ASSERT_TRUE(past.ok()) << past.status().to_string();
+  EXPECT_EQ((*past).requested_epoch, committed - 2);
+  EXPECT_EQ((*past).restored_epoch, committed - 2);
+  EXPECT_LT((*past).wal_records_replayed, (*now).wal_records_replayed);
+  EXPECT_NE((*past).memory_digest, (*now).memory_digest);
+
+  // The live protection is untouched by restores: epochs keep committing.
+  fleet.sim.run_for(sim::from_seconds(2));
+  EXPECT_GT(protection->engine().staging()->committed_epoch(), committed);
+
+  // Error taxonomy: unknown domain is kNotFound. (A bound the store rotated
+  // past is kFailedPrecondition — covered at the store level in
+  // Durability.RotationSnapshotsAndPointInTimeRestore; here the initial
+  // snapshot sits at epoch 0, so even a zero bound restores the seed image
+  // without touching the WAL.)
+  EXPECT_EQ(manager.restore_to_epoch("nope", 1).status().code(),
+            StatusCode::kNotFound);
+  Expected<ProtectionManager::RestoreReport> zero =
+      manager.restore_to_epoch("svc", 0);
+  ASSERT_TRUE(zero.ok()) << zero.status().to_string();
+  EXPECT_EQ((*zero).restored_epoch, 0u);
+  EXPECT_EQ((*zero).wal_records_replayed, 0u);
+}
+
+TEST(RestoreToEpoch, RequiresADurableStore) {
+  Fleet fleet;
+  hv::Host& xen1 = fleet.add("xen1", hv::HvKind::kXen);
+  hv::Host& kvm1 = fleet.add("kvm1", hv::HvKind::kKvm);
+  (void)kvm1;
+  ProtectionManager manager(fleet.sim, fleet.fabric, fast_engine());
+  manager.add_host(xen1);
+  manager.add_host(kvm1);
+  VirtConnection conn(xen1);
+  DomainConfig config;
+  config.name = "svc";
+  config.memory_bytes = 16ULL << 20;
+  hv::Vm& vm = *conn.create_domain(config).value();
+  ASSERT_TRUE(manager.protect(vm, xen1).ok());
+  EXPECT_EQ(manager.restore_to_epoch("svc", 1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace here::mgmt
