@@ -11,13 +11,11 @@ namespace here::common {
 
 const char* to_string(LockRank rank) {
   switch (rank) {
-    case LockRank::kMigratorSched: return "rep.migrator_sched";
-    case LockRank::kThreadPoolQueue: return "thread_pool.queue";
-    case LockRank::kPmlRing: return "hv.pml_ring";
-    case LockRank::kEncoderState: return "rep.encoder_state";
-    case LockRank::kStagingCommit: return "rep.staging_commit";
-    case LockRank::kDurableStore: return "rep.durable_store";
-    case LockRank::kTraceSink: return "obs.trace_sink";
+#define HERE_LOCK_RANK_NAME_CASE(sym, value, name) \
+  case LockRank::sym:                              \
+    return name;
+    HERE_LOCK_RANK_TABLE(HERE_LOCK_RANK_NAME_CASE)
+#undef HERE_LOCK_RANK_NAME_CASE
   }
   return "unranked";
 }

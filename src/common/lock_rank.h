@@ -31,15 +31,9 @@
 // check therefore demands that the waited mutex be the only ranked mutex
 // held at the wait.
 //
-// Rank table (documented in docs/static_analysis.md; keep in sync):
-//    50  rep.migrator_sched  MigratorPool fair-share scheduler state
-//   100  thread_pool.queue   common::ThreadPool task queue
-//   200  hv.pml_ring         per-vCPU dirty ring (migrator drain path)
-//   250  rep.encoder_state   EncoderPipeline pending references / stats
-//   300  rep.staging_commit  ReplicaStaging epoch commit path
-//   350  rep.durable_store   DurableStore WAL/snapshot segments (called from
-//                            inside the staging commit, hence above 300)
-//   400  obs.trace_sink      RingBufferRecorder (leaf: always innermost)
+// The rank table below is the single source of truth: the enum, to_string()
+// and detlint's static L-rules are all generated from / checked against it
+// (docs/static_analysis.md documents the same table; `detlint` flags drift).
 #pragma once
 
 #include <condition_variable>
@@ -49,14 +43,36 @@
 
 namespace here::common {
 
+// Machine-readable rank table. detlint's whole-tree L-rules parse this block
+// (the `// detlint: rank-table` marker arms the parser) and cross-check every
+// RankedMutex construction in the tree against it: an undeclared rank, a
+// name-string mismatch, or a declared rank that is never constructed is a
+// lint finding, so this header, docs/static_analysis.md and the code cannot
+// drift apart.
+//
+//    50  rep.migrator_sched  MigratorPool fair-share scheduler state
+//   100  thread_pool.queue   common::ThreadPool task queue
+//   200  hv.pml_ring         per-vCPU dirty ring (migrator drain path)
+//   250  rep.encoder_state   EncoderPipeline pending references / stats
+//   300  rep.staging_commit  ReplicaStaging epoch commit path
+//   350  rep.durable_store   DurableStore WAL/snapshot segments (called from
+//                            inside the staging commit, hence above 300)
+//   400  obs.trace_sink      RingBufferRecorder (leaf: always innermost)
+//
+// detlint: rank-table
+#define HERE_LOCK_RANK_TABLE(X)                  \
+  X(kMigratorSched, 50, "rep.migrator_sched")    \
+  X(kThreadPoolQueue, 100, "thread_pool.queue")  \
+  X(kPmlRing, 200, "hv.pml_ring")                \
+  X(kEncoderState, 250, "rep.encoder_state")     \
+  X(kStagingCommit, 300, "rep.staging_commit")   \
+  X(kDurableStore, 350, "rep.durable_store")     \
+  X(kTraceSink, 400, "obs.trace_sink")
+
 enum class LockRank : std::uint32_t {
-  kMigratorSched = 50,
-  kThreadPoolQueue = 100,
-  kPmlRing = 200,
-  kEncoderState = 250,
-  kStagingCommit = 300,
-  kDurableStore = 350,
-  kTraceSink = 400,
+#define HERE_LOCK_RANK_ENUM_ENTRY(sym, value, name) sym = value,
+  HERE_LOCK_RANK_TABLE(HERE_LOCK_RANK_ENUM_ENTRY)
+#undef HERE_LOCK_RANK_ENUM_ENTRY
 };
 
 [[nodiscard]] const char* to_string(LockRank rank);

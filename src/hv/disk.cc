@@ -8,8 +8,7 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> VirtualDisk::sorted_stamps(
     const {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
   out.reserve(stamps_.size());
-  // detlint: allow(unordered-iter) -- collected into a vector and sorted;
-  // the returned enumeration is deterministic for any iteration order.
+  // detlint: allow(unordered-iter) -- output is sorted before it is returned
   for (const auto& [sector, stamp] : stamps_) out.emplace_back(sector, stamp);
   std::sort(out.begin(), out.end());
   return out;
@@ -38,8 +37,7 @@ std::uint64_t VirtualDisk::digest() const {
   // Order-independent: XOR of per-sector mixes, so iteration order of the
   // unordered_map does not matter.
   std::uint64_t acc = 0;
-  // detlint: allow(unordered-iter) -- XOR fold is commutative; the digest is
-  // identical for any iteration order.
+  // detlint: allow(unordered-iter) -- commutative XOR fold; any order digests alike
   for (const auto& [sector, stamp] : stamps_) {
     std::uint64_t h = sector * 0x9e3779b97f4a7c15ULL ^ stamp;
     h ^= h >> 33;

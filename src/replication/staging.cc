@@ -120,6 +120,10 @@ std::uint64_t ReplicaStaging::live_region_digest(std::uint32_t region) const {
   return acc;
 }
 
+// detlint: verified-by(ReplicaStaging::commit)
+// Only commit() (after the expectation/digest/decode refusals all pass) and
+// adopt_recovered() (itself blessed by RecoveryManager::recover) reach this;
+// the digest being folded is of pages that already survived verification.
 void ReplicaStaging::refresh_region_digest(std::uint32_t region) {
   if (committed_region_digests_.size() < region_count()) {
     committed_region_digests_.resize(region_count(), 0);
@@ -270,6 +274,10 @@ std::unique_ptr<hv::GuestProgram> ReplicaStaging::take_committed_program() {
   return std::move(committed_program_);
 }
 
+// detlint: verified-by(RecoveryManager::recover)
+// The recovery path is the only caller: the epoch adopted here comes from a
+// CRC-checked snapshot, and every later WAL record replays through the full
+// expect_epoch/receive_frame/commit verification stack before touching state.
 void ReplicaStaging::adopt_recovered(std::uint64_t epoch) {
   std::lock_guard lock(commit_mu_);
   open_epoch_ = epoch;

@@ -182,6 +182,183 @@ TEST(DetlintTest, SiblingHeaderMembersAreVisibleToD3) {
   EXPECT_EQ(findings[0].rule, Rule::kUnorderedIter);
 }
 
+// ---------------------------------------------------------------------
+// Whole-tree rules (L1-L4, P1-P2): these need the two-pass scan(), so the
+// tests target individual fixtures through the library entry point.
+// ---------------------------------------------------------------------
+
+detlint::ScanResult scan_targets(std::vector<std::string> targets) {
+  detlint::Options options;
+  options.root = HERE_SOURCE_DIR;
+  options.targets = std::move(targets);
+  return detlint::scan(options);
+}
+
+TEST(DetlintTest, LockOrderFixtureFires) {
+  const auto result =
+      scan_targets({"tests/analysis/fixtures/l1_lock_order.cc"});
+  EXPECT_TRUE(result.errors.empty());
+  ASSERT_EQ(result.findings.size(), 2u);
+  EXPECT_EQ(lines_for(result.findings, Rule::kLockOrder),
+            (std::vector<int>{13, 19}));
+  // The second inversion is only reachable through the call graph; the
+  // finding must carry its provenance chain.
+  EXPECT_NE(result.findings[1].message.find("reached via fix_l1_via_call"),
+            std::string::npos);
+}
+
+TEST(DetlintTest, RankTableFixtureFires) {
+  const auto result =
+      scan_targets({"tests/analysis/fixtures/l2_rank_table.cc"});
+  // Dead table entry (9), raw mutex (14), raw cv (15), name drift (18),
+  // undeclared symbol (20).
+  EXPECT_EQ(lines_for(result.findings, Rule::kRankTable),
+            (std::vector<int>{9, 14, 15, 18, 20}));
+  EXPECT_EQ(result.findings.size(), 5u);
+}
+
+TEST(DetlintTest, LockAcrossSubmitFixtureFires) {
+  const auto result =
+      scan_targets({"tests/analysis/fixtures/l3_lock_across_submit.cc"});
+  // Manual lock (13) and guard (19) both span a submit; the scope-closed
+  // variant stays silent.
+  EXPECT_EQ(lines_for(result.findings, Rule::kLockAcrossSubmit),
+            (std::vector<int>{13, 19}));
+  EXPECT_EQ(result.findings.size(), 2u);
+}
+
+TEST(DetlintTest, CvWaitHeldFixtureFires) {
+  const auto result =
+      scan_targets({"tests/analysis/fixtures/l4_cv_wait_held.cc"});
+  // Only the wait holding a second ranked mutex fires; the sole-mutex wait
+  // is the legal shape.
+  EXPECT_EQ(lines_for(result.findings, Rule::kCvWaitHeld),
+            (std::vector<int>{18}));
+  EXPECT_EQ(result.findings.size(), 1u);
+}
+
+TEST(DetlintTest, ExhaustiveSwitchFixtureFires) {
+  const auto result =
+      scan_targets({"tests/analysis/fixtures/p1_exhaustive.cc"});
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, Rule::kExhaustiveSwitch);
+  EXPECT_EQ(result.findings[0].line, 7);
+  // default: does not excuse the gap, and the message names the gap.
+  EXPECT_NE(result.findings[0].message.find("kCorrupt"), std::string::npos);
+}
+
+TEST(DetlintTest, VerifiedApplyFixtureFires) {
+  const auto result =
+      scan_targets({"tests/analysis/fixtures/p2_verified_apply.cc"});
+  // Unverified write (11) and a verified-by naming a nonexistent function
+  // (19); the gated and validly-blessed writes stay silent.
+  EXPECT_EQ(lines_for(result.findings, Rule::kVerifiedApply),
+            (std::vector<int>{11, 19}));
+  EXPECT_EQ(result.findings.size(), 2u);
+}
+
+TEST(DetlintTest, StaleSuppressionFixtureFires) {
+  const auto result =
+      scan_targets({"tests/analysis/fixtures/stale_suppression.cc"});
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, Rule::kStaleSuppression);
+  EXPECT_EQ(result.findings[0].line, 4);
+}
+
+TEST(DetlintTest, SuppressedLockRulesAreClean) {
+  EXPECT_TRUE(
+      scan_targets({"tests/analysis/fixtures/l_suppressed_clean.cc"})
+          .findings.empty());
+}
+
+TEST(DetlintTest, SuppressedProtocolRulesAreClean) {
+  EXPECT_TRUE(
+      scan_targets({"tests/analysis/fixtures/p_suppressed_clean.cc"})
+          .findings.empty());
+}
+
+TEST(DetlintTest, StaleSuppressionCanItselfBeWaived) {
+  EXPECT_TRUE(
+      scan_targets({"tests/analysis/fixtures/stale_suppressed_clean.cc"})
+          .findings.empty());
+}
+
+// ---------------------------------------------------------------------
+// Stripping regressions: backslash-continued comments and adjacent string
+// literals must neither leak tokens nor shift line numbers.
+// ---------------------------------------------------------------------
+
+TEST(DetlintTest, ContinuedCommentSwallowsItsContinuationLine) {
+  EXPECT_TRUE(
+      scan_targets({"tests/analysis/fixtures/strip_line_continuation.cc"})
+          .findings.empty());
+}
+
+TEST(DetlintTest, ContinuedCommentPreservesLineNumbers) {
+  const auto findings = detlint::scan_file(
+      "src/hv/x.cc",
+      "// comment continues \\\n"
+      "   rand(); this line is comment text\n"
+      "std::mt19937 g{1};\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, Rule::kRng);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(DetlintTest, AdjacentStringLiteralsDoNotLeakTokens) {
+  EXPECT_TRUE(
+      scan_targets({"tests/analysis/fixtures/strip_string_concat.cc"})
+          .findings.empty());
+  EXPECT_TRUE(detlint::scan_file("src/hv/x.cc",
+                                 "const char* s = \"rand()\" \" time(nullptr)\""
+                                 " \"// detlint: emitter\";\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------
+// Suppression ledger: every allow() is reported, stale ones are flagged,
+// and the committed baseline view drops volatile fields.
+// ---------------------------------------------------------------------
+
+TEST(DetlintTest, LedgerMarksStaleSuppressions) {
+  const auto result = scan_targets({"tests/analysis/fixtures"});
+  bool saw_stale = false;
+  bool saw_live = false;
+  bool saw_waived_stale = false;
+  for (const detlint::SuppressionEntry& e : result.ledger) {
+    if (e.path == "tests/analysis/fixtures/stale_suppression.cc") {
+      EXPECT_TRUE(e.stale);
+      saw_stale = true;
+    }
+    if (e.path == "tests/analysis/fixtures/l_suppressed_clean.cc") {
+      EXPECT_FALSE(e.stale) << "line " << e.line;
+      saw_live = true;
+    }
+    if (e.path == "tests/analysis/fixtures/stale_suppressed_clean.cc") {
+      // Listing stale-suppression exempts the waiver from staleness.
+      EXPECT_FALSE(e.stale);
+      saw_waived_stale = true;
+    }
+  }
+  EXPECT_TRUE(saw_stale);
+  EXPECT_TRUE(saw_live);
+  EXPECT_TRUE(saw_waived_stale);
+}
+
+TEST(DetlintTest, LedgerOnlyJsonOmitsVolatileFields) {
+  const auto result = scan_targets({"tests/analysis/fixtures"});
+  const std::string full = detlint::report_json(result);
+  const std::string baseline = detlint::report_json(result, true);
+  EXPECT_NE(full.find("\"findings\""), std::string::npos);
+  EXPECT_NE(full.find("\"stale\""), std::string::npos);
+  // The committed-baseline view must be stable across unrelated edits:
+  // no line numbers, no stale flags, no findings.
+  EXPECT_EQ(baseline.find("\"findings\""), std::string::npos);
+  EXPECT_EQ(baseline.find("\"line\""), std::string::npos);
+  EXPECT_EQ(baseline.find("\"stale\""), std::string::npos);
+  EXPECT_NE(baseline.find("\"suppressions\""), std::string::npos);
+}
+
 // The acceptance gate in test form: the shipped tree has zero findings.
 // (ctest also runs the detlint binary itself; this covers the library path
 // including directory recursion and sibling-header context plumbing.)
@@ -205,7 +382,7 @@ TEST(DetlintTest, FixtureDirectoryFiresWhenTargeted) {
   options.targets = {"tests/analysis/fixtures"};
   const detlint::ScanResult result = detlint::scan(options);
   EXPECT_TRUE(result.errors.empty());
-  EXPECT_GE(result.findings.size(), 13u);
+  EXPECT_GE(result.findings.size(), 33u);
 }
 
 }  // namespace

@@ -1,0 +1,34 @@
+// detlint fixture: L1 statically reachable rank inversions. The file carries
+// its own rank table so it analyzes standalone. Never compiled, only scanned.
+// detlint: rank-table
+#define FIX_L1_RANK_TABLE(X) \
+  X(kFixL1Pool, 100, "fixl1.pool") \
+  X(kFixL1Ring, 200, "fixl1.ring")
+
+common::RankedMutex fix_l1_pool(common::LockRank::kFixL1Pool, "fixl1.pool");
+common::RankedMutex fix_l1_ring(common::LockRank::kFixL1Ring, "fixl1.ring");
+
+void fix_l1_direct() {
+  fix_l1_ring.lock();
+  fix_l1_pool.lock();  // L1: rank 100 acquired under rank 200
+  fix_l1_pool.unlock();
+  fix_l1_ring.unlock();
+}
+
+void fix_l1_leaf() {
+  fix_l1_pool.lock();  // L1 via the call graph: a caller holds the ring
+  fix_l1_pool.unlock();
+}
+
+void fix_l1_via_call() {
+  fix_l1_ring.lock();
+  fix_l1_leaf();
+  fix_l1_ring.unlock();
+}
+
+void fix_l1_ascending_clean() {
+  fix_l1_pool.lock();
+  fix_l1_ring.lock();  // clean: strictly increasing
+  fix_l1_ring.unlock();
+  fix_l1_pool.unlock();
+}

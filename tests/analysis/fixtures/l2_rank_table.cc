@@ -1,0 +1,21 @@
+// detlint fixture: L2 rank-table discipline — raw primitives on a data-plane
+// path, undeclared/dead rank symbols and name drift against the table.
+// Never compiled, only scanned.
+// detlint: data-plane
+// detlint: rank-table
+#define FIX_L2_RANK_TABLE(X) \
+  X(kFixL2Real, 110, "fixl2.real") \
+  X(kFixL2Misnamed, 120, "fixl2.misnamed") \
+  X(kFixL2Dead, 130, "fixl2.dead")
+
+#include <condition_variable>
+#include <mutex>
+
+std::mutex fix_l2_raw_mu;               // L2: raw mutex bypasses the table
+std::condition_variable fix_l2_raw_cv;  // L2: raw cv bypasses the table
+
+common::RankedMutex fix_l2_real(common::LockRank::kFixL2Real, "fixl2.real");
+common::RankedMutex fix_l2_misnamed(common::LockRank::kFixL2Misnamed,
+                                    "fixl2.wrong");  // L2: name drift
+common::RankedMutex fix_l2_ghost(common::LockRank::kFixL2Ghost,
+                                 "fixl2.ghost");  // L2: symbol not in table

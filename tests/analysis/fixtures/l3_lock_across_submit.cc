@@ -1,0 +1,27 @@
+// detlint fixture: L3 ranked mutex held across a thread-pool handoff.
+// Never compiled, only scanned.
+// detlint: rank-table
+#define FIX_L3_RANK_TABLE(X) \
+  X(kFixL3Queue, 150, "fixl3.queue")
+
+#include <mutex>
+
+common::RankedMutex fix_l3_mu(common::LockRank::kFixL3Queue, "fixl3.queue");
+
+void fix_l3_manual(here::common::ThreadPool& pool) {
+  fix_l3_mu.lock();
+  pool.submit([] {});  // L3: queue lock held across submit
+  fix_l3_mu.unlock();
+}
+
+void fix_l3_guarded(here::common::ThreadPool& pool) {
+  std::lock_guard lock(fix_l3_mu);
+  parallel_for(pool, 0, 8, [](int) {});  // L3: guard spans the fan-out
+}
+
+void fix_l3_scope_closed(here::common::ThreadPool& pool) {
+  {
+    std::lock_guard lock(fix_l3_mu);
+  }
+  pool.submit([] {});  // clean: the guard closed before the handoff
+}

@@ -1,0 +1,27 @@
+// detlint fixture: L4 condition-variable wait with an extra ranked mutex
+// held beyond the one being waited on. Never compiled, only scanned.
+// detlint: rank-table
+#define FIX_L4_RANK_TABLE(X) \
+  X(kFixL4Staging, 160, "fixl4.staging") \
+  X(kFixL4Sink, 260, "fixl4.sink")
+
+#include <mutex>
+
+common::RankedMutex fix_l4_staging(common::LockRank::kFixL4Staging,
+                                   "fixl4.staging");
+common::RankedMutex fix_l4_sink(common::LockRank::kFixL4Sink, "fixl4.sink");
+common::RankedConditionVariable fix_l4_cv;
+
+void fix_l4_wait_held() {
+  fix_l4_staging.lock();
+  std::unique_lock lock(fix_l4_sink);
+  fix_l4_cv.wait(lock, [] { return true; });  // L4: staging still held
+  lock.unlock();
+  fix_l4_staging.unlock();
+}
+
+void fix_l4_sole_mutex() {
+  std::unique_lock lock(fix_l4_sink);
+  fix_l4_cv.wait(lock, [] { return true; });  // clean: only the wait mutex
+  lock.unlock();
+}

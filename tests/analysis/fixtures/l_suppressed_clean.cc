@@ -1,0 +1,40 @@
+// detlint fixture: every L rule violated once, every violation waived with a
+// reason — detlint must report ZERO findings for this file. Both table
+// symbols are constructed, so no dead-entry finding can arise either.
+// detlint: data-plane
+// detlint: rank-table
+#define FIX_LSC_RANK_TABLE(X) \
+  X(kFixLscLow, 140, "fixlsc.low") \
+  X(kFixLscHigh, 240, "fixlsc.high")
+
+#include <mutex>
+
+// detlint: allow(rank-table) -- fixture: waived raw mutex on a data-plane path
+std::mutex fix_lsc_raw;
+
+common::RankedMutex fix_lsc_low(common::LockRank::kFixLscLow, "fixlsc.low");
+common::RankedMutex fix_lsc_high(common::LockRank::kFixLscHigh, "fixlsc.high");
+common::RankedConditionVariable fix_lsc_cv;
+
+void fix_lsc_l1() {
+  fix_lsc_high.lock();
+  // detlint: allow(lock-order) -- fixture: waived deliberate inversion
+  fix_lsc_low.lock();
+  fix_lsc_low.unlock();
+  fix_lsc_high.unlock();
+}
+
+void fix_lsc_l3(here::common::ThreadPool& pool) {
+  std::lock_guard lock(fix_lsc_low);
+  // detlint: allow(lock-across-submit) -- fixture: waived submit under lock
+  pool.submit([] {});
+}
+
+void fix_lsc_l4() {
+  fix_lsc_low.lock();
+  std::unique_lock lock(fix_lsc_high);
+  // detlint: allow(cv-wait-held) -- fixture: waived two-mutex wait
+  fix_lsc_cv.wait(lock, [] { return true; });
+  lock.unlock();
+  fix_lsc_low.unlock();
+}

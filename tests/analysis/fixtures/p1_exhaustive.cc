@@ -1,0 +1,23 @@
+// detlint fixture: P1 switch exhaustiveness over a protocol enum — a
+// `default:` arm does not excuse a missing enumerator. Never compiled.
+
+enum class FrameVerdict { kOk, kWrongEpoch, kDuplicate, kCorrupt };
+
+int fix_p1_missing(FrameVerdict v) {
+  switch (v) {  // P1: misses kCorrupt; default hides the fall-through
+    case FrameVerdict::kOk: return 0;
+    case FrameVerdict::kWrongEpoch: return 1;
+    case FrameVerdict::kDuplicate: return 2;
+    default: return 3;
+  }
+}
+
+int fix_p1_full(FrameVerdict v) {
+  switch (v) {  // clean: every enumerator handled
+    case FrameVerdict::kOk: return 0;
+    case FrameVerdict::kWrongEpoch: return 1;
+    case FrameVerdict::kDuplicate: return 2;
+    case FrameVerdict::kCorrupt: return 3;
+  }
+  return -1;
+}

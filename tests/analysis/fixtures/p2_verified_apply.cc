@@ -1,0 +1,27 @@
+// detlint fixture: P2 refuse-before-apply — committed-image writes must be
+// dominated by a verification gate or blessed by verified-by(). The marker
+// below opts this file into the staging set. Never compiled, only scanned.
+// detlint: staging
+#include <cstdint>
+
+std::uint64_t committed_epoch_;
+std::uint64_t committed_digest_;
+
+void fix_p2_unverified(std::uint64_t epoch) {
+  committed_epoch_ = epoch;  // P2: no verification dominates this write
+}
+
+void fix_p2_gated(std::uint64_t epoch) {
+  if (!verify_fixture_frame(epoch)) return;
+  committed_epoch_ = epoch;  // clean: the gate precedes the write
+}
+
+// detlint: verified-by(ghost_blessing)
+void fix_p2_bad_annotation(std::uint64_t epoch) {  // P2: unknown bless target
+  committed_digest_ = epoch;
+}
+
+// detlint: verified-by(fix_p2_gated)
+void fix_p2_blessed(std::uint64_t epoch) {
+  committed_digest_ = epoch;  // clean: blessed by a gate-bearing function
+}

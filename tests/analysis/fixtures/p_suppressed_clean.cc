@@ -1,0 +1,23 @@
+// detlint fixture: both P rules violated once, both waived with a reason —
+// detlint must report ZERO findings for this file. Uses FaultKind so the
+// enum does not collide with p1_exhaustive.cc's FrameVerdict.
+// detlint: staging
+#include <cstdint>
+
+enum class FaultKind { kPrimaryCrash, kSecondaryCrash, kNetworkLoss };
+
+std::uint64_t committed_state_;
+
+int fix_psc_switch(FaultKind k) {
+  // detlint: allow(exhaustive) -- fixture: kNetworkLoss is retried upstream
+  switch (k) {
+    case FaultKind::kPrimaryCrash: return 0;
+    case FaultKind::kSecondaryCrash: return 1;
+    default: return 2;
+  }
+}
+
+void fix_psc_write(std::uint64_t v) {
+  // detlint: allow(verified-apply) -- fixture: waived unverified write
+  committed_state_ = v;
+}

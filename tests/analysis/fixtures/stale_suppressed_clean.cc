@@ -1,0 +1,8 @@
+// detlint fixture: an intentionally unused waiver kept alive by listing
+// stale-suppression alongside the rule — the designed idiom for "this
+// waiver documents a near-miss, keep it". ZERO findings for this file.
+
+// detlint: allow(D1, stale-suppression) -- fixture: kept as documentation
+int fix_ssc() {
+  return 7;
+}

@@ -1,0 +1,7 @@
+// detlint fixture: SUP2 — a waiver whose rule never fires on the covered
+// line is stale and must itself become a finding. Never compiled.
+
+// detlint: allow(D1) -- fixture: nothing below reads a clock, so this rots
+int fix_stale_nothing() {
+  return 42;
+}

@@ -1,0 +1,9 @@
+// detlint fixture: stripping regression — a backslash-continued // comment
+// swallows its continuation line, so the tokens there are comment text.
+// detlint must report ZERO findings for this file.
+
+int fix_strip_continuation() {
+  // this comment continues onto the next source line \
+     rand(); std::mt19937 gen; std::random_device rd;
+  return 0;
+}

@@ -1,0 +1,12 @@
+// detlint fixture: stripping regression — adjacent string literals must not
+// leak rule tokens or detlint directives into any analysis view.
+// detlint must report ZERO findings for this file.
+// detlint: emitter
+#include <string>
+
+std::string fix_strip_concat() {
+  return std::string("std::mt19937 gen(1); rand(); time(nullptr);"
+                     " steady_clock::now()") +
+         "// detlint: allow(D2)"
+         " for (const auto& [k, v] : counts) getenv(\"HOME\");";
+}

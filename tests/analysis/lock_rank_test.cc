@@ -75,6 +75,7 @@ TEST_F(LockRankTest, TwoLockInversionFires) {
   RankedMutex pool(LockRank::kThreadPoolQueue, "thread_pool.queue");
 
   ring.lock();
+  // detlint: allow(lock-order) -- deliberate 2-lock inversion to fire the checker
   pool.lock();  // rank 100 under rank 200: inversion
   pool.unlock();
   ring.unlock();
@@ -98,6 +99,7 @@ TEST_F(LockRankTest, SameRankIsAnInversion) {
   RankedMutex b(LockRank::kPmlRing, "hv.pml_ring.b");
 
   a.lock();
+  // detlint: allow(lock-order) -- equal-rank nesting must count as an inversion
   b.lock();
   b.unlock();
   a.unlock();
@@ -130,6 +132,7 @@ TEST_F(LockRankTest, ThreeLockInversionReportsTheFullCycle) {
   // Now close the loop: acquiring a under c is the classic 3-lock deadlock
   // shape. The report must name every lock on the cycle.
   c.lock();
+  // detlint: allow(lock-order) -- deliberate closure of the taught a->b->c cycle
   a.lock();
   a.unlock();
   c.unlock();
@@ -152,6 +155,7 @@ TEST_F(LockRankTest, TryLockIsChecked) {
   RankedMutex pool(LockRank::kThreadPoolQueue, "thread_pool.queue");
 
   sink.lock();
+  // detlint: allow(lock-order) -- try_lock must get no inversion free pass
   ASSERT_TRUE(pool.try_lock());
   pool.unlock();
   sink.unlock();
@@ -166,6 +170,7 @@ TEST_F(LockRankTest, DisabledCheckingIsSilent) {
   RankedMutex pool(LockRank::kThreadPoolQueue, "thread_pool.queue");
 
   ring.lock();
+  // detlint: allow(lock-order) -- runtime checking is off; statics cannot see that
   pool.lock();
   pool.unlock();
   ring.unlock();
@@ -203,6 +208,7 @@ TEST_F(LockRankTest, ConditionWaitWhileHoldingAnotherMutexFires) {
 
   staging.lock();
   std::unique_lock lock(sink);
+  // detlint: allow(cv-wait-held) -- deliberate lost-wakeup wait to fire the checker
   cv.wait(lock, [] { return true; });
   lock.unlock();
   staging.unlock();
@@ -241,6 +247,7 @@ TEST_F(LockRankTest, EncoderStateSlotsBetweenPmlRingAndStagingCommit) {
   // staging commit lock (a decode path tempted to consult primary-side
   // references) — is the deadlock seed the slot exists to catch.
   staging.lock();
+  // detlint: allow(lock-order) -- deliberate encoder-under-staging inversion
   enc.lock();
   enc.unlock();
   staging.unlock();
@@ -264,6 +271,7 @@ TEST_F(LockRankTest, EnginePoolInversionFires) {
   RankedMutex sched(LockRank::kMigratorSched, "rep.migrator_sched");
 
   staging.lock();
+  // detlint: allow(lock-order) -- deliberate sched-under-staging inversion
   sched.lock();  // rank 50 under rank 300: inversion
   sched.unlock();
   staging.unlock();

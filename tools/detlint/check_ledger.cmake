@@ -1,0 +1,33 @@
+# Regenerates the suppression ledger and diffs it against the committed
+# baseline (LINT_SUPPRESSIONS.json). A mismatch means a waiver was added,
+# removed or reworded without regenerating the baseline:
+#   ./build/tools/detlint/detlint --root . --ledger-out LINT_SUPPRESSIONS.json
+# Invoked by ctest (detlint.ledger_current) and the CI lint job with
+#   cmake -DDETLINT=<binary> -DROOT=<repo root> -P check_ledger.cmake
+if(NOT DEFINED DETLINT OR NOT DEFINED ROOT)
+  message(FATAL_ERROR "check_ledger.cmake needs -DDETLINT=<binary> -DROOT=<repo root>")
+endif()
+
+set(regen "${CMAKE_CURRENT_BINARY_DIR}/ledger_regen.json")
+execute_process(
+  COMMAND "${DETLINT}" --root "${ROOT}" --ledger-out "${regen}" src bench tests
+  RESULT_VARIABLE scan_rc
+  OUTPUT_VARIABLE scan_out
+  ERROR_VARIABLE scan_err)
+# Exit 1 just means findings exist; the ledger is still written. Only IO or
+# usage errors (2) abort.
+if(scan_rc GREATER 1)
+  message(FATAL_ERROR "detlint failed (rc=${scan_rc}):\n${scan_out}${scan_err}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${regen}" "${ROOT}/LINT_SUPPRESSIONS.json"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E cat "${regen}"
+                  OUTPUT_VARIABLE regen_text)
+  message(FATAL_ERROR
+    "LINT_SUPPRESSIONS.json is out of date with the tree's detlint waivers.\n"
+    "Regenerate it:  ./build/tools/detlint/detlint --root . --ledger-out "
+    "LINT_SUPPRESSIONS.json src bench tests\nCurrent tree ledger:\n${regen_text}")
+endif()

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -10,6 +12,10 @@
 #include <regex>
 #include <set>
 #include <sstream>
+
+#include "detlint/facts.h"
+#include "detlint/internal.h"
+#include "detlint/tree_rules.h"
 
 namespace detlint {
 
@@ -22,7 +28,14 @@ const char* rule_id(Rule rule) {
     case Rule::kUnorderedIter: return "D3";
     case Rule::kDiscard: return "D4";
     case Rule::kEnvSleep: return "D5";
+    case Rule::kLockOrder: return "L1";
+    case Rule::kRankTable: return "L2";
+    case Rule::kLockAcrossSubmit: return "L3";
+    case Rule::kCvWaitHeld: return "L4";
+    case Rule::kExhaustiveSwitch: return "P1";
+    case Rule::kVerifiedApply: return "P2";
     case Rule::kSuppression: return "SUP";
+    case Rule::kStaleSuppression: return "SUP2";
   }
   return "?";
 }
@@ -34,284 +47,26 @@ const char* rule_name(Rule rule) {
     case Rule::kUnorderedIter: return "unordered-iter";
     case Rule::kDiscard: return "discarded-status";
     case Rule::kEnvSleep: return "env-sleep";
+    case Rule::kLockOrder: return "lock-order";
+    case Rule::kRankTable: return "rank-table";
+    case Rule::kLockAcrossSubmit: return "lock-across-submit";
+    case Rule::kCvWaitHeld: return "cv-wait-held";
+    case Rule::kExhaustiveSwitch: return "exhaustive";
+    case Rule::kVerifiedApply: return "verified-apply";
     case Rule::kSuppression: return "suppression";
+    case Rule::kStaleSuppression: return "stale-suppression";
   }
   return "?";
 }
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Lexical pre-pass: blank out comments, string and character literals so the
-// rule regexes only ever see code. Line structure is preserved exactly.
-// ---------------------------------------------------------------------------
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (const char c : text) {
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else {
-      current.push_back(c);
-    }
-  }
-  lines.push_back(current);
-  return lines;
-}
-
-std::string strip_non_code(const std::string& text) {
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString
-  };
-  std::string out;
-  out.reserve(text.size());
-  State state = State::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                   text[i - 1])) &&
-                               text[i - 1] != '_'))) {
-          // R"delim( — capture the delimiter up to '('.
-          std::size_t j = i + 2;
-          raw_delim.clear();
-          while (j < text.size() && text[j] != '(' && text[j] != '\n') {
-            raw_delim.push_back(text[j]);
-            ++j;
-          }
-          if (j < text.size() && text[j] == '(') {
-            state = State::kRawString;
-            for (std::size_t k = i; k <= j; ++k) {
-              out.push_back(text[k] == '\n' ? '\n' : ' ');
-            }
-            i = j;
-          } else {
-            out.push_back(c);
-          }
-        } else if (c == '"') {
-          state = State::kString;
-          out.push_back(' ');
-        } else if (c == '\'') {
-          state = State::kChar;
-          out.push_back(' ');
-        } else {
-          out.push_back(c);
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-          out.push_back('\n');
-        } else {
-          out.push_back(' ');
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          out += "  ";
-          ++i;
-        } else {
-          out.push_back(c == '\n' ? '\n' : ' ');
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-          out.push_back(' ');
-        } else {
-          out.push_back(c == '\n' ? '\n' : ' ');
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out += "  ";
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          out.push_back(' ');
-        } else {
-          out.push_back(c == '\n' ? '\n' : ' ');
-        }
-        break;
-      case State::kRawString: {
-        // Close on )delim".
-        if (c == ')' && text.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
-            i + 1 + raw_delim.size() < text.size() &&
-            text[i + 1 + raw_delim.size()] == '"') {
-          const std::size_t end = i + 1 + raw_delim.size();
-          for (std::size_t k = i; k <= end; ++k) {
-            out.push_back(text[k] == '\n' ? '\n' : ' ');
-          }
-          i = end;
-          state = State::kCode;
-        } else {
-          out.push_back(c == '\n' ? '\n' : ' ');
-        }
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Suppression comments.
-// ---------------------------------------------------------------------------
-
-std::string trim(const std::string& s) {
-  std::size_t b = s.find_first_not_of(" \t");
-  if (b == std::string::npos) return "";
-  std::size_t e = s.find_last_not_of(" \t");
-  return s.substr(b, e - b + 1);
-}
-
-std::string lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  return s;
-}
-
-std::optional<Rule> parse_rule_token(const std::string& token) {
-  static const std::map<std::string, Rule> kTokens = {
-      {"d1", Rule::kWallClock},     {"wall-clock", Rule::kWallClock},
-      {"d2", Rule::kRng},           {"rng", Rule::kRng},
-      {"d3", Rule::kUnorderedIter}, {"unordered-iter", Rule::kUnorderedIter},
-      {"d4", Rule::kDiscard},       {"discarded-status", Rule::kDiscard},
-      {"d5", Rule::kEnvSleep},      {"env-sleep", Rule::kEnvSleep},
-  };
-  auto it = kTokens.find(lower(trim(token)));
-  if (it == kTokens.end()) return std::nullopt;
-  return it->second;
-}
-
-struct Suppressions {
-  std::map<int, std::set<Rule>> allow;  // 1-based line -> waived rules
-  bool emitter_marker = false;
-  std::vector<Finding> malformed;
-};
-
-bool blank(const std::string& s) {
-  return s.find_first_not_of(" \t\r") == std::string::npos;
-}
-
-Suppressions parse_suppressions(const std::string& path,
-                                const std::vector<std::string>& raw_lines,
-                                const std::vector<std::string>& code_lines) {
-  static const std::regex kDirective(R"(//\s*detlint:\s*(.*))");
-  static const std::regex kAllow(R"(^allow\(([^)]*)\)(.*)$)");
-  Suppressions sup;
-  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
-    const int line = static_cast<int>(i) + 1;
-    std::smatch m;
-    if (!std::regex_search(raw_lines[i], m, kDirective)) continue;
-    const std::string body = trim(m[1].str());
-    if (body.rfind("emitter", 0) == 0) {
-      sup.emitter_marker = true;
-      continue;
-    }
-    std::smatch am;
-    if (!std::regex_match(body, am, kAllow)) {
-      sup.malformed.push_back(
-          {path, line, Rule::kSuppression,
-           "malformed detlint directive; expected "
-           "'detlint: allow(<rule>) -- <reason>' or 'detlint: emitter'"});
-      continue;
-    }
-    // The reason is not optional: an unexplained waiver is worthless in
-    // review and unauditable a year later. Reasons may continue onto the
-    // following comment line(s), so only the marker is required here.
-    const std::string rest = trim(am[2].str());
-    if (rest.rfind("--", 0) != 0 || trim(rest.substr(2)).empty()) {
-      sup.malformed.push_back({path, line, Rule::kSuppression,
-                               "suppression is missing a reason; write "
-                               "'allow(" + trim(am[1].str()) +
-                                   ") -- <why this is safe>'"});
-      continue;
-    }
-    std::set<Rule> rules;
-    std::stringstream tokens(am[1].str());
-    std::string token;
-    bool ok = true;
-    while (std::getline(tokens, token, ',')) {
-      if (const auto rule = parse_rule_token(token)) {
-        rules.insert(*rule);
-      } else {
-        sup.malformed.push_back({path, line, Rule::kSuppression,
-                                 "unknown rule '" + trim(token) +
-                                     "' in suppression (use D1-D5 or "
-                                     "wall-clock/rng/unordered-iter/"
-                                     "discarded-status/env-sleep)"});
-        ok = false;
-      }
-    }
-    if (ok && rules.empty()) {
-      sup.malformed.push_back({path, line, Rule::kSuppression,
-                               "empty rule list in suppression"});
-    }
-    if (!rules.empty()) {
-      sup.allow[line].insert(rules.begin(), rules.end());
-      // A directive on a comment-only line covers the next code-bearing
-      // line, even when the explanation wraps across several comment lines.
-      if (static_cast<std::size_t>(line) <= code_lines.size() &&
-          blank(code_lines[i])) {
-        std::size_t k = i + 1;
-        while (k < code_lines.size() && blank(code_lines[k])) ++k;
-        if (k < code_lines.size()) {
-          sup.allow[static_cast<int>(k) + 1].insert(rules.begin(),
-                                                    rules.end());
-        }
-      }
-    }
-  }
-  return sup;
-}
-
-bool is_suppressed(const Suppressions& sup, int line, Rule rule) {
-  // A waiver covers its own line (trailing comment) and the next line
-  // (comment-above style).
-  for (const int l : {line, line - 1}) {
-    auto it = sup.allow.find(l);
-    if (it != sup.allow.end() && it->second.count(rule) != 0) return true;
-  }
-  return false;
-}
+using internal::path_allowlisted;
+using internal::split_lines;
 
 // ---------------------------------------------------------------------------
 // Path classification.
 // ---------------------------------------------------------------------------
-
-bool has_prefix(const std::string& path, const std::string& prefix) {
-  return path.rfind(prefix, 0) == 0;
-}
-
-bool path_allowlisted(const std::string& path,
-                      const std::vector<std::string>& prefixes) {
-  return std::any_of(prefixes.begin(), prefixes.end(),
-                     [&](const std::string& p) { return has_prefix(path, p); });
-}
 
 // D1: the obs exporters may stamp export *metadata* with real time; nothing
 // else may observe a wall clock.
@@ -329,7 +84,7 @@ const std::vector<std::string> kEmitterPrefixes = {
     "bench/"};
 
 // ---------------------------------------------------------------------------
-// Rule implementations.
+// Per-file (D) rule implementations.
 // ---------------------------------------------------------------------------
 
 struct LineFinding {
@@ -655,25 +410,12 @@ void rule_discard(const std::string& display_path,
   }
 }
 
-}  // namespace
-
-std::vector<std::string> unordered_names(const std::string& content) {
-  return collect_unordered_names(strip_non_code(content));
-}
-
-bool is_emitter_path(const std::string& display_path) {
-  return path_allowlisted(display_path, kEmitterPrefixes);
-}
-
-std::vector<Finding> scan_file(const std::string& display_path,
-                               const std::string& content,
-                               const FileContext& ctx) {
-  const std::vector<std::string> raw_lines = split_lines(content);
-  const std::string code = strip_non_code(content);
-  const std::vector<std::string> code_lines = split_lines(code);
-
-  Suppressions sup = parse_suppressions(display_path, raw_lines, code_lines);
-
+// All per-file D-rules over the pre-stripped views of one file.
+std::vector<LineFinding> run_file_rules(const std::string& display_path,
+                                        const internal::Views& views,
+                                        const std::vector<std::string>& code_lines,
+                                        const internal::FileDirectives& dirs,
+                                        const FileContext& ctx) {
   std::vector<LineFinding> hits;
   if (!path_allowlisted(display_path, kWallClockAllow)) {
     rule_wall_clock(code_lines, hits);
@@ -684,13 +426,38 @@ std::vector<Finding> scan_file(const std::string& display_path,
   if (!path_allowlisted(display_path, kEnvSleepAllow)) {
     rule_env_sleep(code_lines, hits);
   }
-  rule_unordered_iter(display_path, code_lines, code, sup.emitter_marker, ctx,
-                      hits);
+  rule_unordered_iter(display_path, code_lines, views.code,
+                      dirs.emitter_marker, ctx, hits);
   rule_discard(display_path, code_lines, hits);
+  return hits;
+}
 
-  std::vector<Finding> findings = std::move(sup.malformed);
+}  // namespace
+
+std::vector<std::string> unordered_names(const std::string& content) {
+  return collect_unordered_names(internal::strip_views(content).code);
+}
+
+bool is_emitter_path(const std::string& display_path) {
+  return path_allowlisted(display_path, kEmitterPrefixes);
+}
+
+std::vector<Finding> scan_file(const std::string& display_path,
+                               const std::string& content,
+                               const FileContext& ctx) {
+  const internal::Views views = internal::strip_views(content);
+  const std::vector<std::string> code_lines = split_lines(views.code);
+  const std::vector<std::string> comment_lines = split_lines(views.comments);
+
+  internal::FileDirectives dirs =
+      internal::parse_directives(display_path, comment_lines, code_lines);
+
+  const std::vector<LineFinding> hits =
+      run_file_rules(display_path, views, code_lines, dirs, ctx);
+
+  std::vector<Finding> findings = std::move(dirs.malformed);
   for (const LineFinding& h : hits) {
-    if (is_suppressed(sup, h.line, h.rule)) continue;
+    if (internal::try_suppress(dirs, h.line, h.rule)) continue;
     findings.push_back({display_path, h.line, h.rule, h.message});
   }
   std::sort(findings.begin(), findings.end(),
@@ -751,6 +518,38 @@ void collect_files(const fs::path& dir, const std::string& display_prefix,
   }
 }
 
+// Everything scan() holds per file while the passes run.
+struct ScannedFile {
+  std::string display;
+  internal::Views views;
+  std::vector<std::string> code_lines;
+  internal::FileDirectives dirs;
+  std::vector<LineFinding> d_hits;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 ScanResult scan(const Options& options) {
@@ -771,6 +570,10 @@ ScanResult scan(const Options& options) {
     }
   }
 
+  // Pass 1: per-file. Strip, parse directives, run the D-rules, extract
+  // facts for the tree pass.
+  std::deque<ScannedFile> scanned;  // deque: stable addresses for dirs
+  std::vector<tree::FileUnit> units;
   for (const auto& [path, display] : files) {
     const auto content = read_file(path);
     if (!content) {
@@ -789,11 +592,85 @@ ScanResult scan(const Options& options) {
       }
     }
     ++result.files_scanned;
-    std::vector<Finding> f = scan_file(display, *content, ctx);
-    result.findings.insert(result.findings.end(),
-                           std::make_move_iterator(f.begin()),
-                           std::make_move_iterator(f.end()));
+    scanned.push_back({});
+    ScannedFile& sf = scanned.back();
+    sf.display = display;
+    sf.views = internal::strip_views(*content);
+    sf.code_lines = split_lines(sf.views.code);
+    sf.dirs = internal::parse_directives(display,
+                                         split_lines(sf.views.comments),
+                                         sf.code_lines);
+    sf.d_hits = run_file_rules(display, sf.views, sf.code_lines, sf.dirs, ctx);
+
+    tree::FileUnit unit;
+    unit.path = display;
+    unit.facts = facts::extract_facts(display, sf.views, sf.dirs);
+    unit.dirs = &sf.dirs;
+    units.push_back(std::move(unit));
   }
+
+  // Pass 2: the whole-tree rules.
+  std::vector<Finding> raw = tree::run(units);
+  std::map<std::string, ScannedFile*> by_display;
+  for (ScannedFile& sf : scanned) by_display[sf.display] = &sf;
+  for (ScannedFile& sf : scanned) {
+    for (const LineFinding& h : sf.d_hits) {
+      raw.push_back({sf.display, h.line, h.rule, h.message});
+    }
+    for (Finding& m : sf.dirs.malformed) {
+      result.findings.push_back(std::move(m));
+    }
+  }
+
+  // Suppression: every raw finding consults its file's directives.
+  for (Finding& f : raw) {
+    auto it = by_display.find(f.path);
+    if (it != by_display.end() &&
+        internal::try_suppress(it->second->dirs, f.line, f.rule)) {
+      continue;
+    }
+    result.findings.push_back(std::move(f));
+  }
+
+  // Stale pass: an allow() that masked nothing this scan is itself a
+  // finding — dead waivers rot into lies. A directive that itself allows
+  // stale-suppression is exempt (that is how one is waived on purpose).
+  for (ScannedFile& sf : scanned) {
+    for (internal::AllowDirective& a : sf.dirs.allows) {
+      if (a.rules.count(Rule::kStaleSuppression) != 0) continue;
+      if (a.used) continue;
+      std::string ids;
+      for (const std::string& id : a.rule_ids) {
+        ids += (ids.empty() ? "" : ",") + id;
+      }
+      const Finding f{sf.display, a.line, Rule::kStaleSuppression,
+                      "suppression 'allow(" + ids +
+                          ")' masks no finding — delete it, or fix its rule "
+                          "list if the finding moved"};
+      if (internal::try_suppress(sf.dirs, a.line, Rule::kStaleSuppression)) {
+        continue;
+      }
+      result.findings.push_back(f);
+    }
+  }
+
+  // Ledger: every suppression in the scanned set, stale or not.
+  for (const ScannedFile& sf : scanned) {
+    for (const internal::AllowDirective& a : sf.dirs.allows) {
+      SuppressionEntry e;
+      e.path = sf.display;
+      e.line = a.line;
+      e.rules = a.rule_ids;
+      e.reason = a.reason;
+      e.stale = !a.used && a.rules.count(Rule::kStaleSuppression) == 0;
+      result.ledger.push_back(std::move(e));
+    }
+  }
+  std::sort(result.ledger.begin(), result.ledger.end(),
+            [](const SuppressionEntry& a, const SuppressionEntry& b) {
+              if (a.path != b.path) return a.path < b.path;
+              return a.line < b.line;
+            });
 
   std::sort(result.findings.begin(), result.findings.end(),
             [](const Finding& a, const Finding& b) {
@@ -802,6 +679,68 @@ ScanResult scan(const Options& options) {
               return static_cast<int>(a.rule) < static_cast<int>(b.rule);
             });
   return result;
+}
+
+std::string report_json(const ScanResult& result, bool ledger_only) {
+  std::ostringstream os;
+  os << "{\n";
+  if (!ledger_only) {
+    os << "  \"files_scanned\": " << result.files_scanned << ",\n";
+    os << "  \"findings\": [\n";
+    for (std::size_t i = 0; i < result.findings.size(); ++i) {
+      const Finding& f = result.findings[i];
+      os << "    {\"path\": \"" << json_escape(f.path) << "\", \"line\": "
+         << f.line << ", \"rule\": \"" << rule_id(f.rule) << "\", \"name\": \""
+         << rule_name(f.rule) << "\", \"message\": \""
+         << json_escape(f.message) << "\"}"
+         << (i + 1 < result.findings.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"errors\": [\n";
+    for (std::size_t i = 0; i < result.errors.size(); ++i) {
+      os << "    \"" << json_escape(result.errors[i]) << "\""
+         << (i + 1 < result.errors.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+  }
+  // The ledger. In ledger_only mode line numbers and staleness are dropped
+  // and entries are re-sorted by (path, rules, reason): line numbers churn
+  // on unrelated edits, while rules and reasons only change when a human
+  // touches the waiver — exactly the signal CI diffs against the committed
+  // baseline.
+  std::vector<const SuppressionEntry*> entries;
+  entries.reserve(result.ledger.size());
+  for (const SuppressionEntry& e : result.ledger) entries.push_back(&e);
+  const auto rules_key = [](const SuppressionEntry& e) {
+    std::string k;
+    for (const std::string& id : e.rules) k += id + ",";
+    return k;
+  };
+  if (ledger_only) {
+    std::sort(entries.begin(), entries.end(),
+              [&](const SuppressionEntry* a, const SuppressionEntry* b) {
+                if (a->path != b->path) return a->path < b->path;
+                const std::string ka = rules_key(*a), kb = rules_key(*b);
+                if (ka != kb) return ka < kb;
+                return a->reason < b->reason;
+              });
+  }
+  os << "  \"suppressions\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const SuppressionEntry& e = *entries[i];
+    os << "    {\"path\": \"" << json_escape(e.path) << "\", ";
+    if (!ledger_only) os << "\"line\": " << e.line << ", ";
+    os << "\"rules\": [";
+    for (std::size_t r = 0; r < e.rules.size(); ++r) {
+      os << "\"" << e.rules[r] << "\"" << (r + 1 < e.rules.size() ? ", " : "");
+    }
+    os << "], \"reason\": \"" << json_escape(e.reason) << "\"";
+    if (!ledger_only) os << ", \"stale\": " << (e.stale ? "true" : "false");
+    os << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
 }
 
 }  // namespace detlint

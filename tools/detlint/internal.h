@@ -1,0 +1,93 @@
+// Shared internals between detlint's translation units: the lexical
+// pre-pass views, directive parsing, and small string/path helpers. Not
+// part of the public API.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "detlint/detlint.h"
+
+namespace detlint::internal {
+
+// ---------------------------------------------------------------------------
+// Lexical views. One pass over the raw text produces three same-length,
+// line-structure-preserving strings:
+//   code          comments AND string/char literals blanked — rule regexes
+//                 and the scope/call parser run on this;
+//   code_strings  comments blanked, string literals kept — RankedMutex name
+//                 strings and the rank-table entries live here;
+//   comments      only comment text kept (including the leading //), code
+//                 and strings blanked — detlint: directives are parsed from
+//                 here, so a directive inside a string literal is inert.
+// ---------------------------------------------------------------------------
+struct Views {
+  std::string code;
+  std::string code_strings;
+  std::string comments;
+};
+
+[[nodiscard]] Views strip_views(const std::string& text);
+
+[[nodiscard]] std::vector<std::string> split_lines(const std::string& text);
+[[nodiscard]] std::string trim(const std::string& s);
+[[nodiscard]] std::string lower(std::string s);
+[[nodiscard]] bool blank_line(const std::string& s);
+
+[[nodiscard]] bool has_prefix(const std::string& path,
+                              const std::string& prefix);
+[[nodiscard]] bool path_allowlisted(const std::string& path,
+                                    const std::vector<std::string>& prefixes);
+
+// Maps a character offset in a view to a 1-based line number.
+class LineIndex {
+ public:
+  explicit LineIndex(const std::string& text);
+  [[nodiscard]] int line_of(std::size_t offset) const;
+
+ private:
+  std::vector<std::size_t> starts_;  // offset of each line start
+};
+
+[[nodiscard]] std::optional<Rule> parse_rule_token(const std::string& token);
+
+// ---------------------------------------------------------------------------
+// Directives. Parsed once per file from the comments view.
+// ---------------------------------------------------------------------------
+struct AllowDirective {
+  int line = 0;
+  std::set<Rule> rules;
+  std::vector<std::string> rule_ids;  // canonical, sorted
+  std::string reason;
+  std::set<int> covered;  // lines this directive waives
+  bool used = false;      // masked at least one finding this scan
+};
+
+struct VerifiedBy {
+  int line = 0;
+  std::string target;  // function name (last :: component significant)
+};
+
+struct FileDirectives {
+  std::vector<AllowDirective> allows;
+  std::vector<VerifiedBy> verified_by;
+  bool emitter_marker = false;
+  bool data_plane_marker = false;
+  bool staging_marker = false;
+  bool rank_table_marker = false;
+  std::vector<Finding> malformed;
+};
+
+[[nodiscard]] FileDirectives parse_directives(
+    const std::string& display_path,
+    const std::vector<std::string>& comment_lines,
+    const std::vector<std::string>& code_lines);
+
+// Waives `rule` at `line` if a directive covers it; marks that directive
+// used. Returns true when suppressed.
+[[nodiscard]] bool try_suppress(FileDirectives& dirs, int line, Rule rule);
+
+}  // namespace detlint::internal

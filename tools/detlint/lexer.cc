@@ -1,0 +1,389 @@
+#include "detlint/internal.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <sstream>
+
+namespace detlint::internal {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+bool blank_line(const std::string& s) {
+  return s.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+bool has_prefix(const std::string& path, const std::string& prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+bool path_allowlisted(const std::string& path,
+                      const std::vector<std::string>& prefixes) {
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&](const std::string& p) { return has_prefix(path, p); });
+}
+
+LineIndex::LineIndex(const std::string& text) {
+  starts_.push_back(0);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') starts_.push_back(i + 1);
+  }
+}
+
+int LineIndex::line_of(std::size_t offset) const {
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), offset);
+  return static_cast<int>(it - starts_.begin());
+}
+
+// ---------------------------------------------------------------------------
+// Lexical pre-pass: one state machine, three same-length views. Line
+// structure is preserved exactly in all of them — every '\n' of the input
+// is a '\n' in every view, so offsets map to the same line everywhere.
+// ---------------------------------------------------------------------------
+
+Views strip_views(const std::string& text) {
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  Views v;
+  v.code.reserve(text.size());
+  v.code_strings.reserve(text.size());
+  v.comments.reserve(text.size());
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+
+  // Emits one input character as (code view, string-preserving view,
+  // comment view). A '\n' always goes to all three.
+  const auto emit = [&v](char code_ch, char str_ch, char com_ch) {
+    v.code.push_back(code_ch);
+    v.code_strings.push_back(str_ch);
+    v.comments.push_back(com_ch);
+  };
+  const auto emit_code = [&emit](char c) {
+    emit(c, c, c == '\n' ? '\n' : ' ');
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          emit(' ', ' ', '/');
+          emit(' ', ' ', '/');
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          emit(' ', ' ', '/');
+          emit(' ', ' ', '*');
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          // R"delim( — capture the delimiter up to '('.
+          std::size_t j = i + 2;
+          raw_delim.clear();
+          while (j < text.size() && text[j] != '(' && text[j] != '\n') {
+            raw_delim.push_back(text[j]);
+            ++j;
+          }
+          if (j < text.size() && text[j] == '(') {
+            state = State::kRawString;
+            for (std::size_t k = i; k <= j; ++k) {
+              const char b = text[k] == '\n' ? '\n' : ' ';
+              emit(b, b, b);
+            }
+            i = j;
+          } else {
+            emit_code(c);
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          emit(' ', '"', ' ');
+        } else if (c == '\'') {
+          state = State::kChar;
+          emit(' ', ' ', ' ');
+        } else {
+          emit_code(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\\' && (next == '\n' || (next == '\r' && i + 2 < text.size() &&
+                                           text[i + 2] == '\n'))) {
+          // Backslash-newline splices lines *before* comments end (phase 2
+          // of translation), so a `//` comment ending in `\` swallows the
+          // next source line too. Stay in the comment across the newline.
+          emit(' ', ' ', ' ');  // the backslash itself
+          if (next == '\r') {
+            emit(' ', ' ', ' ');
+            ++i;
+          }
+          emit('\n', '\n', '\n');
+          ++i;  // the newline: consumed, comment continues
+        } else if (c == '\n') {
+          state = State::kCode;
+          emit('\n', '\n', '\n');
+        } else {
+          emit(' ', ' ', c);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          emit(' ', ' ', '*');
+          emit(' ', ' ', '/');
+          ++i;
+        } else if (c == '\n') {
+          emit('\n', '\n', '\n');
+        } else {
+          emit(' ', ' ', c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          // Keep escapes inside the string-preserving view, but never let
+          // an escaped newline eat the line break: every '\n' of the input
+          // must survive into every view or line numbers drift.
+          emit(' ', '\\', ' ');
+          if (next == '\n') {
+            emit('\n', '\n', '\n');
+          } else {
+            emit(' ', next == '"' ? ' ' : next, ' ');
+          }
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          emit(' ', '"', ' ');
+        } else if (c == '\n') {
+          emit('\n', '\n', '\n');
+        } else {
+          emit(' ', c, ' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          emit(' ', ' ', ' ');
+          if (next == '\n') {
+            emit('\n', '\n', '\n');
+          } else {
+            emit(' ', ' ', ' ');
+          }
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          emit(' ', ' ', ' ');
+        } else if (c == '\n') {
+          emit('\n', '\n', '\n');
+        } else {
+          emit(' ', ' ', ' ');
+        }
+        break;
+      case State::kRawString: {
+        // Close on )delim".
+        if (c == ')' && text.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            i + 1 + raw_delim.size() < text.size() &&
+            text[i + 1 + raw_delim.size()] == '"') {
+          const std::size_t end = i + 1 + raw_delim.size();
+          for (std::size_t k = i; k <= end; ++k) {
+            const char b = text[k] == '\n' ? '\n' : ' ';
+            emit(b, b, b);
+          }
+          i = end;
+          state = State::kCode;
+        } else {
+          const char b = c == '\n' ? '\n' : ' ';
+          emit(b, b, b);
+        }
+        break;
+      }
+    }
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Directives.
+// ---------------------------------------------------------------------------
+
+std::optional<Rule> parse_rule_token(const std::string& token) {
+  static const std::map<std::string, Rule> kTokens = {
+      {"d1", Rule::kWallClock},
+      {"wall-clock", Rule::kWallClock},
+      {"d2", Rule::kRng},
+      {"rng", Rule::kRng},
+      {"d3", Rule::kUnorderedIter},
+      {"unordered-iter", Rule::kUnorderedIter},
+      {"d4", Rule::kDiscard},
+      {"discarded-status", Rule::kDiscard},
+      {"d5", Rule::kEnvSleep},
+      {"env-sleep", Rule::kEnvSleep},
+      {"l1", Rule::kLockOrder},
+      {"lock-order", Rule::kLockOrder},
+      {"l2", Rule::kRankTable},
+      {"rank-table", Rule::kRankTable},
+      {"l3", Rule::kLockAcrossSubmit},
+      {"lock-across-submit", Rule::kLockAcrossSubmit},
+      {"l4", Rule::kCvWaitHeld},
+      {"cv-wait-held", Rule::kCvWaitHeld},
+      {"p1", Rule::kExhaustiveSwitch},
+      {"exhaustive", Rule::kExhaustiveSwitch},
+      {"p2", Rule::kVerifiedApply},
+      {"verified-apply", Rule::kVerifiedApply},
+      {"sup2", Rule::kStaleSuppression},
+      {"stale-suppression", Rule::kStaleSuppression},
+  };
+  auto it = kTokens.find(lower(trim(token)));
+  if (it == kTokens.end()) return std::nullopt;
+  return it->second;
+}
+
+FileDirectives parse_directives(const std::string& display_path,
+                                const std::vector<std::string>& comment_lines,
+                                const std::vector<std::string>& code_lines) {
+  static const std::regex kDirective(R"(//\s*detlint:\s*(.*))");
+  static const std::regex kAllow(R"(^allow\(([^)]*)\)(.*)$)");
+  static const std::regex kVerifiedBy(
+      R"(^verified-by\(\s*([A-Za-z_][\w:]*)\s*\))");
+  FileDirectives dirs;
+  for (std::size_t i = 0; i < comment_lines.size(); ++i) {
+    const int line = static_cast<int>(i) + 1;
+    std::smatch m;
+    if (!std::regex_search(comment_lines[i], m, kDirective)) continue;
+    const std::string body = trim(m[1].str());
+    if (body.rfind("emitter", 0) == 0) {
+      dirs.emitter_marker = true;
+      continue;
+    }
+    if (body.rfind("data-plane", 0) == 0) {
+      dirs.data_plane_marker = true;
+      continue;
+    }
+    if (body.rfind("staging", 0) == 0) {
+      dirs.staging_marker = true;
+      continue;
+    }
+    // NB: the bare `rank-table` marker, not `allow(rank-table)` — the
+    // allow-form is a waiver for rule L2 and is handled below.
+    if (body.rfind("rank-table", 0) == 0) {
+      dirs.rank_table_marker = true;
+      continue;
+    }
+    std::smatch vm;
+    if (std::regex_search(body, vm, kVerifiedBy)) {
+      dirs.verified_by.push_back({line, vm[1].str()});
+      continue;
+    }
+    std::smatch am;
+    if (!std::regex_match(body, am, kAllow)) {
+      dirs.malformed.push_back(
+          {display_path, line, Rule::kSuppression,
+           "malformed detlint directive; expected "
+           "'detlint: allow(<rule>) -- <reason>', 'detlint: "
+           "verified-by(<fn>)', or a marker (emitter / data-plane / "
+           "staging / rank-table)"});
+      continue;
+    }
+    // The reason is not optional: an unexplained waiver is worthless in
+    // review and unauditable a year later. Reasons may continue onto the
+    // following comment line(s), so only the marker is required here.
+    const std::string rest = trim(am[2].str());
+    if (rest.rfind("--", 0) != 0 || trim(rest.substr(2)).empty()) {
+      dirs.malformed.push_back({display_path, line, Rule::kSuppression,
+                                "suppression is missing a reason; write "
+                                "'allow(" +
+                                    trim(am[1].str()) +
+                                    ") -- <why this is safe>'"});
+      continue;
+    }
+    AllowDirective allow;
+    allow.line = line;
+    allow.reason = trim(rest.substr(2));
+    std::stringstream tokens(am[1].str());
+    std::string token;
+    bool ok = true;
+    while (std::getline(tokens, token, ',')) {
+      if (const auto rule = parse_rule_token(token)) {
+        allow.rules.insert(*rule);
+      } else {
+        dirs.malformed.push_back(
+            {display_path, line, Rule::kSuppression,
+             "unknown rule '" + trim(token) +
+                 "' in suppression (use D1-D5, L1-L4, P1-P2, SUP2, or the "
+                 "rule names listed in docs/static_analysis.md)"});
+        ok = false;
+      }
+    }
+    if (ok && allow.rules.empty()) {
+      dirs.malformed.push_back({display_path, line, Rule::kSuppression,
+                                "empty rule list in suppression"});
+    }
+    if (allow.rules.empty()) continue;
+    for (const Rule r : allow.rules) allow.rule_ids.push_back(rule_id(r));
+    std::sort(allow.rule_ids.begin(), allow.rule_ids.end());
+    // A waiver covers its own line (trailing comment) and the next line
+    // (comment-above style)...
+    allow.covered.insert(line);
+    allow.covered.insert(line + 1);
+    // ...and a directive on a comment-only line covers the next
+    // code-bearing line, even when the explanation wraps across several
+    // comment lines.
+    if (i < code_lines.size() && blank_line(code_lines[i])) {
+      std::size_t k = i + 1;
+      while (k < code_lines.size() && blank_line(code_lines[k])) ++k;
+      if (k < code_lines.size()) {
+        allow.covered.insert(static_cast<int>(k) + 1);
+      }
+    }
+    dirs.allows.push_back(std::move(allow));
+  }
+  return dirs;
+}
+
+bool try_suppress(FileDirectives& dirs, int line, Rule rule) {
+  bool suppressed = false;
+  for (AllowDirective& a : dirs.allows) {
+    if (a.rules.count(rule) != 0 && a.covered.count(line) != 0) {
+      a.used = true;
+      suppressed = true;
+      // Keep going: overlapping directives listing the same rule should
+      // all count as used rather than racing for credit.
+    }
+  }
+  return suppressed;
+}
+
+}  // namespace detlint::internal

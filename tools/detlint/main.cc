@@ -1,13 +1,23 @@
 // detlint CLI. Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 //
-//   detlint [--root DIR] [target ...]
+//   detlint [--root DIR] [--format=text|github] [--report-json PATH]
+//           [--ledger-out PATH] [target ...]
 //
 // Targets default to src bench tests (relative to --root, default "."),
 // recursing into directories; tests/analysis/fixtures is skipped during
 // recursion but scanned when named explicitly (that is how the fixture
 // suite exercises the rules).
+//
+//   --format=github    emit findings as GitHub Actions annotations
+//                      (::error file=...,line=...) instead of plain text
+//   --report-json P    write the full JSON report (findings + suppression
+//                      ledger with line numbers and staleness) to P
+//   --ledger-out P     write the stable suppression-ledger baseline
+//                      (path/rules/reason only) to P — the file CI diffs
+//                      against the committed LINT_SUPPRESSIONS.json
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -17,10 +27,19 @@ namespace {
 
 void usage(std::FILE* to) {
   std::fputs(
-      "usage: detlint [--root DIR] [target ...]\n"
-      "  Determinism & concurrency lint for the HERE tree (rules D1-D5;\n"
-      "  see docs/static_analysis.md). Targets default to: src bench tests\n",
+      "usage: detlint [--root DIR] [--format=text|github]\n"
+      "               [--report-json PATH] [--ledger-out PATH] [target ...]\n"
+      "  Determinism & concurrency lint for the HERE tree (rules D1-D5,\n"
+      "  L1-L4, P1-P2; see docs/static_analysis.md). Targets default to:\n"
+      "  src bench tests\n",
       to);
+}
+
+bool write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -28,6 +47,9 @@ void usage(std::FILE* to) {
 int main(int argc, char** argv) {
   detlint::Options options;
   std::vector<std::string> targets;
+  std::string format = "text";
+  std::string report_json_path;
+  std::string ledger_out_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -41,6 +63,31 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.root = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(std::strlen("--format="));
+      if (format != "text" && format != "github") {
+        std::fprintf(stderr, "detlint: unknown format '%s'\n", format.c_str());
+        usage(stderr);
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--report-json") {
+      if (i + 1 >= argc) {
+        std::fputs("detlint: --report-json requires a path\n", stderr);
+        return 2;
+      }
+      report_json_path = argv[++i];
+      continue;
+    }
+    if (arg == "--ledger-out") {
+      if (i + 1 >= argc) {
+        std::fputs("detlint: --ledger-out requires a path\n", stderr);
+        return 2;
+      }
+      ledger_out_path = argv[++i];
       continue;
     }
     if (arg.rfind("--", 0) == 0) {
@@ -58,13 +105,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "detlint: error: %s\n", err.c_str());
   }
   for (const detlint::Finding& f : result.findings) {
-    std::printf("%s:%d: [%s/%s] %s\n", f.path.c_str(), f.line,
-                detlint::rule_id(f.rule), detlint::rule_name(f.rule),
-                f.message.c_str());
+    if (format == "github") {
+      std::printf("::error file=%s,line=%d,title=%s::%s\n", f.path.c_str(),
+                  f.line, detlint::rule_id(f.rule), f.message.c_str());
+    } else {
+      std::printf("%s:%d: [%s/%s] %s\n", f.path.c_str(), f.line,
+                  detlint::rule_id(f.rule), detlint::rule_name(f.rule),
+                  f.message.c_str());
+    }
   }
-  std::printf("detlint: %zu finding(s) in %d file(s)\n",
-              result.findings.size(), result.files_scanned);
+  std::printf("detlint: %zu finding(s) in %d file(s), %zu suppression(s)\n",
+              result.findings.size(), result.files_scanned,
+              result.ledger.size());
 
-  if (!result.errors.empty()) return 2;
+  bool io_error = false;
+  if (!report_json_path.empty() &&
+      !write_text(report_json_path, detlint::report_json(result, false))) {
+    std::fprintf(stderr, "detlint: error: cannot write %s\n",
+                 report_json_path.c_str());
+    io_error = true;
+  }
+  if (!ledger_out_path.empty() &&
+      !write_text(ledger_out_path, detlint::report_json(result, true))) {
+    std::fprintf(stderr, "detlint: error: cannot write %s\n",
+                 ledger_out_path.c_str());
+    io_error = true;
+  }
+
+  if (!result.errors.empty() || io_error) return 2;
   return result.findings.empty() ? 0 : 1;
 }

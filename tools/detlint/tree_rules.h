@@ -1,0 +1,25 @@
+// The whole-tree pass: merges per-file facts into a symbol table and an
+// intra-module call graph, propagates held-rank contexts through it, and
+// evaluates the L- and P-rule families. Suppression handling stays with the
+// caller (scan()), which owns the directive state for the stale pass.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detlint/facts.h"
+
+namespace detlint::tree {
+
+struct FileUnit {
+  std::string path;
+  facts::FileFacts facts;
+  internal::FileDirectives* dirs = nullptr;  // owned by the caller
+};
+
+// Runs L1-L4, P1, P2 and the rank-table cross-checks over the merged
+// facts. Returns raw findings (not yet suppressed), sorted by
+// (path, line, rule).
+[[nodiscard]] std::vector<Finding> run(std::vector<FileUnit>& units);
+
+}  // namespace detlint::tree
