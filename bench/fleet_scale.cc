@@ -15,12 +15,24 @@
 // probe classification, the fencing window and activation) and whether the
 // surviving VMs kept committing throughout.
 //
+// Part 3 (opt-in, `--vms=N`) — consistent-hash fleet placement: N domains
+// placed by the ring onto a 4-Xen + 4-KVM pool (ARCHITECTURE.md §11), every
+// pairing heterogeneous, per-role load under the bounded-load cap, with the
+// membership prober and the queueing-aware rebalancer running throughout and
+// adaptive fabric weights on. Reported: per-host primary/secondary loads
+// against the cap, keyspace shares, worst degradation, and the placement
+// loop's move/deferral counters. `--vms=N` runs *only* this part (so the
+// default invocation's stdout stays byte-identical to earlier releases) and
+// is what CI's bench-baseline job pins as BENCH_placement.json at N=100.
+//
 // The whole bench is simulated time from fixed seeds: stdout is
 // byte-identical across runs (CI diffs two invocations).
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -238,6 +250,211 @@ FailoverResult run_failover(std::size_t vm_count, ObsSession& obs) {
   return r;
 }
 
+// --- Part 3: consistent-hash placement at fleet scale ------------------------------
+
+// Per-secondary ingest capacity for the placement pool: 100 Mbit/s split
+// across the 8 hosts, so ~12 flows per secondary keep the arbiter honest
+// without drowning the seeding phase.
+constexpr double kPlacementLinkBytesPerSecond = 100e6 / 8.0 / 8.0;
+
+// Host identity is copied out (not pointed at): the harness — and its Host
+// objects — dies with run_placement, while these rows outlive it.
+struct HostRow {
+  std::string name;
+  const char* kind = "";  // static storage from hv::to_string
+  std::size_t primaries = 0;
+  std::size_t secondaries = 0;
+  double keyspace_share = 0.0;
+};
+
+struct PlacementResult {
+  std::size_t vms = 0;
+  double seed_time_s = 0.0;
+  std::size_t max_primary_load = 0;
+  std::size_t max_secondary_load = 0;
+  std::size_t load_cap = 0;
+  std::size_t hetero_violations = 0;
+  bool all_seeded = false;
+  double worst_degradation = 0.0;
+  double max_weight = 0.0;
+  std::uint64_t epochs = 0;
+  std::uint64_t replica_moves = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t deferred = 0;
+  std::uint64_t membership_rounds = 0;
+  double aggregate_goodput_mbps = 0.0;
+  double capacity_mbps = 0.0;
+  double peak_reserved_mbps = 0.0;
+  bool within_capacity = true;
+  std::vector<HostRow> hosts;
+};
+
+PlacementResult run_placement(std::size_t vm_count, ObsSession& obs) {
+  FleetHarness harness;
+  for (int i = 0; i < 4; ++i) {
+    harness.add_xen("xen" + std::to_string(i),
+                    11 + static_cast<std::uint64_t>(i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    harness.add_kvm("kvm" + std::to_string(i),
+                    21 + static_cast<std::uint64_t>(i));
+  }
+
+  rep::ReplicationConfig defaults;
+  defaults.tracer = obs.tracer();
+  defaults.metrics = obs.metrics();
+  mgmt::ProtectionManager manager(harness.sim, harness.fabric, defaults);
+  for (auto& host : harness.hosts) manager.add_host(*host);
+
+  mgmt::ProtectionManager::FleetConfig fleet_config;
+  fleet_config.link_bytes_per_second = kPlacementLinkBytesPerSecond;
+  fleet_config.adaptive_weights = true;
+  manager.enable_fleet_scheduling(fleet_config);
+  manager.enable_fleet_placement();
+
+  std::vector<rep::ReplicationEngine*> engines;
+  for (std::size_t i = 0; i < vm_count; ++i) {
+    mgmt::DomainConfig domain;
+    domain.name = "vm" + std::to_string(i);
+    domain.memory_bytes = kVmBytes;
+    hv::Vm& vm = *manager.create_placed_domain(domain).value();
+    // Distinct-but-fixed write rates so the flows are not symmetric.
+    vm.attach_program(std::make_unique<wl::SyntheticProgram>(
+        wl::memory_microbench(4.0 + 2.0 * static_cast<double>(i % 10))));
+    engines.push_back(manager.protect_placed(vm, fleet_policy()).value());
+  }
+
+  const sim::TimePoint t_start = harness.sim.now();
+  PlacementResult r;
+  r.vms = vm_count;
+  r.all_seeded = harness.run_until(
+      [&] {
+        return std::ranges::all_of(engines,
+                                   [](auto* e) { return e->seeded(); });
+      },
+      600);
+  r.seed_time_s = sim::to_seconds(harness.sim.now() - t_start);
+
+  const std::uint64_t wire_at_start = manager.fleet_report().total_wire_bytes;
+  const sim::TimePoint t0 = harness.sim.now();
+  harness.sim.run_for(sim::from_seconds(20));
+  const double seconds = sim::to_seconds(harness.sim.now() - t0);
+
+  const mgmt::ProtectionManager::FleetReport report = manager.fleet_report();
+  r.aggregate_goodput_mbps =
+      8.0 * static_cast<double>(report.total_wire_bytes - wire_at_start) /
+      (seconds * 1e6);
+  r.capacity_mbps = 8.0 * report.link_capacity_bytes_per_s / 1e6;
+  r.peak_reserved_mbps = 8.0 * report.peak_reserved_bytes_per_s / 1e6;
+  r.within_capacity = report.peak_reserved_bytes_per_s <=
+                      report.link_capacity_bytes_per_s * (1.0 + 1e-9);
+  for (const auto& vm : report.vms) {
+    r.worst_degradation = std::max(r.worst_degradation, vm.mean_degradation);
+    r.max_weight = std::max(r.max_weight, vm.weight);
+    r.epochs += vm.epochs;
+  }
+
+  for (auto& host : harness.hosts) {
+    HostRow row;
+    row.name = host->name();
+    row.kind = hv::to_string(host->hypervisor().kind());
+    row.keyspace_share = manager.placement_ring()->keyspace_share(*host);
+    r.hosts.push_back(row);
+  }
+  for (const auto& p : manager.protections()) {
+    for (std::size_t i = 0; i < r.hosts.size(); ++i) {
+      if (harness.hosts[i].get() == p->primary) ++r.hosts[i].primaries;
+      if (harness.hosts[i].get() == p->secondary) ++r.hosts[i].secondaries;
+    }
+    if (p->primary != nullptr && p->secondary != nullptr &&
+        p->primary->hypervisor().kind() == p->secondary->hypervisor().kind()) {
+      ++r.hetero_violations;
+    }
+  }
+  for (const HostRow& row : r.hosts) {
+    r.max_primary_load = std::max(r.max_primary_load, row.primaries);
+    r.max_secondary_load = std::max(r.max_secondary_load, row.secondaries);
+  }
+  r.load_cap = manager.placement_ring()->load_cap(vm_count);
+  r.replica_moves = manager.replica_moves();
+  r.repairs = manager.placement_repairs();
+  r.deferred = manager.rebalance_deferred();
+  r.membership_rounds = manager.membership()->rounds();
+  return r;
+}
+
+void export_placement(ObsSession& obs, const PlacementResult& r) {
+  const std::string prefix = "placement.n" + std::to_string(r.vms) + ".";
+  obs.bench_value(prefix + "seed_time_s", r.seed_time_s);
+  obs.bench_value(prefix + "max_primary_load",
+                  static_cast<double>(r.max_primary_load));
+  obs.bench_value(prefix + "max_secondary_load",
+                  static_cast<double>(r.max_secondary_load));
+  obs.bench_value(prefix + "load_cap", static_cast<double>(r.load_cap));
+  obs.bench_value(prefix + "hetero_violations",
+                  static_cast<double>(r.hetero_violations));
+  obs.bench_value(prefix + "worst_degradation", r.worst_degradation);
+  obs.bench_value(prefix + "max_weight", r.max_weight);
+  obs.bench_value(prefix + "epochs", static_cast<double>(r.epochs));
+  obs.bench_value(prefix + "goodput_mbps", r.aggregate_goodput_mbps);
+  obs.bench_value(prefix + "peak_reserved_mbps", r.peak_reserved_mbps);
+  obs.bench_value(prefix + "replica_moves",
+                  static_cast<double>(r.replica_moves));
+  obs.bench_value(prefix + "rebalance_deferred",
+                  static_cast<double>(r.deferred));
+  obs.bench_value(prefix + "membership_rounds",
+                  static_cast<double>(r.membership_rounds));
+  for (const HostRow& row : r.hosts) {
+    const std::string host_prefix = prefix + row.name + ".";
+    obs.bench_value(host_prefix + "primaries",
+                    static_cast<double>(row.primaries));
+    obs.bench_value(host_prefix + "secondaries",
+                    static_cast<double>(row.secondaries));
+    obs.bench_value(host_prefix + "keyspace_share", row.keyspace_share);
+  }
+}
+
+int run_placement_mode(std::size_t vm_count, ObsSession& obs) {
+  print_title("Fleet placement: " + std::to_string(vm_count) +
+              " VMs on 4 Xen + 4 KVM hosts");
+  const PlacementResult r = run_placement(vm_count, obs);
+  export_placement(obs, r);
+
+  std::printf("  %-6s %6s %10s %12s %10s\n", "host", "kind", "primaries",
+              "secondaries", "share");
+  for (const HostRow& row : r.hosts) {
+    std::printf("  %-6s %6s %10zu %12zu %9.3f%%\n", row.name.c_str(),
+                row.kind, row.primaries, row.secondaries,
+                100.0 * row.keyspace_share);
+  }
+  std::printf(
+      "\n  seeded=%s in %.1fs  load cap=%zu (max primary %zu, max secondary "
+      "%zu)  hetero violations=%zu\n",
+      r.all_seeded ? "yes" : "NO", r.seed_time_s, r.load_cap,
+      r.max_primary_load, r.max_secondary_load, r.hetero_violations);
+  std::printf(
+      "  goodput=%.1f Mbps  peak reserved=%.1f/%.1f Mbps  worst D_T=%.4f  "
+      "max weight=%.2f  epochs=%llu\n",
+      r.aggregate_goodput_mbps, r.peak_reserved_mbps, r.capacity_mbps,
+      r.worst_degradation, r.max_weight,
+      static_cast<unsigned long long>(r.epochs));
+  std::printf(
+      "  replica moves=%llu (repairs %llu, deferred %llu)  membership "
+      "rounds=%llu\n",
+      static_cast<unsigned long long>(r.replica_moves),
+      static_cast<unsigned long long>(r.repairs),
+      static_cast<unsigned long long>(r.deferred),
+      static_cast<unsigned long long>(r.membership_rounds));
+
+  const bool ok = r.all_seeded && r.hetero_violations == 0 &&
+                  r.max_primary_load <= r.load_cap &&
+                  r.max_secondary_load <= r.load_cap && r.within_capacity;
+  std::printf("\n  verdict: %s\n", ok ? "ok" : "FAIL");
+  if (!ok) std::printf("\nFLEET PLACEMENT: acceptance FAILED\n");
+  const bool finished = obs.finish();
+  return ok && finished ? 0 : 1;
+}
+
 // --- Reporting --------------------------------------------------------------------
 
 void export_steady(ObsSession& obs, const SteadyResult& r) {
@@ -276,6 +493,15 @@ int main(int argc, char** argv) {
   using namespace here;
   using namespace here::bench;
   ObsSession obs(argc, argv);
+  std::size_t placement_vms = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--vms=", 0) == 0) {
+      placement_vms = static_cast<std::size_t>(
+          std::strtoull(arg.substr(6).data(), nullptr, 10));
+    }
+  }
+  if (placement_vms > 0) return run_placement_mode(placement_vms, obs);
   bool ok = true;
 
   print_title("Fleet scale: steady-state scheduling, 1-8 VMs on one link");

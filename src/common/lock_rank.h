@@ -50,6 +50,9 @@ namespace here::common {
 // lint finding, so this header, docs/static_analysis.md and the code cannot
 // drift apart.
 //
+//    30  mgmt.placement      PlacementRing vnode table (read by reports while
+//                            the membership loop mutates; outermost — never
+//                            held across engine or scheduler calls)
 //    50  rep.migrator_sched  MigratorPool fair-share scheduler state
 //   100  thread_pool.queue   common::ThreadPool task queue
 //   200  hv.pml_ring         per-vCPU dirty ring (migrator drain path)
@@ -61,6 +64,7 @@ namespace here::common {
 //
 // detlint: rank-table
 #define HERE_LOCK_RANK_TABLE(X)                  \
+  X(kPlacementRing, 30, "mgmt.placement")        \
   X(kMigratorSched, 50, "rep.migrator_sched")    \
   X(kThreadPoolQueue, 100, "thread_pool.queue")  \
   X(kPmlRing, 200, "hv.pml_ring")                \

@@ -22,6 +22,7 @@ void Host::on_packet(const net::Packet& packet,
 
 void Host::inject_fault(FaultKind fault) {
   hypervisor_->inject_fault(fault);
+  const bool was_operational = recovery_state_ == RecoveryState::kOperational;
   if (fault == FaultKind::kCrash || fault == FaultKind::kHang) {
     // A fault landing mid-microreboot aborts the reboot: back to kFailed
     // with the preserved VMs still paused (a later microreboot or repair
@@ -35,6 +36,9 @@ void Host::inject_fault(FaultKind fault) {
   if (fault == FaultKind::kCrash) {
     fabric_.set_node_down(eth_node_, true);
     fabric_.set_node_down(ic_node_, true);
+  }
+  if (was_operational && recovery_state_ == RecoveryState::kFailed) {
+    for (const auto& listener : failure_listeners_) listener(fault);
   }
 }
 

@@ -90,6 +90,15 @@ class Host {
     recovery_listeners_.push_back(std::move(listener));
   }
 
+  // Called when a crash/hang lands (kOperational -> kFailed only, not for
+  // repeated faults on an already-failed host). Replication engines use this
+  // to tear down work aimed at the dead host — e.g. an in-flight seed whose
+  // target just vanished — instead of discovering it by timeout.
+  using FailureListener = std::function<void(FaultKind)>;
+  void add_failure_listener(FailureListener listener) {
+    failure_listeners_.push_back(std::move(listener));
+  }
+
   // --- §8.7 resource accounting ---------------------------------------------
 
   // CPU-seconds consumed by host-side replication threads.
@@ -124,6 +133,7 @@ class Host {
   std::vector<Vm*> microreboot_preserved_;  // VMs paused for the reboot window
   std::uint64_t microreboots_ = 0;
   std::vector<RecoveryListener> recovery_listeners_;
+  std::vector<FailureListener> failure_listeners_;
 };
 
 }  // namespace here::hv

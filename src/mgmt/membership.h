@@ -1,0 +1,147 @@
+// Fleet membership: secondary-host liveness for the placement layer.
+//
+// The manager owns one management-network fabric node ("mgmt.membership")
+// and probes every tracked host's guest-Ethernet endpoint on a fixed
+// cadence, reusing the same request/ack packet discipline as the engine's
+// partition probes (kinds 0xbef5/0xbef6, tagged with the probe round so a
+// stale ack never counts). A crashed host's endpoints are down and drop the
+// probe; a hung or microrebooting host never runs its packet handlers — in
+// every failure mode the liveness signal is the same: the ack does not come
+// back.
+//
+// Per-host state machine, evaluated once per probe round:
+//
+//            ack                     misses >= suspect_after
+//   kJoining ----> kUp ------------------------------------> kSuspect
+//      ^            ^         ack (recovered in time)           |
+//      |            +-------------------------------------------+
+//      |  ack                                                   | misses >=
+//      +------- kDown <-----------------------------------------+ down_after
+//
+// kDown fires the on_down callback exactly once per descent — that is what
+// drives drain -> re-place -> delta-reseed upstream. A repaired host's first
+// ack moves it to kJoining (observed again, not yet trusted); the next ack
+// promotes it to kUp and fires on_admitted, which puts it back on the ring
+// for the rebalancer to drift replicas onto. All transitions happen at round
+// boundaries in track order, so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hv/host.h"
+#include "sim/event_queue.h"
+#include "simnet/fabric.h"
+
+namespace here::mgmt {
+
+// Management-plane probe protocol (values continue the engine's 0xbefX
+// block; see replication_engine.h).
+inline constexpr std::uint32_t kMembershipProbeKind = 0xbef5;
+inline constexpr std::uint32_t kMembershipAckKind = 0xbef6;
+
+enum class HostState : std::uint8_t {
+  kJoining,  // observed, not yet trusted with replicas
+  kUp,       // live: placement may target it
+  kSuspect,  // missed probes; replicas stay put, no new placements
+  kDown,     // declared dead: drained and removed from the ring
+};
+
+[[nodiscard]] constexpr const char* to_string(HostState state) {
+  switch (state) {
+    case HostState::kJoining: return "joining";
+    case HostState::kUp: return "up";
+    case HostState::kSuspect: return "suspect";
+    case HostState::kDown: return "down";
+  }
+  return "?";
+}
+
+class MembershipManager {
+ public:
+  struct Config {
+    sim::Duration probe_interval = sim::from_millis(100);
+    // Consecutive missed rounds before kUp -> kSuspect, and before
+    // kSuspect -> kDown. down_after counts from the first miss.
+    std::uint32_t suspect_after = 2;
+    std::uint32_t down_after = 4;
+    // Management network profile for the probe links (typically the host
+    // profile's ethernet NIC).
+    sim::NicProfile probe_nic{.bits_per_second = 10e9,
+                              .latency = sim::from_micros(50)};
+  };
+
+  struct Callbacks {
+    std::function<void(hv::Host&)> on_suspect;
+    std::function<void(hv::Host&)> on_down;
+    // kJoining -> kUp: the host is (re-)admitted to placement.
+    std::function<void(hv::Host&)> on_admitted;
+  };
+
+  MembershipManager(sim::Simulation& simulation, net::Fabric& fabric,
+                    Config config);
+  ~MembershipManager();
+
+  MembershipManager(const MembershipManager&) = delete;
+  MembershipManager& operator=(const MembershipManager&) = delete;
+
+  void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  // Starts tracking `host`: connects the probe link and installs the ack
+  // responder. Hosts start kJoining and are admitted by their first acked
+  // round. Tracking the same host twice is a no-op.
+  void track(hv::Host& host);
+
+  // Starts / stops the probe loop. Idempotent.
+  void start();
+  void stop();
+
+  [[nodiscard]] HostState state(const hv::Host& host) const;
+  [[nodiscard]] bool placeable(const hv::Host& host) const {
+    return state(host) == HostState::kUp;
+  }
+
+  struct Row {
+    std::string host;
+    HostState state = HostState::kJoining;
+    std::uint32_t misses = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t acks = 0;
+    std::uint32_t transitions = 0;  // state changes since tracking began
+  };
+  // Snapshot in track order (deterministic).
+  [[nodiscard]] std::vector<Row> table() const;
+
+  [[nodiscard]] std::uint64_t rounds() const { return round_; }
+
+ private:
+  struct Entry {
+    hv::Host* host = nullptr;
+    HostState state = HostState::kJoining;
+    std::uint32_t misses = 0;
+    std::uint64_t acked_round = 0;  // newest round whose ack arrived
+    std::uint64_t probes = 0;
+    std::uint64_t acks = 0;
+    std::uint32_t transitions = 0;
+  };
+
+  void tick();
+  void evaluate(Entry& entry, bool acked);
+  void transition(Entry& entry, HostState next);
+  void on_ack(const net::Packet& packet);
+  [[nodiscard]] const Entry* find(const hv::Host& host) const;
+
+  sim::Simulation& sim_;
+  net::Fabric& fabric_;
+  Config config_;
+  Callbacks callbacks_;
+  net::NodeId probe_node_ = net::kInvalidNode;
+  std::vector<Entry> entries_;  // track order
+  std::uint64_t round_ = 0;     // also the probe tag
+  bool running_ = false;
+  sim::EventId tick_event_;
+};
+
+}  // namespace here::mgmt

@@ -1,0 +1,219 @@
+// Consistent-hash placement of protected domains onto a heterogeneous host
+// fleet.
+//
+// The ring hashes every host into `vnodes_per_host` virtual nodes (scaled by
+// host capacity and a per-hypervisor-kind multiplier) with FNV-1a, and every
+// domain to a point on the same 64-bit circle. A domain's *preference walk*
+// is the clockwise sequence of distinct hosts from its point; the primary is
+// the first host of the walk and the secondary the first later host running
+// a *different* hypervisor — the paper's heterogeneity requirement is a ring
+// invariant, not a caller convention. Because the walk is a pure function of
+// (domain, member set), membership changes move only the keys whose owning
+// arcs changed: a leaving host's domains scatter to their next preferences,
+// a joining host captures exactly the arcs its vnodes now own, and every
+// other domain stays put (the minimal-movement property the placement test
+// battery pins across 50 seeds).
+//
+// Raw consistent hashing balances keyspace, not key *count* — at 100 VMs on
+// 8 hosts the binomial spread blows the 15% balance budget. Placement
+// therefore uses the bounded-load variant: callers pass their current
+// per-host replica load and a cap (ceil(balance_factor * ideal)); the walk
+// skips hosts at the cap and falls back to ignoring the cap only when every
+// eligible host is full (protection beats balance). With the cap in force
+// the max-loaded host is within balance_factor of ideal by construction.
+//
+// Everything is deterministic: FNV-1a seeds, sorted vnode table with a
+// (point, host name, index) tie-break, insertion-ordered member list. The
+// table is guarded by a ranked mutex (rank 30 "mgmt.placement") because
+// fleet reports read it while the membership loop mutates it; it is always
+// the outermost lock — never held across engine or scheduler calls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/lock_rank.h"
+#include "common/status.h"
+#include "hv/host.h"
+
+namespace here::mgmt {
+
+struct PlacementConfig {
+  // Virtual nodes per unit of weight. More vnodes -> smoother keyspace
+  // shares; 64 keeps share deviation well under the balance budget at 8
+  // hosts.
+  std::uint32_t vnodes_per_host = 64;
+  // Per-hypervisor-kind vnode multiplier: a fleet where Xen boxes are beefier
+  // (or scarcer) can skew ownership without touching per-host weights.
+  double xen_weight = 1.0;
+  double kvm_weight = 1.0;
+  // Bounded-load factor: the load-capped walk keeps every host's replica
+  // count <= ceil(balance_factor * ideal). Values <= 1 disable the cap.
+  double balance_factor = 1.15;
+};
+
+class PlacementRing {
+ public:
+  explicit PlacementRing(PlacementConfig config = {});
+
+  // Membership. Hosts are weighted by capacity (relative units; 2.0 owns
+  // about twice the keyspace of 1.0). Adding a present host or removing an
+  // absent one is a no-op returning false.
+  bool add_host(hv::Host& host, double capacity_weight = 1.0);
+  bool remove_host(const hv::Host& host);
+  [[nodiscard]] bool contains(const hv::Host& host) const;
+  [[nodiscard]] std::size_t host_count() const;
+  [[nodiscard]] std::size_t vnode_count() const;
+
+  // Per-host replica load, supplied by the caller (the ring is stateless
+  // about assignments on purpose: ideal placement stays a pure function).
+  using LoadFn = std::function<std::size_t(const hv::Host&)>;
+
+  // The clockwise preference walk from the domain's hash point: up to `n`
+  // distinct hosts, nearest first. The full walk (n >= host count) is a
+  // permutation of the members.
+  [[nodiscard]] std::vector<hv::Host*> preference(const std::string& domain,
+                                                  std::size_t n) const;
+
+  struct Pair {
+    hv::Host* primary = nullptr;
+    hv::Host* secondary = nullptr;
+  };
+
+  // Ideal (pure) placement: primary = first host of the walk, secondary =
+  // first later host with a different hypervisor kind. kUnavailable when the
+  // ring is empty or holds no heterogeneous pair for this walk.
+  [[nodiscard]] Expected<Pair> place(const std::string& domain) const;
+
+  // Bounded-load placement: like place(), but hosts whose `load` is already
+  // at `cap` are passed over. If every kind-eligible host is at the cap the
+  // cap is waived (a protected domain beats a balanced one).
+  [[nodiscard]] Expected<Pair> place(const std::string& domain,
+                                     const LoadFn& load,
+                                     std::size_t cap) const;
+
+  // The secondary the ring wants for `domain` given its current primary:
+  // first walk host that is neither the primary, nor `exclude`, nor the
+  // primary's hypervisor kind. Pure form and bounded-load form.
+  [[nodiscard]] Expected<hv::Host*> secondary_for(
+      const std::string& domain, const hv::Host& primary,
+      const hv::Host* exclude = nullptr) const;
+  [[nodiscard]] Expected<hv::Host*> secondary_for(const std::string& domain,
+                                                  const hv::Host& primary,
+                                                  const hv::Host* exclude,
+                                                  const LoadFn& load,
+                                                  std::size_t cap) const;
+
+  // Fraction of the 64-bit circle owned by `host`'s vnodes (0 when absent).
+  // The balance property tests pin this against the weight distribution.
+  [[nodiscard]] double keyspace_share(const hv::Host& host) const;
+
+  // Load cap for `n` placed replicas-in-role given the current member count:
+  // ceil(balance_factor * n / hosts), at least 1. SIZE_MAX when the cap is
+  // disabled or the ring is empty.
+  [[nodiscard]] std::size_t load_cap(std::size_t n) const;
+
+  [[nodiscard]] const PlacementConfig& config() const { return config_; }
+
+  // FNV-1a 64-bit, the ring's only hash. Exposed so tests can reason about
+  // points directly.
+  [[nodiscard]] static std::uint64_t hash_key(std::string_view key);
+
+  // Ring position of a key: hash_key plus an avalanche finalizer. Raw FNV-1a
+  // of short keys sharing a prefix ("vm0", "vm1", ...) barely perturbs the
+  // high bits, so the points would cluster into a narrow arc; the finalizer
+  // spreads them across the full circle while staying a pure function of the
+  // key.
+  [[nodiscard]] static std::uint64_t ring_point(std::string_view key);
+
+ private:
+  struct Vnode {
+    std::uint64_t point = 0;
+    hv::Host* host = nullptr;
+    std::uint32_t index = 0;  // which of the host's vnodes, for tie-breaks
+  };
+  struct Member {
+    hv::Host* host = nullptr;
+    double capacity_weight = 1.0;
+    std::uint32_t vnodes = 0;
+  };
+
+  [[nodiscard]] double kind_weight(const hv::Host& host) const;
+  // Distinct-host clockwise walk; caller holds mu_.
+  [[nodiscard]] std::vector<hv::Host*> walk_locked(const std::string& domain,
+                                                   std::size_t n) const;
+
+  PlacementConfig config_;
+  mutable common::RankedMutex mu_{common::LockRank::kPlacementRing,
+                                  "mgmt.placement"};
+  std::vector<Vnode> ring_;      // sorted by (point, host name, index)
+  std::vector<Member> members_;  // insertion order (deterministic reports)
+};
+
+// --- Rebalance planning ------------------------------------------------------
+//
+// The orchestrator turns one tick's observations — where each replica sits
+// and how much of the tick its flow spent queueing on its secondary's ingest
+// link — into a bounded batch of replica moves. Two forces, in priority
+// order:
+//
+//  1. *Drift*: a replica whose current secondary differs from the ring's
+//     ideal (typically because the ideal host was down and has rejoined)
+//     migrates back, provided the ideal host has headroom under the load
+//     cap. This is what folds a repaired host back into service.
+//  2. *Saturation*: when a link's flows together spent more than
+//     `saturation_share` of the tick queueing, the hottest flow on that link
+//     moves to the ring's next alternative on an unsaturated host.
+//
+// Invariant (documented in ARCHITECTURE.md §11): a plan never contains more
+// than `moves_per_tick` moves, never targets a host that is absent from the
+// ring, and never pairs same-kind hosts; everything else is deferred to the
+// next tick. Planning is pure — same inputs, same plan.
+
+struct ReplicaFlow {
+  std::string domain;
+  hv::Host* primary = nullptr;
+  hv::Host* secondary = nullptr;
+  // Fraction of the last tick this flow spent queueing on its ingest link.
+  double queueing_share = 0.0;
+};
+
+struct RebalanceMove {
+  enum class Why : std::uint8_t { kDrift, kSaturation };
+  std::string domain;
+  hv::Host* from = nullptr;
+  hv::Host* to = nullptr;
+  Why why = Why::kDrift;
+};
+
+struct RebalancePlan {
+  std::vector<RebalanceMove> moves;
+  std::size_t deferred = 0;  // candidates dropped by the per-tick budget
+};
+
+class RebalanceOrchestrator {
+ public:
+  struct Config {
+    std::uint32_t moves_per_tick = 2;
+    // A link is saturated when its flows' queueing shares sum past this.
+    double saturation_share = 0.25;
+  };
+
+  RebalanceOrchestrator(const PlacementRing& ring, Config config)
+      : ring_(ring), config_(config) {}
+
+  [[nodiscard]] RebalancePlan plan(const std::vector<ReplicaFlow>& flows,
+                                   const PlacementRing::LoadFn& load,
+                                   std::size_t cap) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  const PlacementRing& ring_;
+  Config config_;
+};
+
+}  // namespace here::mgmt

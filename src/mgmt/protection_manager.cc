@@ -18,7 +18,13 @@ ProtectionManager::ProtectionManager(sim::Simulation& simulation,
       defaults_(engine_defaults),
       hardware_(hardware) {}
 
-void ProtectionManager::add_host(hv::Host& host) { pool_.push_back(&host); }
+void ProtectionManager::add_host(hv::Host& host) {
+  pool_.push_back(&host);
+  if (placement_enabled_) {
+    ring_->add_host(host);
+    membership_->track(host);
+  }
+}
 
 void ProtectionManager::ensure_connected(hv::Host& a, hv::Host& b) {
   for (const auto& [x, y] : connected_) {
@@ -112,6 +118,248 @@ void ProtectionManager::enable_durable_replicas(rep::DurableStoreConfig config) 
   durable_enabled_ = true;
 }
 
+// --- Fleet placement & membership --------------------------------------------
+
+void ProtectionManager::enable_fleet_placement(FleetPlacementConfig config) {
+  if (placement_enabled_) return;
+  placement_config_ = config;
+  placement_enabled_ = true;
+  // Placement implies arbitration: rebalancing consumes the LinkArbiter
+  // queueing signal, so fleet scheduling must exist.
+  if (!fleet_enabled_) enable_fleet_scheduling(fleet_);
+  ring_ = std::make_unique<PlacementRing>(config.ring);
+  membership_ =
+      std::make_unique<MembershipManager>(sim_, fabric_, config.membership);
+  rebalancer_ =
+      std::make_unique<RebalanceOrchestrator>(*ring_, config.rebalance);
+  membership_->set_callbacks(
+      {.on_suspect = {},
+       .on_down = [this](hv::Host& host) { handle_host_down(host); },
+       .on_admitted = [this](hv::Host& host) { handle_host_admitted(host); }});
+  // Hosts already pooled are operator-vouched: ring members immediately,
+  // confirmed (or demoted) by the prober from its first round.
+  for (hv::Host* host : pool_) {
+    ring_->add_host(*host);
+    membership_->track(*host);
+  }
+  membership_->start();
+  sim_.schedule_after(placement_config_.tick, [this] { placement_tick(); },
+                      "mgmt-placement");
+}
+
+std::size_t ProtectionManager::secondary_load_of(const hv::Host& host) const {
+  std::size_t load = 0;
+  for (const auto& protection : protections_) {
+    if (protection->secondary == &host) ++load;
+  }
+  return load;
+}
+
+hv::Host* ProtectionManager::pool_host_of(const hv::Vm& vm) {
+  for (hv::Host* host : pool_) {
+    if (host->hypervisor().owns(vm)) return host;
+  }
+  return nullptr;
+}
+
+Expected<hv::Vm*> ProtectionManager::create_placed_domain(
+    const DomainConfig& config) {
+  if (!placement_enabled_) {
+    return Status::failed_precondition(
+        "create_placed_domain: fleet placement not enabled");
+  }
+  const Expected<PlacementRing::Pair> pair = ring_->place(
+      config.name,
+      [](const hv::Host& host) { return host.hypervisor().vms().size(); },
+      ring_->load_cap(placed_domains_ + 1));
+  if (!pair.ok()) return pair.status();
+  VirtConnection conn(*(*pair).primary);
+  const Expected<hv::Vm*> vm = conn.create_domain(config);
+  if (vm.ok()) ++placed_domains_;
+  return vm;
+}
+
+Expected<rep::ReplicationEngine*> ProtectionManager::protect_placed(
+    hv::Vm& vm) {
+  return protect_placed(vm, VmPolicy{});
+}
+
+Expected<rep::ReplicationEngine*> ProtectionManager::protect_placed(
+    hv::Vm& vm, const VmPolicy& policy) {
+  if (!placement_enabled_) {
+    return Status::failed_precondition(
+        "protect_placed: fleet placement not enabled");
+  }
+  hv::Host* home = pool_host_of(vm);
+  if (home == nullptr) {
+    return Status::invalid_argument("protect_placed: no pool host owns '" +
+                                    vm.spec().name + "'");
+  }
+  const Expected<hv::Host*> partner = ring_->secondary_for(
+      vm.spec().name, *home, nullptr,
+      [this](const hv::Host& h) { return secondary_load_of(h); },
+      ring_->load_cap(protections_.size() + 1));
+  if (!partner.ok()) return partner.status();
+  if (!(*partner)->alive()) {
+    return Status::unavailable("protect_placed: ring secondary '" +
+                               (*partner)->name() + "' is down");
+  }
+  return protect_on(vm, *home, **partner, policy);
+}
+
+Status ProtectionManager::rehome_secondary(const std::string& domain,
+                                           hv::Host& next) {
+  Protection* protection = find(domain);
+  if (protection == nullptr) {
+    return Status::not_found("rehome: unknown domain '" + domain + "'");
+  }
+  if (std::ranges::find(pool_, &next) == pool_.end()) {
+    return Status::invalid_argument("rehome: host '" + next.name() +
+                                    "' not in the pool");
+  }
+  rep::ReplicationEngine& old_engine = protection->engine();
+  if (old_engine.failed_over() || old_engine.failover_in_progress()) {
+    return Status::failed_precondition("rehome: '" + domain +
+                                       "' is mid-failover");
+  }
+  if (&next == protection->secondary && !old_engine.drained()) {
+    return Status::invalid_argument("rehome: '" + domain +
+                                    "' already replicates to '" + next.name() +
+                                    "'");
+  }
+  if (!next.alive()) {
+    return Status::failed_precondition("rehome: target host '" + next.name() +
+                                       "' is down");
+  }
+  if (next.hypervisor().kind() == protection->primary->hypervisor().kind()) {
+    return Status::failed_precondition(
+        "rehome: '" + next.name() +
+        "' runs the primary's hypervisor (heterogeneous pair required)");
+  }
+  hv::Vm* vm = protection->vm;
+  if (vm == nullptr) {
+    return Status::failed_precondition("rehome: '" + domain +
+                                       "' has no authoritative VM");
+  }
+  ensure_connected(*protection->primary, next);
+  // Drain first: the old generation folds any in-flight epoch back and
+  // resumes the guest, so the successor's start_protection sees a running
+  // VM. If the successor fails to start, the protection is left drained and
+  // the placement loop's repair pass retries next tick.
+  old_engine.drain("re-placing replica to '" + next.name() + "'");
+  if (vm->state() != hv::VmState::kRunning) {
+    return Status::failed_precondition("rehome: VM '" + domain +
+                                       "' is not running");
+  }
+  const std::size_t stores_before = protection->stores.size();
+  protection->engines.push_back(std::make_unique<rep::ReplicationEngine>(
+      sim_, fabric_, *protection->primary, next,
+      config_for(protection->policy),
+      env_for(*protection->primary, next, *protection)));
+  if (const Status s = protection->engines.back()->start_protection(*vm);
+      !s.ok()) {
+    protection->engines.pop_back();
+    while (protection->stores.size() > stores_before) {
+      protection->stores.pop_back();
+    }
+    HERE_LOG(kWarn, "mgmt: re-placing '%s' -> %s failed: %s", domain.c_str(),
+             next.name().c_str(), s.to_string().c_str());
+    return s;
+  }
+  HERE_LOG(kInfo, "mgmt: re-placed '%s' replica %s -> %s (generation %u)",
+           domain.c_str(), protection->secondary->name().c_str(),
+           next.name().c_str(), protection->generation + 1);
+  protection->secondary = &next;
+  ++protection->generation;
+  ++replica_moves_;
+  return Status::ok_status();
+}
+
+void ProtectionManager::handle_host_down(hv::Host& host) {
+  ring_->remove_host(host);
+  // Drain every protection replicating *to* the dead host and re-place it
+  // now; failures retry on the placement tick. A dead *primary* is the
+  // failover path's business (the engine's watchdog), not placement's.
+  for (const auto& protection : protections_) {
+    if (protection->secondary != &host) continue;
+    rep::ReplicationEngine& engine = protection->engine();
+    if (engine.failed_over() || engine.failover_in_progress()) continue;
+    engine.drain("secondary host '" + host.name() + "' declared down");
+    const Expected<hv::Host*> next = ring_->secondary_for(
+        protection->domain, *protection->primary, &host,
+        [this](const hv::Host& h) { return secondary_load_of(h); },
+        ring_->load_cap(protections_.size()));
+    if (!next.ok()) continue;  // repair pass retries once hosts return
+    if (rehome_secondary(protection->domain, **next).ok()) {
+      ++placement_repairs_;
+    }
+  }
+}
+
+void ProtectionManager::handle_host_admitted(hv::Host& host) {
+  // Back on the ring; the rebalancer's drift pass folds replicas onto it
+  // under the per-tick budget rather than all at once.
+  ring_->add_host(host);
+}
+
+void ProtectionManager::placement_tick() {
+  // Repair pass: a drained current generation means a re-place is owed
+  // (the immediate rehome failed or had no candidate). Unbounded on
+  // purpose — restoring protection beats balance and budgets.
+  for (const auto& protection : protections_) {
+    rep::ReplicationEngine& engine = protection->engine();
+    if (!engine.drained()) continue;
+    const Expected<hv::Host*> next = ring_->secondary_for(
+        protection->domain, *protection->primary, nullptr,
+        [this](const hv::Host& h) { return secondary_load_of(h); },
+        ring_->load_cap(protections_.size()));
+    if (!next.ok()) continue;
+    if (rehome_secondary(protection->domain, **next).ok()) {
+      ++placement_repairs_;
+    }
+  }
+  // Rebalance pass: per-flow queueing share over this tick feeds the
+  // bounded move plan (drift toward ring-ideal, then off saturated links).
+  std::vector<ReplicaFlow> flows;
+  std::vector<std::pair<const rep::ReplicationEngine*, sim::Duration>>
+      snapshot;
+  for (const auto& protection : protections_) {
+    rep::ReplicationEngine& engine = protection->engine();
+    if (engine.drained() || engine.failed_over() ||
+        engine.failover_in_progress() || !engine.seeded()) {
+      continue;
+    }
+    if (!ring_->contains(*protection->secondary)) continue;
+    double share = 0.0;
+    if (net::LinkArbiter* arbiter = link_arbiter_of(*protection->secondary)) {
+      const sim::Duration q = arbiter->stats(engine.arbiter_flow()).queueing;
+      sim::Duration last{};
+      for (const auto& [e, d] : queueing_snapshot_) {
+        if (e == &engine) last = d;
+      }
+      snapshot.emplace_back(&engine, q);
+      share = sim::to_seconds(q - last) /
+              sim::to_seconds(placement_config_.tick);
+    }
+    flows.push_back({protection->domain, protection->primary,
+                     protection->secondary, share});
+  }
+  queueing_snapshot_ = std::move(snapshot);
+  const RebalancePlan plan = rebalancer_->plan(
+      flows, [this](const hv::Host& h) { return secondary_load_of(h); },
+      ring_->load_cap(protections_.size()));
+  rebalance_deferred_ += plan.deferred;
+  for (const RebalanceMove& move : plan.moves) {
+    if (const Status s = rehome_secondary(move.domain, *move.to); !s.ok()) {
+      HERE_LOG(kWarn, "mgmt: rebalance move of '%s' -> %s failed: %s",
+               move.domain.c_str(), move.to->name().c_str(),
+               s.to_string().c_str());
+    }
+  }
+  sim_.schedule_after(placement_config_.tick, [this] { placement_tick(); },
+                      "mgmt-placement");
+}
+
 rep::EngineEnv ProtectionManager::env_for(hv::Host& primary,
                                           hv::Host& secondary,
                                           Protection& protection) {
@@ -157,23 +405,33 @@ Expected<rep::ReplicationEngine*> ProtectionManager::protect(
         "protect: no live heterogeneous partner host available for '" +
         home.name() + "'");
   }
+  return protect_on(vm, home, *partner, policy);
+}
+
+Expected<rep::ReplicationEngine*> ProtectionManager::protect_on(
+    hv::Vm& vm, hv::Host& home, hv::Host& partner, const VmPolicy& policy) {
+  if (defaults_.mode == rep::EngineMode::kRemus) {
+    return Status::invalid_argument(
+        "protect: ProtectionManager pairs heterogeneous hosts, which the "
+        "Remus baseline cannot replicate across");
+  }
   // Validate the *effective* config — defaults plus the per-VM policy —
   // before anything is built, so a bad override fails as a value too.
   const rep::ReplicationConfig config = config_for(policy);
   if (const Status s = rep::validate_replication_config(config); !s.ok()) {
     return s;
   }
-  ensure_connected(home, *partner);
+  ensure_connected(home, partner);
 
   auto protection = std::make_unique<Protection>();
   protection->domain = vm.spec().name;
   protection->primary = &home;
-  protection->secondary = partner;
+  protection->secondary = &partner;
   protection->vm = &vm;
   protection->policy = policy;
   protection->engines.push_back(std::make_unique<rep::ReplicationEngine>(
-      sim_, fabric_, home, *partner, config,
-      env_for(home, *partner, *protection)));
+      sim_, fabric_, home, partner, config,
+      env_for(home, partner, *protection)));
   if (const Status s = protection->engines.back()->start_protection(vm);
       !s.ok()) {
     return s;  // the half-built Protection dies with this scope
@@ -181,7 +439,7 @@ Expected<rep::ReplicationEngine*> ProtectionManager::protect(
   protections_.push_back(std::move(protection));
   HERE_LOG(kInfo, "mgmt: protecting '%s' %s -> %s",
            vm.spec().name.c_str(), home.name().c_str(),
-           partner->name().c_str());
+           partner.name().c_str());
   return &protections_.back()->engine();
 }
 
@@ -217,7 +475,18 @@ void ProtectionManager::policy_tick() {
     // logged and retried on the next tick (the engine generation and any
     // store created for it are rolled back). The VM's policy follows it
     // across generations.
-    hv::Host* next = pick_partner(*survivor);
+    hv::Host* next = nullptr;
+    if (placement_enabled_) {
+      // Placement-aware re-protection: the ring picks the new secondary so
+      // post-failover topology stays consistent with what the rebalancer
+      // will later converge toward.
+      const Expected<hv::Host*> choice = ring_->secondary_for(
+          protection->domain, *survivor, nullptr,
+          [this](const hv::Host& h) { return secondary_load_of(h); },
+          ring_->load_cap(protections_.size()));
+      if (choice.ok() && (*choice)->alive()) next = *choice;
+    }
+    if (next == nullptr) next = pick_partner(*survivor);
     if (next == nullptr) continue;  // no live heterogeneous partner yet
     ensure_connected(*survivor, *next);
     const sim::TimePoint detected = engine.stats().failure_detected_at;

@@ -21,6 +21,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "mgmt/membership.h"
+#include "mgmt/placement.h"
+#include "mgmt/virt.h"
 #include "replication/migrator_pool.h"
 #include "replication/replication_engine.h"
 #include "sim/hardware_profile.h"
@@ -100,6 +103,64 @@ class ProtectionManager {
   // secondary before, the surviving store drives the engine's digest-diff
   // delta seed instead of a full N-page copy.
   void enable_durable_replicas(rep::DurableStoreConfig config = {});
+
+  // --- Fleet placement & membership (docs/ARCHITECTURE.md §11) ---------------
+  //
+  // Consistent-hash placement of domains onto the pool, liveness-driven
+  // re-placement, and queueing-aware rebalancing. Implies fleet scheduling
+  // (enabled with the current FleetConfig defaults when not already on).
+  // Hosts already in the pool become ring members immediately and are
+  // tracked by the membership prober; a host that later goes down is
+  // drained off the ring (its replicas re-placed with delta reseed where a
+  // surviving store exists) and folded back in after re-admission.
+  struct FleetPlacementConfig {
+    PlacementConfig ring{};
+    MembershipManager::Config membership{};
+    RebalanceOrchestrator::Config rebalance{};
+    // Cadence of the placement loop: repair pass (drained / down-host
+    // protections re-placed) then one bounded rebalance plan.
+    sim::Duration tick = sim::from_millis(500);
+  };
+  void enable_fleet_placement(FleetPlacementConfig config);
+  void enable_fleet_placement() {
+    enable_fleet_placement(FleetPlacementConfig{});
+  }
+
+  [[nodiscard]] PlacementRing* placement_ring() { return ring_.get(); }
+  [[nodiscard]] MembershipManager* membership() { return membership_.get(); }
+
+  // Creates the domain on the ring-chosen primary host (bounded-load walk
+  // over current per-host domain counts) and returns the running VM.
+  // kFailedPrecondition when fleet placement is not enabled.
+  [[nodiscard]] Expected<hv::Vm*> create_placed_domain(
+      const DomainConfig& config);
+
+  // Protects `vm` toward a ring-chosen heterogeneous secondary. The home
+  // host is discovered from the owning hypervisor in the pool.
+  [[nodiscard]] Expected<rep::ReplicationEngine*> protect_placed(hv::Vm& vm);
+  [[nodiscard]] Expected<rep::ReplicationEngine*> protect_placed(
+      hv::Vm& vm, const VmPolicy& policy);
+
+  // Drain -> re-place -> delta-reseed: retires the domain's current engine
+  // generation and starts a successor replicating to `next` (must be a live
+  // pool host heterogeneous with the primary). When `next` served as this
+  // domain's secondary before, its host-keyed durable store drives a
+  // digest-diff delta seed instead of a full copy. On a failed successor
+  // start the old generation stays drained and the placement loop retries
+  // on its next tick.
+  [[nodiscard]] Status rehome_secondary(const std::string& domain,
+                                        hv::Host& next);
+
+  // Placement-loop counters: replica moves executed (repair + rebalance),
+  // repair re-placements among them, and rebalance candidates deferred by
+  // the moves-per-tick budget.
+  [[nodiscard]] std::uint64_t replica_moves() const { return replica_moves_; }
+  [[nodiscard]] std::uint64_t placement_repairs() const {
+    return placement_repairs_;
+  }
+  [[nodiscard]] std::uint64_t rebalance_deferred() const {
+    return rebalance_deferred_;
+  }
 
   // One re-protection cycle's recovery clock: from the moment the previous
   // generation's engine detected the primary failure to the moment the
@@ -214,6 +275,15 @@ class ProtectionManager {
   void ensure_connected(hv::Host& a, hv::Host& b);
   [[nodiscard]] hv::Host* pick_partner(const hv::Host& home);
   [[nodiscard]] std::size_t load_of(const hv::Host& host) const;
+  [[nodiscard]] std::size_t secondary_load_of(const hv::Host& host) const;
+  [[nodiscard]] hv::Host* pool_host_of(const hv::Vm& vm);
+  // Shared tail of protect()/protect_placed(): validates the effective
+  // config, connects the pair and starts generation 1.
+  [[nodiscard]] Expected<rep::ReplicationEngine*> protect_on(
+      hv::Vm& vm, hv::Host& home, hv::Host& partner, const VmPolicy& policy);
+  void handle_host_down(hv::Host& host);
+  void handle_host_admitted(hv::Host& host);
+  void placement_tick();
   void policy_tick();
   void weight_tick();
   [[nodiscard]] rep::MigratorPool& pool_for(hv::Host& primary);
@@ -243,6 +313,21 @@ class ProtectionManager {
   std::vector<std::pair<hv::Host*, std::unique_ptr<rep::MigratorPool>>> pools_;
   std::vector<std::pair<hv::Host*, std::unique_ptr<net::LinkArbiter>>>
       arbiters_;
+  // Placement layer (null until enable_fleet_placement). Declared before
+  // protections_ so engine generations die before the ring they were placed
+  // by.
+  FleetPlacementConfig placement_config_;
+  bool placement_enabled_ = false;
+  std::unique_ptr<PlacementRing> ring_;
+  std::unique_ptr<MembershipManager> membership_;
+  std::unique_ptr<RebalanceOrchestrator> rebalancer_;
+  std::uint64_t replica_moves_ = 0;
+  std::uint64_t placement_repairs_ = 0;
+  std::uint64_t rebalance_deferred_ = 0;
+  std::uint64_t placed_domains_ = 0;
+  // Cumulative per-engine queueing at the last placement tick, for deltas.
+  std::vector<std::pair<const rep::ReplicationEngine*, sim::Duration>>
+      queueing_snapshot_;
   std::vector<std::unique_ptr<Protection>> protections_;
   sim::Duration poll_{};
   bool policy_enabled_ = false;

@@ -316,6 +316,20 @@ Status ReplicationEngine::start_protection(hv::Vm& vm) {
       probe_reply_received_ = true;
     }
   });
+  // The seed target dying mid-copy tears the attempt down immediately — a
+  // half-written staging image must never survive to look activatable, and
+  // the paused guest must not wait on a timeout to find out.
+  secondary_.add_failure_listener([this](hv::FaultKind) {
+    if (drained_ || seeded_ || seeder_ == nullptr) return;
+    sim_.cancel(seed_deadline_event_);
+    seeder_.reset();  // the destructor cancels the in-flight seeding event
+    staging_.reset();
+    if (primary_.alive() && vm_ != nullptr &&
+        vm_->state() == hv::VmState::kPaused) {
+      primary_.hypervisor().resume(*vm_);
+    }
+    schedule_seed_retry("secondary failed during seed");
+  });
   last_heartbeat_rx_ = sim_.now();
   send_heartbeat();
   watchdog_check();
@@ -327,11 +341,16 @@ Status ReplicationEngine::start_protection(hv::Vm& vm) {
 // --- Seeding (with retry) ----------------------------------------------------
 
 void ReplicationEngine::begin_seed_attempt() {
+  if (drained_) return;
   ++seed_attempt_;
   ++stats_.seed_attempts;
   if (vm_ == nullptr) return;
   if (!primary_.alive()) {
     schedule_seed_retry("primary down at attempt start");
+    return;
+  }
+  if (!secondary_.alive()) {
+    schedule_seed_retry("secondary down at attempt start");
     return;
   }
   // A torn-down attempt may have left the VM paused mid-stop-copy.
@@ -412,6 +431,7 @@ void ReplicationEngine::schedule_seed_retry(const char* why) {
 }
 
 void ReplicationEngine::on_seeded(const SeedResult& result) {
+  if (drained_) return;
   stats_.seed = result;
   // VM is paused and staging memory is byte-identical: commit epoch 0 with
   // the full disk image, machine state and program snapshot, then enter the
@@ -751,7 +771,7 @@ void ReplicationEngine::note_epoch_abort(const char* reason) {
 }
 
 void ReplicationEngine::run_checkpoint() {
-  if (!primary_.alive() || failover_in_progress_) return;
+  if (!primary_.alive() || failover_in_progress_ || drained_) return;
   if (vm_ == nullptr || vm_->state() == hv::VmState::kDestroyed) return;
 
   // Partition check before pausing: with the interconnect down no byte of
@@ -1397,7 +1417,7 @@ void ReplicationEngine::send_heartbeat() {
   // partition must be able to deliver the fencing signal. Only a completed
   // failover (replica active) or a lost arbitration silences the primary
   // for good.
-  if (stats_.failed_over || primary_demoted_) return;
+  if (stats_.failed_over || primary_demoted_ || drained_) return;
   if (primary_.alive() && !resume_probe_pending_) {
     // While the resume probe is pending the recovered primary stays silent:
     // a heartbeat would fence an in-progress failover *around* the
@@ -1423,7 +1443,7 @@ void ReplicationEngine::add_detector(std::unique_ptr<FailureDetector> detector) 
 }
 
 void ReplicationEngine::watchdog_check() {
-  if (stats_.failed_over) return;
+  if (stats_.failed_over || drained_) return;
   if (secondary_.alive() && seeded_ && !failover_in_progress_ &&
       !probe_in_flight_) {
     if (sim_.now() - last_heartbeat_rx_ > config_.heartbeat_timeout &&
@@ -1506,13 +1526,14 @@ void ReplicationEngine::finish_probe() {
 }
 
 void ReplicationEngine::trigger_failover(const std::string& reason) {
-  if (!failover_in_progress_ && !stats_.failed_over) {
+  if (!failover_in_progress_ && !stats_.failed_over && !drained_) {
     begin_failover(reason, /*fence_on_heartbeat=*/false);
   }
 }
 
 void ReplicationEngine::begin_failover(const std::string& reason,
                                        bool fence_on_heartbeat) {
+  if (drained_) return;
   if (!staging_ || !staging_->has_committed()) {
     HERE_LOG(kWarn, "failover requested (%s) but no committed checkpoint",
              reason.c_str());
@@ -1672,9 +1693,49 @@ void ReplicationEngine::inject_migrator_stall(sim::Duration stall) {
                   "migrator threads stalled by fault injection");
 }
 
+void ReplicationEngine::drain(const std::string& reason) {
+  if (drained_) return;
+  drained_ = true;
+  // Everything this generation ever scheduled is cancelled; a drained
+  // engine is inert except for reads.
+  sim_.cancel(checkpoint_event_);
+  sim_.cancel(checkpoint_finish_event_);
+  sim_.cancel(heartbeat_event_);
+  sim_.cancel(watchdog_event_);
+  sim_.cancel(seed_deadline_event_);
+  sim_.cancel(seed_retry_event_);
+  sim_.cancel(probe_event_);
+  sim_.cancel(failover_activate_event_);
+  sim_.cancel(scrub_event_);
+  sim_.cancel(secondary_reboot_event_);
+  sim_.cancel(resume_probe_event_);
+  seeder_.reset();
+  failover_in_progress_ = false;
+  fencing_armed_ = false;
+  probe_in_flight_ = false;
+  // A drain can land mid-epoch (guest paused for capture): fold the capture
+  // back into the running epoch — the successor re-ships those pages — and
+  // let the guest run again.
+  if (staging_) abort_staged_epoch();
+  restore_aborted_epoch();
+  if (vm_ != nullptr && primary_.alive() && !resume_probe_pending_ &&
+      vm_->state() == hv::VmState::kPaused) {
+    primary_.hypervisor().resume(*vm_);
+  }
+  // Unreleased output belongs to epochs that will never commit through this
+  // engine. Dropping it is the same output-commit call failover makes: a
+  // never-released packet was never client-visible.
+  stats_.packets_dropped_at_drain += outbound_.drop_all();
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(sim_.now(), "engine.drain", "engine",
+                            {{"reason", reason}});
+  }
+  HERE_LOG(kInfo, "engine: generation drained (%s)", reason.c_str());
+}
+
 void ReplicationEngine::inject_secondary_crash(sim::Duration reboot_after) {
   if (vm_ == nullptr || !seeded_ || stats_.failed_over ||
-      failover_in_progress_ || secondary_down_) {
+      failover_in_progress_ || secondary_down_ || drained_) {
     return;
   }
   if (reboot_after < sim::Duration::zero()) reboot_after = sim::Duration{};
@@ -1708,7 +1769,10 @@ void ReplicationEngine::inject_secondary_crash(sim::Duration reboot_after) {
 }
 
 void ReplicationEngine::on_secondary_rebooted() {
-  if (vm_ == nullptr || stats_.failed_over || failover_in_progress_) return;
+  if (vm_ == nullptr || stats_.failed_over || failover_in_progress_ ||
+      drained_) {
+    return;
+  }
   secondary_down_ = false;
   staging_ = std::make_unique<ReplicaStaging>(vm_->spec(), threads());
   staging_->set_advertised_wire_version(config_.replica_max_wire_version);
@@ -1857,7 +1921,8 @@ void ReplicationEngine::on_secondary_rebooted() {
 // --- Recovered-primary arbitration (ReHype microreboot race) -------------------
 
 void ReplicationEngine::on_primary_recovered() {
-  if (vm_ == nullptr || primary_demoted_ || resume_probe_pending_ || !seeded_) {
+  if (vm_ == nullptr || primary_demoted_ || resume_probe_pending_ ||
+      !seeded_ || drained_) {
     return;
   }
   if (stats_.failed_over) {
@@ -1921,6 +1986,9 @@ void ReplicationEngine::send_resume_probe() {
 
 void ReplicationEngine::on_resume_probe(const net::Packet& packet) {
   if (secondary_down_) return;  // replication process dead; probe retries
+  // A drained generation no longer speaks for this VM: the successor engine
+  // (same probe token) answers the arbitration instead.
+  if (drained_) return;
   // Linearization point: this handler runs atomically on the event queue, so
   // the verdict below is consistent with any failover armed or completed.
   // Once activation happened the answer is deny — forever; before it, the

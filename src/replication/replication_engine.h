@@ -248,6 +248,10 @@ struct EngineStats {
   // failover process to the replica VM running.
   sim::Duration resumption_time{};
   std::uint64_t packets_dropped_at_failover = 0;
+  // Unreleased output discarded when the generation was drained (replica
+  // re-placement); such packets were never client-visible, so dropping them
+  // preserves output commit.
+  std::uint64_t packets_dropped_at_drain = 0;
   // Memory digests captured at the instant of replica activation (the
   // replica image must equal the committed checkpoint byte-for-byte).
   std::uint64_t replica_digest_at_activation = 0;
@@ -319,6 +323,20 @@ class ReplicationEngine {
   // No-ops without a durable store.
   void inject_wal_torn_write(std::uint64_t bytes);
   void inject_wal_truncation(std::uint64_t bytes);
+
+  // Retires this engine generation in place so a successor can take over the
+  // same (still-running) primary VM toward a different secondary — the
+  // drain -> re-place -> delta-reseed path of fleet placement. Every
+  // scheduled event is cancelled, an in-flight seed or epoch capture is
+  // abandoned (the guest resumes if the drain landed mid-pause), and
+  // unreleased buffered output is dropped (never-released output was never
+  // client-visible, so output commit holds; counted in
+  // stats().packets_dropped_at_drain). The replica staging, durable store
+  // and stats stay readable; heartbeats, watchdogs, failovers, rejoins and
+  // resume-probe arbitration are permanently disabled. The successor's
+  // start_protection re-points the guest tx hook at itself. Idempotent.
+  void drain(const std::string& reason);
+  [[nodiscard]] bool drained() const { return drained_; }
 
   // True between a secondary reboot and the first post-rejoin commit.
   [[nodiscard]] bool rejoining() const { return rejoining_; }
@@ -516,6 +534,7 @@ class ReplicationEngine {
   // which regions the recovered image is missing.
   bool rejoining_ = false;
   bool secondary_down_ = false;
+  bool drained_ = false;
   sim::TimePoint secondary_crashed_at_{};
   std::vector<std::uint64_t> committed_digest_mirror_;
 

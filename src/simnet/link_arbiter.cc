@@ -106,6 +106,15 @@ void LinkArbiter::prune(sim::TimePoint now) {
   std::erase_if(segments_, [now](const Segment& s) { return s.end <= now; });
 }
 
+double LinkArbiter::current_reserved_rate() const {
+  const sim::TimePoint now = sim_.now();
+  double sum = 0.0;
+  for (const Segment& s : segments_) {
+    if (s.start <= now && s.end > now) sum += s.rate;
+  }
+  return sum;
+}
+
 LinkArbiter::Reservation LinkArbiter::request(FlowId flow,
                                               std::uint64_t bytes) {
   if (flow >= flows_.size()) {

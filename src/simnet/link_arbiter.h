@@ -86,6 +86,10 @@ class LinkArbiter {
   [[nodiscard]] double peak_reserved_rate() const {
     return peak_reserved_rate_;
   }
+  // Aggregate rate reserved across all flows at this instant (also <=
+  // capacity). The placement rebalancer reads this as the link's current
+  // commitment, versus peak_reserved_rate()'s all-time high-water mark.
+  [[nodiscard]] double current_reserved_rate() const;
 
   // Observability (borrowed; either may be null, both must outlive the
   // arbiter). Per-request "arb.grant" instants plus net.arb.* counters and

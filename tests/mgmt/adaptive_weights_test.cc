@@ -1,0 +1,192 @@
+// Adaptive fabric-weight property test (`ctest -L mgmt`).
+//
+// FleetConfig::adaptive_weights raises an over-budget VM's fabric share and
+// lets comfortable VMs drift back toward min_weight. The property worth
+// pinning is *do no harm*: across 50 seeded fleets — same draws, one run
+// static, one adaptive — the adaptive run's worst-VM mean degradation never
+// exceeds the static run's by more than the stated bound (25% relative plus
+// one degradation point absolute, covering discretization of the weight
+// poll). Weights themselves must stay inside [min_weight, max_weight].
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kvmsim/kvm_hypervisor.h"
+#include "mgmt/protection_manager.h"
+#include "mgmt/virt.h"
+#include "sim/rng.h"
+#include "workload/synthetic.h"
+#include "xensim/xen_hypervisor.h"
+
+namespace here::mgmt {
+namespace {
+
+// Parameters drawn once per seed and replayed identically for both runs.
+struct FleetDraw {
+  std::size_t vm_count = 0;
+  std::vector<std::uint64_t> memory_bytes;
+  std::vector<double> load_percent;
+  std::vector<double> budget;
+
+  explicit FleetDraw(std::uint64_t seed) {
+    sim::Rng draw(seed);
+    vm_count = static_cast<std::size_t>(draw.uniform_range(2, 4));
+    for (std::size_t i = 0; i < vm_count; ++i) {
+      memory_bytes.push_back((4ULL << 20)
+                             << static_cast<unsigned>(draw.uniform(2)));
+      load_percent.push_back(draw.uniform_range(5, 20));
+      budget.push_back(0.05 + 0.1 * draw.uniform01());
+    }
+  }
+};
+
+struct RunResult {
+  double worst_degradation = 0.0;
+  double min_weight = 0.0;
+  double max_weight = 0.0;
+};
+
+RunResult run_fleet(std::uint64_t seed, const FleetDraw& draw,
+                    bool adaptive) {
+  sim::Simulation sim;
+  net::Fabric fabric{sim};
+  auto xen_hv = std::make_unique<xen::XenHypervisor>(
+      sim, sim::Rng(seed * 1000 + 1));
+  auto kvm_hv = std::make_unique<kvm::KvmHypervisor>(
+      sim, sim::Rng(seed * 1000 + 2));
+  hv::Host xen("xen", fabric, std::move(xen_hv));
+  hv::Host kvm("kvm", fabric, std::move(kvm_hv));
+
+  rep::ReplicationConfig defaults;
+  defaults.period.t_max = sim::from_millis(500);
+  ProtectionManager manager(sim, fabric, defaults);
+  manager.add_host(xen);
+  manager.add_host(kvm);
+
+  ProtectionManager::FleetConfig fleet_config;
+  // Tight enough that the flows contend and the weight loop has a signal.
+  fleet_config.link_bytes_per_second = 25e6 / 8.0;
+  fleet_config.adaptive_weights = adaptive;
+  fleet_config.weight_poll = sim::from_millis(250);
+  manager.enable_fleet_scheduling(fleet_config);
+
+  VirtConnection conn(xen);
+  std::vector<rep::ReplicationEngine*> engines;
+  for (std::size_t i = 0; i < draw.vm_count; ++i) {
+    DomainConfig domain;
+    domain.name = "vm" + std::to_string(i);
+    domain.memory_bytes = draw.memory_bytes[i];
+    hv::Vm& vm = *conn.create_domain(domain).value();
+    vm.attach_program(std::make_unique<wl::SyntheticProgram>(
+        wl::memory_microbench(draw.load_percent[i])));
+    ProtectionManager::VmPolicy policy;
+    policy.target_degradation = draw.budget[i];
+    policy.t_max = sim::from_millis(500);
+    Expected<rep::ReplicationEngine*> engine = manager.protect(vm, xen, policy);
+    EXPECT_TRUE(engine.ok()) << engine.status().to_string();
+    engines.push_back(engine.value());
+  }
+
+  const sim::TimePoint deadline = sim.now() + sim::from_seconds(600);
+  while (sim.now() < deadline &&
+         !std::ranges::all_of(engines,
+                              [](auto* e) { return e->seeded(); })) {
+    sim.run_for(sim::from_millis(50));
+  }
+  sim.run_for(sim::from_seconds(4));
+
+  RunResult r;
+  r.min_weight = fleet_config.max_weight;
+  const ProtectionManager::FleetReport report = manager.fleet_report();
+  for (const auto& vm : report.vms) {
+    r.worst_degradation = std::max(r.worst_degradation, vm.mean_degradation);
+    r.min_weight = std::min(r.min_weight, vm.weight);
+    r.max_weight = std::max(r.max_weight, vm.weight);
+  }
+  return r;
+}
+
+TEST(AdaptiveWeights, NeverDegradesWorstVmBeyondBoundAcrossFiftySeeds) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const FleetDraw draw(seed);
+    const RunResult fixed = run_fleet(seed, draw, /*adaptive=*/false);
+    const RunResult adaptive = run_fleet(seed, draw, /*adaptive=*/true);
+
+    // Do no harm: the stated bound is 25% relative + 0.01 absolute.
+    EXPECT_LE(adaptive.worst_degradation,
+              fixed.worst_degradation * 1.25 + 0.01)
+        << "adaptive worst " << adaptive.worst_degradation << " vs static "
+        << fixed.worst_degradation;
+
+    // Weights clamp to the configured band; the static run never moves off
+    // its policy weight.
+    ProtectionManager::FleetConfig defaults_config;
+    EXPECT_GE(adaptive.min_weight, defaults_config.min_weight - 1e-9);
+    EXPECT_LE(adaptive.max_weight, defaults_config.max_weight + 1e-9);
+    EXPECT_DOUBLE_EQ(fixed.min_weight, 1.0);
+    EXPECT_DOUBLE_EQ(fixed.max_weight, 1.0);
+
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// The loop reacts: with one deliberately over-budget VM contending against
+// neighbours, the adaptive run raises its weight above the floor.
+TEST(AdaptiveWeights, OverBudgetVmGainsFabricShare) {
+  sim::Simulation sim;
+  net::Fabric fabric{sim};
+  auto xen_hv = std::make_unique<xen::XenHypervisor>(sim, sim::Rng(7));
+  auto kvm_hv = std::make_unique<kvm::KvmHypervisor>(sim, sim::Rng(8));
+  hv::Host xen("xen", fabric, std::move(xen_hv));
+  hv::Host kvm("kvm", fabric, std::move(kvm_hv));
+
+  rep::ReplicationConfig defaults;
+  defaults.period.t_max = sim::from_millis(500);
+  ProtectionManager manager(sim, fabric, defaults);
+  manager.add_host(xen);
+  manager.add_host(kvm);
+  ProtectionManager::FleetConfig fleet_config;
+  fleet_config.link_bytes_per_second = 25e6 / 8.0;
+  fleet_config.adaptive_weights = true;
+  fleet_config.weight_poll = sim::from_millis(250);
+  manager.enable_fleet_scheduling(fleet_config);
+
+  VirtConnection conn(xen);
+  std::vector<rep::ReplicationEngine*> engines;
+  for (int i = 0; i < 3; ++i) {
+    DomainConfig domain;
+    domain.name = "vm" + std::to_string(i);
+    domain.memory_bytes = 8ULL << 20;
+    hv::Vm& vm = *conn.create_domain(domain).value();
+    // vm0 writes hard against a near-zero budget: permanently over budget.
+    vm.attach_program(std::make_unique<wl::SyntheticProgram>(
+        wl::memory_microbench(i == 0 ? 25.0 : 8.0)));
+    ProtectionManager::VmPolicy policy;
+    policy.target_degradation = i == 0 ? 0.005 : 0.2;
+    policy.t_max = sim::from_millis(500);
+    engines.push_back(manager.protect(vm, xen, policy).value());
+  }
+  const sim::TimePoint deadline = sim.now() + sim::from_seconds(600);
+  while (sim.now() < deadline &&
+         !std::ranges::all_of(engines,
+                              [](auto* e) { return e->seeded(); })) {
+    sim.run_for(sim::from_millis(50));
+  }
+  sim.run_for(sim::from_seconds(4));
+
+  const ProtectionManager::FleetReport report = manager.fleet_report();
+  ASSERT_EQ(report.vms.size(), 3u);
+  EXPECT_GT(report.vms[0].weight, 1.0);
+  EXPECT_LE(report.vms[0].weight, fleet_config.max_weight + 1e-9);
+  for (const auto& vm : report.vms) {
+    EXPECT_GE(vm.weight, fleet_config.min_weight - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace here::mgmt

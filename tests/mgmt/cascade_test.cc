@@ -271,6 +271,97 @@ TEST(RestoreToEpoch, ReplaysTheStoreToABoundedEpoch) {
   EXPECT_EQ((*zero).wal_records_replayed, 0u);
 }
 
+// A bound the store rotated past is a typed error at the *manager* level
+// too, and probing for it must not perturb the live protection.
+TEST(RestoreToEpoch, RotatedPastBoundIsTypedAndLeavesProtectionLive) {
+  Fleet fleet;
+  hv::Host& xen1 = fleet.add("xen1", hv::HvKind::kXen);
+  hv::Host& kvm1 = fleet.add("kvm1", hv::HvKind::kKvm);
+  ProtectionManager manager(fleet.sim, fleet.fabric, fast_engine());
+  manager.add_host(xen1);
+  manager.add_host(kvm1);
+  // Aggressive rotation: the WAL is clipped every few epochs, so early
+  // epochs' bytes genuinely no longer exist.
+  rep::DurableStoreConfig durable;
+  durable.snapshot_interval_epochs = 3;
+  manager.enable_durable_replicas(durable);
+
+  VirtConnection conn(xen1);
+  DomainConfig config;
+  config.name = "svc";
+  config.memory_bytes = 16ULL << 20;
+  hv::Vm& vm = *conn.create_domain(config).value();
+  vm.attach_program(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(15)));
+  ASSERT_TRUE(manager.protect(vm, xen1).ok());
+  ProtectionManager::Protection* protection = manager.find("svc");
+  ASSERT_TRUE(fleet.run_until(
+      [&] {
+        return protection->engine().staging()->committed_epoch() >= 10;
+      },
+      600));
+
+  // Epoch 1 predates the current snapshot base: typed refusal, not a crash
+  // and not a silent nearest-epoch answer.
+  const Expected<ProtectionManager::RestoreReport> gone =
+      manager.restore_to_epoch("svc", 1);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kFailedPrecondition);
+
+  // The failed probe left the live protection alone: same engine, still
+  // committing, and a fresh unbounded restore still matches the replica.
+  const std::uint64_t committed =
+      protection->engine().staging()->committed_epoch();
+  fleet.sim.run_for(sim::from_seconds(2));
+  EXPECT_GT(protection->engine().staging()->committed_epoch(), committed);
+  const Expected<ProtectionManager::RestoreReport> now =
+      manager.restore_to_epoch("svc", ~0ULL);
+  ASSERT_TRUE(now.ok()) << now.status().to_string();
+  EXPECT_EQ((*now).memory_digest,
+            protection->engine().staging()->memory().full_digest());
+}
+
+// A torn write on the WAL tail: restore degrades to the valid prefix — a
+// strictly earlier epoch, never garbage, and still a successful replay.
+TEST(RestoreToEpoch, DamagedTailRestoresTheValidPrefix) {
+  Fleet fleet;
+  hv::Host& xen1 = fleet.add("xen1", hv::HvKind::kXen);
+  hv::Host& kvm1 = fleet.add("kvm1", hv::HvKind::kKvm);
+  ProtectionManager manager(fleet.sim, fleet.fabric, fast_engine());
+  manager.add_host(xen1);
+  manager.add_host(kvm1);
+  rep::DurableStoreConfig durable;
+  durable.snapshot_interval_epochs = 1000;  // keep the whole WAL around
+  manager.enable_durable_replicas(durable);
+
+  VirtConnection conn(xen1);
+  DomainConfig config;
+  config.name = "svc";
+  config.memory_bytes = 16ULL << 20;
+  hv::Vm& vm = *conn.create_domain(config).value();
+  vm.attach_program(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(15)));
+  ASSERT_TRUE(manager.protect(vm, xen1).ok());
+  ProtectionManager::Protection* protection = manager.find("svc");
+  ASSERT_TRUE(fleet.run_until(
+      [&] {
+        return protection->engine().staging()->committed_epoch() >= 6;
+      },
+      600));
+
+  const std::uint64_t committed =
+      protection->engine().staging()->committed_epoch();
+  rep::DurableStore* store = protection->store();
+  ASSERT_NE(store, nullptr);
+  store->damage_wal_tail(64);
+
+  const Expected<ProtectionManager::RestoreReport> prefix =
+      manager.restore_to_epoch("svc", ~0ULL);
+  ASSERT_TRUE(prefix.ok()) << prefix.status().to_string();
+  EXPECT_LT((*prefix).restored_epoch, committed);
+  EXPECT_GT((*prefix).pages_restored, 0u);
+}
+
 TEST(RestoreToEpoch, RequiresADurableStore) {
   Fleet fleet;
   hv::Host& xen1 = fleet.add("xen1", hv::HvKind::kXen);

@@ -1,0 +1,259 @@
+// Membership state-machine battery (`ctest -L placement`).
+//
+// The MembershipManager's probe/ack loop must classify every failure mode
+// the same way (crash, hang, microreboot: the ack does not come back), fire
+// each callback exactly once per transition, and take the two-step
+// kDown -> kJoining -> kUp path on re-admission so a flapping host cannot
+// bounce straight back onto the ring. All transitions happen at round
+// boundaries in track order — the tests pin the cadence as well as the
+// states.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kvmsim/kvm_hypervisor.h"
+#include "mgmt/membership.h"
+#include "sim/rng.h"
+#include "xensim/xen_hypervisor.h"
+
+namespace here::mgmt {
+namespace {
+
+struct MembershipFleet {
+  sim::Simulation sim;
+  net::Fabric fabric{sim};
+  std::vector<std::unique_ptr<hv::Host>> hosts;
+
+  hv::Host& add(const std::string& name, hv::HvKind kind,
+                std::uint64_t stream) {
+    std::unique_ptr<hv::Hypervisor> hypervisor;
+    if (kind == hv::HvKind::kXen) {
+      hypervisor = std::make_unique<xen::XenHypervisor>(sim, sim::Rng(stream));
+    } else {
+      hypervisor = std::make_unique<kvm::KvmHypervisor>(sim, sim::Rng(stream));
+    }
+    hosts.push_back(
+        std::make_unique<hv::Host>(name, fabric, std::move(hypervisor)));
+    return *hosts.back();
+  }
+
+  bool run_until(const std::function<bool()>& cond, double limit_s) {
+    const sim::TimePoint deadline = sim.now() + sim::from_seconds(limit_s);
+    while (sim.now() < deadline && !cond()) sim.run_for(sim::from_millis(25));
+    return cond();
+  }
+};
+
+struct CallbackLog {
+  std::vector<std::string> suspected;
+  std::vector<std::string> downed;
+  std::vector<std::string> admitted;
+
+  [[nodiscard]] MembershipManager::Callbacks callbacks() {
+    return {
+        .on_suspect = [this](hv::Host& h) { suspected.push_back(h.name()); },
+        .on_down = [this](hv::Host& h) { downed.push_back(h.name()); },
+        .on_admitted = [this](hv::Host& h) { admitted.push_back(h.name()); },
+    };
+  }
+};
+
+TEST(Membership, HostsAreAdmittedAfterTheirFirstAckedRound) {
+  MembershipFleet fleet;
+  hv::Host& xen = fleet.add("xen", hv::HvKind::kXen, 1);
+  hv::Host& kvm = fleet.add("kvm", hv::HvKind::kKvm, 2);
+
+  MembershipManager membership(fleet.sim, fleet.fabric, {});
+  CallbackLog log;
+  membership.set_callbacks(log.callbacks());
+  membership.track(xen);
+  membership.track(kvm);
+  EXPECT_EQ(membership.state(xen), HostState::kJoining);
+  EXPECT_FALSE(membership.placeable(xen));
+
+  membership.start();
+  ASSERT_TRUE(fleet.run_until(
+      [&] { return membership.placeable(xen) && membership.placeable(kvm); },
+      2.0));
+  EXPECT_EQ(log.admitted, (std::vector<std::string>{"xen", "kvm"}));
+  EXPECT_TRUE(log.suspected.empty());
+  EXPECT_TRUE(log.downed.empty());
+  EXPECT_GE(membership.rounds(), 2u);
+
+  for (const MembershipManager::Row& row : membership.table()) {
+    EXPECT_EQ(row.state, HostState::kUp) << row.host;
+    EXPECT_EQ(row.transitions, 1u) << row.host;  // kJoining -> kUp, once
+    EXPECT_GT(row.acks, 0u) << row.host;
+    EXPECT_GE(row.probes, row.acks) << row.host;
+    EXPECT_EQ(row.misses, 0u) << row.host;
+  }
+}
+
+TEST(Membership, UntrackedHostReportsDown) {
+  MembershipFleet fleet;
+  hv::Host& xen = fleet.add("xen", hv::HvKind::kXen, 1);
+  MembershipManager membership(fleet.sim, fleet.fabric, {});
+  EXPECT_EQ(membership.state(xen), HostState::kDown);
+  EXPECT_FALSE(membership.placeable(xen));
+}
+
+// Crash: misses accumulate, kSuspect at suspect_after, kDown at down_after,
+// each callback exactly once; the survivor never wavers.
+TEST(Membership, CrashedHostDescendsSuspectThenDownExactlyOnce) {
+  MembershipFleet fleet;
+  hv::Host& xen = fleet.add("xen", hv::HvKind::kXen, 1);
+  hv::Host& kvm = fleet.add("kvm", hv::HvKind::kKvm, 2);
+
+  MembershipManager membership(fleet.sim, fleet.fabric, {});
+  CallbackLog log;
+  membership.set_callbacks(log.callbacks());
+  membership.track(xen);
+  membership.track(kvm);
+  membership.start();
+  ASSERT_TRUE(fleet.run_until(
+      [&] { return membership.placeable(xen) && membership.placeable(kvm); },
+      2.0));
+
+  xen.inject_fault(hv::FaultKind::kCrash);
+  ASSERT_TRUE(fleet.run_until(
+      [&] { return membership.state(xen) == HostState::kSuspect; }, 2.0));
+  EXPECT_EQ(log.suspected, (std::vector<std::string>{"xen"}));
+  EXPECT_TRUE(log.downed.empty());
+  EXPECT_FALSE(membership.placeable(xen));
+
+  ASSERT_TRUE(fleet.run_until(
+      [&] { return membership.state(xen) == HostState::kDown; }, 2.0));
+  EXPECT_EQ(log.downed, (std::vector<std::string>{"xen"}));
+  EXPECT_EQ(log.suspected.size(), 1u);
+
+  // A dead host only misses further rounds: no more callbacks, no flapping.
+  fleet.sim.run_for(sim::from_seconds(1));
+  EXPECT_EQ(log.downed.size(), 1u);
+  EXPECT_EQ(membership.state(xen), HostState::kDown);
+  EXPECT_EQ(membership.state(kvm), HostState::kUp);
+}
+
+// A hung hypervisor never runs its packet handlers — same signal, same path.
+TEST(Membership, HungHostFollowsTheSameDescent) {
+  MembershipFleet fleet;
+  hv::Host& xen = fleet.add("xen", hv::HvKind::kXen, 1);
+  hv::Host& kvm = fleet.add("kvm", hv::HvKind::kKvm, 2);
+
+  MembershipManager membership(fleet.sim, fleet.fabric, {});
+  CallbackLog log;
+  membership.set_callbacks(log.callbacks());
+  membership.track(xen);
+  membership.track(kvm);
+  membership.start();
+  ASSERT_TRUE(fleet.run_until([&] { return membership.placeable(kvm); }, 2.0));
+
+  kvm.inject_fault(hv::FaultKind::kHang);
+  ASSERT_TRUE(fleet.run_until(
+      [&] { return membership.state(kvm) == HostState::kDown; }, 2.0));
+  EXPECT_EQ(log.suspected, (std::vector<std::string>{"kvm"}));
+  EXPECT_EQ(log.downed, (std::vector<std::string>{"kvm"}));
+}
+
+// A microreboot shorter than the down threshold suspects the host but folds
+// it back to kUp on the first post-reboot ack — the recovered-in-time edge.
+TEST(Membership, ShortMicrorebootSuspectsButNeverDowns) {
+  MembershipFleet fleet;
+  hv::Host& xen = fleet.add("xen", hv::HvKind::kXen, 1);
+
+  MembershipManager::Config config;
+  config.suspect_after = 2;
+  config.down_after = 6;  // 600ms of misses before kDown
+  MembershipManager membership(fleet.sim, fleet.fabric, config);
+  CallbackLog log;
+  membership.set_callbacks(log.callbacks());
+  membership.track(xen);
+  membership.start();
+  ASSERT_TRUE(fleet.run_until([&] { return membership.placeable(xen); }, 2.0));
+
+  xen.inject_fault(hv::FaultKind::kCrash);
+  ASSERT_TRUE(xen.begin_microreboot(sim::from_millis(250)));
+  ASSERT_TRUE(fleet.run_until(
+      [&] { return membership.state(xen) == HostState::kSuspect; }, 2.0));
+  ASSERT_TRUE(fleet.run_until(
+      [&] { return membership.state(xen) == HostState::kUp; }, 2.0));
+  EXPECT_EQ(log.suspected, (std::vector<std::string>{"xen"}));
+  EXPECT_TRUE(log.downed.empty());
+  // kSuspect -> kUp is a recovery, not an admission: on_admitted fired only
+  // for the original kJoining -> kUp.
+  EXPECT_EQ(log.admitted, (std::vector<std::string>{"xen"}));
+}
+
+// Repair after kDown: one observed round (kJoining) before re-admission.
+TEST(Membership, RepairedHostRejoinsThroughJoining) {
+  MembershipFleet fleet;
+  hv::Host& xen = fleet.add("xen", hv::HvKind::kXen, 1);
+
+  MembershipManager membership(fleet.sim, fleet.fabric, {});
+  CallbackLog log;
+  membership.set_callbacks(log.callbacks());
+  membership.track(xen);
+  membership.start();
+  ASSERT_TRUE(fleet.run_until([&] { return membership.placeable(xen); }, 2.0));
+
+  xen.inject_fault(hv::FaultKind::kCrash);
+  ASSERT_TRUE(fleet.run_until(
+      [&] { return membership.state(xen) == HostState::kDown; }, 2.0));
+
+  xen.repair();
+  // First post-repair ack: kDown -> kJoining (observed, not yet trusted).
+  ASSERT_TRUE(fleet.run_until(
+      [&] { return membership.state(xen) == HostState::kJoining; }, 2.0));
+  EXPECT_FALSE(membership.placeable(xen));
+  // Next acked round: kJoining -> kUp, second admission.
+  ASSERT_TRUE(fleet.run_until(
+      [&] { return membership.state(xen) == HostState::kUp; }, 2.0));
+  EXPECT_EQ(log.admitted, (std::vector<std::string>{"xen", "xen"}));
+  EXPECT_EQ(log.downed.size(), 1u);
+}
+
+TEST(Membership, StopFreezesProbingAndClassification) {
+  MembershipFleet fleet;
+  hv::Host& xen = fleet.add("xen", hv::HvKind::kXen, 1);
+
+  MembershipManager membership(fleet.sim, fleet.fabric, {});
+  membership.track(xen);
+  membership.start();
+  ASSERT_TRUE(fleet.run_until([&] { return membership.placeable(xen); }, 2.0));
+
+  membership.stop();
+  const std::uint64_t rounds = membership.rounds();
+  xen.inject_fault(hv::FaultKind::kCrash);
+  fleet.sim.run_for(sim::from_seconds(2));
+  // No rounds close, so the crash is never observed: the table freezes.
+  EXPECT_EQ(membership.rounds(), rounds);
+  EXPECT_EQ(membership.state(xen), HostState::kUp);
+}
+
+// Acks tagged with an older round never count: with the management-link
+// latency above the probe interval every ack arrives one round late, and the
+// host — although perfectly alive — is never admitted. This pins the
+// stale-ack discipline (a delayed ack cannot mask a fresh miss).
+TEST(Membership, StaleAcksNeverCount) {
+  MembershipFleet fleet;
+  hv::Host& xen = fleet.add("xen", hv::HvKind::kXen, 1);
+
+  MembershipManager::Config config;
+  config.probe_interval = sim::from_millis(100);
+  config.probe_nic.latency = sim::from_millis(150);  // > probe_interval
+  MembershipManager membership(fleet.sim, fleet.fabric, config);
+  membership.track(xen);
+  membership.start();
+
+  fleet.sim.run_for(sim::from_seconds(2));
+  EXPECT_EQ(membership.state(xen), HostState::kJoining);
+  const std::vector<MembershipManager::Row> table = membership.table();
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table[0].acks, 0u);
+  EXPECT_GT(table[0].probes, 10u);
+}
+
+}  // namespace
+}  // namespace here::mgmt

@@ -1,0 +1,359 @@
+// Fleet-placement integration battery (`ctest -L placement`): the
+// ProtectionManager's ring + membership + rebalance wiring, end to end on
+// real engines.
+//
+//   F1  the placed fleet honours the ring's contract live: heterogeneous
+//       pairs, per-role loads under the bounded-load cap, everything seeded;
+//   F2  a crashed secondary host is declared down, drained off the ring and
+//       its replicas re-placed onto survivors while unrelated VMs keep
+//       committing;
+//   F3  the repaired host is re-admitted, the drift rebalancer folds
+//       replicas back onto it, and the surviving durable store turns the
+//       re-seed into a digest-diff delta whose replica is digest-identical
+//       at the next activation;
+//   F4  rehome_secondary rejects bad targets with typed Statuses;
+//   F5  a 100-VM placed fleet is deterministic: two identical runs produce
+//       byte-identical fleet reports and identical assignments.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kvmsim/kvm_hypervisor.h"
+#include "mgmt/protection_manager.h"
+#include "mgmt/virt.h"
+#include "sim/rng.h"
+#include "workload/synthetic.h"
+#include "xensim/xen_hypervisor.h"
+
+namespace here::mgmt {
+namespace {
+
+struct PlacedFleet {
+  sim::Simulation sim;
+  net::Fabric fabric{sim};
+  std::vector<std::unique_ptr<hv::Host>> hosts;
+  std::unique_ptr<ProtectionManager> manager;
+  std::vector<rep::ReplicationEngine*> engines;
+
+  // `host_pairs` hosts of each kind, all pooled; durable replicas plus
+  // fleet placement on.
+  explicit PlacedFleet(std::size_t host_pairs, bool durable = true) {
+    for (std::size_t i = 0; i < host_pairs; ++i) {
+      add("xen" + std::to_string(i), hv::HvKind::kXen, 10 + i);
+      add("kvm" + std::to_string(i), hv::HvKind::kKvm, 50 + i);
+    }
+    rep::ReplicationConfig defaults;
+    defaults.period.t_max = sim::from_millis(500);
+    manager = std::make_unique<ProtectionManager>(sim, fabric, defaults);
+    for (auto& host : hosts) manager->add_host(*host);
+    if (durable) manager->enable_durable_replicas();
+    manager->enable_fleet_placement();
+  }
+
+  hv::Host& add(const std::string& name, hv::HvKind kind,
+                std::uint64_t stream) {
+    std::unique_ptr<hv::Hypervisor> hypervisor;
+    if (kind == hv::HvKind::kXen) {
+      hypervisor = std::make_unique<xen::XenHypervisor>(sim, sim::Rng(stream));
+    } else {
+      hypervisor = std::make_unique<kvm::KvmHypervisor>(sim, sim::Rng(stream));
+    }
+    hosts.push_back(
+        std::make_unique<hv::Host>(name, fabric, std::move(hypervisor)));
+    return *hosts.back();
+  }
+
+  // Places and protects `n` small domains through the ring.
+  void spawn(std::size_t n, std::uint64_t memory_bytes = 2ULL << 20) {
+    for (std::size_t i = 0; i < n; ++i) {
+      DomainConfig domain;
+      domain.name = "vm" + std::to_string(i);
+      domain.memory_bytes = memory_bytes;
+      hv::Vm& vm = *manager->create_placed_domain(domain).value();
+      vm.attach_program(std::make_unique<wl::SyntheticProgram>(
+          wl::memory_microbench(5.0 + 2.0 * static_cast<double>(i % 5))));
+      Expected<rep::ReplicationEngine*> engine = manager->protect_placed(vm);
+      ASSERT_TRUE(engine.ok()) << engine.status().to_string();
+      engines.push_back(engine.value());
+    }
+  }
+
+  bool run_until(const std::function<bool()>& cond, double limit_s) {
+    const sim::TimePoint deadline = sim.now() + sim::from_seconds(limit_s);
+    while (sim.now() < deadline && !cond()) sim.run_for(sim::from_millis(50));
+    return cond();
+  }
+
+  bool all_seeded() {
+    return std::ranges::all_of(
+        manager->protections(),
+        [](const auto& p) { return p->engine().seeded(); });
+  }
+};
+
+TEST(PlacementFleet, PlacedApisRequirePlacementEnabled) {
+  sim::Simulation sim;
+  net::Fabric fabric{sim};
+  auto hypervisor = std::make_unique<xen::XenHypervisor>(sim, sim::Rng(1));
+  hv::Host host("xen", fabric, std::move(hypervisor));
+  ProtectionManager manager(sim, fabric, {});
+  manager.add_host(host);
+
+  DomainConfig domain;
+  EXPECT_EQ(manager.create_placed_domain(domain).status().code(),
+            StatusCode::kFailedPrecondition);
+  VirtConnection conn(host);
+  hv::Vm& vm = *conn.create_domain(domain).value();
+  EXPECT_EQ(manager.protect_placed(vm).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(manager.placement_ring(), nullptr);
+  EXPECT_EQ(manager.membership(), nullptr);
+}
+
+// F1: live fleet honours the ring contract.
+TEST(PlacementFleet, PlacedFleetIsHeterogeneousBalancedAndSeeded) {
+  PlacedFleet fleet(2);  // 2 xen + 2 kvm
+  fleet.spawn(12);
+  ASSERT_TRUE(fleet.run_until([&] { return fleet.all_seeded(); }, 120));
+
+  const std::size_t cap = fleet.manager->placement_ring()->load_cap(12);
+  EXPECT_EQ(cap, 4u);  // ceil(1.15 * 12 / 4)
+  for (auto& host : fleet.hosts) {
+    std::size_t primaries = 0;
+    std::size_t secondaries = 0;
+    for (const auto& p : fleet.manager->protections()) {
+      if (p->primary == host.get()) ++primaries;
+      if (p->secondary == host.get()) ++secondaries;
+    }
+    EXPECT_LE(secondaries, cap) << host->name();
+  }
+  for (const auto& p : fleet.manager->protections()) {
+    EXPECT_NE(p->primary->hypervisor().kind(),
+              p->secondary->hypervisor().kind())
+        << p->domain;
+    EXPECT_NE(p->primary, p->secondary);
+  }
+  // The membership prober confirmed every pool host.
+  for (auto& host : fleet.hosts) {
+    EXPECT_TRUE(fleet.manager->membership()->placeable(*host))
+        << host->name();
+  }
+}
+
+// F2 + F3: crash -> drain -> re-place, then repair -> re-admit -> drift back
+// with a delta re-seed that is digest-identical at activation.
+TEST(PlacementFleet, CrashedSecondaryIsReplacedAndRepairedHostDeltaRejoins) {
+  PlacedFleet fleet(2);
+  fleet.spawn(8);
+  ASSERT_TRUE(fleet.run_until([&] { return fleet.all_seeded(); }, 120));
+  fleet.sim.run_for(sim::from_seconds(2));  // land some epochs
+
+  // Crash the host serving vm0's replica.
+  ProtectionManager::Protection* target = fleet.manager->find("vm0");
+  ASSERT_NE(target, nullptr);
+  hv::Host* crashed = target->secondary;
+  const std::uint32_t generation_before = target->generation;
+  // Domains whose pair touches the dying host get new engines on re-place;
+  // only the rest must provably keep committing through the outage.
+  std::vector<std::string> unrelated;
+  for (const auto& p : fleet.manager->protections()) {
+    if (p->primary != crashed && p->secondary != crashed) {
+      unrelated.push_back(p->domain);
+    }
+  }
+  crashed->inject_fault(hv::FaultKind::kCrash);
+
+  // Membership declares it down; every replica it held is re-placed onto a
+  // live heterogeneous survivor (unless its own primary failed over).
+  ASSERT_TRUE(fleet.run_until(
+      [&] {
+        return fleet.manager->membership()->state(*crashed) ==
+               HostState::kDown;
+      },
+      30));
+  ASSERT_TRUE(fleet.run_until(
+      [&] {
+        for (const auto& p : fleet.manager->protections()) {
+          if (p->engine().failed_over() || p->engine().failover_in_progress())
+            continue;
+          if (p->secondary == crashed || !p->engine().seeded()) return false;
+        }
+        return true;
+      },
+      60));
+  EXPECT_FALSE(fleet.manager->placement_ring()->contains(*crashed));
+  EXPECT_GE(fleet.manager->placement_repairs(), 1u);
+  EXPECT_GT(target->generation, generation_before);
+  EXPECT_NE(target->secondary, crashed);
+  EXPECT_NE(target->primary->hypervisor().kind(),
+            target->secondary->hypervisor().kind());
+
+  // Unrelated protections kept committing throughout.
+  for (const auto& p : fleet.manager->protections()) {
+    if (std::ranges::find(unrelated, p->domain) == unrelated.end()) continue;
+    if (p->engine().failed_over()) continue;
+    EXPECT_FALSE(p->engine().stats().checkpoints.empty()) << p->domain;
+  }
+
+  // Repair: the prober re-admits through kJoining, the ring regains the
+  // host, and the drift pass folds replicas back onto it under the budget.
+  crashed->repair();
+  ASSERT_TRUE(fleet.run_until(
+      [&] { return fleet.manager->membership()->placeable(*crashed); }, 30));
+  EXPECT_TRUE(fleet.manager->placement_ring()->contains(*crashed));
+  ASSERT_TRUE(fleet.run_until(
+      [&] {
+        for (const auto& p : fleet.manager->protections()) {
+          if (p->secondary == crashed && p->engine().seeded()) return true;
+        }
+        return false;
+      },
+      60))
+      << "drift never moved a replica back onto the repaired host";
+
+  // The repaired host kept its durable stores: at least one replica that
+  // drifted back re-seeded as a digest-diff delta, not a full copy.
+  ProtectionManager::Protection* returned = nullptr;
+  for (const auto& p : fleet.manager->protections()) {
+    if (p->secondary == crashed && p->engine().seeded() &&
+        p->engine().stats().delta_seeds > 0) {
+      returned = p.get();
+      break;
+    }
+  }
+  ASSERT_NE(returned, nullptr) << "no drifted replica used the delta path";
+
+  // End-to-end proof the delta-re-seeded replica converged: fail its
+  // primary over and require the activation digests to match.
+  fleet.sim.run_for(sim::from_seconds(1));
+  returned->primary->inject_fault(hv::FaultKind::kCrash);
+  rep::ReplicationEngine& engine = returned->engine();
+  ASSERT_TRUE(fleet.run_until([&] { return engine.failed_over(); }, 60));
+  EXPECT_EQ(engine.stats().replica_digest_at_activation,
+            engine.stats().committed_digest_at_activation);
+  EXPECT_EQ(engine.stats().replica_disk_digest_at_activation,
+            engine.stats().committed_disk_digest_at_activation);
+}
+
+// F4: typed rejection of bad rehome targets.
+TEST(PlacementFleet, RehomeSecondaryRejectsBadTargetsWithTypedStatuses) {
+  PlacedFleet fleet(2);
+  fleet.spawn(2);
+  ASSERT_TRUE(fleet.run_until([&] { return fleet.all_seeded(); }, 120));
+
+  ProtectionManager::Protection* p = fleet.manager->find("vm0");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(fleet.manager->rehome_secondary("nope", *p->secondary).code(),
+            StatusCode::kNotFound);
+  // Already there (and not drained): invalid.
+  EXPECT_EQ(fleet.manager->rehome_secondary("vm0", *p->secondary).code(),
+            StatusCode::kInvalidArgument);
+  // Same kind as the primary: heterogeneity is non-negotiable.
+  hv::Host* same_kind = nullptr;
+  for (auto& host : fleet.hosts) {
+    if (host.get() != p->primary &&
+        host->hypervisor().kind() == p->primary->hypervisor().kind()) {
+      same_kind = host.get();
+    }
+  }
+  ASSERT_NE(same_kind, nullptr);
+  EXPECT_EQ(fleet.manager->rehome_secondary("vm0", *same_kind).code(),
+            StatusCode::kFailedPrecondition);
+  // A host the manager never pooled: invalid.
+  hv::Host& outsider = fleet.add("outsider", hv::HvKind::kKvm, 99);
+  EXPECT_EQ(fleet.manager->rehome_secondary("vm0", outsider).code(),
+            StatusCode::kInvalidArgument);
+
+  // And the happy path: the other heterogeneous host takes the replica,
+  // bumping the generation.
+  hv::Host* other = nullptr;
+  for (auto& host : fleet.hosts) {
+    if (host.get() != p->secondary && host.get() != &outsider &&
+        host->hypervisor().kind() != p->primary->hypervisor().kind()) {
+      other = host.get();
+    }
+  }
+  ASSERT_NE(other, nullptr);
+  const std::uint32_t generation_before = p->generation;
+  ASSERT_TRUE(fleet.manager->rehome_secondary("vm0", *other).ok());
+  EXPECT_EQ(p->secondary, other);
+  EXPECT_EQ(p->generation, generation_before + 1);
+  EXPECT_GE(fleet.manager->replica_moves(), 1u);
+  ASSERT_TRUE(
+      fleet.run_until([&] { return p->engine().seeded(); }, 120));
+}
+
+// --- F5: 100-VM determinism -------------------------------------------------------
+
+[[nodiscard]] std::string serialize_report(
+    const ProtectionManager::FleetReport& report,
+    const std::vector<std::unique_ptr<ProtectionManager::Protection>>& protections) {
+  std::string out;
+  char buf[256];
+  for (const auto& vm : report.vms) {
+    std::snprintf(buf, sizeof buf, "%s g%u b%.6g d%.6g e%llu w%llu q%lld f%.6g\n",
+                  vm.domain.c_str(), vm.generation, vm.budget,
+                  vm.mean_degradation,
+                  static_cast<unsigned long long>(vm.epochs),
+                  static_cast<unsigned long long>(vm.wire_bytes),
+                  static_cast<long long>(vm.queueing.count()), vm.weight);
+    out += buf;
+  }
+  for (const auto& row : report.reprotect_mttr) {
+    std::snprintf(buf, sizeof buf, "mttr %s g%u %lld %d\n", row.domain.c_str(),
+                  row.generation, static_cast<long long>(row.mttr.count()),
+                  row.complete ? 1 : 0);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "cap %.6g peak %.6g wire %llu\n",
+                report.link_capacity_bytes_per_s,
+                report.peak_reserved_bytes_per_s,
+                static_cast<unsigned long long>(report.total_wire_bytes));
+  out += buf;
+  for (const auto& p : protections) {
+    out += p->domain + " " + p->primary->name() + " -> " +
+           p->secondary->name() + "\n";
+  }
+  return out;
+}
+
+// One full 100-VM placed-fleet run; returns the serialized report.
+[[nodiscard]] std::string hundred_vm_run() {
+  PlacedFleet fleet(4);  // 4 xen + 4 kvm
+  fleet.spawn(100);
+  EXPECT_TRUE(fleet.run_until([&] { return fleet.all_seeded(); }, 300));
+  fleet.sim.run_for(sim::from_seconds(2));
+
+  // The headline invariants at paper scale, checked on the live fleet.
+  const std::size_t cap = fleet.manager->placement_ring()->load_cap(100);
+  EXPECT_EQ(cap, 15u);
+  for (auto& host : fleet.hosts) {
+    std::size_t secondaries = 0;
+    for (const auto& p : fleet.manager->protections()) {
+      if (p->secondary == host.get()) ++secondaries;
+    }
+    EXPECT_LE(secondaries, cap) << host->name();
+  }
+  for (const auto& p : fleet.manager->protections()) {
+    EXPECT_NE(p->primary->hypervisor().kind(),
+              p->secondary->hypervisor().kind())
+        << p->domain;
+  }
+  return serialize_report(fleet.manager->fleet_report(),
+                          fleet.manager->protections());
+}
+
+TEST(PlacementFleet, HundredVmFleetReportIsByteIdenticalAcrossRuns) {
+  const std::string first = hundred_vm_run();
+  const std::string second = hundred_vm_run();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace here::mgmt

@@ -1,0 +1,497 @@
+// Placement-ring property battery (ARCHITECTURE.md §11, `ctest -L placement`).
+//
+// The ring's contract is a set of *properties*, not examples:
+//
+//   R1  determinism — placement is a pure function of (domain, member set),
+//       independent of member insertion order;
+//   R2  heterogeneity — a returned pair never runs the same hypervisor kind,
+//       across 50 seeded fleets, for both the pure and bounded-load walks;
+//   R3  balance — at 100 VMs on 8 hosts the bounded-load walk keeps every
+//       per-role load under ceil(balance_factor * ideal), across 50 seeds;
+//   R4  minimal movement — membership changes move exactly the domains whose
+//       pair touched the changed host, nothing else;
+//   R5  weighting — capacity and kind weights skew keyspace shares
+//       proportionally;
+//   R6  rebalance planning — pure, budget-bounded, and it moves the hottest
+//       flow off a saturated link to a heterogeneous target.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kvmsim/kvm_hypervisor.h"
+#include "mgmt/placement.h"
+#include "sim/rng.h"
+#include "xensim/xen_hypervisor.h"
+
+namespace here::mgmt {
+namespace {
+
+struct RingFleet {
+  sim::Simulation sim;
+  net::Fabric fabric{sim};
+  std::vector<std::unique_ptr<hv::Host>> hosts;
+
+  hv::Host& add(const std::string& name, hv::HvKind kind,
+                std::uint64_t stream) {
+    std::unique_ptr<hv::Hypervisor> hypervisor;
+    if (kind == hv::HvKind::kXen) {
+      hypervisor = std::make_unique<xen::XenHypervisor>(sim, sim::Rng(stream));
+    } else {
+      hypervisor = std::make_unique<kvm::KvmHypervisor>(sim, sim::Rng(stream));
+    }
+    hosts.push_back(
+        std::make_unique<hv::Host>(name, fabric, std::move(hypervisor)));
+    return *hosts.back();
+  }
+
+  // `n` hosts alternating Xen/KVM: even index Xen, odd KVM.
+  void add_mixed(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool xen = i % 2 == 0;
+      add((xen ? "xen" : "kvm") + std::to_string(i / 2),
+          xen ? hv::HvKind::kXen : hv::HvKind::kKvm, 100 + i);
+    }
+  }
+};
+
+[[nodiscard]] hv::HvKind kind_of(const hv::Host* host) {
+  return host->hypervisor().kind();
+}
+
+TEST(PlacementRing, HashMatchesFnv1aReferenceVectors) {
+  // Published FNV-1a 64-bit vectors: the offset basis for "", and "a".
+  EXPECT_EQ(PlacementRing::hash_key(""), 14695981039346656037ull);
+  EXPECT_EQ(PlacementRing::hash_key("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_NE(PlacementRing::hash_key("vm1"), PlacementRing::hash_key("vm2"));
+}
+
+// R1: same member set, different insertion order -> identical placement.
+TEST(PlacementRing, PlacementIsDeterministicAndInsertionOrderIndependent) {
+  RingFleet fleet;
+  fleet.add_mixed(8);
+
+  PlacementRing forward;
+  for (auto& host : fleet.hosts) ASSERT_TRUE(forward.add_host(*host));
+  PlacementRing reverse;
+  for (auto it = fleet.hosts.rbegin(); it != fleet.hosts.rend(); ++it) {
+    ASSERT_TRUE(reverse.add_host(**it));
+  }
+
+  for (int i = 0; i < 100; ++i) {
+    const std::string domain = "vm" + std::to_string(i);
+    const Expected<PlacementRing::Pair> a = forward.place(domain);
+    const Expected<PlacementRing::Pair> b = reverse.place(domain);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().primary, b.value().primary) << domain;
+    EXPECT_EQ(a.value().secondary, b.value().secondary) << domain;
+  }
+}
+
+TEST(PlacementRing, PreferenceWalkIsAPermutationOfMembers) {
+  RingFleet fleet;
+  fleet.add_mixed(8);
+  PlacementRing ring;
+  for (auto& host : fleet.hosts) ring.add_host(*host);
+
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<hv::Host*> walk =
+        ring.preference("vm" + std::to_string(i), 8);
+    ASSERT_EQ(walk.size(), 8u);
+    std::vector<hv::Host*> sorted = walk;
+    std::ranges::sort(sorted);
+    EXPECT_EQ(std::ranges::adjacent_find(sorted), sorted.end())
+        << "walk repeated a host";
+  }
+}
+
+// R2: pure and bounded walks never pair same-kind hosts, whatever the fleet.
+TEST(PlacementRing, HeterogeneityNeverViolatedAcrossFiftySeeds) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    sim::Rng draw(seed);
+    RingFleet fleet;
+    const auto xen_hosts = static_cast<std::size_t>(draw.uniform_range(1, 4));
+    const auto kvm_hosts = static_cast<std::size_t>(draw.uniform_range(1, 4));
+    for (std::size_t i = 0; i < xen_hosts; ++i) {
+      fleet.add("xen" + std::to_string(i), hv::HvKind::kXen, seed * 100 + i);
+    }
+    for (std::size_t i = 0; i < kvm_hosts; ++i) {
+      fleet.add("kvm" + std::to_string(i), hv::HvKind::kKvm,
+                seed * 100 + 50 + i);
+    }
+    PlacementRing ring;
+    for (auto& host : fleet.hosts) ring.add_host(*host);
+
+    std::map<const hv::Host*, std::size_t> load;
+    const auto load_fn = [&](const hv::Host& h) { return load[&h]; };
+    for (int i = 0; i < 40; ++i) {
+      const std::string domain =
+          "s" + std::to_string(seed) + "-vm" + std::to_string(i);
+      const Expected<PlacementRing::Pair> pure = ring.place(domain);
+      ASSERT_TRUE(pure.ok());
+      EXPECT_NE(kind_of(pure.value().primary), kind_of(pure.value().secondary));
+
+      const Expected<PlacementRing::Pair> bounded =
+          ring.place(domain, load_fn, ring.load_cap(40));
+      ASSERT_TRUE(bounded.ok());
+      EXPECT_NE(kind_of(bounded.value().primary),
+                kind_of(bounded.value().secondary));
+      ++load[bounded.value().primary];
+      ++load[bounded.value().secondary];
+    }
+  }
+}
+
+TEST(PlacementRing, HomogeneousRingReportsUnavailable) {
+  RingFleet fleet;
+  fleet.add("xen0", hv::HvKind::kXen, 1);
+  fleet.add("xen1", hv::HvKind::kXen, 2);
+  PlacementRing ring;
+  for (auto& host : fleet.hosts) ring.add_host(*host);
+
+  const Expected<PlacementRing::Pair> placed = ring.place("vm0");
+  ASSERT_FALSE(placed.ok());
+  EXPECT_EQ(placed.status().code(), StatusCode::kUnavailable);
+}
+
+// R3: the bounded-load walk is what makes 100 VMs / 8 hosts balance. Each
+// role's load is tracked the way the ProtectionManager tracks it (primary
+// via place(), secondary via secondary_for()); every host ends within
+// ceil(balance_factor * ideal) for both roles, on every seed.
+TEST(PlacementRing, BoundedLoadBalanceAtHundredVmsAcrossFiftySeeds) {
+  RingFleet fleet;
+  fleet.add_mixed(8);
+  PlacementRing ring;
+  for (auto& host : fleet.hosts) ring.add_host(*host);
+
+  constexpr std::size_t kVms = 100;
+  const std::size_t cap = ring.load_cap(kVms);
+  EXPECT_EQ(cap, static_cast<std::size_t>(std::ceil(
+                     ring.config().balance_factor * 100.0 / 8.0)));
+
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    std::map<const hv::Host*, std::size_t> primary_load;
+    std::map<const hv::Host*, std::size_t> secondary_load;
+    const auto primary_fn = [&](const hv::Host& h) { return primary_load[&h]; };
+    const auto secondary_fn = [&](const hv::Host& h) {
+      return secondary_load[&h];
+    };
+    for (std::size_t i = 0; i < kVms; ++i) {
+      const std::string domain =
+          "s" + std::to_string(seed) + "-vm" + std::to_string(i);
+      const Expected<PlacementRing::Pair> placed =
+          ring.place(domain, primary_fn, cap);
+      ASSERT_TRUE(placed.ok());
+      hv::Host* primary = placed.value().primary;
+      const Expected<hv::Host*> secondary =
+          ring.secondary_for(domain, *primary, nullptr, secondary_fn, cap);
+      ASSERT_TRUE(secondary.ok());
+      EXPECT_NE(kind_of(primary), kind_of(secondary.value()));
+      ++primary_load[primary];
+      ++secondary_load[secondary.value()];
+    }
+    for (auto& host : fleet.hosts) {
+      EXPECT_LE(primary_load[host.get()], cap) << host->name();
+      EXPECT_LE(secondary_load[host.get()], cap) << host->name();
+    }
+  }
+}
+
+// R4 (leave): removing a host re-places exactly the domains whose pair
+// touched it; every other domain keeps its assignment bit-for-bit.
+TEST(PlacementRing, LeaveMovesOnlyTheDepartedHostsDomains) {
+  RingFleet fleet;
+  fleet.add_mixed(8);
+  PlacementRing ring;
+  for (auto& host : fleet.hosts) ring.add_host(*host);
+
+  constexpr int kDomains = 200;
+  std::vector<PlacementRing::Pair> before;
+  for (int i = 0; i < kDomains; ++i) {
+    before.push_back(ring.place("vm" + std::to_string(i)).value());
+  }
+
+  hv::Host* leaver = fleet.hosts[3].get();
+  ASSERT_TRUE(ring.remove_host(*leaver));
+
+  int moved = 0;
+  int touched = 0;
+  for (int i = 0; i < kDomains; ++i) {
+    const PlacementRing::Pair after =
+        ring.place("vm" + std::to_string(i)).value();
+    const bool was_on_leaver =
+        before[i].primary == leaver || before[i].secondary == leaver;
+    touched += was_on_leaver ? 1 : 0;
+    if (!was_on_leaver) {
+      EXPECT_EQ(after.primary, before[i].primary) << "vm" << i;
+      EXPECT_EQ(after.secondary, before[i].secondary) << "vm" << i;
+    } else {
+      EXPECT_NE(after.primary, leaver);
+      EXPECT_NE(after.secondary, leaver);
+    }
+    if (after.primary != before[i].primary ||
+        after.secondary != before[i].secondary) {
+      ++moved;
+    }
+  }
+  // The moved set is exactly the touched set (and the leaver owned *some*
+  // keyspace, so the test is not vacuous).
+  EXPECT_EQ(moved, touched);
+  EXPECT_GT(touched, 0);
+}
+
+// R4 (join): a joining host captures only the arcs its vnodes own — any
+// domain whose assignment changed must now involve the joiner, and the moved
+// share tracks the joiner's keyspace share.
+TEST(PlacementRing, JoinMovesOnlyDomainsCapturedByTheJoiner) {
+  RingFleet fleet;
+  fleet.add_mixed(8);  // host 7 joins later
+  PlacementRing ring;
+  for (std::size_t i = 0; i + 1 < fleet.hosts.size(); ++i) {
+    ring.add_host(*fleet.hosts[i]);
+  }
+
+  constexpr int kDomains = 200;
+  std::vector<PlacementRing::Pair> before;
+  for (int i = 0; i < kDomains; ++i) {
+    before.push_back(ring.place("vm" + std::to_string(i)).value());
+  }
+
+  hv::Host* joiner = fleet.hosts.back().get();
+  ASSERT_TRUE(ring.add_host(*joiner));
+  const double share = ring.keyspace_share(*joiner);
+  ASSERT_GT(share, 0.0);
+
+  int moved = 0;
+  for (int i = 0; i < kDomains; ++i) {
+    const PlacementRing::Pair after =
+        ring.place("vm" + std::to_string(i)).value();
+    const bool changed = after.primary != before[i].primary ||
+                         after.secondary != before[i].secondary;
+    if (changed) {
+      ++moved;
+      EXPECT_TRUE(after.primary == joiner || after.secondary == joiner)
+          << "vm" << i << " moved without involving the joiner";
+    }
+  }
+  // Two roles can capture a domain, plus walk-shift slack: the movement is
+  // proportional to the joiner's share, far below wholesale reshuffling.
+  const int bound =
+      static_cast<int>(std::ceil(3.0 * 2.0 * share * kDomains)) + 8;
+  EXPECT_LE(moved, bound);
+  EXPECT_GT(moved, 0);
+}
+
+// R5: capacity weight 2.0 owns ~2x the keyspace; kind weights skew the
+// xen/kvm split.
+TEST(PlacementRing, CapacityAndKindWeightsSkewKeyspaceShares) {
+  RingFleet fleet;
+  fleet.add_mixed(4);
+
+  PlacementRing ring;
+  ring.add_host(*fleet.hosts[0], 2.0);  // xen0, double capacity
+  ring.add_host(*fleet.hosts[1], 1.0);
+  ring.add_host(*fleet.hosts[2], 1.0);
+  ring.add_host(*fleet.hosts[3], 1.0);
+  const double heavy = ring.keyspace_share(*fleet.hosts[0]);
+  const double light = ring.keyspace_share(*fleet.hosts[1]);
+  EXPECT_GT(heavy / light, 1.5);
+  EXPECT_LT(heavy / light, 2.6);
+  double total = 0.0;
+  for (auto& host : fleet.hosts) total += ring.keyspace_share(*host);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+
+  PlacementConfig skewed;
+  skewed.xen_weight = 2.0;
+  PlacementRing kind_ring(skewed);
+  for (auto& host : fleet.hosts) kind_ring.add_host(*host);
+  double xen_share = 0.0;
+  for (auto& host : fleet.hosts) {
+    if (kind_of(host.get()) == hv::HvKind::kXen) {
+      xen_share += kind_ring.keyspace_share(*host);
+    }
+  }
+  EXPECT_GT(xen_share, 0.55);  // 2 xen of 4 hosts at 2x -> ~2/3
+  EXPECT_LT(xen_share, 0.80);
+}
+
+TEST(PlacementRing, LoadCapFormulaAndFullRingFallback) {
+  PlacementRing empty;
+  EXPECT_EQ(empty.load_cap(10), SIZE_MAX);  // no members: cap meaningless
+
+  RingFleet fleet;
+  fleet.add_mixed(8);
+  PlacementRing ring;
+  for (auto& host : fleet.hosts) ring.add_host(*host);
+  EXPECT_EQ(ring.load_cap(100), 15u);  // ceil(1.15 * 100 / 8)
+  EXPECT_EQ(ring.load_cap(1), 1u);     // never below 1
+
+  PlacementConfig uncapped;
+  uncapped.balance_factor = 0.0;
+  PlacementRing loose(uncapped);
+  for (auto& host : fleet.hosts) loose.add_host(*host);
+  EXPECT_EQ(loose.load_cap(100), SIZE_MAX);
+
+  // Every host at the cap: protection beats balance, the cap is waived.
+  const auto full = [](const hv::Host&) -> std::size_t { return 100; };
+  const Expected<PlacementRing::Pair> placed = ring.place("vm0", full, 100);
+  ASSERT_TRUE(placed.ok());
+  EXPECT_NE(kind_of(placed.value().primary), kind_of(placed.value().secondary));
+}
+
+TEST(PlacementRing, MembershipMutatorsAreIdempotent) {
+  RingFleet fleet;
+  fleet.add_mixed(2);
+  PlacementRing ring;
+  EXPECT_TRUE(ring.add_host(*fleet.hosts[0]));
+  EXPECT_FALSE(ring.add_host(*fleet.hosts[0]));  // already present
+  EXPECT_FALSE(ring.remove_host(*fleet.hosts[1]));  // never added
+  EXPECT_TRUE(ring.add_host(*fleet.hosts[1]));
+  EXPECT_TRUE(ring.remove_host(*fleet.hosts[1]));
+  EXPECT_EQ(ring.host_count(), 1u);
+  EXPECT_TRUE(ring.contains(*fleet.hosts[0]));
+  EXPECT_FALSE(ring.contains(*fleet.hosts[1]));
+}
+
+// R6: more drift candidates than budget -> exactly moves_per_tick moves,
+// the rest deferred, every move toward the ring's ideal.
+TEST(RebalanceOrchestrator, BudgetBoundsMovesAndCountsDeferrals) {
+  RingFleet fleet;
+  fleet.add_mixed(4);
+  PlacementRing ring;
+  for (auto& host : fleet.hosts) ring.add_host(*host);
+
+  RebalanceOrchestrator::Config config;
+  config.moves_per_tick = 2;
+  RebalanceOrchestrator orchestrator(ring, config);
+
+  // Five flows parked on a non-ideal (but kind-correct) secondary.
+  std::vector<ReplicaFlow> flows;
+  for (int i = 0; i < 5; ++i) {
+    const std::string domain = "drift" + std::to_string(i);
+    const PlacementRing::Pair ideal = ring.place(domain).value();
+    hv::Host* wrong = nullptr;
+    for (auto& host : fleet.hosts) {
+      if (host.get() != ideal.secondary && host.get() != ideal.primary &&
+          kind_of(host.get()) != kind_of(ideal.primary)) {
+        wrong = host.get();
+        break;
+      }
+    }
+    ASSERT_NE(wrong, nullptr);
+    flows.push_back({domain, ideal.primary, wrong, 0.0});
+  }
+
+  const auto no_load = [](const hv::Host&) -> std::size_t { return 0; };
+  const RebalancePlan plan = orchestrator.plan(flows, no_load, 100);
+  EXPECT_EQ(plan.moves.size(), 2u);
+  EXPECT_EQ(plan.deferred, 3u);
+  for (const RebalanceMove& move : plan.moves) {
+    EXPECT_EQ(move.why, RebalanceMove::Why::kDrift);
+    EXPECT_NE(move.to, move.from);
+    bool found = false;
+    for (const ReplicaFlow& flow : flows) {
+      if (flow.domain == move.domain) {
+        EXPECT_EQ(move.to, ring.place(flow.domain).value().secondary);
+        EXPECT_NE(kind_of(move.to), kind_of(flow.primary));
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+// R6: a saturated link sheds its hottest flow to a heterogeneous target on
+// an unsaturated host; flows already at their ideal produce no drift noise.
+TEST(RebalanceOrchestrator, SaturatedLinkShedsHottestFlow) {
+  RingFleet fleet;
+  fleet.add_mixed(4);
+  PlacementRing ring;
+  for (auto& host : fleet.hosts) ring.add_host(*host);
+
+  RebalanceOrchestrator::Config config;
+  config.moves_per_tick = 2;
+  config.saturation_share = 0.25;
+  RebalanceOrchestrator orchestrator(ring, config);
+
+  // Ideal placements, then inflate the queueing on whichever secondary
+  // hosts two or more flows.
+  std::vector<ReplicaFlow> flows;
+  for (int i = 0; i < 8; ++i) {
+    const std::string domain = "hot" + std::to_string(i);
+    const PlacementRing::Pair pair = ring.place(domain).value();
+    flows.push_back({domain, pair.primary, pair.secondary, 0.0});
+  }
+  hv::Host* saturated = nullptr;
+  for (auto& host : fleet.hosts) {
+    std::size_t count = 0;
+    for (const ReplicaFlow& flow : flows) {
+      if (flow.secondary == host.get()) ++count;
+    }
+    if (count >= 2) {
+      saturated = host.get();
+      break;
+    }
+  }
+  ASSERT_NE(saturated, nullptr) << "8 domains on 4 hosts must collide";
+  double share = 0.10;
+  std::string hottest;
+  for (ReplicaFlow& flow : flows) {
+    if (flow.secondary == saturated) {
+      flow.queueing_share = share;  // strictly increasing: last is hottest
+      hottest = flow.domain;
+      share += 0.10;
+    }
+  }
+
+  const auto no_load = [](const hv::Host&) -> std::size_t { return 0; };
+  const RebalancePlan plan = orchestrator.plan(flows, no_load, 100);
+  ASSERT_FALSE(plan.moves.empty());
+  const RebalanceMove& move = plan.moves.front();
+  EXPECT_EQ(move.why, RebalanceMove::Why::kSaturation);
+  EXPECT_EQ(move.domain, hottest);
+  EXPECT_EQ(move.from, saturated);
+  EXPECT_NE(move.to, saturated);
+  for (const ReplicaFlow& flow : flows) {
+    if (flow.domain == move.domain) {
+      EXPECT_NE(kind_of(move.to), kind_of(flow.primary));
+    }
+  }
+}
+
+TEST(RebalanceOrchestrator, PlanningIsPure) {
+  RingFleet fleet;
+  fleet.add_mixed(6);
+  PlacementRing ring;
+  for (auto& host : fleet.hosts) ring.add_host(*host);
+  RebalanceOrchestrator orchestrator(ring, {});
+
+  std::vector<ReplicaFlow> flows;
+  for (int i = 0; i < 12; ++i) {
+    const std::string domain = "vm" + std::to_string(i);
+    const PlacementRing::Pair pair = ring.place(domain).value();
+    flows.push_back({domain, pair.primary, pair.secondary,
+                     0.05 * static_cast<double>(i % 4)});
+  }
+  const auto load = [](const hv::Host&) -> std::size_t { return 3; };
+  const RebalancePlan a = orchestrator.plan(flows, load, 5);
+  const RebalancePlan b = orchestrator.plan(flows, load, 5);
+  ASSERT_EQ(a.moves.size(), b.moves.size());
+  EXPECT_EQ(a.deferred, b.deferred);
+  for (std::size_t i = 0; i < a.moves.size(); ++i) {
+    EXPECT_EQ(a.moves[i].domain, b.moves[i].domain);
+    EXPECT_EQ(a.moves[i].from, b.moves[i].from);
+    EXPECT_EQ(a.moves[i].to, b.moves[i].to);
+    EXPECT_EQ(a.moves[i].why, b.moves[i].why);
+  }
+}
+
+}  // namespace
+}  // namespace here::mgmt

@@ -276,5 +276,85 @@ TEST(RecoveryRace, FiftySeedSweepExactlyOneAuthority) {
   EXPECT_GT(demotions, 0);
 }
 
+// --- Recovery racing the *initial seed* ---------------------------------------
+//
+// Regression guard for the seeding window: until the first checkpoint
+// commits, the staging area holds a half-copied image and begin_failover
+// must refuse to activate it, whatever the watchdog thinks of the primary.
+// A microreboot mid-seed therefore has exactly two clean outcomes — the
+// primary recovers and seeding retries to completion, or (for a secondary
+// reboot) the seed attempt aborts and a later attempt finishes — and never
+// a failover onto a half-seeded replica.
+
+TestbedConfig seed_race_config() {
+  TestbedConfig config;
+  config.engine.period.t_max = sim::from_millis(500);
+  // Big enough that the initial seed is a window worth racing into.
+  config.vm_spec = hv::make_vm_spec("svc", 2, 256ULL << 20);
+  // Interrupted attempts may retry (the default is give-up-after-one).
+  config.engine.ft.seed_max_attempts = 5;
+  return config;
+}
+
+TEST(RecoveryRace, PrimaryMicrorebootDuringSeedNeverActivatesHalfSeed) {
+  Testbed bed(seed_race_config());
+  hv::Vm& vm = bed.create_vm(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(10)));
+  bed.protect(vm);
+
+  // Let the seed get genuinely under way, then yank the hypervisor.
+  bed.simulation().run_for(sim::from_millis(50));
+  ASSERT_FALSE(bed.engine().seeded()) << "seed finished before the fault";
+  bed.primary().inject_fault(hv::FaultKind::kHang);
+  ASSERT_TRUE(bed.primary().begin_microreboot(sim::from_millis(300)));
+
+  // Through the whole outage the half-seeded replica must stay inert: no
+  // activation, no authority flip, no matter how often the watchdog fires.
+  const sim::TimePoint outage_end =
+      bed.simulation().now() + sim::from_seconds(5);
+  while (bed.simulation().now() < outage_end) {
+    bed.simulation().run_for(sim::from_millis(20));
+    ASSERT_FALSE(bed.engine().failed_over())
+        << "activated a replica that was never seeded";
+  }
+  EXPECT_EQ(bed.engine().stats().replica_digest_at_activation, 0u);
+
+  // The primary is back: seeding must complete and protection resume on the
+  // original pair.
+  bed.run_until_seeded(sim::from_seconds(600));
+  EXPECT_TRUE(bed.primary().alive());
+  EXPECT_FALSE(bed.engine().failed_over());
+  const std::size_t epochs_at_seed = bed.engine().stats().checkpoints.size();
+  bed.simulation().run_for(sim::from_seconds(3));
+  EXPECT_GT(bed.engine().stats().checkpoints.size(), epochs_at_seed);
+  EXPECT_EQ(vm.state(), hv::VmState::kRunning);
+}
+
+TEST(RecoveryRace, SecondaryMicrorebootDuringSeedAbortsAndRetriesCleanly) {
+  Testbed bed(seed_race_config());
+  hv::Vm& vm = bed.create_vm(
+      std::make_unique<wl::SyntheticProgram>(wl::memory_microbench(10)));
+  bed.protect(vm);
+
+  bed.simulation().run_for(sim::from_millis(50));
+  ASSERT_FALSE(bed.engine().seeded()) << "seed finished before the fault";
+  bed.secondary().inject_fault(hv::FaultKind::kCrash);
+  ASSERT_TRUE(bed.secondary().begin_microreboot(sim::from_millis(250)));
+
+  // The guest must not be held hostage by the dead seed target: the abort
+  // path resumes it, and no failover ever starts (the primary is healthy
+  // and the replica unseeded).
+  bed.run_until_seeded(sim::from_seconds(600));
+  EXPECT_FALSE(bed.engine().failed_over());
+  EXPECT_GE(bed.engine().stats().seed_attempts, 2u)
+      << "the interrupted attempt should have aborted and retried";
+
+  const std::size_t epochs_at_seed = bed.engine().stats().checkpoints.size();
+  bed.simulation().run_for(sim::from_seconds(3));
+  EXPECT_GT(bed.engine().stats().checkpoints.size(), epochs_at_seed);
+  EXPECT_EQ(vm.state(), hv::VmState::kRunning);
+  EXPECT_EQ(bed.engine().stats().replica_digest_at_activation, 0u);
+}
+
 }  // namespace
 }  // namespace here::rep
